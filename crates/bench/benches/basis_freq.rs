@@ -1,0 +1,71 @@
+//! Bench B1 — BasisFreq (Algorithm 1) running time.
+//!
+//! §4.2 analyses the running time as O(w·|D| + w·3^ℓ): linear in the basis-set width w,
+//! exponential in the basis length ℓ. The two benchmark groups sweep each factor separately.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pb_bench::dense_db;
+use pb_core::{basis_freq_counts, BasisSet};
+use pb_dp::Epsilon;
+use pb_fim::ItemSet;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+
+fn bench_width(c: &mut Criterion) {
+    let db = dense_db(5_000);
+    let mut group = c.benchmark_group("basis_freq/width");
+    group.sample_size(10);
+    for &w in &[1usize, 2, 4, 8] {
+        // w disjoint bases of length 6 each.
+        let bases: Vec<ItemSet> = (0..w)
+            .map(|i| ItemSet::new(((i * 6) as u32..(i * 6 + 6) as u32).collect()))
+            .collect();
+        let basis_set = BasisSet::new(bases);
+        group.bench_with_input(BenchmarkId::from_parameter(w), &basis_set, |b, basis_set| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(basis_freq_counts(&mut rng, &db, basis_set, Epsilon::Finite(1.0)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_length(c: &mut Criterion) {
+    let db = dense_db(5_000);
+    let mut group = c.benchmark_group("basis_freq/length");
+    group.sample_size(10);
+    for &len in &[4usize, 8, 12, 16] {
+        let basis_set = BasisSet::single(ItemSet::new((0..len as u32).collect()));
+        group.bench_with_input(BenchmarkId::from_parameter(len), &basis_set, |b, basis_set| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(basis_freq_counts(&mut rng, &db, basis_set, Epsilon::Finite(1.0)))
+            })
+        });
+    }
+    group.finish();
+}
+
+fn bench_database_size(c: &mut Criterion) {
+    let mut group = c.benchmark_group("basis_freq/database_size");
+    group.sample_size(10);
+    let basis_set = BasisSet::new(vec![
+        ItemSet::new((0..8u32).collect()),
+        ItemSet::new((8..16u32).collect()),
+    ]);
+    for &n in &[1_000usize, 5_000, 20_000] {
+        let db = dense_db(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
+            b.iter(|| {
+                let mut rng = StdRng::seed_from_u64(1);
+                black_box(basis_freq_counts(&mut rng, db, &basis_set, Epsilon::Finite(1.0)))
+            })
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_width, bench_length, bench_database_size);
+criterion_main!(benches);

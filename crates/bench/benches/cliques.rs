@@ -1,0 +1,48 @@
+//! Bench B4 — Bron–Kerbosch maximal clique enumeration on frequent-pair-like graphs.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pb_graph::bron_kerbosch::{maximal_cliques, maximal_cliques_naive};
+use pb_graph::UndirectedGraph;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::hint::black_box;
+
+fn random_graph(nodes: u32, edge_prob: f64, seed: u64) -> UndirectedGraph {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut g = UndirectedGraph::new();
+    for i in 0..nodes {
+        g.add_node(i);
+    }
+    for i in 0..nodes {
+        for j in (i + 1)..nodes {
+            if rng.gen::<f64>() < edge_prob {
+                g.add_edge(i, j);
+            }
+        }
+    }
+    g
+}
+
+fn bench_pivot_vs_naive(c: &mut Criterion) {
+    let g = random_graph(40, 0.2, 1);
+    let mut group = c.benchmark_group("cliques/pivot_vs_naive");
+    group.sample_size(20);
+    group.bench_function("pivot", |b| b.iter(|| black_box(maximal_cliques(&g))));
+    group.bench_function("naive", |b| b.iter(|| black_box(maximal_cliques_naive(&g))));
+    group.finish();
+}
+
+fn bench_density(c: &mut Criterion) {
+    let mut group = c.benchmark_group("cliques/density");
+    group.sample_size(10);
+    for &p in &[0.05f64, 0.15, 0.3] {
+        let g = random_graph(60, p, 2);
+        group.bench_with_input(BenchmarkId::from_parameter(p), &g, |b, g| {
+            b.iter(|| black_box(maximal_cliques(g)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_pivot_vs_naive, bench_density);
+criterion_main!(benches);

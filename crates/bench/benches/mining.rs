@@ -1,0 +1,37 @@
+//! Bench B2 — the mining substrate: FP-Growth vs Apriori, and top-k extraction.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pb_bench::quest_db;
+use pb_fim::apriori::apriori;
+use pb_fim::fpgrowth::fpgrowth;
+use pb_fim::topk::top_k_itemsets;
+use std::hint::black_box;
+
+fn bench_miners(c: &mut Criterion) {
+    let db = quest_db(5_000);
+    let min_count = (db.len() as f64 * 0.02) as usize;
+    let mut group = c.benchmark_group("mining/miners");
+    group.sample_size(10);
+    group.bench_function("fpgrowth", |b| {
+        b.iter(|| black_box(fpgrowth(&db, min_count, None)))
+    });
+    group.bench_function("apriori", |b| {
+        b.iter(|| black_box(apriori(&db, min_count, None)))
+    });
+    group.finish();
+}
+
+fn bench_topk(c: &mut Criterion) {
+    let db = quest_db(5_000);
+    let mut group = c.benchmark_group("mining/top_k");
+    group.sample_size(10);
+    for &k in &[50usize, 200, 500] {
+        group.bench_with_input(BenchmarkId::from_parameter(k), &k, |b, &k| {
+            b.iter(|| black_box(top_k_itemsets(&db, k, None)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_miners, bench_topk);
+criterion_main!(benches);

@@ -1,0 +1,24 @@
+//! Bench B5 — subset-count reconstruction strategies: the paper's naive O(3^ℓ) superset sums
+//! versus the O(ℓ·2^ℓ) zeta transform.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pb_core::freq::{superset_sums, superset_sums_naive};
+use std::hint::black_box;
+
+fn bench_reconstruction(c: &mut Criterion) {
+    let mut group = c.benchmark_group("reconstruction");
+    group.sample_size(20);
+    for &len in &[8usize, 12, 16] {
+        let bins: Vec<f64> = (0..(1usize << len)).map(|i| (i % 97) as f64).collect();
+        group.bench_with_input(BenchmarkId::new("zeta", len), &bins, |b, bins| {
+            b.iter(|| black_box(superset_sums(bins)))
+        });
+        group.bench_with_input(BenchmarkId::new("naive_3l", len), &bins, |b, bins| {
+            b.iter(|| black_box(superset_sums_naive(bins)))
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_reconstruction);
+criterion_main!(benches);

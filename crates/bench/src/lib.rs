@@ -1,0 +1,47 @@
+//! # pb-bench — shared fixtures for the Criterion benchmarks
+//!
+//! The benchmark targets live in `benches/`; this small library provides the workload fixtures
+//! they share so each bench measures the algorithm, not the generator.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use pb_datagen::{QuestConfig, QuestGenerator};
+use pb_fim::TransactionDb;
+
+/// A medium Quest-style workload (1k item universe, average transaction length 10).
+pub fn quest_db(num_transactions: usize) -> TransactionDb {
+    QuestGenerator::new(QuestConfig {
+        num_transactions,
+        ..QuestConfig::default()
+    })
+    .generate(42)
+}
+
+/// A dense workload with longer transactions for the BasisFreq scaling benchmarks.
+pub fn dense_db(num_transactions: usize) -> TransactionDb {
+    QuestGenerator::new(QuestConfig {
+        num_transactions,
+        num_items: 64,
+        avg_transaction_len: 16.0,
+        num_patterns: 30,
+        avg_pattern_len: 5.0,
+        corruption_mean: 0.2,
+        ..QuestConfig::default()
+    })
+    .generate(7)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn fixtures_have_expected_shape() {
+        let q = quest_db(500);
+        assert_eq!(q.len(), 500);
+        let d = dense_db(300);
+        assert_eq!(d.len(), 300);
+        assert!(d.avg_transaction_len() > 5.0);
+    }
+}

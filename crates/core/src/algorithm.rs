@@ -1,0 +1,466 @@
+//! Algorithm 3 — the end-to-end PrivBasis method.
+//!
+//! The five steps of §4.1, with the privacy budget split `α₁ε / α₂ε / α₃ε`:
+//!
+//! 1. **GetLambda** (α₁ε) — estimate λ, the number of distinct items in the top-`k` itemsets,
+//!    by sampling an item rank whose frequency is closest to that of the (η·k)-th itemset.
+//! 2. **Frequent items** (part of α₂ε) — select the λ most frequent items with repeated
+//!    exponential-mechanism draws.
+//! 3. **Frequent pairs** (rest of α₂ε, only when λ exceeds the single-basis threshold) —
+//!    select the λ₂ most frequent pairs among the selected items.
+//! 4. **ConstructBasisSet** (no budget — post-processing of steps 2–3).
+//! 5. **BasisFreq** (α₃ε) — noisy bin counts, reconstruction, top-`k` selection.
+
+use crate::basis::BasisSet;
+use crate::construct::construct_basis_set;
+use crate::freq::basis_freq_counts;
+use crate::params::{PrivBasisParams, SelectionScale};
+use pb_dp::{sample_without_replacement, DpError, Epsilon, ExponentialScale, PrivacyBudget};
+use pb_dp::exponential_mechanism;
+use pb_fim::itemset::{Item, ItemSet};
+use pb_fim::topk::top_k_itemsets;
+use pb_fim::TransactionDb;
+use rand::Rng;
+
+/// Errors returned by [`PrivBasis::run`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum PrivBasisError {
+    /// The algorithmic parameters are inconsistent (see [`PrivBasisParams::validate`]).
+    InvalidParams(String),
+    /// `k` was zero.
+    InvalidK,
+    /// The database contains no transactions.
+    EmptyDatabase,
+    /// A differential-privacy primitive rejected its inputs.
+    Dp(DpError),
+}
+
+impl std::fmt::Display for PrivBasisError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            PrivBasisError::InvalidParams(msg) => write!(f, "invalid parameters: {msg}"),
+            PrivBasisError::InvalidK => write!(f, "k must be at least 1"),
+            PrivBasisError::EmptyDatabase => write!(f, "the transaction database is empty"),
+            PrivBasisError::Dp(e) => write!(f, "differential privacy error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for PrivBasisError {}
+
+impl From<DpError> for PrivBasisError {
+    fn from(e: DpError) -> Self {
+        PrivBasisError::Dp(e)
+    }
+}
+
+/// The result of one PrivBasis run.
+#[derive(Debug, Clone)]
+pub struct PrivBasisOutput {
+    /// The published top-`k` itemsets with their noisy support counts, descending.
+    pub itemsets: Vec<(ItemSet, f64)>,
+    /// The λ estimate produced by step 1.
+    pub lambda: usize,
+    /// The λ₂ value used for pair selection (0 when the single-basis path was taken).
+    pub lambda2: usize,
+    /// The frequent items selected in step 2.
+    pub frequent_items: ItemSet,
+    /// The frequent pairs selected in step 3 (empty on the single-basis path).
+    pub frequent_pairs: Vec<(Item, Item)>,
+    /// The basis set used for the noisy counts.
+    pub basis_set: BasisSet,
+    /// Number of candidate itemsets `|C(B)|` the top-`k` was selected from.
+    pub candidate_count: usize,
+}
+
+/// The PrivBasis method (Algorithm 3).
+#[derive(Debug, Clone)]
+pub struct PrivBasis {
+    params: PrivBasisParams,
+}
+
+impl PrivBasis {
+    /// Creates the method with the given parameters (validated at [`PrivBasis::run`] time).
+    pub fn new(params: PrivBasisParams) -> Self {
+        PrivBasis { params }
+    }
+
+    /// Creates the method with the paper's default parameters.
+    pub fn with_defaults() -> Self {
+        PrivBasis::new(PrivBasisParams::default())
+    }
+
+    /// The parameters.
+    pub fn params(&self) -> &PrivBasisParams {
+        &self.params
+    }
+
+    /// Publishes the top-`k` frequent itemsets of `db` under `epsilon`-differential privacy.
+    pub fn run<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        db: &TransactionDb,
+        k: usize,
+        epsilon: Epsilon,
+    ) -> Result<PrivBasisOutput, PrivBasisError> {
+        self.params.validate().map_err(PrivBasisError::InvalidParams)?;
+        if k == 0 {
+            return Err(PrivBasisError::InvalidK);
+        }
+        if db.is_empty() {
+            return Err(PrivBasisError::EmptyDatabase);
+        }
+
+        let mut budget = PrivacyBudget::new(epsilon);
+        let eps_lambda = budget.spend_fraction(self.params.alpha1)?;
+        let eps_select = budget.spend_fraction(self.params.alpha2)?;
+        let eps_counts = budget.spend_remaining()?;
+
+        // Items sorted by descending frequency; reused by steps 1 and 2.
+        let items_by_freq = db.items_by_frequency();
+        if items_by_freq.is_empty() {
+            return Err(PrivBasisError::EmptyDatabase);
+        }
+
+        // Step 1: λ.
+        let eta = self.params.eta_for(k);
+        let lambda = get_lambda(rng, db, &items_by_freq, k, eta, eps_lambda)?;
+
+        if lambda <= self.params.single_basis_lambda {
+            // Steps 2 + 5, single-basis path.
+            let frequent_items =
+                self.select_frequent_items(rng, db, &items_by_freq, lambda, eps_select)?;
+            let basis_set = BasisSet::single(frequent_items.clone());
+            let counts = basis_freq_counts(rng, db, &basis_set, eps_counts);
+            Ok(PrivBasisOutput {
+                itemsets: counts.top_k(k),
+                lambda,
+                lambda2: 0,
+                frequent_items,
+                frequent_pairs: Vec::new(),
+                basis_set,
+                candidate_count: counts.len(),
+            })
+        } else {
+            // Steps 2–5, multi-basis path.
+            let lambda2 = self.params.lambda2_for(k, lambda);
+            let (eps_items, eps_pairs) = if lambda2 == 0 {
+                (eps_select, None)
+            } else {
+                let beta1 = lambda as f64 / (lambda + lambda2) as f64;
+                (eps_select.fraction(beta1), Some(eps_select.fraction(1.0 - beta1)))
+            };
+
+            let frequent_items =
+                self.select_frequent_items(rng, db, &items_by_freq, lambda, eps_items)?;
+
+            let frequent_pairs = match eps_pairs {
+                Some(eps_pairs) if frequent_items.len() >= 2 => {
+                    self.select_frequent_pairs(rng, db, &frequent_items, lambda2, eps_pairs)?
+                }
+                _ => Vec::new(),
+            };
+
+            let basis_set =
+                construct_basis_set(&frequent_items, &frequent_pairs, self.params.max_basis_len);
+            let counts = basis_freq_counts(rng, db, &basis_set, eps_counts);
+            Ok(PrivBasisOutput {
+                itemsets: counts.top_k(k),
+                lambda,
+                lambda2,
+                frequent_items,
+                frequent_pairs,
+                basis_set,
+                candidate_count: counts.len(),
+            })
+        }
+    }
+
+    /// Step 2: select `lambda` items by repeated exponential-mechanism draws
+    /// (`GetFreqElements` applied to single items).
+    fn select_frequent_items<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        db: &TransactionDb,
+        items_by_freq: &[(Item, usize)],
+        lambda: usize,
+        eps: Epsilon,
+    ) -> Result<ItemSet, PrivBasisError> {
+        let lambda = lambda.clamp(1, items_by_freq.len());
+        let qualities: Vec<f64> = items_by_freq
+            .iter()
+            .map(|&(_, c)| self.quality(c, db.len()))
+            .collect();
+        let per_draw = eps.split(lambda);
+        let picked = sample_without_replacement(
+            rng,
+            &qualities,
+            lambda,
+            1.0,
+            per_draw,
+            ExponentialScale::OneSided,
+        )?;
+        Ok(picked.into_iter().map(|i| items_by_freq[i].0).collect())
+    }
+
+    /// Step 3: select `lambda2` pairs among the selected items (`GetFreqElements` on pairs).
+    fn select_frequent_pairs<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        db: &TransactionDb,
+        frequent_items: &ItemSet,
+        lambda2: usize,
+        eps: Epsilon,
+    ) -> Result<Vec<(Item, Item)>, PrivBasisError> {
+        let pair_counts = db.pair_counts(frequent_items);
+        // Candidate set: every pair of selected items, including pairs that never co-occur.
+        let items = frequent_items.items();
+        let mut candidates: Vec<(Item, Item)> = Vec::with_capacity(items.len() * (items.len() - 1) / 2);
+        for i in 0..items.len() {
+            for j in (i + 1)..items.len() {
+                candidates.push((items[i], items[j]));
+            }
+        }
+        if candidates.is_empty() {
+            return Ok(Vec::new());
+        }
+        let lambda2 = lambda2.clamp(1, candidates.len());
+        let qualities: Vec<f64> = candidates
+            .iter()
+            .map(|p| self.quality(pair_counts.get(p).copied().unwrap_or(0), db.len()))
+            .collect();
+        let per_draw = eps.split(lambda2);
+        let picked = sample_without_replacement(
+            rng,
+            &qualities,
+            lambda2,
+            1.0,
+            per_draw,
+            ExponentialScale::OneSided,
+        )?;
+        Ok(picked.into_iter().map(|i| candidates[i]).collect())
+    }
+
+    /// Quality of a support count under the configured [`SelectionScale`].
+    fn quality(&self, count: usize, n: usize) -> f64 {
+        match self.params.selection_scale {
+            SelectionScale::Count => count as f64,
+            SelectionScale::Frequency => {
+                if n == 0 {
+                    0.0
+                } else {
+                    count as f64 / n as f64
+                }
+            }
+        }
+    }
+}
+
+/// Step 1 — `GetLambda`: sample the item rank whose frequency is closest to the frequency of
+/// the (η·k)-th most frequent itemset. The quality of rank `j` is `(1 − |f_itemⱼ − θ|)·N`
+/// (sensitivity 1); the paper keeps the standard `ε/2` exponent.
+fn get_lambda<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &TransactionDb,
+    items_by_freq: &[(Item, usize)],
+    k: usize,
+    eta: f64,
+    eps: Epsilon,
+) -> Result<usize, DpError> {
+    let n = db.len() as f64;
+    let k1 = ((k as f64 * eta).ceil() as usize).max(1);
+    let top = top_k_itemsets(db, k1, None);
+    let theta_count = if top.len() >= k1 {
+        top[k1 - 1].count as f64
+    } else {
+        top.last().map(|f| f.count as f64).unwrap_or(0.0)
+    };
+    let theta = theta_count / n;
+
+    let qualities: Vec<f64> = items_by_freq
+        .iter()
+        .map(|&(_, c)| (1.0 - (c as f64 / n - theta).abs()) * n)
+        .collect();
+    let idx = exponential_mechanism(rng, &qualities, 1.0, eps, ExponentialScale::Standard)?;
+    Ok(idx + 1) // ranks are 1-based: λ = j means "the top j items"
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    use std::collections::HashSet;
+
+    /// Dense database with strictly decreasing item frequencies: item `j` (j ≤ 5) appears in a
+    /// nested `(20 − 2j)/20` fraction of transactions, so the top itemsets span few items and
+    /// the frequency ladder has no ties near the top.
+    fn dense_db(n: usize) -> TransactionDb {
+        let mut t = Vec::with_capacity(n);
+        for i in 0..n {
+            let slot = i % 20;
+            let mut row: Vec<u32> = (0..6u32).filter(|&j| slot < 20 - 2 * j as usize).collect();
+            row.push(6 + (i % 20) as u32); // light tail of 20 cold items
+            t.push(row);
+        }
+        TransactionDb::from_transactions(t)
+    }
+
+    /// Deterministic mixing function used to make item occurrences pseudo-independent.
+    fn mix(i: usize, j: u32) -> u64 {
+        let mut x = (i as u64)
+            .wrapping_mul(6364136223846793005)
+            .wrapping_add((j as u64).wrapping_mul(1442695040888963407));
+        x ^= x >> 33;
+        x = x.wrapping_mul(0xff51afd7ed558ccd);
+        x ^ (x >> 29)
+    }
+
+    /// Sparse database: 40 items with strictly decreasing frequencies (0.5 down to ~0.3) and
+    /// pseudo-independent occurrences, so pairs co-occur near the product of the singleton
+    /// frequencies (< 0.26) and the top-k is dominated by singletons (the λ ≈ k regime).
+    fn sparse_db(n: usize) -> TransactionDb {
+        let mut t = Vec::with_capacity(n);
+        for i in 0..n {
+            let row: Vec<u32> = (0..40u32)
+                .filter(|&j| mix(i, j) % 1000 < 500 - 5 * j as u64)
+                .collect();
+            t.push(row);
+        }
+        TransactionDb::from_transactions(t)
+    }
+
+    #[test]
+    fn noiseless_run_recovers_exact_topk_dense() {
+        let db = dense_db(4_000);
+        let pb = PrivBasis::with_defaults();
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = pb.run(&mut rng, &db, 7, Epsilon::Infinite).unwrap();
+        let truth: Vec<ItemSet> = top_k_itemsets(&db, 7, None).into_iter().map(|f| f.items).collect();
+        let published: HashSet<&ItemSet> = out.itemsets.iter().map(|(s, _)| s).collect();
+        let hits = truth.iter().filter(|t| published.contains(t)).count();
+        assert_eq!(hits, 7, "noiseless PrivBasis should recover the exact top-k");
+        // Published counts must equal true supports when there is no noise.
+        for (s, c) in &out.itemsets {
+            assert!((c - db.support(s) as f64).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn noiseless_run_recovers_exact_topk_sparse() {
+        let db = sparse_db(6_000);
+        let pb = PrivBasis::with_defaults();
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = pb.run(&mut rng, &db, 30, Epsilon::Infinite).unwrap();
+        let truth: HashSet<ItemSet> =
+            top_k_itemsets(&db, 30, None).into_iter().map(|f| f.items).collect();
+        let hits = out.itemsets.iter().filter(|(s, _)| truth.contains(s)).count();
+        // The sparse path goes through λ > 12 (multi-basis). λ is chosen against the (η·k)-th
+        // itemset, so the selected items always include the true top-k singletons and the
+        // noiseless reconstruction recovers them all (allow one slip at the rank boundary).
+        assert!(hits >= 28, "only {hits}/30 recovered");
+        assert!(out.lambda > 12);
+    }
+
+    #[test]
+    fn moderate_epsilon_has_low_fnr_on_dense_data() {
+        let db = dense_db(20_000);
+        let pb = PrivBasis::with_defaults();
+        let truth: HashSet<ItemSet> =
+            top_k_itemsets(&db, 7, None).into_iter().map(|f| f.items).collect();
+        let mut total_hits = 0;
+        let reps = 5;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(100 + seed);
+            let out = pb.run(&mut rng, &db, 7, Epsilon::Finite(1.0)).unwrap();
+            total_hits += out.itemsets.iter().filter(|(s, _)| truth.contains(s)).count();
+        }
+        let fnr = 1.0 - total_hits as f64 / (reps as f64 * 7.0);
+        assert!(fnr < 0.25, "FNR too high: {fnr}");
+    }
+
+    #[test]
+    fn output_structure_is_consistent() {
+        let db = dense_db(3_000);
+        let pb = PrivBasis::with_defaults();
+        let mut rng = StdRng::seed_from_u64(5);
+        let out = pb.run(&mut rng, &db, 8, Epsilon::Finite(2.0)).unwrap();
+        assert_eq!(out.itemsets.len(), 8);
+        assert!(out.candidate_count >= 8);
+        assert!(out.lambda >= 1);
+        // Published itemsets are distinct and drawn from the basis candidates.
+        let distinct: HashSet<&ItemSet> = out.itemsets.iter().map(|(s, _)| s).collect();
+        assert_eq!(distinct.len(), 8);
+        for (s, _) in &out.itemsets {
+            assert!(out.basis_set.covers(s));
+        }
+        // Counts sorted descending.
+        for w in out.itemsets.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn rejects_bad_inputs() {
+        let db = dense_db(100);
+        let pb = PrivBasis::with_defaults();
+        let mut rng = StdRng::seed_from_u64(6);
+        assert_eq!(
+            pb.run(&mut rng, &db, 0, Epsilon::Finite(1.0)).unwrap_err(),
+            PrivBasisError::InvalidK
+        );
+        let empty = TransactionDb::from_transactions(Vec::<Vec<u32>>::new());
+        assert_eq!(
+            pb.run(&mut rng, &empty, 5, Epsilon::Finite(1.0)).unwrap_err(),
+            PrivBasisError::EmptyDatabase
+        );
+        let bad = PrivBasis::new(PrivBasisParams { alpha1: 0.9, ..Default::default() });
+        assert!(matches!(
+            bad.run(&mut rng, &db, 5, Epsilon::Finite(1.0)).unwrap_err(),
+            PrivBasisError::InvalidParams(_)
+        ));
+    }
+
+    #[test]
+    fn reproducible_under_fixed_seed() {
+        let db = dense_db(2_000);
+        let pb = PrivBasis::with_defaults();
+        let a = pb.run(&mut StdRng::seed_from_u64(9), &db, 6, Epsilon::Finite(0.5)).unwrap();
+        let b = pb.run(&mut StdRng::seed_from_u64(9), &db, 6, Epsilon::Finite(0.5)).unwrap();
+        assert_eq!(a.itemsets, b.itemsets);
+        assert_eq!(a.lambda, b.lambda);
+    }
+
+    #[test]
+    fn get_lambda_noiseless_tracks_theta() {
+        // With no noise GetLambda returns the rank whose item frequency is closest to f_{ηk}.
+        let db = dense_db(5_000);
+        let items = db.items_by_frequency();
+        let mut rng = StdRng::seed_from_u64(10);
+        let lambda = get_lambda(&mut rng, &db, &items, 5, 1.1, Epsilon::Infinite).unwrap();
+        assert!(lambda >= 1 && lambda <= items.len());
+        // Top-5·1.1 itemsets in this dense database involve only the first handful of items,
+        // so λ must be small.
+        assert!(lambda <= 10, "λ = {lambda}");
+    }
+
+    #[test]
+    fn frequency_scale_ablation_runs() {
+        let db = dense_db(2_000);
+        let pb = PrivBasis::new(PrivBasisParams {
+            selection_scale: SelectionScale::Frequency,
+            ..Default::default()
+        });
+        let mut rng = StdRng::seed_from_u64(11);
+        let out = pb.run(&mut rng, &db, 5, Epsilon::Finite(1.0)).unwrap();
+        assert_eq!(out.itemsets.len(), 5);
+    }
+
+    #[test]
+    fn error_display_formats() {
+        assert!(PrivBasisError::InvalidK.to_string().contains("k"));
+        assert!(PrivBasisError::EmptyDatabase.to_string().contains("empty"));
+        assert!(PrivBasisError::InvalidParams("x".into()).to_string().contains("x"));
+        assert!(PrivBasisError::from(DpError::EmptyCandidateSet).to_string().contains("privacy"));
+    }
+}

@@ -1,0 +1,185 @@
+//! Basis sets and candidate sets (Definitions 2 and 3 of the paper).
+
+use pb_fim::itemset::ItemSet;
+use pb_fim::topk::FrequentItemset;
+use std::collections::HashSet;
+
+/// A basis set `B = {B₁, …, B_w}`.
+///
+/// The *width* `w` is the number of bases, the *length* ℓ is the size of the largest basis.
+/// `BasisFreq`'s running time is linear in `w` but exponential in ℓ, so the construction
+/// algorithms cap ℓ (the paper uses at most 12).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BasisSet {
+    bases: Vec<ItemSet>,
+}
+
+impl BasisSet {
+    /// Creates a basis set, dropping empty bases and bases that are subsets of other bases
+    /// (they contribute no new candidates but would waste privacy budget).
+    pub fn new(bases: Vec<ItemSet>) -> Self {
+        let mut kept: Vec<ItemSet> = Vec::with_capacity(bases.len());
+        // Longer bases first so subset-redundant bases are filtered in one pass.
+        let mut sorted = bases;
+        sorted.sort_by(|a, b| b.len().cmp(&a.len()).then(a.cmp(b)));
+        for b in sorted {
+            if b.is_empty() {
+                continue;
+            }
+            if !kept.iter().any(|existing| b.is_subset_of(existing)) {
+                kept.push(b);
+            }
+        }
+        kept.sort();
+        BasisSet { bases: kept }
+    }
+
+    /// A basis set with a single basis.
+    pub fn single(basis: ItemSet) -> Self {
+        BasisSet::new(vec![basis])
+    }
+
+    /// The bases.
+    pub fn bases(&self) -> &[ItemSet] {
+        &self.bases
+    }
+
+    /// The width `w` (number of bases).
+    pub fn width(&self) -> usize {
+        self.bases.len()
+    }
+
+    /// The length ℓ (size of the largest basis); 0 for an empty basis set.
+    pub fn length(&self) -> usize {
+        self.bases.iter().map(|b| b.len()).max().unwrap_or(0)
+    }
+
+    /// True if the basis set contains no bases.
+    pub fn is_empty(&self) -> bool {
+        self.bases.is_empty()
+    }
+
+    /// True if `itemset` is covered by (i.e. is a subset of) some basis.
+    pub fn covers(&self, itemset: &ItemSet) -> bool {
+        self.bases.iter().any(|b| itemset.is_subset_of(b))
+    }
+
+    /// The indices of all bases covering `itemset`.
+    pub fn covering_bases(&self, itemset: &ItemSet) -> Vec<usize> {
+        self.bases
+            .iter()
+            .enumerate()
+            .filter(|(_, b)| itemset.is_subset_of(b))
+            .map(|(i, _)| i)
+            .collect()
+    }
+
+    /// The candidate set `C(B)`: every non-empty subset of every basis, deduplicated
+    /// (Definition 3). The size is at most `Σᵢ 2^|Bᵢ|`, so callers keep ℓ small.
+    pub fn candidate_set(&self) -> Vec<ItemSet> {
+        let mut seen: HashSet<ItemSet> = HashSet::new();
+        for b in &self.bases {
+            for s in b.subsets() {
+                if !s.is_empty() {
+                    seen.insert(s);
+                }
+            }
+        }
+        let mut out: Vec<ItemSet> = seen.into_iter().collect();
+        out.sort();
+        out
+    }
+
+    /// Number of candidates `|C(B)|` without materialising them (upper bound `Σ 2^|Bᵢ| − w`;
+    /// exact only when bases do not overlap).
+    pub fn candidate_count_upper_bound(&self) -> usize {
+        self.bases
+            .iter()
+            .map(|b| (1usize << b.len().min(usize::BITS as usize - 1)) - 1)
+            .sum()
+    }
+
+    /// Checks the θ-basis-set property (Definition 2) against a list of frequent itemsets:
+    /// every itemset must be covered. Returns the uncovered itemsets (empty means valid).
+    pub fn uncovered<'a>(&self, frequent: &'a [FrequentItemset]) -> Vec<&'a FrequentItemset> {
+        frequent.iter().filter(|f| !self.covers(&f.items)).collect()
+    }
+
+    /// The union of all bases (the set of items the basis set spans).
+    pub fn spanned_items(&self) -> ItemSet {
+        self.bases
+            .iter()
+            .fold(ItemSet::empty(), |acc, b| acc.union(b))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn set(items: &[u32]) -> ItemSet {
+        ItemSet::new(items.to_vec())
+    }
+
+    #[test]
+    fn width_length_and_basic_queries() {
+        let b = BasisSet::new(vec![set(&[1, 2, 3]), set(&[4, 5])]);
+        assert_eq!(b.width(), 2);
+        assert_eq!(b.length(), 3);
+        assert!(!b.is_empty());
+        assert!(b.covers(&set(&[1, 3])));
+        assert!(b.covers(&set(&[5])));
+        assert!(!b.covers(&set(&[1, 4])));
+        assert_eq!(b.spanned_items(), set(&[1, 2, 3, 4, 5]));
+    }
+
+    #[test]
+    fn redundant_and_empty_bases_are_dropped() {
+        let b = BasisSet::new(vec![set(&[1, 2, 3]), set(&[1, 2]), set(&[]), set(&[1, 2, 3])]);
+        assert_eq!(b.width(), 1);
+        assert_eq!(b.bases(), &[set(&[1, 2, 3])]);
+    }
+
+    #[test]
+    fn candidate_set_is_union_of_subsets() {
+        let b = BasisSet::new(vec![set(&[1, 2]), set(&[2, 3])]);
+        let c = b.candidate_set();
+        assert_eq!(c.len(), 5); // {1},{2},{3},{1,2},{2,3}
+        assert!(c.contains(&set(&[1, 2])));
+        assert!(c.contains(&set(&[2])));
+        assert!(!c.contains(&set(&[1, 3])));
+        assert!(!c.iter().any(|s| s.is_empty()));
+        assert!(b.candidate_count_upper_bound() >= c.len());
+    }
+
+    #[test]
+    fn covering_bases_indices() {
+        let b = BasisSet::new(vec![set(&[1, 2, 3]), set(&[2, 3, 4])]);
+        assert_eq!(b.covering_bases(&set(&[2, 3])), vec![0, 1]);
+        assert_eq!(b.covering_bases(&set(&[1])), vec![0]);
+        assert_eq!(b.covering_bases(&set(&[9])), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn uncovered_detects_basis_property_violations() {
+        let b = BasisSet::new(vec![set(&[1, 2])]);
+        let frequent = vec![
+            FrequentItemset::new(set(&[1]), 10),
+            FrequentItemset::new(set(&[1, 2]), 8),
+            FrequentItemset::new(set(&[3]), 7),
+        ];
+        let uncovered = b.uncovered(&frequent);
+        assert_eq!(uncovered.len(), 1);
+        assert_eq!(uncovered[0].items, set(&[3]));
+    }
+
+    #[test]
+    fn single_and_empty() {
+        let b = BasisSet::single(set(&[7, 8]));
+        assert_eq!(b.width(), 1);
+        let e = BasisSet::new(vec![]);
+        assert!(e.is_empty());
+        assert_eq!(e.length(), 0);
+        assert!(e.candidate_set().is_empty());
+    }
+}

@@ -1,0 +1,366 @@
+//! Algorithm 1 — `BasisFreq`: privately releasing frequent itemsets given a basis set.
+//!
+//! Each basis `Bᵢ` partitions the transactions into `2^|Bᵢ|` disjoint bins, one per subset
+//! `Y ⊆ Bᵢ` (the bin of `Y` holds the transactions `t` with `t ∩ Bᵢ = Y`). Adding or removing
+//! one transaction changes exactly one bin per basis by one, so releasing all bins of all `w`
+//! bases has sensitivity `w`; Laplace noise of scale `w/ε` on every bin count therefore gives
+//! ε-DP, and everything after that is post-processing:
+//!
+//! * the count of a candidate `X ⊆ Bᵢ` is the sum of its `2^{|Bᵢ|−|X|}` superset bins,
+//! * candidates covered by several bases combine their estimates with inverse-variance
+//!   weights (lines 16–23 of Algorithm 1),
+//! * the top-`k` candidates by noisy count are returned.
+//!
+//! The superset sums are computed either naively (the paper's `O(3^ℓ)` per basis) or with a
+//! superset zeta transform (`O(ℓ·2^ℓ)`); both are exposed and tested to agree, and compared in
+//! the `reconstruction` benchmark.
+
+use crate::basis::BasisSet;
+use pb_dp::{Epsilon, LaplaceNoise};
+use pb_fim::itemset::{Item, ItemSet};
+use pb_fim::TransactionDb;
+use rand::Rng;
+use std::collections::HashMap;
+
+/// Maximum supported basis length (bin vectors are indexed by `u32`-sized masks).
+pub const MAX_SUPPORTED_BASIS_LEN: usize = 20;
+
+/// Noisy counts (and relative variances) for every candidate itemset in `C(B)`.
+#[derive(Debug, Clone, Default)]
+pub struct NoisyCandidateCounts {
+    entries: HashMap<ItemSet, CandidateEstimate>,
+}
+
+/// A single candidate's combined estimate.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct CandidateEstimate {
+    /// Noisy support count (may be negative or fractional).
+    pub count: f64,
+    /// Relative variance of the estimate in "bin units" (`2^{|Bᵢ|−|X|}`, combined across bases).
+    pub variance_units: f64,
+}
+
+impl NoisyCandidateCounts {
+    /// Number of candidates.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// True if no candidates were produced (empty basis set).
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// The estimate for one candidate.
+    pub fn get(&self, itemset: &ItemSet) -> Option<CandidateEstimate> {
+        self.entries.get(itemset).copied()
+    }
+
+    /// Iterates over all candidates and their estimates.
+    pub fn iter(&self) -> impl Iterator<Item = (&ItemSet, &CandidateEstimate)> {
+        self.entries.iter()
+    }
+
+    /// The `k` candidates with the highest noisy counts, sorted descending
+    /// (ties broken deterministically by itemset order).
+    pub fn top_k(&self, k: usize) -> Vec<(ItemSet, f64)> {
+        let mut all: Vec<(ItemSet, f64)> = self
+            .entries
+            .iter()
+            .map(|(s, e)| (s.clone(), e.count))
+            .collect();
+        all.sort_by(|a, b| {
+            b.1.partial_cmp(&a.1)
+                .expect("noisy counts are finite")
+                .then_with(|| a.0.len().cmp(&b.0.len()))
+                .then_with(|| a.0.cmp(&b.0))
+        });
+        all.truncate(k);
+        all
+    }
+
+    fn merge(&mut self, itemset: ItemSet, count: f64, variance_units: f64) {
+        match self.entries.get_mut(&itemset) {
+            None => {
+                self.entries.insert(itemset, CandidateEstimate { count, variance_units });
+            }
+            Some(existing) => {
+                // Inverse-variance weighting (lines 21–23 of Algorithm 1).
+                let v = existing.variance_units;
+                let nv = variance_units;
+                existing.count = (nv / (v + nv)) * existing.count + (v / (v + nv)) * count;
+                existing.variance_units = v * nv / (v + nv);
+            }
+        }
+    }
+}
+
+/// Computes the noisy bin counts of one basis: index `mask` holds the (noisy) number of
+/// transactions whose intersection with the basis equals the subset encoded by `mask`.
+fn noisy_bins<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &TransactionDb,
+    basis: &ItemSet,
+    noise: &LaplaceNoise,
+) -> Vec<f64> {
+    let len = basis.len();
+    let mut bins: Vec<f64> = (0..(1usize << len)).map(|_| noise.sample(rng)).collect();
+    let items: &[Item] = basis.items();
+    for t in db.iter() {
+        let mut mask = 0usize;
+        for (bit, &item) in items.iter().enumerate() {
+            if t.contains(item) {
+                mask |= 1 << bit;
+            }
+        }
+        bins[mask] += 1.0;
+    }
+    bins
+}
+
+/// Superset sums via the zeta transform: `out[mask] = Σ_{super ⊇ mask} bins[super]`,
+/// in `O(ℓ·2^ℓ)`.
+pub fn superset_sums(bins: &[f64]) -> Vec<f64> {
+    let n = bins.len();
+    debug_assert!(n.is_power_of_two());
+    let bits = n.trailing_zeros() as usize;
+    let mut out = bins.to_vec();
+    for bit in 0..bits {
+        let step = 1usize << bit;
+        for mask in 0..n {
+            if mask & step == 0 {
+                out[mask] += out[mask | step];
+            }
+        }
+    }
+    out
+}
+
+/// Naive superset sums (the paper's formulation), `O(3^ℓ)` overall; used to cross-check the
+/// zeta transform and by the reconstruction benchmark.
+pub fn superset_sums_naive(bins: &[f64]) -> Vec<f64> {
+    let n = bins.len();
+    debug_assert!(n.is_power_of_two());
+    let full = n - 1;
+    let mut out = vec![0.0; n];
+    for (mask, slot) in out.iter_mut().enumerate() {
+        // Iterate over supersets of `mask`: supersets are mask | s where s ⊆ complement.
+        let complement = full & !mask;
+        let mut s = complement;
+        loop {
+            *slot += bins[mask | s];
+            if s == 0 {
+                break;
+            }
+            s = (s - 1) & complement;
+        }
+    }
+    out
+}
+
+/// Runs the bin-counting and reconstruction phases of Algorithm 1, returning noisy counts for
+/// every candidate in `C(B)`.
+///
+/// # Panics
+/// Panics if any basis is longer than [`MAX_SUPPORTED_BASIS_LEN`] (the bin table would not fit
+/// in memory — the paper caps ℓ at 12 for the same reason).
+pub fn basis_freq_counts<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &TransactionDb,
+    basis_set: &BasisSet,
+    epsilon: Epsilon,
+) -> NoisyCandidateCounts {
+    assert!(
+        basis_set.length() <= MAX_SUPPORTED_BASIS_LEN,
+        "basis length {} exceeds the supported maximum {}",
+        basis_set.length(),
+        MAX_SUPPORTED_BASIS_LEN
+    );
+    let mut result = NoisyCandidateCounts::default();
+    if basis_set.is_empty() {
+        return result;
+    }
+    let w = basis_set.width();
+    let noise = LaplaceNoise::new(w as f64, epsilon).expect("width >= 1 and epsilon validated");
+
+    for basis in basis_set.bases() {
+        let bins = noisy_bins(rng, db, basis, &noise);
+        let sums = superset_sums(&bins);
+        let items = basis.items();
+        let len = items.len();
+        // The loop variable is the bin bitmask itself, not an iteration index.
+        #[allow(clippy::needless_range_loop)]
+        for mask in 1usize..(1 << len) {
+            let members: Vec<Item> = (0..len).filter(|b| mask & (1 << b) != 0).map(|b| items[b]).collect();
+            let itemset = ItemSet::new(members);
+            let variance_units = 2f64.powi((len - itemset.len()) as i32);
+            result.merge(itemset, sums[mask], variance_units);
+        }
+    }
+    result
+}
+
+/// Full Algorithm 1: noisy candidate counts plus top-`k` selection.
+pub fn basis_freq<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &TransactionDb,
+    basis_set: &BasisSet,
+    k: usize,
+    epsilon: Epsilon,
+) -> Vec<(ItemSet, f64)> {
+    basis_freq_counts(rng, db, basis_set, epsilon).top_k(k)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn set(items: &[u32]) -> ItemSet {
+        ItemSet::new(items.to_vec())
+    }
+
+    fn sample_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![1, 2, 3],
+            vec![2, 3],
+            vec![1],
+            vec![4, 5],
+            vec![4, 5],
+            vec![1, 2, 3, 4],
+        ])
+    }
+
+    #[test]
+    fn zeta_and_naive_superset_sums_agree() {
+        let bins: Vec<f64> = (0..32).map(|i| (i * 7 % 13) as f64).collect();
+        let a = superset_sums(&bins);
+        let b = superset_sums_naive(&bins);
+        for (x, y) in a.iter().zip(&b) {
+            assert!((x - y).abs() < 1e-9);
+        }
+        // Index 0 (empty set) must equal the total.
+        assert!((a[0] - bins.iter().sum::<f64>()).abs() < 1e-9);
+    }
+
+    #[test]
+    fn noiseless_counts_equal_true_supports() {
+        let db = sample_db();
+        let basis = BasisSet::new(vec![set(&[1, 2, 3]), set(&[4, 5])]);
+        let mut rng = StdRng::seed_from_u64(1);
+        let counts = basis_freq_counts(&mut rng, &db, &basis, Epsilon::Infinite);
+        for (itemset, estimate) in counts.iter() {
+            let truth = db.support(itemset) as f64;
+            assert!(
+                (estimate.count - truth).abs() < 1e-9,
+                "{itemset:?}: estimate {} truth {}",
+                estimate.count,
+                truth
+            );
+        }
+        // Candidate set of {1,2,3} ∪ {4,5}: 7 + 3 = 10 non-empty subsets.
+        assert_eq!(counts.len(), 10);
+        assert!(!counts.is_empty());
+    }
+
+    #[test]
+    fn noiseless_topk_matches_exact_topk_within_candidates() {
+        let db = sample_db();
+        let basis = BasisSet::new(vec![set(&[1, 2, 3]), set(&[4, 5])]);
+        let mut rng = StdRng::seed_from_u64(2);
+        let top = basis_freq(&mut rng, &db, &basis, 3, Epsilon::Infinite);
+        assert_eq!(top.len(), 3);
+        assert_eq!(top[0].0, set(&[1]));
+        assert_eq!(top[0].1, 5.0);
+        assert_eq!(top[1].0, set(&[2]));
+        // Counts are non-increasing.
+        assert!(top[0].1 >= top[1].1 && top[1].1 >= top[2].1);
+    }
+
+    #[test]
+    fn overlapping_bases_combine_estimates() {
+        let db = sample_db();
+        let basis = BasisSet::new(vec![set(&[1, 2, 3]), set(&[2, 3, 4])]);
+        let mut rng = StdRng::seed_from_u64(3);
+        let counts = basis_freq_counts(&mut rng, &db, &basis, Epsilon::Infinite);
+        // {2,3} is covered by both bases; with no noise both estimates equal the truth and the
+        // combined variance halves.
+        let e = counts.get(&set(&[2, 3])).unwrap();
+        assert!((e.count - db.support(&set(&[2, 3])) as f64).abs() < 1e-9);
+        assert!((e.variance_units - 1.0).abs() < 1e-9); // 2 and 2 combine to 1
+        // {1} is covered once by a length-3 basis: 2^(3-1) = 4 units.
+        let e1 = counts.get(&set(&[1])).unwrap();
+        assert!((e1.variance_units - 4.0).abs() < 1e-9);
+        assert!(counts.get(&set(&[9])).is_none());
+    }
+
+    #[test]
+    fn noisy_counts_are_unbiased_over_repetitions() {
+        let db = sample_db();
+        let basis = BasisSet::new(vec![set(&[1, 2])]);
+        let target = set(&[1, 2]);
+        let truth = db.support(&target) as f64;
+        let reps = 3_000;
+        let mut total = 0.0;
+        for seed in 0..reps {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let counts = basis_freq_counts(&mut rng, &db, &basis, Epsilon::Finite(1.0));
+            total += counts.get(&target).unwrap().count;
+        }
+        let mean = total / reps as f64;
+        // Each estimate sums a single bin with Lap(1) noise (w = 1, |X| = |B|), so the standard
+        // error of the mean over 3000 repetitions is about 0.026; allow 5 sigma.
+        assert!((mean - truth).abs() < 0.15, "mean {mean}, truth {truth}");
+    }
+
+    #[test]
+    fn higher_epsilon_means_lower_error() {
+        let db = sample_db();
+        let basis = BasisSet::new(vec![set(&[1, 2, 3])]);
+        let target = set(&[1, 2, 3]);
+        let truth = db.support(&target) as f64;
+        let mse = |eps: f64, seed_base: u64| {
+            let mut total = 0.0;
+            for s in 0..200 {
+                let mut rng = StdRng::seed_from_u64(seed_base + s);
+                let c = basis_freq_counts(&mut rng, &db, &basis, Epsilon::Finite(eps))
+                    .get(&target)
+                    .unwrap()
+                    .count;
+                total += (c - truth) * (c - truth);
+            }
+            total / 200.0
+        };
+        assert!(mse(0.1, 1_000) > mse(2.0, 2_000));
+    }
+
+    #[test]
+    fn empty_basis_set_yields_no_candidates() {
+        let db = sample_db();
+        let mut rng = StdRng::seed_from_u64(5);
+        let counts = basis_freq_counts(&mut rng, &db, &BasisSet::new(vec![]), Epsilon::Finite(1.0));
+        assert!(counts.is_empty());
+        assert!(basis_freq(&mut rng, &db, &BasisSet::new(vec![]), 5, Epsilon::Finite(1.0)).is_empty());
+    }
+
+    #[test]
+    fn top_k_larger_than_candidates_returns_all() {
+        let db = sample_db();
+        let basis = BasisSet::new(vec![set(&[1, 2])]);
+        let mut rng = StdRng::seed_from_u64(6);
+        let top = basis_freq(&mut rng, &db, &basis, 100, Epsilon::Infinite);
+        assert_eq!(top.len(), 3); // {1}, {2}, {1,2}
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported maximum")]
+    fn rejects_overlong_basis() {
+        let db = sample_db();
+        let long: Vec<u32> = (0..25).collect();
+        let mut rng = StdRng::seed_from_u64(7);
+        let _ = basis_freq_counts(&mut rng, &db, &BasisSet::single(ItemSet::new(long)), Epsilon::Finite(1.0));
+    }
+}

@@ -1,0 +1,142 @@
+//! Property tests for the PrivBasis core: reconstruction correctness, basis-set coverage, and
+//! the degradation of the private algorithm to the exact one when ε = ∞.
+
+use pb_core::freq::{superset_sums, superset_sums_naive};
+use pb_core::{basis_freq_counts, construct_basis_set, BasisSet, PrivBasis};
+use pb_dp::Epsilon;
+use pb_fim::itemset::ItemSet;
+use pb_fim::topk::top_k_itemsets;
+use pb_fim::TransactionDb;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn arb_db() -> impl Strategy<Value = TransactionDb> {
+    // Transactions always contain at least one item: PrivBasis reports `EmptyDatabase` when no
+    // item is ever observed, which is covered by a dedicated unit test instead.
+    prop::collection::vec(prop::collection::vec(0u32..10, 1..6), 1..40)
+        .prop_map(TransactionDb::from_transactions)
+}
+
+fn arb_basis_set() -> impl Strategy<Value = BasisSet> {
+    prop::collection::vec(prop::collection::vec(0u32..10, 1..5), 1..4)
+        .prop_map(|bases| BasisSet::new(bases.into_iter().map(ItemSet::new).collect()))
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn zeta_transform_matches_naive(bins in prop::collection::vec(-100.0f64..100.0, 1usize..7)
+                                        .prop_map(|v| {
+                                            let n = 1usize << v.len().min(6);
+                                            (0..n).map(|i| v[i % v.len()] + i as f64).collect::<Vec<f64>>()
+                                        })) {
+        let a = superset_sums(&bins);
+        let b = superset_sums_naive(&bins);
+        for (x, y) in a.iter().zip(&b) {
+            prop_assert!((x - y).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn noiseless_basis_freq_equals_true_supports(db in arb_db(), basis in arb_basis_set()) {
+        let mut rng = StdRng::seed_from_u64(7);
+        let counts = basis_freq_counts(&mut rng, &db, &basis, Epsilon::Infinite);
+        for (itemset, est) in counts.iter() {
+            prop_assert!((est.count - db.support(itemset) as f64).abs() < 1e-9,
+                         "{:?}: {} vs {}", itemset, est.count, db.support(itemset));
+        }
+        // Every non-empty subset of every basis is a candidate.
+        for b in basis.bases() {
+            for s in b.subsets() {
+                if !s.is_empty() {
+                    prop_assert!(counts.get(&s).is_some());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn bin_noise_keeps_candidate_structure(db in arb_db(), basis in arb_basis_set(), seed in any::<u64>()) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let noiseless = basis_freq_counts(&mut StdRng::seed_from_u64(0), &db, &basis, Epsilon::Infinite);
+        let noisy = basis_freq_counts(&mut rng, &db, &basis, Epsilon::Finite(1.0));
+        prop_assert_eq!(noisy.len(), noiseless.len());
+        for (itemset, est) in noisy.iter() {
+            prop_assert!(est.count.is_finite());
+            prop_assert!(est.variance_units > 0.0);
+            prop_assert!(noiseless.get(itemset).is_some());
+        }
+    }
+
+    #[test]
+    fn constructed_basis_covers_items_and_pairs(
+        items in prop::collection::btree_set(0u32..30, 1..15),
+        pair_bits in prop::collection::vec(any::<bool>(), 0..100),
+    ) {
+        let f: ItemSet = items.iter().copied().collect();
+        let v: Vec<u32> = f.items().to_vec();
+        let mut pairs = Vec::new();
+        let mut idx = 0;
+        for i in 0..v.len() {
+            for j in (i + 1)..v.len() {
+                if idx < pair_bits.len() && pair_bits[idx] {
+                    pairs.push((v[i], v[j]));
+                }
+                idx += 1;
+            }
+        }
+        let basis = construct_basis_set(&f, &pairs, 12);
+        for &item in &v {
+            prop_assert!(basis.covers(&ItemSet::singleton(item)), "item {} uncovered", item);
+        }
+        for &(a, b) in &pairs {
+            prop_assert!(basis.covers(&ItemSet::pair(a, b)), "pair ({},{}) uncovered", a, b);
+        }
+        prop_assert!(basis.length() <= 12);
+    }
+
+    #[test]
+    fn privbasis_runs_and_returns_at_most_k(db in arb_db(), k in 1usize..15, seed in any::<u64>()) {
+        let pb = PrivBasis::with_defaults();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = pb.run(&mut rng, &db, k, Epsilon::Finite(1.0)).unwrap();
+        prop_assert!(out.itemsets.len() <= k);
+        // Distinct itemsets, all covered by the basis set.
+        let mut seen = std::collections::HashSet::new();
+        for (s, c) in &out.itemsets {
+            prop_assert!(c.is_finite());
+            prop_assert!(out.basis_set.covers(s));
+            prop_assert!(seen.insert(s.clone()));
+        }
+    }
+
+    #[test]
+    fn noiseless_privbasis_counts_are_exact(db in arb_db(), k in 1usize..10, seed in any::<u64>()) {
+        let pb = PrivBasis::with_defaults();
+        let mut rng = StdRng::seed_from_u64(seed);
+        let out = pb.run(&mut rng, &db, k, Epsilon::Infinite).unwrap();
+        for (s, c) in &out.itemsets {
+            prop_assert!((c - db.support(s) as f64).abs() < 1e-9);
+        }
+    }
+}
+
+/// Non-proptest statistical check: with ε = ∞ PrivBasis equals the exact top-k on a database
+/// with a clean frequency ladder.
+#[test]
+fn noiseless_end_to_end_exactness() {
+    let mut transactions = Vec::new();
+    for i in 0..2_000usize {
+        let row: Vec<u32> = (0..8u32).filter(|&j| (i % 16) < 16 - 2 * j as usize).collect();
+        transactions.push(row);
+    }
+    let db = TransactionDb::from_transactions(transactions);
+    let pb = PrivBasis::with_defaults();
+    let mut rng = StdRng::seed_from_u64(3);
+    let out = pb.run(&mut rng, &db, 7, Epsilon::Infinite).unwrap();
+    let truth: Vec<ItemSet> = top_k_itemsets(&db, 7, None).into_iter().map(|f| f.items).collect();
+    let published: std::collections::HashSet<&ItemSet> = out.itemsets.iter().map(|(s, _)| s).collect();
+    assert!(truth.iter().all(|t| published.contains(t)));
+}

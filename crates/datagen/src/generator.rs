@@ -1,0 +1,292 @@
+//! The correlated-core generator.
+//!
+//! A transaction is produced in three steps:
+//!
+//! 1. **Groups.** A configured set of [`ItemGroup`]s (small correlated item sets, standing in
+//!    for real-world co-purchase patterns) is scanned; each group is included with its own
+//!    probability, and when included each of its items survives independently with the group's
+//!    `keep_prob` (corruption, as in the IBM Quest model).
+//! 2. **Core singletons.** Each of the `num_core_items` hot items is additionally included
+//!    independently with a probability that decays geometrically with its rank. This controls
+//!    how many strong singletons exist and therefore λ for a given `k`.
+//! 3. **Tail.** The transaction is padded with items drawn from a Zipf distribution over the
+//!    remaining (cold) item universe until the expected length reaches `avg_transaction_len`.
+//!
+//! Different parameterisations of this one generator reproduce the qualitative regimes of all
+//! five paper datasets (see [`crate::profiles`]).
+
+use crate::zipf::Zipf;
+use pb_fim::{ItemSet, TransactionDb};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// A correlated group of core items.
+#[derive(Debug, Clone)]
+pub struct ItemGroup {
+    /// The items in the group (indices into the core-item range `0..num_core_items`).
+    pub items: Vec<u32>,
+    /// Probability that a transaction includes this group at all.
+    pub inclusion_prob: f64,
+    /// Probability that each item of an included group actually appears (corruption model).
+    pub keep_prob: f64,
+}
+
+/// Configuration for [`CorrelatedGenerator`].
+#[derive(Debug, Clone)]
+pub struct GeneratorConfig {
+    /// Number of transactions to generate.
+    pub num_transactions: usize,
+    /// Total item universe size `|I|` (core + tail items).
+    pub num_items: usize,
+    /// Number of hot "core" items (ids `0..num_core_items`).
+    pub num_core_items: usize,
+    /// Base inclusion probability of the hottest core item.
+    pub core_base_prob: f64,
+    /// Geometric decay of core item inclusion probability with rank.
+    pub core_decay: f64,
+    /// Correlated groups over core items.
+    pub groups: Vec<ItemGroup>,
+    /// Target average transaction length (tail items pad up to this).
+    pub avg_transaction_len: f64,
+    /// Zipf exponent of the tail item distribution.
+    pub tail_zipf_exponent: f64,
+}
+
+impl GeneratorConfig {
+    /// Basic validation; panics with a clear message on nonsensical configurations.
+    fn validate(&self) {
+        assert!(self.num_transactions > 0, "num_transactions must be > 0");
+        assert!(self.num_items > 0, "num_items must be > 0");
+        assert!(
+            self.num_core_items <= self.num_items,
+            "num_core_items ({}) cannot exceed num_items ({})",
+            self.num_core_items,
+            self.num_items
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.core_base_prob),
+            "core_base_prob must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&self.core_decay),
+            "core_decay must be in [0,1]"
+        );
+        for g in &self.groups {
+            assert!((0.0..=1.0).contains(&g.inclusion_prob), "group inclusion_prob must be a probability");
+            assert!((0.0..=1.0).contains(&g.keep_prob), "group keep_prob must be a probability");
+            assert!(
+                g.items.iter().all(|&i| (i as usize) < self.num_core_items),
+                "group items must be core items"
+            );
+        }
+        assert!(self.avg_transaction_len >= 0.0, "avg_transaction_len must be >= 0");
+        assert!(self.tail_zipf_exponent >= 0.0, "tail_zipf_exponent must be >= 0");
+    }
+}
+
+/// Generator producing a [`TransactionDb`] from a [`GeneratorConfig`].
+#[derive(Debug, Clone)]
+pub struct CorrelatedGenerator {
+    config: GeneratorConfig,
+}
+
+impl CorrelatedGenerator {
+    /// Creates a generator, validating the configuration.
+    pub fn new(config: GeneratorConfig) -> Self {
+        config.validate();
+        CorrelatedGenerator { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &GeneratorConfig {
+        &self.config
+    }
+
+    /// Generates the dataset with a fixed seed (fully deterministic).
+    pub fn generate(&self, seed: u64) -> TransactionDb {
+        let cfg = &self.config;
+        let mut rng = StdRng::seed_from_u64(seed);
+
+        // Expected length contributed by groups and core singletons, used to size the tail.
+        let expected_group_len: f64 = cfg
+            .groups
+            .iter()
+            .map(|g| g.inclusion_prob * g.keep_prob * g.items.len() as f64)
+            .sum();
+        let expected_core_len: f64 = (0..cfg.num_core_items)
+            .map(|r| cfg.core_base_prob * cfg.core_decay.powi(r as i32))
+            .sum();
+        let expected_tail_len =
+            (cfg.avg_transaction_len - expected_group_len - expected_core_len).max(0.0);
+
+        let num_tail_items = cfg.num_items - cfg.num_core_items;
+        let tail = if num_tail_items > 0 {
+            Some(Zipf::new(num_tail_items, cfg.tail_zipf_exponent))
+        } else {
+            None
+        };
+
+        let mut transactions = Vec::with_capacity(cfg.num_transactions);
+        for _ in 0..cfg.num_transactions {
+            let mut items: Vec<u32> = Vec::new();
+
+            for g in &cfg.groups {
+                if rng.gen::<f64>() < g.inclusion_prob {
+                    for &item in &g.items {
+                        if rng.gen::<f64>() < g.keep_prob {
+                            items.push(item);
+                        }
+                    }
+                }
+            }
+
+            let mut p = cfg.core_base_prob;
+            for r in 0..cfg.num_core_items as u32 {
+                if rng.gen::<f64>() < p {
+                    items.push(r);
+                }
+                p *= cfg.core_decay;
+            }
+
+            if let Some(tail) = &tail {
+                // Number of tail items per transaction: Poisson-like via repeated Bernoulli on
+                // a geometric envelope; a simple rounded-expectation + jitter keeps it cheap.
+                let tail_len = sample_length(&mut rng, expected_tail_len);
+                for _ in 0..tail_len {
+                    let rank = tail.sample(&mut rng) as u32;
+                    items.push(cfg.num_core_items as u32 + rank);
+                }
+            }
+
+            transactions.push(ItemSet::new(items));
+        }
+        TransactionDb::from_itemsets(transactions)
+    }
+}
+
+/// Samples a non-negative transaction-length contribution with the given mean, using a
+/// geometric distribution (memoryless lengths are a reasonable fit for basket sizes).
+fn sample_length<R: Rng + ?Sized>(rng: &mut R, mean: f64) -> usize {
+    if mean <= 0.0 {
+        return 0;
+    }
+    // Geometric on {0,1,2,…} with success probability p has mean (1-p)/p = mean ⇒ p = 1/(1+mean).
+    let p = 1.0 / (1.0 + mean);
+    let mut count = 0usize;
+    while rng.gen::<f64>() > p {
+        count += 1;
+        if count > 10_000 {
+            break;
+        }
+    }
+    count
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn small_config() -> GeneratorConfig {
+        GeneratorConfig {
+            num_transactions: 2_000,
+            num_items: 100,
+            num_core_items: 10,
+            core_base_prob: 0.6,
+            core_decay: 0.9,
+            groups: vec![ItemGroup {
+                items: vec![0, 1, 2],
+                inclusion_prob: 0.5,
+                keep_prob: 0.9,
+            }],
+            avg_transaction_len: 8.0,
+            tail_zipf_exponent: 1.0,
+        }
+    }
+
+    #[test]
+    fn deterministic_for_fixed_seed() {
+        let g = CorrelatedGenerator::new(small_config());
+        let a = g.generate(7);
+        let b = g.generate(7);
+        assert_eq!(a.transactions(), b.transactions());
+        let c = g.generate(8);
+        assert_ne!(a.transactions(), c.transactions());
+    }
+
+    #[test]
+    fn produces_requested_number_of_transactions() {
+        let g = CorrelatedGenerator::new(small_config());
+        let db = g.generate(1);
+        assert_eq!(db.len(), 2_000);
+        assert!(db.num_distinct_items() <= 100);
+    }
+
+    #[test]
+    fn average_length_is_near_target() {
+        let g = CorrelatedGenerator::new(small_config());
+        let db = g.generate(2);
+        let avg = db.avg_transaction_len();
+        // The generator targets 8.0 before deduplication inside a transaction; allow slack.
+        assert!(avg > 5.0 && avg < 11.0, "avg len {avg}");
+    }
+
+    #[test]
+    fn grouped_items_cooccur_more_than_independent_ones() {
+        let g = CorrelatedGenerator::new(small_config());
+        let db = g.generate(3);
+        let pair_in_group = db.support(&ItemSet::new(vec![0, 1]));
+        let pair_across = db.support(&ItemSet::new(vec![7, 8]));
+        assert!(
+            pair_in_group > pair_across,
+            "grouped pair {pair_in_group} should exceed independent pair {pair_across}"
+        );
+    }
+
+    #[test]
+    fn core_items_are_hotter_than_tail_items() {
+        let g = CorrelatedGenerator::new(small_config());
+        let db = g.generate(4);
+        let counts = db.item_counts();
+        let core_hot = counts.get(&0).copied().unwrap_or(0);
+        // A mid-tail item (rank ~40 of the Zipf over 90 tail items).
+        let tail_mid = counts.get(&50).copied().unwrap_or(0);
+        assert!(core_hot > tail_mid);
+    }
+
+    #[test]
+    fn zero_tail_universe_is_allowed() {
+        let mut cfg = small_config();
+        cfg.num_items = 10;
+        cfg.num_core_items = 10;
+        cfg.avg_transaction_len = 3.0;
+        let db = CorrelatedGenerator::new(cfg).generate(5);
+        assert_eq!(db.len(), 2_000);
+        assert!(db.num_distinct_items() <= 10);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot exceed")]
+    fn rejects_more_core_than_items() {
+        let mut cfg = small_config();
+        cfg.num_core_items = 200;
+        let _ = CorrelatedGenerator::new(cfg);
+    }
+
+    #[test]
+    #[should_panic(expected = "core items")]
+    fn rejects_group_items_outside_core() {
+        let mut cfg = small_config();
+        cfg.groups[0].items = vec![50];
+        let _ = CorrelatedGenerator::new(cfg);
+    }
+
+    #[test]
+    fn sample_length_mean_is_close() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 50_000;
+        let total: usize = (0..n).map(|_| sample_length(&mut rng, 4.0)).sum();
+        let mean = total as f64 / n as f64;
+        assert!((mean - 4.0).abs() < 0.2, "mean {mean}");
+        assert_eq!(sample_length(&mut rng, 0.0), 0);
+    }
+}

@@ -1,0 +1,30 @@
+//! # pb-datagen — synthetic transaction datasets
+//!
+//! The paper evaluates on five public datasets (retail, mushroom, pumsb-star, kosarak, AOL).
+//! Those files are not redistributable inside this environment, so this crate generates
+//! synthetic datasets whose *mining-relevant* characteristics match Table 2(a) of the paper:
+//! number of transactions `N`, item-universe size `|I|`, average transaction length, and —
+//! most importantly — the structure of the top-`k` itemsets (how many distinct items λ, pairs
+//! λ₂, and triples λ₃ they involve), because those quantities are what drive the accuracy of
+//! both PrivBasis and the TF baseline. See DESIGN.md §4 for the substitution rationale.
+//!
+//! Three generator families are provided:
+//!
+//! * [`generator::CorrelatedGenerator`] — hot "core" items arranged in correlated groups plus
+//!   a Zipf-distributed tail; used for all five [`profiles`],
+//! * [`quest::QuestGenerator`] — an IBM-Quest-style pattern-pool generator used by benches and
+//!   ablations,
+//! * [`zipf::Zipf`] — the underlying truncated Zipf sampler.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod generator;
+pub mod profiles;
+pub mod quest;
+pub mod zipf;
+
+pub use generator::{CorrelatedGenerator, GeneratorConfig, ItemGroup};
+pub use profiles::DatasetProfile;
+pub use quest::{QuestConfig, QuestGenerator};
+pub use zipf::Zipf;

@@ -1,0 +1,285 @@
+//! Synthetic stand-ins for the five datasets of the paper's evaluation (§5).
+//!
+//! Each profile targets the characteristics of Table 2(a) that actually drive the accuracy of
+//! PrivBasis and the TF baseline:
+//!
+//! | profile     | paper N  | paper \|I\| | avg \|t\| | regime (λ for the paper's k)             |
+//! |-------------|----------|-------------|-----------|------------------------------------------|
+//! | mushroom    | 8,124    | 119         | 24        | small λ (≈11 at k=100): single basis     |
+//! | pumsb-star  | 49,046   | 2,088       | 50        | small λ (≈17 at k=200): single basis     |
+//! | retail      | 88,162   | 16,470      | 11.3      | moderate λ (≈38 at k=100): several bases |
+//! | kosarak     | 990,002  | 41,270      | 8.1       | moderate λ (≈39–84): several bases       |
+//! | aol         | 647,377  | 2,290,685   | 34        | λ ≈ k: top-k dominated by singletons     |
+//!
+//! The default `scale = 1.0` generates the paper-sized `N`; the experiment harness typically
+//! runs with a smaller scale so a full figure sweep finishes in minutes. The AOL item universe
+//! is capped at 200,000 synthetic items: beyond the first few hundred items the universe only
+//! influences TF's `|U|` term, which the harness computes from the paper's true `|I|` anyway.
+
+use crate::generator::{CorrelatedGenerator, GeneratorConfig, ItemGroup};
+use pb_fim::TransactionDb;
+
+/// The five dataset profiles used in the paper's experiments.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum DatasetProfile {
+    /// Belgian retail market-basket data.
+    Retail,
+    /// UCI mushroom attribute data (dense, small item universe).
+    Mushroom,
+    /// PUMS census sample (dense, long transactions).
+    PumsbStar,
+    /// Hungarian news-portal clickstream.
+    Kosarak,
+    /// AOL search-log keywords (very sparse, huge item universe).
+    Aol,
+}
+
+impl DatasetProfile {
+    /// All five profiles, in the order used by the paper's tables.
+    pub fn all() -> [DatasetProfile; 5] {
+        [
+            DatasetProfile::Retail,
+            DatasetProfile::Mushroom,
+            DatasetProfile::PumsbStar,
+            DatasetProfile::Kosarak,
+            DatasetProfile::Aol,
+        ]
+    }
+
+    /// The lowercase name used in tables and output files.
+    pub fn name(&self) -> &'static str {
+        match self {
+            DatasetProfile::Retail => "retail",
+            DatasetProfile::Mushroom => "mushroom",
+            DatasetProfile::PumsbStar => "pumsb-star",
+            DatasetProfile::Kosarak => "kosarak",
+            DatasetProfile::Aol => "aol",
+        }
+    }
+
+    /// Number of transactions in the real dataset (Table 2(a)).
+    pub fn paper_num_transactions(&self) -> usize {
+        match self {
+            DatasetProfile::Retail => 88_162,
+            DatasetProfile::Mushroom => 8_124,
+            DatasetProfile::PumsbStar => 49_046,
+            DatasetProfile::Kosarak => 990_002,
+            DatasetProfile::Aol => 647_377,
+        }
+    }
+
+    /// Item universe size of the real dataset (Table 2(a)).
+    pub fn paper_num_items(&self) -> usize {
+        match self {
+            DatasetProfile::Retail => 16_470,
+            DatasetProfile::Mushroom => 119,
+            DatasetProfile::PumsbStar => 2_088,
+            DatasetProfile::Kosarak => 41_270,
+            DatasetProfile::Aol => 2_290_685,
+        }
+    }
+
+    /// Average transaction length of the real dataset (Table 2(a)).
+    pub fn paper_avg_transaction_len(&self) -> f64 {
+        match self {
+            DatasetProfile::Retail => 11.3,
+            DatasetProfile::Mushroom => 24.0,
+            DatasetProfile::PumsbStar => 50.0,
+            DatasetProfile::Kosarak => 8.1,
+            DatasetProfile::Aol => 34.0,
+        }
+    }
+
+    /// The values of `k` the paper uses for this dataset in Figures 1–5.
+    pub fn paper_k_values(&self) -> &'static [usize] {
+        match self {
+            DatasetProfile::Retail => &[50, 100],
+            DatasetProfile::Mushroom => &[50, 100],
+            DatasetProfile::PumsbStar => &[50, 150],
+            DatasetProfile::Kosarak => &[100, 200, 300, 400],
+            DatasetProfile::Aol => &[100, 200],
+        }
+    }
+
+    /// The generator configuration at the given scale factor (`scale` multiplies `N`).
+    ///
+    /// # Panics
+    /// Panics if `scale` is not in `(0, 10]`.
+    pub fn config(&self, scale: f64) -> GeneratorConfig {
+        assert!(scale > 0.0 && scale <= 10.0, "scale must be in (0, 10], got {scale}");
+        let n = ((self.paper_num_transactions() as f64 * scale).round() as usize).max(100);
+        match self {
+            DatasetProfile::Mushroom => GeneratorConfig {
+                num_transactions: n,
+                num_items: 119,
+                num_core_items: 14,
+                core_base_prob: 0.92,
+                core_decay: 0.82,
+                groups: vec![
+                    ItemGroup { items: vec![0, 1, 2, 3], inclusion_prob: 0.75, keep_prob: 0.95 },
+                    ItemGroup { items: vec![2, 3, 4, 5], inclusion_prob: 0.55, keep_prob: 0.9 },
+                    ItemGroup { items: vec![0, 4, 6], inclusion_prob: 0.45, keep_prob: 0.9 },
+                ],
+                avg_transaction_len: 24.0,
+                tail_zipf_exponent: 0.6,
+            },
+            DatasetProfile::PumsbStar => GeneratorConfig {
+                num_transactions: n,
+                num_items: 2_088,
+                num_core_items: 18,
+                core_base_prob: 0.9,
+                core_decay: 0.85,
+                groups: vec![
+                    ItemGroup { items: vec![0, 1, 2, 3, 4], inclusion_prob: 0.7, keep_prob: 0.95 },
+                    ItemGroup { items: vec![3, 4, 5, 6], inclusion_prob: 0.5, keep_prob: 0.9 },
+                    ItemGroup { items: vec![7, 8, 9], inclusion_prob: 0.45, keep_prob: 0.9 },
+                ],
+                avg_transaction_len: 50.0,
+                tail_zipf_exponent: 0.4,
+            },
+            DatasetProfile::Retail => GeneratorConfig {
+                num_transactions: n,
+                num_items: 16_470,
+                num_core_items: 45,
+                core_base_prob: 0.35,
+                core_decay: 0.97,
+                groups: vec![
+                    ItemGroup { items: vec![0, 1], inclusion_prob: 0.35, keep_prob: 0.95 },
+                    ItemGroup { items: vec![2, 3], inclusion_prob: 0.25, keep_prob: 0.95 },
+                    ItemGroup { items: vec![0, 4, 5], inclusion_prob: 0.2, keep_prob: 0.9 },
+                    ItemGroup { items: vec![6, 7, 8], inclusion_prob: 0.15, keep_prob: 0.9 },
+                ],
+                avg_transaction_len: 11.3,
+                tail_zipf_exponent: 1.05,
+            },
+            DatasetProfile::Kosarak => GeneratorConfig {
+                num_transactions: n,
+                num_items: 41_270,
+                num_core_items: 60,
+                core_base_prob: 0.35,
+                core_decay: 0.955,
+                groups: vec![
+                    ItemGroup { items: vec![0, 1, 2], inclusion_prob: 0.45, keep_prob: 0.95 },
+                    ItemGroup { items: vec![1, 3], inclusion_prob: 0.35, keep_prob: 0.95 },
+                    ItemGroup { items: vec![4, 5, 6], inclusion_prob: 0.3, keep_prob: 0.9 },
+                    ItemGroup { items: vec![0, 7, 8], inclusion_prob: 0.25, keep_prob: 0.9 },
+                    ItemGroup { items: vec![9, 10], inclusion_prob: 0.2, keep_prob: 0.95 },
+                ],
+                avg_transaction_len: 8.1,
+                tail_zipf_exponent: 1.1,
+            },
+            DatasetProfile::Aol => GeneratorConfig {
+                num_transactions: n,
+                // The paper's 2.29M keyword universe is capped: items beyond the hot head only
+                // matter through TF's |U| term, which experiments compute from the paper's |I|.
+                num_items: 200_000,
+                num_core_items: 260,
+                core_base_prob: 0.32,
+                core_decay: 0.994,
+                groups: vec![
+                    ItemGroup { items: vec![0, 1], inclusion_prob: 0.12, keep_prob: 0.9 },
+                    ItemGroup { items: vec![2, 3], inclusion_prob: 0.1, keep_prob: 0.9 },
+                    ItemGroup { items: vec![4, 5, 6], inclusion_prob: 0.07, keep_prob: 0.85 },
+                ],
+                avg_transaction_len: 34.0,
+                tail_zipf_exponent: 1.0,
+            },
+        }
+    }
+
+    /// Generates the synthetic dataset at the given scale with a fixed seed.
+    pub fn generate(&self, scale: f64, seed: u64) -> TransactionDb {
+        CorrelatedGenerator::new(self.config(scale)).generate(seed)
+    }
+}
+
+impl std::fmt::Display for DatasetProfile {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+impl std::str::FromStr for DatasetProfile {
+    type Err = String;
+
+    fn from_str(s: &str) -> Result<Self, Self::Err> {
+        match s.to_ascii_lowercase().as_str() {
+            "retail" => Ok(DatasetProfile::Retail),
+            "mushroom" => Ok(DatasetProfile::Mushroom),
+            "pumsb-star" | "pumsb_star" | "pumsbstar" => Ok(DatasetProfile::PumsbStar),
+            "kosarak" => Ok(DatasetProfile::Kosarak),
+            "aol" => Ok(DatasetProfile::Aol),
+            other => Err(format!("unknown dataset profile: {other}")),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pb_fim::stats::top_k_stats;
+
+    #[test]
+    fn names_round_trip() {
+        for p in DatasetProfile::all() {
+            let parsed: DatasetProfile = p.name().parse().unwrap();
+            assert_eq!(parsed, p);
+            assert_eq!(format!("{p}"), p.name());
+        }
+        assert!("nonsense".parse::<DatasetProfile>().is_err());
+    }
+
+    #[test]
+    fn scale_controls_transaction_count() {
+        let db = DatasetProfile::Mushroom.generate(0.1, 1);
+        assert_eq!(db.len(), 812);
+        let db = DatasetProfile::Mushroom.generate(1.0, 1);
+        assert_eq!(db.len(), 8_124);
+    }
+
+    #[test]
+    #[should_panic(expected = "scale")]
+    fn rejects_zero_scale() {
+        let _ = DatasetProfile::Retail.config(0.0);
+    }
+
+    #[test]
+    fn mushroom_profile_is_dense_with_small_lambda() {
+        let db = DatasetProfile::Mushroom.generate(0.25, 7);
+        let stats = top_k_stats(&db, 100);
+        assert!(stats.lambda <= 20, "mushroom λ should be small, got {}", stats.lambda);
+        assert!(stats.lambda2 >= 10, "mushroom top-100 should contain many pairs, got {}", stats.lambda2);
+        assert!(stats.lambda3 >= 5, "mushroom top-100 should contain triples, got {}", stats.lambda3);
+        assert!(stats.avg_transaction_len > 15.0);
+    }
+
+    #[test]
+    fn aol_profile_is_singleton_dominated() {
+        let db = DatasetProfile::Aol.generate(0.01, 7);
+        let stats = top_k_stats(&db, 100);
+        assert!(
+            stats.lambda >= 80,
+            "AOL top-100 should be mostly singletons, λ = {}",
+            stats.lambda
+        );
+        assert!(stats.lambda3 <= 5, "AOL should have almost no frequent triples");
+    }
+
+    #[test]
+    fn retail_profile_moderate_lambda() {
+        let db = DatasetProfile::Retail.generate(0.05, 7);
+        let stats = top_k_stats(&db, 100);
+        assert!(
+            stats.lambda > 20 && stats.lambda < 90,
+            "retail λ should be moderate, got {}",
+            stats.lambda
+        );
+    }
+
+    #[test]
+    fn kosarak_profile_has_frequent_pairs() {
+        let db = DatasetProfile::Kosarak.generate(0.01, 7);
+        let stats = top_k_stats(&db, 200);
+        assert!(stats.lambda2 >= 20, "kosarak top-200 should contain many pairs, got {}", stats.lambda2);
+    }
+}

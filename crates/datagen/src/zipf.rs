@@ -1,0 +1,143 @@
+//! Truncated Zipf sampling.
+//!
+//! Real market-basket and clickstream data have heavily skewed item popularity; a truncated
+//! Zipf law (`P[rank r] ∝ 1/r^s`) is the standard model. The sampler precomputes the
+//! cumulative distribution and draws by binary search, so sampling is `O(log n)`.
+
+use rand::Rng;
+
+/// A truncated Zipf distribution over ranks `0..n`.
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cumulative: Vec<f64>,
+}
+
+impl Zipf {
+    /// Creates a Zipf distribution over `n` ranks with exponent `s >= 0`.
+    ///
+    /// `s == 0` degenerates to the uniform distribution.
+    ///
+    /// # Panics
+    /// Panics if `n == 0` or `s` is negative or non-finite.
+    pub fn new(n: usize, s: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one rank");
+        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0, got {s}");
+        let mut cumulative = Vec::with_capacity(n);
+        let mut total = 0.0;
+        for r in 0..n {
+            total += 1.0 / ((r + 1) as f64).powf(s);
+            cumulative.push(total);
+        }
+        // Normalise.
+        for c in &mut cumulative {
+            *c /= total;
+        }
+        // Guard against floating-point undershoot at the end.
+        if let Some(last) = cumulative.last_mut() {
+            *last = 1.0;
+        }
+        Zipf { cumulative }
+    }
+
+    /// Number of ranks.
+    pub fn len(&self) -> usize {
+        self.cumulative.len()
+    }
+
+    /// Always false (the constructor requires `n > 0`); provided for API completeness.
+    pub fn is_empty(&self) -> bool {
+        false
+    }
+
+    /// Probability mass of rank `r`.
+    pub fn pmf(&self, r: usize) -> f64 {
+        if r >= self.cumulative.len() {
+            return 0.0;
+        }
+        if r == 0 {
+            self.cumulative[0]
+        } else {
+            self.cumulative[r] - self.cumulative[r - 1]
+        }
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn pmf_sums_to_one() {
+        let z = Zipf::new(100, 1.1);
+        let total: f64 = (0..100).map(|r| z.pmf(r)).sum();
+        assert!((total - 1.0).abs() < 1e-9);
+        assert_eq!(z.pmf(100), 0.0);
+        assert_eq!(z.len(), 100);
+        assert!(!z.is_empty());
+    }
+
+    #[test]
+    fn uniform_when_exponent_zero() {
+        let z = Zipf::new(10, 0.0);
+        for r in 0..10 {
+            assert!((z.pmf(r) - 0.1).abs() < 1e-9);
+        }
+    }
+
+    #[test]
+    fn lower_ranks_are_more_likely() {
+        let z = Zipf::new(50, 1.0);
+        for r in 1..50 {
+            assert!(z.pmf(r - 1) > z.pmf(r));
+        }
+    }
+
+    #[test]
+    fn samples_follow_pmf_roughly() {
+        let z = Zipf::new(5, 1.0);
+        let mut rng = StdRng::seed_from_u64(11);
+        let mut counts = [0usize; 5];
+        let n = 100_000;
+        for _ in 0..n {
+            counts[z.sample(&mut rng)] += 1;
+        }
+        #[allow(clippy::needless_range_loop)]
+        for r in 0..5 {
+            let observed = counts[r] as f64 / n as f64;
+            assert!(
+                (observed - z.pmf(r)).abs() < 0.01,
+                "rank {r}: observed {observed}, expected {}",
+                z.pmf(r)
+            );
+        }
+    }
+
+    #[test]
+    fn single_rank_always_samples_zero() {
+        let z = Zipf::new(1, 2.0);
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..10 {
+            assert_eq!(z.sample(&mut rng), 0);
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one rank")]
+    fn rejects_zero_ranks() {
+        let _ = Zipf::new(0, 1.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "exponent")]
+    fn rejects_negative_exponent() {
+        let _ = Zipf::new(5, -1.0);
+    }
+}

@@ -1,0 +1,159 @@
+//! Sequential-composition budget accounting.
+//!
+//! Differential privacy composes additively: running mechanisms with budgets ε₁,…,ε_m on the
+//! same data satisfies (Σεᵢ)-DP. [`PrivacyBudget`] tracks the total ε granted for a task and
+//! hands out portions, refusing requests that would exceed the total. PrivBasis uses this to
+//! split ε into the α₁/α₂/α₃ portions of Algorithm 3.
+
+use crate::epsilon::Epsilon;
+use crate::DpError;
+
+/// Tracks how much of a total privacy budget has been consumed.
+#[derive(Debug, Clone)]
+pub struct PrivacyBudget {
+    total: Epsilon,
+    spent: f64,
+}
+
+impl PrivacyBudget {
+    /// Creates an accountant for the given total budget.
+    pub fn new(total: Epsilon) -> Self {
+        PrivacyBudget { total, spent: 0.0 }
+    }
+
+    /// The total budget.
+    pub fn total(&self) -> Epsilon {
+        self.total
+    }
+
+    /// ε consumed so far.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Remaining ε (infinite for an infinite budget).
+    pub fn remaining(&self) -> f64 {
+        match self.total {
+            Epsilon::Infinite => f64::INFINITY,
+            Epsilon::Finite(t) => (t - self.spent).max(0.0),
+        }
+    }
+
+    /// Consumes an absolute amount of ε and returns it as an [`Epsilon`] usable by a mechanism.
+    ///
+    /// A small relative tolerance absorbs floating-point error when fractions such as
+    /// 0.1+0.4+0.5 are spent one after another.
+    pub fn spend(&mut self, amount: f64) -> Result<Epsilon, DpError> {
+        if !(amount.is_finite() && amount > 0.0) {
+            return Err(DpError::InvalidParameter(format!(
+                "spend amount must be finite and positive, got {amount}"
+            )));
+        }
+        match self.total {
+            Epsilon::Infinite => Ok(Epsilon::Infinite),
+            Epsilon::Finite(t) => {
+                let tolerance = t * 1e-9;
+                if self.spent + amount > t + tolerance {
+                    return Err(DpError::BudgetExceeded {
+                        requested: amount,
+                        remaining: self.remaining(),
+                    });
+                }
+                self.spent += amount;
+                Ok(Epsilon::Finite(amount))
+            }
+        }
+    }
+
+    /// Consumes a fraction of the *total* budget (e.g. `spend_fraction(0.4)` for α₂ = 0.4).
+    pub fn spend_fraction(&mut self, fraction: f64) -> Result<Epsilon, DpError> {
+        if !(fraction.is_finite() && fraction > 0.0 && fraction <= 1.0) {
+            return Err(DpError::InvalidParameter(format!(
+                "fraction must be in (0,1], got {fraction}"
+            )));
+        }
+        match self.total {
+            Epsilon::Infinite => Ok(Epsilon::Infinite),
+            Epsilon::Finite(t) => self.spend(t * fraction),
+        }
+    }
+
+    /// Consumes everything that remains.
+    pub fn spend_remaining(&mut self) -> Result<Epsilon, DpError> {
+        match self.total {
+            Epsilon::Infinite => Ok(Epsilon::Infinite),
+            Epsilon::Finite(_) => {
+                let rest = self.remaining();
+                if rest <= 0.0 {
+                    return Err(DpError::BudgetExceeded { requested: 0.0, remaining: 0.0 });
+                }
+                self.spend(rest)
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tracks_spending() {
+        let mut b = PrivacyBudget::new(Epsilon::Finite(1.0));
+        assert_eq!(b.remaining(), 1.0);
+        let e1 = b.spend(0.3).unwrap();
+        assert_eq!(e1, Epsilon::Finite(0.3));
+        assert!((b.remaining() - 0.7).abs() < 1e-12);
+        assert!((b.spent() - 0.3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_overspending() {
+        let mut b = PrivacyBudget::new(Epsilon::Finite(1.0));
+        b.spend(0.8).unwrap();
+        let err = b.spend(0.5).unwrap_err();
+        assert!(matches!(err, DpError::BudgetExceeded { .. }));
+        // The failed request must not consume budget.
+        assert!((b.remaining() - 0.2).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fractions_compose_to_exactly_one() {
+        let mut b = PrivacyBudget::new(Epsilon::Finite(0.7));
+        let a1 = b.spend_fraction(0.1).unwrap();
+        let a2 = b.spend_fraction(0.4).unwrap();
+        let a3 = b.spend_fraction(0.5).unwrap();
+        assert!((a1.value() + a2.value() + a3.value() - 0.7).abs() < 1e-9);
+        assert!(b.remaining() < 1e-9);
+    }
+
+    #[test]
+    fn spend_remaining_consumes_all() {
+        let mut b = PrivacyBudget::new(Epsilon::Finite(2.0));
+        b.spend(0.5).unwrap();
+        let rest = b.spend_remaining().unwrap();
+        assert!((rest.value() - 1.5).abs() < 1e-12);
+        assert!(b.spend_remaining().is_err());
+    }
+
+    #[test]
+    fn infinite_budget_never_exhausts() {
+        let mut b = PrivacyBudget::new(Epsilon::Infinite);
+        for _ in 0..100 {
+            assert_eq!(b.spend(10.0).unwrap(), Epsilon::Infinite);
+        }
+        assert_eq!(b.remaining(), f64::INFINITY);
+        assert_eq!(b.spend_fraction(0.5).unwrap(), Epsilon::Infinite);
+        assert_eq!(b.spend_remaining().unwrap(), Epsilon::Infinite);
+    }
+
+    #[test]
+    fn rejects_invalid_amounts() {
+        let mut b = PrivacyBudget::new(Epsilon::Finite(1.0));
+        assert!(b.spend(0.0).is_err());
+        assert!(b.spend(-0.1).is_err());
+        assert!(b.spend(f64::NAN).is_err());
+        assert!(b.spend_fraction(0.0).is_err());
+        assert!(b.spend_fraction(1.5).is_err());
+    }
+}

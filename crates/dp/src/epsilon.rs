@@ -1,0 +1,139 @@
+//! Privacy-loss parameter ε.
+//!
+//! ε is represented by an explicit enum rather than a bare `f64` so that the "no privacy"
+//! setting used throughout the test suite (`Epsilon::Infinite`, i.e. zero noise and
+//! deterministic argmax selection) cannot be confused with a finite budget.
+
+use crate::DpError;
+
+/// A privacy-loss parameter.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Epsilon {
+    /// A finite, strictly positive ε.
+    Finite(f64),
+    /// Infinite budget: mechanisms add no noise and select exactly. Used for testing that the
+    /// private algorithms degrade to their exact counterparts.
+    Infinite,
+}
+
+impl Epsilon {
+    /// Constructs a finite ε, validating positivity and finiteness.
+    pub fn new(value: f64) -> Result<Self, DpError> {
+        if value.is_finite() && value > 0.0 {
+            Ok(Epsilon::Finite(value))
+        } else if value.is_infinite() && value > 0.0 {
+            Ok(Epsilon::Infinite)
+        } else {
+            Err(DpError::InvalidParameter(format!(
+                "epsilon must be strictly positive, got {value}"
+            )))
+        }
+    }
+
+    /// The numeric value (`f64::INFINITY` for [`Epsilon::Infinite`]).
+    pub fn value(&self) -> f64 {
+        match self {
+            Epsilon::Finite(v) => *v,
+            Epsilon::Infinite => f64::INFINITY,
+        }
+    }
+
+    /// True when this is an infinite (noiseless) budget.
+    pub fn is_infinite(&self) -> bool {
+        matches!(self, Epsilon::Infinite)
+    }
+
+    /// Splits off a fraction of this ε (e.g. `eps.fraction(0.5)` is ε/2).
+    ///
+    /// # Panics
+    /// Panics if `fraction` is not in `(0, 1]`.
+    pub fn fraction(&self, fraction: f64) -> Epsilon {
+        assert!(
+            fraction > 0.0 && fraction <= 1.0,
+            "fraction must be in (0,1], got {fraction}"
+        );
+        match self {
+            Epsilon::Finite(v) => Epsilon::Finite(v * fraction),
+            Epsilon::Infinite => Epsilon::Infinite,
+        }
+    }
+
+    /// Divides this ε into `parts` equal shares.
+    ///
+    /// # Panics
+    /// Panics if `parts == 0`.
+    pub fn split(&self, parts: usize) -> Epsilon {
+        assert!(parts > 0, "cannot split a budget into zero parts");
+        self.fraction(1.0 / parts as f64)
+    }
+}
+
+impl TryFrom<f64> for Epsilon {
+    type Error = DpError;
+
+    fn try_from(value: f64) -> Result<Self, Self::Error> {
+        Epsilon::new(value)
+    }
+}
+
+impl std::fmt::Display for Epsilon {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            Epsilon::Finite(v) => write!(f, "{v}"),
+            Epsilon::Infinite => write!(f, "∞"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accepts_positive_finite() {
+        assert_eq!(Epsilon::new(0.5).unwrap(), Epsilon::Finite(0.5));
+        assert_eq!(Epsilon::new(0.5).unwrap().value(), 0.5);
+    }
+
+    #[test]
+    fn rejects_non_positive_and_nan() {
+        assert!(Epsilon::new(0.0).is_err());
+        assert!(Epsilon::new(-1.0).is_err());
+        assert!(Epsilon::new(f64::NAN).is_err());
+        assert!(Epsilon::new(f64::NEG_INFINITY).is_err());
+    }
+
+    #[test]
+    fn positive_infinity_maps_to_infinite() {
+        let e = Epsilon::new(f64::INFINITY).unwrap();
+        assert!(e.is_infinite());
+        assert_eq!(e.value(), f64::INFINITY);
+    }
+
+    #[test]
+    fn fraction_and_split() {
+        let e = Epsilon::new(1.0).unwrap();
+        assert_eq!(e.fraction(0.25).value(), 0.25);
+        assert_eq!(e.split(4).value(), 0.25);
+        assert!(Epsilon::Infinite.fraction(0.1).is_infinite());
+    }
+
+    #[test]
+    #[should_panic(expected = "fraction")]
+    fn fraction_rejects_out_of_range() {
+        let _ = Epsilon::Finite(1.0).fraction(1.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "zero parts")]
+    fn split_rejects_zero() {
+        let _ = Epsilon::Finite(1.0).split(0);
+    }
+
+    #[test]
+    fn try_from_and_display() {
+        let e: Epsilon = 2.0f64.try_into().unwrap();
+        assert_eq!(format!("{e}"), "2");
+        assert_eq!(format!("{}", Epsilon::Infinite), "∞");
+    }
+}

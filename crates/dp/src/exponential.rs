@@ -1,0 +1,335 @@
+//! The exponential mechanism (McSherry & Talwar, FOCS 2007).
+//!
+//! Given a quality function `q(D, r)` with global sensitivity `GS_q`, the mechanism returns
+//! candidate `r` with probability proportional to `exp(ε·q(D,r) / (2·GS_q))`.
+//!
+//! When the quality function is *monotone* — adding a tuple can only move all qualities in one
+//! direction, as is the case for support counts — the factor 2 can be dropped
+//! ([`ExponentialScale::OneSided`]), doubling the effective exponent and improving accuracy.
+//! This is the variant PrivBasis uses for selecting frequent items and pairs.
+//!
+//! Weights are computed in a numerically stable way by subtracting the maximum exponent before
+//! exponentiating, which matters because count-valued qualities easily reach `exp(1000)`.
+
+use crate::epsilon::Epsilon;
+use crate::DpError;
+use rand::Rng;
+
+/// Whether the exponent uses the general `ε/(2·GS)` scale or the one-sided `ε/GS` scale.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExponentialScale {
+    /// General quality functions: exponent `ε·q/(2·GS)`.
+    Standard,
+    /// Monotone quality functions (e.g. support counts): exponent `ε·q/GS`.
+    OneSided,
+}
+
+impl ExponentialScale {
+    fn divisor(&self) -> f64 {
+        match self {
+            ExponentialScale::Standard => 2.0,
+            ExponentialScale::OneSided => 1.0,
+        }
+    }
+}
+
+/// Samples one index from `qualities` with probability `∝ exp(ε·q/(d·GS))` where `d` is 2 or 1
+/// depending on `scale`.
+///
+/// With `Epsilon::Infinite` the highest-quality index is returned deterministically
+/// (ties broken by the lowest index).
+pub fn exponential_mechanism<R: Rng + ?Sized>(
+    rng: &mut R,
+    qualities: &[f64],
+    sensitivity: f64,
+    epsilon: Epsilon,
+    scale: ExponentialScale,
+) -> Result<usize, DpError> {
+    if qualities.is_empty() {
+        return Err(DpError::EmptyCandidateSet);
+    }
+    if !(sensitivity.is_finite() && sensitivity > 0.0) {
+        return Err(DpError::InvalidParameter(format!(
+            "sensitivity must be finite and positive, got {sensitivity}"
+        )));
+    }
+    if qualities.iter().any(|q| !q.is_finite()) {
+        return Err(DpError::InvalidParameter(
+            "quality scores must be finite".to_string(),
+        ));
+    }
+
+    let eps = match epsilon {
+        Epsilon::Infinite => {
+            // Deterministic argmax.
+            let mut best = 0usize;
+            for (i, &q) in qualities.iter().enumerate() {
+                if q > qualities[best] {
+                    best = i;
+                }
+            }
+            return Ok(best);
+        }
+        Epsilon::Finite(e) => e,
+    };
+
+    let factor = eps / (scale.divisor() * sensitivity);
+    // Stabilise: subtract the max exponent so the largest weight is exp(0) = 1.
+    let max_q = qualities.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = qualities.iter().map(|&q| ((q - max_q) * factor).exp()).collect();
+    let total: f64 = weights.iter().sum();
+    // total >= 1 because the maximum contributes exp(0) = 1, so division is safe.
+    let mut target = rng.gen::<f64>() * total;
+    for (i, &w) in weights.iter().enumerate() {
+        if target < w {
+            return Ok(i);
+        }
+        target -= w;
+    }
+    // Floating-point slack: return the last candidate.
+    Ok(qualities.len() - 1)
+}
+
+/// Selects `count` distinct indices by repeatedly applying the exponential mechanism without
+/// replacement. Each draw uses the full `epsilon` passed here; callers are responsible for
+/// splitting their per-step budget across draws (as `GetFreqElements` does with `ε/λ`).
+///
+/// Returns fewer than `count` indices only if there are fewer candidates than `count`.
+pub fn sample_without_replacement<R: Rng + ?Sized>(
+    rng: &mut R,
+    qualities: &[f64],
+    count: usize,
+    sensitivity: f64,
+    epsilon: Epsilon,
+    scale: ExponentialScale,
+) -> Result<Vec<usize>, DpError> {
+    if count == 0 {
+        return Ok(Vec::new());
+    }
+    let mut remaining: Vec<usize> = (0..qualities.len()).collect();
+    let mut selected = Vec::with_capacity(count.min(qualities.len()));
+    while selected.len() < count && !remaining.is_empty() {
+        let current_qualities: Vec<f64> = remaining.iter().map(|&i| qualities[i]).collect();
+        let pick = exponential_mechanism(rng, &current_qualities, sensitivity, epsilon, scale)?;
+        selected.push(remaining.remove(pick));
+    }
+    Ok(selected)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn empty_candidates_is_an_error() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(
+            exponential_mechanism(&mut rng, &[], 1.0, Epsilon::Finite(1.0), ExponentialScale::Standard),
+            Err(DpError::EmptyCandidateSet)
+        );
+    }
+
+    #[test]
+    fn invalid_sensitivity_and_quality() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert!(exponential_mechanism(
+            &mut rng,
+            &[1.0],
+            0.0,
+            Epsilon::Finite(1.0),
+            ExponentialScale::Standard
+        )
+        .is_err());
+        assert!(exponential_mechanism(
+            &mut rng,
+            &[f64::INFINITY],
+            1.0,
+            Epsilon::Finite(1.0),
+            ExponentialScale::Standard
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn infinite_epsilon_selects_argmax() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let idx = exponential_mechanism(
+            &mut rng,
+            &[1.0, 5.0, 3.0],
+            1.0,
+            Epsilon::Infinite,
+            ExponentialScale::Standard,
+        )
+        .unwrap();
+        assert_eq!(idx, 1);
+    }
+
+    #[test]
+    fn strongly_prefers_high_quality_with_large_epsilon() {
+        let mut rng = StdRng::seed_from_u64(2);
+        // Quality gap of 100 at ε = 10, GS = 1 ⇒ the lower candidate has weight e^{-500}.
+        let mut count_best = 0;
+        for _ in 0..200 {
+            let idx = exponential_mechanism(
+                &mut rng,
+                &[0.0, 100.0],
+                1.0,
+                Epsilon::Finite(10.0),
+                ExponentialScale::Standard,
+            )
+            .unwrap();
+            if idx == 1 {
+                count_best += 1;
+            }
+        }
+        assert_eq!(count_best, 200);
+    }
+
+    #[test]
+    fn near_uniform_with_tiny_epsilon() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let mut counts = [0usize; 2];
+        for _ in 0..10_000 {
+            let idx = exponential_mechanism(
+                &mut rng,
+                &[0.0, 1.0],
+                1.0,
+                Epsilon::Finite(1e-6),
+                ExponentialScale::Standard,
+            )
+            .unwrap();
+            counts[idx] += 1;
+        }
+        // Expected ratio exp(5e-7) ≈ 1; both should get roughly half.
+        assert!(counts[0] > 4_500 && counts[1] > 4_500);
+    }
+
+    #[test]
+    fn one_sided_scale_doubles_exponent() {
+        // With qualities {0, q}, P[pick 1]/P[pick 0] = exp(factor·q). Check empirically that
+        // OneSided yields a larger preference than Standard for the same ε.
+        let trials = 20_000;
+        let run = |scale: ExponentialScale, seed: u64| {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut hit = 0;
+            for _ in 0..trials {
+                if exponential_mechanism(&mut rng, &[0.0, 1.0], 1.0, Epsilon::Finite(1.0), scale).unwrap() == 1
+                {
+                    hit += 1;
+                }
+            }
+            hit as f64 / trials as f64
+        };
+        let p_std = run(ExponentialScale::Standard, 4); // expected e^0.5/(1+e^0.5) ≈ 0.622
+        let p_one = run(ExponentialScale::OneSided, 5); // expected e/(1+e) ≈ 0.731
+        assert!((p_std - 0.622).abs() < 0.02, "standard {p_std}");
+        assert!((p_one - 0.731).abs() < 0.02, "one-sided {p_one}");
+    }
+
+    #[test]
+    fn handles_huge_count_qualities_without_overflow() {
+        let mut rng = StdRng::seed_from_u64(6);
+        // Counts in the tens of thousands with ε = 1 would overflow exp() without stabilisation.
+        let qualities = vec![50_000.0, 49_990.0, 10.0];
+        let idx = exponential_mechanism(
+            &mut rng,
+            &qualities,
+            1.0,
+            Epsilon::Finite(1.0),
+            ExponentialScale::OneSided,
+        )
+        .unwrap();
+        assert!(idx < 3);
+    }
+
+    #[test]
+    fn empirical_distribution_matches_theory() {
+        // qualities {0,1,2}, GS 1, ε 2, standard scale ⇒ weights 1, e, e².
+        let mut rng = StdRng::seed_from_u64(7);
+        let mut counts = [0usize; 3];
+        let trials = 60_000;
+        for _ in 0..trials {
+            let idx = exponential_mechanism(
+                &mut rng,
+                &[0.0, 1.0, 2.0],
+                1.0,
+                Epsilon::Finite(2.0),
+                ExponentialScale::Standard,
+            )
+            .unwrap();
+            counts[idx] += 1;
+        }
+        let e = std::f64::consts::E;
+        let z = 1.0 + e + e * e;
+        for (i, &expected_p) in [1.0 / z, e / z, e * e / z].iter().enumerate() {
+            let observed = counts[i] as f64 / trials as f64;
+            assert!(
+                (observed - expected_p).abs() < 0.01,
+                "candidate {i}: observed {observed}, expected {expected_p}"
+            );
+        }
+    }
+
+    #[test]
+    fn without_replacement_returns_distinct_indices() {
+        let mut rng = StdRng::seed_from_u64(8);
+        let qualities: Vec<f64> = (0..20).map(|i| i as f64).collect();
+        let picked = sample_without_replacement(
+            &mut rng,
+            &qualities,
+            5,
+            1.0,
+            Epsilon::Finite(5.0),
+            ExponentialScale::OneSided,
+        )
+        .unwrap();
+        assert_eq!(picked.len(), 5);
+        let mut dedup = picked.clone();
+        dedup.sort_unstable();
+        dedup.dedup();
+        assert_eq!(dedup.len(), 5);
+    }
+
+    #[test]
+    fn without_replacement_truncates_to_candidate_count() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let picked = sample_without_replacement(
+            &mut rng,
+            &[1.0, 2.0],
+            10,
+            1.0,
+            Epsilon::Finite(1.0),
+            ExponentialScale::Standard,
+        )
+        .unwrap();
+        assert_eq!(picked.len(), 2);
+        assert!(sample_without_replacement(
+            &mut rng,
+            &[1.0, 2.0],
+            0,
+            1.0,
+            Epsilon::Finite(1.0),
+            ExponentialScale::Standard
+        )
+        .unwrap()
+        .is_empty());
+    }
+
+    #[test]
+    fn without_replacement_with_infinite_epsilon_is_exact_topk() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let qualities = vec![3.0, 9.0, 1.0, 7.0, 5.0];
+        let picked = sample_without_replacement(
+            &mut rng,
+            &qualities,
+            3,
+            1.0,
+            Epsilon::Infinite,
+            ExponentialScale::OneSided,
+        )
+        .unwrap();
+        assert_eq!(picked, vec![1, 3, 4]);
+    }
+}

@@ -1,0 +1,136 @@
+//! The geometric mechanism (two-sided geometric / discrete Laplace noise).
+//!
+//! For integer-valued count queries the geometric mechanism is the discrete analogue of the
+//! Laplace mechanism: noise `Δ` with `Pr[Δ = δ] ∝ α^{|δ|}`, `α = exp(−ε/GS)`, added to the true
+//! count satisfies ε-DP and keeps the released value an integer. PrivBasis itself releases
+//! real-valued noisy counts (Laplace), but integer releases are a common downstream request —
+//! e.g. when the published table must look like a plausible contingency table — so the
+//! mechanism is provided alongside.
+
+use crate::epsilon::Epsilon;
+use crate::DpError;
+use rand::Rng;
+
+/// A calibrated source of two-sided geometric noise.
+#[derive(Debug, Clone, Copy)]
+pub struct GeometricNoise {
+    /// `α = exp(−ε/GS)`; `None` when ε is infinite (zero noise).
+    alpha: Option<f64>,
+}
+
+impl GeometricNoise {
+    /// Calibrates the mechanism for an integer query with L1 sensitivity `sensitivity`.
+    pub fn new(sensitivity: f64, epsilon: Epsilon) -> Result<Self, DpError> {
+        if !(sensitivity.is_finite() && sensitivity > 0.0) {
+            return Err(DpError::InvalidParameter(format!(
+                "sensitivity must be finite and positive, got {sensitivity}"
+            )));
+        }
+        match epsilon {
+            Epsilon::Infinite => Ok(GeometricNoise { alpha: None }),
+            Epsilon::Finite(eps) if eps > 0.0 => Ok(GeometricNoise {
+                alpha: Some((-eps / sensitivity).exp()),
+            }),
+            Epsilon::Finite(eps) => Err(DpError::InvalidParameter(format!(
+                "epsilon must be positive, got {eps}"
+            ))),
+        }
+    }
+
+    /// The α parameter (`None` for infinite ε).
+    pub fn alpha(&self) -> Option<f64> {
+        self.alpha
+    }
+
+    /// Variance of the noise: `2α/(1−α)²` (0 for infinite ε).
+    pub fn variance(&self) -> f64 {
+        match self.alpha {
+            Some(a) => 2.0 * a / ((1.0 - a) * (1.0 - a)),
+            None => 0.0,
+        }
+    }
+
+    /// Draws one signed integer noise sample.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> i64 {
+        let Some(alpha) = self.alpha else { return 0 };
+        // Sample magnitude from a geometric distribution conditioned on the two-sided form:
+        // Pr[0] = (1-α)/(1+α), Pr[±m] = (1-α)/(1+α)·α^m for m ≥ 1.
+        let u: f64 = rng.gen();
+        let p_zero = (1.0 - alpha) / (1.0 + alpha);
+        if u < p_zero {
+            return 0;
+        }
+        // Remaining mass splits evenly between the two signs; invert the geometric CDF.
+        let rest = (u - p_zero) / (1.0 - p_zero);
+        let sign = if rest < 0.5 { -1i64 } else { 1i64 };
+        let v: f64 = rng.gen::<f64>().max(f64::MIN_POSITIVE);
+        let magnitude = (v.ln() / alpha.ln()).floor() as i64 + 1;
+        sign * magnitude.max(1)
+    }
+
+    /// Adds noise to an integer count.
+    pub fn add_noise<R: Rng + ?Sized>(&self, rng: &mut R, value: i64) -> i64 {
+        value + self.sample(rng)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_invalid_parameters() {
+        assert!(GeometricNoise::new(0.0, Epsilon::Finite(1.0)).is_err());
+        assert!(GeometricNoise::new(-1.0, Epsilon::Finite(1.0)).is_err());
+        assert!(GeometricNoise::new(1.0, Epsilon::Finite(1.0)).is_ok());
+    }
+
+    #[test]
+    fn infinite_epsilon_is_noiseless() {
+        let g = GeometricNoise::new(1.0, Epsilon::Infinite).unwrap();
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(g.alpha(), None);
+        assert_eq!(g.variance(), 0.0);
+        for _ in 0..20 {
+            assert_eq!(g.sample(&mut rng), 0);
+        }
+        assert_eq!(g.add_noise(&mut rng, 42), 42);
+    }
+
+    #[test]
+    fn alpha_matches_definition() {
+        let g = GeometricNoise::new(2.0, Epsilon::Finite(1.0)).unwrap();
+        assert!((g.alpha().unwrap() - (-0.5f64).exp()).abs() < 1e-12);
+    }
+
+    #[test]
+    fn sample_statistics_match_theory() {
+        let eps = 0.8;
+        let g = GeometricNoise::new(1.0, Epsilon::Finite(eps)).unwrap();
+        let mut rng = StdRng::seed_from_u64(9);
+        let n = 200_000;
+        let samples: Vec<i64> = (0..n).map(|_| g.sample(&mut rng)).collect();
+        let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
+        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        assert!(mean.abs() < 0.05, "mean {mean}");
+        assert!(
+            (var - g.variance()).abs() < 0.25,
+            "variance {var} vs theoretical {}",
+            g.variance()
+        );
+        // The zero probability should be (1-α)/(1+α).
+        let alpha = g.alpha().unwrap();
+        let p_zero_expected = (1.0 - alpha) / (1.0 + alpha);
+        let p_zero = samples.iter().filter(|&&x| x == 0).count() as f64 / n as f64;
+        assert!((p_zero - p_zero_expected).abs() < 0.01);
+    }
+
+    #[test]
+    fn smaller_epsilon_means_more_noise() {
+        let strict = GeometricNoise::new(1.0, Epsilon::Finite(0.1)).unwrap();
+        let loose = GeometricNoise::new(1.0, Epsilon::Finite(2.0)).unwrap();
+        assert!(strict.variance() > loose.variance());
+    }
+}

@@ -1,0 +1,17 @@
+//! Figure 1: PB vs TF on the mushroom profile (FNR and relative error vs ε, k ∈ {50, 100}).
+//!
+//! Run with: `cargo run --release -p pb-experiments --bin fig1`
+//! Environment: `PB_SCALE` (dataset scale), `PB_REPS` (repetitions, default 3).
+
+use pb_datagen::DatasetProfile;
+use pb_experiments::{figure_sweep, reps_from_env, scale_from_env, EPS_GRID_DENSE};
+
+fn main() {
+    let profile = DatasetProfile::Mushroom;
+    let scale = scale_from_env(profile);
+    let reps = reps_from_env();
+    let ks = [50, 100];
+    println!("# Figure 1 — {} profile, scale {scale}, reps {reps}, k in {ks:?}\n", profile.name());
+    let data = figure_sweep(profile, scale, &ks, &EPS_GRID_DENSE, reps, 42);
+    data.print();
+}

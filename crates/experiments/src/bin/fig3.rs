@@ -1,0 +1,17 @@
+//! Figure 3: PB vs TF on the retail profile (FNR and relative error vs ε, k ∈ {50, 100}).
+//!
+//! Run with: `cargo run --release -p pb-experiments --bin fig3`
+//! Environment: `PB_SCALE` (dataset scale), `PB_REPS` (repetitions, default 3).
+
+use pb_datagen::DatasetProfile;
+use pb_experiments::{figure_sweep, reps_from_env, scale_from_env, EPS_GRID_SPARSE};
+
+fn main() {
+    let profile = DatasetProfile::Retail;
+    let scale = scale_from_env(profile);
+    let reps = reps_from_env();
+    let ks = [50, 100];
+    println!("# Figure 3 — {} profile, scale {scale}, reps {reps}, k in {ks:?}\n", profile.name());
+    let data = figure_sweep(profile, scale, &ks, &EPS_GRID_SPARSE, reps, 42);
+    data.print();
+}

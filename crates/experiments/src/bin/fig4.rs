@@ -1,0 +1,17 @@
+//! Figure 4: PB vs TF on the kosarak profile (FNR and relative error vs ε, k ∈ {100, 200, 300, 400}).
+//!
+//! Run with: `cargo run --release -p pb-experiments --bin fig4`
+//! Environment: `PB_SCALE` (dataset scale), `PB_REPS` (repetitions, default 3).
+
+use pb_datagen::DatasetProfile;
+use pb_experiments::{figure_sweep, reps_from_env, scale_from_env, EPS_GRID_SPARSE};
+
+fn main() {
+    let profile = DatasetProfile::Kosarak;
+    let scale = scale_from_env(profile);
+    let reps = reps_from_env();
+    let ks = [100, 200, 300, 400];
+    println!("# Figure 4 — {} profile, scale {scale}, reps {reps}, k in {ks:?}\n", profile.name());
+    let data = figure_sweep(profile, scale, &ks, &EPS_GRID_SPARSE, reps, 42);
+    data.print();
+}

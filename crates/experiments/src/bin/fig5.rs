@@ -1,0 +1,17 @@
+//! Figure 5: PB vs TF on the AOL profile (FNR and relative error vs ε, k ∈ {100, 200}).
+//!
+//! Run with: `cargo run --release -p pb-experiments --bin fig5`
+//! Environment: `PB_SCALE` (dataset scale), `PB_REPS` (repetitions, default 3).
+
+use pb_datagen::DatasetProfile;
+use pb_experiments::{figure_sweep, reps_from_env, scale_from_env, EPS_GRID_AOL};
+
+fn main() {
+    let profile = DatasetProfile::Aol;
+    let scale = scale_from_env(profile);
+    let reps = reps_from_env();
+    let ks = [100, 200];
+    println!("# Figure 5 — {} profile, scale {scale}, reps {reps}, k in {ks:?}\n", profile.name());
+    let data = figure_sweep(profile, scale, &ks, &EPS_GRID_AOL, reps, 42);
+    data.print();
+}

@@ -1,0 +1,44 @@
+//! Table 2(a): dataset parameters — N, |I|, average transaction length, and the structure of
+//! the top-k itemsets (λ, λ₂, λ₃) for each dataset at the paper's k values.
+//!
+//! Run with: `cargo run --release -p pb-experiments --bin table2a`
+
+use pb_datagen::DatasetProfile;
+use pb_experiments::scale_from_env;
+use pb_fim::stats::top_k_stats;
+use pb_metrics::TsvTable;
+
+fn main() {
+    let mut table = TsvTable::new([
+        "dataset", "k", "N", "|I| (synthetic)", "|I| (paper)", "avg |t|", "lambda", "lambda2", "lambda3",
+        "fk*N",
+    ]);
+    // The paper reports k = 100 for retail/mushroom and k = 200 for the other three.
+    let paper_k: &[(DatasetProfile, usize)] = &[
+        (DatasetProfile::Retail, 100),
+        (DatasetProfile::Mushroom, 100),
+        (DatasetProfile::PumsbStar, 200),
+        (DatasetProfile::Kosarak, 200),
+        (DatasetProfile::Aol, 200),
+    ];
+    for &(profile, k) in paper_k {
+        let scale = scale_from_env(profile);
+        let db = profile.generate(scale, 42);
+        let stats = top_k_stats(&db, k);
+        table.push_row([
+            profile.name().to_string(),
+            k.to_string(),
+            stats.num_transactions.to_string(),
+            stats.num_items.to_string(),
+            profile.paper_num_items().to_string(),
+            format!("{:.1}", stats.avg_transaction_len),
+            stats.lambda.to_string(),
+            stats.lambda2.to_string(),
+            stats.lambda3.to_string(),
+            stats.fk_count.to_string(),
+        ]);
+    }
+    println!("# Table 2(a) — dataset parameters (synthetic profiles, scale = PB_SCALE or default)\n");
+    println!("{}", table.to_aligned());
+    println!("# TSV\n{}", table.to_tsv());
+}

@@ -1,0 +1,219 @@
+//! Level-wise Apriori mining (Agrawal & Srikant, VLDB 1994).
+//!
+//! Apriori is kept as the simple reference implementation: the FP-Growth miner is validated
+//! against it by unit and property tests, and the TF baseline uses its level-wise candidate
+//! generation to enumerate itemsets above a pruning threshold with a length cap.
+
+use crate::itemset::{Item, ItemSet};
+use crate::topk::FrequentItemset;
+use crate::transaction::TransactionDb;
+use std::collections::{HashMap, HashSet};
+
+/// Mines all itemsets with support count `>= min_count`, optionally capping itemset length.
+///
+/// Returns the frequent itemsets sorted by descending support (ties: ascending itemset).
+/// The empty itemset is never returned.
+///
+/// `min_count == 0` is treated as 1 (an itemset must occur at least once).
+pub fn apriori(db: &TransactionDb, min_count: usize, max_len: Option<usize>) -> Vec<FrequentItemset> {
+    let min_count = min_count.max(1);
+    let max_len = max_len.unwrap_or(usize::MAX);
+    let mut result: Vec<FrequentItemset> = Vec::new();
+    if max_len == 0 || db.is_empty() {
+        return result;
+    }
+
+    // Level 1: frequent items.
+    let mut current: Vec<(ItemSet, usize)> = db
+        .item_counts()
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .map(|(item, c)| (ItemSet::singleton(item), c))
+        .collect();
+    current.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+
+    let mut level = 1usize;
+    while !current.is_empty() {
+        result.extend(
+            current
+                .iter()
+                .map(|(items, count)| FrequentItemset::new(items.clone(), *count)),
+        );
+        if level >= max_len {
+            break;
+        }
+        let candidates = generate_candidates(&current.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>());
+        if candidates.is_empty() {
+            break;
+        }
+        // Count candidate supports in one scan.
+        let counts = db.supports(&candidates);
+        current = candidates
+            .into_iter()
+            .zip(counts)
+            .filter(|&(_, c)| c >= min_count)
+            .collect();
+        current.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+        level += 1;
+    }
+
+    sort_frequent(&mut result);
+    result
+}
+
+/// Mines all itemsets with frequency `>= theta` (a fraction in `[0, 1]`).
+pub fn apriori_by_frequency(
+    db: &TransactionDb,
+    theta: f64,
+    max_len: Option<usize>,
+) -> Vec<FrequentItemset> {
+    let min_count = ((theta * db.len() as f64).ceil() as usize).max(1);
+    apriori(db, min_count, max_len)
+}
+
+/// Joins frequent `(n-1)`-itemsets into candidate `n`-itemsets and prunes candidates having an
+/// infrequent `(n-1)`-subset (the apriori property).
+pub(crate) fn generate_candidates(frequent_prev: &[ItemSet]) -> Vec<ItemSet> {
+    if frequent_prev.is_empty() {
+        return Vec::new();
+    }
+    let prev_len = frequent_prev[0].len();
+    let prev_set: HashSet<&ItemSet> = frequent_prev.iter().collect();
+
+    // Group itemsets by their (n-2)-item prefix; any two sharing a prefix join into a candidate.
+    let mut by_prefix: HashMap<Vec<Item>, Vec<Item>> = HashMap::new();
+    for s in frequent_prev {
+        let items = s.items();
+        let prefix = items[..prev_len - 1].to_vec();
+        by_prefix.entry(prefix).or_default().push(items[prev_len - 1]);
+    }
+
+    let mut candidates = Vec::new();
+    for (prefix, mut lasts) in by_prefix {
+        lasts.sort_unstable();
+        for i in 0..lasts.len() {
+            for j in (i + 1)..lasts.len() {
+                let mut items = prefix.clone();
+                items.push(lasts[i]);
+                items.push(lasts[j]);
+                let candidate = ItemSet::new(items);
+                // Prune: every (n-1)-subset must be frequent.
+                let all_subsets_frequent = candidate
+                    .items()
+                    .iter()
+                    .all(|&drop| prev_set.contains(&candidate.without_item(drop)));
+                if all_subsets_frequent {
+                    candidates.push(candidate);
+                }
+            }
+        }
+    }
+    candidates.sort_unstable();
+    candidates.dedup();
+    candidates
+}
+
+/// Sorts mined itemsets by descending support, breaking ties by (length, lexicographic order)
+/// so output is deterministic across miners.
+pub(crate) fn sort_frequent(itemsets: &mut [FrequentItemset]) {
+    itemsets.sort_unstable_by(|a, b| {
+        b.count
+            .cmp(&a.count)
+            .then(a.items.len().cmp(&b.items.len()))
+            .then(a.items.cmp(&b.items))
+    });
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> TransactionDb {
+        // Classic small market-basket example.
+        TransactionDb::from_transactions(vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ])
+    }
+
+    #[test]
+    fn mines_known_frequent_itemsets() {
+        let db = sample_db();
+        let freq = apriori(&db, 2, None);
+        let get = |items: &[Item]| {
+            freq.iter()
+                .find(|f| f.items == ItemSet::new(items.to_vec()))
+                .map(|f| f.count)
+        };
+        assert_eq!(get(&[1]), Some(6));
+        assert_eq!(get(&[2]), Some(7));
+        assert_eq!(get(&[1, 2]), Some(4));
+        assert_eq!(get(&[1, 2, 3]), Some(2));
+        assert_eq!(get(&[1, 2, 5]), Some(2));
+        assert_eq!(get(&[4]), Some(2));
+        // {4,5} occurs zero times, {1,4} occurs once -> not frequent at min_count 2.
+        assert_eq!(get(&[1, 4]), None);
+        assert_eq!(get(&[4, 5]), None);
+    }
+
+    #[test]
+    fn respects_max_len() {
+        let db = sample_db();
+        let freq = apriori(&db, 2, Some(1));
+        assert!(freq.iter().all(|f| f.items.len() == 1));
+        let freq2 = apriori(&db, 2, Some(2));
+        assert!(freq2.iter().all(|f| f.items.len() <= 2));
+        assert!(freq2.iter().any(|f| f.items.len() == 2));
+    }
+
+    #[test]
+    fn min_count_zero_treated_as_one() {
+        let db = sample_db();
+        let freq = apriori(&db, 0, Some(1));
+        // Every distinct item occurs at least once.
+        assert_eq!(freq.len(), db.num_distinct_items());
+    }
+
+    #[test]
+    fn result_sorted_by_descending_count() {
+        let db = sample_db();
+        let freq = apriori(&db, 2, None);
+        for w in freq.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+    }
+
+    #[test]
+    fn frequency_threshold_conversion() {
+        let db = sample_db(); // N = 9
+        let by_freq = apriori_by_frequency(&db, 0.5, None);
+        let by_count = apriori(&db, 5, None);
+        assert_eq!(by_freq, by_count);
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        let db = TransactionDb::from_transactions(Vec::<Vec<Item>>::new());
+        assert!(apriori(&db, 1, None).is_empty());
+    }
+
+    #[test]
+    fn candidate_generation_prunes_infrequent_subsets() {
+        // {1,2}, {1,3} frequent but {2,3} not => {1,2,3} must be pruned.
+        let prev = vec![ItemSet::new(vec![1, 2]), ItemSet::new(vec![1, 3])];
+        assert!(generate_candidates(&prev).is_empty());
+        let prev = vec![
+            ItemSet::new(vec![1, 2]),
+            ItemSet::new(vec![1, 3]),
+            ItemSet::new(vec![2, 3]),
+        ];
+        assert_eq!(generate_candidates(&prev), vec![ItemSet::new(vec![1, 2, 3])]);
+    }
+}

@@ -1,0 +1,156 @@
+//! Eclat mining (Zaki, 2000): depth-first search over a vertical (tidset) representation.
+//!
+//! A third, independently implemented miner. The property tests cross-validate all three
+//! miners (Apriori, FP-Growth, Eclat) against each other, which is the strongest correctness
+//! signal the crate has for the mining substrate the private algorithms sit on.
+
+use crate::itemset::{Item, ItemSet};
+use crate::topk::FrequentItemset;
+use crate::transaction::TransactionDb;
+use std::collections::HashMap;
+
+/// Mines all itemsets with support count `>= min_count` using Eclat, optionally capping
+/// itemset length. Output ordering matches [`crate::apriori::apriori`].
+pub fn eclat(db: &TransactionDb, min_count: usize, max_len: Option<usize>) -> Vec<FrequentItemset> {
+    let min_count = min_count.max(1);
+    let max_len = max_len.unwrap_or(usize::MAX);
+    let mut out = Vec::new();
+    if max_len == 0 || db.is_empty() {
+        return out;
+    }
+
+    // Vertical representation: item -> sorted list of transaction ids.
+    let mut tidsets: HashMap<Item, Vec<u32>> = HashMap::new();
+    for (tid, t) in db.iter().enumerate() {
+        for item in t.iter() {
+            tidsets.entry(item).or_default().push(tid as u32);
+        }
+    }
+    let mut roots: Vec<(Item, Vec<u32>)> = tidsets
+        .into_iter()
+        .filter(|(_, tids)| tids.len() >= min_count)
+        .collect();
+    // Ascending item id keeps the DFS deterministic.
+    roots.sort_unstable_by_key(|&(item, _)| item);
+
+    // Depth-first extension: each prefix carries its tidset; children intersect tidsets.
+    fn extend(
+        prefix: &ItemSet,
+        prefix_tids_len: usize,
+        siblings: &[(Item, Vec<u32>)],
+        min_count: usize,
+        max_len: usize,
+        out: &mut Vec<FrequentItemset>,
+    ) {
+        let _ = prefix_tids_len;
+        for (i, (item, tids)) in siblings.iter().enumerate() {
+            let new_set = prefix.with_item(*item);
+            out.push(FrequentItemset::new(new_set.clone(), tids.len()));
+            if new_set.len() >= max_len {
+                continue;
+            }
+            // Build the conditional sibling list for items after this one.
+            let mut children: Vec<(Item, Vec<u32>)> = Vec::new();
+            for (other, other_tids) in &siblings[i + 1..] {
+                let joint = intersect_sorted(tids, other_tids);
+                if joint.len() >= min_count {
+                    children.push((*other, joint));
+                }
+            }
+            if !children.is_empty() {
+                extend(&new_set, tids.len(), &children, min_count, max_len, out);
+            }
+        }
+    }
+
+    extend(&ItemSet::empty(), db.len(), &roots, min_count, max_len, &mut out);
+    crate::apriori::sort_frequent(&mut out);
+    out
+}
+
+/// Intersection of two sorted tid lists.
+fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
+    let mut out = Vec::with_capacity(a.len().min(b.len()));
+    let (mut i, mut j) = (0, 0);
+    while i < a.len() && j < b.len() {
+        match a[i].cmp(&b[j]) {
+            std::cmp::Ordering::Less => i += 1,
+            std::cmp::Ordering::Greater => j += 1,
+            std::cmp::Ordering::Equal => {
+                out.push(a[i]);
+                i += 1;
+                j += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Mines all itemsets with frequency `>= theta` using Eclat.
+pub fn eclat_by_frequency(db: &TransactionDb, theta: f64, max_len: Option<usize>) -> Vec<FrequentItemset> {
+    let min_count = ((theta * db.len() as f64).ceil() as usize).max(1);
+    eclat(db, min_count, max_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+    use crate::fpgrowth::fpgrowth;
+
+    fn sample_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ])
+    }
+
+    #[test]
+    fn matches_apriori_and_fpgrowth() {
+        let db = sample_db();
+        for min_count in 1..=5 {
+            let e = eclat(&db, min_count, None);
+            assert_eq!(e, apriori(&db, min_count, None), "vs apriori at {min_count}");
+            assert_eq!(e, fpgrowth(&db, min_count, None), "vs fpgrowth at {min_count}");
+        }
+    }
+
+    #[test]
+    fn respects_max_len() {
+        let db = sample_db();
+        for max_len in 1..=3 {
+            assert_eq!(eclat(&db, 2, Some(max_len)), apriori(&db, 2, Some(max_len)));
+        }
+    }
+
+    #[test]
+    fn counts_match_bruteforce() {
+        let db = sample_db();
+        for f in eclat(&db, 1, None) {
+            assert_eq!(f.count, db.support(&f.items));
+        }
+    }
+
+    #[test]
+    fn empty_and_threshold_edge_cases() {
+        let empty = TransactionDb::from_transactions(Vec::<Vec<Item>>::new());
+        assert!(eclat(&empty, 1, None).is_empty());
+        let db = sample_db();
+        assert!(eclat(&db, 100, None).is_empty());
+        assert_eq!(eclat_by_frequency(&db, 0.5, None), eclat(&db, 5, None));
+    }
+
+    #[test]
+    fn intersect_sorted_basics() {
+        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
+        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
+        assert_eq!(intersect_sorted(&[1, 2], &[3, 4]), Vec::<u32>::new());
+    }
+}

@@ -1,0 +1,287 @@
+//! FP-Growth mining (Han et al., DMKD 2004).
+//!
+//! FP-Growth builds a compact prefix tree (the FP-tree) over transactions with items ordered by
+//! descending support, then mines frequent itemsets recursively from conditional pattern bases
+//! without generating candidates. It is the workhorse miner used for ground truth on the
+//! larger synthetic datasets; [`crate::apriori`] is the reference it is validated against.
+
+use crate::itemset::{Item, ItemSet};
+use crate::topk::FrequentItemset;
+use crate::transaction::TransactionDb;
+use std::collections::HashMap;
+
+/// A node of the FP-tree, stored in an arena (`FpTree::nodes`).
+#[derive(Debug, Clone)]
+struct FpNode {
+    item: Item,
+    count: usize,
+    parent: Option<usize>,
+    children: HashMap<Item, usize>,
+}
+
+/// An FP-tree: an arena of nodes plus a header table linking all nodes carrying each item.
+#[derive(Debug, Clone)]
+pub struct FpTree {
+    nodes: Vec<FpNode>,
+    /// For each item, the indices of every node labelled with that item.
+    header: HashMap<Item, Vec<usize>>,
+    /// Total support of each item inside this (conditional) tree.
+    item_totals: HashMap<Item, usize>,
+}
+
+impl FpTree {
+    fn new() -> Self {
+        // Node 0 is the root; its item field is unused.
+        FpTree {
+            nodes: vec![FpNode {
+                item: 0,
+                count: 0,
+                parent: None,
+                children: HashMap::new(),
+            }],
+            header: HashMap::new(),
+            item_totals: HashMap::new(),
+        }
+    }
+
+    /// Number of non-root nodes (used by tests and benches to check compression).
+    pub fn num_nodes(&self) -> usize {
+        self.nodes.len() - 1
+    }
+
+    /// Inserts a transaction whose items are already filtered to frequent items and sorted in
+    /// the tree's canonical order, with multiplicity `count`.
+    fn insert(&mut self, ordered_items: &[Item], count: usize) {
+        let mut current = 0usize;
+        for &item in ordered_items {
+            let next = match self.nodes[current].children.get(&item) {
+                Some(&child) => {
+                    self.nodes[child].count += count;
+                    child
+                }
+                None => {
+                    let idx = self.nodes.len();
+                    self.nodes.push(FpNode {
+                        item,
+                        count,
+                        parent: Some(current),
+                        children: HashMap::new(),
+                    });
+                    self.nodes[current].children.insert(item, idx);
+                    self.header.entry(item).or_default().push(idx);
+                    idx
+                }
+            };
+            *self.item_totals.entry(item).or_insert(0) += count;
+            current = next;
+        }
+    }
+
+    /// Builds an FP-tree from a transaction database, keeping only items with support
+    /// `>= min_count` and ordering items by descending global support.
+    pub fn build(db: &TransactionDb, min_count: usize) -> Self {
+        let counts = db.item_counts();
+        let mut order: Vec<(Item, usize)> = counts
+            .iter()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(&i, &c)| (i, c))
+            .collect();
+        // Descending support, ascending item id for determinism.
+        order.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let rank: HashMap<Item, usize> = order.iter().enumerate().map(|(r, &(i, _))| (i, r)).collect();
+
+        let mut tree = FpTree::new();
+        for t in db.iter() {
+            let mut kept: Vec<Item> = t.iter().filter(|i| rank.contains_key(i)).collect();
+            kept.sort_unstable_by_key(|i| rank[i]);
+            if !kept.is_empty() {
+                tree.insert(&kept, 1);
+            }
+        }
+        tree
+    }
+
+    /// Builds a conditional FP-tree from weighted prefix paths.
+    fn build_conditional(paths: &[(Vec<Item>, usize)], min_count: usize) -> Self {
+        let mut counts: HashMap<Item, usize> = HashMap::new();
+        for (path, c) in paths {
+            for &item in path {
+                *counts.entry(item).or_insert(0) += c;
+            }
+        }
+        let mut order: Vec<(Item, usize)> = counts
+            .into_iter()
+            .filter(|&(_, c)| c >= min_count)
+            .collect();
+        order.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        let rank: HashMap<Item, usize> = order.iter().enumerate().map(|(r, &(i, _))| (i, r)).collect();
+
+        let mut tree = FpTree::new();
+        for (path, c) in paths {
+            let mut kept: Vec<Item> = path.iter().copied().filter(|i| rank.contains_key(i)).collect();
+            kept.sort_unstable_by_key(|i| rank[i]);
+            if !kept.is_empty() {
+                tree.insert(&kept, *c);
+            }
+        }
+        tree
+    }
+
+    /// The prefix paths of every node carrying `item`, each with that node's count.
+    fn prefix_paths(&self, item: Item) -> Vec<(Vec<Item>, usize)> {
+        let mut paths = Vec::new();
+        if let Some(node_indices) = self.header.get(&item) {
+            for &idx in node_indices {
+                let count = self.nodes[idx].count;
+                let mut path = Vec::new();
+                let mut cur = self.nodes[idx].parent;
+                while let Some(p) = cur {
+                    if p == 0 {
+                        break;
+                    }
+                    path.push(self.nodes[p].item);
+                    cur = self.nodes[p].parent;
+                }
+                if !path.is_empty() {
+                    paths.push((path, count));
+                }
+            }
+        }
+        paths
+    }
+
+    /// Recursively mines this (conditional) tree.
+    fn mine(
+        &self,
+        suffix: &ItemSet,
+        min_count: usize,
+        max_len: usize,
+        out: &mut Vec<FrequentItemset>,
+    ) {
+        if suffix.len() >= max_len {
+            return;
+        }
+        // Items in ascending total support: mining least-frequent first is the classic order.
+        let mut items: Vec<(Item, usize)> = self
+            .item_totals
+            .iter()
+            .filter(|&(_, &c)| c >= min_count)
+            .map(|(&i, &c)| (i, c))
+            .collect();
+        items.sort_unstable_by(|a, b| a.1.cmp(&b.1).then(a.0.cmp(&b.0)));
+
+        for (item, total) in items {
+            let new_set = suffix.with_item(item);
+            out.push(FrequentItemset::new(new_set.clone(), total));
+            if new_set.len() < max_len {
+                let paths = self.prefix_paths(item);
+                if !paths.is_empty() {
+                    let cond = FpTree::build_conditional(&paths, min_count);
+                    cond.mine(&new_set, min_count, max_len, out);
+                }
+            }
+        }
+    }
+}
+
+/// Mines all itemsets with support count `>= min_count` using FP-Growth, optionally capping
+/// itemset length. Output ordering matches [`crate::apriori::apriori`].
+pub fn fpgrowth(db: &TransactionDb, min_count: usize, max_len: Option<usize>) -> Vec<FrequentItemset> {
+    let min_count = min_count.max(1);
+    let max_len = max_len.unwrap_or(usize::MAX);
+    let mut out = Vec::new();
+    if max_len == 0 || db.is_empty() {
+        return out;
+    }
+    let tree = FpTree::build(db, min_count);
+    tree.mine(&ItemSet::empty(), min_count, max_len, &mut out);
+    crate::apriori::sort_frequent(&mut out);
+    out
+}
+
+/// Mines all itemsets with frequency `>= theta` using FP-Growth.
+pub fn fpgrowth_by_frequency(
+    db: &TransactionDb,
+    theta: f64,
+    max_len: Option<usize>,
+) -> Vec<FrequentItemset> {
+    let min_count = ((theta * db.len() as f64).ceil() as usize).max(1);
+    fpgrowth(db, min_count, max_len)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::apriori::apriori;
+
+    fn sample_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ])
+    }
+
+    #[test]
+    fn matches_apriori_on_sample() {
+        let db = sample_db();
+        for min_count in 1..=5 {
+            let a = apriori(&db, min_count, None);
+            let f = fpgrowth(&db, min_count, None);
+            assert_eq!(a, f, "mismatch at min_count={min_count}");
+        }
+    }
+
+    #[test]
+    fn matches_apriori_with_length_cap() {
+        let db = sample_db();
+        for max_len in 1..=3 {
+            let a = apriori(&db, 2, Some(max_len));
+            let f = fpgrowth(&db, 2, Some(max_len));
+            assert_eq!(a, f, "mismatch at max_len={max_len}");
+        }
+    }
+
+    #[test]
+    fn tree_compresses_shared_prefixes() {
+        // Three identical transactions must share one path.
+        let db = TransactionDb::from_transactions(vec![vec![1, 2, 3]; 3]);
+        let tree = FpTree::build(&db, 1);
+        assert_eq!(tree.num_nodes(), 3);
+    }
+
+    #[test]
+    fn empty_database_yields_nothing() {
+        let db = TransactionDb::from_transactions(Vec::<Vec<Item>>::new());
+        assert!(fpgrowth(&db, 1, None).is_empty());
+    }
+
+    #[test]
+    fn min_count_above_all_supports_yields_nothing() {
+        let db = sample_db();
+        assert!(fpgrowth(&db, 100, None).is_empty());
+    }
+
+    #[test]
+    fn frequency_threshold_conversion() {
+        let db = sample_db();
+        assert_eq!(fpgrowth_by_frequency(&db, 0.5, None), fpgrowth(&db, 5, None));
+    }
+
+    #[test]
+    fn singleton_supports_match_item_counts() {
+        let db = sample_db();
+        let freq = fpgrowth(&db, 1, Some(1));
+        let counts = db.item_counts();
+        assert_eq!(freq.len(), counts.len());
+        for f in &freq {
+            assert_eq!(f.count, counts[&f.items.items()[0]]);
+        }
+    }
+}

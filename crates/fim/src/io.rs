@@ -1,0 +1,152 @@
+//! Reading and writing transaction databases in the FIMI text format.
+//!
+//! The datasets the paper uses (retail, mushroom, pumsb-star, kosarak) are distributed by the
+//! FIMI repository as plain text: one transaction per line, items as whitespace-separated
+//! non-negative integers. Supporting that format means a user with access to the original
+//! files can run this reproduction on the real data unchanged.
+
+use crate::itemset::{Item, ItemSet};
+use crate::transaction::TransactionDb;
+use std::io::{BufRead, BufWriter, Write};
+use std::path::Path;
+
+/// Errors from reading a FIMI file.
+#[derive(Debug)]
+pub enum FimiError {
+    /// Underlying I/O failure.
+    Io(std::io::Error),
+    /// A token was not a non-negative integer.
+    Parse {
+        /// 1-based line number.
+        line: usize,
+        /// The offending token.
+        token: String,
+    },
+}
+
+impl std::fmt::Display for FimiError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            FimiError::Io(e) => write!(f, "i/o error: {e}"),
+            FimiError::Parse { line, token } => {
+                write!(f, "line {line}: `{token}` is not a valid item id")
+            }
+        }
+    }
+}
+
+impl std::error::Error for FimiError {}
+
+impl From<std::io::Error> for FimiError {
+    fn from(e: std::io::Error) -> Self {
+        FimiError::Io(e)
+    }
+}
+
+/// Parses a FIMI-format transaction database from any reader.
+///
+/// Blank lines are skipped; lines starting with `#` are treated as comments (an extension some
+/// mirrors of the repository use).
+pub fn read_fimi<R: BufRead>(reader: R) -> Result<TransactionDb, FimiError> {
+    let mut transactions: Vec<ItemSet> = Vec::new();
+    for (idx, line) in reader.lines().enumerate() {
+        let line = line?;
+        let trimmed = line.trim();
+        if trimmed.is_empty() || trimmed.starts_with('#') {
+            continue;
+        }
+        let mut items: Vec<Item> = Vec::new();
+        for token in trimmed.split_whitespace() {
+            let item: Item = token.parse().map_err(|_| FimiError::Parse {
+                line: idx + 1,
+                token: token.to_string(),
+            })?;
+            items.push(item);
+        }
+        transactions.push(ItemSet::new(items));
+    }
+    Ok(TransactionDb::from_itemsets(transactions))
+}
+
+/// Reads a FIMI-format file from disk.
+pub fn read_fimi_file<P: AsRef<Path>>(path: P) -> Result<TransactionDb, FimiError> {
+    let file = std::fs::File::open(path)?;
+    read_fimi(std::io::BufReader::new(file))
+}
+
+/// Writes a database in FIMI format (one transaction per line, space-separated items).
+pub fn write_fimi<W: Write>(db: &TransactionDb, writer: W) -> std::io::Result<()> {
+    let mut out = BufWriter::new(writer);
+    for t in db.iter() {
+        let line: Vec<String> = t.iter().map(|i| i.to_string()).collect();
+        writeln!(out, "{}", line.join(" "))?;
+    }
+    out.flush()
+}
+
+/// Writes a database to a FIMI-format file on disk.
+pub fn write_fimi_file<P: AsRef<Path>>(db: &TransactionDb, path: P) -> std::io::Result<()> {
+    let file = std::fs::File::create(path)?;
+    write_fimi(db, file)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_basic_file() {
+        let text = "1 2 3\n2 4\n\n# a comment\n7\n";
+        let db = read_fimi(text.as_bytes()).unwrap();
+        assert_eq!(db.len(), 3);
+        assert_eq!(db.support(&ItemSet::new(vec![2])), 2);
+        assert_eq!(db.support(&ItemSet::new(vec![7])), 1);
+    }
+
+    #[test]
+    fn rejects_bad_tokens_with_line_numbers() {
+        let text = "1 2\n3 x 4\n";
+        let err = read_fimi(text.as_bytes()).unwrap_err();
+        assert!(err.to_string().contains("line 2"));
+        match err {
+            FimiError::Parse { line, token } => {
+                assert_eq!(line, 2);
+                assert_eq!(token, "x");
+            }
+            other => panic!("unexpected error {other}"),
+        }
+    }
+
+    #[test]
+    fn round_trip_through_memory() {
+        let db = TransactionDb::from_transactions(vec![vec![3, 1, 2], vec![5], vec![2, 4]]);
+        let mut buf: Vec<u8> = Vec::new();
+        write_fimi(&db, &mut buf).unwrap();
+        let parsed = read_fimi(buf.as_slice()).unwrap();
+        assert_eq!(parsed.transactions(), db.transactions());
+    }
+
+    #[test]
+    fn round_trip_through_file() {
+        let dir = std::env::temp_dir();
+        let path = dir.join(format!("pb_fimi_test_{}.dat", std::process::id()));
+        let db = TransactionDb::from_transactions(vec![vec![1, 2], vec![3]]);
+        write_fimi_file(&db, &path).unwrap();
+        let parsed = read_fimi_file(&path).unwrap();
+        assert_eq!(parsed.transactions(), db.transactions());
+        let _ = std::fs::remove_file(&path);
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let err = read_fimi_file("/nonexistent/definitely/missing.dat").unwrap_err();
+        assert!(matches!(err, FimiError::Io(_)));
+        assert!(err.to_string().contains("i/o"));
+    }
+
+    #[test]
+    fn empty_input_gives_empty_db() {
+        let db = read_fimi("".as_bytes()).unwrap();
+        assert!(db.is_empty());
+    }
+}

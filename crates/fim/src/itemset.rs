@@ -1,0 +1,400 @@
+//! Items and itemsets.
+//!
+//! Items are dense `u32` identifiers. An [`ItemSet`] is an immutable, sorted, duplicate-free
+//! set of items. Keeping the representation sorted makes subset tests, unions, and
+//! intersections linear merges, and gives itemsets a canonical form usable as map keys.
+
+use std::fmt;
+
+/// An item identifier. Items are expected to be dense (0..|I|) but any `u32` is accepted.
+pub type Item = u32;
+
+/// A sorted, duplicate-free set of items.
+///
+/// `ItemSet` is the unit of mining: transactions, candidate itemsets, bases, and published
+/// frequent itemsets are all `ItemSet`s. The empty itemset is valid (it is a subset of every
+/// transaction and therefore has frequency 1).
+#[derive(Clone, PartialEq, Eq, Hash, PartialOrd, Ord, Default)]
+pub struct ItemSet {
+    items: Vec<Item>,
+}
+
+impl ItemSet {
+    /// Creates an itemset from the given items, sorting and deduplicating them.
+    pub fn new(mut items: Vec<Item>) -> Self {
+        items.sort_unstable();
+        items.dedup();
+        ItemSet { items }
+    }
+
+    /// Creates an itemset from items that are already sorted and duplicate-free.
+    ///
+    /// Returns `None` if the invariant does not hold; use [`ItemSet::new`] when unsure.
+    pub fn from_sorted(items: Vec<Item>) -> Option<Self> {
+        if items.windows(2).all(|w| w[0] < w[1]) {
+            Some(ItemSet { items })
+        } else {
+            None
+        }
+    }
+
+    /// The empty itemset.
+    pub fn empty() -> Self {
+        ItemSet { items: Vec::new() }
+    }
+
+    /// An itemset with a single item.
+    pub fn singleton(item: Item) -> Self {
+        ItemSet { items: vec![item] }
+    }
+
+    /// An itemset with exactly two (distinct) items.
+    ///
+    /// # Panics
+    /// Panics if `a == b`.
+    pub fn pair(a: Item, b: Item) -> Self {
+        assert_ne!(a, b, "a pair must consist of two distinct items");
+        if a < b {
+            ItemSet { items: vec![a, b] }
+        } else {
+            ItemSet { items: vec![b, a] }
+        }
+    }
+
+    /// Number of items.
+    pub fn len(&self) -> usize {
+        self.items.len()
+    }
+
+    /// True if the itemset contains no items.
+    pub fn is_empty(&self) -> bool {
+        self.items.is_empty()
+    }
+
+    /// The items, sorted ascending.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// Iterate over the items in ascending order.
+    pub fn iter(&self) -> impl Iterator<Item = Item> + '_ {
+        self.items.iter().copied()
+    }
+
+    /// Membership test (binary search).
+    pub fn contains(&self, item: Item) -> bool {
+        self.items.binary_search(&item).is_ok()
+    }
+
+    /// True if `self ⊆ other` (linear merge).
+    pub fn is_subset_of(&self, other: &ItemSet) -> bool {
+        is_sorted_subset(&self.items, &other.items)
+    }
+
+    /// True if `self ⊇ other`.
+    pub fn is_superset_of(&self, other: &ItemSet) -> bool {
+        other.is_subset_of(self)
+    }
+
+    /// Set union.
+    pub fn union(&self, other: &ItemSet) -> ItemSet {
+        let mut out = Vec::with_capacity(self.items.len() + other.items.len());
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => {
+                    out.push(self.items[i]);
+                    i += 1;
+                }
+                std::cmp::Ordering::Greater => {
+                    out.push(other.items[j]);
+                    j += 1;
+                }
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        out.extend_from_slice(&self.items[i..]);
+        out.extend_from_slice(&other.items[j..]);
+        ItemSet { items: out }
+    }
+
+    /// Set intersection.
+    pub fn intersect(&self, other: &ItemSet) -> ItemSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() && j < other.items.len() {
+            match self.items[i].cmp(&other.items[j]) {
+                std::cmp::Ordering::Less => i += 1,
+                std::cmp::Ordering::Greater => j += 1,
+                std::cmp::Ordering::Equal => {
+                    out.push(self.items[i]);
+                    i += 1;
+                    j += 1;
+                }
+            }
+        }
+        ItemSet { items: out }
+    }
+
+    /// Set difference `self \ other`.
+    pub fn difference(&self, other: &ItemSet) -> ItemSet {
+        let mut out = Vec::new();
+        let (mut i, mut j) = (0, 0);
+        while i < self.items.len() {
+            if j >= other.items.len() || self.items[i] < other.items[j] {
+                out.push(self.items[i]);
+                i += 1;
+            } else if self.items[i] > other.items[j] {
+                j += 1;
+            } else {
+                i += 1;
+                j += 1;
+            }
+        }
+        ItemSet { items: out }
+    }
+
+    /// Returns a new itemset with `item` inserted.
+    pub fn with_item(&self, item: Item) -> ItemSet {
+        if self.contains(item) {
+            return self.clone();
+        }
+        let mut items = self.items.clone();
+        let pos = items.partition_point(|&x| x < item);
+        items.insert(pos, item);
+        ItemSet { items }
+    }
+
+    /// Returns a new itemset with `item` removed (no-op if absent).
+    pub fn without_item(&self, item: Item) -> ItemSet {
+        let items = self.items.iter().copied().filter(|&x| x != item).collect();
+        ItemSet { items }
+    }
+
+    /// All subsets of this itemset, including the empty set and the set itself.
+    ///
+    /// The number of subsets is `2^len`; callers should keep `len` small (the paper caps
+    /// basis length at 12).
+    pub fn subsets(&self) -> Vec<ItemSet> {
+        let n = self.items.len();
+        assert!(n < usize::BITS as usize, "itemset too large to enumerate subsets");
+        let mut out = Vec::with_capacity(1usize << n);
+        for mask in 0..(1usize << n) {
+            let mut subset = Vec::with_capacity(mask.count_ones() as usize);
+            for (bit, &item) in self.items.iter().enumerate() {
+                if mask & (1 << bit) != 0 {
+                    subset.push(item);
+                }
+            }
+            out.push(ItemSet { items: subset });
+        }
+        out
+    }
+
+    /// All subsets of this itemset with exactly `size` items.
+    pub fn subsets_of_size(&self, size: usize) -> Vec<ItemSet> {
+        let mut out = Vec::new();
+        let mut current = Vec::with_capacity(size);
+        combinations(&self.items, size, 0, &mut current, &mut out);
+        out
+    }
+
+    /// All unordered pairs of distinct items of this itemset.
+    pub fn pairs(&self) -> Vec<ItemSet> {
+        self.subsets_of_size(2)
+    }
+}
+
+fn combinations(
+    items: &[Item],
+    size: usize,
+    start: usize,
+    current: &mut Vec<Item>,
+    out: &mut Vec<ItemSet>,
+) {
+    if current.len() == size {
+        out.push(ItemSet { items: current.clone() });
+        return;
+    }
+    let needed = size - current.len();
+    for i in start..items.len() {
+        if items.len() - i < needed {
+            break;
+        }
+        current.push(items[i]);
+        combinations(items, size, i + 1, current, out);
+        current.pop();
+    }
+}
+
+/// True if sorted slice `a` is a subset of sorted slice `b`.
+pub(crate) fn is_sorted_subset(a: &[Item], b: &[Item]) -> bool {
+    let mut j = 0;
+    for &x in a {
+        loop {
+            if j >= b.len() {
+                return false;
+            }
+            if b[j] < x {
+                j += 1;
+            } else if b[j] == x {
+                j += 1;
+                break;
+            } else {
+                return false;
+            }
+        }
+    }
+    true
+}
+
+impl fmt::Debug for ItemSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{{")?;
+        for (i, item) in self.items.iter().enumerate() {
+            if i > 0 {
+                write!(f, ",")?;
+            }
+            write!(f, "{item}")?;
+        }
+        write!(f, "}}")
+    }
+}
+
+impl fmt::Display for ItemSet {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        fmt::Debug::fmt(self, f)
+    }
+}
+
+impl From<Vec<Item>> for ItemSet {
+    fn from(items: Vec<Item>) -> Self {
+        ItemSet::new(items)
+    }
+}
+
+impl From<&[Item]> for ItemSet {
+    fn from(items: &[Item]) -> Self {
+        ItemSet::new(items.to_vec())
+    }
+}
+
+impl FromIterator<Item> for ItemSet {
+    fn from_iter<T: IntoIterator<Item = Item>>(iter: T) -> Self {
+        ItemSet::new(iter.into_iter().collect())
+    }
+}
+
+impl<'a> IntoIterator for &'a ItemSet {
+    type Item = Item;
+    type IntoIter = std::iter::Copied<std::slice::Iter<'a, Item>>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.items.iter().copied()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_sorts_and_dedups() {
+        let s = ItemSet::new(vec![3, 1, 2, 3, 1]);
+        assert_eq!(s.items(), &[1, 2, 3]);
+        assert_eq!(s.len(), 3);
+    }
+
+    #[test]
+    fn from_sorted_accepts_only_strictly_increasing() {
+        assert!(ItemSet::from_sorted(vec![1, 2, 3]).is_some());
+        assert!(ItemSet::from_sorted(vec![]).is_some());
+        assert!(ItemSet::from_sorted(vec![1, 1, 2]).is_none());
+        assert!(ItemSet::from_sorted(vec![2, 1]).is_none());
+    }
+
+    #[test]
+    fn empty_and_singleton() {
+        assert!(ItemSet::empty().is_empty());
+        assert_eq!(ItemSet::singleton(7).items(), &[7]);
+    }
+
+    #[test]
+    fn pair_orders_items() {
+        assert_eq!(ItemSet::pair(5, 2).items(), &[2, 5]);
+        assert_eq!(ItemSet::pair(2, 5).items(), &[2, 5]);
+    }
+
+    #[test]
+    #[should_panic(expected = "distinct")]
+    fn pair_rejects_equal_items() {
+        let _ = ItemSet::pair(3, 3);
+    }
+
+    #[test]
+    fn contains_and_subset() {
+        let s = ItemSet::new(vec![1, 3, 5, 7]);
+        assert!(s.contains(5));
+        assert!(!s.contains(4));
+        assert!(ItemSet::new(vec![3, 7]).is_subset_of(&s));
+        assert!(!ItemSet::new(vec![3, 4]).is_subset_of(&s));
+        assert!(ItemSet::empty().is_subset_of(&s));
+        assert!(s.is_superset_of(&ItemSet::new(vec![1])));
+    }
+
+    #[test]
+    fn union_intersect_difference() {
+        let a = ItemSet::new(vec![1, 2, 3]);
+        let b = ItemSet::new(vec![2, 3, 4]);
+        assert_eq!(a.union(&b).items(), &[1, 2, 3, 4]);
+        assert_eq!(a.intersect(&b).items(), &[2, 3]);
+        assert_eq!(a.difference(&b).items(), &[1]);
+        assert_eq!(b.difference(&a).items(), &[4]);
+    }
+
+    #[test]
+    fn with_and_without_item() {
+        let a = ItemSet::new(vec![1, 3]);
+        assert_eq!(a.with_item(2).items(), &[1, 2, 3]);
+        assert_eq!(a.with_item(3).items(), &[1, 3]);
+        assert_eq!(a.without_item(1).items(), &[3]);
+        assert_eq!(a.without_item(9).items(), &[1, 3]);
+    }
+
+    #[test]
+    fn subsets_enumerates_power_set() {
+        let s = ItemSet::new(vec![1, 2, 3]);
+        let subs = s.subsets();
+        assert_eq!(subs.len(), 8);
+        assert!(subs.contains(&ItemSet::empty()));
+        assert!(subs.contains(&s));
+        assert!(subs.contains(&ItemSet::new(vec![1, 3])));
+    }
+
+    #[test]
+    fn subsets_of_size_matches_binomial() {
+        let s = ItemSet::new(vec![1, 2, 3, 4, 5]);
+        assert_eq!(s.subsets_of_size(0).len(), 1);
+        assert_eq!(s.subsets_of_size(2).len(), 10);
+        assert_eq!(s.subsets_of_size(3).len(), 10);
+        assert_eq!(s.subsets_of_size(5).len(), 1);
+        assert_eq!(s.subsets_of_size(6).len(), 0);
+        assert_eq!(s.pairs().len(), 10);
+    }
+
+    #[test]
+    fn display_formats_braces() {
+        assert_eq!(format!("{}", ItemSet::new(vec![2, 1])), "{1,2}");
+        assert_eq!(format!("{}", ItemSet::empty()), "{}");
+    }
+
+    #[test]
+    fn from_iterator_collects() {
+        let s: ItemSet = [3u32, 1, 2].into_iter().collect();
+        assert_eq!(s.items(), &[1, 2, 3]);
+    }
+}

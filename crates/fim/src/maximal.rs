@@ -1,0 +1,118 @@
+//! Maximal frequent itemsets.
+//!
+//! Proposition 3 of the paper observes that the set of *maximal* θ-frequent itemsets is itself
+//! a θ-basis set with the smallest possible length. The private algorithm cannot publish the
+//! maximal itemsets directly, but the non-private version here is used for ground-truth
+//! analysis, for tests of basis-set coverage, and by the ablation experiments.
+
+use crate::itemset::ItemSet;
+use crate::topk::FrequentItemset;
+use crate::transaction::TransactionDb;
+
+/// Extracts the maximal itemsets from a collection of frequent itemsets.
+///
+/// An itemset is maximal if no strict superset of it appears in `frequent`.
+/// Runs in `O(n²)` subset tests grouped by length, which is fine for the set sizes the paper
+/// works with (hundreds of itemsets).
+pub fn maximal_itemsets(frequent: &[FrequentItemset]) -> Vec<FrequentItemset> {
+    let mut sorted: Vec<&FrequentItemset> = frequent.iter().collect();
+    // Longest first: a set can only be covered by a longer one.
+    sorted.sort_unstable_by(|a, b| b.items.len().cmp(&a.items.len()).then(a.items.cmp(&b.items)));
+
+    let mut maximal: Vec<FrequentItemset> = Vec::new();
+    for f in sorted {
+        if !maximal.iter().any(|m| f.items.is_subset_of(&m.items) && f.items != m.items) {
+            maximal.push(f.clone());
+        }
+    }
+    maximal.sort_unstable_by(|a, b| b.count.cmp(&a.count).then(a.items.cmp(&b.items)));
+    maximal
+}
+
+/// Mines the maximal θ-frequent itemsets of a database directly.
+pub fn maximal_frequent_itemsets(db: &TransactionDb, theta: f64) -> Vec<FrequentItemset> {
+    let all = crate::fpgrowth::fpgrowth_by_frequency(db, theta, None);
+    maximal_itemsets(&all)
+}
+
+/// Checks whether `cover` is a θ-basis set for the given frequent itemsets: every frequent
+/// itemset must be a subset of some element of `cover` (Definition 2 of the paper).
+pub fn covers_all(frequent: &[FrequentItemset], cover: &[ItemSet]) -> bool {
+    frequent
+        .iter()
+        .all(|f| cover.iter().any(|b| f.items.is_subset_of(b)))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpgrowth::fpgrowth;
+
+    fn sample_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![3, 4],
+            vec![3, 4],
+            vec![4, 5],
+        ])
+    }
+
+    #[test]
+    fn maximal_sets_have_no_frequent_superset() {
+        let db = sample_db();
+        let all = fpgrowth(&db, 2, None);
+        let maximal = maximal_itemsets(&all);
+        for m in &maximal {
+            for other in &all {
+                if m.items != other.items {
+                    assert!(
+                        !m.items.is_subset_of(&other.items),
+                        "{:?} has frequent superset {:?}",
+                        m.items,
+                        other.items
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_frequent_itemset_is_covered_by_a_maximal_one() {
+        let db = sample_db();
+        let all = fpgrowth(&db, 2, None);
+        let maximal = maximal_itemsets(&all);
+        let cover: Vec<ItemSet> = maximal.iter().map(|m| m.items.clone()).collect();
+        assert!(covers_all(&all, &cover));
+    }
+
+    #[test]
+    fn known_maximal_sets() {
+        let db = sample_db();
+        let maximal = maximal_frequent_itemsets(&db, 2.0 / 6.0);
+        let sets: Vec<&ItemSet> = maximal.iter().map(|m| &m.items).collect();
+        assert!(sets.contains(&&ItemSet::new(vec![1, 2, 3])));
+        assert!(sets.contains(&&ItemSet::new(vec![3, 4])));
+        // {4} is covered by {3,4}; {5} is not frequent at support 2.
+        assert!(!sets.contains(&&ItemSet::new(vec![4])));
+        assert!(!sets.contains(&&ItemSet::new(vec![5])));
+    }
+
+    #[test]
+    fn covers_all_detects_gaps() {
+        let db = sample_db();
+        let all = fpgrowth(&db, 2, None);
+        assert!(!covers_all(&all, &[ItemSet::new(vec![1, 2, 3])]));
+        assert!(covers_all(
+            &all,
+            &[ItemSet::new(vec![1, 2, 3]), ItemSet::new(vec![3, 4])]
+        ));
+    }
+
+    #[test]
+    fn empty_input() {
+        assert!(maximal_itemsets(&[]).is_empty());
+        assert!(covers_all(&[], &[]));
+    }
+}

@@ -1,0 +1,215 @@
+//! Association rule generation from frequent itemsets.
+//!
+//! The paper motivates frequent itemset mining with association rules (Agrawal & Srikant,
+//! reference 5 of the paper);
+//! once itemsets and their (noisy or exact) frequencies are available, rule generation is pure
+//! post-processing, so it composes with the private releases at no additional privacy cost.
+
+use crate::itemset::ItemSet;
+use crate::topk::FrequentItemset;
+use std::collections::HashMap;
+
+/// An association rule `antecedent ⇒ consequent` with its support and confidence.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AssociationRule {
+    /// Left-hand side of the rule.
+    pub antecedent: ItemSet,
+    /// Right-hand side of the rule (disjoint from the antecedent).
+    pub consequent: ItemSet,
+    /// Frequency of `antecedent ∪ consequent`.
+    pub support: f64,
+    /// `support(antecedent ∪ consequent) / support(antecedent)`.
+    pub confidence: f64,
+    /// `confidence / support(consequent)`; > 1 indicates positive correlation.
+    pub lift: f64,
+}
+
+impl std::fmt::Display for AssociationRule {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} => {} (support {:.3}, confidence {:.3}, lift {:.2})",
+            self.antecedent, self.consequent, self.support, self.confidence, self.lift
+        )
+    }
+}
+
+/// Generates all association rules with confidence at least `min_confidence` from a set of
+/// itemsets with known frequencies (counts are interpreted relative to `num_transactions`).
+///
+/// Rules are only generated when the frequencies of the full itemset, the antecedent, and the
+/// consequent are all present in `itemsets` — which is always the case for a downward-closed
+/// collection such as the output of a miner, and usually the case for the candidate set
+/// `C(B)` of a PrivBasis release. Results are sorted by descending confidence, then support.
+pub fn generate_rules(
+    itemsets: &[FrequentItemset],
+    num_transactions: usize,
+    min_confidence: f64,
+) -> Vec<AssociationRule> {
+    assert!(
+        (0.0..=1.0).contains(&min_confidence),
+        "min_confidence must be a probability"
+    );
+    if num_transactions == 0 {
+        return Vec::new();
+    }
+    let n = num_transactions as f64;
+    let freq: HashMap<&ItemSet, f64> = itemsets.iter().map(|f| (&f.items, f.count as f64 / n)).collect();
+
+    let mut rules = Vec::new();
+    for f in itemsets {
+        if f.items.len() < 2 {
+            continue;
+        }
+        let whole = freq[&f.items];
+        for antecedent in f.items.subsets() {
+            if antecedent.is_empty() || antecedent.len() == f.items.len() {
+                continue;
+            }
+            let consequent = f.items.difference(&antecedent);
+            let (Some(&fa), Some(&fc)) = (freq.get(&antecedent), freq.get(&consequent)) else {
+                continue;
+            };
+            if fa <= 0.0 || fc <= 0.0 {
+                continue;
+            }
+            let confidence = whole / fa;
+            if confidence >= min_confidence {
+                rules.push(AssociationRule {
+                    antecedent,
+                    consequent,
+                    support: whole,
+                    confidence,
+                    lift: confidence / fc,
+                });
+            }
+        }
+    }
+    rules.sort_by(|a, b| {
+        b.confidence
+            .partial_cmp(&a.confidence)
+            .expect("finite confidences")
+            .then(b.support.partial_cmp(&a.support).expect("finite supports"))
+            .then(a.antecedent.cmp(&b.antecedent))
+    });
+    rules
+}
+
+/// Convenience: generate rules from noisy `(itemset, noisy count)` pairs such as a PrivBasis or
+/// TF release. Noisy counts are clamped at zero before use.
+pub fn generate_rules_from_noisy(
+    published: &[(ItemSet, f64)],
+    num_transactions: usize,
+    min_confidence: f64,
+) -> Vec<AssociationRule> {
+    let as_frequent: Vec<FrequentItemset> = published
+        .iter()
+        .map(|(s, c)| FrequentItemset::new(s.clone(), c.max(0.0).round() as usize))
+        .collect();
+    generate_rules(&as_frequent, num_transactions, min_confidence)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::fpgrowth::fpgrowth;
+    use crate::transaction::TransactionDb;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 2],
+            vec![1, 2],
+            vec![1, 2],
+            vec![1, 2, 3],
+            vec![1, 3],
+            vec![2],
+            vec![3],
+            vec![1],
+        ])
+    }
+
+    #[test]
+    fn generates_expected_rule() {
+        let db = db();
+        let frequent = fpgrowth(&db, 1, None);
+        let rules = generate_rules(&frequent, db.len(), 0.6);
+        // {2} => {1}: support({1,2}) = 4/8, support({2}) = 5/8 -> confidence 0.8.
+        let rule = rules
+            .iter()
+            .find(|r| r.antecedent == ItemSet::singleton(2) && r.consequent == ItemSet::singleton(1))
+            .expect("rule {2} => {1} should be present");
+        assert!((rule.support - 0.5).abs() < 1e-12);
+        assert!((rule.confidence - 0.8).abs() < 1e-12);
+        assert!((rule.lift - 0.8 / 0.75).abs() < 1e-12);
+    }
+
+    #[test]
+    fn respects_min_confidence() {
+        let db = db();
+        let frequent = fpgrowth(&db, 1, None);
+        let strict = generate_rules(&frequent, db.len(), 0.9);
+        assert!(strict.iter().all(|r| r.confidence >= 0.9));
+        let loose = generate_rules(&frequent, db.len(), 0.1);
+        assert!(loose.len() >= strict.len());
+    }
+
+    #[test]
+    fn rules_sorted_by_confidence() {
+        let db = db();
+        let frequent = fpgrowth(&db, 1, None);
+        let rules = generate_rules(&frequent, db.len(), 0.0);
+        for w in rules.windows(2) {
+            assert!(w[0].confidence >= w[1].confidence);
+        }
+    }
+
+    #[test]
+    fn antecedent_and_consequent_are_disjoint_and_nonempty() {
+        let db = db();
+        let frequent = fpgrowth(&db, 1, None);
+        for r in generate_rules(&frequent, db.len(), 0.0) {
+            assert!(!r.antecedent.is_empty());
+            assert!(!r.consequent.is_empty());
+            assert!(r.antecedent.intersect(&r.consequent).is_empty());
+        }
+    }
+
+    #[test]
+    fn noisy_counts_are_clamped() {
+        let published = vec![
+            (ItemSet::new(vec![1]), 10.4),
+            (ItemSet::new(vec![2]), -3.0),
+            (ItemSet::new(vec![1, 2]), 5.2),
+        ];
+        let rules = generate_rules_from_noisy(&published, 20, 0.0);
+        // {2} has clamped count 0, so only rules with antecedent {1} survive the fa > 0 check.
+        assert!(rules.iter().all(|r| r.antecedent == ItemSet::singleton(1)));
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert!(generate_rules(&[], 10, 0.5).is_empty());
+        let single = vec![FrequentItemset::new(ItemSet::singleton(1), 5)];
+        assert!(generate_rules(&single, 10, 0.5).is_empty());
+        assert!(generate_rules(&single, 0, 0.5).is_empty());
+    }
+
+    #[test]
+    #[should_panic(expected = "min_confidence")]
+    fn rejects_bad_confidence() {
+        let _ = generate_rules(&[], 10, 1.5);
+    }
+
+    #[test]
+    fn display_format() {
+        let r = AssociationRule {
+            antecedent: ItemSet::singleton(1),
+            consequent: ItemSet::singleton(2),
+            support: 0.5,
+            confidence: 0.75,
+            lift: 1.2,
+        };
+        let s = format!("{r}");
+        assert!(s.contains("=>") && s.contains("0.750"));
+    }
+}

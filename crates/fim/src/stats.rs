@@ -1,0 +1,173 @@
+//! Dataset and top-`k` statistics reported in Table 2(a) of the paper.
+//!
+//! For a dataset and a value of `k` the paper reports:
+//!
+//! * `N` — number of transactions,
+//! * `|I|` — number of distinct items,
+//! * `avg |t|` — average transaction length,
+//! * `λ` — number of distinct items appearing in the top-`k` itemsets,
+//! * `λ₂` — number of distinct pairs appearing (as subsets) in the top-`k` itemsets,
+//! * `λ₃` — number of distinct size-3 itemsets appearing in the top-`k` itemsets,
+//! * `f_k` — frequency of the `k`-th most frequent itemset.
+
+use crate::itemset::{Item, ItemSet};
+use crate::topk::{top_k_itemsets, FrequentItemset};
+use crate::transaction::TransactionDb;
+use std::collections::HashSet;
+
+/// Statistics of a dataset with respect to its top-`k` frequent itemsets.
+#[derive(Clone, Debug, PartialEq)]
+pub struct TopKStats {
+    /// The `k` this record was computed for.
+    pub k: usize,
+    /// Number of transactions `N`.
+    pub num_transactions: usize,
+    /// Number of distinct items `|I|`.
+    pub num_items: usize,
+    /// Average transaction length.
+    pub avg_transaction_len: f64,
+    /// Number of distinct items appearing in the top-`k` itemsets (λ).
+    pub lambda: usize,
+    /// Number of distinct pairs that are subsets of some top-`k` itemset (λ₂).
+    pub lambda2: usize,
+    /// Number of distinct size-3 subsets of some top-`k` itemset (λ₃).
+    pub lambda3: usize,
+    /// Support count of the `k`-th itemset (`f_k · N`); 0 if fewer than `k` itemsets exist.
+    pub fk_count: usize,
+}
+
+impl TopKStats {
+    /// Frequency of the `k`-th itemset.
+    pub fn fk(&self) -> f64 {
+        if self.num_transactions == 0 {
+            0.0
+        } else {
+            self.fk_count as f64 / self.num_transactions as f64
+        }
+    }
+}
+
+/// Number of distinct items appearing in the given itemsets (λ).
+pub fn unique_items(itemsets: &[FrequentItemset]) -> usize {
+    let mut items: HashSet<Item> = HashSet::new();
+    for f in itemsets {
+        items.extend(f.items.iter());
+    }
+    items.len()
+}
+
+/// The distinct items appearing in the given itemsets, sorted ascending.
+pub fn items_of(itemsets: &[FrequentItemset]) -> ItemSet {
+    let mut items: Vec<Item> = Vec::new();
+    for f in itemsets {
+        items.extend(f.items.iter());
+    }
+    ItemSet::new(items)
+}
+
+/// Number of distinct subsets of size `size` across the given itemsets
+/// (λ₂ for `size == 2`, λ₃ for `size == 3`).
+pub fn unique_subsets_of_size(itemsets: &[FrequentItemset], size: usize) -> usize {
+    let mut subs: HashSet<ItemSet> = HashSet::new();
+    for f in itemsets {
+        if f.items.len() >= size {
+            for s in f.items.subsets_of_size(size) {
+                subs.insert(s);
+            }
+        }
+    }
+    subs.len()
+}
+
+/// The distinct pairs appearing as subsets of the given itemsets, as `(a, b)` with `a < b`.
+pub fn pairs_of(itemsets: &[FrequentItemset]) -> Vec<(Item, Item)> {
+    let mut subs: HashSet<(Item, Item)> = HashSet::new();
+    for f in itemsets {
+        if f.items.len() >= 2 {
+            for p in f.items.pairs() {
+                let it = p.items();
+                subs.insert((it[0], it[1]));
+            }
+        }
+    }
+    let mut v: Vec<(Item, Item)> = subs.into_iter().collect();
+    v.sort_unstable();
+    v
+}
+
+/// Computes [`TopKStats`] for a database and `k`.
+pub fn top_k_stats(db: &TransactionDb, k: usize) -> TopKStats {
+    let top = top_k_itemsets(db, k, None);
+    let fk_count = if top.len() >= k { top[k - 1].count } else { 0 };
+    TopKStats {
+        k,
+        num_transactions: db.len(),
+        num_items: db.num_distinct_items(),
+        avg_transaction_len: db.avg_transaction_len(),
+        lambda: unique_items(&top),
+        lambda2: unique_subsets_of_size(&top, 2),
+        lambda3: unique_subsets_of_size(&top, 3),
+        fk_count,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![4, 5],
+            vec![4, 5],
+            vec![6],
+        ])
+    }
+
+    #[test]
+    fn lambda_counts_distinct_items_in_topk() {
+        let db = sample_db();
+        let top = top_k_itemsets(&db, 3, None);
+        // Top 3: {1} (4), {2} (4), then {3} or {1,2} (4 as well) — all involve items 1..=3.
+        assert!(unique_items(&top) <= 3);
+        assert!(unique_items(&top) >= 2);
+    }
+
+    #[test]
+    fn subset_counts() {
+        let sets = vec![
+            FrequentItemset::new(ItemSet::new(vec![1, 2, 3]), 5),
+            FrequentItemset::new(ItemSet::new(vec![2, 3]), 4),
+            FrequentItemset::new(ItemSet::new(vec![4]), 3),
+        ];
+        assert_eq!(unique_items(&sets), 4);
+        // Pairs: {1,2},{1,3},{2,3} from the triple; {2,3} again from the pair -> 3 distinct.
+        assert_eq!(unique_subsets_of_size(&sets, 2), 3);
+        assert_eq!(unique_subsets_of_size(&sets, 3), 1);
+        assert_eq!(pairs_of(&sets), vec![(1, 2), (1, 3), (2, 3)]);
+        assert_eq!(items_of(&sets), ItemSet::new(vec![1, 2, 3, 4]));
+    }
+
+    #[test]
+    fn stats_shape() {
+        let db = sample_db();
+        let stats = top_k_stats(&db, 4);
+        assert_eq!(stats.k, 4);
+        assert_eq!(stats.num_transactions, 7);
+        assert_eq!(stats.num_items, 6);
+        assert!(stats.fk_count > 0);
+        assert!(stats.fk() > 0.0 && stats.fk() <= 1.0);
+        assert!(stats.lambda >= 1);
+    }
+
+    #[test]
+    fn stats_with_k_larger_than_available() {
+        let db = TransactionDb::from_transactions(vec![vec![1], vec![2]]);
+        let stats = top_k_stats(&db, 50);
+        assert_eq!(stats.fk_count, 0);
+        assert_eq!(stats.fk(), 0.0);
+    }
+}

@@ -1,0 +1,175 @@
+//! Top-`k` frequent itemset mining.
+//!
+//! The paper's problem statement is "publish the `k` most frequent itemsets". This module
+//! provides the exact (non-private) version used as ground truth: it lowers the mining
+//! threshold adaptively until at least `k` itemsets are found and returns the best `k`,
+//! together with the threshold `f_k` (frequency of the `k`-th itemset).
+
+use crate::fpgrowth::fpgrowth;
+use crate::itemset::ItemSet;
+use crate::transaction::TransactionDb;
+
+/// A mined itemset together with its exact support count.
+#[derive(Clone, Debug, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct FrequentItemset {
+    /// The itemset.
+    pub items: ItemSet,
+    /// Number of transactions containing the itemset.
+    pub count: usize,
+}
+
+impl FrequentItemset {
+    /// Creates a new frequent-itemset record.
+    pub fn new(items: ItemSet, count: usize) -> Self {
+        FrequentItemset { items, count }
+    }
+
+    /// Frequency relative to a database of `n` transactions.
+    pub fn frequency(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.count as f64 / n as f64
+        }
+    }
+}
+
+/// Exact top-`k` frequent itemsets, optionally restricted to itemsets of length `<= max_len`.
+///
+/// Ties at rank `k` are broken deterministically (shorter itemsets first, then lexicographic),
+/// matching the ordering used by both miners, so repeated calls return the same answer.
+/// Returns fewer than `k` itemsets only if the database contains fewer distinct itemsets with
+/// non-zero support.
+pub fn top_k_itemsets(db: &TransactionDb, k: usize, max_len: Option<usize>) -> Vec<FrequentItemset> {
+    if k == 0 || db.is_empty() {
+        return Vec::new();
+    }
+    // Start from a threshold that certainly keeps at least the k most frequent single items,
+    // then decrease geometrically until k itemsets are available (or the threshold reaches 1).
+    let mut by_freq = db.items_by_frequency();
+    by_freq.truncate(k);
+    let mut min_count = by_freq.last().map(|&(_, c)| c).unwrap_or(1).max(1);
+    loop {
+        let mined = fpgrowth(db, min_count, max_len);
+        if mined.len() >= k || min_count == 1 {
+            let mut top = mined;
+            top.truncate(k);
+            return top;
+        }
+        min_count = (min_count / 2).max(1);
+    }
+}
+
+/// All itemsets with frequency `>= theta`, sorted by descending support.
+pub fn itemsets_above_threshold(
+    db: &TransactionDb,
+    theta: f64,
+    max_len: Option<usize>,
+) -> Vec<FrequentItemset> {
+    crate::fpgrowth::fpgrowth_by_frequency(db, theta, max_len)
+}
+
+/// The support count of the `k`-th most frequent itemset (`f_k · N` in the paper's notation),
+/// or `None` if fewer than `k` itemsets have non-zero support.
+pub fn kth_count(db: &TransactionDb, k: usize, max_len: Option<usize>) -> Option<usize> {
+    let top = top_k_itemsets(db, k, max_len);
+    if top.len() < k {
+        None
+    } else {
+        Some(top[k - 1].count)
+    }
+}
+
+/// The frequency `f_k` of the `k`-th most frequent itemset, or `None` if fewer than `k`
+/// itemsets have non-zero support.
+pub fn kth_frequency(db: &TransactionDb, k: usize, max_len: Option<usize>) -> Option<f64> {
+    kth_count(db, k, max_len).map(|c| c as f64 / db.len() as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::itemset::Item;
+
+    fn sample_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 2, 5],
+            vec![2, 4],
+            vec![2, 3],
+            vec![1, 2, 4],
+            vec![1, 3],
+            vec![2, 3],
+            vec![1, 3],
+            vec![1, 2, 3, 5],
+            vec![1, 2, 3],
+        ])
+    }
+
+    #[test]
+    fn top_1_is_most_frequent_item() {
+        let db = sample_db();
+        let top = top_k_itemsets(&db, 1, None);
+        assert_eq!(top.len(), 1);
+        assert_eq!(top[0].items, ItemSet::singleton(2));
+        assert_eq!(top[0].count, 7);
+    }
+
+    #[test]
+    fn counts_are_non_increasing() {
+        let db = sample_db();
+        let top = top_k_itemsets(&db, 10, None);
+        assert_eq!(top.len(), 10);
+        for w in top.windows(2) {
+            assert!(w[0].count >= w[1].count);
+        }
+    }
+
+    #[test]
+    fn k_zero_and_empty_db() {
+        let db = sample_db();
+        assert!(top_k_itemsets(&db, 0, None).is_empty());
+        let empty = TransactionDb::from_transactions(Vec::<Vec<Item>>::new());
+        assert!(top_k_itemsets(&empty, 5, None).is_empty());
+    }
+
+    #[test]
+    fn k_larger_than_available_returns_all() {
+        let db = TransactionDb::from_transactions(vec![vec![1], vec![1], vec![2]]);
+        // Possible itemsets with non-zero support: {1}, {2} only.
+        let top = top_k_itemsets(&db, 100, None);
+        assert_eq!(top.len(), 2);
+    }
+
+    #[test]
+    fn max_len_restricts_results() {
+        let db = sample_db();
+        let top = top_k_itemsets(&db, 20, Some(1));
+        assert!(top.iter().all(|f| f.items.len() == 1));
+    }
+
+    #[test]
+    fn kth_count_and_frequency() {
+        let db = sample_db();
+        let top = top_k_itemsets(&db, 5, None);
+        assert_eq!(kth_count(&db, 5, None), Some(top[4].count));
+        let f = kth_frequency(&db, 5, None).unwrap();
+        assert!((f - top[4].count as f64 / 9.0).abs() < 1e-12);
+        assert_eq!(kth_count(&db, 10_000, None), None);
+    }
+
+    #[test]
+    fn threshold_mining_matches_fpgrowth() {
+        let db = sample_db();
+        let above = itemsets_above_threshold(&db, 0.3, None);
+        assert!(above.iter().all(|f| f.frequency(db.len()) >= 0.3));
+        // Frequency of {1,2} is 4/9 >= 0.3, must be present.
+        assert!(above.iter().any(|f| f.items == ItemSet::new(vec![1, 2])));
+    }
+
+    #[test]
+    fn frequency_helper() {
+        let fi = FrequentItemset::new(ItemSet::singleton(1), 3);
+        assert!((fi.frequency(6) - 0.5).abs() < 1e-12);
+        assert_eq!(fi.frequency(0), 0.0);
+    }
+}

@@ -1,0 +1,295 @@
+//! Transaction databases.
+//!
+//! A [`TransactionDb`] stores every transaction as a sorted [`ItemSet`] and offers the exact
+//! counting primitives the rest of the workspace needs: itemset support, per-item counts,
+//! pair counts restricted to a subset of items, and projections onto a basis.
+
+use crate::itemset::{Item, ItemSet};
+use std::collections::HashMap;
+
+/// An in-memory transaction database.
+///
+/// Frequencies in the paper are fractions `f(X) = support(X) / N`; this type exposes both raw
+/// support counts and frequencies.
+#[derive(Clone, Debug, Default)]
+pub struct TransactionDb {
+    transactions: Vec<ItemSet>,
+    /// Cached number of distinct items (max item id + 1 is *not* used; we count distinct ids).
+    num_distinct_items: usize,
+    /// Sum of transaction lengths, cached for `avg_transaction_len`.
+    total_items: usize,
+}
+
+impl TransactionDb {
+    /// Builds a database from raw transactions (each an unsorted, possibly duplicated item list).
+    pub fn from_transactions<T>(raw: Vec<T>) -> Self
+    where
+        T: Into<ItemSet>,
+    {
+        let transactions: Vec<ItemSet> = raw.into_iter().map(Into::into).collect();
+        Self::from_itemsets(transactions)
+    }
+
+    /// Builds a database from already-normalised itemsets.
+    pub fn from_itemsets(transactions: Vec<ItemSet>) -> Self {
+        let mut distinct = std::collections::HashSet::new();
+        let mut total_items = 0usize;
+        for t in &transactions {
+            total_items += t.len();
+            for item in t.iter() {
+                distinct.insert(item);
+            }
+        }
+        TransactionDb {
+            transactions,
+            num_distinct_items: distinct.len(),
+            total_items,
+        }
+    }
+
+    /// Number of transactions `N`.
+    pub fn len(&self) -> usize {
+        self.transactions.len()
+    }
+
+    /// True if the database holds no transactions.
+    pub fn is_empty(&self) -> bool {
+        self.transactions.is_empty()
+    }
+
+    /// Number of distinct items that actually occur in the database.
+    pub fn num_distinct_items(&self) -> usize {
+        self.num_distinct_items
+    }
+
+    /// Average transaction length (0.0 for an empty database).
+    pub fn avg_transaction_len(&self) -> f64 {
+        if self.transactions.is_empty() {
+            0.0
+        } else {
+            self.total_items as f64 / self.transactions.len() as f64
+        }
+    }
+
+    /// The transactions.
+    pub fn transactions(&self) -> &[ItemSet] {
+        &self.transactions
+    }
+
+    /// Iterate over transactions.
+    pub fn iter(&self) -> impl Iterator<Item = &ItemSet> {
+        self.transactions.iter()
+    }
+
+    /// The set of distinct items occurring in the database, sorted.
+    pub fn item_universe(&self) -> Vec<Item> {
+        let mut items: Vec<Item> = self
+            .item_counts().into_keys()
+            .collect();
+        items.sort_unstable();
+        items
+    }
+
+    /// Support count of a single itemset (number of transactions containing it).
+    ///
+    /// The empty itemset is contained in every transaction.
+    pub fn support(&self, itemset: &ItemSet) -> usize {
+        self.transactions
+            .iter()
+            .filter(|t| itemset.is_subset_of(t))
+            .count()
+    }
+
+    /// Frequency `f(X) = support(X)/N` of a single itemset. Returns 0.0 on an empty database.
+    pub fn frequency(&self, itemset: &ItemSet) -> f64 {
+        if self.transactions.is_empty() {
+            0.0
+        } else {
+            self.support(itemset) as f64 / self.transactions.len() as f64
+        }
+    }
+
+    /// Support counts for a batch of itemsets, computed in a single scan of the database.
+    pub fn supports(&self, itemsets: &[ItemSet]) -> Vec<usize> {
+        let mut counts = vec![0usize; itemsets.len()];
+        for t in &self.transactions {
+            for (i, x) in itemsets.iter().enumerate() {
+                if x.is_subset_of(t) {
+                    counts[i] += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Per-item support counts.
+    pub fn item_counts(&self) -> HashMap<Item, usize> {
+        let mut counts: HashMap<Item, usize> = HashMap::new();
+        for t in &self.transactions {
+            for item in t.iter() {
+                *counts.entry(item).or_insert(0) += 1;
+            }
+        }
+        counts
+    }
+
+    /// Items sorted by descending support (ties broken by ascending item id for determinism).
+    pub fn items_by_frequency(&self) -> Vec<(Item, usize)> {
+        let mut v: Vec<(Item, usize)> = self.item_counts().into_iter().collect();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Support counts of all unordered pairs over the given items, computed in one scan.
+    ///
+    /// Only pairs with non-zero support appear in the result.
+    pub fn pair_counts(&self, items: &ItemSet) -> HashMap<(Item, Item), usize> {
+        let mut counts: HashMap<(Item, Item), usize> = HashMap::new();
+        for t in &self.transactions {
+            let present = t.intersect(items);
+            let p = present.items();
+            for i in 0..p.len() {
+                for j in (i + 1)..p.len() {
+                    *counts.entry((p[i], p[j])).or_insert(0) += 1;
+                }
+            }
+        }
+        counts
+    }
+
+    /// Projects every transaction onto `basis` (removing all items outside it).
+    ///
+    /// This is the "projection onto selected dimensions" view of §4.1; it is used by tests and
+    /// examples, while the hot path in `BasisFreq` computes `t ∩ B_i` without materialising a
+    /// new database.
+    pub fn project(&self, basis: &ItemSet) -> TransactionDb {
+        let projected: Vec<ItemSet> = self
+            .transactions
+            .iter()
+            .map(|t| t.intersect(basis))
+            .collect();
+        TransactionDb::from_itemsets(projected)
+    }
+
+    /// Adds one transaction (used by tests exercising neighbouring-database sensitivity).
+    pub fn push(&mut self, t: ItemSet) {
+        self.total_items += t.len();
+        self.transactions.push(t);
+        // Distinct item count must be recomputed lazily; do it eagerly for simplicity.
+        let mut distinct = std::collections::HashSet::new();
+        for t in &self.transactions {
+            for item in t.iter() {
+                distinct.insert(item);
+            }
+        }
+        self.num_distinct_items = distinct.len();
+    }
+}
+
+impl<'a> IntoIterator for &'a TransactionDb {
+    type Item = &'a ItemSet;
+    type IntoIter = std::slice::Iter<'a, ItemSet>;
+
+    fn into_iter(self) -> Self::IntoIter {
+        self.transactions.iter()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![2, 3],
+            vec![1, 2, 3, 4],
+            vec![4],
+        ])
+    }
+
+    #[test]
+    fn basic_shape() {
+        let db = sample_db();
+        assert_eq!(db.len(), 5);
+        assert!(!db.is_empty());
+        assert_eq!(db.num_distinct_items(), 4);
+        assert!((db.avg_transaction_len() - 12.0 / 5.0).abs() < 1e-12);
+        assert_eq!(db.item_universe(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn empty_db() {
+        let db = TransactionDb::from_transactions(Vec::<Vec<Item>>::new());
+        assert!(db.is_empty());
+        assert_eq!(db.avg_transaction_len(), 0.0);
+        assert_eq!(db.frequency(&ItemSet::singleton(1)), 0.0);
+    }
+
+    #[test]
+    fn support_and_frequency() {
+        let db = sample_db();
+        assert_eq!(db.support(&ItemSet::new(vec![1, 2])), 3);
+        assert_eq!(db.support(&ItemSet::new(vec![2])), 4);
+        assert_eq!(db.support(&ItemSet::new(vec![9])), 0);
+        assert_eq!(db.support(&ItemSet::empty()), 5);
+        assert!((db.frequency(&ItemSet::new(vec![1, 2])) - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn batch_supports_match_individual() {
+        let db = sample_db();
+        let sets = vec![
+            ItemSet::new(vec![1]),
+            ItemSet::new(vec![1, 2, 3]),
+            ItemSet::new(vec![4]),
+            ItemSet::empty(),
+        ];
+        let batch = db.supports(&sets);
+        for (s, &c) in sets.iter().zip(&batch) {
+            assert_eq!(db.support(s), c);
+        }
+    }
+
+    #[test]
+    fn item_counts_and_ordering() {
+        let db = sample_db();
+        let counts = db.item_counts();
+        assert_eq!(counts[&2], 4);
+        assert_eq!(counts[&1], 3);
+        assert_eq!(counts[&4], 2);
+        let by_freq = db.items_by_frequency();
+        assert_eq!(by_freq[0].0, 2);
+        assert_eq!(by_freq[1].0, 1);
+    }
+
+    #[test]
+    fn pair_counts_within_subset() {
+        let db = sample_db();
+        let counts = db.pair_counts(&ItemSet::new(vec![1, 2, 3]));
+        assert_eq!(counts[&(1, 2)], 3);
+        assert_eq!(counts[&(2, 3)], 3);
+        assert_eq!(counts[&(1, 3)], 2);
+        assert!(!counts.contains_key(&(1, 4)));
+    }
+
+    #[test]
+    fn projection_removes_outside_items() {
+        let db = sample_db();
+        let proj = db.project(&ItemSet::new(vec![1, 4]));
+        assert_eq!(proj.len(), 5);
+        assert_eq!(proj.support(&ItemSet::new(vec![1])), 3);
+        assert_eq!(proj.support(&ItemSet::new(vec![2])), 0);
+        assert_eq!(proj.num_distinct_items(), 2);
+    }
+
+    #[test]
+    fn push_updates_counts() {
+        let mut db = sample_db();
+        db.push(ItemSet::new(vec![5, 6]));
+        assert_eq!(db.len(), 6);
+        assert_eq!(db.num_distinct_items(), 6);
+        assert_eq!(db.support(&ItemSet::new(vec![5, 6])), 1);
+    }
+}

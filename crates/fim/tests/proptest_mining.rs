@@ -1,0 +1,119 @@
+//! Property-based tests for the mining substrate.
+//!
+//! The central invariant is that the two independent miners (Apriori and FP-Growth) agree on
+//! arbitrary databases, and that both agree with brute-force support counting.
+
+use pb_fim::apriori::apriori;
+use pb_fim::eclat::eclat;
+use pb_fim::fpgrowth::fpgrowth;
+use pb_fim::itemset::ItemSet;
+use pb_fim::rules::generate_rules;
+use pb_fim::maximal::{covers_all, maximal_itemsets};
+use pb_fim::topk::top_k_itemsets;
+use pb_fim::TransactionDb;
+use proptest::prelude::*;
+
+/// A small random transaction database: up to 30 transactions over up to 8 items.
+fn arb_db() -> impl Strategy<Value = TransactionDb> {
+    prop::collection::vec(prop::collection::vec(0u32..8, 0..6), 0..30)
+        .prop_map(TransactionDb::from_transactions)
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    #[test]
+    fn apriori_and_fpgrowth_agree(db in arb_db(), min_count in 1usize..5) {
+        let a = apriori(&db, min_count, None);
+        let f = fpgrowth(&db, min_count, None);
+        prop_assert_eq!(a, f);
+    }
+
+    #[test]
+    fn eclat_agrees_with_fpgrowth(db in arb_db(), min_count in 1usize..5) {
+        prop_assert_eq!(eclat(&db, min_count, None), fpgrowth(&db, min_count, None));
+    }
+
+    #[test]
+    fn rule_confidences_are_consistent(db in arb_db(), min_count in 1usize..4) {
+        let frequent = fpgrowth(&db, min_count, None);
+        for rule in generate_rules(&frequent, db.len(), 0.0) {
+            // Confidence and lift recomputed from exact supports must match.
+            let whole = db.frequency(&rule.antecedent.union(&rule.consequent));
+            let fa = db.frequency(&rule.antecedent);
+            let fc = db.frequency(&rule.consequent);
+            prop_assert!((rule.support - whole).abs() < 1e-9);
+            prop_assert!((rule.confidence - whole / fa).abs() < 1e-9);
+            prop_assert!((rule.lift - (whole / fa) / fc).abs() < 1e-9);
+            prop_assert!(rule.confidence <= 1.0 + 1e-9);
+        }
+    }
+
+    #[test]
+    fn mined_counts_match_bruteforce(db in arb_db(), min_count in 1usize..4) {
+        for fi in fpgrowth(&db, min_count, None) {
+            prop_assert_eq!(fi.count, db.support(&fi.items));
+            prop_assert!(fi.count >= min_count);
+        }
+    }
+
+    #[test]
+    fn mining_is_complete(db in arb_db(), min_count in 1usize..4) {
+        // Every subset of every transaction with enough support must be reported.
+        let mined: std::collections::HashSet<ItemSet> =
+            fpgrowth(&db, min_count, None).into_iter().map(|f| f.items).collect();
+        for t in db.iter() {
+            if t.len() <= 5 {
+                for s in t.subsets() {
+                    if !s.is_empty() && db.support(&s) >= min_count {
+                        prop_assert!(mined.contains(&s), "missing {:?}", s);
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn apriori_monotonicity(db in arb_db(), min_count in 1usize..4) {
+        // Every non-empty subset of a frequent itemset is at least as frequent.
+        for fi in fpgrowth(&db, min_count, None) {
+            for s in fi.items.subsets() {
+                if !s.is_empty() {
+                    prop_assert!(db.support(&s) >= fi.count);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn topk_is_prefix_of_full_ranking(db in arb_db(), k in 1usize..12) {
+        let top = top_k_itemsets(&db, k, None);
+        let all = fpgrowth(&db, 1, None);
+        prop_assert_eq!(&top[..], &all[..top.len().min(all.len())]);
+        prop_assert!(top.len() <= k);
+    }
+
+    #[test]
+    fn maximal_itemsets_cover_all_frequent(db in arb_db(), min_count in 1usize..4) {
+        let all = fpgrowth(&db, min_count, None);
+        let maximal = maximal_itemsets(&all);
+        let cover: Vec<ItemSet> = maximal.iter().map(|m| m.items.clone()).collect();
+        prop_assert!(covers_all(&all, &cover));
+    }
+
+    #[test]
+    fn itemset_set_algebra(a in prop::collection::vec(0u32..20, 0..10),
+                           b in prop::collection::vec(0u32..20, 0..10)) {
+        let sa = ItemSet::new(a);
+        let sb = ItemSet::new(b);
+        let union = sa.union(&sb);
+        let inter = sa.intersect(&sb);
+        let diff = sa.difference(&sb);
+        prop_assert!(sa.is_subset_of(&union) && sb.is_subset_of(&union));
+        prop_assert!(inter.is_subset_of(&sa) && inter.is_subset_of(&sb));
+        prop_assert!(diff.is_subset_of(&sa));
+        prop_assert!(diff.intersect(&sb).is_empty());
+        // |A| + |B| = |A ∪ B| + |A ∩ B|
+        prop_assert_eq!(sa.len() + sb.len(), union.len() + inter.len());
+    }
+}

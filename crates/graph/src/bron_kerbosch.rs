@@ -1,0 +1,215 @@
+//! Bron–Kerbosch maximal clique enumeration with pivoting.
+//!
+//! The paper (Proposition 5) uses "the classic algorithm for finding all maximal cliques …
+//! the Bron-Kerbosch Algorithm". We implement the pivoting variant, which avoids exploring
+//! neighbourhoods of the chosen pivot and is the standard practical version.
+//!
+//! Isolated nodes are reported as singleton cliques, so the returned family always covers
+//! every node of the graph — PrivBasis relies on this when items in `F` participate in no
+//! frequent pair.
+
+use crate::graph::{Node, UndirectedGraph};
+use std::collections::BTreeSet;
+
+/// Returns all maximal cliques, each as a sorted vector of nodes.
+///
+/// Cliques are returned in a deterministic order (sorted by their node lists), which keeps the
+/// downstream private algorithms reproducible.
+pub fn maximal_cliques(graph: &UndirectedGraph) -> Vec<Vec<Node>> {
+    if graph.num_nodes() == 0 {
+        return Vec::new();
+    }
+    let mut cliques: Vec<Vec<Node>> = Vec::new();
+    let mut r: Vec<Node> = Vec::new();
+    let p: BTreeSet<Node> = graph.nodes().into_iter().collect();
+    let x: BTreeSet<Node> = BTreeSet::new();
+    bron_kerbosch_pivot(graph, &mut r, p, x, &mut cliques);
+    for c in &mut cliques {
+        c.sort_unstable();
+    }
+    cliques.sort();
+    cliques
+}
+
+/// Returns only the maximal cliques with at least `min_size` nodes.
+pub fn maximal_cliques_with_min_size(graph: &UndirectedGraph, min_size: usize) -> Vec<Vec<Node>> {
+    maximal_cliques(graph)
+        .into_iter()
+        .filter(|c| c.len() >= min_size)
+        .collect()
+}
+
+fn bron_kerbosch_pivot(
+    graph: &UndirectedGraph,
+    r: &mut Vec<Node>,
+    p: BTreeSet<Node>,
+    x: BTreeSet<Node>,
+    cliques: &mut Vec<Vec<Node>>,
+) {
+    if p.is_empty() && x.is_empty() {
+        cliques.push(r.clone());
+        return;
+    }
+    // Choose the pivot u from P ∪ X with the most neighbours in P.
+    let pivot = p
+        .iter()
+        .chain(x.iter())
+        .copied()
+        .max_by_key(|&u| {
+            let nu = graph.neighbours(u);
+            p.iter().filter(|v| nu.contains(v)).count()
+        })
+        .expect("P ∪ X is non-empty here");
+    let pivot_neighbours = graph.neighbours(pivot);
+
+    // Iterate over P \ N(pivot). Collect first because P is mutated in the loop.
+    let candidates: Vec<Node> = p.iter().copied().filter(|v| !pivot_neighbours.contains(v)).collect();
+
+    let mut p = p;
+    let mut x = x;
+    for v in candidates {
+        let nv = graph.neighbours(v);
+        r.push(v);
+        let p_next: BTreeSet<Node> = p.iter().copied().filter(|u| nv.contains(u)).collect();
+        let x_next: BTreeSet<Node> = x.iter().copied().filter(|u| nv.contains(u)).collect();
+        bron_kerbosch_pivot(graph, r, p_next, x_next, cliques);
+        r.pop();
+        p.remove(&v);
+        x.insert(v);
+    }
+}
+
+/// Reference implementation without pivoting, used by tests to validate the pivoting version.
+pub fn maximal_cliques_naive(graph: &UndirectedGraph) -> Vec<Vec<Node>> {
+    fn recurse(
+        graph: &UndirectedGraph,
+        r: &mut Vec<Node>,
+        mut p: BTreeSet<Node>,
+        mut x: BTreeSet<Node>,
+        cliques: &mut Vec<Vec<Node>>,
+    ) {
+        if p.is_empty() && x.is_empty() {
+            cliques.push(r.clone());
+            return;
+        }
+        let candidates: Vec<Node> = p.iter().copied().collect();
+        for v in candidates {
+            let nv = graph.neighbours(v);
+            r.push(v);
+            let p_next = p.iter().copied().filter(|u| nv.contains(u)).collect();
+            let x_next = x.iter().copied().filter(|u| nv.contains(u)).collect();
+            recurse(graph, r, p_next, x_next, cliques);
+            r.pop();
+            p.remove(&v);
+            x.insert(v);
+        }
+    }
+
+    if graph.num_nodes() == 0 {
+        return Vec::new();
+    }
+    let mut cliques = Vec::new();
+    let mut r = Vec::new();
+    let p: BTreeSet<Node> = graph.nodes().into_iter().collect();
+    recurse(graph, &mut r, p, BTreeSet::new(), &mut cliques);
+    for c in &mut cliques {
+        c.sort_unstable();
+    }
+    cliques.sort();
+    cliques
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn triangle_plus_pendant() {
+        // 1-2-3 triangle, 3-4 pendant edge.
+        let g = UndirectedGraph::from_edges([(1, 2), (2, 3), (1, 3), (3, 4)]);
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques, vec![vec![1, 2, 3], vec![3, 4]]);
+    }
+
+    #[test]
+    fn isolated_nodes_become_singleton_cliques() {
+        let mut g = UndirectedGraph::from_edges([(1, 2)]);
+        g.add_node(5);
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques, vec![vec![1, 2], vec![5]]);
+    }
+
+    #[test]
+    fn complete_graph_has_one_clique() {
+        let mut g = UndirectedGraph::new();
+        for i in 0..6u32 {
+            for j in (i + 1)..6 {
+                g.add_edge(i, j);
+            }
+        }
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques, vec![vec![0, 1, 2, 3, 4, 5]]);
+    }
+
+    #[test]
+    fn path_graph_cliques_are_edges() {
+        let g = UndirectedGraph::from_edges([(1, 2), (2, 3), (3, 4)]);
+        assert_eq!(maximal_cliques(&g), vec![vec![1, 2], vec![2, 3], vec![3, 4]]);
+    }
+
+    #[test]
+    fn paper_example_overapproximation() {
+        // Pairs {1,2},{2,3},{3,4} frequent: cliques are the edges; itemset {1,2,3} is not a
+        // clique because {1,3} is missing — matching the discussion after Proposition 5.
+        let g = UndirectedGraph::from_edges([(1, 2), (2, 3), (3, 4)]);
+        let cliques = maximal_cliques(&g);
+        assert!(!cliques.contains(&vec![1, 2, 3]));
+    }
+
+    #[test]
+    fn two_overlapping_triangles() {
+        let g = UndirectedGraph::from_edges([(1, 2), (2, 3), (1, 3), (2, 4), (3, 4)]);
+        let cliques = maximal_cliques(&g);
+        assert_eq!(cliques, vec![vec![1, 2, 3], vec![2, 3, 4]]);
+    }
+
+    #[test]
+    fn min_size_filter() {
+        let mut g = UndirectedGraph::from_edges([(1, 2), (2, 3), (1, 3)]);
+        g.add_node(9);
+        assert_eq!(maximal_cliques_with_min_size(&g, 2), vec![vec![1, 2, 3]]);
+        assert_eq!(maximal_cliques_with_min_size(&g, 4), Vec::<Vec<Node>>::new());
+    }
+
+    #[test]
+    fn pivoting_matches_naive_on_moussaka_graph() {
+        // The well-known 6-node example from Wikipedia's Bron–Kerbosch article.
+        let g = UndirectedGraph::from_edges([(1, 2), (1, 5), (2, 3), (2, 5), (3, 4), (4, 5), (4, 6)]);
+        assert_eq!(maximal_cliques(&g), maximal_cliques_naive(&g));
+        assert_eq!(
+            maximal_cliques(&g),
+            vec![vec![1, 2, 5], vec![2, 3], vec![3, 4], vec![4, 5], vec![4, 6]]
+        );
+    }
+
+    #[test]
+    fn every_clique_is_maximal_and_a_clique() {
+        let g = UndirectedGraph::from_edges([(0, 1), (1, 2), (2, 0), (2, 3), (3, 4), (4, 2)]);
+        let cliques = maximal_cliques(&g);
+        for c in &cliques {
+            assert!(g.is_clique(c));
+            // No other clique strictly contains it.
+            for other in &cliques {
+                if c != other {
+                    assert!(!c.iter().all(|n| other.contains(n)));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn empty_graph_has_no_cliques() {
+        let g = UndirectedGraph::new();
+        assert!(maximal_cliques(&g).is_empty());
+    }
+}

@@ -1,0 +1,197 @@
+//! A small undirected graph over `u32` node labels.
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Node identifier. In PrivBasis nodes are items, so the same `u32` space is used.
+pub type Node = u32;
+
+/// An undirected simple graph (no self-loops, no parallel edges) with adjacency sets.
+///
+/// `BTreeMap`/`BTreeSet` keep iteration deterministic, which keeps the private algorithms
+/// reproducible under a fixed RNG seed.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct UndirectedGraph {
+    adjacency: BTreeMap<Node, BTreeSet<Node>>,
+}
+
+impl UndirectedGraph {
+    /// Creates an empty graph.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Creates a graph from a list of edges (nodes are added implicitly).
+    pub fn from_edges<I: IntoIterator<Item = (Node, Node)>>(edges: I) -> Self {
+        let mut g = Self::new();
+        for (a, b) in edges {
+            g.add_edge(a, b);
+        }
+        g
+    }
+
+    /// Adds an isolated node (no-op if it already exists).
+    pub fn add_node(&mut self, node: Node) {
+        self.adjacency.entry(node).or_default();
+    }
+
+    /// Adds an undirected edge. Self-loops are ignored. Nodes are added as needed.
+    pub fn add_edge(&mut self, a: Node, b: Node) {
+        if a == b {
+            return;
+        }
+        self.adjacency.entry(a).or_default().insert(b);
+        self.adjacency.entry(b).or_default().insert(a);
+    }
+
+    /// Number of nodes.
+    pub fn num_nodes(&self) -> usize {
+        self.adjacency.len()
+    }
+
+    /// Number of edges.
+    pub fn num_edges(&self) -> usize {
+        self.adjacency.values().map(|s| s.len()).sum::<usize>() / 2
+    }
+
+    /// True if the node exists.
+    pub fn contains_node(&self, node: Node) -> bool {
+        self.adjacency.contains_key(&node)
+    }
+
+    /// True if the edge `{a, b}` exists.
+    pub fn contains_edge(&self, a: Node, b: Node) -> bool {
+        self.adjacency.get(&a).is_some_and(|s| s.contains(&b))
+    }
+
+    /// The nodes, in ascending order.
+    pub fn nodes(&self) -> Vec<Node> {
+        self.adjacency.keys().copied().collect()
+    }
+
+    /// The edges as `(a, b)` pairs with `a < b`, in ascending order.
+    pub fn edges(&self) -> Vec<(Node, Node)> {
+        let mut edges = Vec::with_capacity(self.num_edges());
+        for (&a, neighbours) in &self.adjacency {
+            for &b in neighbours {
+                if a < b {
+                    edges.push((a, b));
+                }
+            }
+        }
+        edges
+    }
+
+    /// The neighbours of a node (empty if the node does not exist).
+    pub fn neighbours(&self, node: Node) -> BTreeSet<Node> {
+        self.adjacency.get(&node).cloned().unwrap_or_default()
+    }
+
+    /// Degree of a node (0 if it does not exist).
+    pub fn degree(&self, node: Node) -> usize {
+        self.adjacency.get(&node).map_or(0, |s| s.len())
+    }
+
+    /// True if every pair of the given nodes is connected by an edge.
+    pub fn is_clique(&self, nodes: &[Node]) -> bool {
+        for i in 0..nodes.len() {
+            for j in (i + 1)..nodes.len() {
+                if !self.contains_edge(nodes[i], nodes[j]) {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+}
+
+/// Returns the connected components, each as a sorted vector of nodes, ordered by their
+/// smallest node.
+pub fn connected_components(graph: &UndirectedGraph) -> Vec<Vec<Node>> {
+    let mut visited: BTreeSet<Node> = BTreeSet::new();
+    let mut components = Vec::new();
+    for start in graph.nodes() {
+        if visited.contains(&start) {
+            continue;
+        }
+        let mut component = Vec::new();
+        let mut stack = vec![start];
+        visited.insert(start);
+        while let Some(node) = stack.pop() {
+            component.push(node);
+            for n in graph.neighbours(node) {
+                if visited.insert(n) {
+                    stack.push(n);
+                }
+            }
+        }
+        component.sort_unstable();
+        components.push(component);
+    }
+    components
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn build_and_query() {
+        let mut g = UndirectedGraph::new();
+        g.add_edge(1, 2);
+        g.add_edge(2, 3);
+        g.add_node(7);
+        assert_eq!(g.num_nodes(), 4);
+        assert_eq!(g.num_edges(), 2);
+        assert!(g.contains_edge(1, 2));
+        assert!(g.contains_edge(2, 1));
+        assert!(!g.contains_edge(1, 3));
+        assert_eq!(g.degree(2), 2);
+        assert_eq!(g.degree(7), 0);
+        assert_eq!(g.degree(99), 0);
+        assert_eq!(g.nodes(), vec![1, 2, 3, 7]);
+        assert_eq!(g.edges(), vec![(1, 2), (2, 3)]);
+    }
+
+    #[test]
+    fn self_loops_and_duplicates_ignored() {
+        let mut g = UndirectedGraph::new();
+        g.add_edge(1, 1);
+        g.add_edge(1, 2);
+        g.add_edge(2, 1);
+        assert_eq!(g.num_edges(), 1);
+        assert!(!g.contains_edge(1, 1));
+    }
+
+    #[test]
+    fn from_edges_builder() {
+        let g = UndirectedGraph::from_edges([(1, 2), (2, 3), (3, 1)]);
+        assert_eq!(g.num_nodes(), 3);
+        assert_eq!(g.num_edges(), 3);
+        assert!(g.is_clique(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn clique_check() {
+        let g = UndirectedGraph::from_edges([(1, 2), (2, 3)]);
+        assert!(g.is_clique(&[1, 2]));
+        assert!(g.is_clique(&[2]));
+        assert!(g.is_clique(&[]));
+        assert!(!g.is_clique(&[1, 2, 3]));
+    }
+
+    #[test]
+    fn components() {
+        let mut g = UndirectedGraph::from_edges([(1, 2), (2, 3), (5, 6)]);
+        g.add_node(9);
+        let comps = connected_components(&g);
+        assert_eq!(comps, vec![vec![1, 2, 3], vec![5, 6], vec![9]]);
+    }
+
+    #[test]
+    fn empty_graph() {
+        let g = UndirectedGraph::new();
+        assert_eq!(g.num_nodes(), 0);
+        assert_eq!(g.num_edges(), 0);
+        assert!(connected_components(&g).is_empty());
+    }
+}

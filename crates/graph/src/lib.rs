@@ -1,0 +1,20 @@
+//! # pb-graph — undirected graphs and maximal clique enumeration
+//!
+//! PrivBasis builds the *θ-frequent pairs graph* (Definition 4 of the paper): nodes are the
+//! frequent items `F`, edges are the frequent pairs `P`. Proposition 5 shows that the maximal
+//! cliques of this graph form a θ-basis set, so `ConstructBasisSet` starts from them.
+//!
+//! This crate provides:
+//! * [`UndirectedGraph`] — a small adjacency-set graph over `u32` node labels,
+//! * [`maximal_cliques`] — the Bron–Kerbosch algorithm with pivoting (Algorithm 457,
+//!   Bron & Kerbosch 1973), the classic algorithm the paper cites,
+//! * [`connected_components`] — used by analysis/ablation code.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod bron_kerbosch;
+pub mod graph;
+
+pub use bron_kerbosch::maximal_cliques;
+pub use graph::{connected_components, UndirectedGraph};

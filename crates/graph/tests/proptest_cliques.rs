@@ -1,0 +1,72 @@
+//! Property tests: the pivoting Bron–Kerbosch agrees with the naive variant, and the returned
+//! family really is the set of maximal cliques.
+
+use pb_graph::bron_kerbosch::{maximal_cliques, maximal_cliques_naive};
+use pb_graph::UndirectedGraph;
+use proptest::prelude::*;
+
+/// Random graph over up to 10 nodes given by an adjacency bit matrix.
+fn arb_graph() -> impl Strategy<Value = UndirectedGraph> {
+    (2usize..10, prop::collection::vec(any::<bool>(), 0..64)).prop_map(|(n, bits)| {
+        let mut g = UndirectedGraph::new();
+        for i in 0..n as u32 {
+            g.add_node(i);
+        }
+        let mut idx = 0;
+        for i in 0..n as u32 {
+            for j in (i + 1)..n as u32 {
+                if idx < bits.len() && bits[idx] {
+                    g.add_edge(i, j);
+                }
+                idx += 1;
+            }
+        }
+        g
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(128))]
+
+    #[test]
+    fn pivot_matches_naive(g in arb_graph()) {
+        prop_assert_eq!(maximal_cliques(&g), maximal_cliques_naive(&g));
+    }
+
+    #[test]
+    fn cliques_are_cliques_and_maximal(g in arb_graph()) {
+        let cliques = maximal_cliques(&g);
+        for c in &cliques {
+            prop_assert!(g.is_clique(c));
+            // Maximality: no node outside the clique is adjacent to all members.
+            for v in g.nodes() {
+                if !c.contains(&v) {
+                    let nv = g.neighbours(v);
+                    prop_assert!(!c.iter().all(|u| nv.contains(u)),
+                                 "clique {:?} can be extended by {}", c, v);
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn every_node_and_edge_is_covered(g in arb_graph()) {
+        let cliques = maximal_cliques(&g);
+        for v in g.nodes() {
+            prop_assert!(cliques.iter().any(|c| c.contains(&v)), "node {} uncovered", v);
+        }
+        for (a, b) in g.edges() {
+            prop_assert!(cliques.iter().any(|c| c.contains(&a) && c.contains(&b)),
+                         "edge ({},{}) uncovered", a, b);
+        }
+    }
+
+    #[test]
+    fn no_duplicate_cliques(g in arb_graph()) {
+        let cliques = maximal_cliques(&g);
+        let mut sorted = cliques.clone();
+        sorted.sort();
+        sorted.dedup();
+        prop_assert_eq!(sorted.len(), cliques.len());
+    }
+}

@@ -1,0 +1,81 @@
+//! Aggregation of repeated experiment runs.
+//!
+//! The paper repeats every experiment and reports the mean and the standard error of the mean;
+//! [`Summary`] captures exactly that.
+
+/// Mean and standard error of a set of repeated measurements.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct Summary {
+    /// Number of measurements.
+    pub n: usize,
+    /// Sample mean.
+    pub mean: f64,
+    /// Standard error of the mean (`sample stddev / sqrt(n)`), 0 for fewer than 2 samples.
+    pub std_error: f64,
+}
+
+impl Summary {
+    /// Summarises a slice of measurements. Returns a zeroed summary for an empty slice.
+    pub fn of(values: &[f64]) -> Summary {
+        mean_and_stderr(values)
+    }
+
+    /// Lower edge of the mean ± one standard error band.
+    pub fn lower(&self) -> f64 {
+        self.mean - self.std_error
+    }
+
+    /// Upper edge of the mean ± one standard error band.
+    pub fn upper(&self) -> f64 {
+        self.mean + self.std_error
+    }
+}
+
+/// Computes the sample mean and the standard error of the mean.
+pub fn mean_and_stderr(values: &[f64]) -> Summary {
+    let n = values.len();
+    if n == 0 {
+        return Summary { n: 0, mean: 0.0, std_error: 0.0 };
+    }
+    let mean = values.iter().sum::<f64>() / n as f64;
+    if n == 1 {
+        return Summary { n, mean, std_error: 0.0 };
+    }
+    let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0);
+    Summary {
+        n,
+        mean,
+        std_error: (var / n as f64).sqrt(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn empty_and_single() {
+        let s = Summary::of(&[]);
+        assert_eq!((s.n, s.mean, s.std_error), (0, 0.0, 0.0));
+        let s = Summary::of(&[5.0]);
+        assert_eq!((s.n, s.mean, s.std_error), (1, 5.0, 0.0));
+    }
+
+    #[test]
+    fn known_values() {
+        // Values 2, 4, 6: mean 4, sample variance 4, stderr = 2/sqrt(3).
+        let s = Summary::of(&[2.0, 4.0, 6.0]);
+        assert_eq!(s.n, 3);
+        assert!((s.mean - 4.0).abs() < 1e-12);
+        assert!((s.std_error - 2.0 / 3.0f64.sqrt()).abs() < 1e-12);
+        assert!((s.lower() - (4.0 - s.std_error)).abs() < 1e-12);
+        assert!((s.upper() - (4.0 + s.std_error)).abs() < 1e-12);
+    }
+
+    #[test]
+    fn constant_values_have_zero_error() {
+        let s = Summary::of(&[3.3; 10]);
+        assert!((s.mean - 3.3).abs() < 1e-12);
+        assert!(s.std_error.abs() < 1e-12);
+    }
+}

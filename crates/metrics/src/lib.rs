@@ -1,0 +1,26 @@
+//! # pb-metrics — utility measures and experiment aggregation
+//!
+//! The paper evaluates utility with two measures (§5):
+//!
+//! * **False negative rate** — the fraction of the true top-`k` itemsets missing from the
+//!   published result (equal to the false positive rate when exactly `k` itemsets are
+//!   published), see [`false_negative_rate`];
+//! * **Relative error** — the median over published itemsets of
+//!   `|noisy_frequency − true_frequency| / true_frequency`, see [`relative_error`].
+//!
+//! The [`aggregate`] module provides the mean ± standard-error summaries used for the plotted
+//! points, and [`report`] renders aligned TSV tables so the experiment binaries can print the
+//! same rows/series the paper's tables and figures report.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod aggregate;
+pub mod overlap;
+pub mod report;
+pub mod utility;
+
+pub use aggregate::{mean_and_stderr, Summary};
+pub use overlap::{f1_score, jaccard, precision, recall};
+pub use report::TsvTable;
+pub use utility::{false_negative_rate, median, relative_error, PublishedItemset};

@@ -1,0 +1,115 @@
+//! Set-overlap measures between a published top-k and the exact top-k.
+//!
+//! The paper reports FNR (= 1 − recall = 1 − precision when exactly `k` itemsets are
+//! published). Downstream users often want the complementary views directly, plus rank-aware
+//! variants, so they are provided here; all are pure post-processing of the published set.
+
+use crate::utility::PublishedItemset;
+use pb_fim::{FrequentItemset, ItemSet};
+use std::collections::HashSet;
+
+/// Precision: fraction of published itemsets that are in the true top-k.
+/// Returns 0.0 when nothing was published.
+pub fn precision(truth: &[FrequentItemset], published: &[PublishedItemset]) -> f64 {
+    if published.is_empty() {
+        return 0.0;
+    }
+    let truth_set: HashSet<&ItemSet> = truth.iter().map(|t| &t.items).collect();
+    let hits = published.iter().filter(|p| truth_set.contains(&p.items)).count();
+    hits as f64 / published.len() as f64
+}
+
+/// Recall: fraction of the true top-k present in the published set (1 − FNR).
+/// Returns 1.0 when the truth is empty.
+pub fn recall(truth: &[FrequentItemset], published: &[PublishedItemset]) -> f64 {
+    1.0 - crate::utility::false_negative_rate(truth, published)
+}
+
+/// F1 score (harmonic mean of precision and recall); 0.0 when both are 0.
+pub fn f1_score(truth: &[FrequentItemset], published: &[PublishedItemset]) -> f64 {
+    let p = precision(truth, published);
+    let r = recall(truth, published);
+    if p + r == 0.0 {
+        0.0
+    } else {
+        2.0 * p * r / (p + r)
+    }
+}
+
+/// Jaccard similarity between the published itemset collection and the true top-k.
+pub fn jaccard(truth: &[FrequentItemset], published: &[PublishedItemset]) -> f64 {
+    let truth_set: HashSet<&ItemSet> = truth.iter().map(|t| &t.items).collect();
+    let published_set: HashSet<&ItemSet> = published.iter().map(|p| &p.items).collect();
+    let intersection = truth_set.intersection(&published_set).count();
+    let union = truth_set.union(&published_set).count();
+    if union == 0 {
+        1.0
+    } else {
+        intersection as f64 / union as f64
+    }
+}
+
+/// Precision restricted to the first `k` published itemsets (rank-aware precision@k).
+pub fn precision_at(truth: &[FrequentItemset], published: &[PublishedItemset], k: usize) -> f64 {
+    let head = &published[..k.min(published.len())];
+    precision(truth, head)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn truth() -> Vec<FrequentItemset> {
+        vec![
+            FrequentItemset::new(ItemSet::new(vec![1]), 10),
+            FrequentItemset::new(ItemSet::new(vec![2]), 9),
+            FrequentItemset::new(ItemSet::new(vec![1, 2]), 8),
+            FrequentItemset::new(ItemSet::new(vec![3]), 7),
+        ]
+    }
+
+    fn published(items: &[&[u32]]) -> Vec<PublishedItemset> {
+        items
+            .iter()
+            .enumerate()
+            .map(|(i, s)| PublishedItemset::new(ItemSet::new(s.to_vec()), 100.0 - i as f64))
+            .collect()
+    }
+
+    #[test]
+    fn perfect_match() {
+        let p = published(&[&[1], &[2], &[1, 2], &[3]]);
+        assert_eq!(precision(&truth(), &p), 1.0);
+        assert_eq!(recall(&truth(), &p), 1.0);
+        assert_eq!(f1_score(&truth(), &p), 1.0);
+        assert_eq!(jaccard(&truth(), &p), 1.0);
+    }
+
+    #[test]
+    fn partial_match() {
+        // 2 of 4 correct, 2 spurious.
+        let p = published(&[&[1], &[9], &[1, 2], &[8]]);
+        assert!((precision(&truth(), &p) - 0.5).abs() < 1e-12);
+        assert!((recall(&truth(), &p) - 0.5).abs() < 1e-12);
+        assert!((f1_score(&truth(), &p) - 0.5).abs() < 1e-12);
+        // |intersection| = 2, |union| = 6.
+        assert!((jaccard(&truth(), &p) - 2.0 / 6.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn empty_cases() {
+        assert_eq!(precision(&truth(), &[]), 0.0);
+        assert_eq!(recall(&[], &published(&[&[1]])), 1.0);
+        assert_eq!(f1_score(&truth(), &[]), 0.0);
+        assert_eq!(jaccard(&[], &[]), 1.0);
+    }
+
+    #[test]
+    fn precision_at_k_uses_rank_order() {
+        // First two published are correct, the rest are junk.
+        let p = published(&[&[1], &[2], &[7], &[8], &[9]]);
+        assert_eq!(precision_at(&truth(), &p, 2), 1.0);
+        assert!((precision_at(&truth(), &p, 5) - 0.4).abs() < 1e-12);
+        assert_eq!(precision_at(&truth(), &p, 100), precision(&truth(), &p));
+    }
+}

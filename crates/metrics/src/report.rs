@@ -1,0 +1,119 @@
+//! Plain-text table output.
+//!
+//! The experiment binaries print the same rows and series the paper's tables and figures
+//! report. [`TsvTable`] renders them both as tab-separated values (easy to pipe into plotting
+//! tools) and as aligned human-readable text.
+
+use std::fmt::Write as _;
+
+/// A simple table with a header row and string cells.
+#[derive(Debug, Clone, Default)]
+pub struct TsvTable {
+    header: Vec<String>,
+    rows: Vec<Vec<String>>,
+}
+
+impl TsvTable {
+    /// Creates a table with the given column names.
+    pub fn new<S: Into<String>, I: IntoIterator<Item = S>>(header: I) -> Self {
+        TsvTable {
+            header: header.into_iter().map(Into::into).collect(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Number of data rows.
+    pub fn num_rows(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Appends a row. The row is padded or truncated to the header width.
+    pub fn push_row<S: Into<String>, I: IntoIterator<Item = S>>(&mut self, row: I) {
+        let mut cells: Vec<String> = row.into_iter().map(Into::into).collect();
+        cells.resize(self.header.len(), String::new());
+        self.rows.push(cells);
+    }
+
+    /// Renders as tab-separated values (header first).
+    pub fn to_tsv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&self.header.join("\t"));
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(&row.join("\t"));
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Renders as a space-aligned table for terminal output.
+    pub fn to_aligned(&self) -> String {
+        let ncols = self.header.len();
+        let mut widths = vec![0usize; ncols];
+        for (i, h) in self.header.iter().enumerate() {
+            widths[i] = widths[i].max(h.len());
+        }
+        for row in &self.rows {
+            for (i, cell) in row.iter().enumerate() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+        let mut out = String::new();
+        let write_row = |out: &mut String, cells: &[String]| {
+            for (i, cell) in cells.iter().enumerate() {
+                let _ = write!(out, "{:<width$}", cell, width = widths[i] + 2);
+            }
+            out.push('\n');
+        };
+        write_row(&mut out, &self.header);
+        let total: usize = widths.iter().map(|w| w + 2).sum();
+        out.push_str(&"-".repeat(total));
+        out.push('\n');
+        for row in &self.rows {
+            write_row(&mut out, row);
+        }
+        out
+    }
+}
+
+/// Formats a float with a fixed number of decimals (helper for experiment binaries).
+pub fn fmt_f64(value: f64, decimals: usize) -> String {
+    format!("{value:.decimals$}")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tsv_round_trip() {
+        let mut t = TsvTable::new(["a", "b"]);
+        t.push_row(["1", "2"]);
+        t.push_row(["x", "y"]);
+        assert_eq!(t.num_rows(), 2);
+        assert_eq!(t.to_tsv(), "a\tb\n1\t2\nx\ty\n");
+    }
+
+    #[test]
+    fn rows_padded_and_truncated() {
+        let mut t = TsvTable::new(["a", "b"]);
+        t.push_row(["only-one"]);
+        t.push_row(["1", "2", "3"]);
+        assert_eq!(t.to_tsv(), "a\tb\nonly-one\t\n1\t2\n");
+    }
+
+    #[test]
+    fn aligned_output_contains_all_cells() {
+        let mut t = TsvTable::new(["metric", "value"]);
+        t.push_row(["fnr", "0.125"]);
+        let s = t.to_aligned();
+        assert!(s.contains("metric") && s.contains("fnr") && s.contains("0.125"));
+        assert!(s.contains('-'));
+    }
+
+    #[test]
+    fn float_formatting() {
+        assert_eq!(fmt_f64(0.12345, 3), "0.123");
+        assert_eq!(fmt_f64(2.0, 1), "2.0");
+    }
+}

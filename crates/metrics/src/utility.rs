@@ -1,0 +1,178 @@
+//! False negative rate and relative error (§5, "Utility Measures").
+
+use pb_fim::{FrequentItemset, ItemSet, TransactionDb};
+use std::collections::HashSet;
+
+/// An itemset published by a private mechanism, together with its noisy support count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PublishedItemset {
+    /// The published itemset.
+    pub items: ItemSet,
+    /// The noisy support count (may be negative or fractional because of added noise).
+    pub noisy_count: f64,
+}
+
+impl PublishedItemset {
+    /// Creates a published-itemset record.
+    pub fn new(items: ItemSet, noisy_count: f64) -> Self {
+        PublishedItemset { items, noisy_count }
+    }
+
+    /// Noisy frequency relative to `n` transactions.
+    pub fn noisy_frequency(&self, n: usize) -> f64 {
+        if n == 0 {
+            0.0
+        } else {
+            self.noisy_count / n as f64
+        }
+    }
+}
+
+/// False negative rate: the fraction of the true top-`k` that the published set misses.
+///
+/// `FNR = |truth \ published| / |truth|`. The paper divides by `k`; passing the true top-`k`
+/// as `truth` gives exactly that. Returns 0.0 when `truth` is empty.
+pub fn false_negative_rate(truth: &[FrequentItemset], published: &[PublishedItemset]) -> f64 {
+    if truth.is_empty() {
+        return 0.0;
+    }
+    let published_set: HashSet<&ItemSet> = published.iter().map(|p| &p.items).collect();
+    let missing = truth
+        .iter()
+        .filter(|t| !published_set.contains(&t.items))
+        .count();
+    missing as f64 / truth.len() as f64
+}
+
+/// Median of a slice (average of the two central elements for even lengths).
+/// Returns `None` for an empty slice.
+pub fn median(values: &[f64]) -> Option<f64> {
+    if values.is_empty() {
+        return None;
+    }
+    let mut sorted = values.to_vec();
+    sorted.sort_by(|a, b| a.partial_cmp(b).expect("metric values must not be NaN"));
+    let mid = sorted.len() / 2;
+    Some(if sorted.len() % 2 == 1 {
+        sorted[mid]
+    } else {
+        (sorted[mid - 1] + sorted[mid]) / 2.0
+    })
+}
+
+/// Relative error of the published counts: `median_X |nf(X) − f(X)| / f(X)` over all published
+/// itemsets, where `f` is the true frequency in `db`.
+///
+/// Published itemsets with true frequency 0 contribute an error of `|nf(X)| / (1/N)` (i.e. the
+/// error is measured against the smallest observable frequency) so that publishing an itemset
+/// that never occurs is penalised rather than dividing by zero. Returns 0.0 when nothing was
+/// published.
+pub fn relative_error(db: &TransactionDb, published: &[PublishedItemset]) -> f64 {
+    if published.is_empty() || db.is_empty() {
+        return 0.0;
+    }
+    let n = db.len() as f64;
+    let sets: Vec<ItemSet> = published.iter().map(|p| p.items.clone()).collect();
+    let true_counts = db.supports(&sets);
+    let errors: Vec<f64> = published
+        .iter()
+        .zip(true_counts)
+        .map(|(p, true_count)| {
+            let truth = (true_count as f64).max(1.0);
+            (p.noisy_count - true_count as f64).abs() / truth
+        })
+        .collect();
+    let _ = n;
+    median(&errors).unwrap_or(0.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 2],
+            vec![1, 2],
+            vec![1, 2],
+            vec![1],
+            vec![2, 3],
+            vec![3],
+        ])
+    }
+
+    fn truth() -> Vec<FrequentItemset> {
+        vec![
+            FrequentItemset::new(ItemSet::new(vec![1]), 4),
+            FrequentItemset::new(ItemSet::new(vec![2]), 4),
+            FrequentItemset::new(ItemSet::new(vec![1, 2]), 3),
+        ]
+    }
+
+    #[test]
+    fn fnr_counts_missing_itemsets() {
+        let published = vec![
+            PublishedItemset::new(ItemSet::new(vec![1]), 4.2),
+            PublishedItemset::new(ItemSet::new(vec![3]), 2.1),
+            PublishedItemset::new(ItemSet::new(vec![1, 2]), 2.9),
+        ];
+        // {2} missing out of 3 truth itemsets.
+        assert!((false_negative_rate(&truth(), &published) - 1.0 / 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn fnr_perfect_and_total_miss() {
+        let perfect: Vec<PublishedItemset> = truth()
+            .into_iter()
+            .map(|t| PublishedItemset::new(t.items, t.count as f64))
+            .collect();
+        assert_eq!(false_negative_rate(&truth(), &perfect), 0.0);
+        assert_eq!(false_negative_rate(&truth(), &[]), 1.0);
+        assert_eq!(false_negative_rate(&[], &perfect), 0.0);
+    }
+
+    #[test]
+    fn median_handles_odd_even_empty() {
+        assert_eq!(median(&[3.0, 1.0, 2.0]), Some(2.0));
+        assert_eq!(median(&[4.0, 1.0, 2.0, 3.0]), Some(2.5));
+        assert_eq!(median(&[]), None);
+        assert_eq!(median(&[7.0]), Some(7.0));
+    }
+
+    #[test]
+    fn relative_error_is_median_of_per_itemset_errors() {
+        let db = db();
+        // True counts: {1} -> 4, {2} -> 4, {1,2} -> 3.
+        let published = vec![
+            PublishedItemset::new(ItemSet::new(vec![1]), 5.0), // err 0.25
+            PublishedItemset::new(ItemSet::new(vec![2]), 4.0), // err 0.0
+            PublishedItemset::new(ItemSet::new(vec![1, 2]), 6.0), // err 1.0
+        ];
+        assert!((relative_error(&db, &published) - 0.25).abs() < 1e-12);
+    }
+
+    #[test]
+    fn relative_error_empty_inputs() {
+        assert_eq!(relative_error(&db(), &[]), 0.0);
+        let empty = TransactionDb::from_transactions(Vec::<Vec<u32>>::new());
+        assert_eq!(
+            relative_error(&empty, &[PublishedItemset::new(ItemSet::new(vec![1]), 1.0)]),
+            0.0
+        );
+    }
+
+    #[test]
+    fn relative_error_handles_zero_support_itemsets() {
+        let db = db();
+        let published = vec![PublishedItemset::new(ItemSet::new(vec![9]), 2.0)];
+        // True count 0 -> denominator clamped to 1; error = 2.0.
+        assert!((relative_error(&db, &published) - 2.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn noisy_frequency_helper() {
+        let p = PublishedItemset::new(ItemSet::new(vec![1]), 3.0);
+        assert!((p.noisy_frequency(6) - 0.5).abs() < 1e-12);
+        assert_eq!(p.noisy_frequency(0), 0.0);
+    }
+}

@@ -1,0 +1,113 @@
+//! Candidate-set sizing for the TF method.
+//!
+//! TF selects from `U`, the set of all itemsets over `I` with length between 1 and `m`.
+//! `|U| = Σ_{i=1..m} C(|I|, i)` (Equation 2 of the paper), which easily exceeds `u64` range
+//! (the paper's AOL dataset has `|I| ≈ 2.3·10⁶`, so `C(|I|, 3) ≈ 2·10¹⁸` and `C(|I|, 4)`
+//! overflows). Sizes are therefore computed in `f64`, and the γ formula only ever needs
+//! `ln |U|`, which is computed directly from log-binomials for full precision.
+
+/// Natural log of the binomial coefficient `C(n, k)`, computed via `ln Γ` style summation.
+/// Returns `f64::NEG_INFINITY` when `k > n` (the coefficient is 0).
+pub fn ln_binomial(n: usize, k: usize) -> f64 {
+    if k > n {
+        return f64::NEG_INFINITY;
+    }
+    let k = k.min(n - k);
+    // ln C(n,k) = Σ_{i=1..k} ln((n - k + i) / i)
+    (1..=k)
+        .map(|i| ((n - k + i) as f64).ln() - (i as f64).ln())
+        .sum()
+}
+
+/// `|U| = Σ_{i=1..m} C(num_items, i)` as an `f64` (may be ±inf-free but enormous).
+///
+/// Returns 0.0 when `m == 0` or `num_items == 0`.
+pub fn candidate_set_size(num_items: usize, m: usize) -> f64 {
+    (1..=m.min(num_items))
+        .map(|i| ln_binomial(num_items, i).exp())
+        .sum()
+}
+
+/// `ln |U|`, computed without materialising `|U|` (log-sum-exp over the per-size terms).
+///
+/// Returns `f64::NEG_INFINITY` when the candidate set is empty.
+pub fn ln_candidate_set_size(num_items: usize, m: usize) -> f64 {
+    let terms: Vec<f64> = (1..=m.min(num_items)).map(|i| ln_binomial(num_items, i)).collect();
+    if terms.is_empty() {
+        return f64::NEG_INFINITY;
+    }
+    let max = terms.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    max + terms.iter().map(|t| (t - max).exp()).sum::<f64>().ln()
+}
+
+/// Exact candidate-set size as `u128`, available only while it fits; used by the exhaustive
+/// Laplace-selection variant and by tests.
+pub fn candidate_set_size_exact(num_items: usize, m: usize) -> Option<u128> {
+    let mut total: u128 = 0;
+    for i in 1..=m.min(num_items) {
+        let mut c: u128 = 1;
+        for j in 0..i {
+            c = c.checked_mul((num_items - j) as u128)?;
+            c /= (j + 1) as u128;
+        }
+        total = total.checked_add(c)?;
+    }
+    Some(total)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn binomial_logs_match_known_values() {
+        assert!((ln_binomial(5, 2) - (10.0f64).ln()).abs() < 1e-9);
+        assert!((ln_binomial(10, 0) - 0.0).abs() < 1e-12);
+        assert!((ln_binomial(10, 10) - 0.0).abs() < 1e-12);
+        assert_eq!(ln_binomial(3, 5), f64::NEG_INFINITY);
+    }
+
+    #[test]
+    fn small_candidate_sets_are_exact() {
+        // |I| = 5, m = 2: 5 + 10 = 15.
+        assert!((candidate_set_size(5, 2) - 15.0).abs() < 1e-9);
+        assert_eq!(candidate_set_size_exact(5, 2), Some(15));
+        // |I| = 119 (mushroom), m = 2: 119 + 7021 = 7140; the paper's Table 2(b) rounds to 7104
+        // with a slightly different item count.
+        assert_eq!(candidate_set_size_exact(119, 2), Some(119 + 7021));
+        assert!((candidate_set_size(119, 2) - 7140.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn ln_size_matches_direct_log_for_small_inputs() {
+        for &(n, m) in &[(10usize, 3usize), (50, 2), (119, 2), (200, 3)] {
+            let direct = candidate_set_size(n, m).ln();
+            let stable = ln_candidate_set_size(n, m);
+            assert!((direct - stable).abs() < 1e-9, "n={n} m={m}");
+        }
+    }
+
+    #[test]
+    fn paper_scale_sizes_have_the_right_magnitude() {
+        // pumsb-star: |I| = 2088, m = 3 -> ~1.5e9 (Table 2(b)).
+        let u = candidate_set_size(2_088, 3);
+        assert!(u > 1.0e9 && u < 2.0e9, "got {u}");
+        // kosarak: |I| = 41270, m = 2 -> ~8.5e8.
+        let u = candidate_set_size(41_270, 2);
+        assert!(u > 8.0e8 && u < 9.0e8, "got {u}");
+        // AOL: |I| = 2290685, m = 1 -> ~2.3e6.
+        let u = candidate_set_size(2_290_685, 1);
+        assert!((u - 2_290_685.0).abs() < 1.0);
+        // AOL at m = 3 does not overflow the f64 computation.
+        assert!(candidate_set_size(2_290_685, 3).is_finite());
+        assert!(candidate_set_size_exact(2_290_685, 3).is_some());
+    }
+
+    #[test]
+    fn degenerate_inputs() {
+        assert_eq!(candidate_set_size(0, 3), 0.0);
+        assert_eq!(candidate_set_size(10, 0), 0.0);
+        assert_eq!(ln_candidate_set_size(10, 0), f64::NEG_INFINITY);
+        assert_eq!(candidate_set_size_exact(10, 0), Some(0));
+    }
+}

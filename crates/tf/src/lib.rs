@@ -1,0 +1,30 @@
+//! # pb-tf — the Truncated Frequency baseline (Bhaskar et al., KDD 2010)
+//!
+//! The comparison baseline of the PrivBasis paper (§3). TF publishes the top-`k` itemsets of
+//! length at most `m` in two steps, each using half of the privacy budget:
+//!
+//! 1. **Selection.** `k` itemsets are drawn without replacement from the candidate set `U`
+//!    (all itemsets of length ≤ `m` over the public item universe `I`) using the exponential
+//!    mechanism on *truncated frequencies* `f̂(X) = max(f(X), f_k − γ)`, where γ (Equation 3)
+//!    is chosen so that itemsets below `f_k − γ` need never be enumerated explicitly.
+//! 2. **Perturbation.** The frequencies of the selected itemsets are released with Laplace
+//!    noise of scale `2k/(εN)`.
+//!
+//! The crate exposes the γ computation ([`gamma::gamma`]), candidate-set sizing ([`candidates`]),
+//! both selection mechanisms ([`select`]), and the end-to-end method ([`TfMethod`]).
+//! Section 3.1's analysis — γ growing linearly in `k·m` until it exceeds `f_k`, at which point
+//! the truncation prunes nothing and the selection degrades — is directly observable through
+//! [`gamma::GammaAnalysis`], which the Table 2(b) experiment prints.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod candidates;
+pub mod gamma;
+pub mod method;
+pub mod select;
+
+pub use candidates::{candidate_set_size, ln_candidate_set_size};
+pub use gamma::{gamma, GammaAnalysis};
+pub use method::{suggest_m, TfConfig, TfMethod, TfOutput, TfSelection};
+pub use select::{select_top_k_exponential, select_top_k_laplace};

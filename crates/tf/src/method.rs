@@ -1,0 +1,296 @@
+//! The end-to-end TF method: select, then perturb.
+
+use crate::select::{select_top_k_exponential, select_top_k_laplace, DEFAULT_MAX_EXPLICIT};
+use pb_dp::{Epsilon, LaplaceNoise};
+use pb_fim::itemset::ItemSet;
+use pb_fim::stats::top_k_stats;
+use pb_fim::topk::top_k_itemsets;
+use pb_fim::TransactionDb;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Which selection mechanism the TF run uses.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TfSelection {
+    /// Repeated exponential mechanism over truncated frequencies (works for any `|U|`).
+    Exponential,
+    /// Exhaustive Laplace selection (only when `|U|` is small enough to enumerate).
+    Laplace,
+}
+
+/// Configuration of a TF run.
+#[derive(Debug, Clone)]
+pub struct TfConfig {
+    /// Number of itemsets to publish.
+    pub k: usize,
+    /// Maximum itemset length considered (the `m` of §3).
+    pub m: usize,
+    /// Failure probability ρ of the utility guarantee (the paper uses 0.9).
+    pub rho: f64,
+    /// Total privacy budget ε (split evenly between selection and perturbation).
+    pub epsilon: Epsilon,
+    /// Size of the public item universe `I`. `None` means "use the items observed in the
+    /// database", which matches how the synthetic profiles are generated.
+    pub universe_size: Option<usize>,
+    /// Selection mechanism.
+    pub selection: TfSelection,
+    /// Cap on explicitly enumerated candidates in the exponential variant.
+    pub max_explicit: usize,
+}
+
+impl TfConfig {
+    /// A standard configuration: exponential selection, ρ = 0.9.
+    pub fn new(k: usize, m: usize, epsilon: Epsilon) -> Self {
+        TfConfig {
+            k,
+            m,
+            rho: 0.9,
+            epsilon,
+            universe_size: None,
+            selection: TfSelection::Exponential,
+            max_explicit: DEFAULT_MAX_EXPLICIT,
+        }
+    }
+}
+
+/// Output of a TF run: the selected itemsets with their noisy support counts, in descending
+/// noisy-count order.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TfOutput {
+    /// Published `(itemset, noisy count)` pairs.
+    pub itemsets: Vec<(ItemSet, f64)>,
+}
+
+impl TfOutput {
+    /// The published itemsets without their counts.
+    pub fn itemsets_only(&self) -> Vec<ItemSet> {
+        self.itemsets.iter().map(|(s, _)| s.clone()).collect()
+    }
+}
+
+/// The TF method of Bhaskar et al. (KDD 2010), as described in §3 of the PrivBasis paper.
+#[derive(Debug, Clone)]
+pub struct TfMethod {
+    config: TfConfig,
+}
+
+impl TfMethod {
+    /// Creates the method from a configuration.
+    ///
+    /// # Panics
+    /// Panics if `k == 0`, `m == 0`, or `rho ∉ (0,1)`.
+    pub fn new(config: TfConfig) -> Self {
+        assert!(config.k > 0, "k must be positive");
+        assert!(config.m > 0, "m must be positive");
+        assert!(config.rho > 0.0 && config.rho < 1.0, "rho must be in (0,1)");
+        TfMethod { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &TfConfig {
+        &self.config
+    }
+
+    /// Runs the full method on a database: private selection with ε/2, then Laplace
+    /// perturbation of the selected counts with ε/2 (noise scale `2k/ε` on counts).
+    pub fn run<R: Rng + ?Sized>(&self, rng: &mut R, db: &TransactionDb) -> TfOutput {
+        let cfg = &self.config;
+        let universe = cfg
+            .universe_size
+            .unwrap_or_else(|| db.num_distinct_items().max(1));
+
+        let selected: Vec<ItemSet> = match cfg.selection {
+            TfSelection::Exponential => select_top_k_exponential(
+                rng,
+                db,
+                cfg.k,
+                cfg.m,
+                cfg.rho,
+                cfg.epsilon,
+                universe,
+                cfg.max_explicit,
+            ),
+            TfSelection::Laplace => {
+                select_top_k_laplace(rng, db, cfg.k, cfg.m, cfg.rho, cfg.epsilon, universe)
+                    .unwrap_or_else(|| {
+                        // Candidate set too large to enumerate: fall back to the exponential
+                        // variant so callers always get an answer.
+                        select_top_k_exponential(
+                            rng,
+                            db,
+                            cfg.k,
+                            cfg.m,
+                            cfg.rho,
+                            cfg.epsilon,
+                            universe,
+                            cfg.max_explicit,
+                        )
+                    })
+            }
+        };
+
+        // Perturbation step: sensitivity k over the selected counts, budget ε/2 ⇒ Lap(2k/ε).
+        let noise = match cfg.epsilon {
+            Epsilon::Infinite => LaplaceNoise::new(1.0, Epsilon::Infinite).expect("valid"),
+            Epsilon::Finite(eps) => LaplaceNoise::new(2.0 * cfg.k as f64, Epsilon::Finite(eps))
+                .expect("validated in new()"),
+        };
+        let mut itemsets: Vec<(ItemSet, f64)> = selected
+            .into_iter()
+            .map(|s| {
+                let true_count = db.support(&s) as f64;
+                (s, true_count + noise.sample(rng))
+            })
+            .collect();
+        itemsets.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("noisy counts are finite"));
+        TfOutput { itemsets }
+    }
+}
+
+/// Heuristic choice of `m` mimicking the paper's "value of `m` that provides the best
+/// precision": prefer the `m ∈ {1,…,max_m}` that covers the largest share of the true top-`k`
+/// itemsets, and among those that tie prefer the smallest `m` (smaller `|U|`, smaller γ). When
+/// the γ ≥ f_k collapse makes every `m > 1` ineffective, this reliably falls back to `m = 1`.
+pub fn suggest_m(
+    db: &TransactionDb,
+    k: usize,
+    epsilon: f64,
+    rho: f64,
+    universe_size: usize,
+    max_m: usize,
+) -> usize {
+    let truth: HashSet<ItemSet> = top_k_itemsets(db, k, None).into_iter().map(|f| f.items).collect();
+    let stats = top_k_stats(db, k);
+    let _ = stats;
+    let mut best_m = 1usize;
+    let mut best_score = f64::NEG_INFINITY;
+    for m in 1..=max_m.max(1) {
+        let covered = top_k_itemsets(db, k, Some(m))
+            .into_iter()
+            .filter(|f| truth.contains(&f.items))
+            .count();
+        let analysis = crate::gamma::GammaAnalysis::compute(db, k, m, epsilon, rho, universe_size);
+        let effective = analysis.is_truncation_effective();
+        // Coverage dominates; ineffective truncation is penalised by the expected number of
+        // noise-selected itemsets, and larger m breaks ties downwards via a tiny penalty.
+        let score = covered as f64 - if effective { 0.0 } else { k as f64 * 0.5 } - 0.01 * m as f64;
+        if score > best_score {
+            best_score = score;
+            best_m = m;
+        }
+    }
+    best_m
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn skewed_db(n: usize) -> TransactionDb {
+        let mut transactions = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut t = vec![0u32, 1];
+            if i % 2 == 0 {
+                t.push(2);
+            }
+            if i % 4 == 0 {
+                t.push(3);
+            }
+            if i % 8 == 0 {
+                t.push(4);
+            }
+            transactions.push(t);
+        }
+        TransactionDb::from_transactions(transactions)
+    }
+
+    #[test]
+    fn infinite_epsilon_reproduces_exact_topk_with_exact_counts() {
+        let db = skewed_db(1_000);
+        let method = TfMethod::new(TfConfig::new(5, 2, Epsilon::Infinite));
+        let mut rng = StdRng::seed_from_u64(1);
+        let out = method.run(&mut rng, &db);
+        assert_eq!(out.itemsets.len(), 5);
+        let truth = top_k_itemsets(&db, 5, Some(2));
+        for (published, expected) in out.itemsets.iter().zip(&truth) {
+            assert_eq!(published.0, expected.items);
+            assert_eq!(published.1, expected.count as f64);
+        }
+        assert_eq!(out.itemsets_only().len(), 5);
+    }
+
+    #[test]
+    fn finite_epsilon_returns_k_itemsets_with_noisy_counts() {
+        let db = skewed_db(5_000);
+        let method = TfMethod::new(TfConfig::new(6, 2, Epsilon::Finite(2.0)));
+        let mut rng = StdRng::seed_from_u64(2);
+        let out = method.run(&mut rng, &db);
+        assert_eq!(out.itemsets.len(), 6);
+        // Noisy counts are sorted descending.
+        for w in out.itemsets.windows(2) {
+            assert!(w[0].1 >= w[1].1);
+        }
+    }
+
+    #[test]
+    fn laplace_selection_used_when_universe_small() {
+        let db = skewed_db(3_000);
+        let mut cfg = TfConfig::new(4, 2, Epsilon::Finite(3.0));
+        cfg.selection = TfSelection::Laplace;
+        cfg.universe_size = Some(6);
+        let method = TfMethod::new(cfg);
+        let mut rng = StdRng::seed_from_u64(3);
+        let out = method.run(&mut rng, &db);
+        assert_eq!(out.itemsets.len(), 4);
+    }
+
+    #[test]
+    fn laplace_selection_falls_back_on_huge_universe() {
+        let db = skewed_db(500);
+        let mut cfg = TfConfig::new(4, 3, Epsilon::Finite(1.0));
+        cfg.selection = TfSelection::Laplace;
+        cfg.universe_size = Some(1_000_000);
+        let method = TfMethod::new(cfg);
+        let mut rng = StdRng::seed_from_u64(4);
+        let out = method.run(&mut rng, &db);
+        assert_eq!(out.itemsets.len(), 4);
+    }
+
+    #[test]
+    fn reproducible_under_fixed_seed() {
+        let db = skewed_db(2_000);
+        let method = TfMethod::new(TfConfig::new(5, 2, Epsilon::Finite(1.0)));
+        let a = method.run(&mut StdRng::seed_from_u64(7), &db);
+        let b = method.run(&mut StdRng::seed_from_u64(7), &db);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "k must be positive")]
+    fn rejects_zero_k() {
+        let _ = TfMethod::new(TfConfig::new(0, 2, Epsilon::Finite(1.0)));
+    }
+
+    #[test]
+    fn suggest_m_prefers_small_m_for_singleton_dominated_data() {
+        // Only singletons are frequent here (items rarely co-occur).
+        let mut transactions = Vec::new();
+        for i in 0..4_000u32 {
+            transactions.push(vec![i % 40]);
+        }
+        let db = TransactionDb::from_transactions(transactions);
+        let m = suggest_m(&db, 20, 1.0, 0.9, 40, 4);
+        assert_eq!(m, 1);
+    }
+
+    #[test]
+    fn suggest_m_goes_higher_when_topk_contains_pairs() {
+        let db = skewed_db(50_000);
+        // Top-5 includes pairs like {0,1}; with a large N and tiny universe γ is small,
+        // so m = 2 is both effective and better-covering than m = 1.
+        let m = suggest_m(&db, 5, 1.0, 0.9, 5, 3);
+        assert!(m >= 2, "expected m >= 2, got {m}");
+    }
+}

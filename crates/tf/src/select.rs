@@ -1,0 +1,437 @@
+//! Private selection of the top-`k` itemsets from the candidate set `U`.
+//!
+//! Both selection mechanisms proposed by Bhaskar et al. are implemented:
+//!
+//! * [`select_top_k_exponential`] — `k` draws without replacement from the exponential
+//!   mechanism over truncated frequencies. Only itemsets with support above `f_k − γ` are
+//!   enumerated explicitly; the (astronomically many) remaining candidates are represented by
+//!   a single aggregate probability mass, exactly as the truncated-frequency trick prescribes.
+//! * [`select_top_k_laplace`] — add `Lap(4k/ε)` noise to the (truncated) count of *every*
+//!   candidate and keep the `k` largest. This variant requires materialising `U`, so it is
+//!   only available when `|U|` is small; it is used on the dense small-universe datasets and
+//!   by tests.
+//!
+//! An implementation cap (`max_explicit`) bounds the explicitly enumerated set. It only binds
+//! in the regime where `γ ≥ f_k` — precisely where §3.1 shows the pruning is ineffective and
+//! TF's utility has already collapsed — and is documented in DESIGN.md.
+
+use crate::candidates::{candidate_set_size, candidate_set_size_exact};
+use crate::gamma::gamma;
+use pb_dp::{Epsilon, LaplaceNoise};
+use pb_fim::fpgrowth::fpgrowth;
+use pb_fim::itemset::{Item, ItemSet};
+use pb_fim::topk::{kth_count, top_k_itemsets};
+use pb_fim::TransactionDb;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Default cap on the number of explicitly enumerated candidates.
+pub const DEFAULT_MAX_EXPLICIT: usize = 50_000;
+
+/// Largest candidate-set size for which the exhaustive Laplace variant will enumerate `U`.
+pub const MAX_EXHAUSTIVE_CANDIDATES: u128 = 300_000;
+
+/// Selects `k` itemsets of length ≤ `m` using repeated exponential-mechanism sampling over
+/// truncated frequencies.
+///
+/// * `epsilon_total` — the full budget ε of the TF method; selection uses ε/2 of it and each
+///   of the `k` draws uses (ε/2)/k, so the per-draw exponent is `ε·count/(4k)` as in §3.
+/// * `universe_size` — the size of the public item universe `I` (items `0..universe_size`);
+///   candidates may include items that never occur in `db`.
+/// * `rho` — failure-probability parameter of Equation 3.
+///
+/// With `Epsilon::Infinite` the exact top-`k` (length ≤ `m`) is returned.
+#[allow(clippy::too_many_arguments)]
+pub fn select_top_k_exponential<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &TransactionDb,
+    k: usize,
+    m: usize,
+    rho: f64,
+    epsilon_total: Epsilon,
+    universe_size: usize,
+    max_explicit: usize,
+) -> Vec<ItemSet> {
+    assert!(k > 0, "k must be positive");
+    assert!(m > 0, "m must be positive");
+    assert!(universe_size > 0, "universe must contain at least one item");
+
+    if epsilon_total.is_infinite() {
+        return top_k_itemsets(db, k, Some(m)).into_iter().map(|f| f.items).collect();
+    }
+    let eps_total = epsilon_total.value();
+    let n = db.len().max(1);
+
+    // Truncation threshold in count space.
+    let fk_count = kth_count(db, k, Some(m)).unwrap_or(0) as f64;
+    let gamma_frac = gamma(k, eps_total, n, rho, universe_size, m);
+    let trunc_count = fk_count - gamma_frac * n as f64;
+
+    // Explicitly enumerate candidates above the truncation threshold (capped). Mining starts
+    // near f_k·N and lowers the support cutoff geometrically: when γ ≥ f_k the nominal cutoff
+    // would be 1 and a direct min-support-1 enumeration could materialise millions of
+    // itemsets, so enumeration stops as soon as `max_explicit` candidates are available.
+    let floor = (trunc_count.ceil() as i64).max(1) as usize;
+    let mine = |threshold: usize| -> Vec<(ItemSet, f64)> {
+        fpgrowth(db, threshold, Some(m))
+            .into_iter()
+            .map(|f| (f.items, f.count as f64))
+            .collect()
+    };
+    let mut threshold = (fk_count as usize).max(floor).max(1);
+    let mut explicit = mine(threshold);
+    while threshold > floor && explicit.len() < max_explicit {
+        threshold = (threshold / 2).max(floor);
+        explicit = mine(threshold);
+    }
+    if explicit.len() > max_explicit {
+        // Already sorted by descending count; keep only the hottest candidates. This only
+        // happens when γ ≥ f_k, i.e. when the TF pruning is ineffective anyway.
+        explicit.truncate(max_explicit);
+    }
+
+    let total_candidates = candidate_set_size(universe_size, m);
+    let mut implicit_remaining = (total_candidates - explicit.len() as f64).max(0.0);
+
+    // Exponent factor: per-draw budget (ε/2)/k, standard exponential-mechanism scale 1/(2·GS)
+    // with count sensitivity 1 ⇒ ε/(4k).
+    let factor = eps_total / (4.0 * k as f64);
+
+    let mut selected: Vec<ItemSet> = Vec::with_capacity(k);
+    let mut used: HashSet<ItemSet> = HashSet::with_capacity(k);
+    let mut available: Vec<(ItemSet, f64)> = explicit;
+
+    while selected.len() < k {
+        // Renormalise per draw: the exponential mechanism at this step is over the *remaining*
+        // candidates, so the stabilising maximum must be recomputed after removals.
+        let q_max = available
+            .iter()
+            .map(|&(_, c)| c)
+            .fold(if implicit_remaining >= 1.0 { trunc_count } else { f64::NEG_INFINITY }, f64::max);
+        if q_max == f64::NEG_INFINITY {
+            break;
+        }
+        let implicit_weight = ((trunc_count - q_max) * factor).exp();
+        let explicit_weights: Vec<f64> = available
+            .iter()
+            .map(|&(_, c)| ((c - q_max) * factor).exp())
+            .collect();
+        let explicit_mass: f64 = explicit_weights.iter().sum();
+        let implicit_mass = implicit_remaining * implicit_weight;
+        let total = explicit_mass + implicit_mass;
+        if total <= 0.0 || !total.is_finite() {
+            break;
+        }
+        let mut target = rng.gen::<f64>() * total;
+        let mut picked_explicit: Option<usize> = None;
+        for (i, &w) in explicit_weights.iter().enumerate() {
+            if target < w {
+                picked_explicit = Some(i);
+                break;
+            }
+            target -= w;
+        }
+        match picked_explicit {
+            Some(i) => {
+                let (items, _) = available.remove(i);
+                used.insert(items.clone());
+                selected.push(items);
+            }
+            None => {
+                // Implicit candidate: a uniformly random itemset of length ≤ m over the
+                // universe that we have not enumerated or selected yet.
+                if implicit_remaining < 1.0 {
+                    // Nothing left below the threshold; fall back to explicit-only.
+                    if available.is_empty() {
+                        break;
+                    }
+                    continue;
+                }
+                let explicit_set: HashSet<&ItemSet> = available.iter().map(|(s, _)| s).collect();
+                if let Some(items) =
+                    random_unused_itemset(rng, universe_size, m, &used, &explicit_set)
+                {
+                    implicit_remaining -= 1.0;
+                    used.insert(items.clone());
+                    selected.push(items);
+                } else {
+                    // The universe is so small that everything is enumerated; stop trying the
+                    // implicit branch.
+                    implicit_remaining = 0.0;
+                }
+            }
+        }
+    }
+    selected
+}
+
+/// Draws a uniformly random itemset with 1..=m items over `0..universe_size` that is neither
+/// already selected nor explicitly enumerated. Returns `None` after too many rejections
+/// (which only happens for tiny universes where everything is enumerated).
+fn random_unused_itemset<R: Rng + ?Sized>(
+    rng: &mut R,
+    universe_size: usize,
+    m: usize,
+    used: &HashSet<ItemSet>,
+    explicit: &HashSet<&ItemSet>,
+) -> Option<ItemSet> {
+    // Size chosen with probability proportional to the number of itemsets of that size.
+    let sizes: Vec<f64> = (1..=m.min(universe_size))
+        .map(|s| crate::candidates::ln_binomial(universe_size, s))
+        .collect();
+    if sizes.is_empty() {
+        return None;
+    }
+    let max_ln = sizes.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
+    let weights: Vec<f64> = sizes.iter().map(|&l| (l - max_ln).exp()).collect();
+    let total: f64 = weights.iter().sum();
+
+    for _ in 0..1_000 {
+        let mut t = rng.gen::<f64>() * total;
+        let mut size = 1usize;
+        for (i, &w) in weights.iter().enumerate() {
+            if t < w {
+                size = i + 1;
+                break;
+            }
+            t -= w;
+            size = i + 1;
+        }
+        let mut items: Vec<Item> = Vec::with_capacity(size);
+        let mut guard = 0;
+        while items.len() < size && guard < 10_000 {
+            guard += 1;
+            let candidate = rng.gen_range(0..universe_size) as Item;
+            if !items.contains(&candidate) {
+                items.push(candidate);
+            }
+        }
+        let set = ItemSet::new(items);
+        if set.len() == size && !used.contains(&set) && !explicit.contains(&set) {
+            return Some(set);
+        }
+    }
+    None
+}
+
+/// Exhaustive Laplace-noise selection: adds `Lap(4k/ε)` to the truncated count of every
+/// candidate in `U` and keeps the `k` noisiest-largest.
+///
+/// Returns `None` when `|U|` is too large to enumerate (`> MAX_EXHAUSTIVE_CANDIDATES`).
+pub fn select_top_k_laplace<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &TransactionDb,
+    k: usize,
+    m: usize,
+    rho: f64,
+    epsilon_total: Epsilon,
+    universe_size: usize,
+) -> Option<Vec<ItemSet>> {
+    assert!(k > 0 && m > 0 && universe_size > 0);
+    let exact = candidate_set_size_exact(universe_size, m)?;
+    if exact > MAX_EXHAUSTIVE_CANDIDATES {
+        return None;
+    }
+
+    if epsilon_total.is_infinite() {
+        return Some(
+            top_k_itemsets(db, k, Some(m))
+                .into_iter()
+                .map(|f| f.items)
+                .collect(),
+        );
+    }
+    let eps_total = epsilon_total.value();
+    let n = db.len().max(1);
+    let fk_count = kth_count(db, k, Some(m)).unwrap_or(0) as f64;
+    let trunc_count = fk_count - gamma(k, eps_total, n, rho, universe_size, m) * n as f64;
+
+    // Counts of every itemset that actually occurs; everything else has count 0.
+    let observed: std::collections::HashMap<ItemSet, f64> = fpgrowth(db, 1, Some(m))
+        .into_iter()
+        .map(|f| (f.items, f.count as f64))
+        .collect();
+
+    // Noise scale 4k/ε on counts (budget ε/2, k queries of sensitivity 1 each).
+    let noise = LaplaceNoise::new(4.0 * k as f64, Epsilon::Finite(eps_total))
+        .expect("parameters validated above");
+
+    let universe: Vec<Item> = (0..universe_size as Item).collect();
+    let universe_set = ItemSet::new(universe);
+    let mut scored: Vec<(f64, ItemSet)> = Vec::new();
+    for size in 1..=m.min(universe_size) {
+        for candidate in universe_set.subsets_of_size(size) {
+            let count = observed.get(&candidate).copied().unwrap_or(0.0);
+            let truncated = count.max(trunc_count);
+            scored.push((truncated + noise.sample(rng), candidate));
+        }
+    }
+    scored.sort_by(|a, b| b.0.partial_cmp(&a.0).expect("noisy scores are finite"));
+    Some(scored.into_iter().take(k).map(|(_, s)| s).collect())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn skewed_db(n: usize) -> TransactionDb {
+        // Items 0,1 appear almost always (and together); items 2..6 progressively less.
+        let mut transactions = Vec::with_capacity(n);
+        for i in 0..n {
+            let mut t = vec![0u32, 1];
+            if i % 2 == 0 {
+                t.push(2);
+            }
+            if i % 4 == 0 {
+                t.push(3);
+            }
+            if i % 8 == 0 {
+                t.push(4);
+            }
+            if i % 16 == 0 {
+                t.push(5);
+            }
+            transactions.push(t);
+        }
+        TransactionDb::from_transactions(transactions)
+    }
+
+    #[test]
+    fn infinite_epsilon_returns_exact_topk() {
+        let db = skewed_db(1_000);
+        let mut rng = StdRng::seed_from_u64(1);
+        let picked =
+            select_top_k_exponential(&mut rng, &db, 5, 2, 0.9, Epsilon::Infinite, 10, 1_000);
+        let truth: Vec<ItemSet> = top_k_itemsets(&db, 5, Some(2)).into_iter().map(|f| f.items).collect();
+        assert_eq!(picked, truth);
+    }
+
+    #[test]
+    fn returns_k_distinct_itemsets_within_length() {
+        let db = skewed_db(2_000);
+        let mut rng = StdRng::seed_from_u64(2);
+        let picked = select_top_k_exponential(
+            &mut rng,
+            &db,
+            10,
+            2,
+            0.9,
+            Epsilon::Finite(1.0),
+            50,
+            1_000,
+        );
+        assert_eq!(picked.len(), 10);
+        let distinct: HashSet<&ItemSet> = picked.iter().collect();
+        assert_eq!(distinct.len(), 10);
+        assert!(picked.iter().all(|s| !s.is_empty() && s.len() <= 2));
+    }
+
+    #[test]
+    fn large_epsilon_recovers_most_of_the_true_topk() {
+        let db = skewed_db(20_000);
+        let truth: HashSet<ItemSet> =
+            top_k_itemsets(&db, 5, Some(2)).into_iter().map(|f| f.items).collect();
+        let mut rng = StdRng::seed_from_u64(3);
+        let picked = select_top_k_exponential(
+            &mut rng,
+            &db,
+            5,
+            2,
+            0.9,
+            Epsilon::Finite(10.0),
+            10,
+            1_000,
+        );
+        let hits = picked.iter().filter(|s| truth.contains(*s)).count();
+        assert!(hits >= 4, "only {hits} of 5 true itemsets recovered");
+    }
+
+    #[test]
+    fn tiny_epsilon_behaves_and_still_returns_k() {
+        let db = skewed_db(500);
+        let mut rng = StdRng::seed_from_u64(4);
+        let picked = select_top_k_exponential(
+            &mut rng,
+            &db,
+            8,
+            2,
+            0.9,
+            Epsilon::Finite(0.01),
+            100,
+            1_000,
+        );
+        assert_eq!(picked.len(), 8);
+    }
+
+    #[test]
+    fn respects_max_explicit_cap() {
+        let db = skewed_db(2_000);
+        let mut rng = StdRng::seed_from_u64(5);
+        // Cap of 2 explicit candidates: selection still returns k itemsets.
+        let picked = select_top_k_exponential(
+            &mut rng,
+            &db,
+            6,
+            2,
+            0.9,
+            Epsilon::Finite(1.0),
+            40,
+            2,
+        );
+        assert_eq!(picked.len(), 6);
+    }
+
+    #[test]
+    fn laplace_variant_small_universe() {
+        let db = skewed_db(5_000);
+        let mut rng = StdRng::seed_from_u64(6);
+        let picked = select_top_k_laplace(&mut rng, &db, 5, 2, 0.9, Epsilon::Finite(5.0), 8)
+            .expect("universe small enough");
+        assert_eq!(picked.len(), 5);
+        let distinct: HashSet<&ItemSet> = picked.iter().collect();
+        assert_eq!(distinct.len(), 5);
+    }
+
+    #[test]
+    fn laplace_variant_refuses_huge_universe() {
+        let db = skewed_db(100);
+        let mut rng = StdRng::seed_from_u64(7);
+        assert!(select_top_k_laplace(&mut rng, &db, 5, 3, 0.9, Epsilon::Finite(1.0), 100_000).is_none());
+    }
+
+    #[test]
+    fn laplace_variant_infinite_epsilon_exact() {
+        let db = skewed_db(1_000);
+        let mut rng = StdRng::seed_from_u64(8);
+        let picked = select_top_k_laplace(&mut rng, &db, 4, 2, 0.9, Epsilon::Infinite, 8).unwrap();
+        let truth: Vec<ItemSet> = top_k_itemsets(&db, 4, Some(2)).into_iter().map(|f| f.items).collect();
+        assert_eq!(picked, truth);
+    }
+
+    #[test]
+    fn random_unused_itemset_avoids_used_sets() {
+        let mut rng = StdRng::seed_from_u64(9);
+        let mut used = HashSet::new();
+        used.insert(ItemSet::new(vec![0]));
+        used.insert(ItemSet::new(vec![1]));
+        let explicit = HashSet::new();
+        for _ in 0..100 {
+            let s = random_unused_itemset(&mut rng, 4, 1, &used, &explicit).unwrap();
+            assert!(!used.contains(&s));
+            assert_eq!(s.len(), 1);
+        }
+    }
+
+    #[test]
+    fn random_unused_itemset_none_when_exhausted() {
+        let mut rng = StdRng::seed_from_u64(10);
+        let mut used = HashSet::new();
+        for i in 0..3u32 {
+            used.insert(ItemSet::new(vec![i]));
+        }
+        let explicit = HashSet::new();
+        assert!(random_unused_itemset(&mut rng, 3, 1, &used, &explicit).is_none());
+    }
+}

@@ -1,0 +1,74 @@
+//! Differentially private association rules.
+//!
+//! The paper motivates frequent itemset mining with association rule mining; because rule
+//! generation only uses the published itemset frequencies, it composes with a PrivBasis
+//! release as pure post-processing (no extra privacy budget). This example releases the top-k
+//! itemsets of a synthetic market-basket dataset privately and derives the high-confidence
+//! rules from the noisy counts, comparing them with the rules mined from the exact counts.
+//!
+//! Run with: `cargo run --release --example association_rules`
+
+use privbasis::fim::rules::{generate_rules, generate_rules_from_noisy};
+use privbasis::fim::topk::top_k_itemsets;
+use privbasis::{Epsilon, PrivBasis, TransactionDb};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Synthetic baskets: {0,1} and {2,3} are strongly associated, {4} is independent filler.
+    let mut transactions = Vec::new();
+    for i in 0..20_000usize {
+        let mut basket = Vec::new();
+        if i % 10 < 6 {
+            basket.push(0u32);
+            if i % 10 < 5 {
+                basket.push(1);
+            }
+        }
+        if i % 10 >= 4 {
+            basket.push(2);
+            if i % 10 >= 5 {
+                basket.push(3);
+            }
+        }
+        if i % 3 == 0 {
+            basket.push(4);
+        }
+        transactions.push(basket);
+    }
+    let db = TransactionDb::from_transactions(transactions);
+    let k = 15;
+    let min_confidence = 0.7;
+
+    // Exact rules (what a non-private pipeline would produce).
+    let exact_top = top_k_itemsets(&db, k, None);
+    let exact_rules = generate_rules(&exact_top, db.len(), min_confidence);
+    println!("exact rules (confidence ≥ {min_confidence}):");
+    for r in &exact_rules {
+        println!("  {r}");
+    }
+
+    // Private release, then rules from the noisy counts — pure post-processing.
+    let mut rng = StdRng::seed_from_u64(13);
+    let out = PrivBasis::with_defaults()
+        .run(&mut rng, &db, k, Epsilon::Finite(1.0))
+        .expect("valid parameters");
+    let private_rules = generate_rules_from_noisy(&out.itemsets, db.len(), min_confidence);
+    println!("\nrules from the ε = 1.0 private release:");
+    for r in &private_rules {
+        println!("  {r}");
+    }
+
+    let exact_set: std::collections::HashSet<_> = exact_rules
+        .iter()
+        .map(|r| (r.antecedent.clone(), r.consequent.clone()))
+        .collect();
+    let preserved = private_rules
+        .iter()
+        .filter(|r| exact_set.contains(&(r.antecedent.clone(), r.consequent.clone())))
+        .count();
+    println!(
+        "\n{preserved} of {} exact rules were recovered from the private release.",
+        exact_rules.len()
+    );
+}

@@ -1,0 +1,55 @@
+//! Market-basket analysis on the synthetic retail profile.
+//!
+//! Mirrors the paper's retail scenario (Figure 3): a sparse basket dataset with a moderate
+//! number of hot items, where PrivBasis needs several bases. The example publishes the top-k
+//! itemsets at a few privacy levels and reports the false negative rate and relative error
+//! against the exact answer.
+//!
+//! Run with: `cargo run --release --example market_basket`
+
+use privbasis::datagen::DatasetProfile;
+use privbasis::fim::topk::top_k_itemsets;
+use privbasis::metrics::{false_negative_rate, relative_error, PublishedItemset};
+use privbasis::{Epsilon, PrivBasis};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // Scale 0.05 keeps the example fast (~4.4k transactions); raise it towards 1.0 to work at
+    // the paper's full N = 88,162.
+    let db = DatasetProfile::Retail.generate(0.05, 2024);
+    let k = 50;
+    println!(
+        "synthetic retail profile: N = {}, |I| = {}, avg |t| = {:.1}",
+        db.len(),
+        db.num_distinct_items(),
+        db.avg_transaction_len()
+    );
+
+    let truth = top_k_itemsets(&db, k, None);
+    println!("true top-{k}: f_k = {:.4}\n", truth.last().map(|f| f.frequency(db.len())).unwrap_or(0.0));
+    println!("{:>6}  {:>8}  {:>10}", "ε", "FNR", "rel. err");
+
+    let pb = PrivBasis::with_defaults();
+    for &epsilon in &[0.25, 0.5, 1.0, 2.0] {
+        let mut fnr_acc = 0.0;
+        let mut re_acc = 0.0;
+        let reps = 3;
+        for rep in 0..reps {
+            let mut rng = StdRng::seed_from_u64(1_000 + rep);
+            let out = pb
+                .run(&mut rng, &db, k, Epsilon::Finite(epsilon))
+                .expect("valid parameters");
+            let published: Vec<PublishedItemset> = out
+                .itemsets
+                .iter()
+                .map(|(s, c)| PublishedItemset::new(s.clone(), *c))
+                .collect();
+            fnr_acc += false_negative_rate(&truth, &published);
+            re_acc += relative_error(&db, &published);
+        }
+        println!("{:>6.2}  {:>8.3}  {:>10.3}", epsilon, fnr_acc / reps as f64, re_acc / reps as f64);
+    }
+
+    println!("\nFNR falls and the counts sharpen as ε grows — the privacy/utility trade-off of Figure 3.");
+}

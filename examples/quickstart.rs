@@ -1,0 +1,64 @@
+//! Quickstart: publish the top-k frequent itemsets of a small market-basket database under
+//! ε-differential privacy and compare them with the exact (non-private) answer.
+//!
+//! Run with: `cargo run --release --example quickstart`
+
+use privbasis::fim::topk::top_k_itemsets;
+use privbasis::{Epsilon, PrivBasis, TransactionDb};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    // A toy grocery database: item 0 = bread, 1 = milk, 2 = butter, 3 = beer, 4 = diapers.
+    let names = ["bread", "milk", "butter", "beer", "diapers"];
+    let mut transactions = Vec::new();
+    for i in 0..5_000usize {
+        let mut basket = vec![0u32];
+        if i % 10 < 8 {
+            basket.push(1);
+        }
+        if i % 10 < 5 {
+            basket.push(2);
+        }
+        if i % 10 < 3 {
+            basket.push(3);
+        }
+        if i % 10 < 2 {
+            basket.push(4);
+        }
+        transactions.push(basket);
+    }
+    let db = TransactionDb::from_transactions(transactions);
+
+    let k = 6;
+    let epsilon = 1.0;
+    println!("database: {} transactions, {} items", db.len(), db.num_distinct_items());
+    println!("publishing the top-{k} itemsets with ε = {epsilon}\n");
+
+    // Exact answer, for reference (this is what a non-private miner would return).
+    println!("exact top-{k}:");
+    for f in top_k_itemsets(&db, k, None) {
+        println!("  {:<12} support {:>5}  frequency {:.3}", pretty(&f.items, &names), f.count, f.frequency(db.len()));
+    }
+
+    // Differentially private answer.
+    let mut rng = StdRng::seed_from_u64(7);
+    let out = PrivBasis::with_defaults()
+        .run(&mut rng, &db, k, Epsilon::Finite(epsilon))
+        .expect("parameters are valid");
+
+    println!("\nPrivBasis (ε = {epsilon}):  λ = {}, basis width {} / length {}", out.lambda, out.basis_set.width(), out.basis_set.length());
+    for (itemset, noisy_count) in &out.itemsets {
+        println!(
+            "  {:<12} noisy support {:>8.1}  noisy frequency {:.3}",
+            pretty(itemset, &names),
+            noisy_count,
+            noisy_count / db.len() as f64
+        );
+    }
+}
+
+fn pretty(itemset: &privbasis::ItemSet, names: &[&str]) -> String {
+    let labels: Vec<&str> = itemset.iter().map(|i| names[i as usize]).collect();
+    format!("{{{}}}", labels.join(","))
+}

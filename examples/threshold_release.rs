@@ -1,0 +1,60 @@
+//! Releasing all itemsets above a frequency threshold θ.
+//!
+//! §4 of the paper notes that the threshold version of the problem reduces to the top-k
+//! version: choose k so that the k-th most frequent itemset is the last one above θ. This
+//! example performs that reduction on the dense mushroom profile and reports how many of the
+//! θ-frequent itemsets the private release recovers.
+//!
+//! Run with: `cargo run --release --example threshold_release`
+
+use privbasis::datagen::DatasetProfile;
+use privbasis::fim::topk::itemsets_above_threshold;
+use privbasis::metrics::{false_negative_rate, relative_error, PublishedItemset};
+use privbasis::{Epsilon, PrivBasis};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+fn main() {
+    let db = DatasetProfile::Mushroom.generate(0.25, 11);
+    let theta = 0.45;
+    println!(
+        "synthetic mushroom profile: N = {}, |I| = {}, avg |t| = {:.1}",
+        db.len(),
+        db.num_distinct_items(),
+        db.avg_transaction_len()
+    );
+
+    // Reduction: k = number of itemsets with frequency >= theta.
+    let frequent = itemsets_above_threshold(&db, theta, None);
+    let k = frequent.len();
+    println!("θ = {theta}: {k} itemsets are θ-frequent (this becomes k)\n");
+    if k == 0 {
+        println!("nothing to release at this threshold");
+        return;
+    }
+
+    let pb = PrivBasis::with_defaults();
+    println!("{:>6}  {:>10}  {:>10}", "ε", "recovered", "rel. err");
+    for &epsilon in &[0.5, 1.0, 2.0] {
+        let mut rng = StdRng::seed_from_u64(999);
+        let out = pb
+            .run(&mut rng, &db, k, Epsilon::Finite(epsilon))
+            .expect("valid parameters");
+        let published: Vec<PublishedItemset> = out
+            .itemsets
+            .iter()
+            .map(|(s, c)| PublishedItemset::new(s.clone(), *c))
+            .collect();
+        let fnr = false_negative_rate(&frequent, &published);
+        let re = relative_error(&db, &published);
+        println!(
+            "{:>6.1}  {:>7}/{:<3}  {:>10.3}",
+            epsilon,
+            ((1.0 - fnr) * k as f64).round() as usize,
+            k,
+            re
+        );
+    }
+
+    println!("\nOn a dense dataset with small λ a single basis suffices and recovery is near-perfect even at ε = 0.5 (Figure 1's regime).");
+}

@@ -1,0 +1,74 @@
+//! # privbasis — differentially private frequent itemset mining
+//!
+//! A from-scratch Rust reproduction of **"PrivBasis: Frequent Itemset Mining with Differential
+//! Privacy"** (Li, Qardaji, Su & Cao, PVLDB 5(11), 2012), including every substrate the paper
+//! relies on: a frequent-itemset-mining layer (Apriori, FP-Growth, top-`k`), differential
+//! privacy mechanisms (Laplace, exponential mechanism, budget accounting), maximal-clique
+//! enumeration, synthetic workload generators mirroring the paper's five datasets, and the
+//! Truncated Frequency baseline it compares against.
+//!
+//! This crate is a thin facade: it re-exports the workspace crates under stable module names
+//! and the most commonly used types at the root, so a downstream user can depend on
+//! `privbasis` alone.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use privbasis::{Epsilon, PrivBasis, TransactionDb};
+//! use rand::{rngs::StdRng, SeedableRng};
+//!
+//! // A toy market-basket database.
+//! let db = TransactionDb::from_transactions(vec![
+//!     vec![0, 1, 2],
+//!     vec![0, 1],
+//!     vec![0, 1, 2],
+//!     vec![2, 3],
+//!     vec![0, 1, 3],
+//! ]);
+//!
+//! // Publish the top-3 itemsets under ε = 1.0 differential privacy.
+//! let mut rng = StdRng::seed_from_u64(42);
+//! let out = PrivBasis::with_defaults()
+//!     .run(&mut rng, &db, 3, Epsilon::Finite(1.0))
+//!     .expect("valid parameters");
+//! assert_eq!(out.itemsets.len(), 3);
+//! for (itemset, noisy_count) in &out.itemsets {
+//!     println!("{itemset} ≈ {noisy_count:.1}");
+//! }
+//! ```
+//!
+//! See `examples/` for end-to-end scenarios (market-basket analysis, clickstream top-`k`,
+//! threshold release, and a comparison against the TF baseline) and `EXPERIMENTS.md` for how
+//! every table and figure of the paper is regenerated.
+
+#![forbid(unsafe_code)]
+
+pub use pb_core as core;
+pub use pb_datagen as datagen;
+pub use pb_dp as dp;
+pub use pb_fim as fim;
+pub use pb_graph as graph;
+pub use pb_metrics as metrics;
+pub use pb_tf as tf;
+
+pub use pb_core::{BasisSet, PrivBasis, PrivBasisOutput, PrivBasisParams};
+pub use pb_datagen::DatasetProfile;
+pub use pb_dp::Epsilon;
+pub use pb_fim::{FrequentItemset, Item, ItemSet, TransactionDb};
+pub use pb_metrics::{false_negative_rate, relative_error, PublishedItemset};
+pub use pb_tf::{TfConfig, TfMethod};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn facade_reexports_compose() {
+        let db = TransactionDb::from_transactions(vec![vec![0, 1], vec![0, 1], vec![1, 2]]);
+        assert_eq!(db.len(), 3);
+        let eps = Epsilon::Finite(1.0);
+        assert!(!eps.is_infinite());
+        let params = PrivBasisParams::default();
+        assert!(params.validate().is_ok());
+    }
+}
