@@ -5,9 +5,10 @@
 
 use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 use pb_bench::dense_db;
-use pb_core::{basis_freq_counts, BasisSet};
+use pb_core::freq::basis_freq_counts_with_index;
+use pb_core::{basis_freq_counts, basis_freq_counts_naive, BasisSet};
 use pb_dp::Epsilon;
-use pb_fim::ItemSet;
+use pb_fim::{ItemSet, VerticalIndex};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::hint::black_box;
@@ -22,12 +23,21 @@ fn bench_width(c: &mut Criterion) {
             .map(|i| ItemSet::new(((i * 6) as u32..(i * 6 + 6) as u32).collect()))
             .collect();
         let basis_set = BasisSet::new(bases);
-        group.bench_with_input(BenchmarkId::from_parameter(w), &basis_set, |b, basis_set| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(1);
-                black_box(basis_freq_counts(&mut rng, &db, basis_set, Epsilon::Finite(1.0)))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(w),
+            &basis_set,
+            |b, basis_set| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    black_box(basis_freq_counts(
+                        &mut rng,
+                        &db,
+                        basis_set,
+                        Epsilon::Finite(1.0),
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -38,12 +48,21 @@ fn bench_length(c: &mut Criterion) {
     group.sample_size(10);
     for &len in &[4usize, 8, 12, 16] {
         let basis_set = BasisSet::single(ItemSet::new((0..len as u32).collect()));
-        group.bench_with_input(BenchmarkId::from_parameter(len), &basis_set, |b, basis_set| {
-            b.iter(|| {
-                let mut rng = StdRng::seed_from_u64(1);
-                black_box(basis_freq_counts(&mut rng, &db, basis_set, Epsilon::Finite(1.0)))
-            })
-        });
+        group.bench_with_input(
+            BenchmarkId::from_parameter(len),
+            &basis_set,
+            |b, basis_set| {
+                b.iter(|| {
+                    let mut rng = StdRng::seed_from_u64(1);
+                    black_box(basis_freq_counts(
+                        &mut rng,
+                        &db,
+                        basis_set,
+                        Epsilon::Finite(1.0),
+                    ))
+                })
+            },
+        );
     }
     group.finish();
 }
@@ -60,12 +79,71 @@ fn bench_database_size(c: &mut Criterion) {
         group.bench_with_input(BenchmarkId::from_parameter(n), &db, |b, db| {
             b.iter(|| {
                 let mut rng = StdRng::seed_from_u64(1);
-                black_box(basis_freq_counts(&mut rng, db, &basis_set, Epsilon::Finite(1.0)))
+                black_box(basis_freq_counts(
+                    &mut rng,
+                    db,
+                    &basis_set,
+                    Epsilon::Finite(1.0),
+                ))
             })
         });
     }
     group.finish();
 }
 
-criterion_group!(benches, bench_width, bench_length, bench_database_size);
+/// The acceptance workload for the vertical index: N = 100k transactions, w = 8 bases of
+/// length ℓ = 8. Three engines are measured: the naive row scan, the indexed engine
+/// including the index build, and the indexed engine on a pre-built index.
+fn bench_indexed_vs_naive(c: &mut Criterion) {
+    let db = dense_db(100_000);
+    let bases: Vec<ItemSet> = (0..8usize)
+        .map(|i| ItemSet::new(((i * 8) as u32..(i * 8 + 8) as u32).collect()))
+        .collect();
+    let basis_set = BasisSet::new(bases);
+    let mut group = c.benchmark_group("basis_freq/indexed_vs_naive_100k_w8_l8");
+    group.sample_size(10);
+    group.bench_function("naive_row_scan", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(basis_freq_counts_naive(
+                &mut rng,
+                &db,
+                &basis_set,
+                Epsilon::Finite(1.0),
+            ))
+        })
+    });
+    group.bench_function("indexed_including_build", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(basis_freq_counts(
+                &mut rng,
+                &db,
+                &basis_set,
+                Epsilon::Finite(1.0),
+            ))
+        })
+    });
+    let index = VerticalIndex::build(&db);
+    group.bench_function("indexed_prebuilt", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(basis_freq_counts_with_index(
+                &mut rng,
+                &index,
+                &basis_set,
+                Epsilon::Finite(1.0),
+            ))
+        })
+    });
+    group.finish();
+}
+
+criterion_group!(
+    benches,
+    bench_width,
+    bench_length,
+    bench_database_size,
+    bench_indexed_vs_naive
+);
 criterion_main!(benches);

@@ -13,13 +13,13 @@
 
 use crate::basis::BasisSet;
 use crate::construct::construct_basis_set;
-use crate::freq::basis_freq_counts;
+use crate::freq::{basis_freq_counts_naive, basis_freq_counts_with_index, NoisyCandidateCounts};
 use crate::params::{PrivBasisParams, SelectionScale};
-use pb_dp::{sample_without_replacement, DpError, Epsilon, ExponentialScale, PrivacyBudget};
 use pb_dp::exponential_mechanism;
+use pb_dp::{sample_without_replacement, DpError, Epsilon, ExponentialScale, PrivacyBudget};
 use pb_fim::itemset::{Item, ItemSet};
 use pb_fim::topk::top_k_itemsets;
-use pb_fim::TransactionDb;
+use pb_fim::{TransactionDb, VerticalIndex};
 use rand::Rng;
 
 /// Errors returned by [`PrivBasis::run`].
@@ -103,7 +103,9 @@ impl PrivBasis {
         k: usize,
         epsilon: Epsilon,
     ) -> Result<PrivBasisOutput, PrivBasisError> {
-        self.params.validate().map_err(PrivBasisError::InvalidParams)?;
+        self.params
+            .validate()
+            .map_err(PrivBasisError::InvalidParams)?;
         if k == 0 {
             return Err(PrivBasisError::InvalidK);
         }
@@ -116,7 +118,8 @@ impl PrivBasis {
         let eps_select = budget.spend_fraction(self.params.alpha2)?;
         let eps_counts = budget.spend_remaining()?;
 
-        // Items sorted by descending frequency; reused by steps 1 and 2.
+        // Items sorted by descending frequency; reused by steps 1 and 2. One row scan —
+        // cheaper than any index for a single pass over every item.
         let items_by_freq = db.items_by_frequency();
         if items_by_freq.is_empty() {
             return Err(PrivBasisError::EmptyDatabase);
@@ -130,8 +133,14 @@ impl PrivBasis {
             // Steps 2 + 5, single-basis path.
             let frequent_items =
                 self.select_frequent_items(rng, db, &items_by_freq, lambda, eps_select)?;
+            // Index only the λ selected items: every later count involves them alone, so
+            // memory stays O(λ·N/64) words however sparse and wide the item universe is.
+            let index = self
+                .params
+                .use_index
+                .then(|| VerticalIndex::build_restricted(db, &frequent_items));
             let basis_set = BasisSet::single(frequent_items.clone());
-            let counts = basis_freq_counts(rng, db, &basis_set, eps_counts);
+            let counts = self.count_bases(rng, db, index.as_ref(), &basis_set, eps_counts);
             Ok(PrivBasisOutput {
                 itemsets: counts.top_k(k),
                 lambda,
@@ -148,22 +157,36 @@ impl PrivBasis {
                 (eps_select, None)
             } else {
                 let beta1 = lambda as f64 / (lambda + lambda2) as f64;
-                (eps_select.fraction(beta1), Some(eps_select.fraction(1.0 - beta1)))
+                (
+                    eps_select.fraction(beta1),
+                    Some(eps_select.fraction(1.0 - beta1)),
+                )
             };
 
             let frequent_items =
                 self.select_frequent_items(rng, db, &items_by_freq, lambda, eps_items)?;
+            // Index only the λ selected items (see the single-basis path): the pair
+            // counts of step 3 and every basis of step 5 are subsets of them.
+            let index = self
+                .params
+                .use_index
+                .then(|| VerticalIndex::build_restricted(db, &frequent_items));
 
             let frequent_pairs = match eps_pairs {
-                Some(eps_pairs) if frequent_items.len() >= 2 => {
-                    self.select_frequent_pairs(rng, db, &frequent_items, lambda2, eps_pairs)?
-                }
+                Some(eps_pairs) if frequent_items.len() >= 2 => self.select_frequent_pairs(
+                    rng,
+                    db,
+                    index.as_ref(),
+                    &frequent_items,
+                    lambda2,
+                    eps_pairs,
+                )?,
                 _ => Vec::new(),
             };
 
             let basis_set =
                 construct_basis_set(&frequent_items, &frequent_pairs, self.params.max_basis_len);
-            let counts = basis_freq_counts(rng, db, &basis_set, eps_counts);
+            let counts = self.count_bases(rng, db, index.as_ref(), &basis_set, eps_counts);
             Ok(PrivBasisOutput {
                 itemsets: counts.top_k(k),
                 lambda,
@@ -173,6 +196,22 @@ impl PrivBasis {
                 basis_set,
                 candidate_count: counts.len(),
             })
+        }
+    }
+
+    /// Step 5 dispatch: BasisFreq on the vertical index when one was built, otherwise
+    /// the row-scan engine. Identical output either way for a fixed seed.
+    fn count_bases<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        db: &TransactionDb,
+        index: Option<&VerticalIndex>,
+        basis_set: &BasisSet,
+        eps: Epsilon,
+    ) -> NoisyCandidateCounts {
+        match index {
+            Some(ix) => basis_freq_counts_with_index(rng, ix, basis_set, eps),
+            None => basis_freq_counts_naive(rng, db, basis_set, eps),
         }
     }
 
@@ -208,14 +247,19 @@ impl PrivBasis {
         &self,
         rng: &mut R,
         db: &TransactionDb,
+        index: Option<&VerticalIndex>,
         frequent_items: &ItemSet,
         lambda2: usize,
         eps: Epsilon,
     ) -> Result<Vec<(Item, Item)>, PrivBasisError> {
-        let pair_counts = db.pair_counts(frequent_items);
+        let pair_counts = match index {
+            Some(ix) => ix.pair_counts(frequent_items),
+            None => db.pair_counts(frequent_items),
+        };
         // Candidate set: every pair of selected items, including pairs that never co-occur.
         let items = frequent_items.items();
-        let mut candidates: Vec<(Item, Item)> = Vec::with_capacity(items.len() * (items.len() - 1) / 2);
+        let mut candidates: Vec<(Item, Item)> =
+            Vec::with_capacity(items.len() * (items.len() - 1) / 2);
         for i in 0..items.len() {
             for j in (i + 1)..items.len() {
                 candidates.push((items[i], items[j]));
@@ -336,10 +380,16 @@ mod tests {
         let pb = PrivBasis::with_defaults();
         let mut rng = StdRng::seed_from_u64(1);
         let out = pb.run(&mut rng, &db, 7, Epsilon::Infinite).unwrap();
-        let truth: Vec<ItemSet> = top_k_itemsets(&db, 7, None).into_iter().map(|f| f.items).collect();
+        let truth: Vec<ItemSet> = top_k_itemsets(&db, 7, None)
+            .into_iter()
+            .map(|f| f.items)
+            .collect();
         let published: HashSet<&ItemSet> = out.itemsets.iter().map(|(s, _)| s).collect();
         let hits = truth.iter().filter(|t| published.contains(t)).count();
-        assert_eq!(hits, 7, "noiseless PrivBasis should recover the exact top-k");
+        assert_eq!(
+            hits, 7,
+            "noiseless PrivBasis should recover the exact top-k"
+        );
         // Published counts must equal true supports when there is no noise.
         for (s, c) in &out.itemsets {
             assert!((c - db.support(s) as f64).abs() < 1e-6);
@@ -352,9 +402,15 @@ mod tests {
         let pb = PrivBasis::with_defaults();
         let mut rng = StdRng::seed_from_u64(2);
         let out = pb.run(&mut rng, &db, 30, Epsilon::Infinite).unwrap();
-        let truth: HashSet<ItemSet> =
-            top_k_itemsets(&db, 30, None).into_iter().map(|f| f.items).collect();
-        let hits = out.itemsets.iter().filter(|(s, _)| truth.contains(s)).count();
+        let truth: HashSet<ItemSet> = top_k_itemsets(&db, 30, None)
+            .into_iter()
+            .map(|f| f.items)
+            .collect();
+        let hits = out
+            .itemsets
+            .iter()
+            .filter(|(s, _)| truth.contains(s))
+            .count();
         // The sparse path goes through λ > 12 (multi-basis). λ is chosen against the (η·k)-th
         // itemset, so the selected items always include the true top-k singletons and the
         // noiseless reconstruction recovers them all (allow one slip at the rank boundary).
@@ -366,14 +422,20 @@ mod tests {
     fn moderate_epsilon_has_low_fnr_on_dense_data() {
         let db = dense_db(20_000);
         let pb = PrivBasis::with_defaults();
-        let truth: HashSet<ItemSet> =
-            top_k_itemsets(&db, 7, None).into_iter().map(|f| f.items).collect();
+        let truth: HashSet<ItemSet> = top_k_itemsets(&db, 7, None)
+            .into_iter()
+            .map(|f| f.items)
+            .collect();
         let mut total_hits = 0;
         let reps = 5;
         for seed in 0..reps {
             let mut rng = StdRng::seed_from_u64(100 + seed);
             let out = pb.run(&mut rng, &db, 7, Epsilon::Finite(1.0)).unwrap();
-            total_hits += out.itemsets.iter().filter(|(s, _)| truth.contains(s)).count();
+            total_hits += out
+                .itemsets
+                .iter()
+                .filter(|(s, _)| truth.contains(s))
+                .count();
         }
         let fnr = 1.0 - total_hits as f64 / (reps as f64 * 7.0);
         assert!(fnr < 0.25, "FNR too high: {fnr}");
@@ -411,10 +473,14 @@ mod tests {
         );
         let empty = TransactionDb::from_transactions(Vec::<Vec<u32>>::new());
         assert_eq!(
-            pb.run(&mut rng, &empty, 5, Epsilon::Finite(1.0)).unwrap_err(),
+            pb.run(&mut rng, &empty, 5, Epsilon::Finite(1.0))
+                .unwrap_err(),
             PrivBasisError::EmptyDatabase
         );
-        let bad = PrivBasis::new(PrivBasisParams { alpha1: 0.9, ..Default::default() });
+        let bad = PrivBasis::new(PrivBasisParams {
+            alpha1: 0.9,
+            ..Default::default()
+        });
         assert!(matches!(
             bad.run(&mut rng, &db, 5, Epsilon::Finite(1.0)).unwrap_err(),
             PrivBasisError::InvalidParams(_)
@@ -425,10 +491,49 @@ mod tests {
     fn reproducible_under_fixed_seed() {
         let db = dense_db(2_000);
         let pb = PrivBasis::with_defaults();
-        let a = pb.run(&mut StdRng::seed_from_u64(9), &db, 6, Epsilon::Finite(0.5)).unwrap();
-        let b = pb.run(&mut StdRng::seed_from_u64(9), &db, 6, Epsilon::Finite(0.5)).unwrap();
+        let a = pb
+            .run(&mut StdRng::seed_from_u64(9), &db, 6, Epsilon::Finite(0.5))
+            .unwrap();
+        let b = pb
+            .run(&mut StdRng::seed_from_u64(9), &db, 6, Epsilon::Finite(0.5))
+            .unwrap();
         assert_eq!(a.itemsets, b.itemsets);
         assert_eq!(a.lambda, b.lambda);
+    }
+
+    #[test]
+    fn indexed_and_naive_runs_are_byte_identical() {
+        let db = dense_db(2_500);
+        let indexed = PrivBasis::with_defaults();
+        let naive = PrivBasis::new(PrivBasisParams {
+            use_index: false,
+            ..Default::default()
+        });
+        for seed in [0u64, 1, 2, 42] {
+            let a = indexed
+                .run(
+                    &mut StdRng::seed_from_u64(seed),
+                    &db,
+                    6,
+                    Epsilon::Finite(0.8),
+                )
+                .unwrap();
+            let b = naive
+                .run(
+                    &mut StdRng::seed_from_u64(seed),
+                    &db,
+                    6,
+                    Epsilon::Finite(0.8),
+                )
+                .unwrap();
+            assert_eq!(a.lambda, b.lambda);
+            assert_eq!(a.basis_set, b.basis_set);
+            assert_eq!(a.itemsets.len(), b.itemsets.len());
+            for ((sa, ca), (sb, cb)) in a.itemsets.iter().zip(&b.itemsets) {
+                assert_eq!(sa, sb);
+                assert_eq!(ca.to_bits(), cb.to_bits(), "counts differ for {sa:?}");
+            }
+        }
     }
 
     #[test]
@@ -460,7 +565,11 @@ mod tests {
     fn error_display_formats() {
         assert!(PrivBasisError::InvalidK.to_string().contains("k"));
         assert!(PrivBasisError::EmptyDatabase.to_string().contains("empty"));
-        assert!(PrivBasisError::InvalidParams("x".into()).to_string().contains("x"));
-        assert!(PrivBasisError::from(DpError::EmptyCandidateSet).to_string().contains("privacy"));
+        assert!(PrivBasisError::InvalidParams("x".into())
+            .to_string()
+            .contains("x"));
+        assert!(PrivBasisError::from(DpError::EmptyCandidateSet)
+            .to_string()
+            .contains("privacy"));
     }
 }

@@ -135,7 +135,12 @@ mod tests {
 
     #[test]
     fn redundant_and_empty_bases_are_dropped() {
-        let b = BasisSet::new(vec![set(&[1, 2, 3]), set(&[1, 2]), set(&[]), set(&[1, 2, 3])]);
+        let b = BasisSet::new(vec![
+            set(&[1, 2, 3]),
+            set(&[1, 2]),
+            set(&[]),
+            set(&[1, 2, 3]),
+        ]);
         assert_eq!(b.width(), 1);
         assert_eq!(b.bases(), &[set(&[1, 2, 3])]);
     }

@@ -152,7 +152,10 @@ mod tests {
         let before = count_monotonicity_violations(&raw, 1e-9);
         let after = count_monotonicity_violations(&adjusted, 1e-6);
         assert!(after <= before);
-        assert_eq!(after, 0, "violations should be fully repaired on this small lattice");
+        assert_eq!(
+            after, 0,
+            "violations should be fully repaired on this small lattice"
+        );
     }
 
     #[test]
@@ -172,7 +175,11 @@ mod tests {
         let nothing = enforce_consistency(
             &counts,
             db().len(),
-            ConsistencyOptions { clamp_range: false, enforce_monotonicity: false, sweeps: 1 },
+            ConsistencyOptions {
+                clamp_range: false,
+                enforce_monotonicity: false,
+                sweeps: 1,
+            },
         );
         for (s, e) in counts.iter() {
             assert_eq!(nothing[s], e.count);
@@ -180,7 +187,11 @@ mod tests {
         let clamp_only = enforce_consistency(
             &counts,
             db().len(),
-            ConsistencyOptions { clamp_range: true, enforce_monotonicity: false, sweeps: 1 },
+            ConsistencyOptions {
+                clamp_range: true,
+                enforce_monotonicity: false,
+                sweeps: 1,
+            },
         );
         assert!(clamp_only.values().all(|&v| (0.0..=8.0).contains(&v)));
     }
@@ -194,7 +205,8 @@ mod tests {
         let mut adj_err = 0.0;
         for seed in 0..60 {
             let counts = noisy_counts(0.3, 100 + seed);
-            let adjusted = enforce_consistency(&counts, database.len(), ConsistencyOptions::default());
+            let adjusted =
+                enforce_consistency(&counts, database.len(), ConsistencyOptions::default());
             for (s, e) in counts.iter() {
                 let truth = database.support(s) as f64;
                 raw_err += (e.count - truth).abs();

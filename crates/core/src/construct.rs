@@ -116,7 +116,11 @@ pub fn construct_basis_set(
         let mut best: Option<(usize, Vec<ItemSet>, Vec<ItemSet>, f64)> = None;
         for i in 0..b2.len() {
             let (candidate_b1, candidate_b2) = dissolve_group(&b1, &b2, i, max_basis_len);
-            let ev = average_variance(&assemble(&candidate_b1, &candidate_b2), &queries, UNCOVERED_PENALTY);
+            let ev = average_variance(
+                &assemble(&candidate_b1, &candidate_b2),
+                &queries,
+                UNCOVERED_PENALTY,
+            );
             let reduction = current - ev;
             if reduction > 1e-12 && best.as_ref().is_none_or(|&(_, _, _, r)| reduction > r) {
                 best = Some((i, candidate_b1, candidate_b2, reduction));
@@ -196,7 +200,10 @@ mod tests {
             assert!(basis.covers(&ItemSet::singleton(i)), "item {i} uncovered");
         }
         for &(a, b) in &p {
-            assert!(basis.covers(&ItemSet::pair(a, b)), "pair ({a},{b}) uncovered");
+            assert!(
+                basis.covers(&ItemSet::pair(a, b)),
+                "pair ({a},{b}) uncovered"
+            );
         }
         assert!(basis.length() <= 12);
     }
@@ -218,7 +225,11 @@ mod tests {
         // lowers the average error variance, so the final length is small but not always 3.
         let f = items(&[1, 2, 3, 4, 5, 6, 7]);
         let basis = construct_basis_set(&f, &[], 12);
-        assert!(basis.length() <= 4, "groups should stay small, got length {}", basis.length());
+        assert!(
+            basis.length() <= 4,
+            "groups should stay small, got length {}",
+            basis.length()
+        );
         assert!(basis.width() >= 2);
         for i in f.iter() {
             assert!(basis.covers(&ItemSet::singleton(i)));

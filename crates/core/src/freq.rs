@@ -11,6 +11,23 @@
 //!   weights (lines 16–23 of Algorithm 1),
 //! * the top-`k` candidates by noisy count are returned.
 //!
+//! ## Counting engines
+//!
+//! The exact bin histograms dominate the data-dependent running time, and two engines
+//! compute them:
+//!
+//! * **Indexed** (default, [`basis_freq_counts`]) — a [`VerticalIndex`] is built (or
+//!   passed in via [`basis_freq_counts_with_index`]) and each basis is swept 64
+//!   transactions at a time with word-parallel bit transposes; with the `parallel`
+//!   feature the bases are counted on separate threads.
+//! * **Naive** ([`basis_freq_counts_naive`]) — the paper's row scan: per transaction,
+//!   `ℓ` membership tests per basis. Kept as the reference the indexed engine is tested
+//!   against and the baseline the benchmarks measure speedups from.
+//!
+//! Both engines draw the per-bin Laplace noise in exactly the same order *before* any
+//! counting happens, and the exact histograms are integers, so for a fixed RNG seed the
+//! two engines produce byte-identical output regardless of thread count.
+//!
 //! The superset sums are computed either naively (the paper's `O(3^ℓ)` per basis) or with a
 //! superset zeta transform (`O(ℓ·2^ℓ)`); both are exposed and tested to agree, and compared in
 //! the `reconstruction` benchmark.
@@ -18,7 +35,7 @@
 use crate::basis::BasisSet;
 use pb_dp::{Epsilon, LaplaceNoise};
 use pb_fim::itemset::{Item, ItemSet};
-use pb_fim::TransactionDb;
+use pb_fim::{TransactionDb, VerticalIndex};
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -63,26 +80,36 @@ impl NoisyCandidateCounts {
 
     /// The `k` candidates with the highest noisy counts, sorted descending
     /// (ties broken deterministically by itemset order).
+    ///
+    /// Uses a selection partition first, so the cost is `O(|C| + k log k)` rather than
+    /// sorting all `|C|` candidates.
     pub fn top_k(&self, k: usize) -> Vec<(ItemSet, f64)> {
         let mut all: Vec<(ItemSet, f64)> = self
             .entries
             .iter()
             .map(|(s, e)| (s.clone(), e.count))
             .collect();
-        all.sort_by(|a, b| {
-            b.1.partial_cmp(&a.1)
-                .expect("noisy counts are finite")
-                .then_with(|| a.0.len().cmp(&b.0.len()))
-                .then_with(|| a.0.cmp(&b.0))
-        });
-        all.truncate(k);
+        if k == 0 {
+            return Vec::new();
+        }
+        if k < all.len() {
+            all.select_nth_unstable_by(k - 1, compare_ranked);
+            all.truncate(k);
+        }
+        all.sort_unstable_by(compare_ranked);
         all
     }
 
     fn merge(&mut self, itemset: ItemSet, count: f64, variance_units: f64) {
         match self.entries.get_mut(&itemset) {
             None => {
-                self.entries.insert(itemset, CandidateEstimate { count, variance_units });
+                self.entries.insert(
+                    itemset,
+                    CandidateEstimate {
+                        count,
+                        variance_units,
+                    },
+                );
             }
             Some(existing) => {
                 // Inverse-variance weighting (lines 21–23 of Algorithm 1).
@@ -95,17 +122,30 @@ impl NoisyCandidateCounts {
     }
 }
 
-/// Computes the noisy bin counts of one basis: index `mask` holds the (noisy) number of
-/// transactions whose intersection with the basis equals the subset encoded by `mask`.
-fn noisy_bins<R: Rng + ?Sized>(
-    rng: &mut R,
-    db: &TransactionDb,
-    basis: &ItemSet,
-    noise: &LaplaceNoise,
-) -> Vec<f64> {
-    let len = basis.len();
-    let mut bins: Vec<f64> = (0..(1usize << len)).map(|_| noise.sample(rng)).collect();
+/// Ranking order of published candidates: descending noisy count, ties by ascending
+/// (length, itemset) so output is deterministic.
+fn compare_ranked(a: &(ItemSet, f64), b: &(ItemSet, f64)) -> std::cmp::Ordering {
+    b.1.partial_cmp(&a.1)
+        .expect("noisy counts are finite")
+        .then_with(|| a.0.len().cmp(&b.0.len()))
+        .then_with(|| a.0.cmp(&b.0))
+}
+
+/// Draws the Laplace noise for one basis' `2^len` bins, in bin-mask order.
+///
+/// Both counting engines call this *before* touching the data, in basis order, so the
+/// noise stream — and therefore the released output for a fixed seed — is identical
+/// across engines and thread counts.
+fn sample_bin_noise<R: Rng + ?Sized>(rng: &mut R, len: usize, noise: &LaplaceNoise) -> Vec<f64> {
+    (0..(1usize << len)).map(|_| noise.sample(rng)).collect()
+}
+
+/// The exact bin histogram of one basis via the row scan (the paper's formulation):
+/// index `mask` counts the transactions whose intersection with the basis equals the
+/// subset encoded by `mask`. Reference implementation for the indexed engine.
+pub fn exact_bins_naive(db: &TransactionDb, basis: &ItemSet) -> Vec<u64> {
     let items: &[Item] = basis.items();
+    let mut bins = vec![0u64; 1usize << items.len()];
     for t in db.iter() {
         let mut mask = 0usize;
         for (bit, &item) in items.iter().enumerate() {
@@ -113,7 +153,7 @@ fn noisy_bins<R: Rng + ?Sized>(
                 mask |= 1 << bit;
             }
         }
-        bins[mask] += 1.0;
+        bins[mask] += 1;
     }
     bins
 }
@@ -158,49 +198,170 @@ pub fn superset_sums_naive(bins: &[f64]) -> Vec<f64> {
     out
 }
 
-/// Runs the bin-counting and reconstruction phases of Algorithm 1, returning noisy counts for
-/// every candidate in `C(B)`.
-///
-/// # Panics
-/// Panics if any basis is longer than [`MAX_SUPPORTED_BASIS_LEN`] (the bin table would not fit
-/// in memory — the paper caps ℓ at 12 for the same reason).
-pub fn basis_freq_counts<R: Rng + ?Sized>(
-    rng: &mut R,
-    db: &TransactionDb,
-    basis_set: &BasisSet,
-    epsilon: Epsilon,
-) -> NoisyCandidateCounts {
+/// Checks the basis-set length cap shared by all engines.
+fn assert_basis_len(basis_set: &BasisSet) {
     assert!(
         basis_set.length() <= MAX_SUPPORTED_BASIS_LEN,
         "basis length {} exceeds the supported maximum {}",
         basis_set.length(),
         MAX_SUPPORTED_BASIS_LEN
     );
-    let mut result = NoisyCandidateCounts::default();
-    if basis_set.is_empty() {
-        return result;
-    }
-    let w = basis_set.width();
-    let noise = LaplaceNoise::new(w as f64, epsilon).expect("width >= 1 and epsilon validated");
+}
 
-    for basis in basis_set.bases() {
-        let bins = noisy_bins(rng, db, basis, &noise);
+/// Shared reconstruction: adds noise to the exact histograms, runs the superset zeta
+/// transform, and merges every candidate's estimate (inverse-variance across bases).
+fn reconstruct(
+    basis_set: &BasisSet,
+    noise_vecs: Vec<Vec<f64>>,
+    exact_hists: Vec<Vec<u64>>,
+) -> NoisyCandidateCounts {
+    let mut result = NoisyCandidateCounts::default();
+    // Reusable buffer for each candidate's member list — the per-mask allocation this
+    // loop used to do per candidate is hoisted out; `ItemSet::from_sorted` then only
+    // pays the one exact-size allocation the stored key itself needs.
+    let mut members: Vec<Item> = Vec::with_capacity(basis_set.length());
+    for ((basis, noise), hist) in basis_set.bases().iter().zip(noise_vecs).zip(exact_hists) {
+        let bins: Vec<f64> = noise
+            .iter()
+            .zip(&hist)
+            .map(|(n, &c)| n + c as f64)
+            .collect();
         let sums = superset_sums(&bins);
         let items = basis.items();
         let len = items.len();
-        // The loop variable is the bin bitmask itself, not an iteration index.
-        #[allow(clippy::needless_range_loop)]
-        for mask in 1usize..(1 << len) {
-            let members: Vec<Item> = (0..len).filter(|b| mask & (1 << b) != 0).map(|b| items[b]).collect();
-            let itemset = ItemSet::new(members);
+        for (mask, &sum) in sums.iter().enumerate().skip(1) {
+            members.clear();
+            members.extend(
+                items
+                    .iter()
+                    .enumerate()
+                    .filter(|(b, _)| mask & (1 << b) != 0)
+                    .map(|(_, &i)| i),
+            );
+            let itemset = ItemSet::from_sorted(members.clone()).expect("basis items are sorted");
             let variance_units = 2f64.powi((len - itemset.len()) as i32);
-            result.merge(itemset, sums[mask], variance_units);
+            result.merge(itemset, sum, variance_units);
         }
     }
     result
 }
 
-/// Full Algorithm 1: noisy candidate counts plus top-`k` selection.
+/// Runs the bin-counting and reconstruction phases of Algorithm 1 on a pre-built
+/// [`VerticalIndex`], returning noisy counts for every candidate in `C(B)`.
+///
+/// The per-bin noise is drawn sequentially (basis order, mask order) before counting;
+/// the exact histograms are then computed by the index — across threads when the
+/// `parallel` feature (default) is enabled and the workload is wide enough. Output is
+/// byte-identical to [`basis_freq_counts_naive`] for the same RNG seed.
+///
+/// # Panics
+/// Panics if any basis is longer than [`MAX_SUPPORTED_BASIS_LEN`] (the bin table would not fit
+/// in memory — the paper caps ℓ at 12 for the same reason).
+pub fn basis_freq_counts_with_index<R: Rng + ?Sized>(
+    rng: &mut R,
+    index: &VerticalIndex,
+    basis_set: &BasisSet,
+    epsilon: Epsilon,
+) -> NoisyCandidateCounts {
+    assert_basis_len(basis_set);
+    if basis_set.is_empty() {
+        return NoisyCandidateCounts::default();
+    }
+    let w = basis_set.width();
+    let noise = LaplaceNoise::new(w as f64, epsilon).expect("width >= 1 and epsilon validated");
+    let noise_vecs: Vec<Vec<f64>> = basis_set
+        .bases()
+        .iter()
+        .map(|b| sample_bin_noise(rng, b.len(), &noise))
+        .collect();
+    let exact_hists = exact_histograms(index, basis_set.bases());
+    reconstruct(basis_set, noise_vecs, exact_hists)
+}
+
+/// The exact histograms of every basis, one thread per basis when `parallel` is enabled
+/// and there is more than one basis (single-basis workloads parallelise inside
+/// [`VerticalIndex::bin_histogram`] instead).
+fn exact_histograms(index: &VerticalIndex, bases: &[ItemSet]) -> Vec<Vec<u64>> {
+    #[cfg(feature = "parallel")]
+    {
+        // One shared thread budget (pb_fim::index::available_parallelism, which honours
+        // PB_NUM_THREADS / the programmatic override): split it across per-basis
+        // workers, and hand each worker its share for the block sweep inside — so a
+        // wide basis set on a wide machine never multiplies the two fan-outs.
+        let budget = pb_fim::index::available_parallelism();
+        if budget > 1 && bases.len() > 1 && index.num_transactions() >= 1 << 15 {
+            let workers = budget.min(bases.len());
+            let inner_threads = (budget / workers).max(1);
+            let chunk = bases.len().div_ceil(workers);
+            let out: Vec<Vec<u64>> = std::thread::scope(|scope| {
+                let handles: Vec<_> = bases
+                    .chunks(chunk)
+                    .map(|slice| {
+                        scope.spawn(move || {
+                            slice
+                                .iter()
+                                .map(|b| index.bin_histogram_with_budget(b, inner_threads))
+                                .collect::<Vec<_>>()
+                        })
+                    })
+                    .collect();
+                handles
+                    .into_iter()
+                    .flat_map(|h| h.join().expect("histogram worker panicked"))
+                    .collect()
+            });
+            debug_assert_eq!(out.len(), bases.len());
+            return out;
+        }
+    }
+    bases.iter().map(|b| index.bin_histogram(b)).collect()
+}
+
+/// Runs the bin-counting and reconstruction phases of Algorithm 1, building a vertical
+/// index over `db` first (the default engine). See [`basis_freq_counts_with_index`].
+pub fn basis_freq_counts<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &TransactionDb,
+    basis_set: &BasisSet,
+    epsilon: Epsilon,
+) -> NoisyCandidateCounts {
+    assert_basis_len(basis_set);
+    if basis_set.is_empty() {
+        return NoisyCandidateCounts::default();
+    }
+    // Only the items the bases actually mention need bitmaps.
+    let spanned = basis_set.spanned_items();
+    let index = VerticalIndex::build_restricted(db, &spanned);
+    basis_freq_counts_with_index(rng, &index, basis_set, epsilon)
+}
+
+/// The row-scan engine: Algorithm 1 exactly as the paper states it, with no index.
+///
+/// Byte-identical output to [`basis_freq_counts`] for the same seed; kept as the
+/// correctness reference and benchmark baseline (`--no-index` in the CLI).
+pub fn basis_freq_counts_naive<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &TransactionDb,
+    basis_set: &BasisSet,
+    epsilon: Epsilon,
+) -> NoisyCandidateCounts {
+    assert_basis_len(basis_set);
+    if basis_set.is_empty() {
+        return NoisyCandidateCounts::default();
+    }
+    let w = basis_set.width();
+    let noise = LaplaceNoise::new(w as f64, epsilon).expect("width >= 1 and epsilon validated");
+    let mut noise_vecs = Vec::with_capacity(w);
+    let mut exact_hists = Vec::with_capacity(w);
+    for basis in basis_set.bases() {
+        // Same draw order as the indexed engine: all of a basis' noise, then the next basis.
+        noise_vecs.push(sample_bin_noise(rng, basis.len(), &noise));
+        exact_hists.push(exact_bins_naive(db, basis));
+    }
+    reconstruct(basis_set, noise_vecs, exact_hists)
+}
+
+/// Full Algorithm 1: noisy candidate counts plus top-`k` selection (indexed engine).
 pub fn basis_freq<R: Rng + ?Sized>(
     rng: &mut R,
     db: &TransactionDb,
@@ -209,6 +370,17 @@ pub fn basis_freq<R: Rng + ?Sized>(
     epsilon: Epsilon,
 ) -> Vec<(ItemSet, f64)> {
     basis_freq_counts(rng, db, basis_set, epsilon).top_k(k)
+}
+
+/// Full Algorithm 1 on the row-scan engine (reference / `--no-index` path).
+pub fn basis_freq_naive<R: Rng + ?Sized>(
+    rng: &mut R,
+    db: &TransactionDb,
+    basis_set: &BasisSet,
+    k: usize,
+    epsilon: Epsilon,
+) -> Vec<(ItemSet, f64)> {
+    basis_freq_counts_naive(rng, db, basis_set, epsilon).top_k(k)
 }
 
 #[cfg(test)]
@@ -267,6 +439,69 @@ mod tests {
     }
 
     #[test]
+    fn indexed_and_naive_engines_are_byte_identical() {
+        let db = sample_db();
+        let basis = BasisSet::new(vec![set(&[1, 2, 3]), set(&[2, 3, 4]), set(&[4, 5])]);
+        for seed in 0..20 {
+            for eps in [Epsilon::Finite(0.5), Epsilon::Infinite] {
+                let indexed = basis_freq_counts(&mut StdRng::seed_from_u64(seed), &db, &basis, eps);
+                let naive =
+                    basis_freq_counts_naive(&mut StdRng::seed_from_u64(seed), &db, &basis, eps);
+                assert_eq!(indexed.len(), naive.len());
+                for (itemset, est) in indexed.iter() {
+                    let n = naive.get(itemset).expect("same candidate set");
+                    assert_eq!(est.count.to_bits(), n.count.to_bits(), "{itemset:?}");
+                    assert_eq!(est.variance_units.to_bits(), n.variance_units.to_bits());
+                }
+                // And the ranked output is byte-identical too.
+                let a = basis_freq(&mut StdRng::seed_from_u64(seed), &db, &basis, 5, eps);
+                let b = basis_freq_naive(&mut StdRng::seed_from_u64(seed), &db, &basis, 5, eps);
+                assert_eq!(a.len(), b.len());
+                for ((sa, ca), (sb, cb)) in a.iter().zip(&b) {
+                    assert_eq!(sa, sb);
+                    assert_eq!(ca.to_bits(), cb.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn prebuilt_index_matches_internal_build() {
+        let db = sample_db();
+        let basis = BasisSet::new(vec![set(&[1, 2, 3]), set(&[4, 5])]);
+        let index = VerticalIndex::build(&db);
+        let a = basis_freq_counts(
+            &mut StdRng::seed_from_u64(3),
+            &db,
+            &basis,
+            Epsilon::Finite(1.0),
+        );
+        let b = basis_freq_counts_with_index(
+            &mut StdRng::seed_from_u64(3),
+            &index,
+            &basis,
+            Epsilon::Finite(1.0),
+        );
+        for (itemset, est) in a.iter() {
+            assert_eq!(est.count.to_bits(), b.get(itemset).unwrap().count.to_bits());
+        }
+    }
+
+    #[test]
+    fn exact_bins_naive_partitions_database() {
+        let db = sample_db();
+        let bins = exact_bins_naive(&db, &set(&[1, 2]));
+        assert_eq!(bins.iter().sum::<u64>(), db.len() as u64);
+        // The full mask equals the support of the whole basis.
+        assert_eq!(bins[0b11], db.support(&set(&[1, 2])) as u64);
+        // t ∩ {1,2} = {1,2} for rows [1,2,3], [1,2], [1,2,3], [1,2,3,4]: 4 rows.
+        assert_eq!(bins[0b11], 4);
+        assert_eq!(bins[0b01], 1); // [1]
+        assert_eq!(bins[0b10], 1); // [2,3]
+        assert_eq!(bins[0b00], 2); // [4,5], [4,5]
+    }
+
+    #[test]
     fn noiseless_topk_matches_exact_topk_within_candidates() {
         let db = sample_db();
         let basis = BasisSet::new(vec![set(&[1, 2, 3]), set(&[4, 5])]);
@@ -281,6 +516,23 @@ mod tests {
     }
 
     #[test]
+    fn top_k_selection_matches_full_sort() {
+        let db = sample_db();
+        let basis = BasisSet::new(vec![set(&[1, 2, 3]), set(&[2, 3, 4]), set(&[4, 5])]);
+        let mut rng = StdRng::seed_from_u64(17);
+        let counts = basis_freq_counts(&mut rng, &db, &basis, Epsilon::Finite(0.7));
+        // Reference: sort everything, truncate.
+        let mut full: Vec<(ItemSet, f64)> =
+            counts.iter().map(|(s, e)| (s.clone(), e.count)).collect();
+        full.sort_by(compare_ranked);
+        for k in [0, 1, 3, 7, counts.len(), counts.len() + 5] {
+            let got = counts.top_k(k);
+            assert_eq!(got.len(), k.min(counts.len()));
+            assert_eq!(&got[..], &full[..got.len()]);
+        }
+    }
+
+    #[test]
     fn overlapping_bases_combine_estimates() {
         let db = sample_db();
         let basis = BasisSet::new(vec![set(&[1, 2, 3]), set(&[2, 3, 4])]);
@@ -291,7 +543,7 @@ mod tests {
         let e = counts.get(&set(&[2, 3])).unwrap();
         assert!((e.count - db.support(&set(&[2, 3])) as f64).abs() < 1e-9);
         assert!((e.variance_units - 1.0).abs() < 1e-9); // 2 and 2 combine to 1
-        // {1} is covered once by a length-3 basis: 2^(3-1) = 4 units.
+                                                        // {1} is covered once by a length-3 basis: 2^(3-1) = 4 units.
         let e1 = counts.get(&set(&[1])).unwrap();
         assert!((e1.variance_units - 4.0).abs() < 1e-9);
         assert!(counts.get(&set(&[9])).is_none());
@@ -343,7 +595,14 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(5);
         let counts = basis_freq_counts(&mut rng, &db, &BasisSet::new(vec![]), Epsilon::Finite(1.0));
         assert!(counts.is_empty());
-        assert!(basis_freq(&mut rng, &db, &BasisSet::new(vec![]), 5, Epsilon::Finite(1.0)).is_empty());
+        assert!(basis_freq(
+            &mut rng,
+            &db,
+            &BasisSet::new(vec![]),
+            5,
+            Epsilon::Finite(1.0)
+        )
+        .is_empty());
     }
 
     #[test]
@@ -361,6 +620,25 @@ mod tests {
         let db = sample_db();
         let long: Vec<u32> = (0..25).collect();
         let mut rng = StdRng::seed_from_u64(7);
-        let _ = basis_freq_counts(&mut rng, &db, &BasisSet::single(ItemSet::new(long)), Epsilon::Finite(1.0));
+        let _ = basis_freq_counts(
+            &mut rng,
+            &db,
+            &BasisSet::single(ItemSet::new(long)),
+            Epsilon::Finite(1.0),
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "exceeds the supported maximum")]
+    fn naive_engine_rejects_overlong_basis_too() {
+        let db = sample_db();
+        let long: Vec<u32> = (0..25).collect();
+        let mut rng = StdRng::seed_from_u64(8);
+        let _ = basis_freq_counts_naive(
+            &mut rng,
+            &db,
+            &BasisSet::single(ItemSet::new(long)),
+            Epsilon::Finite(1.0),
+        );
     }
 }

@@ -52,5 +52,8 @@ pub use algorithm::{PrivBasis, PrivBasisError, PrivBasisOutput};
 pub use basis::BasisSet;
 pub use consistency::{enforce_consistency, ConsistencyOptions};
 pub use construct::construct_basis_set;
-pub use freq::{basis_freq, basis_freq_counts, NoisyCandidateCounts};
+pub use freq::{
+    basis_freq, basis_freq_counts, basis_freq_counts_naive, basis_freq_counts_with_index,
+    basis_freq_naive, NoisyCandidateCounts,
+};
 pub use params::{PrivBasisParams, SelectionScale};

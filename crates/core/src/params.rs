@@ -32,6 +32,11 @@ pub struct PrivBasisParams {
     pub max_basis_len: usize,
     /// Scale of exponential-mechanism qualities.
     pub selection_scale: SelectionScale,
+    /// Run the counting phases on a vertical bitmap index (default). When `false`, every
+    /// count is a row scan — the paper's formulation, kept as a reference engine and
+    /// reachable from the CLI via `--no-index`. Both engines produce byte-identical
+    /// output for a fixed seed.
+    pub use_index: bool,
 }
 
 impl Default for PrivBasisParams {
@@ -44,6 +49,7 @@ impl Default for PrivBasisParams {
             single_basis_lambda: 12,
             max_basis_len: 12,
             selection_scale: SelectionScale::Count,
+            use_index: true,
         }
     }
 }
@@ -114,14 +120,20 @@ mod tests {
         assert_eq!(p.eta_for(50), 1.1);
         assert_eq!(p.eta_for(100), 1.1);
         assert_eq!(p.eta_for(200), 1.2);
-        let fixed = PrivBasisParams { eta: Some(1.5), ..Default::default() };
+        let fixed = PrivBasisParams {
+            eta: Some(1.5),
+            ..Default::default()
+        };
         assert_eq!(fixed.eta_for(50), 1.5);
     }
 
     #[test]
     fn lambda2_heuristic_matches_paper_example() {
         // §4.4: pumsb-star with k = 100, noisy λ = 20 ⇒ λ₂ ≈ 44.
-        let p = PrivBasisParams { eta: Some(1.2), ..Default::default() };
+        let p = PrivBasisParams {
+            eta: Some(1.2),
+            ..Default::default()
+        };
         let l2 = p.lambda2_for(100, 20);
         assert!((43..=45).contains(&l2), "expected ≈44, got {l2}");
     }
@@ -137,15 +149,33 @@ mod tests {
 
     #[test]
     fn validation_catches_errors() {
-        let bad_sum = PrivBasisParams { alpha1: 0.5, ..Default::default() };
+        let bad_sum = PrivBasisParams {
+            alpha1: 0.5,
+            ..Default::default()
+        };
         assert!(bad_sum.validate().is_err());
-        let bad_eta = PrivBasisParams { eta: Some(0.5), ..Default::default() };
+        let bad_eta = PrivBasisParams {
+            eta: Some(0.5),
+            ..Default::default()
+        };
         assert!(bad_eta.validate().is_err());
-        let bad_len = PrivBasisParams { max_basis_len: 25, ..Default::default() };
+        let bad_len = PrivBasisParams {
+            max_basis_len: 25,
+            ..Default::default()
+        };
         assert!(bad_len.validate().is_err());
-        let bad_single = PrivBasisParams { single_basis_lambda: 15, max_basis_len: 12, ..Default::default() };
+        let bad_single = PrivBasisParams {
+            single_basis_lambda: 15,
+            max_basis_len: 12,
+            ..Default::default()
+        };
         assert!(bad_single.validate().is_err());
-        let bad_zero = PrivBasisParams { alpha1: 0.0, alpha2: 0.5, alpha3: 0.5, ..Default::default() };
+        let bad_zero = PrivBasisParams {
+            alpha1: 0.0,
+            alpha2: 0.5,
+            alpha3: 0.5,
+            ..Default::default()
+        };
         assert!(bad_zero.validate().is_err());
     }
 }

@@ -139,6 +139,10 @@ mod tests {
         let merged = BasisSet::new(vec![set(&[1, 2, 3, 4])]);
         // split: w=2 ⇒ each query 4·2 = 8. merged: w=1 ⇒ each query 1·2³ = 8. Equal here —
         // the point is simply that both terms move in opposite directions.
-        assert!((average_variance(&split, &queries, 1e9) - average_variance(&merged, &queries, 1e9)).abs() < 1e-9);
+        assert!(
+            (average_variance(&split, &queries, 1e9) - average_variance(&merged, &queries, 1e9))
+                .abs()
+                < 1e-9
+        );
     }
 }

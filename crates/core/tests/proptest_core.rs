@@ -129,14 +129,20 @@ proptest! {
 fn noiseless_end_to_end_exactness() {
     let mut transactions = Vec::new();
     for i in 0..2_000usize {
-        let row: Vec<u32> = (0..8u32).filter(|&j| (i % 16) < 16 - 2 * j as usize).collect();
+        let row: Vec<u32> = (0..8u32)
+            .filter(|&j| (i % 16) < 16 - 2 * j as usize)
+            .collect();
         transactions.push(row);
     }
     let db = TransactionDb::from_transactions(transactions);
     let pb = PrivBasis::with_defaults();
     let mut rng = StdRng::seed_from_u64(3);
     let out = pb.run(&mut rng, &db, 7, Epsilon::Infinite).unwrap();
-    let truth: Vec<ItemSet> = top_k_itemsets(&db, 7, None).into_iter().map(|f| f.items).collect();
-    let published: std::collections::HashSet<&ItemSet> = out.itemsets.iter().map(|(s, _)| s).collect();
+    let truth: Vec<ItemSet> = top_k_itemsets(&db, 7, None)
+        .into_iter()
+        .map(|f| f.items)
+        .collect();
+    let published: std::collections::HashSet<&ItemSet> =
+        out.itemsets.iter().map(|(s, _)| s).collect();
     assert!(truth.iter().all(|t| published.contains(t)));
 }

@@ -72,15 +72,27 @@ impl GeneratorConfig {
             "core_decay must be in [0,1]"
         );
         for g in &self.groups {
-            assert!((0.0..=1.0).contains(&g.inclusion_prob), "group inclusion_prob must be a probability");
-            assert!((0.0..=1.0).contains(&g.keep_prob), "group keep_prob must be a probability");
+            assert!(
+                (0.0..=1.0).contains(&g.inclusion_prob),
+                "group inclusion_prob must be a probability"
+            );
+            assert!(
+                (0.0..=1.0).contains(&g.keep_prob),
+                "group keep_prob must be a probability"
+            );
             assert!(
                 g.items.iter().all(|&i| (i as usize) < self.num_core_items),
                 "group items must be core items"
             );
         }
-        assert!(self.avg_transaction_len >= 0.0, "avg_transaction_len must be >= 0");
-        assert!(self.tail_zipf_exponent >= 0.0, "tail_zipf_exponent must be >= 0");
+        assert!(
+            self.avg_transaction_len >= 0.0,
+            "avg_transaction_len must be >= 0"
+        );
+        assert!(
+            self.tail_zipf_exponent >= 0.0,
+            "tail_zipf_exponent must be >= 0"
+        );
     }
 }
 

@@ -106,7 +106,10 @@ impl DatasetProfile {
     /// # Panics
     /// Panics if `scale` is not in `(0, 10]`.
     pub fn config(&self, scale: f64) -> GeneratorConfig {
-        assert!(scale > 0.0 && scale <= 10.0, "scale must be in (0, 10], got {scale}");
+        assert!(
+            scale > 0.0 && scale <= 10.0,
+            "scale must be in (0, 10], got {scale}"
+        );
         let n = ((self.paper_num_transactions() as f64 * scale).round() as usize).max(100);
         match self {
             DatasetProfile::Mushroom => GeneratorConfig {
@@ -116,9 +119,21 @@ impl DatasetProfile {
                 core_base_prob: 0.92,
                 core_decay: 0.82,
                 groups: vec![
-                    ItemGroup { items: vec![0, 1, 2, 3], inclusion_prob: 0.75, keep_prob: 0.95 },
-                    ItemGroup { items: vec![2, 3, 4, 5], inclusion_prob: 0.55, keep_prob: 0.9 },
-                    ItemGroup { items: vec![0, 4, 6], inclusion_prob: 0.45, keep_prob: 0.9 },
+                    ItemGroup {
+                        items: vec![0, 1, 2, 3],
+                        inclusion_prob: 0.75,
+                        keep_prob: 0.95,
+                    },
+                    ItemGroup {
+                        items: vec![2, 3, 4, 5],
+                        inclusion_prob: 0.55,
+                        keep_prob: 0.9,
+                    },
+                    ItemGroup {
+                        items: vec![0, 4, 6],
+                        inclusion_prob: 0.45,
+                        keep_prob: 0.9,
+                    },
                 ],
                 avg_transaction_len: 24.0,
                 tail_zipf_exponent: 0.6,
@@ -130,9 +145,21 @@ impl DatasetProfile {
                 core_base_prob: 0.9,
                 core_decay: 0.85,
                 groups: vec![
-                    ItemGroup { items: vec![0, 1, 2, 3, 4], inclusion_prob: 0.7, keep_prob: 0.95 },
-                    ItemGroup { items: vec![3, 4, 5, 6], inclusion_prob: 0.5, keep_prob: 0.9 },
-                    ItemGroup { items: vec![7, 8, 9], inclusion_prob: 0.45, keep_prob: 0.9 },
+                    ItemGroup {
+                        items: vec![0, 1, 2, 3, 4],
+                        inclusion_prob: 0.7,
+                        keep_prob: 0.95,
+                    },
+                    ItemGroup {
+                        items: vec![3, 4, 5, 6],
+                        inclusion_prob: 0.5,
+                        keep_prob: 0.9,
+                    },
+                    ItemGroup {
+                        items: vec![7, 8, 9],
+                        inclusion_prob: 0.45,
+                        keep_prob: 0.9,
+                    },
                 ],
                 avg_transaction_len: 50.0,
                 tail_zipf_exponent: 0.4,
@@ -144,10 +171,26 @@ impl DatasetProfile {
                 core_base_prob: 0.35,
                 core_decay: 0.97,
                 groups: vec![
-                    ItemGroup { items: vec![0, 1], inclusion_prob: 0.35, keep_prob: 0.95 },
-                    ItemGroup { items: vec![2, 3], inclusion_prob: 0.25, keep_prob: 0.95 },
-                    ItemGroup { items: vec![0, 4, 5], inclusion_prob: 0.2, keep_prob: 0.9 },
-                    ItemGroup { items: vec![6, 7, 8], inclusion_prob: 0.15, keep_prob: 0.9 },
+                    ItemGroup {
+                        items: vec![0, 1],
+                        inclusion_prob: 0.35,
+                        keep_prob: 0.95,
+                    },
+                    ItemGroup {
+                        items: vec![2, 3],
+                        inclusion_prob: 0.25,
+                        keep_prob: 0.95,
+                    },
+                    ItemGroup {
+                        items: vec![0, 4, 5],
+                        inclusion_prob: 0.2,
+                        keep_prob: 0.9,
+                    },
+                    ItemGroup {
+                        items: vec![6, 7, 8],
+                        inclusion_prob: 0.15,
+                        keep_prob: 0.9,
+                    },
                 ],
                 avg_transaction_len: 11.3,
                 tail_zipf_exponent: 1.05,
@@ -159,11 +202,31 @@ impl DatasetProfile {
                 core_base_prob: 0.35,
                 core_decay: 0.955,
                 groups: vec![
-                    ItemGroup { items: vec![0, 1, 2], inclusion_prob: 0.45, keep_prob: 0.95 },
-                    ItemGroup { items: vec![1, 3], inclusion_prob: 0.35, keep_prob: 0.95 },
-                    ItemGroup { items: vec![4, 5, 6], inclusion_prob: 0.3, keep_prob: 0.9 },
-                    ItemGroup { items: vec![0, 7, 8], inclusion_prob: 0.25, keep_prob: 0.9 },
-                    ItemGroup { items: vec![9, 10], inclusion_prob: 0.2, keep_prob: 0.95 },
+                    ItemGroup {
+                        items: vec![0, 1, 2],
+                        inclusion_prob: 0.45,
+                        keep_prob: 0.95,
+                    },
+                    ItemGroup {
+                        items: vec![1, 3],
+                        inclusion_prob: 0.35,
+                        keep_prob: 0.95,
+                    },
+                    ItemGroup {
+                        items: vec![4, 5, 6],
+                        inclusion_prob: 0.3,
+                        keep_prob: 0.9,
+                    },
+                    ItemGroup {
+                        items: vec![0, 7, 8],
+                        inclusion_prob: 0.25,
+                        keep_prob: 0.9,
+                    },
+                    ItemGroup {
+                        items: vec![9, 10],
+                        inclusion_prob: 0.2,
+                        keep_prob: 0.95,
+                    },
                 ],
                 avg_transaction_len: 8.1,
                 tail_zipf_exponent: 1.1,
@@ -177,9 +240,21 @@ impl DatasetProfile {
                 core_base_prob: 0.32,
                 core_decay: 0.994,
                 groups: vec![
-                    ItemGroup { items: vec![0, 1], inclusion_prob: 0.12, keep_prob: 0.9 },
-                    ItemGroup { items: vec![2, 3], inclusion_prob: 0.1, keep_prob: 0.9 },
-                    ItemGroup { items: vec![4, 5, 6], inclusion_prob: 0.07, keep_prob: 0.85 },
+                    ItemGroup {
+                        items: vec![0, 1],
+                        inclusion_prob: 0.12,
+                        keep_prob: 0.9,
+                    },
+                    ItemGroup {
+                        items: vec![2, 3],
+                        inclusion_prob: 0.1,
+                        keep_prob: 0.9,
+                    },
+                    ItemGroup {
+                        items: vec![4, 5, 6],
+                        inclusion_prob: 0.07,
+                        keep_prob: 0.85,
+                    },
                 ],
                 avg_transaction_len: 34.0,
                 tail_zipf_exponent: 1.0,
@@ -247,9 +322,21 @@ mod tests {
     fn mushroom_profile_is_dense_with_small_lambda() {
         let db = DatasetProfile::Mushroom.generate(0.25, 7);
         let stats = top_k_stats(&db, 100);
-        assert!(stats.lambda <= 20, "mushroom λ should be small, got {}", stats.lambda);
-        assert!(stats.lambda2 >= 10, "mushroom top-100 should contain many pairs, got {}", stats.lambda2);
-        assert!(stats.lambda3 >= 5, "mushroom top-100 should contain triples, got {}", stats.lambda3);
+        assert!(
+            stats.lambda <= 20,
+            "mushroom λ should be small, got {}",
+            stats.lambda
+        );
+        assert!(
+            stats.lambda2 >= 10,
+            "mushroom top-100 should contain many pairs, got {}",
+            stats.lambda2
+        );
+        assert!(
+            stats.lambda3 >= 5,
+            "mushroom top-100 should contain triples, got {}",
+            stats.lambda3
+        );
         assert!(stats.avg_transaction_len > 15.0);
     }
 
@@ -262,7 +349,10 @@ mod tests {
             "AOL top-100 should be mostly singletons, λ = {}",
             stats.lambda
         );
-        assert!(stats.lambda3 <= 5, "AOL should have almost no frequent triples");
+        assert!(
+            stats.lambda3 <= 5,
+            "AOL should have almost no frequent triples"
+        );
     }
 
     #[test]
@@ -280,6 +370,10 @@ mod tests {
     fn kosarak_profile_has_frequent_pairs() {
         let db = DatasetProfile::Kosarak.generate(0.01, 7);
         let stats = top_k_stats(&db, 200);
-        assert!(stats.lambda2 >= 20, "kosarak top-200 should contain many pairs, got {}", stats.lambda2);
+        assert!(
+            stats.lambda2 >= 20,
+            "kosarak top-200 should contain many pairs, got {}",
+            stats.lambda2
+        );
     }
 }

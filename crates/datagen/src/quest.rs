@@ -60,10 +60,22 @@ impl QuestGenerator {
         assert!(config.num_transactions > 0, "num_transactions must be > 0");
         assert!(config.num_items > 0, "num_items must be > 0");
         assert!(config.num_patterns > 0, "num_patterns must be > 0");
-        assert!(config.avg_transaction_len >= 1.0, "avg_transaction_len must be >= 1");
-        assert!(config.avg_pattern_len >= 1.0, "avg_pattern_len must be >= 1");
-        assert!((0.0..=1.0).contains(&config.correlation), "correlation must be a probability");
-        assert!((0.0..=1.0).contains(&config.corruption_mean), "corruption_mean must be a probability");
+        assert!(
+            config.avg_transaction_len >= 1.0,
+            "avg_transaction_len must be >= 1"
+        );
+        assert!(
+            config.avg_pattern_len >= 1.0,
+            "avg_pattern_len must be >= 1"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.correlation),
+            "correlation must be a probability"
+        );
+        assert!(
+            (0.0..=1.0).contains(&config.corruption_mean),
+            "corruption_mean must be a probability"
+        );
         assert!(config.item_skew >= 0.0, "item_skew must be >= 0");
         QuestGenerator { config }
     }
@@ -125,7 +137,9 @@ impl QuestGenerator {
             while items.len() < target_len && guard < 100 {
                 guard += 1;
                 let u: f64 = rng.gen();
-                let idx = cumulative.partition_point(|&c| c < u).min(patterns.len() - 1);
+                let idx = cumulative
+                    .partition_point(|&c| c < u)
+                    .min(patterns.len() - 1);
                 let pattern = &patterns[idx];
                 let corruption = corruptions[idx];
                 for &item in pattern {
@@ -229,7 +243,9 @@ mod tests {
     fn geometric_sampler_mean() {
         let mut rng = StdRng::seed_from_u64(5);
         let n = 50_000;
-        let total: usize = (0..n).map(|_| sample_geometric_at_least_one(&mut rng, 6.0)).sum();
+        let total: usize = (0..n)
+            .map(|_| sample_geometric_at_least_one(&mut rng, 6.0))
+            .sum();
         let mean = total as f64 / n as f64;
         assert!((mean - 6.0).abs() < 0.3, "mean {mean}");
         assert_eq!(sample_geometric_at_least_one(&mut rng, 1.0), 1);

@@ -21,7 +21,10 @@ impl Zipf {
     /// Panics if `n == 0` or `s` is negative or non-finite.
     pub fn new(n: usize, s: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one rank");
-        assert!(s.is_finite() && s >= 0.0, "Zipf exponent must be finite and >= 0, got {s}");
+        assert!(
+            s.is_finite() && s >= 0.0,
+            "Zipf exponent must be finite and >= 0, got {s}"
+        );
         let mut cumulative = Vec::with_capacity(n);
         let mut total = 0.0;
         for r in 0..n {
@@ -64,7 +67,9 @@ impl Zipf {
     /// Draws one rank.
     pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
         let u: f64 = rng.gen();
-        self.cumulative.partition_point(|&c| c < u).min(self.cumulative.len() - 1)
+        self.cumulative
+            .partition_point(|&c| c < u)
+            .min(self.cumulative.len() - 1)
     }
 }
 

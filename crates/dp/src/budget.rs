@@ -85,7 +85,10 @@ impl PrivacyBudget {
             Epsilon::Finite(_) => {
                 let rest = self.remaining();
                 if rest <= 0.0 {
-                    return Err(DpError::BudgetExceeded { requested: 0.0, remaining: 0.0 });
+                    return Err(DpError::BudgetExceeded {
+                        requested: 0.0,
+                        remaining: 0.0,
+                    });
                 }
                 self.spend(rest)
             }

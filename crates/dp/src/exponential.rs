@@ -76,7 +76,10 @@ pub fn exponential_mechanism<R: Rng + ?Sized>(
     let factor = eps / (scale.divisor() * sensitivity);
     // Stabilise: subtract the max exponent so the largest weight is exp(0) = 1.
     let max_q = qualities.iter().cloned().fold(f64::NEG_INFINITY, f64::max);
-    let weights: Vec<f64> = qualities.iter().map(|&q| ((q - max_q) * factor).exp()).collect();
+    let weights: Vec<f64> = qualities
+        .iter()
+        .map(|&q| ((q - max_q) * factor).exp())
+        .collect();
     let total: f64 = weights.iter().sum();
     // total >= 1 because the maximum contributes exp(0) = 1, so division is safe.
     let mut target = rng.gen::<f64>() * total;
@@ -126,7 +129,13 @@ mod tests {
     fn empty_candidates_is_an_error() {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(
-            exponential_mechanism(&mut rng, &[], 1.0, Epsilon::Finite(1.0), ExponentialScale::Standard),
+            exponential_mechanism(
+                &mut rng,
+                &[],
+                1.0,
+                Epsilon::Finite(1.0),
+                ExponentialScale::Standard
+            ),
             Err(DpError::EmptyCandidateSet)
         );
     }
@@ -215,7 +224,9 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             let mut hit = 0;
             for _ in 0..trials {
-                if exponential_mechanism(&mut rng, &[0.0, 1.0], 1.0, Epsilon::Finite(1.0), scale).unwrap() == 1
+                if exponential_mechanism(&mut rng, &[0.0, 1.0], 1.0, Epsilon::Finite(1.0), scale)
+                    .unwrap()
+                    == 1
                 {
                     hit += 1;
                 }

@@ -113,7 +113,11 @@ mod tests {
         let n = 200_000;
         let samples: Vec<i64> = (0..n).map(|_| g.sample(&mut rng)).collect();
         let mean = samples.iter().map(|&x| x as f64).sum::<f64>() / n as f64;
-        let var = samples.iter().map(|&x| (x as f64 - mean).powi(2)).sum::<f64>() / n as f64;
+        let var = samples
+            .iter()
+            .map(|&x| (x as f64 - mean).powi(2))
+            .sum::<f64>()
+            / n as f64;
         assert!(mean.abs() < 0.05, "mean {mean}");
         assert!(
             (var - g.variance()).abs() < 0.25,

@@ -52,7 +52,9 @@ impl LaplaceNoise {
                         "epsilon must be positive, got {eps}"
                     )));
                 }
-                Ok(LaplaceNoise { scale: Some(sensitivity / eps) })
+                Ok(LaplaceNoise {
+                    scale: Some(sensitivity / eps),
+                })
             }
         }
     }

@@ -51,11 +51,16 @@ impl std::fmt::Display for DpError {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         match self {
             DpError::InvalidParameter(msg) => write!(f, "invalid parameter: {msg}"),
-            DpError::BudgetExceeded { requested, remaining } => write!(
+            DpError::BudgetExceeded {
+                requested,
+                remaining,
+            } => write!(
                 f,
                 "privacy budget exceeded: requested {requested}, remaining {remaining}"
             ),
-            DpError::EmptyCandidateSet => write!(f, "exponential mechanism needs at least one candidate"),
+            DpError::EmptyCandidateSet => {
+                write!(f, "exponential mechanism needs at least one candidate")
+            }
         }
     }
 }
@@ -70,7 +75,10 @@ mod tests {
     fn error_display() {
         let e = DpError::InvalidParameter("epsilon must be > 0".into());
         assert!(e.to_string().contains("epsilon"));
-        let e = DpError::BudgetExceeded { requested: 1.0, remaining: 0.5 };
+        let e = DpError::BudgetExceeded {
+            requested: 1.0,
+            remaining: 0.5,
+        };
         assert!(e.to_string().contains("exceeded"));
         assert!(DpError::EmptyCandidateSet.to_string().contains("candidate"));
     }

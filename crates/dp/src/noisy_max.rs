@@ -24,7 +24,9 @@ pub fn report_noisy_max<R: Rng + ?Sized>(
         return Err(DpError::EmptyCandidateSet);
     }
     if qualities.iter().any(|q| !q.is_finite()) {
-        return Err(DpError::InvalidParameter("quality scores must be finite".into()));
+        return Err(DpError::InvalidParameter(
+            "quality scores must be finite".into(),
+        ));
     }
     let factor = match scale {
         ExponentialScale::Standard => 2.0,
@@ -73,7 +75,13 @@ mod tests {
     fn empty_and_invalid_inputs() {
         let mut rng = StdRng::seed_from_u64(1);
         assert_eq!(
-            report_noisy_max(&mut rng, &[], 1.0, Epsilon::Finite(1.0), ExponentialScale::Standard),
+            report_noisy_max(
+                &mut rng,
+                &[],
+                1.0,
+                Epsilon::Finite(1.0),
+                ExponentialScale::Standard
+            ),
             Err(DpError::EmptyCandidateSet)
         );
         assert!(report_noisy_max(
@@ -127,14 +135,19 @@ mod tests {
             let mut rng = StdRng::seed_from_u64(seed);
             (0..trials)
                 .filter(|_| {
-                    report_noisy_max(&mut rng, &[0.0, 20.0], 1.0, Epsilon::Finite(0.5), scale).unwrap() == 1
+                    report_noisy_max(&mut rng, &[0.0, 20.0], 1.0, Epsilon::Finite(0.5), scale)
+                        .unwrap()
+                        == 1
                 })
                 .count() as f64
                 / trials as f64
         };
         let standard = accuracy(ExponentialScale::Standard, 4);
         let one_sided = accuracy(ExponentialScale::OneSided, 5);
-        assert!(one_sided > standard, "one-sided {one_sided} vs standard {standard}");
+        assert!(
+            one_sided > standard,
+            "one-sided {one_sided} vs standard {standard}"
+        );
     }
 
     #[test]
@@ -157,6 +170,9 @@ mod tests {
         assert_eq!(dedup.len(), 10);
         // With a generous budget most picks should be from the top of the ranking.
         let top_hits = picked.iter().filter(|&&i| i >= 20).count();
-        assert!(top_hits >= 8, "only {top_hits} of 10 picks were top candidates");
+        assert!(
+            top_hits >= 8,
+            "only {top_hits} of 10 picks were top candidates"
+        );
     }
 }

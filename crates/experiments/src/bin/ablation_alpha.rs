@@ -8,10 +8,10 @@
 
 use pb_core::{PrivBasis, PrivBasisParams};
 use pb_datagen::DatasetProfile;
+use pb_dp::Epsilon;
 use pb_experiments::{reps_from_env, scale_from_env, to_published};
 use pb_fim::topk::top_k_itemsets;
 use pb_metrics::{false_negative_rate, mean_and_stderr, TsvTable};
-use pb_dp::Epsilon;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -31,16 +31,31 @@ fn main() {
         (DatasetProfile::Kosarak, 200usize),
     ];
 
-    let mut table = TsvTable::new(["dataset", "k", "alpha1", "alpha2", "alpha3", "FNR mean", "FNR stderr"]);
+    let mut table = TsvTable::new([
+        "dataset",
+        "k",
+        "alpha1",
+        "alpha2",
+        "alpha3",
+        "FNR mean",
+        "FNR stderr",
+    ]);
     for &(profile, k) in &cases {
         let db = profile.generate(scale_from_env(profile), 42);
         let truth = top_k_itemsets(&db, k, None);
         for &(a1, a2, a3) in splits {
-            let pb = PrivBasis::new(PrivBasisParams { alpha1: a1, alpha2: a2, alpha3: a3, ..Default::default() });
+            let pb = PrivBasis::new(PrivBasisParams {
+                alpha1: a1,
+                alpha2: a2,
+                alpha3: a3,
+                ..Default::default()
+            });
             let fnrs: Vec<f64> = (0..reps)
                 .map(|rep| {
                     let mut rng = StdRng::seed_from_u64(7_000 + rep as u64);
-                    let out = pb.run(&mut rng, &db, k, Epsilon::Finite(epsilon)).expect("valid split");
+                    let out = pb
+                        .run(&mut rng, &db, k, Epsilon::Finite(epsilon))
+                        .expect("valid split");
                     false_negative_rate(&truth, &to_published(&out.itemsets))
                 })
                 .collect();

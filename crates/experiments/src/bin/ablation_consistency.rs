@@ -8,13 +8,15 @@
 //!
 //! Run with: `cargo run --release -p pb-experiments --bin ablation_consistency`
 
-use pb_core::consistency::{count_monotonicity_violations, enforce_consistency, ConsistencyOptions};
-use pb_core::{basis_freq_counts, BasisSet};
+use pb_core::consistency::{
+    count_monotonicity_violations, enforce_consistency, ConsistencyOptions,
+};
+use pb_core::{basis_freq_counts_with_index, BasisSet};
 use pb_datagen::DatasetProfile;
 use pb_dp::Epsilon;
 use pb_experiments::{reps_from_env, scale_from_env};
-use pb_fim::topk::top_k_itemsets;
 use pb_fim::stats::items_of;
+use pb_fim::topk::top_k_itemsets;
 use pb_metrics::{mean_and_stderr, TsvTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -30,6 +32,8 @@ fn main() {
     let top = top_k_itemsets(&db, k, None);
     let basis_items = items_of(&top);
     let basis = BasisSet::single(basis_items);
+    // One index serves every (epsilon, repetition) pair below.
+    let index = db.vertical_index();
 
     let mut table = TsvTable::new([
         "epsilon",
@@ -45,7 +49,8 @@ fn main() {
         let mut fixed_err = Vec::new();
         for rep in 0..reps {
             let mut rng = StdRng::seed_from_u64(9_000 + rep);
-            let counts = basis_freq_counts(&mut rng, &db, &basis, Epsilon::Finite(eps));
+            let counts =
+                basis_freq_counts_with_index(&mut rng, &index, &basis, Epsilon::Finite(eps));
             let raw: HashMap<_, _> = counts.iter().map(|(s, e)| (s.clone(), e.count)).collect();
             let repaired = enforce_consistency(&counts, db.len(), ConsistencyOptions::default());
             raw_violations.push(count_monotonicity_violations(&raw, 1e-9) as f64);

@@ -9,7 +9,7 @@
 //! Run with: `cargo run --release -p pb-experiments --bin ablation_ev`
 
 use pb_core::variance::grouping_factor;
-use pb_core::{basis_freq_counts, BasisSet};
+use pb_core::{basis_freq_counts_with_index, BasisSet};
 use pb_datagen::{QuestConfig, QuestGenerator};
 use pb_dp::Epsilon;
 use pb_fim::ItemSet;
@@ -36,15 +36,22 @@ fn main() {
     .generate(7);
     let epsilon = 1.0;
     let reps = 40;
+    // One index serves every (basis length, repetition) pair below.
+    let index = db.vertical_index();
 
-    let mut t2 = TsvTable::new(["basis length l", "mean |error| of singleton counts", "stderr"]);
+    let mut t2 = TsvTable::new([
+        "basis length l",
+        "mean |error| of singleton counts",
+        "stderr",
+    ]);
     for l in [2usize, 4, 6, 8, 10, 12] {
         let basis_items: Vec<u32> = (0..l as u32).collect();
         let basis = BasisSet::single(ItemSet::new(basis_items.clone()));
         let mut errors = Vec::new();
         for rep in 0..reps {
             let mut rng = StdRng::seed_from_u64(1_000 + rep);
-            let counts = basis_freq_counts(&mut rng, &db, &basis, Epsilon::Finite(epsilon));
+            let counts =
+                basis_freq_counts_with_index(&mut rng, &index, &basis, Epsilon::Finite(epsilon));
             for &item in &basis_items {
                 let single = ItemSet::singleton(item);
                 let est = counts.get(&single).expect("candidate present").count;
@@ -52,10 +59,16 @@ fn main() {
             }
         }
         let s = mean_and_stderr(&errors);
-        t2.push_row([l.to_string(), format!("{:.2}", s.mean), format!("{:.2}", s.std_error)]);
+        t2.push_row([
+            l.to_string(),
+            format!("{:.2}", s.mean),
+            format!("{:.2}", s.std_error),
+        ]);
     }
     println!("# Ablation A3.2 — empirical singleton-count error vs basis length (ε = {epsilon}, w = 1)\n");
     println!("{}", t2.to_aligned());
-    println!("The error grows roughly as sqrt(2^(l-1)), matching Equation 4's 2^(|B|-|X|) variance.");
+    println!(
+        "The error grows roughly as sqrt(2^(l-1)), matching Equation 4's 2^(|B|-|X|) variance."
+    );
     println!("\n# TSV\n{}\n{}", t1.to_tsv(), t2.to_tsv());
 }

@@ -22,8 +22,19 @@ fn main() {
     // the λ values the paper's Table 2(a) reports, then the end-to-end effect via the
     // parameter's built-in computation.
     let params = PrivBasisParams::default();
-    let mut table = TsvTable::new(["k", "lambda", "naive lambda2 = eta*k - lambda", "heuristic lambda2"]);
-    for &(k, lambda) in &[(100usize, 24usize), (200, 44), (200, 20), (400, 60), (100, 17)] {
+    let mut table = TsvTable::new([
+        "k",
+        "lambda",
+        "naive lambda2 = eta*k - lambda",
+        "heuristic lambda2",
+    ]);
+    for &(k, lambda) in &[
+        (100usize, 24usize),
+        (200, 44),
+        (200, 20),
+        (400, 60),
+        (100, 17),
+    ] {
         let eta = params.eta_for(k);
         let naive = ((eta * k as f64) - lambda as f64).max(0.0).round() as usize;
         let heuristic = params.lambda2_for(k, lambda);

@@ -11,7 +11,10 @@ fn main() {
     let scale = scale_from_env(profile);
     let reps = reps_from_env();
     let ks = [50, 100];
-    println!("# Figure 3 — {} profile, scale {scale}, reps {reps}, k in {ks:?}\n", profile.name());
+    println!(
+        "# Figure 3 — {} profile, scale {scale}, reps {reps}, k in {ks:?}\n",
+        profile.name()
+    );
     let data = figure_sweep(profile, scale, &ks, &EPS_GRID_SPARSE, reps, 42);
     data.print();
 }

@@ -10,7 +10,15 @@ use pb_metrics::TsvTable;
 
 fn main() {
     let mut table = TsvTable::new([
-        "dataset", "k", "N", "|I| (synthetic)", "|I| (paper)", "avg |t|", "lambda", "lambda2", "lambda3",
+        "dataset",
+        "k",
+        "N",
+        "|I| (synthetic)",
+        "|I| (paper)",
+        "avg |t|",
+        "lambda",
+        "lambda2",
+        "lambda3",
         "fk*N",
     ]);
     // The paper reports k = 100 for retail/mushroom and k = 200 for the other three.
@@ -38,7 +46,9 @@ fn main() {
             stats.fk_count.to_string(),
         ]);
     }
-    println!("# Table 2(a) — dataset parameters (synthetic profiles, scale = PB_SCALE or default)\n");
+    println!(
+        "# Table 2(a) — dataset parameters (synthetic profiles, scale = PB_SCALE or default)\n"
+    );
     println!("{}", table.to_aligned());
     println!("# TSV\n{}", table.to_tsv());
 }

@@ -21,7 +21,13 @@ fn main() {
         (DatasetProfile::Aol, 200),
     ];
     let mut table = TsvTable::new([
-        "dataset", "k", "fk*N", "m", "|U|", "gamma*N", "truncation effective",
+        "dataset",
+        "k",
+        "fk*N",
+        "m",
+        "|U|",
+        "gamma*N",
+        "truncation effective",
     ]);
     for &(profile, k) in paper_k {
         let scale = scale_from_env(profile);
@@ -36,12 +42,20 @@ fn main() {
             m.to_string(),
             format!("{:.3e}", analysis.candidate_set_size),
             format!("{:.0}", analysis.gamma_count),
-            if analysis.is_truncation_effective() { "yes".to_string() } else { "NO (gamma >= fk)".to_string() },
+            if analysis.is_truncation_effective() {
+                "yes".to_string()
+            } else {
+                "NO (gamma >= fk)".to_string()
+            },
         ]);
     }
     println!("# Table 2(b) — effectiveness of the TF approach (ε = {epsilon}, ρ = {rho})\n");
     println!("{}", table.to_aligned());
-    println!("Note: γ·N scales with 1/N, so at reduced PB_SCALE the collapse (γ ≥ f_k) is even more");
-    println!("pronounced than at the paper's full N; rerun with PB_SCALE=1.0 for paper-scale values.\n");
+    println!(
+        "Note: γ·N scales with 1/N, so at reduced PB_SCALE the collapse (γ ≥ f_k) is even more"
+    );
+    println!(
+        "pronounced than at the paper's full N; rerun with PB_SCALE=1.0 for paper-scale values.\n"
+    );
     println!("# TSV\n{}", table.to_tsv());
 }

@@ -27,7 +27,9 @@ use pb_dp::Epsilon;
 use pb_fim::stats::top_k_stats;
 use pb_fim::topk::top_k_itemsets;
 use pb_fim::{FrequentItemset, ItemSet, TransactionDb};
-use pb_metrics::{false_negative_rate, mean_and_stderr, relative_error, PublishedItemset, Summary, TsvTable};
+use pb_metrics::{
+    false_negative_rate, mean_and_stderr, relative_error, PublishedItemset, Summary, TsvTable,
+};
 use pb_tf::{suggest_m, TfConfig, TfMethod};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -158,11 +160,14 @@ pub fn figure_sweep(
     // it from coverage and γ-effectiveness; `PB_TF_M` overrides it (the paper's figure captions
     // record the m actually used — e.g. m = 1 for retail and AOL — and the override lets the
     // harness reproduce exactly that configuration).
-    let m_override = std::env::var("PB_TF_M").ok().and_then(|s| s.parse::<usize>().ok());
+    let m_override = std::env::var("PB_TF_M")
+        .ok()
+        .and_then(|s| s.parse::<usize>().ok());
 
     for &k in ks {
         let truth = top_k_itemsets(&db, k, None);
-        let m = m_override.unwrap_or_else(|| suggest_m(&db, k, 1.0, 0.9, profile.paper_num_items(), 3));
+        let m =
+            m_override.unwrap_or_else(|| suggest_m(&db, k, 1.0, 0.9, profile.paper_num_items(), 3));
 
         let mut pb_fnr = vec![Vec::with_capacity(reps); epsilons.len()];
         let mut pb_re = vec![Vec::with_capacity(reps); epsilons.len()];

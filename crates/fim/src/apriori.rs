@@ -4,6 +4,7 @@
 //! against it by unit and property tests, and the TF baseline uses its level-wise candidate
 //! generation to enumerate itemsets above a pruning threshold with a length cap.
 
+use crate::index::VerticalIndex;
 use crate::itemset::{Item, ItemSet};
 use crate::topk::FrequentItemset;
 use crate::transaction::TransactionDb;
@@ -14,16 +15,24 @@ use std::collections::{HashMap, HashSet};
 /// Returns the frequent itemsets sorted by descending support (ties: ascending itemset).
 /// The empty itemset is never returned.
 ///
+/// Candidate counting runs on a [`VerticalIndex`] built once up front: each level's
+/// candidates are counted with AND/popcount kernels instead of a row scan per level.
+///
 /// `min_count == 0` is treated as 1 (an itemset must occur at least once).
-pub fn apriori(db: &TransactionDb, min_count: usize, max_len: Option<usize>) -> Vec<FrequentItemset> {
+pub fn apriori(
+    db: &TransactionDb,
+    min_count: usize,
+    max_len: Option<usize>,
+) -> Vec<FrequentItemset> {
     let min_count = min_count.max(1);
     let max_len = max_len.unwrap_or(usize::MAX);
     let mut result: Vec<FrequentItemset> = Vec::new();
     if max_len == 0 || db.is_empty() {
         return result;
     }
-
-    // Level 1: frequent items.
+    // Level 1: frequent items, counted with one row scan; only they get bitmaps —
+    // every candidate from level 2 on is built from frequent items alone, so the index
+    // memory is proportional to the frequent part of the universe, not all of it.
     let mut current: Vec<(ItemSet, usize)> = db
         .item_counts()
         .into_iter()
@@ -31,6 +40,8 @@ pub fn apriori(db: &TransactionDb, min_count: usize, max_len: Option<usize>) -> 
         .map(|(item, c)| (ItemSet::singleton(item), c))
         .collect();
     current.sort_unstable_by(|a, b| a.0.cmp(&b.0));
+    let frequent: ItemSet = current.iter().flat_map(|(s, _)| s.iter()).collect();
+    let index = VerticalIndex::build_restricted(db, &frequent);
 
     let mut level = 1usize;
     while !current.is_empty() {
@@ -42,12 +53,13 @@ pub fn apriori(db: &TransactionDb, min_count: usize, max_len: Option<usize>) -> 
         if level >= max_len {
             break;
         }
-        let candidates = generate_candidates(&current.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>());
+        let candidates =
+            generate_candidates(&current.iter().map(|(s, _)| s.clone()).collect::<Vec<_>>());
         if candidates.is_empty() {
             break;
         }
-        // Count candidate supports in one scan.
-        let counts = db.supports(&candidates);
+        // Count candidate supports against the vertical index.
+        let counts = index.supports(&candidates);
         current = candidates
             .into_iter()
             .zip(counts)
@@ -85,7 +97,10 @@ pub(crate) fn generate_candidates(frequent_prev: &[ItemSet]) -> Vec<ItemSet> {
     for s in frequent_prev {
         let items = s.items();
         let prefix = items[..prev_len - 1].to_vec();
-        by_prefix.entry(prefix).or_default().push(items[prev_len - 1]);
+        by_prefix
+            .entry(prefix)
+            .or_default()
+            .push(items[prev_len - 1]);
     }
 
     let mut candidates = Vec::new();
@@ -214,6 +229,9 @@ mod tests {
             ItemSet::new(vec![1, 3]),
             ItemSet::new(vec![2, 3]),
         ];
-        assert_eq!(generate_candidates(&prev), vec![ItemSet::new(vec![1, 2, 3])]);
+        assert_eq!(
+            generate_candidates(&prev),
+            vec![ItemSet::new(vec![1, 2, 3])]
+        );
     }
 }

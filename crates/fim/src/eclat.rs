@@ -1,93 +1,102 @@
-//! Eclat mining (Zaki, 2000): depth-first search over a vertical (tidset) representation.
+//! Eclat mining (Zaki, 2000): depth-first search over a vertical representation.
 //!
 //! A third, independently implemented miner. The property tests cross-validate all three
 //! miners (Apriori, FP-Growth, Eclat) against each other, which is the strongest correctness
 //! signal the crate has for the mining substrate the private algorithms sit on.
+//!
+//! Eclat is the natural consumer of the [`VerticalIndex`]: the item "tidsets" it
+//! intersects at every DFS step are exactly the index's bitmaps, so each extension is one
+//! word-wise AND + popcount over `N/64` words instead of a sorted-list merge.
 
+use crate::bitmap::Bitmap;
+use crate::index::VerticalIndex;
 use crate::itemset::{Item, ItemSet};
 use crate::topk::FrequentItemset;
 use crate::transaction::TransactionDb;
-use std::collections::HashMap;
 
 /// Mines all itemsets with support count `>= min_count` using Eclat, optionally capping
 /// itemset length. Output ordering matches [`crate::apriori::apriori`].
 pub fn eclat(db: &TransactionDb, min_count: usize, max_len: Option<usize>) -> Vec<FrequentItemset> {
+    // Index only the frequent items (one row scan finds them): infrequent items can
+    // never appear in the DFS, and skipping their bitmaps keeps memory proportional to
+    // the frequent part of the universe.
+    let min_count = min_count.max(1);
+    let frequent: ItemSet = db
+        .item_counts()
+        .into_iter()
+        .filter(|&(_, c)| c >= min_count)
+        .map(|(item, _)| item)
+        .collect();
+    let index = VerticalIndex::build_restricted(db, &frequent);
+    eclat_with_index(&index, min_count, max_len)
+}
+
+/// [`eclat`] over a pre-built vertical index (reuse the index across mining calls).
+pub fn eclat_with_index(
+    index: &VerticalIndex,
+    min_count: usize,
+    max_len: Option<usize>,
+) -> Vec<FrequentItemset> {
     let min_count = min_count.max(1);
     let max_len = max_len.unwrap_or(usize::MAX);
     let mut out = Vec::new();
-    if max_len == 0 || db.is_empty() {
+    if max_len == 0 || index.num_transactions() == 0 {
         return out;
     }
 
-    // Vertical representation: item -> sorted list of transaction ids.
-    let mut tidsets: HashMap<Item, Vec<u32>> = HashMap::new();
-    for (tid, t) in db.iter().enumerate() {
-        for item in t.iter() {
-            tidsets.entry(item).or_default().push(tid as u32);
-        }
-    }
-    let mut roots: Vec<(Item, Vec<u32>)> = tidsets
-        .into_iter()
-        .filter(|(_, tids)| tids.len() >= min_count)
+    // Roots: frequent items with their bitmaps and supports, ascending item id for a
+    // deterministic DFS. Each sibling carries its count so no bitmap is popcounted twice.
+    let roots: Vec<(Item, Bitmap, usize)> = index
+        .items()
+        .iter()
+        .filter_map(|&item| {
+            let bitmap = index.item_bitmap(item).expect("indexed item has a bitmap");
+            let count = bitmap.count_ones();
+            (count >= min_count).then(|| (item, bitmap.clone(), count))
+        })
         .collect();
-    // Ascending item id keeps the DFS deterministic.
-    roots.sort_unstable_by_key(|&(item, _)| item);
 
-    // Depth-first extension: each prefix carries its tidset; children intersect tidsets.
+    // Depth-first extension: each prefix carries its transaction bitmap; children AND bitmaps.
     fn extend(
         prefix: &ItemSet,
-        prefix_tids_len: usize,
-        siblings: &[(Item, Vec<u32>)],
+        siblings: &[(Item, Bitmap, usize)],
         min_count: usize,
         max_len: usize,
         out: &mut Vec<FrequentItemset>,
     ) {
-        let _ = prefix_tids_len;
-        for (i, (item, tids)) in siblings.iter().enumerate() {
+        for (i, (item, bitmap, count)) in siblings.iter().enumerate() {
             let new_set = prefix.with_item(*item);
-            out.push(FrequentItemset::new(new_set.clone(), tids.len()));
+            out.push(FrequentItemset::new(new_set.clone(), *count));
             if new_set.len() >= max_len {
                 continue;
             }
-            // Build the conditional sibling list for items after this one.
-            let mut children: Vec<(Item, Vec<u32>)> = Vec::new();
-            for (other, other_tids) in &siblings[i + 1..] {
-                let joint = intersect_sorted(tids, other_tids);
-                if joint.len() >= min_count {
-                    children.push((*other, joint));
+            // Build the conditional sibling list for items after this one: one AND pass
+            // per candidate, counted from the materialised intersection.
+            let mut children: Vec<(Item, Bitmap, usize)> = Vec::new();
+            for (other, other_bitmap, _) in &siblings[i + 1..] {
+                let joint = bitmap.and(other_bitmap);
+                let joint_count = joint.count_ones();
+                if joint_count >= min_count {
+                    children.push((*other, joint, joint_count));
                 }
             }
             if !children.is_empty() {
-                extend(&new_set, tids.len(), &children, min_count, max_len, out);
+                extend(&new_set, &children, min_count, max_len, out);
             }
         }
     }
 
-    extend(&ItemSet::empty(), db.len(), &roots, min_count, max_len, &mut out);
+    extend(&ItemSet::empty(), &roots, min_count, max_len, &mut out);
     crate::apriori::sort_frequent(&mut out);
     out
 }
 
-/// Intersection of two sorted tid lists.
-fn intersect_sorted(a: &[u32], b: &[u32]) -> Vec<u32> {
-    let mut out = Vec::with_capacity(a.len().min(b.len()));
-    let (mut i, mut j) = (0, 0);
-    while i < a.len() && j < b.len() {
-        match a[i].cmp(&b[j]) {
-            std::cmp::Ordering::Less => i += 1,
-            std::cmp::Ordering::Greater => j += 1,
-            std::cmp::Ordering::Equal => {
-                out.push(a[i]);
-                i += 1;
-                j += 1;
-            }
-        }
-    }
-    out
-}
-
 /// Mines all itemsets with frequency `>= theta` using Eclat.
-pub fn eclat_by_frequency(db: &TransactionDb, theta: f64, max_len: Option<usize>) -> Vec<FrequentItemset> {
+pub fn eclat_by_frequency(
+    db: &TransactionDb,
+    theta: f64,
+    max_len: Option<usize>,
+) -> Vec<FrequentItemset> {
     let min_count = ((theta * db.len() as f64).ceil() as usize).max(1);
     eclat(db, min_count, max_len)
 }
@@ -117,8 +126,16 @@ mod tests {
         let db = sample_db();
         for min_count in 1..=5 {
             let e = eclat(&db, min_count, None);
-            assert_eq!(e, apriori(&db, min_count, None), "vs apriori at {min_count}");
-            assert_eq!(e, fpgrowth(&db, min_count, None), "vs fpgrowth at {min_count}");
+            assert_eq!(
+                e,
+                apriori(&db, min_count, None),
+                "vs apriori at {min_count}"
+            );
+            assert_eq!(
+                e,
+                fpgrowth(&db, min_count, None),
+                "vs fpgrowth at {min_count}"
+            );
         }
     }
 
@@ -148,9 +165,14 @@ mod tests {
     }
 
     #[test]
-    fn intersect_sorted_basics() {
-        assert_eq!(intersect_sorted(&[1, 3, 5], &[2, 3, 5, 7]), vec![3, 5]);
-        assert_eq!(intersect_sorted(&[], &[1]), Vec::<u32>::new());
-        assert_eq!(intersect_sorted(&[1, 2], &[3, 4]), Vec::<u32>::new());
+    fn reusing_an_index_matches_fresh_build() {
+        let db = sample_db();
+        let index = VerticalIndex::build(&db);
+        for min_count in 1..=4 {
+            assert_eq!(
+                eclat_with_index(&index, min_count, None),
+                eclat(&db, min_count, None)
+            );
+        }
     }
 }

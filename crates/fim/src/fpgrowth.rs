@@ -88,7 +88,11 @@ impl FpTree {
             .collect();
         // Descending support, ascending item id for determinism.
         order.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let rank: HashMap<Item, usize> = order.iter().enumerate().map(|(r, &(i, _))| (i, r)).collect();
+        let rank: HashMap<Item, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(r, &(i, _))| (i, r))
+            .collect();
 
         let mut tree = FpTree::new();
         for t in db.iter() {
@@ -114,11 +118,19 @@ impl FpTree {
             .filter(|&(_, c)| c >= min_count)
             .collect();
         order.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
-        let rank: HashMap<Item, usize> = order.iter().enumerate().map(|(r, &(i, _))| (i, r)).collect();
+        let rank: HashMap<Item, usize> = order
+            .iter()
+            .enumerate()
+            .map(|(r, &(i, _))| (i, r))
+            .collect();
 
         let mut tree = FpTree::new();
         for (path, c) in paths {
-            let mut kept: Vec<Item> = path.iter().copied().filter(|i| rank.contains_key(i)).collect();
+            let mut kept: Vec<Item> = path
+                .iter()
+                .copied()
+                .filter(|i| rank.contains_key(i))
+                .collect();
             kept.sort_unstable_by_key(|i| rank[i]);
             if !kept.is_empty() {
                 tree.insert(&kept, *c);
@@ -186,7 +198,11 @@ impl FpTree {
 
 /// Mines all itemsets with support count `>= min_count` using FP-Growth, optionally capping
 /// itemset length. Output ordering matches [`crate::apriori::apriori`].
-pub fn fpgrowth(db: &TransactionDb, min_count: usize, max_len: Option<usize>) -> Vec<FrequentItemset> {
+pub fn fpgrowth(
+    db: &TransactionDb,
+    min_count: usize,
+    max_len: Option<usize>,
+) -> Vec<FrequentItemset> {
     let min_count = min_count.max(1);
     let max_len = max_len.unwrap_or(usize::MAX);
     let mut out = Vec::new();
@@ -271,7 +287,10 @@ mod tests {
     #[test]
     fn frequency_threshold_conversion() {
         let db = sample_db();
-        assert_eq!(fpgrowth_by_frequency(&db, 0.5, None), fpgrowth(&db, 5, None));
+        assert_eq!(
+            fpgrowth_by_frequency(&db, 0.5, None),
+            fpgrowth(&db, 5, None)
+        );
     }
 
     #[test]

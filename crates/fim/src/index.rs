@@ -1,0 +1,772 @@
+//! The vertical (item → transaction-id bitmap) index.
+//!
+//! [`TransactionDb`] stores transactions row-wise: good for streaming construction and
+//! projection, bad for counting — `support(X)` walks all `N` rows and runs an `O(|t|)`
+//! subset merge per row. A [`VerticalIndex`] transposes the database once into one
+//! [`Bitmap`] per item (bit `t` set iff transaction `t` contains the item), after which
+//! every counting primitive the PrivBasis pipeline needs becomes a word-parallel
+//! bitwise loop:
+//!
+//! * `support(X)` — AND the `|X|` item bitmaps, popcount,
+//! * `supports(C)` — the same per candidate, reusing one scratch buffer,
+//! * `pair_counts(F)` — AND/popcount per pair, `O(|F|² · N/64)`,
+//! * `bin_histogram(B)` — the `BasisFreq` kernel: sweep 64-transaction blocks,
+//!   transposing the ℓ item words into per-transaction bin masks (§4.1's
+//!   `t ∩ Bᵢ` bins) without ever touching the row representation.
+//!
+//! The histogram sweep skips empty blocks in bulk: the OR of the ℓ words says which of
+//! the 64 transactions intersect the basis at all, and the (typically many) that do not
+//! are credited to bin 0 with one popcount.
+//!
+//! With the `parallel` feature (default), `bin_histogram` splits the block range across
+//! `std::thread` workers and sums the per-worker histograms; the result is exactly the
+//! same integer vector regardless of thread count, so callers that add noise stay
+//! byte-for-byte deterministic.
+
+use crate::bitmap::Bitmap;
+use crate::itemset::{Item, ItemSet};
+use crate::transaction::TransactionDb;
+use std::collections::HashMap;
+
+/// Below this many words per bitmap (64 transactions each) the histogram sweep stays
+/// single-threaded — thread spawn overhead would dominate.
+#[cfg(feature = "parallel")]
+const PAR_MIN_WORDS: usize = 512;
+
+/// An immutable vertical index over a [`TransactionDb`].
+#[derive(Clone, Debug)]
+pub struct VerticalIndex {
+    num_transactions: usize,
+    /// Indexed items, ascending.
+    items: Vec<Item>,
+    /// `bitmaps[i]` holds the transaction set of `items[i]`.
+    bitmaps: Vec<Bitmap>,
+}
+
+impl VerticalIndex {
+    /// Builds the index over every distinct item of `db` in one pass.
+    pub fn build(db: &TransactionDb) -> Self {
+        Self::build_filtered(db, None)
+    }
+
+    /// Builds the index over only the items of `restrict` (items of `restrict` absent
+    /// from the database get no bitmap). Useful when a caller will only ever query one
+    /// basis, e.g. for projections.
+    pub fn build_restricted(db: &TransactionDb, restrict: &ItemSet) -> Self {
+        Self::build_filtered(db, Some(restrict))
+    }
+
+    fn build_filtered(db: &TransactionDb, restrict: Option<&ItemSet>) -> Self {
+        let n = db.len();
+        let items: Vec<Item> = match restrict {
+            None => db.item_universe(),
+            Some(r) => {
+                let universe = db.item_universe();
+                let universe_set = ItemSet::from_sorted(universe).expect("universe is sorted");
+                universe_set.intersect(r).items().to_vec()
+            }
+        };
+        let lookup = SlotLookup::new(&items);
+
+        #[cfg(feature = "parallel")]
+        {
+            let threads = available_parallelism();
+            if threads > 1 && n >= 64 * PAR_MIN_WORDS {
+                return Self::build_chunked(db, items, &lookup, threads);
+            }
+        }
+
+        let num_words = n.div_ceil(64);
+        let mut flat = vec![0u64; items.len() * num_words];
+        for (tid, t) in db.iter().enumerate() {
+            let word = tid / 64;
+            let bit = 1u64 << (tid % 64);
+            for item in t.iter() {
+                if let Some(slot) = lookup.slot(item) {
+                    flat[slot * num_words + word] |= bit;
+                }
+            }
+        }
+        VerticalIndex {
+            num_transactions: n,
+            items,
+            bitmaps: split_flat(flat, num_words, n),
+        }
+    }
+
+    /// Parallel build: transactions are split into 64-aligned chunks, each worker fills a
+    /// flat word block for its chunk, and the per-chunk blocks are stitched into the final
+    /// bitmaps. Bit-for-bit identical to the sequential build.
+    #[cfg(feature = "parallel")]
+    fn build_chunked(
+        db: &TransactionDb,
+        items: Vec<Item>,
+        lookup: &SlotLookup,
+        threads: usize,
+    ) -> Self {
+        let n = db.len();
+        let num_words = n.div_ceil(64);
+        let num_items = items.len();
+        // 64-aligned chunk size so each chunk owns whole words.
+        let chunk_bits = (n.div_ceil(threads)).div_ceil(64) * 64;
+        let transactions = db.transactions();
+        let chunks: Vec<(usize, &[ItemSet])> = (0..threads)
+            .map(|c| {
+                (
+                    c * chunk_bits,
+                    &transactions[(c * chunk_bits).min(n)..((c + 1) * chunk_bits).min(n)],
+                )
+            })
+            .filter(|(_, slice)| !slice.is_empty())
+            .collect();
+        // Each worker returns an item-major flat block: words[slot * chunk_words + w].
+        let blocks: Vec<(usize, Vec<u64>)> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(base_tid, slice)| {
+                    scope.spawn(move || {
+                        let chunk_words = slice.len().div_ceil(64);
+                        let mut words = vec![0u64; num_items * chunk_words];
+                        for (local_tid, t) in slice.iter().enumerate() {
+                            for item in t.iter() {
+                                if let Some(slot) = lookup.slot(item) {
+                                    words[slot * chunk_words + local_tid / 64] |=
+                                        1u64 << (local_tid % 64);
+                                }
+                            }
+                        }
+                        (base_tid, words)
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("index build worker panicked"))
+                .collect()
+        });
+        let mut flat = vec![0u64; num_items * num_words];
+        for (base_tid, words) in blocks {
+            let base_word = base_tid / 64;
+            let chunk_words = words.len() / num_items.max(1);
+            for slot in 0..num_items {
+                let src = &words[slot * chunk_words..(slot + 1) * chunk_words];
+                flat[slot * num_words + base_word..slot * num_words + base_word + src.len()]
+                    .copy_from_slice(src);
+            }
+        }
+        VerticalIndex {
+            num_transactions: n,
+            items,
+            bitmaps: split_flat(flat, num_words, n),
+        }
+    }
+
+    /// Number of transactions `N` the index spans.
+    pub fn num_transactions(&self) -> usize {
+        self.num_transactions
+    }
+
+    /// The indexed items, ascending.
+    pub fn items(&self) -> &[Item] {
+        &self.items
+    }
+
+    /// The bitmap of one item, if the item is indexed.
+    pub fn item_bitmap(&self, item: Item) -> Option<&Bitmap> {
+        self.items
+            .binary_search(&item)
+            .ok()
+            .map(|i| &self.bitmaps[i])
+    }
+
+    /// Per-item support counts, `(item, count)` ascending by item.
+    pub fn item_counts(&self) -> Vec<(Item, usize)> {
+        self.items
+            .iter()
+            .zip(&self.bitmaps)
+            .map(|(&item, b)| (item, b.count_ones()))
+            .collect()
+    }
+
+    /// Items sorted by descending support, ties by ascending item id — same contract as
+    /// [`TransactionDb::items_by_frequency`].
+    pub fn items_by_frequency(&self) -> Vec<(Item, usize)> {
+        let mut v = self.item_counts();
+        v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+        v
+    }
+
+    /// Support count of one itemset (AND of the item bitmaps, popcount).
+    ///
+    /// The empty itemset is contained in every transaction; an itemset with an
+    /// unindexed item has support 0.
+    pub fn support(&self, itemset: &ItemSet) -> usize {
+        let mut scratch = Vec::new();
+        self.support_with_scratch(itemset, &mut scratch)
+    }
+
+    /// Support counts for a batch of itemsets, reusing one scratch buffer.
+    pub fn supports(&self, itemsets: &[ItemSet]) -> Vec<usize> {
+        let mut scratch = Vec::new();
+        itemsets
+            .iter()
+            .map(|x| self.support_with_scratch(x, &mut scratch))
+            .collect()
+    }
+
+    fn support_with_scratch(&self, itemset: &ItemSet, scratch: &mut Vec<u64>) -> usize {
+        let items = itemset.items();
+        match items.len() {
+            0 => self.num_transactions,
+            1 => self.item_bitmap(items[0]).map_or(0, Bitmap::count_ones),
+            2 => match (self.item_bitmap(items[0]), self.item_bitmap(items[1])) {
+                (Some(a), Some(b)) => a.and_popcount(b),
+                _ => 0,
+            },
+            _ => {
+                let mut maps = Vec::with_capacity(items.len());
+                for &item in items {
+                    match self.item_bitmap(item) {
+                        Some(b) => maps.push(b),
+                        None => return 0,
+                    }
+                }
+                scratch.clear();
+                scratch.extend_from_slice(maps[0].words());
+                for b in &maps[1..] {
+                    for (w, &other) in scratch.iter_mut().zip(b.words()) {
+                        *w &= other;
+                    }
+                }
+                scratch.iter().map(|w| w.count_ones() as usize).sum()
+            }
+        }
+    }
+
+    /// Support counts of all unordered pairs over `items` with non-zero support — same
+    /// contract as [`TransactionDb::pair_counts`], computed as AND/popcount per pair.
+    pub fn pair_counts(&self, items: &ItemSet) -> HashMap<(Item, Item), usize> {
+        let present: Vec<(Item, &Bitmap)> = items
+            .iter()
+            .filter_map(|item| self.item_bitmap(item).map(|b| (item, b)))
+            .collect();
+        let mut counts = HashMap::new();
+        for i in 0..present.len() {
+            for j in (i + 1)..present.len() {
+                let c = present[i].1.and_popcount(present[j].1);
+                if c > 0 {
+                    counts.insert((present[i].0, present[j].0), c);
+                }
+            }
+        }
+        counts
+    }
+
+    /// The `BasisFreq` kernel: the exact bin histogram of `basis`.
+    ///
+    /// Returns `bins` of length `2^|basis|` where `bins[mask]` counts the transactions
+    /// `t` with `t ∩ basis` equal to the subset of `basis` encoded by `mask` (bit `i` of
+    /// `mask` ⇔ the `i`-th smallest basis item is in `t`). `Σ bins = N`.
+    ///
+    /// With the `parallel` feature the block sweep is split across threads; the result
+    /// is identical to the sequential sweep.
+    ///
+    /// # Panics
+    /// Panics if `basis` has more than 25 items (the bin table would not fit in memory;
+    /// callers cap ℓ far below this).
+    pub fn bin_histogram(&self, basis: &ItemSet) -> Vec<u64> {
+        self.bin_histogram_with_budget(basis, available_parallelism())
+    }
+
+    /// [`VerticalIndex::bin_histogram`] restricted to at most `threads` sweep workers
+    /// (`1` = fully sequential). Callers that already fan out — e.g. one thread per
+    /// basis — pass their per-task share here so the total stays within budget.
+    pub fn bin_histogram_with_budget(&self, basis: &ItemSet, threads: usize) -> Vec<u64> {
+        #[cfg(not(feature = "parallel"))]
+        let _ = threads;
+        let ell = basis.len();
+        assert!(
+            ell <= 25,
+            "basis of {ell} items: bin table 2^{ell} too large"
+        );
+        if ell == 0 {
+            return vec![self.num_transactions as u64];
+        }
+        let word_slices: Vec<Option<&[u64]>> = basis
+            .iter()
+            .map(|item| self.item_bitmap(item).map(Bitmap::words))
+            .collect();
+        let num_words = self.num_transactions.div_ceil(64);
+
+        #[cfg(feature = "parallel")]
+        {
+            let threads = threads.max(1);
+            if threads > 1 && num_words >= PAR_MIN_WORDS {
+                let chunks = threads.min(num_words / (PAR_MIN_WORDS / 2)).max(1);
+                let chunk_len = num_words.div_ceil(chunks);
+                let n = self.num_transactions;
+                let slices = &word_slices;
+                let partials: Vec<Vec<u64>> = std::thread::scope(|scope| {
+                    let handles: Vec<_> = (0..chunks)
+                        .map(|c| {
+                            let lo = c * chunk_len;
+                            let hi = ((c + 1) * chunk_len).min(num_words);
+                            scope.spawn(move || sweep_blocks(slices, lo..hi, n, ell))
+                        })
+                        .collect();
+                    handles
+                        .into_iter()
+                        .map(|h| h.join().expect("sweep worker panicked"))
+                        .collect()
+                });
+                let mut bins = vec![0u64; 1 << ell];
+                for partial in partials {
+                    for (acc, x) in bins.iter_mut().zip(partial) {
+                        *acc += x;
+                    }
+                }
+                return bins;
+            }
+        }
+
+        sweep_blocks(&word_slices, 0..num_words, self.num_transactions, ell)
+    }
+
+    /// Projects every transaction onto `basis`, producing a new row-oriented database —
+    /// the vertical route for [`TransactionDb::project`].
+    ///
+    /// Runs in `O(N + Σ_{i ∈ basis} support(i))`: each item bitmap deposits its item
+    /// into the rows that contain it, in ascending item order, so rows come out sorted.
+    pub fn project(&self, basis: &ItemSet) -> TransactionDb {
+        let mut rows: Vec<Vec<Item>> = vec![Vec::new(); self.num_transactions];
+        for item in basis.iter() {
+            if let Some(bitmap) = self.item_bitmap(item) {
+                for tid in bitmap.ones() {
+                    rows[tid].push(item);
+                }
+            }
+        }
+        let itemsets: Vec<ItemSet> = rows
+            .into_iter()
+            .map(|r| ItemSet::from_sorted(r).expect("items deposited in ascending order"))
+            .collect();
+        TransactionDb::from_itemsets(itemsets)
+    }
+}
+
+/// Splits an item-major flat word array (`num_words` words per item) into per-item
+/// bitmaps over `len_bits` bits.
+fn split_flat(mut flat: Vec<u64>, num_words: usize, len_bits: usize) -> Vec<Bitmap> {
+    let mut bitmaps = Vec::with_capacity(if num_words == 0 {
+        0
+    } else {
+        flat.len() / num_words.max(1)
+    });
+    while !flat.is_empty() {
+        let rest = flat.split_off(num_words.min(flat.len()));
+        bitmaps.push(Bitmap::from_words(flat, len_bits));
+        flat = rest;
+    }
+    bitmaps
+}
+
+/// Maps items to bitmap slots. When item ids are dense (the common case — generators and
+/// FIMI files use small integer ids) a direct table replaces the `log |I|` binary search
+/// in the build's inner loop.
+struct SlotLookup {
+    /// Dense table: `table[item] = slot`, `u32::MAX` = not indexed. Empty when sparse.
+    table: Vec<u32>,
+    /// Fallback for sparse id spaces: the sorted items themselves.
+    items: Vec<Item>,
+}
+
+impl SlotLookup {
+    fn new(items: &[Item]) -> Self {
+        let dense_ok = items
+            .last()
+            .is_some_and(|&max| (max as usize) < items.len().saturating_mul(16) + 1024);
+        if dense_ok {
+            let max = *items.last().expect("non-empty by dense_ok") as usize;
+            let mut table = vec![u32::MAX; max + 1];
+            for (slot, &item) in items.iter().enumerate() {
+                table[item as usize] = slot as u32;
+            }
+            SlotLookup {
+                table,
+                items: Vec::new(),
+            }
+        } else {
+            SlotLookup {
+                table: Vec::new(),
+                items: items.to_vec(),
+            }
+        }
+    }
+
+    #[inline]
+    fn slot(&self, item: Item) -> Option<usize> {
+        if self.table.is_empty() {
+            self.items.binary_search(&item).ok()
+        } else {
+            match self.table.get(item as usize) {
+                Some(&slot) if slot != u32::MAX => Some(slot as usize),
+                _ => None,
+            }
+        }
+    }
+}
+
+/// Sweeps `word_range` (64-transaction blocks) and returns the partial bin histogram.
+///
+/// For each block the ℓ item words are fetched once; the OR of them identifies the
+/// transactions intersecting the basis, everything else goes to bin 0 in bulk, and each
+/// intersecting transaction's mask is assembled by transposing one bit column.
+fn sweep_blocks(
+    word_slices: &[Option<&[u64]>],
+    word_range: std::ops::Range<usize>,
+    num_transactions: usize,
+    ell: usize,
+) -> Vec<u64> {
+    let mut bins = vec![0u64; 1 << ell];
+    let mut block = vec![0u64; ell];
+    for w in word_range {
+        let mut occupied = 0u64;
+        for (b, slice) in word_slices.iter().enumerate() {
+            let word = slice.map_or(0, |s| s[w]);
+            block[b] = word;
+            occupied |= word;
+        }
+        let block_len = (num_transactions - w * 64).min(64);
+        if ell <= 8 && block_len == 64 && occupied.count_ones() >= 16 {
+            // Dense full block, basis fits in a byte: transpose the 64×ℓ bit matrix
+            // bytewise — gather byte `b` of every item word, one 8×8 bit transpose, and
+            // the 8 result bytes are the bin masks of transactions 64w+8b .. 64w+8b+7.
+            for b in 0..8 {
+                let mut gathered = 0u64;
+                for (i, &word) in block.iter().enumerate() {
+                    gathered |= ((word >> (8 * b)) & 0xFF) << (8 * i);
+                }
+                if gathered == 0 {
+                    bins[0] += 8;
+                    continue;
+                }
+                let transposed = transpose8x8(gathered);
+                for j in 0..8 {
+                    bins[((transposed >> (8 * j)) & 0xFF) as usize] += 1;
+                }
+            }
+        } else {
+            // Sparse or partial block: credit the non-intersecting transactions to bin 0
+            // in bulk, then assemble a mask per set bit of `occupied`.
+            bins[0] += (block_len as u32 - occupied.count_ones()) as u64;
+            while occupied != 0 {
+                let j = occupied.trailing_zeros();
+                occupied &= occupied - 1;
+                let mut mask = 0usize;
+                for (b, &word) in block.iter().enumerate() {
+                    mask |= ((word >> j) & 1) as usize * (1 << b);
+                }
+                bins[mask] += 1;
+            }
+        }
+    }
+    bins
+}
+
+/// Transposes an 8×8 bit matrix packed row-major into a `u64` (Hacker's Delight 7-3):
+/// bit `j` of input byte `i` becomes bit `i` of output byte `j`.
+fn transpose8x8(x: u64) -> u64 {
+    let t = (x ^ (x >> 7)) & 0x00AA00AA00AA00AA;
+    let x = x ^ t ^ (t << 7);
+    let t = (x ^ (x >> 14)) & 0x0000CCCC0000CCCC;
+    let x = x ^ t ^ (t << 14);
+    let t = (x ^ (x >> 28)) & 0x00000000F0F0F0F0;
+    x ^ t ^ (t << 28)
+}
+
+/// Programmatic parallelism override; 0 means "not set". Shared by the build and every
+/// sweep, including the ones `pb-core` fans out per basis.
+static PARALLELISM_OVERRIDE: std::sync::atomic::AtomicUsize =
+    std::sync::atomic::AtomicUsize::new(0);
+
+/// Overrides the worker-thread budget for index builds and histogram sweeps
+/// (`None` restores the default). Also how the tests force the parallel paths on
+/// single-core machines — an in-process setting, unlike mutating `PB_NUM_THREADS`,
+/// which could race with concurrent `getenv` calls.
+pub fn set_parallelism_override(threads: Option<usize>) {
+    PARALLELISM_OVERRIDE.store(
+        threads.map_or(0, |t| t.max(1)),
+        std::sync::atomic::Ordering::Relaxed,
+    );
+}
+
+/// The worker-thread budget for index builds and histogram sweeps: the programmatic
+/// override if set, else the `PB_NUM_THREADS` environment variable (read once per
+/// process, at first use), else the hardware parallelism. Always 1 when the `parallel`
+/// feature is disabled.
+pub fn available_parallelism() -> usize {
+    #[cfg(not(feature = "parallel"))]
+    {
+        1
+    }
+    #[cfg(feature = "parallel")]
+    {
+        let o = PARALLELISM_OVERRIDE.load(std::sync::atomic::Ordering::Relaxed);
+        if o != 0 {
+            return o;
+        }
+        static FROM_ENV: std::sync::OnceLock<Option<usize>> = std::sync::OnceLock::new();
+        let env = *FROM_ENV.get_or_init(|| {
+            std::env::var("PB_NUM_THREADS")
+                .ok()
+                .and_then(|v| v.parse::<usize>().ok())
+                .map(|n| n.max(1))
+        });
+        env.unwrap_or_else(|| {
+            std::thread::available_parallelism()
+                .map(|n| n.get())
+                .unwrap_or(1)
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![2, 3],
+            vec![1, 2, 3, 4],
+            vec![4],
+            vec![],
+        ])
+    }
+
+    fn set(items: &[u32]) -> ItemSet {
+        ItemSet::new(items.to_vec())
+    }
+
+    #[test]
+    fn build_and_basic_queries() {
+        let db = sample_db();
+        let idx = VerticalIndex::build(&db);
+        assert_eq!(idx.num_transactions(), 6);
+        assert_eq!(idx.items(), &[1, 2, 3, 4]);
+        assert_eq!(idx.item_bitmap(2).unwrap().count_ones(), 4);
+        assert!(idx.item_bitmap(9).is_none());
+    }
+
+    #[test]
+    fn support_matches_row_scan() {
+        let db = sample_db();
+        let idx = VerticalIndex::build(&db);
+        for candidate in [
+            set(&[]),
+            set(&[1]),
+            set(&[1, 2]),
+            set(&[1, 2, 3]),
+            set(&[1, 2, 3, 4]),
+            set(&[4]),
+            set(&[9]),
+            set(&[1, 9]),
+        ] {
+            assert_eq!(
+                idx.support(&candidate),
+                db.support(&candidate),
+                "{candidate:?}"
+            );
+        }
+        let batch = [set(&[1]), set(&[2, 3]), set(&[])];
+        assert_eq!(idx.supports(&batch), db.supports(&batch));
+    }
+
+    #[test]
+    fn item_counts_and_frequency_order_match_db() {
+        let db = sample_db();
+        let idx = VerticalIndex::build(&db);
+        let mut db_counts: Vec<(Item, usize)> = db.item_counts().into_iter().collect();
+        db_counts.sort_unstable();
+        assert_eq!(idx.item_counts(), db_counts);
+        assert_eq!(idx.items_by_frequency(), db.items_by_frequency());
+    }
+
+    #[test]
+    fn pair_counts_match_db() {
+        let db = sample_db();
+        let idx = VerticalIndex::build(&db);
+        let items = set(&[1, 2, 3, 4]);
+        assert_eq!(idx.pair_counts(&items), db.pair_counts(&items));
+        // Restricting to a subset restricts the pairs.
+        let sub = set(&[1, 3]);
+        assert_eq!(idx.pair_counts(&sub), db.pair_counts(&sub));
+    }
+
+    #[test]
+    fn bin_histogram_partitions_the_database() {
+        let db = sample_db();
+        let idx = VerticalIndex::build(&db);
+        let basis = set(&[1, 2, 3]);
+        let bins = idx.bin_histogram(&basis);
+        assert_eq!(bins.len(), 8);
+        assert_eq!(bins.iter().sum::<u64>(), db.len() as u64);
+        // Bin of mask m counts transactions with t ∩ {1,2,3} exactly the encoded subset:
+        // {} -> rows {4},{};  {1,2} -> rows [1,2];  {1,2,3} -> rows [1,2,3] and [1,2,3,4].
+        assert_eq!(bins[0b000], 2);
+        assert_eq!(bins[0b011], 1);
+        assert_eq!(bins[0b111], 2);
+        assert_eq!(bins[0b110], 1); // {2,3} -> row [2,3]
+        assert_eq!(bins[0b001], 0);
+    }
+
+    #[test]
+    fn bin_histogram_handles_unindexed_items_and_empty_basis() {
+        let db = sample_db();
+        let idx = VerticalIndex::build(&db);
+        assert_eq!(idx.bin_histogram(&set(&[])), vec![6]);
+        // Item 9 never occurs: its bit is always 0, so odd masks are empty.
+        let bins = idx.bin_histogram(&set(&[1, 9]));
+        assert_eq!(bins[0b10], 0);
+        assert_eq!(bins[0b11], 0);
+        assert_eq!(bins[0b01], db.support(&set(&[1])) as u64);
+    }
+
+    #[test]
+    fn bin_histogram_crosses_word_boundaries() {
+        // 300 transactions spanning 5 words; transaction t contains item 0 iff t % 2 == 0
+        // and item 1 iff t % 3 == 0.
+        let transactions: Vec<Vec<u32>> = (0..300)
+            .map(|t| {
+                let mut row = Vec::new();
+                if t % 2 == 0 {
+                    row.push(0);
+                }
+                if t % 3 == 0 {
+                    row.push(1);
+                }
+                row
+            })
+            .collect();
+        let db = TransactionDb::from_transactions(transactions);
+        let idx = VerticalIndex::build(&db);
+        let bins = idx.bin_histogram(&set(&[0, 1]));
+        assert_eq!(bins[0b11], 50); // multiples of 6
+        assert_eq!(bins[0b01], 100); // even, not multiple of 3
+        assert_eq!(bins[0b10], 50); // multiple of 3, odd
+        assert_eq!(bins[0b00], 100);
+    }
+
+    #[test]
+    fn restricted_build_answers_restricted_queries() {
+        let db = sample_db();
+        let idx = VerticalIndex::build_restricted(&db, &set(&[2, 4, 9]));
+        assert_eq!(idx.items(), &[2, 4]);
+        assert_eq!(idx.support(&set(&[2])), 4);
+        assert_eq!(idx.support(&set(&[1])), 0); // 1 not indexed
+    }
+
+    #[test]
+    fn project_matches_row_projection() {
+        let db = sample_db();
+        let idx = VerticalIndex::build(&db);
+        let basis = set(&[1, 4]);
+        let via_index = idx.project(&basis);
+        assert_eq!(via_index.len(), db.len());
+        assert_eq!(via_index.support(&set(&[1])), db.support(&set(&[1])));
+        assert_eq!(via_index.support(&set(&[2])), 0);
+        assert_eq!(via_index.num_distinct_items(), 2);
+    }
+
+    #[test]
+    #[cfg(feature = "parallel")]
+    fn parallel_paths_match_sequential() {
+        // The container running the tests may expose a single core, in which case the
+        // threaded build/sweep would never execute; the in-process override forces them
+        // on. Concurrently running tests seeing the override stay correct — both paths
+        // produce identical bits — and, unlike std::env::set_var, an atomic store cannot
+        // race libc getenv.
+        super::set_parallelism_override(Some(4));
+        // Big enough to clear both parallel thresholds (n >= 64 * PAR_MIN_WORDS).
+        let n = 64 * super::PAR_MIN_WORDS + 77;
+        let transactions: Vec<Vec<u32>> = (0..n)
+            .map(|t| {
+                (0..10u32)
+                    .filter(|&j| (t * 31 + j as usize * 17).is_multiple_of(j as usize + 2))
+                    .collect()
+            })
+            .collect();
+        let db = TransactionDb::from_transactions(transactions);
+        let parallel_index = VerticalIndex::build(&db);
+        let basis = set(&[0, 1, 2, 3, 4, 5]);
+        let parallel_bins = parallel_index.bin_histogram(&basis);
+
+        super::set_parallelism_override(Some(1));
+        let seq_index = VerticalIndex::build(&db);
+        let seq_bins = seq_index.bin_histogram(&basis);
+        super::set_parallelism_override(None);
+
+        assert_eq!(parallel_index.items(), seq_index.items());
+        for &item in parallel_index.items() {
+            assert_eq!(
+                parallel_index.item_bitmap(item).unwrap(),
+                seq_index.item_bitmap(item).unwrap(),
+                "bitmap mismatch for item {item}"
+            );
+        }
+        assert_eq!(parallel_bins, seq_bins);
+        assert_eq!(parallel_bins.iter().sum::<u64>(), n as u64);
+    }
+
+    #[test]
+    fn transpose8x8_roundtrip_and_known_values() {
+        // Transposing twice is the identity.
+        for x in [0u64, u64::MAX, 0x0123456789ABCDEF, 0x8040201008040201] {
+            assert_eq!(transpose8x8(transpose8x8(x)), x);
+        }
+        // The identity matrix is its own transpose.
+        assert_eq!(transpose8x8(0x8040201008040201), 0x8040201008040201);
+        // Row 0 = all ones (byte 0 = 0xFF) transposes to column 0 (bit 0 of every byte).
+        assert_eq!(transpose8x8(0xFF), 0x0101010101010101);
+    }
+
+    #[test]
+    fn dense_blocks_take_the_transpose_path_and_agree() {
+        // 256 transactions, every one intersecting the basis: forces the dense path on
+        // all full blocks; compare against a brute-force partition.
+        let transactions: Vec<Vec<u32>> = (0..250)
+            .map(|t| {
+                (0..8u32)
+                    .filter(|&j| (t >> j) & 1 == 1 || j == (t % 8) as u32)
+                    .collect()
+            })
+            .collect();
+        let db = TransactionDb::from_transactions(transactions);
+        let idx = VerticalIndex::build(&db);
+        let basis = ItemSet::new((0..8u32).collect());
+        let bins = idx.bin_histogram(&basis);
+        let mut expected = vec![0u64; 256];
+        for t in db.iter() {
+            let mut mask = 0usize;
+            for (bit, &item) in basis.items().iter().enumerate() {
+                if t.contains(item) {
+                    mask |= 1 << bit;
+                }
+            }
+            expected[mask] += 1;
+        }
+        assert_eq!(bins, expected);
+        assert_eq!(bins.iter().sum::<u64>(), 250);
+    }
+
+    #[test]
+    fn empty_database_index() {
+        let db = TransactionDb::from_transactions(Vec::<Vec<u32>>::new());
+        let idx = VerticalIndex::build(&db);
+        assert_eq!(idx.num_transactions(), 0);
+        assert_eq!(idx.support(&set(&[1])), 0);
+        assert_eq!(idx.support(&set(&[])), 0);
+        assert_eq!(idx.bin_histogram(&set(&[1])), vec![0, 0]);
+    }
+}

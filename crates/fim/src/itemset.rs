@@ -181,7 +181,10 @@ impl ItemSet {
     /// basis length at 12).
     pub fn subsets(&self) -> Vec<ItemSet> {
         let n = self.items.len();
-        assert!(n < usize::BITS as usize, "itemset too large to enumerate subsets");
+        assert!(
+            n < usize::BITS as usize,
+            "itemset too large to enumerate subsets"
+        );
         let mut out = Vec::with_capacity(1usize << n);
         for mask in 0..(1usize << n) {
             let mut subset = Vec::with_capacity(mask.count_ones() as usize);
@@ -217,7 +220,9 @@ fn combinations(
     out: &mut Vec<ItemSet>,
 ) {
     if current.len() == size {
-        out.push(ItemSet { items: current.clone() });
+        out.push(ItemSet {
+            items: current.clone(),
+        });
         return;
     }
     let needed = size - current.len();

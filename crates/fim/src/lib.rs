@@ -4,6 +4,8 @@
 //! PrivBasis reproduction is built on:
 //!
 //! * a compact transaction database representation ([`TransactionDb`], [`ItemSet`]),
+//! * a vertical bitmap index ([`VerticalIndex`]) that turns support counting, pair
+//!   counting, and the `BasisFreq` bin histogram into word-parallel AND/popcount kernels,
 //! * two reference miners — level-wise [`apriori`] and tree-based [`fpgrowth`] —
 //!   that are tested against each other,
 //! * top-`k` mining and threshold mining helpers ([`topk`]),
@@ -36,8 +38,10 @@
 #![warn(missing_docs)]
 
 pub mod apriori;
+pub mod bitmap;
 pub mod eclat;
 pub mod fpgrowth;
+pub mod index;
 pub mod io;
 pub mod itemset;
 pub mod maximal;
@@ -46,6 +50,8 @@ pub mod stats;
 pub mod topk;
 pub mod transaction;
 
+pub use bitmap::Bitmap;
+pub use index::VerticalIndex;
 pub use itemset::{Item, ItemSet};
 pub use rules::AssociationRule;
 pub use topk::FrequentItemset;

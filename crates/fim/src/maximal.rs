@@ -17,11 +17,19 @@ use crate::transaction::TransactionDb;
 pub fn maximal_itemsets(frequent: &[FrequentItemset]) -> Vec<FrequentItemset> {
     let mut sorted: Vec<&FrequentItemset> = frequent.iter().collect();
     // Longest first: a set can only be covered by a longer one.
-    sorted.sort_unstable_by(|a, b| b.items.len().cmp(&a.items.len()).then(a.items.cmp(&b.items)));
+    sorted.sort_unstable_by(|a, b| {
+        b.items
+            .len()
+            .cmp(&a.items.len())
+            .then(a.items.cmp(&b.items))
+    });
 
     let mut maximal: Vec<FrequentItemset> = Vec::new();
     for f in sorted {
-        if !maximal.iter().any(|m| f.items.is_subset_of(&m.items) && f.items != m.items) {
+        if !maximal
+            .iter()
+            .any(|m| f.items.is_subset_of(&m.items) && f.items != m.items)
+        {
             maximal.push(f.clone());
         }
     }

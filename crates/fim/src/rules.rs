@@ -54,7 +54,10 @@ pub fn generate_rules(
         return Vec::new();
     }
     let n = num_transactions as f64;
-    let freq: HashMap<&ItemSet, f64> = itemsets.iter().map(|f| (&f.items, f.count as f64 / n)).collect();
+    let freq: HashMap<&ItemSet, f64> = itemsets
+        .iter()
+        .map(|f| (&f.items, f.count as f64 / n))
+        .collect();
 
     let mut rules = Vec::new();
     for f in itemsets {
@@ -136,7 +139,9 @@ mod tests {
         // {2} => {1}: support({1,2}) = 4/8, support({2}) = 5/8 -> confidence 0.8.
         let rule = rules
             .iter()
-            .find(|r| r.antecedent == ItemSet::singleton(2) && r.consequent == ItemSet::singleton(1))
+            .find(|r| {
+                r.antecedent == ItemSet::singleton(2) && r.consequent == ItemSet::singleton(1)
+            })
             .expect("rule {2} => {1} should be present");
         assert!((rule.support - 0.5).abs() < 1e-12);
         assert!((rule.confidence - 0.8).abs() < 1e-12);

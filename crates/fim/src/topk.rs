@@ -40,7 +40,11 @@ impl FrequentItemset {
 /// matching the ordering used by both miners, so repeated calls return the same answer.
 /// Returns fewer than `k` itemsets only if the database contains fewer distinct itemsets with
 /// non-zero support.
-pub fn top_k_itemsets(db: &TransactionDb, k: usize, max_len: Option<usize>) -> Vec<FrequentItemset> {
+pub fn top_k_itemsets(
+    db: &TransactionDb,
+    k: usize,
+    max_len: Option<usize>,
+) -> Vec<FrequentItemset> {
     if k == 0 || db.is_empty() {
         return Vec::new();
     }

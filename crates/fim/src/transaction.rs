@@ -4,8 +4,9 @@
 //! counting primitives the rest of the workspace needs: itemset support, per-item counts,
 //! pair counts restricted to a subset of items, and projections onto a basis.
 
+use crate::index::VerticalIndex;
 use crate::itemset::{Item, ItemSet};
-use std::collections::HashMap;
+use std::collections::{BTreeSet, HashMap};
 
 /// An in-memory transaction database.
 ///
@@ -14,8 +15,9 @@ use std::collections::HashMap;
 #[derive(Clone, Debug, Default)]
 pub struct TransactionDb {
     transactions: Vec<ItemSet>,
-    /// Cached number of distinct items (max item id + 1 is *not* used; we count distinct ids).
-    num_distinct_items: usize,
+    /// The distinct items occurring in the database, maintained incrementally so `push`
+    /// stays `O(|t| log |I|)` instead of rescanning everything.
+    distinct_items: BTreeSet<Item>,
     /// Sum of transaction lengths, cached for `avg_transaction_len`.
     total_items: usize,
 }
@@ -32,17 +34,15 @@ impl TransactionDb {
 
     /// Builds a database from already-normalised itemsets.
     pub fn from_itemsets(transactions: Vec<ItemSet>) -> Self {
-        let mut distinct = std::collections::HashSet::new();
+        let mut distinct_items = BTreeSet::new();
         let mut total_items = 0usize;
         for t in &transactions {
             total_items += t.len();
-            for item in t.iter() {
-                distinct.insert(item);
-            }
+            distinct_items.extend(t.iter());
         }
         TransactionDb {
             transactions,
-            num_distinct_items: distinct.len(),
+            distinct_items,
             total_items,
         }
     }
@@ -59,7 +59,7 @@ impl TransactionDb {
 
     /// Number of distinct items that actually occur in the database.
     pub fn num_distinct_items(&self) -> usize {
-        self.num_distinct_items
+        self.distinct_items.len()
     }
 
     /// Average transaction length (0.0 for an empty database).
@@ -83,11 +83,7 @@ impl TransactionDb {
 
     /// The set of distinct items occurring in the database, sorted.
     pub fn item_universe(&self) -> Vec<Item> {
-        let mut items: Vec<Item> = self
-            .item_counts().into_keys()
-            .collect();
-        items.sort_unstable();
-        items
+        self.distinct_items.iter().copied().collect()
     }
 
     /// Support count of a single itemset (number of transactions containing it).
@@ -159,30 +155,28 @@ impl TransactionDb {
 
     /// Projects every transaction onto `basis` (removing all items outside it).
     ///
-    /// This is the "projection onto selected dimensions" view of §4.1; it is used by tests and
-    /// examples, while the hot path in `BasisFreq` computes `t ∩ B_i` without materialising a
-    /// new database.
+    /// This is the "projection onto selected dimensions" view of §4.1. It is routed
+    /// through a basis-restricted [`VerticalIndex`]: one pass builds a bitmap per basis
+    /// item, then each bitmap deposits its item into the rows containing it, for a total
+    /// cost of `O(Σ|t| + Σ_{i ∈ basis} support(i))` — independent of how the basis items
+    /// are positioned inside each row.
     pub fn project(&self, basis: &ItemSet) -> TransactionDb {
-        let projected: Vec<ItemSet> = self
-            .transactions
-            .iter()
-            .map(|t| t.intersect(basis))
-            .collect();
-        TransactionDb::from_itemsets(projected)
+        VerticalIndex::build_restricted(self, basis).project(basis)
+    }
+
+    /// Builds a [`VerticalIndex`] (item → transaction-id bitmap) over this database.
+    ///
+    /// The index answers `support`/`supports`/`pair_counts` with AND/popcount kernels and
+    /// is what the counting hot paths (Apriori levels, Eclat, `BasisFreq`) run on.
+    pub fn vertical_index(&self) -> VerticalIndex {
+        VerticalIndex::build(self)
     }
 
     /// Adds one transaction (used by tests exercising neighbouring-database sensitivity).
     pub fn push(&mut self, t: ItemSet) {
         self.total_items += t.len();
+        self.distinct_items.extend(t.iter());
         self.transactions.push(t);
-        // Distinct item count must be recomputed lazily; do it eagerly for simplicity.
-        let mut distinct = std::collections::HashSet::new();
-        for t in &self.transactions {
-            for item in t.iter() {
-                distinct.insert(item);
-            }
-        }
-        self.num_distinct_items = distinct.len();
     }
 }
 

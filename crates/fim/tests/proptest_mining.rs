@@ -7,8 +7,8 @@ use pb_fim::apriori::apriori;
 use pb_fim::eclat::eclat;
 use pb_fim::fpgrowth::fpgrowth;
 use pb_fim::itemset::ItemSet;
-use pb_fim::rules::generate_rules;
 use pb_fim::maximal::{covers_all, maximal_itemsets};
+use pb_fim::rules::generate_rules;
 use pb_fim::topk::top_k_itemsets;
 use pb_fim::TransactionDb;
 use proptest::prelude::*;

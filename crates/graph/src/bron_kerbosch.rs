@@ -63,7 +63,11 @@ fn bron_kerbosch_pivot(
     let pivot_neighbours = graph.neighbours(pivot);
 
     // Iterate over P \ N(pivot). Collect first because P is mutated in the loop.
-    let candidates: Vec<Node> = p.iter().copied().filter(|v| !pivot_neighbours.contains(v)).collect();
+    let candidates: Vec<Node> = p
+        .iter()
+        .copied()
+        .filter(|v| !pivot_neighbours.contains(v))
+        .collect();
 
     let mut p = p;
     let mut x = x;
@@ -154,7 +158,10 @@ mod tests {
     #[test]
     fn path_graph_cliques_are_edges() {
         let g = UndirectedGraph::from_edges([(1, 2), (2, 3), (3, 4)]);
-        assert_eq!(maximal_cliques(&g), vec![vec![1, 2], vec![2, 3], vec![3, 4]]);
+        assert_eq!(
+            maximal_cliques(&g),
+            vec![vec![1, 2], vec![2, 3], vec![3, 4]]
+        );
     }
 
     #[test]
@@ -178,17 +185,27 @@ mod tests {
         let mut g = UndirectedGraph::from_edges([(1, 2), (2, 3), (1, 3)]);
         g.add_node(9);
         assert_eq!(maximal_cliques_with_min_size(&g, 2), vec![vec![1, 2, 3]]);
-        assert_eq!(maximal_cliques_with_min_size(&g, 4), Vec::<Vec<Node>>::new());
+        assert_eq!(
+            maximal_cliques_with_min_size(&g, 4),
+            Vec::<Vec<Node>>::new()
+        );
     }
 
     #[test]
     fn pivoting_matches_naive_on_moussaka_graph() {
         // The well-known 6-node example from Wikipedia's Bron–Kerbosch article.
-        let g = UndirectedGraph::from_edges([(1, 2), (1, 5), (2, 3), (2, 5), (3, 4), (4, 5), (4, 6)]);
+        let g =
+            UndirectedGraph::from_edges([(1, 2), (1, 5), (2, 3), (2, 5), (3, 4), (4, 5), (4, 6)]);
         assert_eq!(maximal_cliques(&g), maximal_cliques_naive(&g));
         assert_eq!(
             maximal_cliques(&g),
-            vec![vec![1, 2, 5], vec![2, 3], vec![3, 4], vec![4, 5], vec![4, 6]]
+            vec![
+                vec![1, 2, 5],
+                vec![2, 3],
+                vec![3, 4],
+                vec![4, 5],
+                vec![4, 6]
+            ]
         );
     }
 

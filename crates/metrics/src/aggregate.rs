@@ -35,11 +35,19 @@ impl Summary {
 pub fn mean_and_stderr(values: &[f64]) -> Summary {
     let n = values.len();
     if n == 0 {
-        return Summary { n: 0, mean: 0.0, std_error: 0.0 };
+        return Summary {
+            n: 0,
+            mean: 0.0,
+            std_error: 0.0,
+        };
     }
     let mean = values.iter().sum::<f64>() / n as f64;
     if n == 1 {
-        return Summary { n, mean, std_error: 0.0 };
+        return Summary {
+            n,
+            mean,
+            std_error: 0.0,
+        };
     }
     let var = values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / (n as f64 - 1.0);
     Summary {

@@ -15,7 +15,10 @@ pub fn precision(truth: &[FrequentItemset], published: &[PublishedItemset]) -> f
         return 0.0;
     }
     let truth_set: HashSet<&ItemSet> = truth.iter().map(|t| &t.items).collect();
-    let hits = published.iter().filter(|p| truth_set.contains(&p.items)).count();
+    let hits = published
+        .iter()
+        .filter(|p| truth_set.contains(&p.items))
+        .count();
     hits as f64 / published.len() as f64
 }
 

@@ -32,7 +32,9 @@ pub fn candidate_set_size(num_items: usize, m: usize) -> f64 {
 ///
 /// Returns `f64::NEG_INFINITY` when the candidate set is empty.
 pub fn ln_candidate_set_size(num_items: usize, m: usize) -> f64 {
-    let terms: Vec<f64> = (1..=m.min(num_items)).map(|i| ln_binomial(num_items, i)).collect();
+    let terms: Vec<f64> = (1..=m.min(num_items))
+        .map(|i| ln_binomial(num_items, i))
+        .collect();
     if terms.is_empty() {
         return f64::NEG_INFINITY;
     }

@@ -18,7 +18,10 @@ use pb_fim::TransactionDb;
 pub fn gamma(k: usize, epsilon: f64, n: usize, rho: f64, num_items: usize, m: usize) -> f64 {
     assert!(k > 0, "k must be positive");
     assert!(n > 0, "n must be positive");
-    assert!(epsilon.is_finite() && epsilon > 0.0, "epsilon must be positive and finite");
+    assert!(
+        epsilon.is_finite() && epsilon > 0.0,
+        "epsilon must be positive and finite"
+    );
     assert!(rho > 0.0 && rho < 1.0, "rho must be in (0,1)");
     let ln_u = ln_candidate_set_size(num_items, m).max(0.0);
     (4.0 * k as f64 / (epsilon * n as f64)) * ((k as f64 / rho).ln() + ln_u)
@@ -108,7 +111,9 @@ mod tests {
     fn analysis_detects_ineffective_truncation() {
         // A tiny dataset: N = 100, so γ is enormous relative to any frequency.
         let db = TransactionDb::from_transactions(
-            (0..100).map(|i| vec![i % 5, 5 + (i % 3)]).collect::<Vec<_>>(),
+            (0..100)
+                .map(|i| vec![i % 5, 5 + (i % 3)])
+                .collect::<Vec<_>>(),
         );
         let a = GammaAnalysis::compute(&db, 50, 2, 0.5, 0.9, 10_000);
         assert!(!a.is_truncation_effective());

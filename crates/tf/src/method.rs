@@ -159,7 +159,10 @@ pub fn suggest_m(
     universe_size: usize,
     max_m: usize,
 ) -> usize {
-    let truth: HashSet<ItemSet> = top_k_itemsets(db, k, None).into_iter().map(|f| f.items).collect();
+    let truth: HashSet<ItemSet> = top_k_itemsets(db, k, None)
+        .into_iter()
+        .map(|f| f.items)
+        .collect();
     let stats = top_k_stats(db, k);
     let _ = stats;
     let mut best_m = 1usize;

@@ -57,7 +57,10 @@ pub fn select_top_k_exponential<R: Rng + ?Sized>(
     assert!(universe_size > 0, "universe must contain at least one item");
 
     if epsilon_total.is_infinite() {
-        return top_k_itemsets(db, k, Some(m)).into_iter().map(|f| f.items).collect();
+        return top_k_itemsets(db, k, Some(m))
+            .into_iter()
+            .map(|f| f.items)
+            .collect();
     }
     let eps_total = epsilon_total.value();
     let n = db.len().max(1);
@@ -104,10 +107,14 @@ pub fn select_top_k_exponential<R: Rng + ?Sized>(
     while selected.len() < k {
         // Renormalise per draw: the exponential mechanism at this step is over the *remaining*
         // candidates, so the stabilising maximum must be recomputed after removals.
-        let q_max = available
-            .iter()
-            .map(|&(_, c)| c)
-            .fold(if implicit_remaining >= 1.0 { trunc_count } else { f64::NEG_INFINITY }, f64::max);
+        let q_max = available.iter().map(|&(_, c)| c).fold(
+            if implicit_remaining >= 1.0 {
+                trunc_count
+            } else {
+                f64::NEG_INFINITY
+            },
+            f64::max,
+        );
         if q_max == f64::NEG_INFINITY {
             break;
         }
@@ -304,7 +311,10 @@ mod tests {
         let mut rng = StdRng::seed_from_u64(1);
         let picked =
             select_top_k_exponential(&mut rng, &db, 5, 2, 0.9, Epsilon::Infinite, 10, 1_000);
-        let truth: Vec<ItemSet> = top_k_itemsets(&db, 5, Some(2)).into_iter().map(|f| f.items).collect();
+        let truth: Vec<ItemSet> = top_k_itemsets(&db, 5, Some(2))
+            .into_iter()
+            .map(|f| f.items)
+            .collect();
         assert_eq!(picked, truth);
     }
 
@@ -312,16 +322,8 @@ mod tests {
     fn returns_k_distinct_itemsets_within_length() {
         let db = skewed_db(2_000);
         let mut rng = StdRng::seed_from_u64(2);
-        let picked = select_top_k_exponential(
-            &mut rng,
-            &db,
-            10,
-            2,
-            0.9,
-            Epsilon::Finite(1.0),
-            50,
-            1_000,
-        );
+        let picked =
+            select_top_k_exponential(&mut rng, &db, 10, 2, 0.9, Epsilon::Finite(1.0), 50, 1_000);
         assert_eq!(picked.len(), 10);
         let distinct: HashSet<&ItemSet> = picked.iter().collect();
         assert_eq!(distinct.len(), 10);
@@ -331,19 +333,13 @@ mod tests {
     #[test]
     fn large_epsilon_recovers_most_of_the_true_topk() {
         let db = skewed_db(20_000);
-        let truth: HashSet<ItemSet> =
-            top_k_itemsets(&db, 5, Some(2)).into_iter().map(|f| f.items).collect();
+        let truth: HashSet<ItemSet> = top_k_itemsets(&db, 5, Some(2))
+            .into_iter()
+            .map(|f| f.items)
+            .collect();
         let mut rng = StdRng::seed_from_u64(3);
-        let picked = select_top_k_exponential(
-            &mut rng,
-            &db,
-            5,
-            2,
-            0.9,
-            Epsilon::Finite(10.0),
-            10,
-            1_000,
-        );
+        let picked =
+            select_top_k_exponential(&mut rng, &db, 5, 2, 0.9, Epsilon::Finite(10.0), 10, 1_000);
         let hits = picked.iter().filter(|s| truth.contains(*s)).count();
         assert!(hits >= 4, "only {hits} of 5 true itemsets recovered");
     }
@@ -352,16 +348,8 @@ mod tests {
     fn tiny_epsilon_behaves_and_still_returns_k() {
         let db = skewed_db(500);
         let mut rng = StdRng::seed_from_u64(4);
-        let picked = select_top_k_exponential(
-            &mut rng,
-            &db,
-            8,
-            2,
-            0.9,
-            Epsilon::Finite(0.01),
-            100,
-            1_000,
-        );
+        let picked =
+            select_top_k_exponential(&mut rng, &db, 8, 2, 0.9, Epsilon::Finite(0.01), 100, 1_000);
         assert_eq!(picked.len(), 8);
     }
 
@@ -370,16 +358,8 @@ mod tests {
         let db = skewed_db(2_000);
         let mut rng = StdRng::seed_from_u64(5);
         // Cap of 2 explicit candidates: selection still returns k itemsets.
-        let picked = select_top_k_exponential(
-            &mut rng,
-            &db,
-            6,
-            2,
-            0.9,
-            Epsilon::Finite(1.0),
-            40,
-            2,
-        );
+        let picked =
+            select_top_k_exponential(&mut rng, &db, 6, 2, 0.9, Epsilon::Finite(1.0), 40, 2);
         assert_eq!(picked.len(), 6);
     }
 
@@ -398,7 +378,9 @@ mod tests {
     fn laplace_variant_refuses_huge_universe() {
         let db = skewed_db(100);
         let mut rng = StdRng::seed_from_u64(7);
-        assert!(select_top_k_laplace(&mut rng, &db, 5, 3, 0.9, Epsilon::Finite(1.0), 100_000).is_none());
+        assert!(
+            select_top_k_laplace(&mut rng, &db, 5, 3, 0.9, Epsilon::Finite(1.0), 100_000).is_none()
+        );
     }
 
     #[test]
@@ -406,7 +388,10 @@ mod tests {
         let db = skewed_db(1_000);
         let mut rng = StdRng::seed_from_u64(8);
         let picked = select_top_k_laplace(&mut rng, &db, 4, 2, 0.9, Epsilon::Infinite, 8).unwrap();
-        let truth: Vec<ItemSet> = top_k_itemsets(&db, 4, Some(2)).into_iter().map(|f| f.items).collect();
+        let truth: Vec<ItemSet> = top_k_itemsets(&db, 4, Some(2))
+            .into_iter()
+            .map(|f| f.items)
+            .collect();
         assert_eq!(picked, truth);
     }
 

@@ -26,7 +26,10 @@ fn main() {
 
     let epsilon = 1.0;
     let pb = PrivBasis::with_defaults();
-    println!("{:>5}  {:>4}  {:>12}  {:>8}  {:>8}", "k", "λ", "basis (w×ℓ)", "|C(B)|", "FNR");
+    println!(
+        "{:>5}  {:>4}  {:>12}  {:>8}  {:>8}",
+        "k", "λ", "basis (w×ℓ)", "|C(B)|", "FNR"
+    );
 
     for &k in &[25usize, 50, 100] {
         let truth = top_k_itemsets(&db, k, None);

@@ -27,7 +27,10 @@ fn main() {
     );
 
     let truth = top_k_itemsets(&db, k, None);
-    println!("true top-{k}: f_k = {:.4}\n", truth.last().map(|f| f.frequency(db.len())).unwrap_or(0.0));
+    println!(
+        "true top-{k}: f_k = {:.4}\n",
+        truth.last().map(|f| f.frequency(db.len())).unwrap_or(0.0)
+    );
     println!("{:>6}  {:>8}  {:>10}", "ε", "FNR", "rel. err");
 
     let pb = PrivBasis::with_defaults();
@@ -48,7 +51,12 @@ fn main() {
             fnr_acc += false_negative_rate(&truth, &published);
             re_acc += relative_error(&db, &published);
         }
-        println!("{:>6.2}  {:>8.3}  {:>10.3}", epsilon, fnr_acc / reps as f64, re_acc / reps as f64);
+        println!(
+            "{:>6.2}  {:>8.3}  {:>10.3}",
+            epsilon,
+            fnr_acc / reps as f64,
+            re_acc / reps as f64
+        );
     }
 
     println!("\nFNR falls and the counts sharpen as ε grows — the privacy/utility trade-off of Figure 3.");

@@ -32,13 +32,22 @@ fn main() {
 
     let k = 6;
     let epsilon = 1.0;
-    println!("database: {} transactions, {} items", db.len(), db.num_distinct_items());
+    println!(
+        "database: {} transactions, {} items",
+        db.len(),
+        db.num_distinct_items()
+    );
     println!("publishing the top-{k} itemsets with ε = {epsilon}\n");
 
     // Exact answer, for reference (this is what a non-private miner would return).
     println!("exact top-{k}:");
     for f in top_k_itemsets(&db, k, None) {
-        println!("  {:<12} support {:>5}  frequency {:.3}", pretty(&f.items, &names), f.count, f.frequency(db.len()));
+        println!(
+            "  {:<12} support {:>5}  frequency {:.3}",
+            pretty(&f.items, &names),
+            f.count,
+            f.frequency(db.len())
+        );
     }
 
     // Differentially private answer.
@@ -47,7 +56,12 @@ fn main() {
         .run(&mut rng, &db, k, Epsilon::Finite(epsilon))
         .expect("parameters are valid");
 
-    println!("\nPrivBasis (ε = {epsilon}):  λ = {}, basis width {} / length {}", out.lambda, out.basis_set.width(), out.basis_set.length());
+    println!(
+        "\nPrivBasis (ε = {epsilon}):  λ = {}, basis width {} / length {}",
+        out.lambda,
+        out.basis_set.width(),
+        out.basis_set.length()
+    );
     for (itemset, noisy_count) in &out.itemsets {
         println!(
             "  {:<12} noisy support {:>8.1}  noisy frequency {:.3}",

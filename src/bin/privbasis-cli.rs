@@ -3,12 +3,13 @@
 //!
 //! ```text
 //! privbasis-cli --input retail.dat --k 100 --epsilon 1.0 [--method pb|tf] [--seed 42]
-//!               [--m 2] [--rules 0.8] [--tsv]
+//!               [--m 2] [--rules 0.8] [--tsv] [--no-index]
 //! ```
 //!
 //! The input format is the FIMI repository format the paper's datasets are distributed in:
 //! one transaction per line, items as whitespace-separated non-negative integers.
 
+use privbasis::core::PrivBasisParams;
 use privbasis::dp::Epsilon;
 use privbasis::fim::io::read_fimi_file;
 use privbasis::fim::rules::generate_rules_from_noisy;
@@ -36,19 +37,23 @@ struct Options {
     tf_m: usize,
     rules_min_confidence: Option<f64>,
     tsv: bool,
+    no_index: bool,
 }
 
 const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <EPS>\n\
        [--method pb|tf] [--m <M>] [--seed <SEED>] [--rules <MIN_CONFIDENCE>] [--tsv]\n\
+       [--no-index]\n\
 \n\
-  --input   FIMI-format transaction file (one transaction per line, integer items)\n\
-  --k       number of itemsets to publish\n\
-  --epsilon total differential-privacy budget (use `inf` for a noiseless dry run)\n\
-  --method  pb (PrivBasis, default) or tf (Truncated Frequency baseline)\n\
-  --m       TF length cap (default 2; ignored for pb)\n\
-  --seed    RNG seed (default 42)\n\
-  --rules   also print association rules from the noisy release at this confidence\n\
-  --tsv     machine-readable tab-separated output";
+  --input    FIMI-format transaction file (one transaction per line, integer items)\n\
+  --k        number of itemsets to publish\n\
+  --epsilon  total differential-privacy budget (use `inf` for a noiseless dry run)\n\
+  --method   pb (PrivBasis, default) or tf (Truncated Frequency baseline)\n\
+  --m        TF length cap (default 2; ignored for pb)\n\
+  --seed     RNG seed (default 42)\n\
+  --rules    also print association rules from the noisy release at this confidence\n\
+  --tsv      machine-readable tab-separated output\n\
+  --no-index count with row scans instead of the vertical bitmap index (slower;\n\
+             same output for the same seed; ignored for tf)";
 
 /// Parses arguments; returns `Err(message)` on any problem.
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -60,23 +65,33 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut tf_m = 2usize;
     let mut rules_min_confidence = None;
     let mut tsv = false;
+    let mut no_index = false;
 
     let mut i = 0;
     while i < args.len() {
         let flag = args[i].as_str();
         let mut value = |name: &str| -> Result<String, String> {
             i += 1;
-            args.get(i).cloned().ok_or_else(|| format!("{name} needs a value"))
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
         };
         match flag {
             "--input" => input = Some(value("--input")?),
-            "--k" => k = Some(value("--k")?.parse().map_err(|_| "--k must be a positive integer".to_string())?),
+            "--k" => {
+                k = Some(
+                    value("--k")?
+                        .parse()
+                        .map_err(|_| "--k must be a positive integer".to_string())?,
+                )
+            }
             "--epsilon" => {
                 let raw = value("--epsilon")?;
                 epsilon = Some(if raw == "inf" {
                     f64::INFINITY
                 } else {
-                    raw.parse().map_err(|_| "--epsilon must be a number or `inf`".to_string())?
+                    raw.parse()
+                        .map_err(|_| "--epsilon must be a number or `inf`".to_string())?
                 });
             }
             "--method" => {
@@ -86,13 +101,25 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
                     other => return Err(format!("unknown method `{other}` (expected pb or tf)")),
                 }
             }
-            "--seed" => seed = value("--seed")?.parse().map_err(|_| "--seed must be an integer".to_string())?,
-            "--m" => tf_m = value("--m")?.parse().map_err(|_| "--m must be a positive integer".to_string())?,
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            "--m" => {
+                tf_m = value("--m")?
+                    .parse()
+                    .map_err(|_| "--m must be a positive integer".to_string())?
+            }
             "--rules" => {
-                rules_min_confidence =
-                    Some(value("--rules")?.parse().map_err(|_| "--rules must be a confidence in [0,1]".to_string())?)
+                rules_min_confidence = Some(
+                    value("--rules")?
+                        .parse()
+                        .map_err(|_| "--rules must be a confidence in [0,1]".to_string())?,
+                )
             }
             "--tsv" => tsv = true,
+            "--no-index" => no_index = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
@@ -105,7 +132,8 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if k == 0 {
         return Err("--k must be at least 1".to_string());
     }
-    if !(epsilon > 0.0) {
+    // NaN must be rejected along with non-positive values.
+    if epsilon.is_nan() || epsilon <= 0.0 {
         return Err("--epsilon must be positive".to_string());
     }
     if let Some(c) = rules_min_confidence {
@@ -116,7 +144,17 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if tf_m == 0 {
         return Err("--m must be at least 1".to_string());
     }
-    Ok(Options { input, k, epsilon, method, seed, tf_m, rules_min_confidence, tsv })
+    Ok(Options {
+        input,
+        k,
+        epsilon,
+        method,
+        seed,
+        tf_m,
+        rules_min_confidence,
+        tsv,
+        no_index,
+    })
 }
 
 fn run(options: &Options, db: &TransactionDb) -> Result<Vec<(ItemSet, f64)>, String> {
@@ -124,7 +162,11 @@ fn run(options: &Options, db: &TransactionDb) -> Result<Vec<(ItemSet, f64)>, Str
     let mut rng = StdRng::seed_from_u64(options.seed);
     match options.method {
         Method::PrivBasis => {
-            let out = PrivBasis::with_defaults()
+            let params = PrivBasisParams {
+                use_index: !options.no_index,
+                ..Default::default()
+            };
+            let out = PrivBasis::new(params)
                 .run(&mut rng, db, options.k, epsilon)
                 .map_err(|e| e.to_string())?;
             Ok(out.itemsets)
@@ -178,12 +220,20 @@ fn main() -> ExitCode {
         println!("itemset\tnoisy_count\tnoisy_frequency");
         for (itemset, count) in &published {
             let items: Vec<String> = itemset.iter().map(|i| i.to_string()).collect();
-            println!("{}\t{:.3}\t{:.6}", items.join(" "), count, count / db.len() as f64);
+            println!(
+                "{}\t{:.3}\t{:.6}",
+                items.join(" "),
+                count,
+                count / db.len() as f64
+            );
         }
     } else {
         println!("top-{} itemsets under ε = {}:", options.k, options.epsilon);
         for (itemset, count) in &published {
-            println!("  {itemset}  count ≈ {count:.1}  frequency ≈ {:.4}", count / db.len() as f64);
+            println!(
+                "  {itemset}  count ≈ {count:.1}  frequency ≈ {:.4}",
+                count / db.len() as f64
+            );
         }
     }
 
@@ -194,7 +244,14 @@ fn main() -> ExitCode {
             for r in &rules {
                 let a: Vec<String> = r.antecedent.iter().map(|i| i.to_string()).collect();
                 let c: Vec<String> = r.consequent.iter().map(|i| i.to_string()).collect();
-                println!("{}\t{}\t{:.4}\t{:.4}\t{:.3}", a.join(" "), c.join(" "), r.support, r.confidence, r.lift);
+                println!(
+                    "{}\t{}\t{:.4}\t{:.4}\t{:.3}",
+                    a.join(" "),
+                    c.join(" "),
+                    r.support,
+                    r.confidence,
+                    r.lift
+                );
             }
         } else {
             println!("\nassociation rules (confidence ≥ {min_confidence}):");
@@ -216,20 +273,43 @@ mod tests {
 
     #[test]
     fn parses_minimal_arguments() {
-        let o = parse_args(&args(&["--input", "x.dat", "--k", "10", "--epsilon", "0.5"])).unwrap();
+        let o = parse_args(&args(&[
+            "--input",
+            "x.dat",
+            "--k",
+            "10",
+            "--epsilon",
+            "0.5",
+        ]))
+        .unwrap();
         assert_eq!(o.input, "x.dat");
         assert_eq!(o.k, 10);
         assert_eq!(o.epsilon, 0.5);
         assert_eq!(o.method, Method::PrivBasis);
         assert!(!o.tsv);
+        assert!(!o.no_index);
         assert_eq!(o.seed, 42);
     }
 
     #[test]
     fn parses_all_flags() {
         let o = parse_args(&args(&[
-            "--input", "x.dat", "--k", "5", "--epsilon", "inf", "--method", "tf", "--m", "3",
-            "--seed", "7", "--rules", "0.8", "--tsv",
+            "--input",
+            "x.dat",
+            "--k",
+            "5",
+            "--epsilon",
+            "inf",
+            "--method",
+            "tf",
+            "--m",
+            "3",
+            "--seed",
+            "7",
+            "--rules",
+            "0.8",
+            "--tsv",
+            "--no-index",
         ]))
         .unwrap();
         assert_eq!(o.method, Method::TruncatedFrequency);
@@ -237,6 +317,7 @@ mod tests {
         assert_eq!(o.seed, 7);
         assert_eq!(o.rules_min_confidence, Some(0.8));
         assert!(o.tsv);
+        assert!(o.no_index);
         assert!(o.epsilon.is_infinite());
     }
 
@@ -246,8 +327,28 @@ mod tests {
         assert!(parse_args(&args(&["--input", "x", "--epsilon", "1"])).is_err());
         assert!(parse_args(&args(&["--input", "x", "--k", "0", "--epsilon", "1"])).is_err());
         assert!(parse_args(&args(&["--input", "x", "--k", "5", "--epsilon", "-1"])).is_err());
-        assert!(parse_args(&args(&["--input", "x", "--k", "5", "--epsilon", "1", "--method", "zzz"])).is_err());
-        assert!(parse_args(&args(&["--input", "x", "--k", "5", "--epsilon", "1", "--rules", "2"])).is_err());
+        assert!(parse_args(&args(&[
+            "--input",
+            "x",
+            "--k",
+            "5",
+            "--epsilon",
+            "1",
+            "--method",
+            "zzz"
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--input",
+            "x",
+            "--k",
+            "5",
+            "--epsilon",
+            "1",
+            "--rules",
+            "2"
+        ]))
+        .is_err());
         assert!(parse_args(&args(&["--bogus"])).is_err());
         assert!(parse_args(&args(&["--help"])).is_err());
     }
@@ -270,12 +371,31 @@ mod tests {
             tf_m: 2,
             rules_min_confidence: None,
             tsv: false,
+            no_index: false,
         };
         let pb = run(&base, &db).unwrap();
         assert_eq!(pb.len(), 3);
         assert!((pb[0].1 - db.support(&pb[0].0) as f64).abs() < 1e-9);
 
-        let tf = run(&Options { method: Method::TruncatedFrequency, ..base.clone() }, &db).unwrap();
+        // --no-index routes through the row-scan engine; output is identical for the seed.
+        let pb_naive = run(
+            &Options {
+                no_index: true,
+                ..base.clone()
+            },
+            &db,
+        )
+        .unwrap();
+        assert_eq!(pb, pb_naive);
+
+        let tf = run(
+            &Options {
+                method: Method::TruncatedFrequency,
+                ..base.clone()
+            },
+            &db,
+        )
+        .unwrap();
         assert_eq!(tf.len(), 3);
         let _ = std::fs::remove_file(&path);
     }

@@ -31,6 +31,42 @@ fn privbasis_noiseless_recovers_topk_on_mushroom_profile() {
 }
 
 #[test]
+fn indexed_and_naive_engines_agree_end_to_end_on_profiles() {
+    // The vertical-index engine must be a pure performance change: for the same seed the
+    // whole pipeline (λ, selection, basis construction, noisy counts, top-k) is
+    // byte-identical with and without the index, on both a dense and a sparse profile.
+    for (profile, scale, k) in [
+        (DatasetProfile::Mushroom, 0.05, 25usize),
+        (DatasetProfile::Retail, 0.02, 20usize),
+    ] {
+        let db = profile.generate(scale, 5);
+        let indexed = PrivBasis::with_defaults();
+        let naive = PrivBasis::new(PrivBasisParams {
+            use_index: false,
+            ..Default::default()
+        });
+        for seed in [1u64, 77] {
+            for eps in [Epsilon::Finite(0.5), Epsilon::Infinite] {
+                let a = indexed
+                    .run(&mut StdRng::seed_from_u64(seed), &db, k, eps)
+                    .unwrap();
+                let b = naive
+                    .run(&mut StdRng::seed_from_u64(seed), &db, k, eps)
+                    .unwrap();
+                assert_eq!(a.lambda, b.lambda);
+                assert_eq!(a.frequent_items, b.frequent_items);
+                assert_eq!(a.basis_set, b.basis_set);
+                assert_eq!(a.itemsets.len(), b.itemsets.len());
+                for ((sa, ca), (sb, cb)) in a.itemsets.iter().zip(&b.itemsets) {
+                    assert_eq!(sa, sb);
+                    assert_eq!(ca.to_bits(), cb.to_bits(), "count mismatch for {sa:?}");
+                }
+            }
+        }
+    }
+}
+
+#[test]
 fn privbasis_beats_tf_on_dense_profile_at_moderate_epsilon() {
     let db = DatasetProfile::Mushroom.generate(0.1, 9);
     let k = 50;
@@ -93,7 +129,11 @@ fn aol_like_profile_takes_multi_basis_path_with_large_lambda() {
     let out = PrivBasis::with_defaults()
         .run(&mut rng, &db, k, Epsilon::Finite(1.0))
         .unwrap();
-    assert!(out.lambda > 12, "AOL-like data should have λ ≈ k, got {}", out.lambda);
+    assert!(
+        out.lambda > 12,
+        "AOL-like data should have λ ≈ k, got {}",
+        out.lambda
+    );
     assert!(out.basis_set.width() > 1);
     assert_eq!(out.itemsets.len(), k);
 }
@@ -109,7 +149,9 @@ fn custom_parameters_flow_through() {
         ..Default::default()
     };
     let mut rng = StdRng::seed_from_u64(5);
-    let out = PrivBasis::new(params).run(&mut rng, &db, 20, Epsilon::Finite(1.0)).unwrap();
+    let out = PrivBasis::new(params)
+        .run(&mut rng, &db, 20, Epsilon::Finite(1.0))
+        .unwrap();
     assert_eq!(out.itemsets.len(), 20);
 }
 
@@ -125,5 +167,8 @@ fn tf_output_and_metrics_compose() {
     // With infinite budget TF restricted to m = 2 can only miss itemsets longer than 2.
     let fnr = false_negative_rate(&truth, &publish(&out.itemsets));
     let long_share = truth.iter().filter(|f| f.items.len() > 2).count() as f64 / k as f64;
-    assert!((fnr - long_share).abs() < 1e-9, "fnr {fnr} vs long share {long_share}");
+    assert!(
+        (fnr - long_share).abs() < 1e-9,
+        "fnr {fnr} vs long share {long_share}"
+    );
 }

@@ -1,0 +1,285 @@
+//! Workspace-local, dependency-free stand-in for the `criterion` benchmark harness.
+//!
+//! The build environment has no access to crates.io, so this crate vendors the slice of
+//! the criterion API the `pb-bench` targets use: `Criterion`, `benchmark_group` with
+//! `sample_size` / `bench_function` / `bench_with_input` / `finish`, `BenchmarkId`, and
+//! the `criterion_group!` / `criterion_main!` macros.
+//!
+//! Measurement model (simpler than upstream, same shape of output):
+//!
+//! * one warm-up call, then `sample_size` timed calls per benchmark,
+//! * the minimum / median / maximum per-call time is printed as
+//!   `group/id  time: [min median max]`,
+//! * a positional CLI argument filters benchmarks by substring (like `cargo bench -- foo`),
+//! * `--test` (passed by `cargo test --benches`) runs every benchmark exactly once,
+//! * if the `CRITERION_JSON` environment variable names a file, one JSON line per
+//!   benchmark (`{"id": ..., "median_ns": ..., ...}`) is appended to it, which is how the
+//!   repository's `BENCH_baseline.json` numbers are recorded.
+//!
+//! The absolute numbers are comparable within a run on one machine, which is all the
+//! indexed-vs-naive comparisons need.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::fmt::Display;
+use std::io::Write as _;
+use std::time::{Duration, Instant};
+
+/// Re-export of [`std::hint::black_box`] for parity with upstream criterion.
+pub use std::hint::black_box;
+
+/// The benchmark driver handed to every `criterion_group!` function.
+pub struct Criterion {
+    filter: Option<String>,
+    test_mode: bool,
+    sample_override: Option<usize>,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        // `cargo bench -- <filter>` / `cargo test --benches` pass flags we must tolerate.
+        let mut filter = None;
+        let mut test_mode = false;
+        for arg in std::env::args().skip(1) {
+            match arg.as_str() {
+                "--test" => test_mode = true,
+                "--bench" | "--quiet" | "-q" | "--verbose" | "--nocapture" => {}
+                a if a.starts_with('-') => {}
+                a => filter = Some(a.to_string()),
+            }
+        }
+        let sample_override = std::env::var("PB_BENCH_SAMPLES")
+            .ok()
+            .and_then(|s| s.parse::<usize>().ok())
+            .filter(|&n| n > 0);
+        Criterion {
+            filter,
+            test_mode,
+            sample_override,
+        }
+    }
+}
+
+impl Criterion {
+    /// Starts a named group of related benchmarks.
+    pub fn benchmark_group(&mut self, name: impl Into<String>) -> BenchmarkGroup<'_> {
+        BenchmarkGroup {
+            criterion: self,
+            name: name.into(),
+            sample_size: 100,
+        }
+    }
+}
+
+/// A named group of benchmarks sharing a sample size.
+pub struct BenchmarkGroup<'a> {
+    criterion: &'a mut Criterion,
+    name: String,
+    sample_size: usize,
+}
+
+impl BenchmarkGroup<'_> {
+    /// Sets the number of timed samples per benchmark in this group.
+    pub fn sample_size(&mut self, n: usize) -> &mut Self {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Runs one benchmark.
+    pub fn bench_function<F>(&mut self, id: impl Into<BenchmarkId>, mut f: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let id = id.into();
+        self.run(&id.label, |b| f(b));
+        self
+    }
+
+    /// Runs one benchmark that borrows a fixed input.
+    pub fn bench_with_input<I: ?Sized, F>(
+        &mut self,
+        id: impl Into<BenchmarkId>,
+        input: &I,
+        mut f: F,
+    ) -> &mut Self
+    where
+        F: FnMut(&mut Bencher, &I),
+    {
+        let id = id.into();
+        self.run(&id.label, |b| f(b, input));
+        self
+    }
+
+    /// Ends the group (upstream prints summaries here; ours prints per-benchmark).
+    pub fn finish(self) {}
+
+    fn run(&mut self, label: &str, mut f: impl FnMut(&mut Bencher)) {
+        let full = format!("{}/{}", self.name, label);
+        if let Some(filter) = &self.criterion.filter {
+            if !full.contains(filter.as_str()) {
+                return;
+            }
+        }
+        let samples = if self.criterion.test_mode {
+            1
+        } else {
+            self.criterion.sample_override.unwrap_or(self.sample_size)
+        };
+        let mut bencher = Bencher {
+            samples,
+            durations: Vec::with_capacity(samples),
+        };
+        f(&mut bencher);
+        let mut times: Vec<Duration> = bencher.durations;
+        if times.is_empty() {
+            return; // the closure never called iter()
+        }
+        times.sort_unstable();
+        let min = times[0];
+        let median = times[times.len() / 2];
+        let max = times[times.len() - 1];
+        println!(
+            "{full:<50} time: [{} {} {}]",
+            format_duration(min),
+            format_duration(median),
+            format_duration(max)
+        );
+        if let Ok(path) = std::env::var("CRITERION_JSON") {
+            if let Ok(mut file) = std::fs::OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(path)
+            {
+                let _ = writeln!(
+                    file,
+                    "{{\"id\": \"{full}\", \"samples\": {}, \"min_ns\": {}, \"median_ns\": {}, \"max_ns\": {}}}",
+                    times.len(),
+                    min.as_nanos(),
+                    median.as_nanos(),
+                    max.as_nanos()
+                );
+            }
+        }
+    }
+}
+
+/// Times the benchmarked closure.
+pub struct Bencher {
+    samples: usize,
+    durations: Vec<Duration>,
+}
+
+impl Bencher {
+    /// Runs `f` once for warm-up and then `sample_size` timed times.
+    pub fn iter<O, F: FnMut() -> O>(&mut self, mut f: F) {
+        black_box(f()); // warm-up, untimed
+        for _ in 0..self.samples {
+            let start = Instant::now();
+            black_box(f());
+            self.durations.push(start.elapsed());
+        }
+    }
+}
+
+/// Identifies one benchmark inside a group.
+#[derive(Debug, Clone)]
+pub struct BenchmarkId {
+    label: String,
+}
+
+impl BenchmarkId {
+    /// An id of the form `name/parameter`.
+    pub fn new(name: impl Display, parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: format!("{name}/{parameter}"),
+        }
+    }
+
+    /// An id that is just the parameter (for groups sweeping one variable).
+    pub fn from_parameter(parameter: impl Display) -> Self {
+        BenchmarkId {
+            label: parameter.to_string(),
+        }
+    }
+}
+
+impl From<&str> for BenchmarkId {
+    fn from(s: &str) -> Self {
+        BenchmarkId {
+            label: s.to_string(),
+        }
+    }
+}
+
+impl From<String> for BenchmarkId {
+    fn from(s: String) -> Self {
+        BenchmarkId { label: s }
+    }
+}
+
+fn format_duration(d: Duration) -> String {
+    let ns = d.as_nanos();
+    if ns < 1_000 {
+        format!("{ns} ns")
+    } else if ns < 1_000_000 {
+        format!("{:.2} µs", ns as f64 / 1e3)
+    } else if ns < 1_000_000_000 {
+        format!("{:.2} ms", ns as f64 / 1e6)
+    } else {
+        format!("{:.3} s", ns as f64 / 1e9)
+    }
+}
+
+/// Declares a benchmark group function, mirroring upstream `criterion_group!`.
+#[macro_export]
+macro_rules! criterion_group {
+    ($name:ident, $($target:path),+ $(,)?) => {
+        fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $($target(&mut criterion);)+
+        }
+    };
+}
+
+/// Declares the benchmark `main`, mirroring upstream `criterion_main!`.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn benchmark_id_formats() {
+        assert_eq!(BenchmarkId::new("zeta", 8).label, "zeta/8");
+        assert_eq!(BenchmarkId::from_parameter(100).label, "100");
+        assert_eq!(BenchmarkId::from("plain").label, "plain");
+    }
+
+    #[test]
+    fn bencher_collects_requested_samples() {
+        let mut b = Bencher {
+            samples: 5,
+            durations: Vec::new(),
+        };
+        let mut calls = 0u32;
+        b.iter(|| calls += 1);
+        assert_eq!(b.durations.len(), 5);
+        assert_eq!(calls, 6); // warm-up + 5 samples
+    }
+
+    #[test]
+    fn duration_formatting_picks_units() {
+        assert!(format_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(format_duration(Duration::from_micros(50)).ends_with("µs"));
+        assert!(format_duration(Duration::from_millis(50)).ends_with("ms"));
+        assert!(format_duration(Duration::from_secs(2)).ends_with("s"));
+    }
+}

@@ -1,0 +1,159 @@
+//! Workspace-local, dependency-free stand-in for the `proptest` crate.
+//!
+//! The build environment has no access to crates.io, so this crate vendors the slice of
+//! the proptest API the workspace's property tests use: the `proptest!` macro, the
+//! [`strategy::Strategy`] trait with `prop_map`, range and tuple strategies,
+//! `prop::collection::{vec, btree_set}`, `any::<T>()`, `ProptestConfig::with_cases`, and
+//! the `prop_assert!`/`prop_assert_eq!` macros.
+//!
+//! Differences from upstream, by design:
+//!
+//! * **No shrinking.** A failing case panics with the generated values' debug output
+//!   (via the assertion message) but is not minimised.
+//! * **Deterministic.** Case `i` of test `t` is generated from a seed derived by hashing
+//!   `(t, i)`, so failures are reproducible run-to-run without a persistence file.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod arbitrary;
+pub mod collection;
+pub mod config;
+pub mod strategy;
+
+pub mod prelude {
+    //! Glob-import surface mirroring `proptest::prelude`.
+    pub use crate::arbitrary::any;
+    pub use crate::config::ProptestConfig;
+    pub use crate::strategy::Strategy;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+
+    pub mod prop {
+        //! Module alias mirroring `proptest::prelude::prop`.
+        pub use crate::collection;
+    }
+}
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Builds the deterministic RNG for one test case (used by the `proptest!` expansion).
+#[doc(hidden)]
+pub fn __case_rng(test_name: &str, case: u32) -> StdRng {
+    // FNV-1a over the test name, mixed with the case index.
+    let mut h: u64 = 0xcbf29ce484222325;
+    for b in test_name.bytes() {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x100000001b3);
+    }
+    StdRng::seed_from_u64(h ^ ((case as u64).wrapping_mul(0x9E3779B97F4A7C15)))
+}
+
+/// Defines property tests.
+///
+/// Supported grammar (the subset upstream proptest documents and this workspace uses):
+///
+/// ```text
+/// proptest! {
+///     #![proptest_config(ProptestConfig::with_cases(64))]
+///     #[test]
+///     fn my_property(x in 0u32..10, v in prop::collection::vec(any::<bool>(), 0..8)) {
+///         prop_assert!(x < 10);
+///     }
+/// }
+/// ```
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($cfg:expr)] $($rest:tt)*) => {
+        $crate::__proptest_items! { ($cfg); $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_items! { ($crate::config::ProptestConfig::default()); $($rest)* }
+    };
+}
+
+/// Internal expansion helper for [`proptest!`]. Not part of the public API.
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_items {
+    (($cfg:expr); $($(#[$meta:meta])+ fn $name:ident ($($arg:ident in $strat:expr),+ $(,)?) $body:block)*) => {
+        $(
+            $(#[$meta])+
+            fn $name() {
+                let __config = $cfg;
+                for __case in 0..__config.cases {
+                    let mut __rng = $crate::__case_rng(stringify!($name), __case);
+                    $(let $arg = $crate::strategy::Strategy::generate(&($strat), &mut __rng);)+
+                    $body
+                }
+            }
+        )*
+    };
+}
+
+/// Asserts a condition inside a `proptest!` body (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert {
+    ($($tt:tt)*) => { assert!($($tt)*) };
+}
+
+/// Asserts equality inside a `proptest!` body (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($tt:tt)*) => { assert_eq!($($tt)*) };
+}
+
+/// Asserts inequality inside a `proptest!` body (panics on failure; no shrinking).
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($tt:tt)*) => { assert_ne!($($tt)*) };
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    fn arb_sum_pair() -> impl Strategy<Value = (u32, u32)> {
+        (0u32..100, 0u32..100)
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_respect_bounds(x in 3usize..17, y in -2.5f64..2.5) {
+            prop_assert!((3..17).contains(&x));
+            prop_assert!((-2.5..2.5).contains(&y));
+        }
+
+        #[test]
+        fn vec_strategy_respects_len(v in prop::collection::vec(0u32..5, 2..9)) {
+            prop_assert!(v.len() >= 2 && v.len() < 9);
+            prop_assert!(v.iter().all(|&x| x < 5));
+        }
+
+        #[test]
+        fn btree_set_has_exact_target_len(s in prop::collection::btree_set(0u32..50, 1..10)) {
+            prop_assert!(!s.is_empty() && s.len() < 10);
+        }
+
+        #[test]
+        fn map_and_tuples_compose(p in arb_sum_pair().prop_map(|(a, b)| a + b)) {
+            prop_assert!(p < 200);
+        }
+
+        #[test]
+        fn any_generates(b in any::<bool>(), x in any::<u64>()) {
+            // Consume the values; the property is that generation does not panic.
+            let _ = (b, x);
+        }
+    }
+
+    #[test]
+    fn cases_are_deterministic() {
+        let mut a = crate::__case_rng("t", 0);
+        let mut b = crate::__case_rng("t", 0);
+        use rand::Rng;
+        assert_eq!(a.next_u64(), b.next_u64());
+    }
+}
