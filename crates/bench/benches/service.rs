@@ -1,0 +1,62 @@
+//! Bench B6 — the pb-service cached paths vs per-query cold precomputation.
+//!
+//! Three rungs, all publishing byte-identical releases for the same seed:
+//!
+//! * `cold_build_per_query` — `PrivBasis::run`: every query pays the item-frequency scan,
+//!   the θ mining pass, and a restricted index build.
+//! * `cached_shared_index` — `PrivBasis::run_with_index` with one prebuilt full index:
+//!   what a naive cache saves. The delta is small because on large databases the θ
+//!   mining, not the index build, dominates the cold path.
+//! * `cached_query_context` — `PrivBasis::run_shared` with a `QueryContext` (what
+//!   `pb-service` actually caches per dataset): index, item ranking, and θ memo all
+//!   reused, leaving only the private mechanisms and bin counting per query.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pb_bench::quest_db;
+use pb_core::{PrivBasis, QueryContext};
+use pb_dp::Epsilon;
+use pb_fim::VerticalIndex;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::hint::black_box;
+use std::sync::Arc;
+
+fn bench_cached_vs_cold(c: &mut Criterion) {
+    let db = quest_db(100_000);
+    let pb = PrivBasis::with_defaults();
+    let k = 20;
+    let eps = Epsilon::Finite(1.0);
+    let mut group = c.benchmark_group("service/cached_vs_cold_index");
+    group.sample_size(10);
+
+    group.bench_function("cold_build_per_query", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(pb.run(&mut rng, &db, k, eps).unwrap())
+        })
+    });
+
+    let index = VerticalIndex::build(&db);
+    group.bench_function("cached_shared_index", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(
+                pb.run_with_index(&mut rng, &db, Some(&index), k, eps)
+                    .unwrap(),
+            )
+        })
+    });
+
+    let context = QueryContext::new(Arc::new(db.clone()));
+    group.bench_function("cached_query_context", |b| {
+        b.iter(|| {
+            let mut rng = StdRng::seed_from_u64(1);
+            black_box(pb.run_shared(&mut rng, &context, k, eps).unwrap())
+        })
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_cached_vs_cold);
+criterion_main!(benches);

@@ -12,6 +12,7 @@
 //! 5. **BasisFreq** (α₃ε) — noisy bin counts, reconstruction, top-`k` selection.
 
 use crate::basis::BasisSet;
+use crate::consistency::enforce_consistency;
 use crate::construct::construct_basis_set;
 use crate::freq::{basis_freq_counts_naive, basis_freq_counts_with_index, NoisyCandidateCounts};
 use crate::params::{PrivBasisParams, SelectionScale};
@@ -58,8 +59,14 @@ impl From<DpError> for PrivBasisError {
 #[derive(Debug, Clone)]
 pub struct PrivBasisOutput {
     /// The published top-`k` itemsets with their noisy support counts, descending.
+    ///
+    /// Contains `min(k, candidate_count)` entries: when λ is tiny the single-basis
+    /// candidate set `C(B)` has only `2^λ − 1` itemsets, and the release is truncated
+    /// rather than padded with itemsets nothing was counted for. Callers that need
+    /// exactly `k` rows must check [`PrivBasisOutput::candidate_count`].
     pub itemsets: Vec<(ItemSet, f64)>,
-    /// The λ estimate produced by step 1.
+    /// The *effective* λ used by steps 2–5: the step-1 estimate clamped to the number of
+    /// distinct items actually present in the database.
     pub lambda: usize,
     /// The λ₂ value used for pair selection (0 when the single-basis path was taken).
     pub lambda2: usize,
@@ -103,13 +110,88 @@ impl PrivBasis {
         k: usize,
         epsilon: Epsilon,
     ) -> Result<PrivBasisOutput, PrivBasisError> {
+        self.run_with_index(rng, db, None, k, epsilon)
+    }
+
+    /// [`PrivBasis::run`] with a caller-provided [`VerticalIndex`] over `db`.
+    ///
+    /// Long-lived callers build one full index per dataset and reuse it across queries;
+    /// passing it here skips the per-query [`VerticalIndex::build_restricted`] pass that
+    /// [`PrivBasis::run`] would otherwise do. The index must have been built over this
+    /// `db` (every item of `db` indexed — e.g. via [`VerticalIndex::build`]); a provided
+    /// index takes precedence over `params.use_index`. Output is byte-identical to
+    /// [`PrivBasis::run`] for the same seed: the noise stream and the exact integer
+    /// histograms do not depend on which index served the counts.
+    ///
+    /// The `pb-service` query layer goes one step further and reuses *all* deterministic
+    /// per-dataset precomputation via [`PrivBasis::run_shared`].
+    pub fn run_with_index<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        db: &TransactionDb,
+        shared_index: Option<&VerticalIndex>,
+        k: usize,
+        epsilon: Epsilon,
+    ) -> Result<PrivBasisOutput, PrivBasisError> {
+        // Items sorted by descending frequency; reused by steps 1 and 2. One row scan —
+        // cheaper than any index for a single pass over every item.
+        let items_by_freq = db.items_by_frequency();
+        self.run_pipeline(
+            rng,
+            db,
+            &items_by_freq,
+            |k1| theta_count_direct(db, k1),
+            shared_index,
+            k,
+            epsilon,
+        )
+    }
+
+    /// [`PrivBasis::run`] against a [`QueryContext`](crate::context::QueryContext):
+    /// the cached full index *and* the memoized deterministic precomputation
+    /// (items-by-frequency, per-`k1` θ counts) are all reused, leaving only the private
+    /// mechanisms and the bin counting on the per-query path. Byte-identical to
+    /// [`PrivBasis::run`] on the context's database for the same seed.
+    pub fn run_shared<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        context: &crate::context::QueryContext,
+        k: usize,
+        epsilon: Epsilon,
+    ) -> Result<PrivBasisOutput, PrivBasisError> {
+        self.run_pipeline(
+            rng,
+            context.db(),
+            context.items_by_frequency(),
+            |k1| context.theta_count(k1),
+            Some(context.index()),
+            k,
+            epsilon,
+        )
+    }
+
+    /// The shared body of the three `run*` entry points. `theta_for` supplies the exact
+    /// support count of the `k1`-th itemset (memoized by serving layers — the dominant
+    /// per-query cost on large databases); `shared_index` short-circuits the restricted
+    /// index build.
+    #[allow(clippy::too_many_arguments)]
+    fn run_pipeline<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        db: &TransactionDb,
+        items_by_freq: &[(Item, usize)],
+        theta_for: impl FnOnce(usize) -> f64,
+        shared_index: Option<&VerticalIndex>,
+        k: usize,
+        epsilon: Epsilon,
+    ) -> Result<PrivBasisOutput, PrivBasisError> {
         self.params
             .validate()
             .map_err(PrivBasisError::InvalidParams)?;
         if k == 0 {
             return Err(PrivBasisError::InvalidK);
         }
-        if db.is_empty() {
+        if db.is_empty() || items_by_freq.is_empty() {
             return Err(PrivBasisError::EmptyDatabase);
         }
 
@@ -118,29 +200,32 @@ impl PrivBasis {
         let eps_select = budget.spend_fraction(self.params.alpha2)?;
         let eps_counts = budget.spend_remaining()?;
 
-        // Items sorted by descending frequency; reused by steps 1 and 2. One row scan —
-        // cheaper than any index for a single pass over every item.
-        let items_by_freq = db.items_by_frequency();
-        if items_by_freq.is_empty() {
-            return Err(PrivBasisError::EmptyDatabase);
-        }
-
-        // Step 1: λ.
+        // Step 1: λ. GetLambda samples a rank into `items_by_freq`, so the clamp normally
+        // never bites; it pins down the invariant that the published λ is the *effective*
+        // one — the value steps 2–5 actually use — for any future λ estimator.
         let eta = self.params.eta_for(k);
-        let lambda = get_lambda(rng, db, &items_by_freq, k, eta, eps_lambda)?;
+        let k1 = ((k as f64 * eta).ceil() as usize).max(1);
+        let theta = theta_for(k1) / db.len() as f64;
+        let lambda = get_lambda(rng, db.len(), items_by_freq, theta, eps_lambda)?;
+        let lambda = lambda.clamp(1, items_by_freq.len());
 
         if lambda <= self.params.single_basis_lambda {
             // Steps 2 + 5, single-basis path.
             let frequent_items =
-                self.select_frequent_items(rng, db, &items_by_freq, lambda, eps_select)?;
-            // Index only the λ selected items: every later count involves them alone, so
-            // memory stays O(λ·N/64) words however sparse and wide the item universe is.
-            let index = self
-                .params
-                .use_index
-                .then(|| VerticalIndex::build_restricted(db, &frequent_items));
+                self.select_frequent_items(rng, db, items_by_freq, lambda, eps_select)?;
+            // Without a shared index, index only the λ selected items: every later count
+            // involves them alone, so memory stays O(λ·N/64) words however sparse and
+            // wide the item universe is.
+            let owned_index = match shared_index {
+                Some(_) => None,
+                None => self
+                    .params
+                    .use_index
+                    .then(|| VerticalIndex::build_restricted(db, &frequent_items)),
+            };
+            let index = shared_index.or(owned_index.as_ref());
             let basis_set = BasisSet::single(frequent_items.clone());
-            let counts = self.count_bases(rng, db, index.as_ref(), &basis_set, eps_counts);
+            let counts = self.count_bases(rng, db, index, &basis_set, eps_counts);
             Ok(PrivBasisOutput {
                 itemsets: counts.top_k(k),
                 lambda,
@@ -164,29 +249,28 @@ impl PrivBasis {
             };
 
             let frequent_items =
-                self.select_frequent_items(rng, db, &items_by_freq, lambda, eps_items)?;
+                self.select_frequent_items(rng, db, items_by_freq, lambda, eps_items)?;
             // Index only the λ selected items (see the single-basis path): the pair
             // counts of step 3 and every basis of step 5 are subsets of them.
-            let index = self
-                .params
-                .use_index
-                .then(|| VerticalIndex::build_restricted(db, &frequent_items));
+            let owned_index = match shared_index {
+                Some(_) => None,
+                None => self
+                    .params
+                    .use_index
+                    .then(|| VerticalIndex::build_restricted(db, &frequent_items)),
+            };
+            let index = shared_index.or(owned_index.as_ref());
 
             let frequent_pairs = match eps_pairs {
-                Some(eps_pairs) if frequent_items.len() >= 2 => self.select_frequent_pairs(
-                    rng,
-                    db,
-                    index.as_ref(),
-                    &frequent_items,
-                    lambda2,
-                    eps_pairs,
-                )?,
+                Some(eps_pairs) if frequent_items.len() >= 2 => {
+                    self.select_frequent_pairs(rng, db, index, &frequent_items, lambda2, eps_pairs)?
+                }
                 _ => Vec::new(),
             };
 
             let basis_set =
                 construct_basis_set(&frequent_items, &frequent_pairs, self.params.max_basis_len);
-            let counts = self.count_bases(rng, db, index.as_ref(), &basis_set, eps_counts);
+            let counts = self.count_bases(rng, db, index, &basis_set, eps_counts);
             Ok(PrivBasisOutput {
                 itemsets: counts.top_k(k),
                 lambda,
@@ -200,7 +284,9 @@ impl PrivBasis {
     }
 
     /// Step 5 dispatch: BasisFreq on the vertical index when one was built, otherwise
-    /// the row-scan engine. Identical output either way for a fixed seed.
+    /// the row-scan engine, followed by the (budget-free) consistency post-processing
+    /// when `params.consistency` is set. Identical output either way for a fixed seed:
+    /// both engines produce the same counts and the repair is deterministic.
     fn count_bases<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -209,10 +295,15 @@ impl PrivBasis {
         basis_set: &BasisSet,
         eps: Epsilon,
     ) -> NoisyCandidateCounts {
-        match index {
+        let mut counts = match index {
             Some(ix) => basis_freq_counts_with_index(rng, ix, basis_set, eps),
             None => basis_freq_counts_naive(rng, db, basis_set, eps),
+        };
+        if let Some(options) = self.params.consistency {
+            let adjusted = enforce_consistency(&counts, db.len(), options);
+            counts.apply_adjusted_counts(&adjusted);
         }
+        counts
     }
 
     /// Step 2: select `lambda` items by repeated exponential-mechanism draws
@@ -235,7 +326,7 @@ impl PrivBasis {
             rng,
             &qualities,
             lambda,
-            1.0,
+            self.selection_sensitivity(db.len()),
             per_draw,
             ExponentialScale::OneSided,
         )?;
@@ -278,7 +369,7 @@ impl PrivBasis {
             rng,
             &qualities,
             lambda2,
-            1.0,
+            self.selection_sensitivity(db.len()),
             per_draw,
             ExponentialScale::OneSided,
         )?;
@@ -298,29 +389,45 @@ impl PrivBasis {
             }
         }
     }
+
+    /// Global sensitivity of the selection qualities, matching [`PrivBasis::quality`]:
+    /// one transaction moves a support count by 1 (sensitivity 1) and a frequency by
+    /// `1/N` (sensitivity `1/N`). Feeding count-scale sensitivity to frequency-scale
+    /// qualities would run the exponential mechanism at `ε/N` effective weight —
+    /// near-uniform sampling for any realistic `N`.
+    fn selection_sensitivity(&self, n: usize) -> f64 {
+        match self.params.selection_scale {
+            SelectionScale::Count => 1.0,
+            SelectionScale::Frequency => 1.0 / n.max(1) as f64,
+        }
+    }
 }
 
-/// Step 1 — `GetLambda`: sample the item rank whose frequency is closest to the frequency of
-/// the (η·k)-th most frequent itemset. The quality of rank `j` is `(1 − |f_itemⱼ − θ|)·N`
-/// (sensitivity 1); the paper keeps the standard `ε/2` exponent.
-fn get_lambda<R: Rng + ?Sized>(
-    rng: &mut R,
-    db: &TransactionDb,
-    items_by_freq: &[(Item, usize)],
-    k: usize,
-    eta: f64,
-    eps: Epsilon,
-) -> Result<usize, DpError> {
-    let n = db.len() as f64;
-    let k1 = ((k as f64 * eta).ceil() as usize).max(1);
+/// The exact support count of the `k1`-th most frequent itemset (or of the rarest one
+/// when fewer than `k1` exist) — the θ anchor of step 1. A deterministic function of the
+/// data, so serving layers memoize it per `(dataset, k1)` via
+/// [`QueryContext`](crate::context::QueryContext); on large databases this non-private
+/// mining pass dominates the per-query cost.
+pub(crate) fn theta_count_direct(db: &TransactionDb, k1: usize) -> f64 {
     let top = top_k_itemsets(db, k1, None);
-    let theta_count = if top.len() >= k1 {
+    if top.len() >= k1 {
         top[k1 - 1].count as f64
     } else {
         top.last().map(|f| f.count as f64).unwrap_or(0.0)
-    };
-    let theta = theta_count / n;
+    }
+}
 
+/// Step 1 — `GetLambda`: sample the item rank whose frequency is closest to `theta`, the
+/// frequency of the (η·k)-th most frequent itemset. The quality of rank `j` is
+/// `(1 − |f_itemⱼ − θ|)·N` (sensitivity 1); the paper keeps the standard `ε/2` exponent.
+fn get_lambda<R: Rng + ?Sized>(
+    rng: &mut R,
+    num_transactions: usize,
+    items_by_freq: &[(Item, usize)],
+    theta: f64,
+    eps: Epsilon,
+) -> Result<usize, DpError> {
+    let n = num_transactions as f64;
     let qualities: Vec<f64> = items_by_freq
         .iter()
         .map(|&(_, c)| (1.0 - (c as f64 / n - theta).abs()) * n)
@@ -542,11 +649,153 @@ mod tests {
         let db = dense_db(5_000);
         let items = db.items_by_frequency();
         let mut rng = StdRng::seed_from_u64(10);
-        let lambda = get_lambda(&mut rng, &db, &items, 5, 1.1, Epsilon::Infinite).unwrap();
+        // k = 5, η = 1.1 ⇒ k1 = 6, as run_pipeline would compute it.
+        let theta = theta_count_direct(&db, 6) / db.len() as f64;
+        let lambda = get_lambda(&mut rng, db.len(), &items, theta, Epsilon::Infinite).unwrap();
         assert!(lambda >= 1 && lambda <= items.len());
         // Top-5·1.1 itemsets in this dense database involve only the first handful of items,
         // so λ must be small.
         assert!(lambda <= 10, "λ = {lambda}");
+    }
+
+    #[test]
+    fn frequency_and_count_scales_select_identically() {
+        // Sensitivity regression test: frequency qualities are `count/N` with global
+        // sensitivity `1/N`, so the one-sided exponent `ε·q/GS` equals the count scale's
+        // `ε·count` and the two scales define the *same* selection distribution. With the
+        // old hardcoded sensitivity of 1.0 the frequency exponent collapsed to `ε·count/N`
+        // — near-uniform sampling — and the finite-ε assertions below fail.
+        let db = dense_db(2_000);
+        let count_scale = PrivBasis::with_defaults();
+        let freq_scale = PrivBasis::new(PrivBasisParams {
+            selection_scale: SelectionScale::Frequency,
+            ..Default::default()
+        });
+
+        // Noiseless: identical releases (argmax is invariant under positive scaling).
+        let a = count_scale
+            .run(&mut StdRng::seed_from_u64(3), &db, 6, Epsilon::Infinite)
+            .unwrap();
+        let b = freq_scale
+            .run(&mut StdRng::seed_from_u64(3), &db, 6, Epsilon::Infinite)
+            .unwrap();
+        assert_eq!(a.frequent_items, b.frequent_items);
+        assert_eq!(a.itemsets, b.itemsets);
+
+        // Finite ε: the same seed must make the same draws under both scales.
+        for seed in [0u64, 1, 2, 7, 13] {
+            let a = count_scale
+                .run(
+                    &mut StdRng::seed_from_u64(seed),
+                    &db,
+                    6,
+                    Epsilon::Finite(1.0),
+                )
+                .unwrap();
+            let b = freq_scale
+                .run(
+                    &mut StdRng::seed_from_u64(seed),
+                    &db,
+                    6,
+                    Epsilon::Finite(1.0),
+                )
+                .unwrap();
+            assert_eq!(a.lambda, b.lambda, "seed {seed}");
+            assert_eq!(a.frequent_items, b.frequent_items, "seed {seed}");
+            assert_eq!(a.basis_set, b.basis_set, "seed {seed}");
+        }
+    }
+
+    #[test]
+    fn shared_full_index_is_byte_identical_to_per_query_build() {
+        // run_with_index serves the pb-service cached-index path: counting against one
+        // full prebuilt index must not change a single bit of the release.
+        let pb = PrivBasis::with_defaults();
+        for (db, k) in [(dense_db(2_500), 6usize), (sparse_db(3_000), 25)] {
+            let index = VerticalIndex::build(&db);
+            for seed in [0u64, 3, 9] {
+                let a = pb
+                    .run(
+                        &mut StdRng::seed_from_u64(seed),
+                        &db,
+                        k,
+                        Epsilon::Finite(0.8),
+                    )
+                    .unwrap();
+                let b = pb
+                    .run_with_index(
+                        &mut StdRng::seed_from_u64(seed),
+                        &db,
+                        Some(&index),
+                        k,
+                        Epsilon::Finite(0.8),
+                    )
+                    .unwrap();
+                assert_eq!(a.lambda, b.lambda);
+                assert_eq!(a.basis_set, b.basis_set);
+                assert_eq!(a.itemsets.len(), b.itemsets.len());
+                for ((sa, ca), (sb, cb)) in a.itemsets.iter().zip(&b.itemsets) {
+                    assert_eq!(sa, sb);
+                    assert_eq!(ca.to_bits(), cb.to_bits(), "counts differ for {sa:?}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn default_run_applies_consistency() {
+        // At tiny ε the raw reconstructed counts routinely stray outside [0, N]; the
+        // default pipeline (consistency on, as in the paper) clamps every published
+        // count back into range, while `consistency: None` exposes the raw values.
+        let db = dense_db(300);
+        let with = PrivBasis::with_defaults();
+        let without = PrivBasis::new(PrivBasisParams {
+            consistency: None,
+            ..Default::default()
+        });
+        let n = db.len() as f64;
+        let mut raw_strayed = false;
+        for seed in 0..10u64 {
+            let eps = Epsilon::Finite(0.05);
+            let a = with
+                .run(&mut StdRng::seed_from_u64(seed), &db, 5, eps)
+                .unwrap();
+            for (s, c) in &a.itemsets {
+                assert!(
+                    (0.0..=n).contains(c),
+                    "repaired count {c} for {s:?} out of range"
+                );
+            }
+            let b = without
+                .run(&mut StdRng::seed_from_u64(seed), &db, 5, eps)
+                .unwrap();
+            raw_strayed |= b.itemsets.iter().any(|(_, c)| *c < 0.0 || *c > n);
+        }
+        assert!(
+            raw_strayed,
+            "tiny-ε raw counts should exceed [0, N] on some seed — is consistency accidentally always on?"
+        );
+    }
+
+    #[test]
+    fn topk_truncates_to_candidate_count_when_k_exceeds_candidates() {
+        // Two-item database: λ ≤ 2 so the single-basis candidate set has at most 3
+        // itemsets. Asking for 10 returns exactly candidate_count entries — truncated,
+        // not padded — and candidate_count says so.
+        let mut rows: Vec<Vec<u32>> = vec![vec![0, 1]; 50];
+        rows.extend(std::iter::repeat_n(vec![0], 30));
+        rows.extend(std::iter::repeat_n(vec![1], 20));
+        let db = TransactionDb::from_transactions(rows);
+        let pb = PrivBasis::with_defaults();
+        let out = pb
+            .run(&mut StdRng::seed_from_u64(4), &db, 10, Epsilon::Infinite)
+            .unwrap();
+        assert!(out.candidate_count < 10);
+        assert_eq!(out.itemsets.len(), out.candidate_count);
+        assert!(
+            out.lambda <= 2,
+            "effective λ cannot exceed the 2-item universe"
+        );
     }
 
     #[test]

@@ -100,6 +100,17 @@ impl NoisyCandidateCounts {
         all
     }
 
+    /// Overwrites each candidate's count with its entry in `adjusted` (variances are kept:
+    /// they describe the noise that was added, which post-processing does not change).
+    /// Candidates missing from `adjusted` keep their current count.
+    pub fn apply_adjusted_counts(&mut self, adjusted: &HashMap<ItemSet, f64>) {
+        for (itemset, estimate) in self.entries.iter_mut() {
+            if let Some(&count) = adjusted.get(itemset) {
+                estimate.count = count;
+            }
+        }
+    }
+
     fn merge(&mut self, itemset: ItemSet, count: f64, variance_units: f64) {
         match self.entries.get_mut(&itemset) {
             None => {

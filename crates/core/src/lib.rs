@@ -44,6 +44,7 @@ pub mod algorithm;
 pub mod basis;
 pub mod consistency;
 pub mod construct;
+pub mod context;
 pub mod freq;
 pub mod params;
 pub mod variance;
@@ -52,6 +53,7 @@ pub use algorithm::{PrivBasis, PrivBasisError, PrivBasisOutput};
 pub use basis::BasisSet;
 pub use consistency::{enforce_consistency, ConsistencyOptions};
 pub use construct::construct_basis_set;
+pub use context::QueryContext;
 pub use freq::{
     basis_freq, basis_freq_counts, basis_freq_counts_naive, basis_freq_counts_with_index,
     basis_freq_naive, NoisyCandidateCounts,

@@ -1,5 +1,7 @@
 //! Algorithmic parameters of PrivBasis with the defaults used in the paper's experiments.
 
+use crate::consistency::ConsistencyOptions;
+
 /// Whether exponential-mechanism qualities are measured in counts or frequencies.
 ///
 /// Algorithm 3's `GetFreqElements` writes the exponent in terms of the frequency `f ∈ [0,1]`;
@@ -37,6 +39,11 @@ pub struct PrivBasisParams {
     /// reachable from the CLI via `--no-index`. Both engines produce byte-identical
     /// output for a fixed seed.
     pub use_index: bool,
+    /// Consistency post-processing of the noisy candidate counts (§4 / Hay et al., PVLDB
+    /// 2010) applied between `BasisFreq` and the top-`k` selection. Costs no privacy
+    /// budget (pure post-processing). `Some(..)` — the default — matches the paper;
+    /// `None` publishes the raw reconstructed counts (CLI `--no-consistency`).
+    pub consistency: Option<ConsistencyOptions>,
 }
 
 impl Default for PrivBasisParams {
@@ -50,6 +57,7 @@ impl Default for PrivBasisParams {
             max_basis_len: 12,
             selection_scale: SelectionScale::Count,
             use_index: true,
+            consistency: Some(ConsistencyOptions::default()),
         }
     }
 }
@@ -112,6 +120,8 @@ mod tests {
         assert_eq!(p.alpha3, 0.5);
         assert_eq!(p.single_basis_lambda, 12);
         assert_eq!(p.max_basis_len, 12);
+        // Consistency post-processing is on by default, as in the paper.
+        assert!(p.consistency.is_some());
     }
 
     #[test]

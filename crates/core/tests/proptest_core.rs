@@ -1,8 +1,12 @@
 //! Property tests for the PrivBasis core: reconstruction correctness, basis-set coverage, and
 //! the degradation of the private algorithm to the exact one when ε = ∞.
 
+use pb_core::consistency::count_monotonicity_violations;
 use pb_core::freq::{superset_sums, superset_sums_naive};
-use pb_core::{basis_freq_counts, construct_basis_set, BasisSet, PrivBasis};
+use pb_core::{
+    basis_freq_counts, construct_basis_set, enforce_consistency, BasisSet, ConsistencyOptions,
+    PrivBasis,
+};
 use pb_dp::Epsilon;
 use pb_fim::itemset::ItemSet;
 use pb_fim::topk::top_k_itemsets;
@@ -120,6 +124,53 @@ proptest! {
         for (s, c) in &out.itemsets {
             prop_assert!((c - db.support(s) as f64).abs() < 1e-9);
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn consistency_repairs_all_monotonicity_violations(
+        db in arb_db(),
+        basis in arb_basis_set(),
+        seed in 0u64..1_000,
+    ) {
+        // Arbitrary basis lattices (overlapping bases included) under heavy noise: after
+        // the repair there must be zero parent-child monotonicity violations and every
+        // count must sit inside [0, N].
+        let mut rng = StdRng::seed_from_u64(seed);
+        let counts = basis_freq_counts(&mut rng, &db, &basis, Epsilon::Finite(0.05));
+        let adjusted = enforce_consistency(&counts, db.len(), ConsistencyOptions::default());
+        prop_assert_eq!(count_monotonicity_violations(&adjusted, 1e-6), 0);
+        let n = db.len() as f64;
+        for (itemset, &v) in &adjusted {
+            prop_assert!((0.0..=n).contains(&v), "{:?} repaired to {}", itemset, v);
+        }
+        // The repair relabels counts; it never adds or drops candidates.
+        prop_assert_eq!(adjusted.len(), counts.len());
+    }
+
+    #[test]
+    fn consistency_never_increases_noiseless_error(
+        db in arb_db(),
+        basis in arb_basis_set(),
+    ) {
+        // In the noiseless case the raw counts are exact, so their total absolute error
+        // is zero — the repair must not move them (exact tables already satisfy every
+        // constraint it enforces).
+        let mut rng = StdRng::seed_from_u64(11);
+        let counts = basis_freq_counts(&mut rng, &db, &basis, Epsilon::Infinite);
+        let adjusted = enforce_consistency(&counts, db.len(), ConsistencyOptions::default());
+        let mut raw_err = 0.0;
+        let mut adj_err = 0.0;
+        for (itemset, est) in counts.iter() {
+            let truth = db.support(itemset) as f64;
+            raw_err += (est.count - truth).abs();
+            adj_err += (adjusted[itemset] - truth).abs();
+        }
+        prop_assert!(raw_err < 1e-9);
+        prop_assert!(adj_err <= raw_err + 1e-9, "raw {} adjusted {}", raw_err, adj_err);
     }
 }
 

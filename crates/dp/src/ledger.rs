@@ -1,0 +1,136 @@
+//! Thread-safe privacy-budget accounting for long-lived services.
+//!
+//! [`PrivacyBudget`] is a plain value type: one owner, one mechanism sequence. A query
+//! service needs the same sequential-composition guarantee across *concurrent* queries —
+//! many threads racing to spend from one per-dataset budget must never overshoot the
+//! total, and a rejected request must not consume anything. [`BudgetLedger`] wraps the
+//! accountant in a [`Mutex`] so the check-and-debit is one atomic critical section, and
+//! exposes only `&self` methods so it can sit behind an `Arc` inside a registry entry.
+
+use crate::budget::PrivacyBudget;
+use crate::epsilon::Epsilon;
+use crate::DpError;
+use std::sync::{Mutex, PoisonError};
+
+/// A concurrency-safe ε ledger: [`PrivacyBudget`] behind interior mutability.
+///
+/// All accounting goes through [`BudgetLedger::try_spend`], which atomically checks the
+/// remaining budget and debits the request. Once the ledger is exhausted every further
+/// `try_spend` fails with [`DpError::BudgetExceeded`] — the dataset can no longer answer
+/// queries, which is exactly the sequential-composition guarantee a serving layer needs.
+#[derive(Debug)]
+pub struct BudgetLedger {
+    inner: Mutex<PrivacyBudget>,
+}
+
+impl BudgetLedger {
+    /// Creates a ledger over a total budget.
+    pub fn new(total: Epsilon) -> Self {
+        BudgetLedger {
+            inner: Mutex::new(PrivacyBudget::new(total)),
+        }
+    }
+
+    /// The total budget the ledger was created with.
+    pub fn total(&self) -> Epsilon {
+        self.lock().total()
+    }
+
+    /// ε consumed so far across all successful [`BudgetLedger::try_spend`] calls.
+    pub fn spent(&self) -> f64 {
+        self.lock().spent()
+    }
+
+    /// Remaining ε (infinite for an infinite budget).
+    pub fn remaining(&self) -> f64 {
+        self.lock().remaining()
+    }
+
+    /// True once no positive amount can be spent any more.
+    pub fn is_exhausted(&self) -> bool {
+        self.remaining() <= 0.0
+    }
+
+    /// Atomically debits `amount` from the ledger and returns it as an [`Epsilon`] for a
+    /// mechanism to consume. Fails — without debiting anything — when `amount` is not a
+    /// positive finite number or exceeds what remains.
+    ///
+    /// Note for serving layers: with an infinite total this returns `Epsilon::Infinite`
+    /// (nothing to account). Run the *mechanism* at the caller's requested finite ε, not
+    /// at this return value — `Epsilon::Infinite` is the zero-noise mode.
+    pub fn try_spend(&self, amount: f64) -> Result<Epsilon, DpError> {
+        self.lock().spend(amount)
+    }
+
+    /// A snapshot of the accountant (for reporting; the clone is detached from the ledger).
+    pub fn snapshot(&self) -> PrivacyBudget {
+        self.lock().clone()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, PrivacyBudget> {
+        // A panic while holding the lock cannot leave the ledger under-spent (spend is a
+        // single arithmetic update), so recovering from poison is sound and keeps one
+        // crashed worker thread from wedging the whole dataset.
+        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn spends_and_reports_like_the_plain_accountant() {
+        let ledger = BudgetLedger::new(Epsilon::Finite(2.0));
+        assert_eq!(ledger.total(), Epsilon::Finite(2.0));
+        assert_eq!(ledger.try_spend(0.5).unwrap(), Epsilon::Finite(0.5));
+        assert!((ledger.spent() - 0.5).abs() < 1e-12);
+        assert!((ledger.remaining() - 1.5).abs() < 1e-12);
+        assert!(!ledger.is_exhausted());
+        assert!((ledger.snapshot().remaining() - 1.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn rejects_overdraft_without_debiting() {
+        let ledger = BudgetLedger::new(Epsilon::Finite(1.0));
+        ledger.try_spend(0.9).unwrap();
+        assert!(matches!(
+            ledger.try_spend(0.5),
+            Err(DpError::BudgetExceeded { .. })
+        ));
+        assert!((ledger.remaining() - 0.1).abs() < 1e-12);
+        assert!(ledger.try_spend(0.0).is_err());
+        assert!(ledger.try_spend(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn infinite_budget_never_exhausts() {
+        let ledger = BudgetLedger::new(Epsilon::Infinite);
+        for _ in 0..50 {
+            assert_eq!(ledger.try_spend(100.0).unwrap(), Epsilon::Infinite);
+        }
+        assert!(!ledger.is_exhausted());
+    }
+
+    #[test]
+    fn concurrent_spends_never_exceed_total() {
+        // 8 threads × 100 attempts of ε = 0.01 against a total of 1.0: exactly 100
+        // attempts may succeed, whatever the interleaving.
+        let ledger = Arc::new(BudgetLedger::new(Epsilon::Finite(1.0)));
+        let successes: usize = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let ledger = Arc::clone(&ledger);
+                    scope.spawn(move || (0..100).filter(|_| ledger.try_spend(0.01).is_ok()).count())
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .sum()
+        });
+        assert_eq!(successes, 100, "over- or under-spend under concurrency");
+        assert!(ledger.is_exhausted());
+        assert!(ledger.spent() <= 1.0 + 1e-9);
+    }
+}

@@ -7,7 +7,8 @@
 //!   proportional to `exp(ε·q/(2·GS))`, with the one-sided variant (no factor 2) for quality
 //!   functions that are monotone under tuple addition,
 //! * sampling **without replacement** by repeated application of the exponential mechanism,
-//! * a simple sequential-composition [`budget::PrivacyBudget`] accountant,
+//! * a simple sequential-composition [`budget::PrivacyBudget`] accountant, plus its
+//!   thread-safe sibling [`ledger::BudgetLedger`] for concurrent serving layers,
 //! * an infinite-budget mode (`Epsilon::Infinite`) used by tests to check that the DP
 //!   algorithms degrade to their exact counterparts when noise vanishes.
 //!
@@ -22,6 +23,7 @@ pub mod epsilon;
 pub mod exponential;
 pub mod geometric;
 pub mod laplace;
+pub mod ledger;
 pub mod noisy_max;
 
 pub use budget::PrivacyBudget;
@@ -29,6 +31,7 @@ pub use epsilon::Epsilon;
 pub use exponential::{exponential_mechanism, sample_without_replacement, ExponentialScale};
 pub use geometric::GeometricNoise;
 pub use laplace::{laplace_mechanism, sample_laplace, LaplaceNoise};
+pub use ledger::BudgetLedger;
 pub use noisy_max::{noisy_max_without_replacement, report_noisy_max};
 
 /// Errors produced by the DP layer.

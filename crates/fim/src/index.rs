@@ -166,6 +166,16 @@ impl VerticalIndex {
         self.num_transactions
     }
 
+    /// Wraps the index in an [`Arc`](std::sync::Arc) for reuse across query threads.
+    ///
+    /// Every query method takes `&self` and the bitmaps are immutable after build, so a
+    /// single index can serve concurrent `support`/`pair_counts`/`bin_histogram` calls
+    /// with no locking (`Send + Sync` is asserted at compile time in
+    /// `transaction::shareability`).
+    pub fn into_shared(self) -> std::sync::Arc<VerticalIndex> {
+        std::sync::Arc::new(self)
+    }
+
     /// The indexed items, ascending.
     pub fn items(&self) -> &[Item] {
         &self.items

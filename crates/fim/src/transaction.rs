@@ -172,6 +172,15 @@ impl TransactionDb {
         VerticalIndex::build(self)
     }
 
+    /// Wraps the database in an [`Arc`](std::sync::Arc) for sharing across query threads.
+    ///
+    /// `TransactionDb` is immutable-after-build in all serving paths and holds only owned
+    /// data (`Vec`/`BTreeSet`), so it is `Send + Sync` (asserted at compile time in
+    /// `shareability`) and one copy can back any number of concurrent readers.
+    pub fn into_shared(self) -> std::sync::Arc<TransactionDb> {
+        std::sync::Arc::new(self)
+    }
+
     /// Adds one transaction (used by tests exercising neighbouring-database sensitivity).
     pub fn push(&mut self, t: ItemSet) {
         self.total_items += t.len();
@@ -187,6 +196,18 @@ impl<'a> IntoIterator for &'a TransactionDb {
     fn into_iter(self) -> Self::IntoIter {
         self.transactions.iter()
     }
+}
+
+/// Compile-time audit that the shared serving types stay `Send + Sync`: the `pb-service`
+/// layer hands `Arc<TransactionDb>` / `Arc<VerticalIndex>` to a thread pool, and a stray
+/// `Rc`/`RefCell`/raw pointer added to either type must fail the build here, not at the
+/// far-away use site.
+mod shareability {
+    const fn assert_send_sync<T: Send + Sync>() {}
+    const _: () = assert_send_sync::<super::TransactionDb>();
+    const _: () = assert_send_sync::<crate::index::VerticalIndex>();
+    const _: () = assert_send_sync::<crate::bitmap::Bitmap>();
+    const _: () = assert_send_sync::<crate::itemset::ItemSet>();
 }
 
 #[cfg(test)]

@@ -1,0 +1,512 @@
+//! Minimal JSON tree, parser, and writer.
+//!
+//! The build environment has no registry access, so the wire format is implemented here
+//! rather than pulled in via `serde_json`: a recursive-descent parser over bytes and a
+//! writer that escapes control characters. The subset is full JSON minus one liberty the
+//! protocol never needs — numbers are kept as `f64` (every count, ε, and id the protocol
+//! carries fits exactly or is a float to begin with).
+//!
+//! Objects preserve insertion order (a `Vec` of pairs, not a map): responses stay stable
+//! for golden tests, and the handful of keys per message makes linear lookup cheaper than
+//! hashing anyway.
+
+use std::fmt;
+
+/// A parsed JSON value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Json {
+    /// `null`.
+    Null,
+    /// `true` / `false`.
+    Bool(bool),
+    /// Any JSON number (stored as `f64`).
+    Number(f64),
+    /// A string.
+    String(String),
+    /// An array.
+    Array(Vec<Json>),
+    /// An object, in insertion order.
+    Object(Vec<(String, Json)>),
+}
+
+/// A parse failure: byte offset plus description.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JsonError {
+    /// Byte offset where parsing failed.
+    pub offset: usize,
+    /// What went wrong.
+    pub message: String,
+}
+
+impl fmt::Display for JsonError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "JSON error at byte {}: {}", self.offset, self.message)
+    }
+}
+
+impl std::error::Error for JsonError {}
+
+impl Json {
+    /// Parses one JSON document; trailing non-whitespace is an error.
+    pub fn parse(text: &str) -> Result<Json, JsonError> {
+        let mut p = Parser {
+            bytes: text.as_bytes(),
+            pos: 0,
+            depth: 0,
+        };
+        p.skip_whitespace();
+        let value = p.parse_value()?;
+        p.skip_whitespace();
+        if p.pos != p.bytes.len() {
+            return Err(p.error("trailing characters after JSON value"));
+        }
+        Ok(value)
+    }
+
+    /// Looks a key up in an object (`None` for missing keys and non-objects).
+    pub fn get(&self, key: &str) -> Option<&Json> {
+        match self {
+            Json::Object(pairs) => pairs.iter().find(|(k, _)| k == key).map(|(_, v)| v),
+            _ => None,
+        }
+    }
+
+    /// The value as a finite float, if it is a number.
+    pub fn as_f64(&self) -> Option<f64> {
+        match self {
+            Json::Number(x) => Some(*x),
+            _ => None,
+        }
+    }
+
+    /// The value as a non-negative integer, if it is a whole number in `u64` range.
+    pub fn as_u64(&self) -> Option<u64> {
+        match self {
+            Json::Number(x) if *x >= 0.0 && x.fract() == 0.0 && *x <= u64::MAX as f64 => {
+                Some(*x as u64)
+            }
+            _ => None,
+        }
+    }
+
+    /// The value as a string slice, if it is a string.
+    pub fn as_str(&self) -> Option<&str> {
+        match self {
+            Json::String(s) => Some(s),
+            _ => None,
+        }
+    }
+
+    /// The value as a bool, if it is one.
+    pub fn as_bool(&self) -> Option<bool> {
+        match self {
+            Json::Bool(b) => Some(*b),
+            _ => None,
+        }
+    }
+
+    /// The value as an array slice, if it is one.
+    pub fn as_array(&self) -> Option<&[Json]> {
+        match self {
+            Json::Array(items) => Some(items),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Json {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Json::Null => f.write_str("null"),
+            Json::Bool(b) => write!(f, "{b}"),
+            Json::Number(x) => write_number(f, *x),
+            Json::String(s) => write_escaped(f, s),
+            Json::Array(items) => {
+                f.write_str("[")?;
+                for (i, item) in items.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write!(f, "{item}")?;
+                }
+                f.write_str("]")
+            }
+            Json::Object(pairs) => {
+                f.write_str("{")?;
+                for (i, (k, v)) in pairs.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(",")?;
+                    }
+                    write_escaped(f, k)?;
+                    f.write_str(":")?;
+                    write!(f, "{v}")?;
+                }
+                f.write_str("}")
+            }
+        }
+    }
+}
+
+/// JSON has no Infinity/NaN literals; emit them as null so the writer can never produce
+/// output the parser rejects.
+fn write_number(f: &mut fmt::Formatter<'_>, x: f64) -> fmt::Result {
+    if !x.is_finite() {
+        return f.write_str("null");
+    }
+    if x.fract() == 0.0 && x.abs() < 1e15 {
+        write!(f, "{}", x as i64)
+    } else {
+        write!(f, "{x}")
+    }
+}
+
+fn write_escaped(f: &mut fmt::Formatter<'_>, s: &str) -> fmt::Result {
+    f.write_str("\"")?;
+    for c in s.chars() {
+        match c {
+            '"' => f.write_str("\\\"")?,
+            '\\' => f.write_str("\\\\")?,
+            '\n' => f.write_str("\\n")?,
+            '\r' => f.write_str("\\r")?,
+            '\t' => f.write_str("\\t")?,
+            c if (c as u32) < 0x20 => write!(f, "\\u{:04x}", c as u32)?,
+            c => f.write_fmt(format_args!("{c}"))?,
+        }
+    }
+    f.write_str("\"")
+}
+
+/// Maximum container nesting. The parser recurses per level, so without a cap a remote
+/// line of a few hundred thousand `[`s would overflow the worker stack and abort the
+/// whole process (stack overflow is not a catchable panic). The protocol nests 3 deep.
+const MAX_DEPTH: usize = 128;
+
+struct Parser<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+    depth: usize,
+}
+
+impl<'a> Parser<'a> {
+    fn error(&self, message: &str) -> JsonError {
+        JsonError {
+            offset: self.pos,
+            message: message.to_string(),
+        }
+    }
+
+    fn descend(&mut self) -> Result<(), JsonError> {
+        self.depth += 1;
+        if self.depth > MAX_DEPTH {
+            return Err(self.error("too deeply nested"));
+        }
+        Ok(())
+    }
+
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    fn skip_whitespace(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.pos += 1;
+        }
+    }
+
+    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+        if self.peek() == Some(byte) {
+            self.pos += 1;
+            Ok(())
+        } else {
+            Err(self.error(&format!("expected `{}`", byte as char)))
+        }
+    }
+
+    fn parse_value(&mut self) -> Result<Json, JsonError> {
+        match self.peek() {
+            None => Err(self.error("unexpected end of input")),
+            Some(b'{') => self.parse_object(),
+            Some(b'[') => self.parse_array(),
+            Some(b'"') => Ok(Json::String(self.parse_string()?)),
+            Some(b't') => self.parse_literal("true", Json::Bool(true)),
+            Some(b'f') => self.parse_literal("false", Json::Bool(false)),
+            Some(b'n') => self.parse_literal("null", Json::Null),
+            Some(b'-' | b'0'..=b'9') => self.parse_number(),
+            Some(c) => Err(self.error(&format!("unexpected character `{}`", c as char))),
+        }
+    }
+
+    fn parse_literal(&mut self, word: &str, value: Json) -> Result<Json, JsonError> {
+        if self.bytes[self.pos..].starts_with(word.as_bytes()) {
+            self.pos += word.len();
+            Ok(value)
+        } else {
+            Err(self.error(&format!("expected `{word}`")))
+        }
+    }
+
+    fn parse_number(&mut self) -> Result<Json, JsonError> {
+        let start = self.pos;
+        if self.peek() == Some(b'-') {
+            self.pos += 1;
+        }
+        while matches!(
+            self.peek(),
+            Some(b'0'..=b'9' | b'.' | b'e' | b'E' | b'+' | b'-')
+        ) {
+            self.pos += 1;
+        }
+        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        text.parse::<f64>()
+            .ok()
+            .filter(|x| x.is_finite())
+            .map(Json::Number)
+            .ok_or_else(|| self.error(&format!("invalid number `{text}`")))
+    }
+
+    fn parse_string(&mut self) -> Result<String, JsonError> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        loop {
+            match self.peek() {
+                None => return Err(self.error("unterminated string")),
+                Some(b'"') => {
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'\\') => {
+                    self.pos += 1;
+                    match self.peek() {
+                        Some(b'"') => out.push('"'),
+                        Some(b'\\') => out.push('\\'),
+                        Some(b'/') => out.push('/'),
+                        Some(b'b') => out.push('\u{8}'),
+                        Some(b'f') => out.push('\u{c}'),
+                        Some(b'n') => out.push('\n'),
+                        Some(b'r') => out.push('\r'),
+                        Some(b't') => out.push('\t'),
+                        Some(b'u') => {
+                            self.pos += 1;
+                            let first = self.parse_hex4()?;
+                            let c = if (0xD800..0xDC00).contains(&first) {
+                                // Surrogate pair: a second \uXXXX in the low-surrogate
+                                // range must follow. The range check matters — an
+                                // arbitrary second escape would overflow the combining
+                                // arithmetic (remote input reaches this parser).
+                                if self.bytes[self.pos..].starts_with(b"\\u") {
+                                    self.pos += 2;
+                                    let second = self.parse_hex4()?;
+                                    if (0xDC00..0xE000).contains(&second) {
+                                        char::from_u32(
+                                            0x10000 + ((first - 0xD800) << 10) + (second - 0xDC00),
+                                        )
+                                    } else {
+                                        None
+                                    }
+                                } else {
+                                    None
+                                }
+                            } else {
+                                char::from_u32(first)
+                            };
+                            out.push(c.ok_or_else(|| self.error("invalid \\u escape sequence"))?);
+                            // parse_hex4 leaves pos past the digits; compensate for the
+                            // +1 below that the single-character escapes expect.
+                            self.pos -= 1;
+                        }
+                        _ => return Err(self.error("invalid escape character")),
+                    }
+                    self.pos += 1;
+                }
+                Some(_) => {
+                    // Consume one UTF-8 scalar (multi-byte sequences arrive intact since
+                    // the input is &str).
+                    let rest =
+                        std::str::from_utf8(&self.bytes[self.pos..]).expect("input was &str");
+                    let c = rest.chars().next().expect("peeked non-empty");
+                    if (c as u32) < 0x20 {
+                        return Err(self.error("unescaped control character in string"));
+                    }
+                    out.push(c);
+                    self.pos += c.len_utf8();
+                }
+            }
+        }
+    }
+
+    fn parse_hex4(&mut self) -> Result<u32, JsonError> {
+        let digits = self
+            .bytes
+            .get(self.pos..self.pos + 4)
+            .and_then(|d| std::str::from_utf8(d).ok())
+            .ok_or_else(|| self.error("truncated \\u escape"))?;
+        let value = u32::from_str_radix(digits, 16)
+            .map_err(|_| self.error("non-hex digits in \\u escape"))?;
+        self.pos += 4;
+        Ok(value)
+    }
+
+    fn parse_array(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
+        self.expect(b'[')?;
+        let mut items = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b']') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Array(items));
+        }
+        loop {
+            self.skip_whitespace();
+            items.push(self.parse_value()?);
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b']') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Array(items));
+                }
+                _ => return Err(self.error("expected `,` or `]` in array")),
+            }
+        }
+    }
+
+    fn parse_object(&mut self) -> Result<Json, JsonError> {
+        self.descend()?;
+        self.expect(b'{')?;
+        let mut pairs = Vec::new();
+        self.skip_whitespace();
+        if self.peek() == Some(b'}') {
+            self.pos += 1;
+            self.depth -= 1;
+            return Ok(Json::Object(pairs));
+        }
+        loop {
+            self.skip_whitespace();
+            let key = self.parse_string()?;
+            self.skip_whitespace();
+            self.expect(b':')?;
+            self.skip_whitespace();
+            let value = self.parse_value()?;
+            pairs.push((key, value));
+            self.skip_whitespace();
+            match self.peek() {
+                Some(b',') => self.pos += 1,
+                Some(b'}') => {
+                    self.pos += 1;
+                    self.depth -= 1;
+                    return Ok(Json::Object(pairs));
+                }
+                _ => return Err(self.error("expected `,` or `}` in object")),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn roundtrip(text: &str) -> Json {
+        let v = Json::parse(text).unwrap();
+        let printed = v.to_string();
+        assert_eq!(Json::parse(&printed).unwrap(), v, "roundtrip of {text}");
+        v
+    }
+
+    #[test]
+    fn parses_scalars() {
+        assert_eq!(roundtrip("null"), Json::Null);
+        assert_eq!(roundtrip("true"), Json::Bool(true));
+        assert_eq!(roundtrip("false"), Json::Bool(false));
+        assert_eq!(roundtrip("42"), Json::Number(42.0));
+        assert_eq!(roundtrip("-3.5e2"), Json::Number(-350.0));
+        assert_eq!(roundtrip("\"hi\""), Json::String("hi".into()));
+    }
+
+    #[test]
+    fn parses_nested_structures() {
+        let v = roundtrip(r#" {"op":"query","k":10,"eps":0.5,"tags":[1,2,3],"deep":{"a":null}} "#);
+        assert_eq!(v.get("op").unwrap().as_str(), Some("query"));
+        assert_eq!(v.get("k").unwrap().as_u64(), Some(10));
+        assert_eq!(v.get("eps").unwrap().as_f64(), Some(0.5));
+        assert_eq!(v.get("tags").unwrap().as_array().unwrap().len(), 3);
+        assert_eq!(v.get("deep").unwrap().get("a"), Some(&Json::Null));
+        assert_eq!(v.get("missing"), None);
+    }
+
+    #[test]
+    fn handles_escapes_and_unicode() {
+        let v = roundtrip(r#""line\nquote\"backslash\\tab\tslash\/""#);
+        assert_eq!(v.as_str(), Some("line\nquote\"backslash\\tab\tslash/"));
+        let v = Json::parse(r#""\u00e9\u20ac""#).unwrap();
+        assert_eq!(v.as_str(), Some("é€"));
+        // Surrogate pair: U+1F600.
+        let v = Json::parse(r#""\ud83d\ude00""#).unwrap();
+        assert_eq!(v.as_str(), Some("😀"));
+        // Non-ASCII survives the writer.
+        assert_eq!(roundtrip("\"héllo wörld\"").as_str(), Some("héllo wörld"));
+    }
+
+    #[test]
+    fn rejects_malformed_input() {
+        for bad in [
+            "",
+            "{",
+            "[1,",
+            "{\"a\"}",
+            "{\"a\":}",
+            "tru",
+            "1 2",
+            "\"unterminated",
+            "{\"a\":1,}",
+            "[,]",
+            "\"\\q\"",
+            "nan",
+            "\"\\ud800\"",
+            // High surrogate followed by a non-low-surrogate escape: must be a clean
+            // parse error, not an arithmetic overflow (this is remote client input).
+            "\"\\ud800\\ud801\"",
+            "\"\\ud800\\u0041\"",
+            "\"\\udc00\\udc00\"",
+        ] {
+            assert!(Json::parse(bad).is_err(), "should reject {bad:?}");
+        }
+    }
+
+    #[test]
+    fn deep_nesting_is_a_parse_error_not_a_stack_overflow() {
+        // The parser recurses per nesting level; a hostile line of hundreds of
+        // thousands of brackets must fail cleanly instead of aborting the process.
+        let deep = "[".repeat(200_000);
+        assert!(Json::parse(&deep).is_err());
+        let deep_objects = "{\"a\":".repeat(200_000);
+        assert!(Json::parse(&deep_objects).is_err());
+        // Reasonable nesting still parses (protocol uses 3 levels).
+        let ok = format!("{}1{}", "[".repeat(64), "]".repeat(64));
+        assert!(Json::parse(&ok).is_ok());
+    }
+
+    #[test]
+    fn writer_emits_compact_stable_output() {
+        let v = Json::Object(vec![
+            ("status".into(), Json::String("ok".into())),
+            ("count".into(), Json::Number(12.0)),
+            ("frac".into(), Json::Number(0.25)),
+            ("inf".into(), Json::Number(f64::INFINITY)),
+        ]);
+        assert_eq!(
+            v.to_string(),
+            r#"{"status":"ok","count":12,"frac":0.25,"inf":null}"#
+        );
+    }
+
+    #[test]
+    fn integer_accessor_rejects_fractions_and_negatives() {
+        assert_eq!(Json::Number(3.5).as_u64(), None);
+        assert_eq!(Json::Number(-1.0).as_u64(), None);
+        assert_eq!(Json::Number(0.0).as_u64(), Some(0));
+        assert_eq!(Json::String("7".into()).as_u64(), None);
+    }
+}

@@ -1,0 +1,66 @@
+//! # pb-service — a concurrent PrivBasis dataset-serving layer
+//!
+//! The library crates answer one-shot invocations; this crate turns them into a serving
+//! system. A [`DatasetRegistry`] holds named [`TransactionDb`](pb_fim::TransactionDb)s,
+//! each with:
+//!
+//! * a **cached [`QueryContext`](pb_core::QueryContext)** behind `Arc`, built on first
+//!   use and reused by every later query: the full
+//!   [`VerticalIndex`](pb_fim::VerticalIndex) plus the memoized deterministic
+//!   precomputation (item ranking, θ counts), fed to
+//!   [`PrivBasis::run_shared`](pb_core::PrivBasis::run_shared) so per-query index builds
+//!   and the θ mining pass disappear from the hot path — measured by the
+//!   `service/cached_vs_cold_index` benchmark),
+//! * a **privacy-budget ledger** ([`pb_dp::BudgetLedger`]): every top-`k` query debits
+//!   its ε atomically before any mechanism runs, and an exhausted dataset rejects all
+//!   further queries — sequential composition enforced at the serving layer, under any
+//!   interleaving of client threads.
+//!
+//! [`PbServer`] exposes the registry over `std::net::TcpListener` with a fixed worker
+//! pool (sized by the `PB_NUM_THREADS` convention shared with `pb-fim`), speaking
+//! newline-delimited JSON ([`protocol`]). Everything is std-only: the JSON tree in
+//! [`json`] replaces `serde_json` because the build environment has no registry access.
+//!
+//! ## In-process quick example
+//!
+//! ```
+//! use pb_service::{DatasetRegistry, PbServer, ServiceConfig};
+//! use pb_dp::Epsilon;
+//! use pb_fim::TransactionDb;
+//! use std::io::{BufRead, BufReader, Write};
+//! use std::sync::Arc;
+//!
+//! let registry = Arc::new(DatasetRegistry::new());
+//! registry
+//!     .register(
+//!         "toy",
+//!         TransactionDb::from_transactions(vec![vec![1, 2], vec![1, 2, 3], vec![2, 3]]),
+//!         Epsilon::Finite(10.0),
+//!     )
+//!     .unwrap();
+//! let server = PbServer::bind("127.0.0.1:0", Arc::clone(&registry), ServiceConfig::default())
+//!     .unwrap();
+//! let addr = server.local_addr().unwrap();
+//! let handle = std::thread::spawn(move || server.run());
+//!
+//! let mut conn = std::net::TcpStream::connect(addr).unwrap();
+//! writeln!(conn, r#"{{"op":"query","dataset":"toy","k":2,"epsilon":1.0,"seed":7}}"#).unwrap();
+//! let mut line = String::new();
+//! BufReader::new(conn.try_clone().unwrap()).read_line(&mut line).unwrap();
+//! assert!(line.contains(r#""status":"ok""#));
+//! writeln!(conn, r#"{{"op":"shutdown"}}"#).unwrap();
+//! handle.join().unwrap().unwrap();
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod json;
+pub mod protocol;
+pub mod registry;
+pub mod server;
+
+pub use json::{Json, JsonError};
+pub use protocol::{QueryRequest, Request};
+pub use registry::{DatasetEntry, DatasetRegistry, RegistryError};
+pub use server::{PbServer, ServiceConfig};

@@ -1,0 +1,271 @@
+//! Named datasets with cached query contexts and budget ledgers.
+//!
+//! The registry is the service's unit of state: each entry owns one immutable
+//! [`TransactionDb`], a lazily built [`QueryContext`] (full [`VerticalIndex`] plus the
+//! memoized deterministic precomputation — item ranking, θ counts) shared by every query
+//! against the dataset, and a [`BudgetLedger`] enforcing the dataset's lifetime ε.
+//! Entries are handed out as `Arc<DatasetEntry>` so worker threads hold them across a
+//! query without pinning the registry lock.
+
+use pb_core::QueryContext;
+use pb_dp::{BudgetLedger, Epsilon};
+use pb_fim::{TransactionDb, VerticalIndex};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+
+/// Errors from registry operations.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegistryError {
+    /// A dataset with this name is already registered.
+    DuplicateName(String),
+    /// The dataset holds no transactions (nothing could ever be queried).
+    EmptyDataset(String),
+}
+
+impl std::fmt::Display for RegistryError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RegistryError::DuplicateName(name) => {
+                write!(f, "dataset `{name}` is already registered")
+            }
+            RegistryError::EmptyDataset(name) => {
+                write!(f, "dataset `{name}` contains no transactions")
+            }
+        }
+    }
+}
+
+impl std::error::Error for RegistryError {}
+
+/// One registered dataset: the data, its cached query context, and its budget ledger.
+#[derive(Debug)]
+pub struct DatasetEntry {
+    name: String,
+    db: Arc<TransactionDb>,
+    /// Built on first use and shared by every later query: the full vertical index plus
+    /// the memoized deterministic precomputation the cold path would repeat per query.
+    context: OnceLock<Arc<QueryContext>>,
+    ledger: BudgetLedger,
+    queries_served: AtomicU64,
+}
+
+impl DatasetEntry {
+    /// The dataset's registered name.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The transaction database.
+    pub fn db(&self) -> &Arc<TransactionDb> {
+        &self.db
+    }
+
+    /// The cached query context, building it on the first call.
+    ///
+    /// Concurrent first calls may race to build, but [`OnceLock`] publishes exactly one
+    /// winner and the build is deterministic, so every caller observes the same context.
+    pub fn context(&self) -> &Arc<QueryContext> {
+        self.context
+            .get_or_init(|| Arc::new(QueryContext::new(Arc::clone(&self.db))))
+    }
+
+    /// The cached full vertical index (part of the context), building it on first call.
+    pub fn index(&self) -> &Arc<VerticalIndex> {
+        self.context().index()
+    }
+
+    /// True once the context (index included) has been built (tests, status endpoint).
+    pub fn index_is_cached(&self) -> bool {
+        self.context.get().is_some()
+    }
+
+    /// The dataset's privacy-budget ledger.
+    pub fn ledger(&self) -> &BudgetLedger {
+        &self.ledger
+    }
+
+    /// Number of successfully answered queries (monotone counter).
+    pub fn queries_served(&self) -> u64 {
+        self.queries_served.load(Ordering::Relaxed)
+    }
+
+    /// Records one successfully answered query.
+    pub fn record_query(&self) {
+        self.queries_served.fetch_add(1, Ordering::Relaxed);
+    }
+}
+
+/// A concurrent name → dataset map.
+#[derive(Debug, Default)]
+pub struct DatasetRegistry {
+    datasets: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+}
+
+impl DatasetRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a dataset under `name` with a lifetime budget of `total_epsilon`.
+    ///
+    /// The index is *not* built here — registration stays cheap and the first query (or
+    /// an explicit [`DatasetEntry::index`] call during warm-up) pays the build once.
+    pub fn register(
+        &self,
+        name: impl Into<String>,
+        db: TransactionDb,
+        total_epsilon: Epsilon,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        let name = name.into();
+        if db.is_empty() {
+            return Err(RegistryError::EmptyDataset(name));
+        }
+        let mut map = self.write();
+        if map.contains_key(&name) {
+            return Err(RegistryError::DuplicateName(name));
+        }
+        let entry = Arc::new(DatasetEntry {
+            name: name.clone(),
+            db: db.into_shared(),
+            context: OnceLock::new(),
+            ledger: BudgetLedger::new(total_epsilon),
+            queries_served: AtomicU64::new(0),
+        });
+        map.insert(name, Arc::clone(&entry));
+        Ok(entry)
+    }
+
+    /// Looks a dataset up by name.
+    pub fn get(&self, name: &str) -> Option<Arc<DatasetEntry>> {
+        self.read().get(name).cloned()
+    }
+
+    /// The registered names, sorted (stable output for the status endpoint).
+    pub fn names(&self) -> Vec<String> {
+        let mut names: Vec<String> = self.read().keys().cloned().collect();
+        names.sort();
+        names
+    }
+
+    /// Number of registered datasets.
+    pub fn len(&self) -> usize {
+        self.read().len()
+    }
+
+    /// True when nothing is registered.
+    pub fn is_empty(&self) -> bool {
+        self.read().is_empty()
+    }
+
+    fn read(&self) -> std::sync::RwLockReadGuard<'_, HashMap<String, Arc<DatasetEntry>>> {
+        self.datasets.read().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn write(&self) -> std::sync::RwLockWriteGuard<'_, HashMap<String, Arc<DatasetEntry>>> {
+        self.datasets
+            .write()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn tiny_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![vec![1, 2], vec![1, 2, 3], vec![2, 3]])
+    }
+
+    #[test]
+    fn registers_and_looks_up() {
+        let registry = DatasetRegistry::new();
+        registry
+            .register("retail", tiny_db(), Epsilon::Finite(2.0))
+            .unwrap();
+        assert_eq!(registry.len(), 1);
+        assert!(!registry.is_empty());
+        let entry = registry.get("retail").unwrap();
+        assert_eq!(entry.name(), "retail");
+        assert_eq!(entry.db().len(), 3);
+        assert_eq!(entry.ledger().total(), Epsilon::Finite(2.0));
+        assert!(registry.get("nope").is_none());
+        assert_eq!(registry.names(), vec!["retail".to_string()]);
+    }
+
+    #[test]
+    fn rejects_duplicates_and_empty_datasets() {
+        let registry = DatasetRegistry::new();
+        registry
+            .register("a", tiny_db(), Epsilon::Finite(1.0))
+            .unwrap();
+        assert_eq!(
+            registry
+                .register("a", tiny_db(), Epsilon::Finite(1.0))
+                .unwrap_err(),
+            RegistryError::DuplicateName("a".into())
+        );
+        assert_eq!(
+            registry
+                .register("empty", TransactionDb::default(), Epsilon::Finite(1.0))
+                .unwrap_err(),
+            RegistryError::EmptyDataset("empty".into())
+        );
+        // Error display strings mention the dataset.
+        assert!(RegistryError::DuplicateName("a".into())
+            .to_string()
+            .contains('a'));
+        assert!(RegistryError::EmptyDataset("empty".into())
+            .to_string()
+            .contains("empty"));
+    }
+
+    #[test]
+    fn index_builds_once_and_is_shared() {
+        let registry = DatasetRegistry::new();
+        let entry = registry
+            .register("d", tiny_db(), Epsilon::Infinite)
+            .unwrap();
+        assert!(!entry.index_is_cached());
+        let a = Arc::clone(entry.index());
+        assert!(entry.index_is_cached());
+        let b = Arc::clone(entry.index());
+        assert!(Arc::ptr_eq(&a, &b), "second call must reuse the cache");
+        assert_eq!(a.num_transactions(), 3);
+    }
+
+    #[test]
+    fn concurrent_index_access_yields_one_index() {
+        let registry = DatasetRegistry::new();
+        let entry = registry
+            .register("d", tiny_db(), Epsilon::Infinite)
+            .unwrap();
+        let indexes: Vec<Arc<VerticalIndex>> = std::thread::scope(|scope| {
+            (0..8)
+                .map(|_| {
+                    let entry = Arc::clone(&entry);
+                    scope.spawn(move || Arc::clone(entry.index()))
+                })
+                .collect::<Vec<_>>()
+                .into_iter()
+                .map(|h| h.join().unwrap())
+                .collect()
+        });
+        for ix in &indexes[1..] {
+            assert!(Arc::ptr_eq(&indexes[0], ix));
+        }
+    }
+
+    #[test]
+    fn query_counter_is_monotone() {
+        let registry = DatasetRegistry::new();
+        let entry = registry
+            .register("d", tiny_db(), Epsilon::Infinite)
+            .unwrap();
+        assert_eq!(entry.queries_served(), 0);
+        entry.record_query();
+        entry.record_query();
+        assert_eq!(entry.queries_served(), 2);
+    }
+}

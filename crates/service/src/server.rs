@@ -1,0 +1,313 @@
+//! The TCP server: a fixed worker pool serving newline-delimited JSON queries.
+//!
+//! The accept loop pushes connections into an [`mpsc`] channel; `threads` workers pull
+//! from it behind a shared mutex and run whole connections to completion (a connection
+//! may issue many requests). All dataset state lives in the shared
+//! [`DatasetRegistry`] — workers hold `Arc<DatasetEntry>` clones for the duration of one
+//! query, so a slow query never pins the registry lock, and the per-dataset
+//! [`BudgetLedger`](pb_dp::BudgetLedger) makes concurrent spending race-free.
+//!
+//! Shutdown is cooperative: a `shutdown` request sets a flag and pokes the listener with
+//! a wake-up connection; the accept loop exits, the channel closes, and workers drain
+//! whatever was already queued before returning.
+
+use crate::protocol::{
+    error_response, query_response, shutdown_response, status_response, DatasetStatus,
+    QueryRequest, Request,
+};
+use crate::registry::DatasetRegistry;
+use pb_core::{PrivBasis, PrivBasisParams};
+use pb_dp::Epsilon;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::time::Duration;
+
+/// Server tuning knobs.
+#[derive(Debug, Clone)]
+pub struct ServiceConfig {
+    /// Worker-pool size. The default honours the workspace-wide `PB_NUM_THREADS`
+    /// convention via [`pb_fim::index::available_parallelism`].
+    pub threads: usize,
+    /// PrivBasis parameters applied to every query.
+    pub params: PrivBasisParams,
+    /// Per-connection read timeout; a client that goes silent for this long loses its
+    /// connection (and frees its worker) rather than pinning the pool.
+    pub read_timeout: Option<Duration>,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        ServiceConfig {
+            threads: pb_fim::index::available_parallelism().max(1),
+            params: PrivBasisParams::default(),
+            read_timeout: Some(Duration::from_secs(30)),
+        }
+    }
+}
+
+/// A bound-but-not-yet-running server.
+pub struct PbServer {
+    listener: TcpListener,
+    registry: Arc<DatasetRegistry>,
+    config: ServiceConfig,
+}
+
+/// State shared by the accept loop and every worker.
+struct ServerCtx {
+    registry: Arc<DatasetRegistry>,
+    params: PrivBasisParams,
+    shutdown: AtomicBool,
+    local_addr: SocketAddr,
+    /// Source of per-query seeds when the client does not pin one.
+    seed_counter: AtomicU64,
+}
+
+impl PbServer {
+    /// Binds to `addr` (use port 0 to let the OS pick a free port for tests).
+    pub fn bind(
+        addr: impl ToSocketAddrs,
+        registry: Arc<DatasetRegistry>,
+        config: ServiceConfig,
+    ) -> std::io::Result<PbServer> {
+        let listener = TcpListener::bind(addr)?;
+        Ok(PbServer {
+            listener,
+            registry,
+            config,
+        })
+    }
+
+    /// The bound address (port resolved when binding to port 0).
+    pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
+        self.listener.local_addr()
+    }
+
+    /// Serves until a client sends `{"op":"shutdown"}`. Blocks the calling thread; run it
+    /// on a dedicated thread if the caller needs to keep going.
+    pub fn run(self) -> std::io::Result<()> {
+        let local_addr = self.listener.local_addr()?;
+        let threads = self.config.threads.max(1);
+        // Seed base: wall-clock nanos so two server runs don't replay the same noise for
+        // clients that omit `seed`; clients that need reproducibility pass their own.
+        let seed_base = std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_nanos() as u64)
+            .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        let ctx = Arc::new(ServerCtx {
+            registry: Arc::clone(&self.registry),
+            params: self.config.params.clone(),
+            shutdown: AtomicBool::new(false),
+            local_addr,
+            seed_counter: AtomicU64::new(seed_base),
+        });
+
+        let (sender, receiver) = channel::<TcpStream>();
+        let receiver = Arc::new(Mutex::new(receiver));
+        let workers: Vec<std::thread::JoinHandle<()>> = (0..threads)
+            .map(|_| {
+                let receiver = Arc::clone(&receiver);
+                let ctx = Arc::clone(&ctx);
+                let read_timeout = self.config.read_timeout;
+                std::thread::spawn(move || worker_loop(&receiver, &ctx, read_timeout))
+            })
+            .collect();
+
+        for stream in self.listener.incoming() {
+            if ctx.shutdown.load(Ordering::SeqCst) {
+                break;
+            }
+            match stream {
+                // A closed channel means every worker is gone; stop accepting.
+                Ok(stream) => {
+                    if sender.send(stream).is_err() {
+                        break;
+                    }
+                }
+                // Transient accept failures (e.g. aborted handshakes) are not fatal.
+                Err(_) => continue,
+            }
+        }
+        drop(sender);
+        for worker in workers {
+            let _ = worker.join();
+        }
+        Ok(())
+    }
+}
+
+/// How often an idle connection wakes up to check the shutdown flag.
+const POLL_INTERVAL: Duration = Duration::from_millis(200);
+
+/// Pulls connections until the channel closes (accept loop exited and queue drained).
+fn worker_loop(
+    receiver: &Mutex<Receiver<TcpStream>>,
+    ctx: &ServerCtx,
+    read_timeout: Option<Duration>,
+) {
+    loop {
+        let stream = {
+            let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
+            guard.recv()
+        };
+        match stream {
+            Ok(stream) => {
+                // Connection-level IO errors (client vanished, timeout) only kill this
+                // connection, never the worker — and neither does a panic anywhere in the
+                // request path (a poisoned pool would shrink by one worker per bad
+                // request, a trivial remote DoS).
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    serve_connection(stream, ctx, read_timeout)
+                }));
+            }
+            Err(_) => return,
+        }
+    }
+}
+
+/// Hard cap on one request line; a client exceeding it loses the connection. Far above
+/// any legitimate request (a query is < 200 bytes) but small enough that hostile clients
+/// cannot grow worker memory without bound.
+const MAX_REQUEST_BYTES: usize = 1 << 20;
+
+/// Runs one connection: requests in, responses out, until EOF, idle timeout, or server
+/// shutdown. Reads poll at [`POLL_INTERVAL`] so a worker parked on an idle client still
+/// notices the shutdown flag promptly instead of pinning [`PbServer::run`]'s final join.
+fn serve_connection(
+    stream: TcpStream,
+    ctx: &ServerCtx,
+    read_timeout: Option<Duration>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut line: Vec<u8> = Vec::new();
+    let mut idle = Duration::ZERO;
+    loop {
+        // Chunked read via fill_buf/consume rather than `read_line`: read_line only
+        // returns at a newline/EOF/error, so a client streaming a newline-free body
+        // would pin this worker past both the idle timeout and the shutdown flag while
+        // `line` grew without bound. Here every buffered chunk re-checks the caps.
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // EOF: client closed cleanly.
+            Ok(buf) => {
+                idle = Duration::ZERO;
+                let (chunk, found_newline) = match buf.iter().position(|&b| b == b'\n') {
+                    Some(pos) => (&buf[..pos], true),
+                    None => (buf, false),
+                };
+                line.extend_from_slice(chunk);
+                let consumed = chunk.len() + usize::from(found_newline);
+                reader.consume(consumed);
+                if line.len() > MAX_REQUEST_BYTES {
+                    let response = error_response("request line too long");
+                    writeln!(writer, "{response}")?;
+                    writer.flush()?;
+                    return Ok(());
+                }
+                if !found_newline {
+                    continue;
+                }
+                let request = String::from_utf8_lossy(&line);
+                let trimmed = request.trim();
+                if !trimmed.is_empty() {
+                    let (response, shutdown) = dispatch(trimmed, ctx);
+                    writeln!(writer, "{response}")?;
+                    writer.flush()?;
+                    if shutdown {
+                        initiate_shutdown(ctx);
+                        return Ok(());
+                    }
+                }
+                line.clear();
+            }
+            // Poll tick: `line` may hold a partial request — keep accumulating into it.
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if ctx.shutdown.load(Ordering::SeqCst) {
+                    return Ok(());
+                }
+                idle += POLL_INTERVAL;
+                if read_timeout.is_some_and(|limit| idle >= limit) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Parses and executes one request line; the bool asks the caller to begin shutdown.
+fn dispatch(line: &str, ctx: &ServerCtx) -> (crate::json::Json, bool) {
+    match Request::parse(line) {
+        Err(message) => (error_response(&message), false),
+        Ok(Request::Status) => (status(ctx), false),
+        Ok(Request::Shutdown) => (shutdown_response(), true),
+        Ok(Request::Query(query)) => (run_query(&query, ctx), false),
+    }
+}
+
+/// The query path: ledger debit → cached index → PrivBasis → response.
+fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> crate::json::Json {
+    let Some(entry) = ctx.registry.get(&query.dataset) else {
+        return error_response(&format!("unknown dataset `{}`", query.dataset));
+    };
+    // The debit happens before the mechanism runs and is never refunded: a query that
+    // fails after this point may still have consumed data-dependent randomness, so the
+    // conservative accounting is the only safe one.
+    if let Err(e) = entry.ledger().try_spend(query.epsilon) {
+        return error_response(&e.to_string());
+    }
+    // The mechanism always runs at the client's (finite, validated) ε — NOT at the
+    // ledger's return value: an infinite ledger returns `Epsilon::Infinite`, which is
+    // the zero-noise test mode and would silently publish exact counts.
+    let epsilon = Epsilon::Finite(query.epsilon);
+    // Masked to 53 bits so the seed echoed in the response survives the f64 JSON round
+    // trip exactly — an unreproducible echoed seed would defeat its purpose.
+    let seed = query
+        .seed
+        .unwrap_or_else(|| ctx.seed_counter.fetch_add(1, Ordering::Relaxed) & ((1 << 53) - 1));
+    let mut rng = StdRng::seed_from_u64(seed);
+    let context = Arc::clone(entry.context());
+    match PrivBasis::new(ctx.params.clone()).run_shared(&mut rng, &context, query.k, epsilon) {
+        Ok(output) => {
+            entry.record_query();
+            query_response(
+                &query.dataset,
+                query.epsilon,
+                entry.ledger().remaining(),
+                seed,
+                &output,
+            )
+        }
+        Err(e) => error_response(&e.to_string()),
+    }
+}
+
+fn status(ctx: &ServerCtx) -> crate::json::Json {
+    let rows: Vec<DatasetStatus> = ctx
+        .registry
+        .names()
+        .into_iter()
+        .filter_map(|name| ctx.registry.get(&name))
+        .map(|entry| DatasetStatus {
+            name: entry.name().to_string(),
+            transactions: entry.db().len(),
+            items: entry.db().num_distinct_items(),
+            index_cached: entry.index_is_cached(),
+            spent: entry.ledger().spent(),
+            remaining: entry.ledger().remaining(),
+            queries: entry.queries_served(),
+        })
+        .collect();
+    status_response(&rows)
+}
+
+/// Sets the shutdown flag and wakes the blocked accept loop with a throwaway connection.
+fn initiate_shutdown(ctx: &ServerCtx) {
+    ctx.shutdown.store(true, Ordering::SeqCst);
+    let _ = TcpStream::connect_timeout(&ctx.local_addr, Duration::from_secs(1));
+}

@@ -1,0 +1,305 @@
+//! Integration tests: a real `PbServer` on a loopback port, hammered by client threads.
+
+use pb_dp::Epsilon;
+use pb_fim::TransactionDb;
+use pb_service::{DatasetRegistry, Json, PbServer, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+
+/// A dense little market-basket database with an unambiguous top-k.
+fn fixture_db(n: usize) -> TransactionDb {
+    let mut rows = Vec::with_capacity(n);
+    for i in 0..n {
+        let slot = i % 10;
+        let mut row: Vec<u32> = (0..5u32).filter(|&j| slot < 10 - 2 * j as usize).collect();
+        row.push(5 + slot as u32);
+        rows.push(row);
+    }
+    TransactionDb::from_transactions(rows)
+}
+
+fn start_server(registry: Arc<DatasetRegistry>, threads: usize) -> (SocketAddr, JoinHandle<()>) {
+    let config = ServiceConfig {
+        threads,
+        ..ServiceConfig::default()
+    };
+    let server = PbServer::bind("127.0.0.1:0", registry, config).expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+    (addr, handle)
+}
+
+/// One connection issuing many requests.
+struct Client {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+}
+
+impl Client {
+    fn connect(addr: SocketAddr) -> Client {
+        let stream = TcpStream::connect(addr).expect("connect");
+        Client {
+            reader: BufReader::new(stream.try_clone().expect("clone stream")),
+            writer: stream,
+        }
+    }
+
+    fn request(&mut self, line: &str) -> Json {
+        writeln!(self.writer, "{line}").expect("send request");
+        let mut response = String::new();
+        self.reader.read_line(&mut response).expect("read response");
+        Json::parse(response.trim()).expect("well-formed response JSON")
+    }
+}
+
+fn shutdown(addr: SocketAddr, handle: JoinHandle<()>) {
+    let mut client = Client::connect(addr);
+    let ack = client.request(r#"{"op":"shutdown"}"#);
+    assert_eq!(ack.get("status").and_then(Json::as_str), Some("ok"));
+    handle.join().expect("server thread exits cleanly");
+}
+
+#[test]
+fn concurrent_clients_never_overspend_the_ledger() {
+    // Budget 0.5, queries of ε = 0.025 → exactly 20 may succeed, however 8 client
+    // threads × 4 attempts interleave.
+    let registry = Arc::new(DatasetRegistry::new());
+    registry
+        .register("retail", fixture_db(120), Epsilon::Finite(0.5))
+        .unwrap();
+    let (addr, handle) = start_server(Arc::clone(&registry), 4);
+
+    let successes: usize = std::thread::scope(|scope| {
+        (0..8)
+            .map(|t| {
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr);
+                    let mut ok = 0;
+                    for q in 0..4 {
+                        let seed = t * 1_000 + q;
+                        let response = client.request(&format!(
+                            r#"{{"op":"query","dataset":"retail","k":4,"epsilon":0.025,"seed":{seed}}}"#
+                        ));
+                        match response.get("status").and_then(Json::as_str) {
+                            Some("ok") => {
+                                // At this tiny per-query ε the λ draw is near-uniform, so a
+                                // λ = 1 release can truncate below k (documented behaviour);
+                                // the published length must equal min(k, candidate_count).
+                                let candidates = response
+                                    .get("candidate_count")
+                                    .and_then(Json::as_u64)
+                                    .expect("ok responses carry candidate_count")
+                                    as usize;
+                                assert_eq!(
+                                    response.get("itemsets").and_then(Json::as_array).map(<[Json]>::len),
+                                    Some(candidates.min(4))
+                                );
+                                ok += 1;
+                            }
+                            Some("error") => {
+                                let message = response
+                                    .get("error")
+                                    .and_then(Json::as_str)
+                                    .unwrap_or_default();
+                                assert!(
+                                    message.contains("budget"),
+                                    "only budget exhaustion may fail these queries, got: {message}"
+                                );
+                            }
+                            other => panic!("unexpected status {other:?}"),
+                        }
+                    }
+                    ok
+                })
+            })
+            .collect::<Vec<_>>()
+            .into_iter()
+            .map(|h| h.join().unwrap())
+            .sum()
+    });
+
+    assert_eq!(successes, 20, "ledger must admit exactly budget/ε queries");
+    let entry = registry.get("retail").unwrap();
+    assert!(entry.ledger().spent() <= 0.5 + 1e-9, "over-spend detected");
+    assert!(entry.ledger().is_exhausted());
+    assert_eq!(entry.queries_served(), 20);
+    assert!(
+        entry.index_is_cached(),
+        "queries must have built the shared index"
+    );
+
+    // The exhausted dataset rejects even a tiny further query.
+    let mut client = Client::connect(addr);
+    let refused =
+        client.request(r#"{"op":"query","dataset":"retail","k":2,"epsilon":0.001,"seed":1}"#);
+    assert_eq!(refused.get("status").and_then(Json::as_str), Some("error"));
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn pinned_seed_queries_are_reproducible_and_match_the_library() {
+    let registry = Arc::new(DatasetRegistry::new());
+    let db = fixture_db(300);
+    registry
+        .register("d", db.clone(), Epsilon::Finite(50.0))
+        .unwrap();
+    let (addr, handle) = start_server(Arc::clone(&registry), 2);
+
+    let mut client = Client::connect(addr);
+    let line = r#"{"op":"query","dataset":"d","k":5,"epsilon":2.0,"seed":9}"#;
+    let a = client.request(line);
+    let b = client.request(line);
+    assert_eq!(a.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(
+        a.get("itemsets"),
+        b.get("itemsets"),
+        "same seed, same release"
+    );
+    assert_eq!(a.get("lambda"), b.get("lambda"));
+
+    // And the release equals a direct library call with the same seed/ε — the service
+    // adds routing and accounting, never different noise.
+    use pb_core::PrivBasis;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+    let mut rng = StdRng::seed_from_u64(9);
+    let expected = PrivBasis::with_defaults()
+        .run(&mut rng, &db, 5, Epsilon::Finite(2.0))
+        .unwrap();
+    let served = a.get("itemsets").and_then(Json::as_array).unwrap();
+    assert_eq!(served.len(), expected.itemsets.len());
+    for (row, (itemset, count)) in served.iter().zip(&expected.itemsets) {
+        let items: Vec<u64> = row
+            .get("items")
+            .and_then(Json::as_array)
+            .unwrap()
+            .iter()
+            .filter_map(Json::as_u64)
+            .collect();
+        let expected_items: Vec<u64> = itemset.iter().map(u64::from).collect();
+        assert_eq!(items, expected_items);
+        let served_count = row.get("count").and_then(Json::as_f64).unwrap();
+        assert!((served_count - count).abs() < 1e-9);
+    }
+
+    // Distinct seeds consume distinct ε but may differ in output.
+    let c = client.request(r#"{"op":"query","dataset":"d","k":5,"epsilon":2.0,"seed":10}"#);
+    assert_eq!(c.get("status").and_then(Json::as_str), Some("ok"));
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn status_reports_datasets_and_errors_are_structured() {
+    let registry = Arc::new(DatasetRegistry::new());
+    registry
+        .register("alpha", fixture_db(100), Epsilon::Finite(3.0))
+        .unwrap();
+    let beta_db = fixture_db(200);
+    registry
+        .register("beta", beta_db.clone(), Epsilon::Infinite)
+        .unwrap();
+    let (addr, handle) = start_server(Arc::clone(&registry), 2);
+
+    let mut client = Client::connect(addr);
+
+    // Status before any query: nothing cached, nothing spent.
+    let status = client.request(r#"{"op":"status"}"#);
+    let datasets = status.get("datasets").and_then(Json::as_array).unwrap();
+    assert_eq!(datasets.len(), 2);
+    assert_eq!(
+        datasets[0].get("name").and_then(Json::as_str),
+        Some("alpha")
+    );
+    assert_eq!(
+        datasets[0].get("index_cached").and_then(Json::as_bool),
+        Some(false)
+    );
+    assert_eq!(
+        datasets[0].get("epsilon_spent").and_then(Json::as_f64),
+        Some(0.0)
+    );
+    // Infinite budget serialises as null.
+    assert_eq!(datasets[1].get("remaining_budget"), Some(&Json::Null));
+
+    // Unknown dataset, malformed JSON, invalid parameters: structured errors, connection
+    // stays usable.
+    let e = client.request(r#"{"op":"query","dataset":"nope","k":2,"epsilon":0.1}"#);
+    assert!(e
+        .get("error")
+        .and_then(Json::as_str)
+        .unwrap()
+        .contains("unknown dataset"));
+    let e = client.request("this is not json");
+    assert_eq!(e.get("status").and_then(Json::as_str), Some("error"));
+    let e = client.request(r#"{"op":"query","dataset":"alpha","k":0,"epsilon":0.1}"#);
+    assert_eq!(e.get("status").and_then(Json::as_str), Some("error"));
+
+    // Infinite-ledger dataset: the ledger stops *accounting*, but the mechanism must
+    // still run at the requested finite ε. The release has to match a direct library
+    // run at Epsilon::Finite — if the server leaked the ledger's Epsilon::Infinite into
+    // the mechanism it would publish exact (noiseless, non-private) counts instead.
+    let q = client.request(r#"{"op":"query","dataset":"beta","k":3,"epsilon":0.4,"seed":21}"#);
+    assert_eq!(q.get("status").and_then(Json::as_str), Some("ok"));
+    {
+        use pb_core::PrivBasis;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let mut rng = StdRng::seed_from_u64(21);
+        let expected = PrivBasis::with_defaults()
+            .run(&mut rng, &beta_db, 3, Epsilon::Finite(0.4))
+            .unwrap();
+        let served = q.get("itemsets").and_then(Json::as_array).unwrap();
+        let mut some_noise = false;
+        for (row, (itemset, count)) in served.iter().zip(&expected.itemsets) {
+            let served_count = row.get("count").and_then(Json::as_f64).unwrap();
+            assert!(
+                (served_count - count).abs() < 1e-9,
+                "infinite-ledger query must still carry Finite(ε) noise"
+            );
+            some_noise |= (served_count - beta_db.support(itemset) as f64).abs() > 1e-9;
+        }
+        assert!(
+            some_noise,
+            "release matches exact supports — noiseless leak?"
+        );
+    }
+
+    // A hostile newline-free request stream is cut off at the line cap with a
+    // structured error instead of growing worker memory unboundedly.
+    {
+        let stream = TcpStream::connect(addr).expect("connect");
+        let mut writer = stream.try_clone().expect("clone");
+        let mut reader = BufReader::new(stream);
+        let blob = vec![b'a'; 3 << 20];
+        // The server may cut us off mid-stream (RST on close); that is success too.
+        let _ = writer.write_all(&blob);
+        let mut response = String::new();
+        reader.read_line(&mut response).expect("read response");
+        assert!(
+            response.contains("request line too long"),
+            "got: {response}"
+        );
+    }
+
+    // A real query against `alpha` flips its cached-index bit and shows the debit.
+    let q = client.request(r#"{"op":"query","dataset":"alpha","k":3,"epsilon":1.5,"seed":4}"#);
+    assert_eq!(q.get("status").and_then(Json::as_str), Some("ok"));
+    assert_eq!(q.get("remaining_budget").and_then(Json::as_f64), Some(1.5));
+    let status = client.request(r#"{"op":"status"}"#);
+    let datasets = status.get("datasets").and_then(Json::as_array).unwrap();
+    assert_eq!(
+        datasets[0].get("index_cached").and_then(Json::as_bool),
+        Some(true)
+    );
+    assert_eq!(
+        datasets[0].get("epsilon_spent").and_then(Json::as_f64),
+        Some(1.5)
+    );
+    assert_eq!(datasets[0].get("queries").and_then(Json::as_u64), Some(1));
+
+    shutdown(addr, handle);
+}

@@ -1,0 +1,116 @@
+//! A self-contained `pb-service` round trip: start a server on a loopback port, register
+//! two datasets, hammer it from several client threads, inspect the budget ledgers, and
+//! shut it down cleanly.
+//!
+//! Run with: `cargo run --release --example service_client`
+//!
+//! The same protocol works against a standalone server started with
+//! `privbasis-cli serve --port 8710 --dataset retail=retail.dat --budget 4.0`.
+
+use privbasis::datagen::DatasetProfile;
+use privbasis::dp::Epsilon;
+use privbasis::service::{DatasetRegistry, Json, PbServer, ServiceConfig};
+use std::io::{BufRead, BufReader, Write};
+use std::net::{SocketAddr, TcpStream};
+use std::sync::Arc;
+
+/// Sends one request line and reads one response line.
+fn request(addr: SocketAddr, line: &str) -> Json {
+    let stream = TcpStream::connect(addr).expect("connect to pb-service");
+    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
+    let mut writer = stream;
+    writeln!(writer, "{line}").expect("send request");
+    let mut response = String::new();
+    reader.read_line(&mut response).expect("read response");
+    Json::parse(response.trim()).expect("response is JSON")
+}
+
+fn main() {
+    // 1. Register two synthetic datasets, each with its own lifetime ε ledger.
+    let registry = Arc::new(DatasetRegistry::new());
+    registry
+        .register(
+            "mushroom",
+            DatasetProfile::Mushroom.generate(0.05, 42),
+            Epsilon::Finite(4.0),
+        )
+        .expect("register mushroom");
+    registry
+        .register(
+            "retail",
+            DatasetProfile::Retail.generate(0.02, 42),
+            Epsilon::Finite(2.0),
+        )
+        .expect("register retail");
+
+    // 2. Start the server (port 0 → the OS picks a free one).
+    let server = PbServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServiceConfig::default(),
+    )
+    .expect("bind loopback");
+    let addr = server.local_addr().expect("bound address");
+    let server_thread = std::thread::spawn(move || server.run().expect("server run"));
+    println!("pb-service listening on {addr}");
+
+    // 3. Four client threads, three queries each, against both datasets.
+    std::thread::scope(|scope| {
+        for client in 0..4u64 {
+            scope.spawn(move || {
+                for q in 0..3u64 {
+                    let dataset = if (client + q) % 2 == 0 { "mushroom" } else { "retail" };
+                    let seed = client * 100 + q;
+                    let response = request(
+                        addr,
+                        &format!(
+                            r#"{{"op":"query","dataset":"{dataset}","k":5,"epsilon":0.2,"seed":{seed}}}"#
+                        ),
+                    );
+                    match response.get("status").and_then(Json::as_str) {
+                        Some("ok") => {
+                            let n = response
+                                .get("itemsets")
+                                .and_then(Json::as_array)
+                                .map_or(0, <[Json]>::len);
+                            let remaining = response
+                                .get("remaining_budget")
+                                .and_then(Json::as_f64)
+                                .unwrap_or(f64::NAN);
+                            println!(
+                                "client {client}: {dataset} top-{n} published, ε remaining {remaining:.2}"
+                            );
+                        }
+                        _ => println!(
+                            "client {client}: {dataset} rejected: {}",
+                            response.get("error").and_then(Json::as_str).unwrap_or("?")
+                        ),
+                    }
+                }
+            });
+        }
+    });
+
+    // 4. Ledger state after the burst: 12 queries × ε 0.2 split across the datasets.
+    let status = request(addr, r#"{"op":"status"}"#);
+    println!("\nstatus: {status}");
+    for row in status
+        .get("datasets")
+        .and_then(Json::as_array)
+        .unwrap_or(&[])
+    {
+        let name = row.get("name").and_then(Json::as_str).unwrap_or("?");
+        let spent = row
+            .get("epsilon_spent")
+            .and_then(Json::as_f64)
+            .unwrap_or(0.0);
+        let queries = row.get("queries").and_then(Json::as_u64).unwrap_or(0);
+        println!("  {name}: {queries} queries answered, ε spent {spent:.2}");
+    }
+
+    // 5. Clean shutdown: the server thread exits once the flag propagates.
+    let ack = request(addr, r#"{"op":"shutdown"}"#);
+    assert_eq!(ack.get("status").and_then(Json::as_str), Some("ok"));
+    server_thread.join().expect("server thread");
+    println!("server shut down cleanly");
+}

@@ -1,23 +1,30 @@
 //! `privbasis-cli` — publish the top-k frequent itemsets of a FIMI-format transaction file
-//! under ε-differential privacy from the command line.
+//! under ε-differential privacy from the command line, or serve datasets over TCP.
 //!
 //! ```text
 //! privbasis-cli --input retail.dat --k 100 --epsilon 1.0 [--method pb|tf] [--seed 42]
-//!               [--m 2] [--rules 0.8] [--tsv] [--no-index]
+//!               [--m 2] [--rules 0.8] [--tsv] [--no-index] [--no-consistency]
+//! privbasis-cli serve --port 8710 --dataset retail=retail.dat [--dataset web=web.dat]
+//!               [--budget 4.0] [--threads 8] [--host 127.0.0.1]
 //! ```
 //!
 //! The input format is the FIMI repository format the paper's datasets are distributed in:
 //! one transaction per line, items as whitespace-separated non-negative integers.
+//! `serve` registers every `--dataset name=path` under a per-dataset privacy-budget
+//! ledger of `--budget` ε and answers the newline-delimited JSON protocol of
+//! `pb-service` until a client sends `{"op":"shutdown"}`.
 
 use privbasis::core::PrivBasisParams;
 use privbasis::dp::Epsilon;
 use privbasis::fim::io::read_fimi_file;
 use privbasis::fim::rules::generate_rules_from_noisy;
+use privbasis::service::{DatasetRegistry, PbServer, ServiceConfig};
 use privbasis::tf::{TfConfig, TfMethod};
 use privbasis::{ItemSet, PrivBasis, TransactionDb};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
+use std::sync::Arc;
 
 /// Which private mechanism to run.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -38,11 +45,27 @@ struct Options {
     rules_min_confidence: Option<f64>,
     tsv: bool,
     no_index: bool,
+    no_consistency: bool,
+}
+
+/// Parsed options of the `serve` subcommand.
+#[derive(Debug, Clone)]
+struct ServeOptions {
+    host: String,
+    port: u16,
+    /// `(name, path)` pairs to register.
+    datasets: Vec<(String, String)>,
+    /// Per-dataset lifetime ε ledger (infinite when the operator passes `inf`).
+    budget: f64,
+    threads: Option<usize>,
+    no_consistency: bool,
 }
 
 const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <EPS>\n\
        [--method pb|tf] [--m <M>] [--seed <SEED>] [--rules <MIN_CONFIDENCE>] [--tsv]\n\
-       [--no-index]\n\
+       [--no-index] [--no-consistency]\n\
+   or: privbasis-cli serve --port <PORT> --dataset <NAME>=<FILE.dat> [--dataset ...]\n\
+       [--budget <EPS>] [--threads <N>] [--host <ADDR>] [--no-consistency]\n\
 \n\
   --input    FIMI-format transaction file (one transaction per line, integer items)\n\
   --k        number of itemsets to publish\n\
@@ -53,7 +76,17 @@ const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <
   --rules    also print association rules from the noisy release at this confidence\n\
   --tsv      machine-readable tab-separated output\n\
   --no-index count with row scans instead of the vertical bitmap index (slower;\n\
-             same output for the same seed; ignored for tf)";
+             same output for the same seed; ignored for tf)\n\
+  --no-consistency\n\
+             publish raw reconstructed counts without the consistency\n\
+             post-processing of §4 (Hay et al.); default is on, as in the paper\n\
+\n\
+serve mode:\n\
+  --port     TCP port to listen on (required)\n\
+  --host     bind address (default 127.0.0.1)\n\
+  --dataset  NAME=FILE.dat, repeatable; each gets its own budget ledger\n\
+  --budget   lifetime ε per dataset (default 1.0; `inf` disables the ledger)\n\
+  --threads  worker pool size (default: PB_NUM_THREADS or the CPU count)";
 
 /// Parses arguments; returns `Err(message)` on any problem.
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -66,6 +99,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut rules_min_confidence = None;
     let mut tsv = false;
     let mut no_index = false;
+    let mut no_consistency = false;
 
     let mut i = 0;
     while i < args.len() {
@@ -120,6 +154,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             }
             "--tsv" => tsv = true,
             "--no-index" => no_index = true,
+            "--no-consistency" => no_consistency = true,
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
@@ -154,7 +189,121 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         rules_min_confidence,
         tsv,
         no_index,
+        no_consistency,
     })
+}
+
+/// Parses the arguments after the `serve` keyword.
+fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
+    let mut host = "127.0.0.1".to_string();
+    let mut port: Option<u16> = None;
+    let mut datasets: Vec<(String, String)> = Vec::new();
+    let mut budget = 1.0f64;
+    let mut threads: Option<usize> = None;
+    let mut no_consistency = false;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--host" => host = value("--host")?,
+            "--port" => {
+                port = Some(
+                    value("--port")?
+                        .parse()
+                        .map_err(|_| "--port must be a TCP port number".to_string())?,
+                )
+            }
+            "--dataset" => {
+                let spec = value("--dataset")?;
+                let (name, path) = spec
+                    .split_once('=')
+                    .ok_or_else(|| format!("--dataset expects NAME=FILE, got `{spec}`"))?;
+                if name.is_empty() || path.is_empty() {
+                    return Err(format!("--dataset expects NAME=FILE, got `{spec}`"));
+                }
+                datasets.push((name.to_string(), path.to_string()));
+            }
+            "--budget" => {
+                let raw = value("--budget")?;
+                budget = if raw == "inf" {
+                    f64::INFINITY
+                } else {
+                    raw.parse()
+                        .map_err(|_| "--budget must be a number or `inf`".to_string())?
+                };
+                if budget.is_nan() || budget <= 0.0 {
+                    return Err("--budget must be positive".to_string());
+                }
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(n);
+            }
+            "--no-consistency" => no_consistency = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown serve flag `{other}`\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+
+    let port = port.ok_or_else(|| format!("serve needs --port\n\n{USAGE}"))?;
+    if datasets.is_empty() {
+        return Err(format!(
+            "serve needs at least one --dataset NAME=FILE\n\n{USAGE}"
+        ));
+    }
+    Ok(ServeOptions {
+        host,
+        port,
+        datasets,
+        budget,
+        threads,
+        no_consistency,
+    })
+}
+
+/// Loads the datasets, binds the server, and blocks until a shutdown request.
+fn serve(options: &ServeOptions) -> Result<(), String> {
+    let total = Epsilon::new(options.budget).map_err(|e| e.to_string())?;
+    let registry = Arc::new(DatasetRegistry::new());
+    for (name, path) in &options.datasets {
+        let db = read_fimi_file(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+        let entry = registry
+            .register(name.clone(), db, total)
+            .map_err(|e| e.to_string())?;
+        eprintln!(
+            "registered `{name}`: {} transactions over {} items, budget ε = {}",
+            entry.db().len(),
+            entry.db().num_distinct_items(),
+            options.budget
+        );
+    }
+
+    let mut config = ServiceConfig::default();
+    if let Some(threads) = options.threads {
+        config.threads = threads;
+    }
+    if options.no_consistency {
+        config.params.consistency = None;
+    }
+    let threads = config.threads;
+    let server = PbServer::bind((options.host.as_str(), options.port), registry, config)
+        .map_err(|e| format!("failed to bind {}:{}: {e}", options.host, options.port))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("pb-service listening on {addr} with {threads} worker thread(s)");
+    server.run().map_err(|e| e.to_string())
 }
 
 fn run(options: &Options, db: &TransactionDb) -> Result<Vec<(ItemSet, f64)>, String> {
@@ -164,6 +313,11 @@ fn run(options: &Options, db: &TransactionDb) -> Result<Vec<(ItemSet, f64)>, Str
         Method::PrivBasis => {
             let params = PrivBasisParams {
                 use_index: !options.no_index,
+                consistency: if options.no_consistency {
+                    None
+                } else {
+                    PrivBasisParams::default().consistency
+                },
                 ..Default::default()
             };
             let out = PrivBasis::new(params)
@@ -180,6 +334,22 @@ fn run(options: &Options, db: &TransactionDb) -> Result<Vec<(ItemSet, f64)>, Str
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("serve") {
+        let options = match parse_serve_args(&args[1..]) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match serve(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
+            }
+        };
+    }
     let options = match parse_args(&args) {
         Ok(o) => o,
         Err(msg) => {
@@ -288,6 +458,7 @@ mod tests {
         assert_eq!(o.method, Method::PrivBasis);
         assert!(!o.tsv);
         assert!(!o.no_index);
+        assert!(!o.no_consistency);
         assert_eq!(o.seed, 42);
     }
 
@@ -310,6 +481,7 @@ mod tests {
             "0.8",
             "--tsv",
             "--no-index",
+            "--no-consistency",
         ]))
         .unwrap();
         assert_eq!(o.method, Method::TruncatedFrequency);
@@ -318,7 +490,85 @@ mod tests {
         assert_eq!(o.rules_min_confidence, Some(0.8));
         assert!(o.tsv);
         assert!(o.no_index);
+        assert!(o.no_consistency);
         assert!(o.epsilon.is_infinite());
+    }
+
+    #[test]
+    fn parses_serve_arguments() {
+        let o = parse_serve_args(&args(&[
+            "--port",
+            "8710",
+            "--dataset",
+            "retail=retail.dat",
+            "--dataset",
+            "web=web.dat",
+            "--budget",
+            "4.0",
+            "--threads",
+            "8",
+            "--host",
+            "0.0.0.0",
+            "--no-consistency",
+        ]))
+        .unwrap();
+        assert_eq!(o.port, 8710);
+        assert_eq!(o.host, "0.0.0.0");
+        assert_eq!(
+            o.datasets,
+            vec![
+                ("retail".to_string(), "retail.dat".to_string()),
+                ("web".to_string(), "web.dat".to_string()),
+            ]
+        );
+        assert_eq!(o.budget, 4.0);
+        assert_eq!(o.threads, Some(8));
+        assert!(o.no_consistency);
+        // Defaults.
+        let o = parse_serve_args(&args(&["--port", "1", "--dataset", "a=b.dat"])).unwrap();
+        assert_eq!(o.host, "127.0.0.1");
+        assert_eq!(o.budget, 1.0);
+        assert_eq!(o.threads, None);
+        // `inf` budget accepted.
+        let o = parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b.dat",
+            "--budget",
+            "inf",
+        ]))
+        .unwrap();
+        assert!(o.budget.is_infinite());
+    }
+
+    #[test]
+    fn rejects_invalid_serve_arguments() {
+        // Missing port / missing datasets / malformed specs / bad numbers.
+        assert!(parse_serve_args(&args(&["--dataset", "a=b.dat"])).is_err());
+        assert!(parse_serve_args(&args(&["--port", "1"])).is_err());
+        assert!(parse_serve_args(&args(&["--port", "x", "--dataset", "a=b"])).is_err());
+        assert!(parse_serve_args(&args(&["--port", "1", "--dataset", "nameonly"])).is_err());
+        assert!(parse_serve_args(&args(&["--port", "1", "--dataset", "=b.dat"])).is_err());
+        assert!(parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b",
+            "--budget",
+            "-1"
+        ]))
+        .is_err());
+        assert!(parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b",
+            "--threads",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_serve_args(&args(&["--bogus"])).is_err());
     }
 
     #[test]
@@ -372,6 +622,7 @@ mod tests {
             rules_min_confidence: None,
             tsv: false,
             no_index: false,
+            no_consistency: false,
         };
         let pb = run(&base, &db).unwrap();
         assert_eq!(pb.len(), 3);

@@ -49,6 +49,7 @@ pub use pb_dp as dp;
 pub use pb_fim as fim;
 pub use pb_graph as graph;
 pub use pb_metrics as metrics;
+pub use pb_service as service;
 pub use pb_tf as tf;
 
 pub use pb_core::{BasisSet, PrivBasis, PrivBasisOutput, PrivBasisParams};
