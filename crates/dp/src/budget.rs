@@ -21,6 +21,29 @@ impl PrivacyBudget {
         PrivacyBudget { total, spent: 0.0 }
     }
 
+    /// Reconstructs an accountant from durable state (a replayed journal or snapshot).
+    ///
+    /// `spent` is clamped below at `0.0` (a journal can never legitimately record a
+    /// negative spend) but deliberately **not** clamped above the total: if durable
+    /// records say more was spent than the total allows, the safe reading is "exhausted",
+    /// never "fresh". Restoring is pure state reconstruction — it performs no budget
+    /// check and debits nothing.
+    pub fn restore(total: Epsilon, spent: f64) -> Self {
+        PrivacyBudget {
+            total,
+            spent: if spent.is_finite() {
+                spent.max(0.0)
+            } else {
+                f64::MAX
+            },
+        }
+    }
+
+    /// Overwrites the spent amount (rollback path for a failed durability hook).
+    pub(crate) fn set_spent(&mut self, spent: f64) {
+        self.spent = spent;
+    }
+
     /// The total budget.
     pub fn total(&self) -> Epsilon {
         self.total
@@ -148,6 +171,29 @@ mod tests {
         assert_eq!(b.remaining(), f64::INFINITY);
         assert_eq!(b.spend_fraction(0.5).unwrap(), Epsilon::Infinite);
         assert_eq!(b.spend_remaining().unwrap(), Epsilon::Infinite);
+    }
+
+    #[test]
+    fn restore_reconstructs_durable_state() {
+        let b = PrivacyBudget::restore(Epsilon::Finite(2.0), 0.5);
+        assert!((b.spent() - 0.5).abs() < 1e-12);
+        assert!((b.remaining() - 1.5).abs() < 1e-12);
+        // Negative recorded spend is impossible; clamp to a fresh ledger, never credit.
+        assert_eq!(
+            PrivacyBudget::restore(Epsilon::Finite(1.0), -3.0).spent(),
+            0.0
+        );
+        // Over-spent or garbage records read as exhausted, never as head-room.
+        assert_eq!(
+            PrivacyBudget::restore(Epsilon::Finite(1.0), 7.0).remaining(),
+            0.0
+        );
+        assert_eq!(
+            PrivacyBudget::restore(Epsilon::Finite(1.0), f64::NAN).remaining(),
+            0.0
+        );
+        let mut exhausted = PrivacyBudget::restore(Epsilon::Finite(1.0), 1.0);
+        assert!(exhausted.spend(0.1).is_err());
     }
 
     #[test]

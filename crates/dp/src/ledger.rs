@@ -6,44 +6,105 @@
 //! total, and a rejected request must not consume anything. [`BudgetLedger`] wraps the
 //! accountant in a [`Mutex`] so the check-and-debit is one atomic critical section, and
 //! exposes only `&self` methods so it can sit behind an `Arc` inside a registry entry.
+//!
+//! # Durability
+//!
+//! The ε spent so far *is* the DP guarantee — an in-memory ledger that resets on crash
+//! silently re-grants the whole budget. A [`DebitSink`] plugged in via
+//! [`BudgetLedger::with_journal`] makes every debit durable: the sink runs **inside the
+//! check-and-debit critical section, after the in-memory debit succeeds but before the
+//! ε is released to the caller**. The contract is:
+//!
+//! * a sink that returns `Ok(())` has made the debit durable (e.g. appended and fsynced
+//!   a journal record) — only then does `try_spend` hand the ε out, so no mechanism can
+//!   draw noise (let alone release output) before its debit would survive `kill -9`;
+//! * a sink error rolls the in-memory debit back and fails the spend with
+//!   [`DpError::Persistence`] — the caller gets no ε, runs no mechanism, releases
+//!   nothing, and the in-memory ledger still matches the durable state.
+//!
+//! The failure mode under a crash is therefore one-sided by construction: a crash
+//! between the fsync and the mechanism loses the *answer* (budget debited, nothing
+//! released), never the *guarantee* (output released, debit forgotten).
 
 use crate::budget::PrivacyBudget;
 use crate::epsilon::Epsilon;
 use crate::DpError;
 use std::sync::{Mutex, PoisonError};
 
-/// A concurrency-safe ε ledger: [`PrivacyBudget`] behind interior mutability.
+/// A durability hook invoked inside the ledger's spend critical section.
+///
+/// Implementors make a debit durable before the ledger releases the ε (see the module
+/// docs for the exact ordering contract). `spent_after` is the cumulative spend
+/// including this debit — sinks should persist the absolute value so replay can take a
+/// monotone maximum instead of re-summing (which would double-count records that
+/// survive a snapshot).
+///
+/// Sinks are only consulted for *finite* budgets: an infinite ledger performs no
+/// accounting, so there is nothing to persist.
+pub trait DebitSink: Send + std::fmt::Debug {
+    /// Makes one debit durable. `Err` aborts and rolls back the spend.
+    fn persist_debit(&mut self, amount: f64, spent_after: f64) -> std::io::Result<()>;
+}
+
+#[derive(Debug)]
+struct LedgerInner {
+    budget: PrivacyBudget,
+    sink: Option<Box<dyn DebitSink>>,
+}
+
+/// A concurrency-safe ε ledger: [`PrivacyBudget`] behind interior mutability, with an
+/// optional durability sink.
 ///
 /// All accounting goes through [`BudgetLedger::try_spend`], which atomically checks the
-/// remaining budget and debits the request. Once the ledger is exhausted every further
-/// `try_spend` fails with [`DpError::BudgetExceeded`] — the dataset can no longer answer
-/// queries, which is exactly the sequential-composition guarantee a serving layer needs.
+/// remaining budget, debits the request, and (when a sink is attached) persists the
+/// debit — one critical section, so concurrent spenders can neither overshoot the total
+/// nor observe a debit that is not yet durable. Once the ledger is exhausted every
+/// further `try_spend` fails with [`DpError::BudgetExceeded`] — the dataset can no
+/// longer answer queries, which is exactly the sequential-composition guarantee a
+/// serving layer needs.
 #[derive(Debug)]
 pub struct BudgetLedger {
-    inner: Mutex<PrivacyBudget>,
+    inner: Mutex<LedgerInner>,
 }
 
 impl BudgetLedger {
-    /// Creates a ledger over a total budget.
+    /// Creates an in-memory ledger over a total budget (no durability sink).
     pub fn new(total: Epsilon) -> Self {
         BudgetLedger {
-            inner: Mutex::new(PrivacyBudget::new(total)),
+            inner: Mutex::new(LedgerInner {
+                budget: PrivacyBudget::new(total),
+                sink: None,
+            }),
+        }
+    }
+
+    /// Creates a journaled ledger: the accountant starts from durable state
+    /// (`restored_spent`, typically a replayed journal — see
+    /// [`PrivacyBudget::restore`] for the clamping rules) and every further debit goes
+    /// through `sink` before it is released.
+    pub fn with_journal(total: Epsilon, restored_spent: f64, sink: Box<dyn DebitSink>) -> Self {
+        BudgetLedger {
+            inner: Mutex::new(LedgerInner {
+                budget: PrivacyBudget::restore(total, restored_spent),
+                sink: Some(sink),
+            }),
         }
     }
 
     /// The total budget the ledger was created with.
     pub fn total(&self) -> Epsilon {
-        self.lock().total()
+        self.lock().budget.total()
     }
 
-    /// ε consumed so far across all successful [`BudgetLedger::try_spend`] calls.
+    /// ε consumed so far across all successful [`BudgetLedger::try_spend`] calls
+    /// (including any spend restored from durable state).
     pub fn spent(&self) -> f64 {
-        self.lock().spent()
+        self.lock().budget.spent()
     }
 
     /// Remaining ε (infinite for an infinite budget).
     pub fn remaining(&self) -> f64 {
-        self.lock().remaining()
+        self.lock().budget.remaining()
     }
 
     /// True once no positive amount can be spent any more.
@@ -51,26 +112,53 @@ impl BudgetLedger {
         self.remaining() <= 0.0
     }
 
-    /// Atomically debits `amount` from the ledger and returns it as an [`Epsilon`] for a
-    /// mechanism to consume. Fails — without debiting anything — when `amount` is not a
-    /// positive finite number or exceeds what remains.
+    /// True when a durability sink is attached (debits survive a crash).
+    pub fn is_journaled(&self) -> bool {
+        self.lock().sink.is_some()
+    }
+
+    /// Atomically debits `amount` from the ledger, persists the debit through the sink
+    /// (if any), and returns it as an [`Epsilon`] for a mechanism to consume. Fails —
+    /// without debiting anything, in memory or durably — when `amount` is not a
+    /// positive finite number, exceeds what remains, or the sink cannot make the debit
+    /// durable ([`DpError::Persistence`]).
     ///
     /// Note for serving layers: with an infinite total this returns `Epsilon::Infinite`
-    /// (nothing to account). Run the *mechanism* at the caller's requested finite ε, not
-    /// at this return value — `Epsilon::Infinite` is the zero-noise mode.
+    /// (nothing to account, sink not consulted). Run the *mechanism* at the caller's
+    /// requested finite ε, not at this return value — `Epsilon::Infinite` is the
+    /// zero-noise mode.
     pub fn try_spend(&self, amount: f64) -> Result<Epsilon, DpError> {
-        self.lock().spend(amount)
+        let mut inner = self.lock();
+        let before = inner.budget.spent();
+        let granted = inner.budget.spend(amount)?;
+        // Infinite budgets don't account, so there is no state to persist.
+        if !granted.is_infinite() {
+            let spent_after = inner.budget.spent();
+            if let Some(sink) = inner.sink.as_mut() {
+                if let Err(e) = sink.persist_debit(amount, spent_after) {
+                    // Not durable ⇒ not spent: roll back so memory matches the journal,
+                    // and hand out no ε (the caller must not run a mechanism).
+                    inner.budget.set_spent(before);
+                    return Err(DpError::Persistence(format!(
+                        "failed to journal a debit of {amount}: {e}"
+                    )));
+                }
+            }
+        }
+        Ok(granted)
     }
 
     /// A snapshot of the accountant (for reporting; the clone is detached from the ledger).
     pub fn snapshot(&self) -> PrivacyBudget {
-        self.lock().clone()
+        self.lock().budget.clone()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, PrivacyBudget> {
-        // A panic while holding the lock cannot leave the ledger under-spent (spend is a
-        // single arithmetic update), so recovering from poison is sound and keeps one
-        // crashed worker thread from wedging the whole dataset.
+    fn lock(&self) -> std::sync::MutexGuard<'_, LedgerInner> {
+        // A panic while holding the lock cannot leave the ledger under-spent (the
+        // in-memory debit happens before the sink runs, and a sink that fails part-way
+        // leaves the debit in place until the explicit rollback), so recovering from
+        // poison is sound and keeps one crashed worker thread from wedging the whole
+        // dataset.
         self.inner.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
@@ -78,12 +166,34 @@ impl BudgetLedger {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
+
+    /// Records debits into a shared buffer; optionally fails after `fail_after`
+    /// successes. The buffer is shared so tests can inspect it while the ledger owns
+    /// the sink.
+    #[derive(Debug, Default)]
+    struct RecordingSink {
+        records: Arc<std::sync::Mutex<Vec<(f64, f64)>>>,
+        fail_after: Option<usize>,
+    }
+
+    impl DebitSink for RecordingSink {
+        fn persist_debit(&mut self, amount: f64, spent_after: f64) -> std::io::Result<()> {
+            let mut records = self.records.lock().unwrap();
+            if self.fail_after.is_some_and(|n| records.len() >= n) {
+                return Err(std::io::Error::other("disk gone"));
+            }
+            records.push((amount, spent_after));
+            Ok(())
+        }
+    }
 
     #[test]
     fn spends_and_reports_like_the_plain_accountant() {
         let ledger = BudgetLedger::new(Epsilon::Finite(2.0));
         assert_eq!(ledger.total(), Epsilon::Finite(2.0));
+        assert!(!ledger.is_journaled());
         assert_eq!(ledger.try_spend(0.5).unwrap(), Epsilon::Finite(0.5));
         assert!((ledger.spent() - 0.5).abs() < 1e-12);
         assert!((ledger.remaining() - 1.5).abs() < 1e-12);
@@ -111,6 +221,99 @@ mod tests {
             assert_eq!(ledger.try_spend(100.0).unwrap(), Epsilon::Infinite);
         }
         assert!(!ledger.is_exhausted());
+    }
+
+    #[test]
+    fn journaled_ledger_persists_every_debit_before_release() {
+        let sink = RecordingSink::default();
+        let records = Arc::clone(&sink.records);
+        let ledger = BudgetLedger::with_journal(Epsilon::Finite(1.0), 0.0, Box::new(sink));
+        assert!(ledger.is_journaled());
+        ledger.try_spend(0.25).unwrap();
+        ledger.try_spend(0.5).unwrap();
+        // A rejected overdraft must not reach the sink at all.
+        assert!(ledger.try_spend(0.9).is_err());
+        assert_eq!(*records.lock().unwrap(), vec![(0.25, 0.25), (0.5, 0.75)]);
+    }
+
+    #[test]
+    fn sink_sees_the_debit_before_try_spend_returns() {
+        // The output-release ordering of the module docs, as a test: by the time the
+        // caller holds the ε (and could run a mechanism), the sink has already accepted
+        // the debit. A sink recording a strictly-before timestamp proves the ordering.
+        #[derive(Debug)]
+        struct CountingSink(Arc<AtomicUsize>);
+        impl DebitSink for CountingSink {
+            fn persist_debit(&mut self, _: f64, _: f64) -> std::io::Result<()> {
+                self.0.fetch_add(1, Ordering::SeqCst);
+                Ok(())
+            }
+        }
+        let persisted = Arc::new(AtomicUsize::new(0));
+        let ledger = BudgetLedger::with_journal(
+            Epsilon::Finite(1.0),
+            0.0,
+            Box::new(CountingSink(Arc::clone(&persisted))),
+        );
+        for i in 0..5 {
+            let eps = ledger.try_spend(0.1).unwrap();
+            // The ε in hand implies the matching journal record is already durable.
+            assert_eq!(persisted.load(Ordering::SeqCst), i + 1);
+            assert_eq!(eps, Epsilon::Finite(0.1));
+        }
+    }
+
+    #[test]
+    fn sink_failure_rolls_the_debit_back() {
+        let ledger = BudgetLedger::with_journal(
+            Epsilon::Finite(1.0),
+            0.0,
+            Box::new(RecordingSink {
+                fail_after: Some(2),
+                ..Default::default()
+            }),
+        );
+        ledger.try_spend(0.2).unwrap();
+        ledger.try_spend(0.2).unwrap();
+        let err = ledger.try_spend(0.2).unwrap_err();
+        assert!(matches!(err, DpError::Persistence(_)), "{err:?}");
+        // The failed debit is fully rolled back: memory still matches the journal.
+        assert!((ledger.spent() - 0.4).abs() < 1e-12);
+        assert!((ledger.remaining() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn restored_spend_is_honoured() {
+        let ledger = BudgetLedger::with_journal(
+            Epsilon::Finite(1.0),
+            0.75,
+            Box::new(RecordingSink::default()),
+        );
+        assert!((ledger.spent() - 0.75).abs() < 1e-12);
+        assert!(ledger.try_spend(0.5).is_err(), "restored spend must count");
+        ledger.try_spend(0.25).unwrap();
+        assert!(ledger.is_exhausted());
+        // An exhausted-at-restore ledger stays exhausted.
+        let gone = BudgetLedger::with_journal(
+            Epsilon::Finite(1.0),
+            1.0,
+            Box::new(RecordingSink::default()),
+        );
+        assert!(gone.is_exhausted());
+        assert!(gone.try_spend(0.001).is_err());
+    }
+
+    #[test]
+    fn infinite_journaled_ledger_skips_the_sink() {
+        let ledger = BudgetLedger::with_journal(
+            Epsilon::Infinite,
+            0.0,
+            Box::new(RecordingSink {
+                fail_after: Some(0), // would fail if ever consulted
+                ..Default::default()
+            }),
+        );
+        assert_eq!(ledger.try_spend(10.0).unwrap(), Epsilon::Infinite);
     }
 
     #[test]

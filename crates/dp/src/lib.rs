@@ -8,7 +8,9 @@
 //!   functions that are monotone under tuple addition,
 //! * sampling **without replacement** by repeated application of the exponential mechanism,
 //! * a simple sequential-composition [`budget::PrivacyBudget`] accountant, plus its
-//!   thread-safe sibling [`ledger::BudgetLedger`] for concurrent serving layers,
+//!   thread-safe sibling [`ledger::BudgetLedger`] for concurrent serving layers — with
+//!   a [`ledger::DebitSink`] hook that makes every debit durable (journaled and
+//!   fsynced) before the ε is released to a mechanism,
 //! * an infinite-budget mode (`Epsilon::Infinite`) used by tests to check that the DP
 //!   algorithms degrade to their exact counterparts when noise vanishes.
 //!
@@ -31,7 +33,7 @@ pub use epsilon::Epsilon;
 pub use exponential::{exponential_mechanism, sample_without_replacement, ExponentialScale};
 pub use geometric::GeometricNoise;
 pub use laplace::{laplace_mechanism, sample_laplace, LaplaceNoise};
-pub use ledger::BudgetLedger;
+pub use ledger::{BudgetLedger, DebitSink};
 pub use noisy_max::{noisy_max_without_replacement, report_noisy_max};
 
 /// Errors produced by the DP layer.
@@ -48,6 +50,9 @@ pub enum DpError {
     },
     /// The exponential mechanism was invoked with an empty candidate set.
     EmptyCandidateSet,
+    /// A journaled ledger could not make a debit durable; the debit was rolled back and
+    /// no ε was released (see [`ledger::DebitSink`]).
+    Persistence(String),
 }
 
 impl std::fmt::Display for DpError {
@@ -64,6 +69,7 @@ impl std::fmt::Display for DpError {
             DpError::EmptyCandidateSet => {
                 write!(f, "exponential mechanism needs at least one candidate")
             }
+            DpError::Persistence(msg) => write!(f, "budget persistence failed: {msg}"),
         }
     }
 }
@@ -84,5 +90,7 @@ mod tests {
         };
         assert!(e.to_string().contains("exceeded"));
         assert!(DpError::EmptyCandidateSet.to_string().contains("candidate"));
+        let e = DpError::Persistence("fsync failed".into());
+        assert!(e.to_string().contains("fsync failed"));
     }
 }

@@ -14,7 +14,13 @@
 //! * a **privacy-budget ledger** ([`pb_dp::BudgetLedger`]): every top-`k` query debits
 //!   its ε atomically before any mechanism runs, and an exhausted dataset rejects all
 //!   further queries — sequential composition enforced at the serving layer, under any
-//!   interleaving of client threads.
+//!   interleaving of client threads,
+//! * optional **durability** ([`persist`], enabled by
+//!   [`DatasetRegistry::with_persistence`] / `privbasis-cli serve --state-dir`): debits
+//!   are journaled and fsynced *before* the ε is released, membership lives in a
+//!   manifest, and a restarted — or `kill -9`ed — server recovers datasets, spent ε,
+//!   and query counters exactly. Spent budget is the DP guarantee; it never resets
+//!   with the process.
 //!
 //! [`PbServer`] exposes the registry over `std::net::TcpListener` with a fixed worker
 //! pool (sized by the `PB_NUM_THREADS` convention shared with `pb-fim`), speaking
@@ -56,11 +62,13 @@
 #![warn(missing_docs)]
 
 pub mod json;
+pub mod persist;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
 pub use json::{Json, JsonError};
+pub use persist::{DebitJournal, LedgerState, Manifest, ManifestEntry, StateDir};
 pub use protocol::{QueryRequest, Request};
 pub use registry::{DatasetEntry, DatasetRegistry, RegistryError};
 pub use server::{PbServer, ServiceConfig};

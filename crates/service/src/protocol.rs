@@ -160,6 +160,9 @@ pub struct DatasetStatus {
     pub items: usize,
     /// Whether the vertical index has been built yet.
     pub index_cached: bool,
+    /// Whether the ledger journals debits to a state directory (the reported spend
+    /// survives a crash; see the `persist` module).
+    pub durable: bool,
     /// ε spent so far.
     pub spent: f64,
     /// ε remaining (`f64::INFINITY` serialises as null).
@@ -178,6 +181,7 @@ pub fn status_response(datasets: &[DatasetStatus]) -> Json {
                 ("transactions".into(), Json::Number(d.transactions as f64)),
                 ("items".into(), Json::Number(d.items as f64)),
                 ("index_cached".into(), Json::Bool(d.index_cached)),
+                ("durable".into(), Json::Bool(d.durable)),
                 ("epsilon_spent".into(), Json::Number(d.spent)),
                 ("remaining_budget".into(), Json::Number(d.remaining)),
                 ("queries".into(), Json::Number(d.queries as f64)),
@@ -277,18 +281,21 @@ mod tests {
             transactions: 5,
             items: 3,
             index_cached: true,
+            durable: true,
             spent: 0.5,
             remaining: 1.5,
             queries: 2,
         }])
         .to_string();
         assert!(s.contains(r#""name":"d""#) && s.contains(r#""remaining_budget":1.5"#));
+        assert!(s.contains(r#""durable":true"#));
         // Infinite remaining budget serialises as null rather than breaking the parser.
         let inf = status_response(&[DatasetStatus {
             name: "d".into(),
             transactions: 1,
             items: 1,
             index_cached: false,
+            durable: false,
             spent: 0.0,
             remaining: f64::INFINITY,
             queries: 0,

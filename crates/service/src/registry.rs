@@ -6,13 +6,28 @@
 //! against the dataset, and a [`BudgetLedger`] enforcing the dataset's lifetime ε.
 //! Entries are handed out as `Arc<DatasetEntry>` so worker threads hold them across a
 //! query without pinning the registry lock.
+//!
+//! # Persistence
+//!
+//! A registry built with [`DatasetRegistry::with_persistence`] keeps its guarantee-
+//! critical state durable in a [`StateDir`]: every ledger debit goes through a
+//! write-ahead journal *before* the ε is released (see [`crate::persist`]), served-query
+//! counters ride in the same journal, and the dataset membership itself lives in a
+//! manifest so [`DatasetRegistry::recover`] can rebuild the full registry — datasets,
+//! per-dataset remaining ε, and query counters — after `kill -9`. Registering a name
+//! whose journal already exists in the state directory *inherits* the durable spend:
+//! budget, once spent, is never silently re-granted, not even across dataset
+//! re-registrations.
 
+use crate::persist::{
+    db_fingerprint, JournalSink, Manifest, ManifestEntry, SharedJournal, StateDir,
+};
 use pb_core::QueryContext;
 use pb_dp::{BudgetLedger, Epsilon};
 use pb_fim::{TransactionDb, VerticalIndex};
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, OnceLock, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
 
 /// Errors from registry operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +36,12 @@ pub enum RegistryError {
     DuplicateName(String),
     /// The dataset holds no transactions (nothing could ever be queried).
     EmptyDataset(String),
+    /// The name cannot double as a journal file stem in a persistent registry.
+    InvalidName(String),
+    /// The registration contradicts the durable manifest (different budget or data).
+    Mismatch(String),
+    /// The state directory or a dataset file could not be read or written.
+    Io(String),
 }
 
 impl std::fmt::Display for RegistryError {
@@ -32,11 +53,29 @@ impl std::fmt::Display for RegistryError {
             RegistryError::EmptyDataset(name) => {
                 write!(f, "dataset `{name}` contains no transactions")
             }
+            RegistryError::InvalidName(name) => write!(
+                f,
+                "dataset name `{name}` is not usable with a state directory \
+                 (use ASCII letters, digits, `-`, `_`, `.`; no leading dot)"
+            ),
+            RegistryError::Mismatch(detail) => {
+                write!(f, "registration contradicts the durable manifest: {detail}")
+            }
+            RegistryError::Io(detail) => write!(f, "persistence failure: {detail}"),
         }
     }
 }
 
 impl std::error::Error for RegistryError {}
+
+/// What [`DatasetRegistry::recover`] rebuilt from the manifest.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct RecoveryReport {
+    /// Datasets reloaded from their recorded source files.
+    pub loaded: Vec<String>,
+    /// Manifest entries without a source path (registered in-process, not reloadable).
+    pub skipped: Vec<String>,
+}
 
 /// One registered dataset: the data, its cached query context, and its budget ledger.
 #[derive(Debug)]
@@ -48,12 +87,22 @@ pub struct DatasetEntry {
     context: OnceLock<Arc<QueryContext>>,
     ledger: BudgetLedger,
     queries_served: AtomicU64,
+    /// The durable journal shared with the ledger's debit sink (persistent registries
+    /// only); served-query counters are appended here.
+    journal: Option<SharedJournal>,
+    /// The source file this entry was registered from (`None` for in-process data).
+    source: Option<String>,
 }
 
 impl DatasetEntry {
     /// The dataset's registered name.
     pub fn name(&self) -> &str {
         &self.name
+    }
+
+    /// The source file path this dataset was registered (or recovered) from, when any.
+    pub fn source(&self) -> Option<&str> {
+        self.source.as_deref()
     }
 
     /// The transaction database.
@@ -64,7 +113,9 @@ impl DatasetEntry {
     /// The cached query context, building it on the first call.
     ///
     /// Concurrent first calls may race to build, but [`OnceLock`] publishes exactly one
-    /// winner and the build is deterministic, so every caller observes the same context.
+    /// winner and the build is deterministic, so every caller observes the same context
+    /// — including a caller on the far side of a crash: the context is a pure function
+    /// of the (immutable) data, so a recovered registry rebuilds it byte-identically.
     pub fn context(&self) -> &Arc<QueryContext> {
         self.context
             .get_or_init(|| Arc::new(QueryContext::new(Arc::clone(&self.db))))
@@ -85,53 +136,236 @@ impl DatasetEntry {
         &self.ledger
     }
 
+    /// True when the ledger journals every debit to a state directory before releasing
+    /// ε (the spend reported by [`BudgetLedger::spent`] then survives `kill -9`).
+    pub fn is_durable(&self) -> bool {
+        self.journal.is_some()
+    }
+
     /// Number of successfully answered queries (monotone counter).
     pub fn queries_served(&self) -> u64 {
         self.queries_served.load(Ordering::Relaxed)
     }
 
     /// Records one successfully answered query.
+    ///
+    /// The counter is journaled best-effort *after* the answer exists: a crash in
+    /// between loses at most the in-flight increments, which is the safe direction —
+    /// the ε debit itself was journaled before the mechanism ran.
     pub fn record_query(&self) {
-        self.queries_served.fetch_add(1, Ordering::Relaxed);
+        let served = self.queries_served.fetch_add(1, Ordering::Relaxed) + 1;
+        if let Some(journal) = &self.journal {
+            let _ = journal
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .append_served(served);
+        }
     }
 }
 
-/// A concurrent name → dataset map.
-#[derive(Debug, Default)]
+struct Persistence {
+    state: StateDir,
+    /// The in-memory manifest image; rewritten to disk atomically on every change.
+    manifest: Mutex<Manifest>,
+}
+
+/// A concurrent name → dataset map, optionally backed by a [`StateDir`].
+#[derive(Default)]
 pub struct DatasetRegistry {
     datasets: RwLock<HashMap<String, Arc<DatasetEntry>>>,
+    persistence: Option<Persistence>,
+}
+
+impl std::fmt::Debug for DatasetRegistry {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("DatasetRegistry")
+            .field("datasets", &self.read().keys().collect::<Vec<_>>())
+            .field("durable", &self.persistence.is_some())
+            .finish()
+    }
 }
 
 impl DatasetRegistry {
-    /// Creates an empty registry.
+    /// Creates an empty in-memory registry (state dies with the process).
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates a registry whose ledgers, query counters, and membership are durable in
+    /// `state`. An existing manifest is loaded (use [`DatasetRegistry::recover`] to
+    /// re-register its datasets); corrupted durable state fails loudly here rather than
+    /// ever re-granting spent ε.
+    pub fn with_persistence(state: StateDir) -> Result<Self, RegistryError> {
+        let manifest = state
+            .load_manifest()
+            .map_err(|e| RegistryError::Io(e.to_string()))?
+            .unwrap_or_default();
+        Ok(DatasetRegistry {
+            datasets: RwLock::new(HashMap::new()),
+            persistence: Some(Persistence {
+                state,
+                manifest: Mutex::new(manifest),
+            }),
+        })
+    }
+
+    /// True when the registry journals its state to a [`StateDir`].
+    pub fn is_durable(&self) -> bool {
+        self.persistence.is_some()
     }
 
     /// Registers a dataset under `name` with a lifetime budget of `total_epsilon`.
     ///
     /// The index is *not* built here — registration stays cheap and the first query (or
     /// an explicit [`DatasetEntry::index`] call during warm-up) pays the build once.
+    ///
+    /// In a persistent registry the dataset's journal is opened (inheriting any durable
+    /// spend recorded under this name) and the manifest is updated; datasets registered
+    /// this way carry no source path, so [`DatasetRegistry::recover`] reports them as
+    /// skipped after a restart. Prefer [`DatasetRegistry::register_file`] for data that
+    /// lives in a file.
     pub fn register(
         &self,
         name: impl Into<String>,
         db: TransactionDb,
         total_epsilon: Epsilon,
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        self.register_inner(name.into(), db, total_epsilon, None)
+    }
+
+    /// Registers a FIMI-format dataset file under `name`, recording the path in the
+    /// durable manifest so the dataset survives a restart via
+    /// [`DatasetRegistry::recover`].
+    pub fn register_file(
+        &self,
+        name: impl Into<String>,
+        path: impl Into<String>,
+        total_epsilon: Epsilon,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
         let name = name.into();
+        let path = path.into();
+        let db = pb_fim::io::read_fimi_file(&path)
+            .map_err(|e| RegistryError::Io(format!("failed to read {path}: {e}")))?;
+        self.register_inner(name, db, total_epsilon, Some(path))
+    }
+
+    /// Re-registers every dataset recorded in the durable manifest (no-op for an
+    /// in-memory registry). Datasets already registered are left untouched; manifest
+    /// entries without a source path cannot be reloaded and are reported as skipped.
+    pub fn recover(&self) -> Result<RecoveryReport, RegistryError> {
+        let Some(persistence) = &self.persistence else {
+            return Ok(RecoveryReport::default());
+        };
+        let entries: Vec<ManifestEntry> = persistence
+            .manifest
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .datasets
+            .clone();
+        let mut report = RecoveryReport::default();
+        for entry in entries {
+            if self.get(&entry.name).is_some() {
+                continue;
+            }
+            match entry.path {
+                None => report.skipped.push(entry.name),
+                Some(path) => {
+                    self.register_file(entry.name.clone(), path, entry.epsilon)?;
+                    report.loaded.push(entry.name);
+                }
+            }
+        }
+        Ok(report)
+    }
+
+    fn register_inner(
+        &self,
+        name: String,
+        db: TransactionDb,
+        total_epsilon: Epsilon,
+        source: Option<String>,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
         if db.is_empty() {
             return Err(RegistryError::EmptyDataset(name));
         }
+        // Hold the write lock across the whole registration (journal open included):
+        // registrations are rare, and this makes duplicate-check → journal → insert one
+        // atomic step, so two racing registrations of one name cannot both open the
+        // journal.
         let mut map = self.write();
         if map.contains_key(&name) {
             return Err(RegistryError::DuplicateName(name));
         }
+
+        let (ledger, served, journal) = match &self.persistence {
+            None => (BudgetLedger::new(total_epsilon), 0, None),
+            Some(persistence) => {
+                if !StateDir::valid_dataset_name(&name) {
+                    return Err(RegistryError::InvalidName(name));
+                }
+                let mut manifest = persistence
+                    .manifest
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let fingerprint = db_fingerprint(&db);
+                if let Some(recorded) = manifest.get(&name) {
+                    // The durable ledger belongs to one (budget, data) pair: a changed
+                    // total would rescale the guarantee, changed data would transplant
+                    // spent ε onto rows it was never spent on. Refuse both.
+                    if recorded.epsilon != total_epsilon {
+                        return Err(RegistryError::Mismatch(format!(
+                            "dataset `{name}` has a durable ledger with total ε = {}, \
+                             but re-registration requested ε = {} (pass the original \
+                             budget, or use a fresh --state-dir)",
+                            epsilon_text(recorded.epsilon),
+                            epsilon_text(total_epsilon),
+                        )));
+                    }
+                    if recorded.fingerprint != fingerprint {
+                        return Err(RegistryError::Mismatch(format!(
+                            "dataset `{name}`'s content changed since registration \
+                             ({} transactions then, {} now, fingerprint mismatch) — \
+                             the durable ledger belongs to the original data (use a \
+                             fresh --state-dir for new data)",
+                            recorded.transactions,
+                            db.len(),
+                        )));
+                    }
+                }
+                // The journal independently pins the total (in its snapshot), so even
+                // with the manifest deleted a different budget is refused here.
+                let (state, journal) = persistence
+                    .state
+                    .open_dataset(&name, total_epsilon)
+                    .map_err(|e| RegistryError::Io(e.to_string()))?;
+                let ledger = BudgetLedger::with_journal(
+                    total_epsilon,
+                    state.spent,
+                    Box::new(JournalSink(Arc::clone(&journal))),
+                );
+                manifest.upsert(ManifestEntry {
+                    name: name.clone(),
+                    path: source.clone(),
+                    epsilon: total_epsilon,
+                    transactions: db.len(),
+                    fingerprint,
+                });
+                persistence
+                    .state
+                    .store_manifest(&manifest)
+                    .map_err(|e| RegistryError::Io(e.to_string()))?;
+                (ledger, state.served, Some(journal))
+            }
+        };
+
         let entry = Arc::new(DatasetEntry {
             name: name.clone(),
             db: db.into_shared(),
             context: OnceLock::new(),
-            ledger: BudgetLedger::new(total_epsilon),
-            queries_served: AtomicU64::new(0),
+            ledger,
+            queries_served: AtomicU64::new(served),
+            journal,
+            source,
         });
         map.insert(name, Arc::clone(&entry));
         Ok(entry)
@@ -170,17 +404,58 @@ impl DatasetRegistry {
     }
 }
 
+fn epsilon_text(epsilon: Epsilon) -> String {
+    match epsilon {
+        Epsilon::Finite(e) => e.to_string(),
+        Epsilon::Infinite => "inf".to_string(),
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+    use std::path::PathBuf;
 
     fn tiny_db() -> TransactionDb {
         TransactionDb::from_transactions(vec![vec![1, 2], vec![1, 2, 3], vec![2, 3]])
     }
 
+    /// A unique scratch directory per test (cleaned up on drop; leaked on panic).
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "pb-registry-{tag}-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+
+        fn state(&self) -> StateDir {
+            StateDir::open(&self.0).unwrap()
+        }
+
+        fn write_fimi(&self, name: &str, rows: &str) -> String {
+            let path = self.0.join(name);
+            std::fs::write(&path, rows).unwrap();
+            path.to_string_lossy().into_owned()
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
     #[test]
     fn registers_and_looks_up() {
         let registry = DatasetRegistry::new();
+        assert!(!registry.is_durable());
         registry
             .register("retail", tiny_db(), Epsilon::Finite(2.0))
             .unwrap();
@@ -190,8 +465,11 @@ mod tests {
         assert_eq!(entry.name(), "retail");
         assert_eq!(entry.db().len(), 3);
         assert_eq!(entry.ledger().total(), Epsilon::Finite(2.0));
+        assert!(!entry.is_durable());
         assert!(registry.get("nope").is_none());
         assert_eq!(registry.names(), vec!["retail".to_string()]);
+        // Recover on an in-memory registry is a no-op, not an error.
+        assert_eq!(registry.recover().unwrap(), RecoveryReport::default());
     }
 
     #[test]
@@ -219,6 +497,15 @@ mod tests {
         assert!(RegistryError::EmptyDataset("empty".into())
             .to_string()
             .contains("empty"));
+        assert!(RegistryError::InvalidName("x/y".into())
+            .to_string()
+            .contains("x/y"));
+        assert!(RegistryError::Mismatch("detail".into())
+            .to_string()
+            .contains("detail"));
+        assert!(RegistryError::Io("disk".into())
+            .to_string()
+            .contains("disk"));
     }
 
     #[test]
@@ -267,5 +554,153 @@ mod tests {
         entry.record_query();
         entry.record_query();
         assert_eq!(entry.queries_served(), 2);
+    }
+
+    #[test]
+    fn durable_ledger_state_survives_reconstruction() {
+        let scratch = Scratch::new("survive");
+        {
+            let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+            assert!(registry.is_durable());
+            let entry = registry
+                .register("d", tiny_db(), Epsilon::Finite(2.0))
+                .unwrap();
+            assert!(entry.is_durable());
+            entry.ledger().try_spend(0.5).unwrap();
+            entry.record_query();
+            entry.ledger().try_spend(0.25).unwrap();
+            entry.record_query();
+        }
+        // "Restart": a fresh registry over the same state dir.
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        let entry = registry
+            .register("d", tiny_db(), Epsilon::Finite(2.0))
+            .unwrap();
+        assert!((entry.ledger().spent() - 0.75).abs() < 1e-12);
+        assert!((entry.ledger().remaining() - 1.25).abs() < 1e-12);
+        assert_eq!(entry.queries_served(), 2);
+        // An exhausted ledger stays exhausted across reconstruction.
+        entry.ledger().try_spend(1.25).unwrap();
+        assert!(entry.ledger().is_exhausted());
+        drop(entry);
+        drop(registry);
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        let entry = registry
+            .register("d", tiny_db(), Epsilon::Finite(2.0))
+            .unwrap();
+        assert!(entry.ledger().is_exhausted());
+        assert!(entry.ledger().try_spend(0.001).is_err());
+    }
+
+    #[test]
+    fn recover_reloads_file_datasets_from_the_manifest() {
+        let scratch = Scratch::new("recover");
+        let path = scratch.write_fimi("r.dat", "1 2\n1 2 3\n2 3\n");
+        {
+            let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+            let entry = registry
+                .register_file("retail", &path, Epsilon::Finite(3.0))
+                .unwrap();
+            entry.ledger().try_spend(1.0).unwrap();
+            entry.record_query();
+            // One in-process dataset: durable ledger, but not reloadable.
+            registry
+                .register("mem", tiny_db(), Epsilon::Finite(1.0))
+                .unwrap();
+        }
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        assert!(registry.is_empty());
+        let report = registry.recover().unwrap();
+        assert_eq!(report.loaded, vec!["retail".to_string()]);
+        assert_eq!(report.skipped, vec!["mem".to_string()]);
+        let entry = registry.get("retail").unwrap();
+        assert_eq!(entry.db().len(), 3);
+        assert_eq!(entry.ledger().total(), Epsilon::Finite(3.0));
+        assert!((entry.ledger().spent() - 1.0).abs() < 1e-12);
+        assert_eq!(entry.queries_served(), 1);
+        // Recover is idempotent for loaded datasets; entries without a path stay
+        // skipped (they can only be re-registered in-process).
+        let again = registry.recover().unwrap();
+        assert!(again.loaded.is_empty());
+        assert_eq!(again.skipped, vec!["mem".to_string()]);
+    }
+
+    #[test]
+    fn persistent_registry_rejects_contradictory_re_registration() {
+        let scratch = Scratch::new("mismatch");
+        let path = scratch.write_fimi("d.dat", "1 2\n2 3\n");
+        {
+            let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+            registry
+                .register_file("d", &path, Epsilon::Finite(1.0))
+                .unwrap();
+        }
+        // Different budget: refused (would rescale the durable guarantee).
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        let err = registry
+            .register_file("d", &path, Epsilon::Finite(9.0))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Mismatch(_)), "{err}");
+        // Different data under the same ledger: refused.
+        let grown = scratch.write_fimi("d2.dat", "1 2\n2 3\n1 3\n");
+        let err = registry
+            .register_file("d", &grown, Epsilon::Finite(1.0))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Mismatch(_)), "{err}");
+        // Even at the *same row count*: content changes flip the fingerprint.
+        let edited = scratch.write_fimi("d3.dat", "1 2\n2 4\n");
+        let err = registry
+            .register_file("d", &edited, Epsilon::Finite(1.0))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Mismatch(_)), "{err}");
+        // The original spec still registers fine.
+        registry
+            .register_file("d", &path, Epsilon::Finite(1.0))
+            .unwrap();
+    }
+
+    #[test]
+    fn persistent_registry_validates_names() {
+        let scratch = Scratch::new("names");
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        let err = registry
+            .register("../evil", tiny_db(), Epsilon::Finite(1.0))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::InvalidName(_)), "{err}");
+        // In-memory registries accept any name (nothing touches the filesystem).
+        let registry = DatasetRegistry::new();
+        registry
+            .register("../evil", tiny_db(), Epsilon::Finite(1.0))
+            .unwrap();
+    }
+
+    #[test]
+    fn reusing_a_name_inherits_its_durable_spend() {
+        // Deleting the manifest (or registering a name whose journal survived) must
+        // never zero the ledger: the journal, not the manifest, owns the spend.
+        let scratch = Scratch::new("inherit");
+        {
+            let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+            let entry = registry
+                .register("d", tiny_db(), Epsilon::Finite(1.0))
+                .unwrap();
+            entry.ledger().try_spend(0.75).unwrap();
+        }
+        std::fs::remove_file(scratch.0.join("manifest.json")).unwrap();
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        // With the manifest gone, the journal still pins the total: re-registering at
+        // a *larger* budget over the same spent ε is refused, not granted.
+        let err = registry
+            .register("d", tiny_db(), Epsilon::Finite(100.0))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Io(_)), "{err}");
+        assert!(err.to_string().contains("total"), "{err}");
+        let entry = registry
+            .register("d", tiny_db(), Epsilon::Finite(1.0))
+            .unwrap();
+        assert!(
+            (entry.ledger().spent() - 0.75).abs() < 1e-12,
+            "journal spend must survive manifest loss"
+        );
     }
 }

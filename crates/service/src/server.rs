@@ -298,6 +298,7 @@ fn status(ctx: &ServerCtx) -> crate::json::Json {
             transactions: entry.db().len(),
             items: entry.db().num_distinct_items(),
             index_cached: entry.index_is_cached(),
+            durable: entry.is_durable(),
             spent: entry.ledger().spent(),
             remaining: entry.ledger().remaining(),
             queries: entry.queries_served(),

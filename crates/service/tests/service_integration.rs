@@ -2,7 +2,7 @@
 
 use pb_dp::Epsilon;
 use pb_fim::TransactionDb;
-use pb_service::{DatasetRegistry, Json, PbServer, ServiceConfig};
+use pb_service::{DatasetRegistry, Json, PbServer, ServiceConfig, StateDir};
 use std::io::{BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
@@ -193,6 +193,75 @@ fn pinned_seed_queries_are_reproducible_and_match_the_library() {
 }
 
 #[test]
+fn served_ledger_state_survives_a_server_generation() {
+    // Two *in-process* server generations over one state directory: generation 1
+    // spends and is dropped without ceremony; generation 2 recovers the ledger, the
+    // query counter, and — because the QueryContext rebuild is deterministic — serves
+    // byte-identical pinned-seed releases.
+    let scratch = std::env::temp_dir().join(format!("pb-svc-generations-{}", std::process::id()));
+    let _ = std::fs::remove_dir_all(&scratch);
+    std::fs::create_dir_all(&scratch).unwrap();
+    let fimi = scratch.join("retail.dat");
+    {
+        let mut rows = String::new();
+        for i in 0..200 {
+            let slot = i % 10;
+            for j in 0..5u32 {
+                if slot < 10 - 2 * j as usize {
+                    rows.push_str(&format!("{j} "));
+                }
+            }
+            rows.push_str(&format!("{}\n", 5 + slot));
+        }
+        std::fs::write(&fimi, rows).unwrap();
+    }
+
+    let query = r#"{"op":"query","dataset":"retail","k":5,"epsilon":0.5,"seed":77}"#;
+    let first_release;
+    {
+        let registry =
+            Arc::new(DatasetRegistry::with_persistence(StateDir::open(&scratch).unwrap()).unwrap());
+        registry
+            .register_file("retail", fimi.to_string_lossy(), Epsilon::Finite(4.0))
+            .unwrap();
+        let (addr, handle) = start_server(Arc::clone(&registry), 2);
+        let mut client = Client::connect(addr);
+        let response = client.request(query);
+        assert_eq!(response.get("status").and_then(Json::as_str), Some("ok"));
+        first_release = response.get("itemsets").cloned().unwrap();
+        let status = client.request(r#"{"op":"status"}"#);
+        let row = &status.get("datasets").and_then(Json::as_array).unwrap()[0];
+        assert_eq!(row.get("durable").and_then(Json::as_bool), Some(true));
+        assert_eq!(row.get("epsilon_spent").and_then(Json::as_f64), Some(0.5));
+        shutdown(addr, handle);
+    }
+
+    // Generation 2: nothing carried over in memory — everything comes from disk.
+    let registry =
+        Arc::new(DatasetRegistry::with_persistence(StateDir::open(&scratch).unwrap()).unwrap());
+    let report = registry.recover().unwrap();
+    assert_eq!(report.loaded, vec!["retail".to_string()]);
+    let (addr, handle) = start_server(Arc::clone(&registry), 2);
+    let mut client = Client::connect(addr);
+    let status = client.request(r#"{"op":"status"}"#);
+    let row = &status.get("datasets").and_then(Json::as_array).unwrap()[0];
+    assert_eq!(row.get("epsilon_spent").and_then(Json::as_f64), Some(0.5));
+    assert_eq!(
+        row.get("remaining_budget").and_then(Json::as_f64),
+        Some(3.5)
+    );
+    assert_eq!(row.get("queries").and_then(Json::as_u64), Some(1));
+    let response = client.request(query);
+    assert_eq!(
+        response.get("itemsets"),
+        Some(&first_release),
+        "recovered context must reproduce the pinned-seed release"
+    );
+    shutdown(addr, handle);
+    let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
 fn status_reports_datasets_and_errors_are_structured() {
     let registry = Arc::new(DatasetRegistry::new());
     registry
@@ -217,6 +286,11 @@ fn status_reports_datasets_and_errors_are_structured() {
     assert_eq!(
         datasets[0].get("index_cached").and_then(Json::as_bool),
         Some(false)
+    );
+    assert_eq!(
+        datasets[0].get("durable").and_then(Json::as_bool),
+        Some(false),
+        "in-memory registries must report durable:false"
     );
     assert_eq!(
         datasets[0].get("epsilon_spent").and_then(Json::as_f64),

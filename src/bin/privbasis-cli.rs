@@ -6,19 +6,23 @@
 //!               [--m 2] [--rules 0.8] [--tsv] [--no-index] [--no-consistency]
 //! privbasis-cli serve --port 8710 --dataset retail=retail.dat [--dataset web=web.dat]
 //!               [--budget 4.0] [--threads 8] [--host 127.0.0.1]
+//!               [--state-dir state/] [--snapshot-every 256]
 //! ```
 //!
 //! The input format is the FIMI repository format the paper's datasets are distributed in:
 //! one transaction per line, items as whitespace-separated non-negative integers.
 //! `serve` registers every `--dataset name=path` under a per-dataset privacy-budget
 //! ledger of `--budget` ε and answers the newline-delimited JSON protocol of
-//! `pb-service` until a client sends `{"op":"shutdown"}`.
+//! `pb-service` until a client sends `{"op":"shutdown"}`. With `--state-dir` the
+//! ledgers are durable: every debit is journaled and fsynced before noise is drawn, and
+//! a restarted server recovers its datasets, spent ε, and query counters from the
+//! directory — spent budget survives even `kill -9`.
 
 use privbasis::core::PrivBasisParams;
 use privbasis::dp::Epsilon;
 use privbasis::fim::io::read_fimi_file;
 use privbasis::fim::rules::generate_rules_from_noisy;
-use privbasis::service::{DatasetRegistry, PbServer, ServiceConfig};
+use privbasis::service::{DatasetRegistry, PbServer, ServiceConfig, StateDir};
 use privbasis::tf::{TfConfig, TfMethod};
 use privbasis::{ItemSet, PrivBasis, TransactionDb};
 use rand::rngs::StdRng;
@@ -59,6 +63,11 @@ struct ServeOptions {
     budget: f64,
     threads: Option<usize>,
     no_consistency: bool,
+    /// Directory for durable ledgers + the dataset manifest; `None` keeps everything
+    /// in memory (budgets reset on restart — fine for experiments, not for serving).
+    state_dir: Option<String>,
+    /// Journal records between snapshot compactions (`None` = library default).
+    snapshot_every: Option<u32>,
 }
 
 const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <EPS>\n\
@@ -66,6 +75,7 @@ const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <
        [--no-index] [--no-consistency]\n\
    or: privbasis-cli serve --port <PORT> --dataset <NAME>=<FILE.dat> [--dataset ...]\n\
        [--budget <EPS>] [--threads <N>] [--host <ADDR>] [--no-consistency]\n\
+       [--state-dir <DIR>] [--snapshot-every <N>]\n\
 \n\
   --input    FIMI-format transaction file (one transaction per line, integer items)\n\
   --k        number of itemsets to publish\n\
@@ -86,7 +96,13 @@ serve mode:\n\
   --host     bind address (default 127.0.0.1)\n\
   --dataset  NAME=FILE.dat, repeatable; each gets its own budget ledger\n\
   --budget   lifetime ε per dataset (default 1.0; `inf` disables the ledger)\n\
-  --threads  worker pool size (default: PB_NUM_THREADS or the CPU count)";
+  --threads  worker pool size (default: PB_NUM_THREADS or the CPU count)\n\
+  --state-dir\n\
+             durable state directory: every ε debit is journaled (fsync) before any\n\
+             noise is drawn, and datasets + ledgers + query counters are recovered\n\
+             after a crash or restart; without it budgets reset with the process\n\
+  --snapshot-every\n\
+             journal records between snapshot compactions (default 256)";
 
 /// Parses arguments; returns `Err(message)` on any problem.
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -201,6 +217,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut budget = 1.0f64;
     let mut threads: Option<usize> = None;
     let mut no_consistency = false;
+    let mut state_dir: Option<String> = None;
+    let mut snapshot_every: Option<u32> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -228,6 +246,9 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 if name.is_empty() || path.is_empty() {
                     return Err(format!("--dataset expects NAME=FILE, got `{spec}`"));
                 }
+                if datasets.iter().any(|(n, _)| n == name) {
+                    return Err(format!("--dataset `{name}` given more than once"));
+                }
                 datasets.push((name.to_string(), path.to_string()));
             }
             "--budget" => {
@@ -252,6 +273,16 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 threads = Some(n);
             }
             "--no-consistency" => no_consistency = true,
+            "--state-dir" => state_dir = Some(value("--state-dir")?),
+            "--snapshot-every" => {
+                let n: u32 = value("--snapshot-every")?
+                    .parse()
+                    .map_err(|_| "--snapshot-every must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--snapshot-every must be at least 1".to_string());
+                }
+                snapshot_every = Some(n);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown serve flag `{other}`\n\n{USAGE}")),
         }
@@ -259,10 +290,13 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     }
 
     let port = port.ok_or_else(|| format!("serve needs --port\n\n{USAGE}"))?;
-    if datasets.is_empty() {
+    if datasets.is_empty() && state_dir.is_none() {
         return Err(format!(
-            "serve needs at least one --dataset NAME=FILE\n\n{USAGE}"
+            "serve needs at least one --dataset NAME=FILE (or a --state-dir with a manifest)\n\n{USAGE}"
         ));
+    }
+    if snapshot_every.is_some() && state_dir.is_none() {
+        return Err(format!("--snapshot-every needs --state-dir\n\n{USAGE}"));
     }
     Ok(ServeOptions {
         host,
@@ -271,24 +305,90 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         budget,
         threads,
         no_consistency,
+        state_dir,
+        snapshot_every,
     })
 }
 
 /// Loads the datasets, binds the server, and blocks until a shutdown request.
 fn serve(options: &ServeOptions) -> Result<(), String> {
     let total = Epsilon::new(options.budget).map_err(|e| e.to_string())?;
-    let registry = Arc::new(DatasetRegistry::new());
+    let registry = match &options.state_dir {
+        None => Arc::new(DatasetRegistry::new()),
+        Some(dir) => {
+            let mut state =
+                StateDir::open(dir).map_err(|e| format!("failed to open state dir {dir}: {e}"))?;
+            if let Some(every) = options.snapshot_every {
+                state = state.with_snapshot_every(every);
+            }
+            let registry =
+                Arc::new(DatasetRegistry::with_persistence(state).map_err(|e| e.to_string())?);
+            // Reload everything the manifest remembers *before* handling --dataset
+            // flags, so a restart recovers spent ε even for datasets the operator
+            // forgot to re-list.
+            let report = registry.recover().map_err(|e| e.to_string())?;
+            for name in &report.loaded {
+                let entry = registry.get(name).expect("recovered dataset is registered");
+                eprintln!(
+                    "recovered `{name}`: {} transactions, ε spent = {}, remaining = {}, {} queries answered",
+                    entry.db().len(),
+                    entry.ledger().spent(),
+                    entry.ledger().remaining(),
+                    entry.queries_served(),
+                );
+            }
+            for name in &report.skipped {
+                eprintln!(
+                    "warning: manifest entry `{name}` has no source file and cannot be reloaded \
+                     (its durable ledger is preserved)"
+                );
+            }
+            registry
+        }
+    };
     for (name, path) in &options.datasets {
-        let db = read_fimi_file(path).map_err(|e| format!("failed to read {path}: {e}"))?;
-        let entry = registry
-            .register(name.clone(), db, total)
-            .map_err(|e| e.to_string())?;
+        if let Some(entry) = registry.get(name) {
+            // Recovered from the manifest already; the flags must agree with the
+            // durable ledger, which is bound to the original budget and data — a
+            // silently dropped flag could otherwise serve old data the operator
+            // believes was replaced.
+            if entry.ledger().total() != total {
+                return Err(format!(
+                    "dataset `{name}` was recovered with budget ε = {:?} but --budget asks for {}; \
+                     pass the original budget or use a fresh --state-dir",
+                    entry.ledger().total(),
+                    options.budget
+                ));
+            }
+            if entry.source() != Some(path.as_str()) {
+                return Err(format!(
+                    "dataset `{name}` was recovered from `{}` but --dataset names `{path}`; \
+                     pass the original path or use a fresh --state-dir",
+                    entry.source().unwrap_or("<in-process data>"),
+                ));
+            }
+            continue;
+        }
+        let entry = if options.state_dir.is_some() {
+            registry
+                .register_file(name.clone(), path.clone(), total)
+                .map_err(|e| e.to_string())?
+        } else {
+            let db = read_fimi_file(path).map_err(|e| format!("failed to read {path}: {e}"))?;
+            registry
+                .register(name.clone(), db, total)
+                .map_err(|e| e.to_string())?
+        };
         eprintln!(
-            "registered `{name}`: {} transactions over {} items, budget ε = {}",
+            "registered `{name}`: {} transactions over {} items, budget ε = {}{}",
             entry.db().len(),
             entry.db().num_distinct_items(),
-            options.budget
+            options.budget,
+            if entry.is_durable() { " (durable)" } else { "" },
         );
+    }
+    if registry.is_empty() {
+        return Err("nothing to serve: no --dataset flags and an empty state dir".to_string());
     }
 
     let mut config = ServiceConfig::default();
@@ -529,6 +629,25 @@ mod tests {
         assert_eq!(o.host, "127.0.0.1");
         assert_eq!(o.budget, 1.0);
         assert_eq!(o.threads, None);
+        assert_eq!(o.state_dir, None);
+        assert_eq!(o.snapshot_every, None);
+        // Durable state flags.
+        let o = parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b.dat",
+            "--state-dir",
+            "/var/lib/privbasis",
+            "--snapshot-every",
+            "64",
+        ]))
+        .unwrap();
+        assert_eq!(o.state_dir.as_deref(), Some("/var/lib/privbasis"));
+        assert_eq!(o.snapshot_every, Some(64));
+        // A state dir with a manifest can serve without any --dataset flags.
+        let o = parse_serve_args(&args(&["--port", "1", "--state-dir", "s"])).unwrap();
+        assert!(o.datasets.is_empty());
         // `inf` budget accepted.
         let o = parse_serve_args(&args(&[
             "--port",
@@ -550,6 +669,16 @@ mod tests {
         assert!(parse_serve_args(&args(&["--port", "x", "--dataset", "a=b"])).is_err());
         assert!(parse_serve_args(&args(&["--port", "1", "--dataset", "nameonly"])).is_err());
         assert!(parse_serve_args(&args(&["--port", "1", "--dataset", "=b.dat"])).is_err());
+        // The same name twice would otherwise be silently dropped at registration.
+        assert!(parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=x.dat",
+            "--dataset",
+            "a=y.dat"
+        ]))
+        .is_err());
         assert!(parse_serve_args(&args(&[
             "--port",
             "1",
@@ -566,6 +695,27 @@ mod tests {
             "a=b",
             "--threads",
             "0"
+        ]))
+        .is_err());
+        // Snapshot cadence must be positive and only makes sense with a state dir.
+        assert!(parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b",
+            "--state-dir",
+            "s",
+            "--snapshot-every",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b",
+            "--snapshot-every",
+            "8"
         ]))
         .is_err());
         assert!(parse_serve_args(&args(&["--bogus"])).is_err());
