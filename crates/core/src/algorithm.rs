@@ -14,14 +14,47 @@
 use crate::basis::BasisSet;
 use crate::consistency::enforce_consistency;
 use crate::construct::construct_basis_set;
-use crate::freq::{basis_freq_counts_naive, basis_freq_counts_with_index, NoisyCandidateCounts};
+use crate::freq::{
+    basis_freq_counts_naive, basis_freq_counts_sharded, basis_freq_counts_with_index,
+    NoisyCandidateCounts,
+};
 use crate::params::{PrivBasisParams, SelectionScale};
 use pb_dp::exponential_mechanism;
 use pb_dp::{sample_without_replacement, DpError, Epsilon, ExponentialScale, PrivacyBudget};
 use pb_fim::itemset::{Item, ItemSet};
 use pb_fim::topk::top_k_itemsets;
 use pb_fim::{TransactionDb, VerticalIndex};
+use pb_shard::ShardedDb;
 use rand::Rng;
+use std::collections::HashMap;
+
+/// The counting engine one run executes against. Which variant is in play never changes
+/// the released bytes (all engines produce identical exact counts and consume the same
+/// noise stream); it only changes *where* the counting work happens.
+#[derive(Debug, Clone, Copy)]
+pub(crate) enum Engine<'a> {
+    /// A single in-memory database, optionally with a caller-provided full index; when
+    /// no index is shared, the run builds a restricted one over the selected items
+    /// (`params.use_index`) or falls back to row scans.
+    Local {
+        /// The database.
+        db: &'a TransactionDb,
+        /// A full prebuilt index over `db`, when the caller has one to share.
+        shared_index: Option<&'a VerticalIndex>,
+    },
+    /// A row-sharded database: every count fans out across shards and merges by
+    /// summation before any noise touches it.
+    Sharded(&'a ShardedDb),
+}
+
+impl Engine<'_> {
+    fn num_transactions(&self) -> usize {
+        match self {
+            Engine::Local { db, .. } => db.len(),
+            Engine::Sharded(s) => s.num_transactions(),
+        }
+    }
+}
 
 /// Errors returned by [`PrivBasis::run`].
 #[derive(Debug, Clone, PartialEq)]
@@ -138,10 +171,35 @@ impl PrivBasis {
         let items_by_freq = db.items_by_frequency();
         self.run_pipeline(
             rng,
-            db,
+            Engine::Local { db, shared_index },
             &items_by_freq,
             |k1| theta_count_direct(db, k1),
-            shared_index,
+            k,
+            epsilon,
+        )
+    }
+
+    /// [`PrivBasis::run`] against a [`ShardedDb`]: every exact count — item supports,
+    /// pair supports, θ-candidate supports, and the `BasisFreq` bin histograms — is
+    /// computed per shard and merged by summation, and the Laplace noise is drawn once,
+    /// on the merged histograms, in the same fixed order as the unsharded engines.
+    ///
+    /// For a fixed seed the output is byte-identical to [`PrivBasis::run`] on the
+    /// unsharded concatenation of the shards, for **any** shard count (property-tested
+    /// in `tests/proptest_sharded.rs`), so operators can re-partition a dataset freely
+    /// without changing a single released bit.
+    pub fn run_sharded<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        sharded: &ShardedDb,
+        k: usize,
+        epsilon: Epsilon,
+    ) -> Result<PrivBasisOutput, PrivBasisError> {
+        self.run_pipeline(
+            rng,
+            Engine::Sharded(sharded),
+            sharded.items_by_frequency(),
+            |k1| sharded.kth_support_count(k1),
             k,
             epsilon,
         )
@@ -161,27 +219,24 @@ impl PrivBasis {
     ) -> Result<PrivBasisOutput, PrivBasisError> {
         self.run_pipeline(
             rng,
-            context.db(),
+            context.engine(),
             context.items_by_frequency(),
             |k1| context.theta_count(k1),
-            Some(context.index()),
             k,
             epsilon,
         )
     }
 
-    /// The shared body of the three `run*` entry points. `theta_for` supplies the exact
+    /// The shared body of the `run*` entry points. `theta_for` supplies the exact
     /// support count of the `k1`-th itemset (memoized by serving layers — the dominant
-    /// per-query cost on large databases); `shared_index` short-circuits the restricted
-    /// index build.
-    #[allow(clippy::too_many_arguments)]
+    /// per-query cost on large databases); `engine` decides where the exact counting
+    /// happens without changing a single released bit.
     fn run_pipeline<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
-        db: &TransactionDb,
+        engine: Engine<'_>,
         items_by_freq: &[(Item, usize)],
         theta_for: impl FnOnce(usize) -> f64,
-        shared_index: Option<&VerticalIndex>,
         k: usize,
         epsilon: Epsilon,
     ) -> Result<PrivBasisOutput, PrivBasisError> {
@@ -191,7 +246,8 @@ impl PrivBasis {
         if k == 0 {
             return Err(PrivBasisError::InvalidK);
         }
-        if db.is_empty() || items_by_freq.is_empty() {
+        let n = engine.num_transactions();
+        if n == 0 || items_by_freq.is_empty() {
             return Err(PrivBasisError::EmptyDatabase);
         }
 
@@ -205,27 +261,18 @@ impl PrivBasis {
         // one — the value steps 2–5 actually use — for any future λ estimator.
         let eta = self.params.eta_for(k);
         let k1 = ((k as f64 * eta).ceil() as usize).max(1);
-        let theta = theta_for(k1) / db.len() as f64;
-        let lambda = get_lambda(rng, db.len(), items_by_freq, theta, eps_lambda)?;
+        let theta = theta_for(k1) / n as f64;
+        let lambda = get_lambda(rng, n, items_by_freq, theta, eps_lambda)?;
         let lambda = lambda.clamp(1, items_by_freq.len());
 
         if lambda <= self.params.single_basis_lambda {
             // Steps 2 + 5, single-basis path.
             let frequent_items =
-                self.select_frequent_items(rng, db, items_by_freq, lambda, eps_select)?;
-            // Without a shared index, index only the λ selected items: every later count
-            // involves them alone, so memory stays O(λ·N/64) words however sparse and
-            // wide the item universe is.
-            let owned_index = match shared_index {
-                Some(_) => None,
-                None => self
-                    .params
-                    .use_index
-                    .then(|| VerticalIndex::build_restricted(db, &frequent_items)),
-            };
-            let index = shared_index.or(owned_index.as_ref());
+                self.select_frequent_items(rng, n, items_by_freq, lambda, eps_select)?;
+            let owned_index = self.owned_index(engine, &frequent_items);
             let basis_set = BasisSet::single(frequent_items.clone());
-            let counts = self.count_bases(rng, db, index, &basis_set, eps_counts);
+            let counts =
+                self.count_bases(rng, engine, owned_index.as_ref(), &basis_set, eps_counts);
             Ok(PrivBasisOutput {
                 itemsets: counts.top_k(k),
                 lambda,
@@ -249,28 +296,38 @@ impl PrivBasis {
             };
 
             let frequent_items =
-                self.select_frequent_items(rng, db, items_by_freq, lambda, eps_items)?;
-            // Index only the λ selected items (see the single-basis path): the pair
-            // counts of step 3 and every basis of step 5 are subsets of them.
-            let owned_index = match shared_index {
-                Some(_) => None,
-                None => self
-                    .params
-                    .use_index
-                    .then(|| VerticalIndex::build_restricted(db, &frequent_items)),
-            };
-            let index = shared_index.or(owned_index.as_ref());
+                self.select_frequent_items(rng, n, items_by_freq, lambda, eps_items)?;
+            let owned_index = self.owned_index(engine, &frequent_items);
 
             let frequent_pairs = match eps_pairs {
                 Some(eps_pairs) if frequent_items.len() >= 2 => {
-                    self.select_frequent_pairs(rng, db, index, &frequent_items, lambda2, eps_pairs)?
+                    // Exact pair supports from whichever engine is counting: the index,
+                    // a row scan, or the per-shard merge — identical integers each way.
+                    let pair_counts = match engine {
+                        Engine::Sharded(s) => s.pair_counts(&frequent_items),
+                        Engine::Local { db, shared_index } => {
+                            match shared_index.or(owned_index.as_ref()) {
+                                Some(ix) => ix.pair_counts(&frequent_items),
+                                None => db.pair_counts(&frequent_items),
+                            }
+                        }
+                    };
+                    self.select_frequent_pairs(
+                        rng,
+                        n,
+                        &pair_counts,
+                        &frequent_items,
+                        lambda2,
+                        eps_pairs,
+                    )?
                 }
                 _ => Vec::new(),
             };
 
             let basis_set =
                 construct_basis_set(&frequent_items, &frequent_pairs, self.params.max_basis_len);
-            let counts = self.count_bases(rng, db, index, &basis_set, eps_counts);
+            let counts =
+                self.count_bases(rng, engine, owned_index.as_ref(), &basis_set, eps_counts);
             Ok(PrivBasisOutput {
                 itemsets: counts.top_k(k),
                 lambda,
@@ -283,24 +340,45 @@ impl PrivBasis {
         }
     }
 
-    /// Step 5 dispatch: BasisFreq on the vertical index when one was built, otherwise
-    /// the row-scan engine, followed by the (budget-free) consistency post-processing
-    /// when `params.consistency` is set. Identical output either way for a fixed seed:
-    /// both engines produce the same counts and the repair is deterministic.
+    /// The per-run restricted index of the local engine: built over only the λ selected
+    /// items, so memory stays `O(λ·N/64)` words however sparse and wide the item
+    /// universe is. `None` when a shared index exists, when `params.use_index` is off,
+    /// or when the engine is sharded (each shard already owns its index).
+    fn owned_index(&self, engine: Engine<'_>, frequent_items: &ItemSet) -> Option<VerticalIndex> {
+        match engine {
+            Engine::Local {
+                db,
+                shared_index: None,
+            } => self
+                .params
+                .use_index
+                .then(|| VerticalIndex::build_restricted(db, frequent_items)),
+            _ => None,
+        }
+    }
+
+    /// Step 5 dispatch: BasisFreq on whichever engine is counting — shared or
+    /// per-run index, row scan, or the sharded merge — followed by the (budget-free)
+    /// consistency post-processing when `params.consistency` is set. Identical output
+    /// every way for a fixed seed: all engines produce the same exact counts, consume
+    /// the same noise stream, and the repair is deterministic.
     fn count_bases<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
-        db: &TransactionDb,
-        index: Option<&VerticalIndex>,
+        engine: Engine<'_>,
+        owned_index: Option<&VerticalIndex>,
         basis_set: &BasisSet,
         eps: Epsilon,
     ) -> NoisyCandidateCounts {
-        let mut counts = match index {
-            Some(ix) => basis_freq_counts_with_index(rng, ix, basis_set, eps),
-            None => basis_freq_counts_naive(rng, db, basis_set, eps),
+        let mut counts = match engine {
+            Engine::Sharded(s) => basis_freq_counts_sharded(rng, s, basis_set, eps),
+            Engine::Local { db, shared_index } => match shared_index.or(owned_index) {
+                Some(ix) => basis_freq_counts_with_index(rng, ix, basis_set, eps),
+                None => basis_freq_counts_naive(rng, db, basis_set, eps),
+            },
         };
         if let Some(options) = self.params.consistency {
-            let adjusted = enforce_consistency(&counts, db.len(), options);
+            let adjusted = enforce_consistency(&counts, engine.num_transactions(), options);
             counts.apply_adjusted_counts(&adjusted);
         }
         counts
@@ -311,7 +389,7 @@ impl PrivBasis {
     fn select_frequent_items<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
-        db: &TransactionDb,
+        n: usize,
         items_by_freq: &[(Item, usize)],
         lambda: usize,
         eps: Epsilon,
@@ -319,34 +397,31 @@ impl PrivBasis {
         let lambda = lambda.clamp(1, items_by_freq.len());
         let qualities: Vec<f64> = items_by_freq
             .iter()
-            .map(|&(_, c)| self.quality(c, db.len()))
+            .map(|&(_, c)| self.quality(c, n))
             .collect();
         let per_draw = eps.split(lambda);
         let picked = sample_without_replacement(
             rng,
             &qualities,
             lambda,
-            self.selection_sensitivity(db.len()),
+            self.selection_sensitivity(n),
             per_draw,
             ExponentialScale::OneSided,
         )?;
         Ok(picked.into_iter().map(|i| items_by_freq[i].0).collect())
     }
 
-    /// Step 3: select `lambda2` pairs among the selected items (`GetFreqElements` on pairs).
+    /// Step 3: select `lambda2` pairs among the selected items (`GetFreqElements` on
+    /// pairs), given their exact supports from the counting engine.
     fn select_frequent_pairs<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
-        db: &TransactionDb,
-        index: Option<&VerticalIndex>,
+        n: usize,
+        pair_counts: &HashMap<(Item, Item), usize>,
         frequent_items: &ItemSet,
         lambda2: usize,
         eps: Epsilon,
     ) -> Result<Vec<(Item, Item)>, PrivBasisError> {
-        let pair_counts = match index {
-            Some(ix) => ix.pair_counts(frequent_items),
-            None => db.pair_counts(frequent_items),
-        };
         // Candidate set: every pair of selected items, including pairs that never co-occur.
         let items = frequent_items.items();
         let mut candidates: Vec<(Item, Item)> =
@@ -362,14 +437,14 @@ impl PrivBasis {
         let lambda2 = lambda2.clamp(1, candidates.len());
         let qualities: Vec<f64> = candidates
             .iter()
-            .map(|p| self.quality(pair_counts.get(p).copied().unwrap_or(0), db.len()))
+            .map(|p| self.quality(pair_counts.get(p).copied().unwrap_or(0), n))
             .collect();
         let per_draw = eps.split(lambda2);
         let picked = sample_without_replacement(
             rng,
             &qualities,
             lambda2,
-            self.selection_sensitivity(db.len()),
+            self.selection_sensitivity(n),
             per_draw,
             ExponentialScale::OneSided,
         )?;
@@ -639,6 +714,46 @@ mod tests {
             for ((sa, ca), (sb, cb)) in a.itemsets.iter().zip(&b.itemsets) {
                 assert_eq!(sa, sb);
                 assert_eq!(ca.to_bits(), cb.to_bits(), "counts differ for {sa:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_runs_are_byte_identical_for_any_shard_count() {
+        // The acceptance invariant of the sharded engine: a pinned seed releases the
+        // same bytes whatever the shard count, on both the single-basis (dense) and
+        // multi-basis (sparse) paths, with the default consistency pass on.
+        let pb = PrivBasis::with_defaults();
+        for (db, k) in [(dense_db(2_000), 6usize), (sparse_db(2_500), 25)] {
+            for seed in [0u64, 3, 9] {
+                let reference = pb
+                    .run(
+                        &mut StdRng::seed_from_u64(seed),
+                        &db,
+                        k,
+                        Epsilon::Finite(0.8),
+                    )
+                    .unwrap();
+                for shards in [1usize, 2, 8] {
+                    let sharded = pb_shard::ShardedDb::partition(&db, shards);
+                    let out = pb
+                        .run_sharded(
+                            &mut StdRng::seed_from_u64(seed),
+                            &sharded,
+                            k,
+                            Epsilon::Finite(0.8),
+                        )
+                        .unwrap();
+                    assert_eq!(reference.lambda, out.lambda, "S = {shards}");
+                    assert_eq!(reference.frequent_items, out.frequent_items);
+                    assert_eq!(reference.frequent_pairs, out.frequent_pairs);
+                    assert_eq!(reference.basis_set, out.basis_set);
+                    assert_eq!(reference.itemsets.len(), out.itemsets.len());
+                    for ((sa, ca), (sb, cb)) in reference.itemsets.iter().zip(&out.itemsets) {
+                        assert_eq!(sa, sb);
+                        assert_eq!(ca.to_bits(), cb.to_bits(), "counts differ for {sa:?}");
+                    }
+                }
             }
         }
     }

@@ -2,37 +2,61 @@
 //!
 //! One PrivBasis query interleaves private mechanisms with *deterministic* functions of
 //! the data: the full item-frequency ranking (steps 1–2), the θ anchor — the support of
-//! the (η·k)-th most frequent itemset (step 1) — and the vertical index the counting
+//! the (η·k)-th most frequent itemset (step 1) — and the index structures the counting
 //! kernels run on. A one-shot CLI run recomputes all of them; a query service answering
 //! many queries against the same dataset should not, because on large databases the θ
 //! mining pass alone dominates the per-query cost (see the `service/cached_vs_cold_index`
 //! benchmark). [`QueryContext`] bundles that precomputation behind cheap shared
 //! references so [`PrivBasis::run_shared`](crate::PrivBasis::run_shared) can skip it.
 //!
+//! A context has one of two backends, chosen at construction and invisible in the
+//! released bytes:
+//!
+//! * [`QueryContext::new`] — a single database with one full [`VerticalIndex`],
+//! * [`QueryContext::sharded`] — a row-partitioned [`ShardedDb`]: counting fans out
+//!   across the shards and merges by summation, θ anchors come from the sharded
+//!   best-first miner, and noise is still drawn once on the merged counts — so a pinned
+//!   seed produces byte-identical [`PrivBasisOutput`](crate::PrivBasisOutput) whatever
+//!   the shard count.
+//!
 //! Reusing deterministic precomputation is privacy-neutral: every cached value is a fixed
 //! function of the database, identical to what each query would have recomputed, so each
 //! query's ε accounting is unchanged — byte-identically so, which
 //! `shared_context_is_byte_identical_to_run` asserts.
 
-use crate::algorithm::theta_count_direct;
+use crate::algorithm::{theta_count_direct, Engine};
 use pb_fim::itemset::Item;
 use pb_fim::{TransactionDb, VerticalIndex};
+use pb_shard::ShardedDb;
 use std::collections::HashMap;
 use std::sync::{Arc, Mutex, PoisonError};
+
+/// Where a context's exact counts come from.
+#[derive(Debug)]
+enum Backend {
+    /// One database, one full index, one item ranking.
+    Single {
+        db: Arc<TransactionDb>,
+        index: Arc<VerticalIndex>,
+        items_by_freq: Vec<(Item, usize)>,
+    },
+    /// Row shards, each with its own index; counts merge by summation. The merged item
+    /// ranking is cached inside the [`ShardedDb`] itself — no second copy here.
+    Sharded(Arc<ShardedDb>),
+}
 
 /// Cached deterministic per-dataset state shared across queries.
 #[derive(Debug)]
 pub struct QueryContext {
-    db: Arc<TransactionDb>,
-    index: Arc<VerticalIndex>,
-    items_by_freq: Vec<(Item, usize)>,
+    backend: Backend,
     /// `k1 → exact support count of the k1-th most frequent itemset`. Different queries
     /// use different `k` (hence `k1`), so this memo grows with the distinct `k1`s seen.
     theta_counts: Mutex<HashMap<usize, f64>>,
 }
 
 impl QueryContext {
-    /// Builds the context: one full index build plus one item-frequency scan.
+    /// Builds a single-database context: one full index build plus one item-frequency
+    /// scan.
     ///
     /// θ counts are *not* precomputed (they depend on the query's `k`); each distinct
     /// `k1` is mined once on first use and memoized.
@@ -40,27 +64,90 @@ impl QueryContext {
         let index = VerticalIndex::build(&db).into_shared();
         let items_by_freq = db.items_by_frequency();
         QueryContext {
-            db,
-            index,
-            items_by_freq,
+            backend: Backend::Single {
+                db,
+                index,
+                items_by_freq,
+            },
             theta_counts: Mutex::new(HashMap::new()),
         }
     }
 
-    /// The underlying database.
-    pub fn db(&self) -> &Arc<TransactionDb> {
-        &self.db
+    /// Builds a sharded context over a pre-partitioned database: the per-shard indexes
+    /// are built (in parallel, on first use per shard) and the item ranking is merged
+    /// from the shards. Queries through this context release byte-identical output to a
+    /// single-database context over the same rows, for any shard count.
+    pub fn sharded(sharded: Arc<ShardedDb>) -> Self {
+        // Force the merged ranking now (it is cached inside the ShardedDb) so first
+        // queries find a fully warm context, mirroring `new`.
+        let _ = sharded.items_by_frequency();
+        QueryContext {
+            backend: Backend::Sharded(sharded),
+            theta_counts: Mutex::new(HashMap::new()),
+        }
     }
 
-    /// The cached full vertical index.
-    pub fn index(&self) -> &Arc<VerticalIndex> {
-        &self.index
+    /// Total number of transactions behind the context.
+    pub fn num_transactions(&self) -> usize {
+        match &self.backend {
+            Backend::Single { db, .. } => db.len(),
+            Backend::Sharded(s) => s.num_transactions(),
+        }
+    }
+
+    /// Number of shards the context counts over (1 for a single-database context).
+    pub fn num_shards(&self) -> usize {
+        match &self.backend {
+            Backend::Single { .. } => 1,
+            Backend::Sharded(s) => s.num_shards().max(1),
+        }
+    }
+
+    /// The underlying single database, `None` for a sharded context (whose rows live in
+    /// [`QueryContext::sharded_db`]).
+    pub fn db(&self) -> Option<&Arc<TransactionDb>> {
+        match &self.backend {
+            Backend::Single { db, .. } => Some(db),
+            Backend::Sharded(_) => None,
+        }
+    }
+
+    /// The cached full vertical index, `None` for a sharded context (each shard owns
+    /// its own index).
+    pub fn index(&self) -> Option<&Arc<VerticalIndex>> {
+        match &self.backend {
+            Backend::Single { index, .. } => Some(index),
+            Backend::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded database, `None` for a single-database context.
+    pub fn sharded_db(&self) -> Option<&Arc<ShardedDb>> {
+        match &self.backend {
+            Backend::Single { .. } => None,
+            Backend::Sharded(s) => Some(s),
+        }
     }
 
     /// Items by descending frequency (same contract as
-    /// [`TransactionDb::items_by_frequency`]).
+    /// [`TransactionDb::items_by_frequency`]; merged across shards when sharded).
     pub fn items_by_frequency(&self) -> &[(Item, usize)] {
-        &self.items_by_freq
+        match &self.backend {
+            Backend::Single { items_by_freq, .. } => items_by_freq,
+            // The ShardedDb caches the merged ranking itself — one copy, not two.
+            Backend::Sharded(s) => s.items_by_frequency(),
+        }
+    }
+
+    /// The counting engine `run_shared` hands to the pipeline.
+    pub(crate) fn engine(&self) -> Engine<'_> {
+        match &self.backend {
+            Backend::Single { db, index, .. } => Engine::Local {
+                db,
+                shared_index: Some(index),
+            },
+            Backend::Sharded(s) => Engine::Sharded(s),
+        }
     }
 
     /// The θ support count for one `k1`, mined on first use.
@@ -73,7 +160,13 @@ impl QueryContext {
         if let Some(&count) = self.lock().get(&k1) {
             return count;
         }
-        let count = theta_count_direct(&self.db, k1);
+        let count = match &self.backend {
+            Backend::Single { db, .. } => theta_count_direct(db, k1),
+            // The sharded best-first miner counts candidates across shards; same value
+            // as mining the concatenation (the support multiset is a property of the
+            // data, not the algorithm).
+            Backend::Sharded(s) => s.kth_support_count(k1),
+        };
         self.lock().insert(k1, count);
         count
     }
@@ -113,8 +206,11 @@ mod tests {
         let db = db();
         let ctx = QueryContext::new(Arc::clone(&db));
         assert_eq!(ctx.items_by_frequency(), &db.items_by_frequency()[..]);
-        assert_eq!(ctx.db().len(), db.len());
-        assert_eq!(ctx.index().num_transactions(), db.len());
+        assert_eq!(ctx.num_transactions(), db.len());
+        assert_eq!(ctx.num_shards(), 1);
+        assert_eq!(ctx.db().unwrap().len(), db.len());
+        assert_eq!(ctx.index().unwrap().num_transactions(), db.len());
+        assert!(ctx.sharded_db().is_none());
         for k1 in [1usize, 3, 7] {
             assert_eq!(
                 ctx.theta_count(k1),
@@ -128,24 +224,47 @@ mod tests {
     }
 
     #[test]
+    fn sharded_context_matches_single() {
+        let db = db();
+        let sharded = ShardedDb::partition(&db, 4).into_shared();
+        let ctx = QueryContext::sharded(Arc::clone(&sharded));
+        assert_eq!(ctx.num_transactions(), db.len());
+        assert_eq!(ctx.num_shards(), 4);
+        assert!(ctx.db().is_none());
+        assert!(ctx.index().is_none());
+        assert!(ctx.sharded_db().is_some());
+        assert_eq!(ctx.items_by_frequency(), &db.items_by_frequency()[..]);
+        for k1 in [1usize, 3, 7] {
+            assert_eq!(
+                ctx.theta_count(k1),
+                crate::algorithm::theta_count_direct(&db, k1),
+                "θ anchor must not depend on sharding (k1 = {k1})"
+            );
+        }
+    }
+
+    #[test]
     fn shared_context_is_byte_identical_to_run() {
         let db = db();
-        let ctx = QueryContext::new(Arc::clone(&db));
+        let single = QueryContext::new(Arc::clone(&db));
+        let sharded = QueryContext::sharded(ShardedDb::partition(&db, 3).into_shared());
         let pb = PrivBasis::with_defaults();
         for seed in [1u64, 5, 11] {
             for eps in [Epsilon::Finite(0.7), Epsilon::Infinite] {
                 let a = pb
                     .run(&mut StdRng::seed_from_u64(seed), &db, 5, eps)
                     .unwrap();
-                let b = pb
-                    .run_shared(&mut StdRng::seed_from_u64(seed), &ctx, 5, eps)
-                    .unwrap();
-                assert_eq!(a.lambda, b.lambda);
-                assert_eq!(a.basis_set, b.basis_set);
-                assert_eq!(a.itemsets.len(), b.itemsets.len());
-                for ((sa, ca), (sb, cb)) in a.itemsets.iter().zip(&b.itemsets) {
-                    assert_eq!(sa, sb);
-                    assert_eq!(ca.to_bits(), cb.to_bits());
+                for ctx in [&single, &sharded] {
+                    let b = pb
+                        .run_shared(&mut StdRng::seed_from_u64(seed), ctx, 5, eps)
+                        .unwrap();
+                    assert_eq!(a.lambda, b.lambda);
+                    assert_eq!(a.basis_set, b.basis_set);
+                    assert_eq!(a.itemsets.len(), b.itemsets.len());
+                    for ((sa, ca), (sb, cb)) in a.itemsets.iter().zip(&b.itemsets) {
+                        assert_eq!(sa, sb);
+                        assert_eq!(ca.to_bits(), cb.to_bits());
+                    }
                 }
             }
         }

@@ -13,8 +13,8 @@
 //!
 //! ## Counting engines
 //!
-//! The exact bin histograms dominate the data-dependent running time, and two engines
-//! compute them:
+//! The exact bin histograms dominate the data-dependent running time, and three engines
+//! compute them, all meeting at the [`basis_freq_counts_with_histograms`] seam:
 //!
 //! * **Indexed** (default, [`basis_freq_counts`]) — a [`VerticalIndex`] is built (or
 //!   passed in via [`basis_freq_counts_with_index`]) and each basis is swept 64
@@ -23,10 +23,13 @@
 //! * **Naive** ([`basis_freq_counts_naive`]) — the paper's row scan: per transaction,
 //!   `ℓ` membership tests per basis. Kept as the reference the indexed engine is tested
 //!   against and the baseline the benchmarks measure speedups from.
+//! * **Sharded** ([`basis_freq_counts_sharded`]) — per-shard histograms over a
+//!   [`ShardedDb`], merged by summation before the noise is applied (bins over disjoint
+//!   row shards sum exactly; noise is drawn once, never per shard).
 //!
-//! Both engines draw the per-bin Laplace noise in exactly the same order *before* any
+//! All engines draw the per-bin Laplace noise in exactly the same order *before* any
 //! counting happens, and the exact histograms are integers, so for a fixed RNG seed the
-//! two engines produce byte-identical output regardless of thread count.
+//! engines produce byte-identical output regardless of thread or shard count.
 //!
 //! The superset sums are computed either naively (the paper's `O(3^ℓ)` per basis) or with a
 //! superset zeta transform (`O(ℓ·2^ℓ)`); both are exposed and tested to agree, and compared in
@@ -36,6 +39,7 @@ use crate::basis::BasisSet;
 use pb_dp::{Epsilon, LaplaceNoise};
 use pb_fim::itemset::{Item, ItemSet};
 use pb_fim::{TransactionDb, VerticalIndex};
+use pb_shard::ShardedDb;
 use rand::Rng;
 use std::collections::HashMap;
 
@@ -257,22 +261,24 @@ fn reconstruct(
     result
 }
 
-/// Runs the bin-counting and reconstruction phases of Algorithm 1 on a pre-built
-/// [`VerticalIndex`], returning noisy counts for every candidate in `C(B)`.
+/// The shared engine seam of Algorithm 1: draws every basis' bin noise in the fixed
+/// order (basis order, mask order) **before** any counting happens, then obtains the
+/// exact merged histograms from `exact_histograms_for` and reconstructs.
 ///
-/// The per-bin noise is drawn sequentially (basis order, mask order) before counting;
-/// the exact histograms are then computed by the index — across threads when the
-/// `parallel` feature (default) is enabled and the workload is wide enough. Output is
-/// byte-identical to [`basis_freq_counts_naive`] for the same RNG seed.
+/// Every counting engine — indexed, row-scan, sharded — plugs in here, which is what
+/// makes them byte-identical for a fixed seed: the noise stream never depends on the
+/// engine, the exact histograms are integers (and integer sums across shards or threads
+/// are reassociation-free), and the reconstruction is shared code. The noise is drawn
+/// exactly once per bin, against the *merged* histogram — never per shard.
 ///
 /// # Panics
 /// Panics if any basis is longer than [`MAX_SUPPORTED_BASIS_LEN`] (the bin table would not fit
 /// in memory — the paper caps ℓ at 12 for the same reason).
-pub fn basis_freq_counts_with_index<R: Rng + ?Sized>(
+pub fn basis_freq_counts_with_histograms<R: Rng + ?Sized>(
     rng: &mut R,
-    index: &VerticalIndex,
     basis_set: &BasisSet,
     epsilon: Epsilon,
+    exact_histograms_for: impl FnOnce(&[ItemSet]) -> Vec<Vec<u64>>,
 ) -> NoisyCandidateCounts {
     assert_basis_len(basis_set);
     if basis_set.is_empty() {
@@ -285,8 +291,49 @@ pub fn basis_freq_counts_with_index<R: Rng + ?Sized>(
         .iter()
         .map(|b| sample_bin_noise(rng, b.len(), &noise))
         .collect();
-    let exact_hists = exact_histograms(index, basis_set.bases());
+    let exact_hists = exact_histograms_for(basis_set.bases());
+    debug_assert_eq!(exact_hists.len(), basis_set.width());
     reconstruct(basis_set, noise_vecs, exact_hists)
+}
+
+/// Runs the bin-counting and reconstruction phases of Algorithm 1 on a pre-built
+/// [`VerticalIndex`], returning noisy counts for every candidate in `C(B)`.
+///
+/// The per-bin noise is drawn sequentially (basis order, mask order) before counting;
+/// the exact histograms are then computed by the index — across threads when the
+/// `parallel` feature (default) is enabled and the workload is wide enough. Output is
+/// byte-identical to [`basis_freq_counts_naive`] for the same RNG seed.
+///
+/// # Panics
+/// Panics if any basis is longer than [`MAX_SUPPORTED_BASIS_LEN`].
+pub fn basis_freq_counts_with_index<R: Rng + ?Sized>(
+    rng: &mut R,
+    index: &VerticalIndex,
+    basis_set: &BasisSet,
+    epsilon: Epsilon,
+) -> NoisyCandidateCounts {
+    basis_freq_counts_with_histograms(rng, basis_set, epsilon, |bases| {
+        exact_histograms(index, bases)
+    })
+}
+
+/// Runs the bin-counting and reconstruction phases of Algorithm 1 against a
+/// [`ShardedDb`]: the per-shard exact histograms are merged by summation and the noise
+/// is drawn once, on the merged counts, in the same fixed order as every other engine —
+/// so for a fixed seed the release is byte-identical to [`basis_freq_counts_with_index`]
+/// over the unsharded database, whatever the shard count.
+///
+/// # Panics
+/// Panics if any basis is longer than [`MAX_SUPPORTED_BASIS_LEN`].
+pub fn basis_freq_counts_sharded<R: Rng + ?Sized>(
+    rng: &mut R,
+    sharded: &ShardedDb,
+    basis_set: &BasisSet,
+    epsilon: Epsilon,
+) -> NoisyCandidateCounts {
+    basis_freq_counts_with_histograms(rng, basis_set, epsilon, |bases| {
+        sharded.bin_histograms(bases)
+    })
 }
 
 /// The exact histograms of every basis, one thread per basis when `parallel` is enabled
@@ -356,20 +403,9 @@ pub fn basis_freq_counts_naive<R: Rng + ?Sized>(
     basis_set: &BasisSet,
     epsilon: Epsilon,
 ) -> NoisyCandidateCounts {
-    assert_basis_len(basis_set);
-    if basis_set.is_empty() {
-        return NoisyCandidateCounts::default();
-    }
-    let w = basis_set.width();
-    let noise = LaplaceNoise::new(w as f64, epsilon).expect("width >= 1 and epsilon validated");
-    let mut noise_vecs = Vec::with_capacity(w);
-    let mut exact_hists = Vec::with_capacity(w);
-    for basis in basis_set.bases() {
-        // Same draw order as the indexed engine: all of a basis' noise, then the next basis.
-        noise_vecs.push(sample_bin_noise(rng, basis.len(), &noise));
-        exact_hists.push(exact_bins_naive(db, basis));
-    }
-    reconstruct(basis_set, noise_vecs, exact_hists)
+    basis_freq_counts_with_histograms(rng, basis_set, epsilon, |bases| {
+        bases.iter().map(|b| exact_bins_naive(db, b)).collect()
+    })
 }
 
 /// Full Algorithm 1: noisy candidate counts plus top-`k` selection (indexed engine).
@@ -471,6 +507,33 @@ mod tests {
                 for ((sa, ca), (sb, cb)) in a.iter().zip(&b) {
                     assert_eq!(sa, sb);
                     assert_eq!(ca.to_bits(), cb.to_bits());
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sharded_engine_is_byte_identical_for_any_shard_count() {
+        let db = sample_db();
+        let basis = BasisSet::new(vec![set(&[1, 2, 3]), set(&[2, 3, 4]), set(&[4, 5])]);
+        for shards in [1usize, 2, 3, 8] {
+            let sharded = ShardedDb::partition(&db, shards);
+            for seed in 0..10 {
+                for eps in [Epsilon::Finite(0.5), Epsilon::Infinite] {
+                    let single =
+                        basis_freq_counts(&mut StdRng::seed_from_u64(seed), &db, &basis, eps);
+                    let merged = basis_freq_counts_sharded(
+                        &mut StdRng::seed_from_u64(seed),
+                        &sharded,
+                        &basis,
+                        eps,
+                    );
+                    assert_eq!(single.len(), merged.len());
+                    for (itemset, est) in single.iter() {
+                        let m = merged.get(itemset).expect("same candidate set");
+                        assert_eq!(est.count.to_bits(), m.count.to_bits(), "{itemset:?}");
+                        assert_eq!(est.variance_units.to_bits(), m.variance_units.to_bits());
+                    }
                 }
             }
         }

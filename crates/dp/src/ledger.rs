@@ -11,70 +11,82 @@
 //!
 //! The ε spent so far *is* the DP guarantee — an in-memory ledger that resets on crash
 //! silently re-grants the whole budget. A [`DebitSink`] plugged in via
-//! [`BudgetLedger::with_journal`] makes every debit durable: the sink runs **inside the
-//! check-and-debit critical section, after the in-memory debit succeeds but before the
-//! ε is released to the caller**. The contract is:
+//! [`BudgetLedger::with_journal`] makes every debit durable, in two phases chosen so the
+//! (slow) fsync never sits inside the (hot) check-and-debit critical section:
 //!
-//! * a sink that returns `Ok(())` has made the debit durable (e.g. appended and fsynced
-//!   a journal record) — only then does `try_spend` hand the ε out, so no mechanism can
-//!   draw noise (let alone release output) before its debit would survive `kill -9`;
-//! * a sink error rolls the in-memory debit back and fails the spend with
-//!   [`DpError::Persistence`] — the caller gets no ε, runs no mechanism, releases
-//!   nothing, and the in-memory ledger still matches the durable state.
+//! 1. [`DebitSink::stage_debit`] runs **inside** the critical section, right after the
+//!    in-memory debit: the sink orders the debit durably (e.g. appends a journal record
+//!    to the OS buffer) and returns a sequence token. A staging error rolls the
+//!    in-memory debit back and fails the spend — nothing happened, in memory or on disk.
+//! 2. [`DebitSink::commit_debit`] runs **outside** the critical section, before
+//!    `try_spend` returns the ε: the sink makes everything up to the token durable
+//!    (e.g. one fsync). Because many threads can be between their stage and their
+//!    commit at once, a single fsync can cover all of them — *group commit* — while
+//!    each caller still never holds ε whose debit could be lost to `kill -9`.
 //!
-//! The failure mode under a crash is therefore one-sided by construction: a crash
-//! between the fsync and the mechanism loses the *answer* (budget debited, nothing
-//! released), never the *guarantee* (output released, debit forgotten).
+//! A commit error fails the spend **without** rolling the in-memory debit back: later
+//! debits may already be staged on top of it, and their absolute `spent_after` records
+//! include this debit, so durable state can only ever show *more* spent than was
+//! released, never less. The caller gets no ε and the in-memory ledger keeps the amount
+//! reserved — the service fails closed on persistence trouble, never open. The crash
+//! failure mode stays one-sided by construction: a crash between the commit and the
+//! mechanism loses the *answer* (budget debited, nothing released), never the
+//! *guarantee* (output released, debit forgotten).
 
 use crate::budget::PrivacyBudget;
 use crate::epsilon::Epsilon;
 use crate::DpError;
 use std::sync::{Mutex, PoisonError};
 
-/// A durability hook invoked inside the ledger's spend critical section.
+/// A durability hook invoked by the ledger's spend path (see the module docs for the
+/// exact two-phase ordering contract).
 ///
-/// Implementors make a debit durable before the ledger releases the ε (see the module
-/// docs for the exact ordering contract). `spent_after` is the cumulative spend
-/// including this debit — sinks should persist the absolute value so replay can take a
-/// monotone maximum instead of re-summing (which would double-count records that
-/// survive a snapshot).
+/// `spent_after` is the cumulative spend including the staged debit — sinks should
+/// persist the absolute value so replay can take a monotone maximum instead of
+/// re-summing (which would double-count records that survive a snapshot), and so a
+/// committed later debit subsumes an uncommitted earlier one.
+///
+/// Methods take `&self` because stage and commit run under different locks (stage
+/// inside the ledger's critical section, commit outside it, concurrently across
+/// threads); implementations bring their own interior synchronisation.
 ///
 /// Sinks are only consulted for *finite* budgets: an infinite ledger performs no
 /// accounting, so there is nothing to persist.
-pub trait DebitSink: Send + std::fmt::Debug {
-    /// Makes one debit durable. `Err` aborts and rolls back the spend.
-    fn persist_debit(&mut self, amount: f64, spent_after: f64) -> std::io::Result<()>;
-}
+pub trait DebitSink: Send + Sync + std::fmt::Debug {
+    /// Stages one debit durably-ordered and returns its sequence token.
+    /// `Err` aborts and rolls back the spend.
+    fn stage_debit(&self, amount: f64, spent_after: f64) -> std::io::Result<u64>;
 
-#[derive(Debug)]
-struct LedgerInner {
-    budget: PrivacyBudget,
-    sink: Option<Box<dyn DebitSink>>,
+    /// Makes every staged debit up to `seq` durable (may batch with concurrent
+    /// committers). `Err` fails the spend without rolling back — fail closed.
+    fn commit_debit(&self, seq: u64) -> std::io::Result<()>;
 }
 
 /// A concurrency-safe ε ledger: [`PrivacyBudget`] behind interior mutability, with an
 /// optional durability sink.
 ///
 /// All accounting goes through [`BudgetLedger::try_spend`], which atomically checks the
-/// remaining budget, debits the request, and (when a sink is attached) persists the
-/// debit — one critical section, so concurrent spenders can neither overshoot the total
-/// nor observe a debit that is not yet durable. Once the ledger is exhausted every
-/// further `try_spend` fails with [`DpError::BudgetExceeded`] — the dataset can no
-/// longer answer queries, which is exactly the sequential-composition guarantee a
-/// serving layer needs.
+/// remaining budget, debits the request, and stages the debit durably — one critical
+/// section, so concurrent spenders can neither overshoot the total nor observe a debit
+/// that is not yet ordered for persistence. The fsync-grade commit happens after the
+/// critical section (group commit; see [`DebitSink`]), still strictly before the ε is
+/// handed out. Once the ledger is exhausted every further `try_spend` fails with
+/// [`DpError::BudgetExceeded`] — the dataset can no longer answer queries, which is
+/// exactly the sequential-composition guarantee a serving layer needs.
 #[derive(Debug)]
 pub struct BudgetLedger {
-    inner: Mutex<LedgerInner>,
+    budget: Mutex<PrivacyBudget>,
+    /// Outside the mutex: stage is called under the lock, commit deliberately without
+    /// it, concurrently across spenders.
+    sink: Option<Box<dyn DebitSink>>,
 }
 
 impl BudgetLedger {
     /// Creates an in-memory ledger over a total budget (no durability sink).
     pub fn new(total: Epsilon) -> Self {
         BudgetLedger {
-            inner: Mutex::new(LedgerInner {
-                budget: PrivacyBudget::new(total),
-                sink: None,
-            }),
+            budget: Mutex::new(PrivacyBudget::new(total)),
+            sink: None,
         }
     }
 
@@ -84,27 +96,25 @@ impl BudgetLedger {
     /// through `sink` before it is released.
     pub fn with_journal(total: Epsilon, restored_spent: f64, sink: Box<dyn DebitSink>) -> Self {
         BudgetLedger {
-            inner: Mutex::new(LedgerInner {
-                budget: PrivacyBudget::restore(total, restored_spent),
-                sink: Some(sink),
-            }),
+            budget: Mutex::new(PrivacyBudget::restore(total, restored_spent)),
+            sink: Some(sink),
         }
     }
 
     /// The total budget the ledger was created with.
     pub fn total(&self) -> Epsilon {
-        self.lock().budget.total()
+        self.lock().total()
     }
 
     /// ε consumed so far across all successful [`BudgetLedger::try_spend`] calls
     /// (including any spend restored from durable state).
     pub fn spent(&self) -> f64 {
-        self.lock().budget.spent()
+        self.lock().spent()
     }
 
     /// Remaining ε (infinite for an infinite budget).
     pub fn remaining(&self) -> f64 {
-        self.lock().budget.remaining()
+        self.lock().remaining()
     }
 
     /// True once no positive amount can be spent any more.
@@ -114,35 +124,62 @@ impl BudgetLedger {
 
     /// True when a durability sink is attached (debits survive a crash).
     pub fn is_journaled(&self) -> bool {
-        self.lock().sink.is_some()
+        self.sink.is_some()
     }
 
-    /// Atomically debits `amount` from the ledger, persists the debit through the sink
-    /// (if any), and returns it as an [`Epsilon`] for a mechanism to consume. Fails —
-    /// without debiting anything, in memory or durably — when `amount` is not a
-    /// positive finite number, exceeds what remains, or the sink cannot make the debit
-    /// durable ([`DpError::Persistence`]).
+    /// Atomically debits `amount` from the ledger, makes the debit durable through the
+    /// sink (if any), and returns it as an [`Epsilon`] for a mechanism to consume.
+    ///
+    /// Failure modes, none of which release any ε:
+    /// * `amount` is not a positive finite number, or exceeds what remains — nothing
+    ///   was debited;
+    /// * the sink cannot *stage* the debit — the in-memory debit is rolled back
+    ///   ([`DpError::Persistence`]);
+    /// * the sink cannot *commit* the staged debit — the in-memory debit stands
+    ///   (fail closed; see the module docs) and the spend fails with
+    ///   [`DpError::Persistence`].
     ///
     /// Note for serving layers: with an infinite total this returns `Epsilon::Infinite`
     /// (nothing to account, sink not consulted). Run the *mechanism* at the caller's
     /// requested finite ε, not at this return value — `Epsilon::Infinite` is the
     /// zero-noise mode.
     pub fn try_spend(&self, amount: f64) -> Result<Epsilon, DpError> {
-        let mut inner = self.lock();
-        let before = inner.budget.spent();
-        let granted = inner.budget.spend(amount)?;
-        // Infinite budgets don't account, so there is no state to persist.
-        if !granted.is_infinite() {
-            let spent_after = inner.budget.spent();
-            if let Some(sink) = inner.sink.as_mut() {
-                if let Err(e) = sink.persist_debit(amount, spent_after) {
-                    // Not durable ⇒ not spent: roll back so memory matches the journal,
-                    // and hand out no ε (the caller must not run a mechanism).
-                    inner.budget.set_spent(before);
-                    return Err(DpError::Persistence(format!(
-                        "failed to journal a debit of {amount}: {e}"
-                    )));
+        let (granted, staged) = {
+            let mut budget = self.lock();
+            let before = budget.spent();
+            let granted = budget.spend(amount)?;
+            // Infinite budgets don't account, so there is no state to persist.
+            match &self.sink {
+                Some(sink) if !granted.is_infinite() => {
+                    match sink.stage_debit(amount, budget.spent()) {
+                        Ok(seq) => (granted, Some(seq)),
+                        Err(e) => {
+                            // Not even ordered for durability ⇒ not spent: roll back so
+                            // memory matches the journal, and hand out no ε.
+                            budget.set_spent(before);
+                            return Err(DpError::Persistence(format!(
+                                "failed to journal a debit of {amount}: {e}"
+                            )));
+                        }
+                    }
                 }
+                _ => (granted, None),
+            }
+        };
+        if let Some(seq) = staged {
+            // Group commit: outside the critical section, so concurrent spenders stage
+            // freely while one fsync makes a whole batch durable. On error the debit
+            // stays reserved in memory (never re-granted) and no ε is released.
+            if let Err(e) = self
+                .sink
+                .as_ref()
+                .expect("staged implies a sink")
+                .commit_debit(seq)
+            {
+                return Err(DpError::Persistence(format!(
+                    "failed to make a debit of {amount} durable \
+                     (the amount stays debited in memory): {e}"
+                )));
             }
         }
         Ok(granted)
@@ -150,16 +187,15 @@ impl BudgetLedger {
 
     /// A snapshot of the accountant (for reporting; the clone is detached from the ledger).
     pub fn snapshot(&self) -> PrivacyBudget {
-        self.lock().budget.clone()
+        self.lock().clone()
     }
 
-    fn lock(&self) -> std::sync::MutexGuard<'_, LedgerInner> {
+    fn lock(&self) -> std::sync::MutexGuard<'_, PrivacyBudget> {
         // A panic while holding the lock cannot leave the ledger under-spent (the
-        // in-memory debit happens before the sink runs, and a sink that fails part-way
-        // leaves the debit in place until the explicit rollback), so recovering from
-        // poison is sound and keeps one crashed worker thread from wedging the whole
-        // dataset.
-        self.inner.lock().unwrap_or_else(PoisonError::into_inner)
+        // in-memory debit happens before the sink stages, and a staging failure leaves
+        // the debit in place until the explicit rollback), so recovering from poison is
+        // sound and keeps one crashed worker thread from wedging the whole dataset.
+        self.budget.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -169,22 +205,31 @@ mod tests {
     use std::sync::atomic::{AtomicUsize, Ordering};
     use std::sync::Arc;
 
-    /// Records debits into a shared buffer; optionally fails after `fail_after`
-    /// successes. The buffer is shared so tests can inspect it while the ledger owns
-    /// the sink.
+    /// Records staged debits into a shared buffer; optionally fails staging after
+    /// `fail_stage_after` successes, or every commit once `fail_commits` is set.
     #[derive(Debug, Default)]
     struct RecordingSink {
-        records: Arc<std::sync::Mutex<Vec<(f64, f64)>>>,
-        fail_after: Option<usize>,
+        records: Arc<Mutex<Vec<(f64, f64)>>>,
+        commits: Arc<AtomicUsize>,
+        fail_stage_after: Option<usize>,
+        fail_commits: bool,
     }
 
     impl DebitSink for RecordingSink {
-        fn persist_debit(&mut self, amount: f64, spent_after: f64) -> std::io::Result<()> {
+        fn stage_debit(&self, amount: f64, spent_after: f64) -> std::io::Result<u64> {
             let mut records = self.records.lock().unwrap();
-            if self.fail_after.is_some_and(|n| records.len() >= n) {
+            if self.fail_stage_after.is_some_and(|n| records.len() >= n) {
                 return Err(std::io::Error::other("disk gone"));
             }
             records.push((amount, spent_after));
+            Ok(records.len() as u64)
+        }
+
+        fn commit_debit(&self, _seq: u64) -> std::io::Result<()> {
+            if self.fail_commits {
+                return Err(std::io::Error::other("fsync failed"));
+            }
+            self.commits.fetch_add(1, Ordering::SeqCst);
             Ok(())
         }
     }
@@ -224,9 +269,10 @@ mod tests {
     }
 
     #[test]
-    fn journaled_ledger_persists_every_debit_before_release() {
+    fn journaled_ledger_stages_every_debit_before_release() {
         let sink = RecordingSink::default();
         let records = Arc::clone(&sink.records);
+        let commits = Arc::clone(&sink.commits);
         let ledger = BudgetLedger::with_journal(Epsilon::Finite(1.0), 0.0, Box::new(sink));
         assert!(ledger.is_journaled());
         ledger.try_spend(0.25).unwrap();
@@ -234,42 +280,33 @@ mod tests {
         // A rejected overdraft must not reach the sink at all.
         assert!(ledger.try_spend(0.9).is_err());
         assert_eq!(*records.lock().unwrap(), vec![(0.25, 0.25), (0.5, 0.75)]);
+        assert_eq!(commits.load(Ordering::SeqCst), 2);
     }
 
     #[test]
-    fn sink_sees_the_debit_before_try_spend_returns() {
-        // The output-release ordering of the module docs, as a test: by the time the
-        // caller holds the ε (and could run a mechanism), the sink has already accepted
-        // the debit. A sink recording a strictly-before timestamp proves the ordering.
-        #[derive(Debug)]
-        struct CountingSink(Arc<AtomicUsize>);
-        impl DebitSink for CountingSink {
-            fn persist_debit(&mut self, _: f64, _: f64) -> std::io::Result<()> {
-                self.0.fetch_add(1, Ordering::SeqCst);
-                Ok(())
-            }
-        }
-        let persisted = Arc::new(AtomicUsize::new(0));
-        let ledger = BudgetLedger::with_journal(
-            Epsilon::Finite(1.0),
-            0.0,
-            Box::new(CountingSink(Arc::clone(&persisted))),
-        );
+    fn sink_commits_the_debit_before_try_spend_returns() {
+        // By the time the caller holds the ε (and could run a mechanism), the sink has
+        // already accepted both phases of the matching debit.
+        let sink = RecordingSink::default();
+        let records = Arc::clone(&sink.records);
+        let commits = Arc::clone(&sink.commits);
+        let ledger = BudgetLedger::with_journal(Epsilon::Finite(1.0), 0.0, Box::new(sink));
         for i in 0..5 {
             let eps = ledger.try_spend(0.1).unwrap();
-            // The ε in hand implies the matching journal record is already durable.
-            assert_eq!(persisted.load(Ordering::SeqCst), i + 1);
+            // The ε in hand implies the matching stage and commit already happened.
+            assert_eq!(records.lock().unwrap().len(), i + 1);
+            assert_eq!(commits.load(Ordering::SeqCst), i + 1);
             assert_eq!(eps, Epsilon::Finite(0.1));
         }
     }
 
     #[test]
-    fn sink_failure_rolls_the_debit_back() {
+    fn stage_failure_rolls_the_debit_back() {
         let ledger = BudgetLedger::with_journal(
             Epsilon::Finite(1.0),
             0.0,
             Box::new(RecordingSink {
-                fail_after: Some(2),
+                fail_stage_after: Some(2),
                 ..Default::default()
             }),
         );
@@ -280,6 +317,25 @@ mod tests {
         // The failed debit is fully rolled back: memory still matches the journal.
         assert!((ledger.spent() - 0.4).abs() < 1e-12);
         assert!((ledger.remaining() - 0.6).abs() < 1e-12);
+    }
+
+    #[test]
+    fn commit_failure_fails_closed_without_rollback() {
+        let ledger = BudgetLedger::with_journal(
+            Epsilon::Finite(1.0),
+            0.0,
+            Box::new(RecordingSink {
+                fail_commits: true,
+                ..Default::default()
+            }),
+        );
+        let err = ledger.try_spend(0.3).unwrap_err();
+        assert!(matches!(err, DpError::Persistence(_)), "{err:?}");
+        // No ε was released, but the amount stays debited: concurrent debits may have
+        // staged on top of it, so durable state may only ever show more spent than was
+        // released — never less.
+        assert!((ledger.spent() - 0.3).abs() < 1e-12);
+        assert!((ledger.remaining() - 0.7).abs() < 1e-12);
     }
 
     #[test]
@@ -309,7 +365,8 @@ mod tests {
             Epsilon::Infinite,
             0.0,
             Box::new(RecordingSink {
-                fail_after: Some(0), // would fail if ever consulted
+                fail_stage_after: Some(0), // would fail if ever consulted
+                fail_commits: true,
                 ..Default::default()
             }),
         );
@@ -335,5 +392,37 @@ mod tests {
         assert_eq!(successes, 100, "over- or under-spend under concurrency");
         assert!(ledger.is_exhausted());
         assert!(ledger.spent() <= 1.0 + 1e-9);
+    }
+
+    #[test]
+    fn concurrent_journaled_spends_stage_in_spend_order() {
+        // Staged records carry absolute spent_after values; under any interleaving the
+        // sequence of spent_after values recorded by the sink must be strictly
+        // increasing (stage happens inside the critical section).
+        let sink = RecordingSink::default();
+        let records = Arc::clone(&sink.records);
+        let ledger = Arc::new(BudgetLedger::with_journal(
+            Epsilon::Finite(10.0),
+            0.0,
+            Box::new(sink),
+        ));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let ledger = Arc::clone(&ledger);
+                scope.spawn(move || {
+                    for _ in 0..50 {
+                        ledger.try_spend(0.01).unwrap();
+                    }
+                });
+            }
+        });
+        let records = records.lock().unwrap();
+        assert_eq!(records.len(), 200);
+        for pair in records.windows(2) {
+            assert!(
+                pair[1].1 > pair[0].1,
+                "spent_after must increase monotonically: {pair:?}"
+            );
+        }
     }
 }

@@ -17,10 +17,17 @@
 //!   interleaving of client threads,
 //! * optional **durability** ([`persist`], enabled by
 //!   [`DatasetRegistry::with_persistence`] / `privbasis-cli serve --state-dir`): debits
-//!   are journaled and fsynced *before* the ε is released, membership lives in a
-//!   manifest, and a restarted — or `kill -9`ed — server recovers datasets, spent ε,
-//!   and query counters exactly. Spent budget is the DP guarantee; it never resets
-//!   with the process.
+//!   are journaled and made durable *before* the ε is released (staged inside the
+//!   ledger critical section, group-committed outside it so concurrent debits share
+//!   one fsync), membership lives in a manifest behind an exclusive state-dir lock,
+//!   and a restarted — or `kill -9`ed — server recovers datasets, spent ε, and query
+//!   counters exactly. Spent budget is the DP guarantee; it never resets with the
+//!   process,
+//! * optional **sharding** ([`DatasetRegistry::register_sharded`], CLI `--shards`):
+//!   rows are partitioned across `pb_shard::ShardedDb` shards, counting fans out and
+//!   merges by summation, and — because noise is drawn once on the merged counts —
+//!   pinned-seed releases are byte-identical for any shard count. The layout is
+//!   recorded in the manifest and restored on recovery.
 //!
 //! [`PbServer`] exposes the registry over `std::net::TcpListener` with a fixed worker
 //! pool (sized by the `PB_NUM_THREADS` convention shared with `pb-fim`), speaking
@@ -68,7 +75,9 @@ pub mod registry;
 pub mod server;
 
 pub use json::{Json, JsonError};
-pub use persist::{DebitJournal, LedgerState, Manifest, ManifestEntry, StateDir};
+pub use persist::{
+    DebitJournal, GroupFlush, JournalStats, LedgerState, Manifest, ManifestEntry, StateDir,
+};
 pub use protocol::{QueryRequest, Request};
 pub use registry::{DatasetEntry, DatasetRegistry, RegistryError};
 pub use server::{PbServer, ServiceConfig};

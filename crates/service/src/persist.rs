@@ -47,7 +47,7 @@ use pb_dp::{DebitSink, Epsilon};
 use std::fs::{File, OpenOptions};
 use std::io::{self, ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
-use std::sync::{Arc, Mutex, PoisonError};
+use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// First bytes of a journal file; a version bump changes the magic.
 const WAL_MAGIC: &[u8; 4] = b"PBJ1";
@@ -72,6 +72,9 @@ pub struct LedgerState {
     /// Recorded durably so that losing the manifest can never be parlayed into a
     /// *larger* budget: reopening with a different total is refused.
     pub total: Option<f64>,
+    /// Number of records in the journal's valid prefix (metrics only; the snapshot's
+    /// records are compacted away and not counted).
+    pub wal_records: u64,
 }
 
 /// A stable 64-bit fingerprint of a transaction database (FNV-1a over the row/item
@@ -314,17 +317,20 @@ pub fn replay(snap_path: &Path, wal_path: &Path) -> io::Result<(LedgerState, u64
             } else if &bytes[..4] != WAL_MAGIC {
                 return Err(corrupt(wal_path, "bad journal magic"));
             } else {
-                scan_records(wal_path, &bytes, 4, |record| match record {
-                    Record::Debit { spent_after, .. } => {
-                        state.spent = state.spent.max(spent_after);
-                        Ok(())
-                    }
-                    Record::Served { served_after } => {
-                        state.served = state.served.max(served_after);
-                        Ok(())
-                    }
-                    Record::Snapshot { .. } => {
-                        Err("journal file holds a snapshot record".to_string())
+                scan_records(wal_path, &bytes, 4, |record| {
+                    state.wal_records += 1;
+                    match record {
+                        Record::Debit { spent_after, .. } => {
+                            state.spent = state.spent.max(spent_after);
+                            Ok(())
+                        }
+                        Record::Served { served_after } => {
+                            state.served = state.served.max(served_after);
+                            Ok(())
+                        }
+                        Record::Snapshot { .. } => {
+                            Err("journal file holds a snapshot record".to_string())
+                        }
                     }
                 })?
             }
@@ -363,25 +369,154 @@ fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
     fsync_dir(dir)
 }
 
-/// The write-ahead journal for one dataset's ledger: append-fsync per record, periodic
-/// snapshot + truncation.
+/// The group-commit rendezvous of one journal: staged sequence numbers on one side,
+/// fsyncs on the other.
 ///
-/// A journal that hits an append error it cannot undo (the bytes that reached disk are
-/// unknown) **wedges**: every later append fails, which makes the owning ledger reject
-/// all spends — the service fails *closed* on persistence trouble, never open.
+/// Staging (writing a record's bytes into the OS buffer, under the journal lock) hands
+/// out monotone sequence numbers; [`GroupFlush::commit`] blocks until everything up to a
+/// sequence is durable, electing at most one flusher at a time. Every waiter whose
+/// records were staged before the elected flusher's `fsync` began is covered by that
+/// one `fsync` — under concurrent spending, one disk round trip amortises over the
+/// whole batch instead of serialising each debit at disk latency.
+#[derive(Debug)]
+pub struct GroupFlush {
+    file: Arc<File>,
+    state: Mutex<FlushState>,
+    done: Condvar,
+}
+
+#[derive(Debug, Default)]
+struct FlushState {
+    /// Highest sequence whose bytes are fully written to the OS buffer.
+    staged: u64,
+    /// Highest sequence known durable (fsync completed, or compacted into a snapshot).
+    durable: u64,
+    /// True while some thread is inside `sync_data` (at most one at a time).
+    flushing: bool,
+    /// Latched on the first fsync failure: all later commits fail (fail closed).
+    wedged: bool,
+}
+
+impl GroupFlush {
+    fn new(file: Arc<File>) -> Arc<GroupFlush> {
+        Arc::new(GroupFlush {
+            file,
+            state: Mutex::new(FlushState::default()),
+            done: Condvar::new(),
+        })
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, FlushState> {
+        self.state.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Assigns the next sequence number to a fully written record.
+    fn note_staged(&self) -> u64 {
+        let mut st = self.lock();
+        st.staged += 1;
+        st.staged
+    }
+
+    /// Marks everything up to `seq` durable without an fsync (the state reached disk
+    /// another way — e.g. it is covered by a durable snapshot).
+    fn mark_durable_up_to(&self, seq: u64) {
+        let mut st = self.lock();
+        st.durable = st.durable.max(seq);
+        self.done.notify_all();
+    }
+
+    fn set_wedged(&self) {
+        self.lock().wedged = true;
+        self.done.notify_all();
+    }
+
+    fn is_wedged(&self) -> bool {
+        self.lock().wedged
+    }
+
+    /// Blocks until every record staged at or before `seq` is durable, joining (or
+    /// performing) a group fsync as needed.
+    pub fn commit(&self, seq: u64) -> io::Result<()> {
+        let mut st = self.lock();
+        // A sequence beyond everything staged means "flush all there is" (and keeps a
+        // buggy caller from electing itself flusher forever).
+        let seq = seq.min(st.staged);
+        loop {
+            if st.durable >= seq {
+                return Ok(());
+            }
+            if st.wedged {
+                return Err(io::Error::other(
+                    "journal flush is wedged after an earlier fsync failure; \
+                     restart to recover",
+                ));
+            }
+            if st.flushing {
+                // Someone else is fsyncing; their flush may or may not cover us — wake
+                // up and re-check either way.
+                st = self.done.wait(st).unwrap_or_else(PoisonError::into_inner);
+                continue;
+            }
+            // Become the flusher for everything staged so far (including ourselves —
+            // our record was staged before commit was called).
+            st.flushing = true;
+            let target = st.staged;
+            drop(st);
+            let result = self.file.sync_data();
+            st = self.lock();
+            st.flushing = false;
+            match result {
+                Ok(()) => st.durable = st.durable.max(target),
+                Err(e) => {
+                    st.wedged = true;
+                    self.done.notify_all();
+                    return Err(e);
+                }
+            }
+            self.done.notify_all();
+        }
+    }
+}
+
+/// Size and compaction metrics of one journal (the `status` op surfaces these per
+/// dataset; a future metrics endpoint reads the same numbers).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct JournalStats {
+    /// Current journal file length in bytes (magic included).
+    pub wal_bytes: u64,
+    /// Records in the current journal file (since the last compaction).
+    pub wal_records: u64,
+    /// Completed snapshot compactions over this journal handle's lifetime (starts at 0
+    /// on open; a fresh journal's total-pinning snapshot counts as the first).
+    pub snapshot_generation: u64,
+}
+
+/// The write-ahead journal for one dataset's ledger: staged appends with group-commit
+/// fsyncs, periodic snapshot + truncation.
+///
+/// Records are **staged** (written to the OS buffer, sequence-numbered) under the
+/// journal lock and made durable by [`GroupFlush::commit`] *outside* it, so one fsync
+/// covers every concurrently staged record. A journal that hits a write error it cannot
+/// undo (the bytes that reached disk are unknown) **wedges**: every later stage fails,
+/// which makes the owning ledger reject all spends — the service fails *closed* on
+/// persistence trouble, never open.
 #[derive(Debug)]
 pub struct DebitJournal {
-    file: File,
+    file: Arc<File>,
     wal_path: PathBuf,
     snap_path: PathBuf,
     dir: PathBuf,
-    /// Byte length of the journal's durable, valid prefix (tear-repair target).
-    durable_len: u64,
-    /// Mirrors of the durable state, maintained so snapshots need no replay.
+    flush: Arc<GroupFlush>,
+    /// Byte length of the journal's staged, valid prefix (tear-repair target).
+    staged_len: u64,
+    /// Mirrors of the staged state, maintained so snapshots need no replay.
     spent: f64,
     served: u64,
     /// Lifetime budget, pinned into every snapshot (`f64::INFINITY` when unaccounted).
     total: f64,
+    /// Records in the current journal file (replayed prefix + stages since open).
+    records_in_wal: u64,
+    snapshot_generation: u64,
     records_since_snapshot: u32,
     snapshot_every: u32,
     wedged: bool,
@@ -417,14 +552,16 @@ impl DebitJournal {
                 ));
             }
         }
-        let file = OpenOptions::new()
-            .create(true)
-            .append(true)
-            .open(&wal_path)?;
-        let durable_len = if valid_len < 4 {
+        let file = Arc::new(
+            OpenOptions::new()
+                .create(true)
+                .append(true)
+                .open(&wal_path)?,
+        );
+        let staged_len = if valid_len < 4 {
             // Fresh file, or a tear inside the magic: start the journal over.
             file.set_len(0)?;
-            (&file).write_all(WAL_MAGIC)?;
+            (&*file).write_all(WAL_MAGIC)?;
             4
         } else {
             // Drop the torn tail so new records append to a valid prefix.
@@ -433,15 +570,19 @@ impl DebitJournal {
         };
         file.sync_all()?;
         fsync_dir(dir)?;
+        let flush = GroupFlush::new(Arc::clone(&file));
         let mut journal = DebitJournal {
             file,
             wal_path,
             snap_path,
             dir: dir.to_path_buf(),
-            durable_len,
+            flush,
+            staged_len,
             spent: state.spent,
             served: state.served,
             total: total.value(),
+            records_in_wal: state.wal_records,
+            snapshot_generation: 0,
             records_since_snapshot: 0,
             snapshot_every: snapshot_every.max(1),
             wedged: false,
@@ -453,47 +594,66 @@ impl DebitJournal {
         Ok((state, journal))
     }
 
-    /// Appends one record, fsyncs it, and opportunistically compacts.
-    fn append(&mut self, record: Record) -> io::Result<()> {
-        if self.wedged {
+    /// The group-commit handle callers use to make staged records durable without
+    /// holding the journal lock.
+    pub fn flush_handle(&self) -> Arc<GroupFlush> {
+        Arc::clone(&self.flush)
+    }
+
+    /// Stages one record — fully written to the OS buffer, sequence-numbered, not yet
+    /// fsynced — and opportunistically compacts. Returns the sequence to pass to
+    /// [`GroupFlush::commit`].
+    fn stage(&mut self, record: Record) -> io::Result<u64> {
+        if self.wedged || self.flush.is_wedged() {
             return Err(io::Error::other(format!(
-                "journal {} is wedged after an earlier append failure; restart to recover",
+                "journal {} is wedged after an earlier failure; restart to recover",
                 self.wal_path.display()
             )));
         }
         let bytes = record.encode();
-        if let Err(e) = self
-            .file
-            .write_all(&bytes)
-            .and_then(|()| self.file.sync_data())
-        {
-            // How much of the record reached disk is unknown; try to cut back to the
-            // last durable prefix, and fail closed for good if even that fails.
-            if self.file.set_len(self.durable_len).is_err() {
+        if let Err(e) = (&*self.file).write_all(&bytes) {
+            // How much of the record reached the file is unknown; try to cut back to
+            // the last staged prefix, and fail closed for good if even that fails.
+            if self.file.set_len(self.staged_len).is_err() {
                 self.wedged = true;
+                self.flush.set_wedged();
             }
             return Err(e);
         }
-        self.durable_len += bytes.len() as u64;
+        self.staged_len += bytes.len() as u64;
         match record {
             Record::Debit { spent_after, .. } => self.spent = self.spent.max(spent_after),
             Record::Served { served_after } => self.served = self.served.max(served_after),
             Record::Snapshot { .. } => unreachable!("snapshots are not appended to the journal"),
         }
+        let seq = self.flush.note_staged();
+        self.records_in_wal += 1;
         self.records_since_snapshot += 1;
-        if self.records_since_snapshot >= self.snapshot_every {
-            // Best-effort: the record above is already durable, so a failed compaction
-            // must not fail the append — the journal just stays longer until the next
-            // attempt succeeds.
-            let _ = self.snapshot_now();
-            self.records_since_snapshot = 0;
-        }
-        Ok(())
+        // NOTE: no compaction here. Staging runs inside the ledger's check-and-debit
+        // critical section, and the snapshot costs several fsyncs — callers trigger
+        // [`DebitJournal::maybe_compact`] from the commit phase instead, where the
+        // budget mutex is no longer held.
+        Ok(seq)
     }
 
-    /// Appends one served-query counter record.
-    pub fn append_served(&mut self, served_after: u64) -> io::Result<()> {
-        self.append(Record::Served { served_after })
+    /// Compacts the journal if the snapshot cadence has been reached (best-effort — a
+    /// failed compaction just leaves the journal longer until the next attempt).
+    ///
+    /// Deliberately separate from [`stage`](Self::stage): the commit phase calls this
+    /// *outside* the ledger's critical section, so the (multi-fsync) snapshot never
+    /// runs while the budget mutex is held. A same-dataset spender that races the
+    /// (rare — once per cadence) compaction can still wait on the journal lock; other
+    /// datasets are unaffected.
+    pub fn maybe_compact(&mut self) {
+        if !self.wedged && self.records_since_snapshot >= self.snapshot_every {
+            let _ = self.snapshot_now();
+        }
+    }
+
+    /// Stages one served-query counter record (commit through
+    /// [`DebitJournal::flush_handle`], or let a later group fsync / snapshot cover it).
+    pub fn stage_served(&mut self, served_after: u64) -> io::Result<u64> {
+        self.stage(Record::Served { served_after })
     }
 
     /// Writes a snapshot of the current state and truncates the journal.
@@ -501,6 +661,8 @@ impl DebitJournal {
     /// Ordering is what makes this crash-consistent: the snapshot is durable (temp →
     /// fsync → rename → dir fsync) *before* the journal shrinks, and journal records
     /// carry absolute values, so a crash anywhere in between replays to the same state.
+    /// A durable snapshot also *is* a commit: it captures every staged record's state,
+    /// so the group flush is advanced past them and waiting committers are released.
     pub fn snapshot_now(&mut self) -> io::Result<()> {
         let mut bytes = SNAP_MAGIC.to_vec();
         bytes.extend_from_slice(
@@ -514,16 +676,23 @@ impl DebitJournal {
         // A failure before the truncation leaves the journal untouched (the snapshot
         // file is old or new, both consistent) — safe to just report.
         write_atomic(&self.snap_path, &bytes)?;
+        // Every record staged so far (staging holds the journal lock, which we hold) is
+        // now durable via the snapshot, however the truncation below fares.
+        let covered = self.flush.lock().staged;
         self.file.set_len(4)?; // keep the magic, drop the records
                                // The in-process file is 4 bytes from here on, whatever happens below: update
-                               // the bookkeeping *now* so a later append-error repair (`set_len(durable_len)`)
+                               // the bookkeeping *now* so a later write-error repair (`set_len(staged_len)`)
                                // can never extend the file with zero bytes.
-        self.durable_len = 4;
+        self.staged_len = 4;
+        self.records_in_wal = 0;
         self.records_since_snapshot = 0;
+        self.snapshot_generation += 1;
+        self.flush.mark_durable_up_to(covered);
         if let Err(e) = self.file.sync_data().and_then(|()| fsync_dir(&self.dir)) {
-            // The truncation's durability is unknown; stop accepting appends (fail
+            // The truncation's durability is unknown; stop accepting stages (fail
             // closed) rather than risk interleaving new records with an undead tail.
             self.wedged = true;
+            self.flush.set_wedged();
             return Err(e);
         }
         Ok(())
@@ -531,7 +700,16 @@ impl DebitJournal {
 
     /// Current journal file length in bytes (tests and cadence introspection).
     pub fn wal_len(&self) -> u64 {
-        self.durable_len
+        self.staged_len
+    }
+
+    /// Size and compaction metrics for the `status` op.
+    pub fn stats(&self) -> JournalStats {
+        JournalStats {
+            wal_bytes: self.staged_len,
+            wal_records: self.records_in_wal,
+            snapshot_generation: self.snapshot_generation,
+        }
     }
 
     /// True once the journal has failed closed (see the type docs).
@@ -541,25 +719,52 @@ impl DebitJournal {
 }
 
 /// A [`DebitJournal`] shared between the ledger's debit sink and the served-counter
-/// path. Lock order: the ledger's critical section may take this lock (debits); other
-/// holders take only this lock — no cycles.
+/// path. Lock order: the ledger's critical section may take this lock (staging); other
+/// holders take only this lock — no cycles. Group-commit fsyncs never hold it.
 pub type SharedJournal = Arc<Mutex<DebitJournal>>;
 
-/// Adapts a [`SharedJournal`] to the [`DebitSink`] hook of
-/// [`pb_dp::BudgetLedger::with_journal`]: each debit is appended and fsynced inside the
-/// ledger's critical section, before the ε is released to the caller.
+/// Adapts a [`SharedJournal`] to the two-phase [`DebitSink`] hook of
+/// [`pb_dp::BudgetLedger::with_journal`]: each debit is *staged* (journal lock, inside
+/// the ledger's critical section) and then *committed* through the journal's
+/// [`GroupFlush`] — no locks held, so concurrent debits share one fsync — before the ε
+/// is released to the caller.
 #[derive(Debug)]
-pub struct JournalSink(pub SharedJournal);
+pub struct JournalSink {
+    journal: SharedJournal,
+    flush: Arc<GroupFlush>,
+}
 
-impl DebitSink for JournalSink {
-    fn persist_debit(&mut self, amount: f64, spent_after: f64) -> io::Result<()> {
-        self.0
+impl JournalSink {
+    /// Builds the sink for a shared journal.
+    pub fn new(journal: SharedJournal) -> JournalSink {
+        let flush = journal
             .lock()
             .unwrap_or_else(PoisonError::into_inner)
-            .append(Record::Debit {
+            .flush_handle();
+        JournalSink { journal, flush }
+    }
+}
+
+impl DebitSink for JournalSink {
+    fn stage_debit(&self, amount: f64, spent_after: f64) -> io::Result<u64> {
+        self.journal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .stage(Record::Debit {
                 amount,
                 spent_after,
             })
+    }
+
+    fn commit_debit(&self, seq: u64) -> io::Result<()> {
+        self.flush.commit(seq)?;
+        // Cadence compaction, on the committer's time: the budget mutex is not held
+        // here, so the snapshot's fsyncs never sit inside the check-and-debit section.
+        self.journal
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .maybe_compact();
+        Ok(())
     }
 }
 
@@ -580,6 +785,10 @@ pub struct ManifestEntry {
     /// existing ledger is refused even at the same row count (the spent ε belongs to
     /// *that* data).
     pub fingerprint: u64,
+    /// Row-shard count the dataset is served with (1 = unsharded). Recorded so recovery
+    /// rebuilds the same layout; changing it is safe (releases are byte-identical for
+    /// any shard count) and simply re-recorded on re-registration.
+    pub shards: usize,
 }
 
 /// The durable registry membership: every dataset a `--state-dir` server must reload.
@@ -630,6 +839,7 @@ impl Manifest {
                         "fingerprint".into(),
                         Json::String(format!("{:016x}", d.fingerprint)),
                     ),
+                    ("shards".into(), Json::Number(d.shards as f64)),
                 ])
             })
             .collect();
@@ -676,12 +886,23 @@ impl Manifest {
                 .and_then(Json::as_str)
                 .and_then(|s| u64::from_str_radix(s, 16).ok())
                 .ok_or("manifest entry needs a hex `fingerprint`")?;
+            // Absent in manifests written before sharding existed: those datasets are
+            // unsharded by construction.
+            let shards = match row.get("shards") {
+                None | Some(Json::Null) => 1,
+                Some(v) => (v
+                    .as_u64()
+                    .ok_or("manifest `shards` must be a positive integer")?
+                    as usize)
+                    .max(1),
+            };
             datasets.push(ManifestEntry {
                 name,
                 path,
                 epsilon,
                 transactions,
                 fingerprint,
+                shards,
             });
         }
         Ok(Manifest { datasets })
@@ -690,20 +911,45 @@ impl Manifest {
 
 /// A directory holding everything a `--state-dir` server must recover: the manifest
 /// plus one journal/snapshot pair per dataset.
+///
+/// Opening takes an **exclusive advisory lock** on `<root>/.lock` held for the
+/// `StateDir`'s lifetime: two servers pointed at one state directory would race the
+/// manifest and the journals (double-granting ε between their in-memory ledgers), so
+/// the second open fails fast instead. The lock is released by the OS when the process
+/// exits — including `kill -9` — so crash-restart never needs manual cleanup.
 #[derive(Debug)]
 pub struct StateDir {
     root: PathBuf,
     snapshot_every: u32,
+    /// The held lock file; dropping it releases the advisory lock.
+    _lock: File,
 }
 
 impl StateDir {
-    /// Opens (creating if needed) a state directory.
+    /// Opens (creating if needed) a state directory, acquiring its exclusive lock.
+    ///
+    /// Fails with [`ErrorKind::WouldBlock`]-flavoured detail when another process (or
+    /// another live `StateDir` in this process) already holds the directory.
     pub fn open(root: impl Into<PathBuf>) -> io::Result<StateDir> {
         let root = root.into();
         std::fs::create_dir_all(&root)?;
+        // `.lock` starts with a dot, which `valid_dataset_name` rejects, so no dataset
+        // journal can ever collide with it.
+        let lock = File::create(root.join(".lock"))?;
+        lock.try_lock().map_err(|e| {
+            io::Error::new(
+                ErrorKind::WouldBlock,
+                format!(
+                    "state dir {} is locked by another server \
+                     (two servers on one state dir would race the ledgers): {e}",
+                    root.display()
+                ),
+            )
+        })?;
         Ok(StateDir {
             root,
             snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            _lock: lock,
         })
     }
 
@@ -858,25 +1104,151 @@ mod tests {
         let (state, journal) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
         assert_eq!(state, LedgerState::default());
         {
-            let mut j = journal;
-            JournalSink(Arc::new(Mutex::new(j)))
-                .persist_debit(0.25, 0.25)
-                .unwrap();
-            // Reopen path: state must match what the sink persisted.
-            let (state, j2) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
-            assert_eq!(state.spent, 0.25);
-            assert_eq!(state.served, 0);
-            j = j2;
-            j.append(Record::Debit {
+            let sink = JournalSink::new(Arc::new(Mutex::new(journal)));
+            let seq = sink.stage_debit(0.25, 0.25).unwrap();
+            sink.commit_debit(seq).unwrap();
+        }
+        // Reopen path: state must match what the sink persisted.
+        let (state, mut j) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
+        assert_eq!(state.spent, 0.25);
+        assert_eq!(state.served, 0);
+        assert_eq!(state.wal_records, 1);
+        let seq = j
+            .stage(Record::Debit {
                 amount: 0.5,
                 spent_after: 0.75,
             })
             .unwrap();
-            j.append_served(1).unwrap();
-        }
+        j.stage_served(1).unwrap();
+        j.flush_handle().commit(seq).unwrap();
+        drop(j);
         let (state, _) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
         assert_eq!(state.spent, 0.75);
         assert_eq!(state.served, 1);
+        assert_eq!(state.wal_records, 3);
+    }
+
+    #[test]
+    fn group_flush_covers_every_staged_record_with_one_fsync() {
+        // Stage several records, then commit only the *last* sequence: the one flush
+        // must mark every earlier record durable too, so earlier commits return
+        // immediately without touching the disk again.
+        let scratch = Scratch::new("groupflush");
+        let (_, mut journal) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
+        let seqs: Vec<u64> = (1..=5)
+            .map(|i| {
+                journal
+                    .stage(Record::Debit {
+                        amount: 0.1,
+                        spent_after: 0.1 * i as f64,
+                    })
+                    .unwrap()
+            })
+            .collect();
+        let flush = journal.flush_handle();
+        flush.commit(*seqs.last().unwrap()).unwrap();
+        // All earlier sequences are already durable: no flusher election needed.
+        for &seq in &seqs {
+            flush.commit(seq).unwrap();
+        }
+        drop(journal);
+        let (state, _) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
+        assert!((state.spent - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn concurrent_commits_share_flushes_and_all_become_durable() {
+        let scratch = Scratch::new("groupconc");
+        let (_, journal) = DebitJournal::open(&scratch.0, "d", 10_000, TEST_TOTAL).unwrap();
+        let shared = Arc::new(Mutex::new(journal));
+        let sink = Arc::new(JournalSink::new(Arc::clone(&shared)));
+        let spent = Arc::new(Mutex::new(0.0f64));
+        std::thread::scope(|scope| {
+            for _ in 0..4 {
+                let sink = Arc::clone(&sink);
+                let spent = Arc::clone(&spent);
+                scope.spawn(move || {
+                    for _ in 0..25 {
+                        // Serialise the stage like the ledger's critical section does.
+                        let seq = {
+                            let mut total = spent.lock().unwrap();
+                            *total += 0.01;
+                            sink.stage_debit(0.01, *total).unwrap()
+                        };
+                        sink.commit_debit(seq).unwrap();
+                    }
+                });
+            }
+        });
+        drop(sink);
+        drop(shared);
+        let (state, _) = DebitJournal::open(&scratch.0, "d", 10_000, TEST_TOTAL).unwrap();
+        assert!((state.spent - 1.0).abs() < 1e-9, "spent {}", state.spent);
+        assert_eq!(state.wal_records, 100);
+    }
+
+    #[test]
+    fn journal_stats_track_size_records_and_generations() {
+        let scratch = Scratch::new("stats");
+        let (_, mut journal) = DebitJournal::open(&scratch.0, "d", 4, TEST_TOTAL).unwrap();
+        // The fresh journal pinned its total with one snapshot already.
+        assert_eq!(journal.stats().snapshot_generation, 1);
+        assert_eq!(journal.stats().wal_records, 0);
+        assert_eq!(journal.stats().wal_bytes, 4);
+        for i in 1..=3 {
+            journal
+                .stage(Record::Debit {
+                    amount: 0.1,
+                    spent_after: 0.1 * i as f64,
+                })
+                .unwrap();
+        }
+        let stats = journal.stats();
+        assert_eq!(stats.wal_records, 3);
+        assert!(stats.wal_bytes > 4);
+        // Below the cadence: maybe_compact is a no-op.
+        journal.maybe_compact();
+        assert_eq!(journal.stats().wal_records, 3);
+        // The 4th record crosses the cadence; staging alone never compacts (that
+        // would put the snapshot's fsyncs inside the ledger critical section) — the
+        // commit-phase maybe_compact does.
+        journal
+            .stage(Record::Debit {
+                amount: 0.1,
+                spent_after: 0.4,
+            })
+            .unwrap();
+        assert_eq!(journal.stats().wal_records, 4);
+        journal.maybe_compact();
+        let stats = journal.stats();
+        assert_eq!(stats.wal_records, 0);
+        assert_eq!(stats.wal_bytes, 4);
+        assert_eq!(stats.snapshot_generation, 2);
+        // Reopened journals report the replayed record count.
+        let seq = journal
+            .stage(Record::Debit {
+                amount: 0.1,
+                spent_after: 0.5,
+            })
+            .unwrap();
+        journal.flush_handle().commit(seq).unwrap();
+        drop(journal);
+        let (state, journal) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
+        assert_eq!(state.wal_records, 1);
+        assert_eq!(journal.stats().wal_records, 1);
+    }
+
+    #[test]
+    fn state_dir_lock_excludes_concurrent_opens() {
+        let scratch = Scratch::new("lock");
+        let held = StateDir::open(&scratch.0).unwrap();
+        let err = StateDir::open(&scratch.0).unwrap_err();
+        assert_eq!(err.kind(), ErrorKind::WouldBlock, "{err}");
+        assert!(err.to_string().contains("locked"), "{err}");
+        // Dropping the holder releases the lock for the next open.
+        drop(held);
+        let reopened = StateDir::open(&scratch.0).unwrap();
+        assert!(reopened.path().exists());
     }
 
     #[test]
@@ -885,13 +1257,13 @@ mod tests {
         let (_, mut journal) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
         for i in 1..=10 {
             journal
-                .append(Record::Debit {
+                .stage(Record::Debit {
                     amount: 0.1,
                     spent_after: 0.1 * i as f64,
                 })
                 .unwrap();
         }
-        journal.append_served(10).unwrap();
+        journal.stage_served(10).unwrap();
         let long = journal.wal_len();
         journal.snapshot_now().unwrap();
         assert_eq!(journal.wal_len(), 4, "journal must shrink to its magic");
@@ -904,20 +1276,22 @@ mod tests {
 
     #[test]
     fn automatic_snapshot_cadence_triggers() {
+        // Through the sink, as the ledger drives it: the commit phase compacts at the
+        // cadence, so the journal never grows past one cadence of records.
         let scratch = Scratch::new("cadence");
-        let (_, mut journal) = DebitJournal::open(&scratch.0, "d", 3, TEST_TOTAL).unwrap();
+        let (_, journal) = DebitJournal::open(&scratch.0, "d", 3, TEST_TOTAL).unwrap();
+        let shared = Arc::new(Mutex::new(journal));
+        let sink = JournalSink::new(Arc::clone(&shared));
         for i in 1..=7 {
-            journal
-                .append(Record::Debit {
-                    amount: 1.0,
-                    spent_after: i as f64,
-                })
-                .unwrap();
+            let seq = sink.stage_debit(1.0, i as f64).unwrap();
+            sink.commit_debit(seq).unwrap();
         }
-        // 7 appends at cadence 3 → at least two compactions; ≤ 1 record outstanding.
-        assert!(journal.wal_len() < 4 + 2 * 64, "{}", journal.wal_len());
+        // 7 debits at cadence 3 → at least two compactions; ≤ 2 records outstanding.
+        let wal_len = shared.lock().unwrap().wal_len();
+        assert!(wal_len < 4 + 2 * 64, "{wal_len}");
         assert!(scratch.0.join("d.snap").exists());
-        drop(journal);
+        drop(sink);
+        drop(shared);
         let (state, _) = DebitJournal::open(&scratch.0, "d", 3, TEST_TOTAL).unwrap();
         assert_eq!(state.spent, 7.0);
     }
@@ -927,7 +1301,7 @@ mod tests {
         let scratch = Scratch::new("torn");
         let (_, mut journal) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
         journal
-            .append(Record::Debit {
+            .stage(Record::Debit {
                 amount: 0.5,
                 spent_after: 0.5,
             })
@@ -952,7 +1326,7 @@ mod tests {
         let (state, mut journal) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
         assert_eq!(state.spent, 0.5);
         journal
-            .append(Record::Debit {
+            .stage(Record::Debit {
                 amount: 0.25,
                 spent_after: 0.75,
             })
@@ -968,7 +1342,7 @@ mod tests {
         let (_, mut journal) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
         for i in 1..=3 {
             journal
-                .append(Record::Debit {
+                .stage(Record::Debit {
                     amount: 0.1,
                     spent_after: 0.1 * i as f64,
                 })
@@ -1022,7 +1396,7 @@ mod tests {
         let scratch = Scratch::new("snapcorrupt");
         let (_, mut journal) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
         journal
-            .append(Record::Debit {
+            .stage(Record::Debit {
                 amount: 1.0,
                 spent_after: 1.0,
             })
@@ -1046,13 +1420,13 @@ mod tests {
         let (_, mut journal) = DebitJournal::open(&scratch.0, "d", 1000, TEST_TOTAL).unwrap();
         for i in 1..=4 {
             journal
-                .append(Record::Debit {
+                .stage(Record::Debit {
                     amount: 0.2,
                     spent_after: 0.2 * i as f64,
                 })
                 .unwrap();
         }
-        journal.append_served(4).unwrap();
+        journal.stage_served(4).unwrap();
         drop(journal);
         let wal_before = std::fs::read(scratch.0.join("d.wal")).unwrap();
         // Take the snapshot, then simulate the crash by restoring the pre-truncation
@@ -1082,6 +1456,7 @@ mod tests {
             epsilon: Epsilon::Finite(4.0),
             transactions: 88162,
             fingerprint: 0xdead_beef_0123_4567,
+            shards: 4,
         });
         manifest.upsert(ManifestEntry {
             name: "mem".into(),
@@ -1089,6 +1464,7 @@ mod tests {
             epsilon: Epsilon::Infinite,
             transactions: 10,
             fingerprint: 7,
+            shards: 1,
         });
         state.store_manifest(&manifest).unwrap();
         let loaded = state.load_manifest().unwrap().unwrap();
@@ -1103,6 +1479,7 @@ mod tests {
             epsilon: Epsilon::Finite(4.0),
             transactions: 88162,
             fingerprint: 0xdead_beef_0123_4567,
+            shards: 4,
         });
         assert_eq!(again.datasets.len(), 2);
         assert_eq!(
@@ -1137,14 +1514,13 @@ mod tests {
         assert!(state.path().ends_with("nested"));
         let (ledger_state, journal) = state.open_dataset("d", TEST_TOTAL).unwrap();
         assert_eq!(ledger_state, LedgerState::default());
-        JournalSink(Arc::clone(&journal))
-            .persist_debit(0.5, 0.5)
-            .unwrap();
-        let state2 = StateDir::open(scratch.0.join("nested")).unwrap();
-        // Reopening while the first handle is alive is not supported in general, but
-        // the file contents must already be durable for a fresh replay.
+        let sink = JournalSink::new(Arc::clone(&journal));
+        let seq = sink.stage_debit(0.5, 0.5).unwrap();
+        sink.commit_debit(seq).unwrap();
+        // The state dir is locked while the first handle is alive, but the journal
+        // bytes are already durable: replay the files directly.
         let (replayed, _) =
-            replay(&state2.path().join("d.snap"), &state2.path().join("d.wal")).unwrap();
+            replay(&state.path().join("d.snap"), &state.path().join("d.wal")).unwrap();
         assert_eq!(replayed.spent, 0.5);
     }
 }

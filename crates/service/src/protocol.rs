@@ -6,7 +6,9 @@
 //! * `{"op":"query","dataset":"retail","k":10,"epsilon":0.5,"seed":7}` — spend ε from the
 //!   dataset's ledger and run PrivBasis against the cached index (`seed` optional; the
 //!   server draws a fresh one per query when omitted).
-//! * `{"op":"status"}` — per-dataset sizes, ledger state, and query counters.
+//! * `{"op":"status"}` — per-dataset sizes, shard counts, ledger state, query
+//!   counters, and (for durable datasets) journal metrics: `journal_bytes`,
+//!   `journal_records`, `snapshot_generation`.
 //! * `{"op":"shutdown"}` — stop accepting connections and drain the workers.
 //!
 //! Responses always carry `"status"`: `"ok"` or `"error"` (with an `"error"` message).
@@ -158,7 +160,7 @@ pub struct DatasetStatus {
     pub transactions: usize,
     /// Number of distinct items.
     pub items: usize,
-    /// Whether the vertical index has been built yet.
+    /// Whether the index structures have been built yet.
     pub index_cached: bool,
     /// Whether the ledger journals debits to a state directory (the reported spend
     /// survives a crash; see the `persist` module).
@@ -169,6 +171,11 @@ pub struct DatasetStatus {
     pub remaining: f64,
     /// Successfully answered queries.
     pub queries: u64,
+    /// Row shards the dataset is counted over (1 = single index).
+    pub shards: usize,
+    /// Journal metrics (durable datasets only): size, record count, and compaction
+    /// generation — the numbers a metrics endpoint will scrape.
+    pub journal: Option<crate::persist::JournalStats>,
 }
 
 /// A status response line.
@@ -176,7 +183,7 @@ pub fn status_response(datasets: &[DatasetStatus]) -> Json {
     let rows = datasets
         .iter()
         .map(|d| {
-            Json::Object(vec![
+            let mut fields = vec![
                 ("name".into(), Json::String(d.name.clone())),
                 ("transactions".into(), Json::Number(d.transactions as f64)),
                 ("items".into(), Json::Number(d.items as f64)),
@@ -185,7 +192,23 @@ pub fn status_response(datasets: &[DatasetStatus]) -> Json {
                 ("epsilon_spent".into(), Json::Number(d.spent)),
                 ("remaining_budget".into(), Json::Number(d.remaining)),
                 ("queries".into(), Json::Number(d.queries as f64)),
-            ])
+                ("shards".into(), Json::Number(d.shards as f64)),
+            ];
+            if let Some(journal) = d.journal {
+                fields.push((
+                    "journal_bytes".into(),
+                    Json::Number(journal.wal_bytes as f64),
+                ));
+                fields.push((
+                    "journal_records".into(),
+                    Json::Number(journal.wal_records as f64),
+                ));
+                fields.push((
+                    "snapshot_generation".into(),
+                    Json::Number(journal.snapshot_generation as f64),
+                ));
+            }
+            Json::Object(fields)
         })
         .collect();
     Json::Object(vec![
@@ -285,6 +308,12 @@ mod tests {
             spent: 0.5,
             remaining: 1.5,
             queries: 2,
+            shards: 4,
+            journal: Some(crate::persist::JournalStats {
+                wal_bytes: 40,
+                wal_records: 2,
+                snapshot_generation: 1,
+            }),
         }])
         .to_string();
         assert!(s.contains(r#""name":"d""#) && s.contains(r#""remaining_budget":1.5"#));
@@ -299,6 +328,8 @@ mod tests {
             spent: 0.0,
             remaining: f64::INFINITY,
             queries: 0,
+            shards: 1,
+            journal: None,
         }])
         .to_string();
         assert!(inf.contains(r#""remaining_budget":null"#));

@@ -20,11 +20,12 @@
 //! re-registrations.
 
 use crate::persist::{
-    db_fingerprint, JournalSink, Manifest, ManifestEntry, SharedJournal, StateDir,
+    db_fingerprint, JournalSink, JournalStats, Manifest, ManifestEntry, SharedJournal, StateDir,
 };
 use pb_core::QueryContext;
 use pb_dp::{BudgetLedger, Epsilon};
 use pb_fim::{TransactionDb, VerticalIndex};
+use pb_shard::ShardedDb;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
@@ -75,20 +76,40 @@ pub struct RecoveryReport {
     pub loaded: Vec<String>,
     /// Manifest entries without a source path (registered in-process, not reloadable).
     pub skipped: Vec<String>,
+    /// `(name, error)` for entries whose reload failed (missing/moved source file,
+    /// manifest/journal contradiction). Their durable ledgers are untouched on disk;
+    /// the healthy datasets still come up.
+    pub failed: Vec<(String, String)>,
+}
+
+/// How a registered dataset's rows are stored: one monolithic database, or the row
+/// shards alone. A sharded entry deliberately does NOT retain the unsharded original —
+/// keeping both would double resident row memory, defeating the point of sharding.
+#[derive(Debug)]
+enum StoredData {
+    Single(Arc<TransactionDb>),
+    Sharded(Arc<ShardedDb>),
 }
 
 /// One registered dataset: the data, its cached query context, and its budget ledger.
 #[derive(Debug)]
 pub struct DatasetEntry {
     name: String,
-    db: Arc<TransactionDb>,
-    /// Built on first use and shared by every later query: the full vertical index plus
-    /// the memoized deterministic precomputation the cold path would repeat per query.
+    data: StoredData,
+    /// Row count, cached so `status` never touches the data.
+    transactions: usize,
+    /// Distinct-item count, cached for the same reason.
+    distinct_items: usize,
+    /// Number of row shards the query context counts over (1 = single index).
+    shards: usize,
+    /// Built on first use and shared by every later query: the index structures
+    /// (full vertical index, or one per shard) plus the memoized deterministic
+    /// precomputation the cold path would repeat per query.
     context: OnceLock<Arc<QueryContext>>,
     ledger: BudgetLedger,
     queries_served: AtomicU64,
     /// The durable journal shared with the ledger's debit sink (persistent registries
-    /// only); served-query counters are appended here.
+    /// only); served-query counters are staged here.
     journal: Option<SharedJournal>,
     /// The source file this entry was registered from (`None` for in-process data).
     source: Option<String>,
@@ -105,9 +126,37 @@ impl DatasetEntry {
         self.source.as_deref()
     }
 
-    /// The transaction database.
-    pub fn db(&self) -> &Arc<TransactionDb> {
-        &self.db
+    /// The monolithic transaction database — `None` for a sharded entry, whose rows
+    /// live in [`DatasetEntry::sharded_db`] (the unsharded original is not retained).
+    pub fn db(&self) -> Option<&Arc<TransactionDb>> {
+        match &self.data {
+            StoredData::Single(db) => Some(db),
+            StoredData::Sharded(_) => None,
+        }
+    }
+
+    /// The sharded database — `None` for an unsharded entry.
+    pub fn sharded_db(&self) -> Option<&Arc<ShardedDb>> {
+        match &self.data {
+            StoredData::Single(_) => None,
+            StoredData::Sharded(s) => Some(s),
+        }
+    }
+
+    /// Number of transactions in the dataset.
+    pub fn transactions(&self) -> usize {
+        self.transactions
+    }
+
+    /// Number of distinct items in the dataset.
+    pub fn num_distinct_items(&self) -> usize {
+        self.distinct_items
+    }
+
+    /// Number of row shards queries against this dataset count over (1 = unsharded).
+    /// Sharding never changes released bytes; it only changes where counting happens.
+    pub fn shards(&self) -> usize {
+        self.shards
     }
 
     /// The cached query context, building it on the first call.
@@ -115,14 +164,20 @@ impl DatasetEntry {
     /// Concurrent first calls may race to build, but [`OnceLock`] publishes exactly one
     /// winner and the build is deterministic, so every caller observes the same context
     /// — including a caller on the far side of a crash: the context is a pure function
-    /// of the (immutable) data, so a recovered registry rebuilds it byte-identically.
+    /// of the (immutable) data and the recorded shard layout, so a recovered registry
+    /// rebuilds it byte-identically.
     pub fn context(&self) -> &Arc<QueryContext> {
-        self.context
-            .get_or_init(|| Arc::new(QueryContext::new(Arc::clone(&self.db))))
+        self.context.get_or_init(|| {
+            Arc::new(match &self.data {
+                StoredData::Single(db) => QueryContext::new(Arc::clone(db)),
+                StoredData::Sharded(sharded) => QueryContext::sharded(Arc::clone(sharded)),
+            })
+        })
     }
 
     /// The cached full vertical index (part of the context), building it on first call.
-    pub fn index(&self) -> &Arc<VerticalIndex> {
+    /// `None` for a sharded dataset — each shard owns its own index.
+    pub fn index(&self) -> Option<&Arc<VerticalIndex>> {
         self.context().index()
     }
 
@@ -147,18 +202,28 @@ impl DatasetEntry {
         self.queries_served.load(Ordering::Relaxed)
     }
 
+    /// Size and compaction metrics of this dataset's journal (`None` when not durable).
+    pub fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal
+            .as_ref()
+            .map(|j| j.lock().unwrap_or_else(PoisonError::into_inner).stats())
+    }
+
     /// Records one successfully answered query.
     ///
     /// The counter is journaled best-effort *after* the answer exists: a crash in
     /// between loses at most the in-flight increments, which is the safe direction —
-    /// the ε debit itself was journaled before the mechanism ran.
+    /// the ε debit itself was made durable before the mechanism ran. The record is
+    /// only *staged* (no fsync of its own — a best-effort counter does not buy a disk
+    /// round trip per query); the next debit's group commit or the next snapshot
+    /// compaction makes it durable against machine crashes, and a mere `kill -9`
+    /// never loses staged bytes.
     pub fn record_query(&self) {
         let served = self.queries_served.fetch_add(1, Ordering::Relaxed) + 1;
         if let Some(journal) = &self.journal {
-            let _ = journal
-                .lock()
-                .unwrap_or_else(PoisonError::into_inner)
-                .append_served(served);
+            let mut journal = journal.lock().unwrap_or_else(PoisonError::into_inner);
+            let _ = journal.stage_served(served);
+            journal.maybe_compact();
         }
     }
 }
@@ -214,6 +279,19 @@ impl DatasetRegistry {
         self.persistence.is_some()
     }
 
+    /// The shard layout the durable manifest records for `name`, if any — what a
+    /// re-registration should fall back to when the caller expresses no preference
+    /// (silently resetting a recorded multi-shard layout to 1 would discard it).
+    pub fn recorded_shards(&self, name: &str) -> Option<usize> {
+        let persistence = self.persistence.as_ref()?;
+        persistence
+            .manifest
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .get(name)
+            .map(|entry| entry.shards)
+    }
+
     /// Registers a dataset under `name` with a lifetime budget of `total_epsilon`.
     ///
     /// The index is *not* built here — registration stays cheap and the first query (or
@@ -230,7 +308,22 @@ impl DatasetRegistry {
         db: TransactionDb,
         total_epsilon: Epsilon,
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
-        self.register_inner(name.into(), db, total_epsilon, None)
+        self.register_inner(name.into(), db, total_epsilon, None, 1)
+    }
+
+    /// [`DatasetRegistry::register`] with the dataset partitioned into `shards` row
+    /// shards: queries count per shard (in parallel) and merge by summation, releasing
+    /// byte-identical output to the unsharded registration for any pinned seed. The
+    /// shard count is recorded in the durable manifest, so a recovered registry
+    /// rebuilds the same layout.
+    pub fn register_sharded(
+        &self,
+        name: impl Into<String>,
+        db: TransactionDb,
+        total_epsilon: Epsilon,
+        shards: usize,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        self.register_inner(name.into(), db, total_epsilon, None, shards)
     }
 
     /// Registers a FIMI-format dataset file under `name`, recording the path in the
@@ -242,11 +335,23 @@ impl DatasetRegistry {
         path: impl Into<String>,
         total_epsilon: Epsilon,
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        self.register_file_sharded(name, path, total_epsilon, 1)
+    }
+
+    /// [`DatasetRegistry::register_file`] with a recorded shard layout (see
+    /// [`DatasetRegistry::register_sharded`]).
+    pub fn register_file_sharded(
+        &self,
+        name: impl Into<String>,
+        path: impl Into<String>,
+        total_epsilon: Epsilon,
+        shards: usize,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
         let name = name.into();
         let path = path.into();
         let db = pb_fim::io::read_fimi_file(&path)
             .map_err(|e| RegistryError::Io(format!("failed to read {path}: {e}")))?;
-        self.register_inner(name, db, total_epsilon, Some(path))
+        self.register_inner(name, db, total_epsilon, Some(path), shards)
     }
 
     /// Re-registers every dataset recorded in the durable manifest (no-op for an
@@ -270,8 +375,20 @@ impl DatasetRegistry {
             match entry.path {
                 None => report.skipped.push(entry.name),
                 Some(path) => {
-                    self.register_file(entry.name.clone(), path, entry.epsilon)?;
-                    report.loaded.push(entry.name);
+                    // The manifest's shard layout rides along, so the recovered entry
+                    // counts over the same shards — and releases the same bytes — as
+                    // before the restart. One unloadable dataset (moved file, torn
+                    // state) must not keep every healthy one down: record the failure
+                    // and keep going.
+                    match self.register_file_sharded(
+                        entry.name.clone(),
+                        path,
+                        entry.epsilon,
+                        entry.shards,
+                    ) {
+                        Ok(_) => report.loaded.push(entry.name),
+                        Err(e) => report.failed.push((entry.name, e.to_string())),
+                    }
                 }
             }
         }
@@ -284,10 +401,12 @@ impl DatasetRegistry {
         db: TransactionDb,
         total_epsilon: Epsilon,
         source: Option<String>,
+        shards: usize,
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
         if db.is_empty() {
             return Err(RegistryError::EmptyDataset(name));
         }
+        let shards = shards.max(1);
         // Hold the write lock across the whole registration (journal open included):
         // registrations are rare, and this makes duplicate-check → journal → insert one
         // atomic step, so two racing registrations of one name cannot both open the
@@ -341,26 +460,47 @@ impl DatasetRegistry {
                 let ledger = BudgetLedger::with_journal(
                     total_epsilon,
                     state.spent,
-                    Box::new(JournalSink(Arc::clone(&journal))),
+                    Box::new(JournalSink::new(Arc::clone(&journal))),
                 );
-                manifest.upsert(ManifestEntry {
+                // A *changed* shard count on re-registration is allowed and recorded:
+                // re-partitioning never changes released bytes (property-tested), so
+                // unlike the budget or the data it is a free operational knob.
+                let mut updated = manifest.clone();
+                updated.upsert(ManifestEntry {
                     name: name.clone(),
                     path: source.clone(),
                     epsilon: total_epsilon,
                     transactions: db.len(),
                     fingerprint,
+                    shards,
                 });
                 persistence
                     .state
-                    .store_manifest(&manifest)
+                    .store_manifest(&updated)
                     .map_err(|e| RegistryError::Io(e.to_string()))?;
+                // Only commit the shared in-memory image once the bytes are on disk: a
+                // failed store must not leave a phantom entry that the next successful
+                // registration would silently persist.
+                *manifest = updated;
                 (ledger, state.served, Some(journal))
             }
         };
 
+        let transactions = db.len();
+        let distinct_items = db.num_distinct_items();
+        // Partition now and drop the monolith: a sharded entry keeps one copy of the
+        // rows (in its shards), not two.
+        let data = if shards > 1 {
+            StoredData::Sharded(ShardedDb::partition(&db, shards).into_shared())
+        } else {
+            StoredData::Single(db.into_shared())
+        };
         let entry = Arc::new(DatasetEntry {
             name: name.clone(),
-            db: db.into_shared(),
+            data,
+            transactions,
+            distinct_items,
+            shards,
             context: OnceLock::new(),
             ledger,
             queries_served: AtomicU64::new(served),
@@ -463,7 +603,7 @@ mod tests {
         assert!(!registry.is_empty());
         let entry = registry.get("retail").unwrap();
         assert_eq!(entry.name(), "retail");
-        assert_eq!(entry.db().len(), 3);
+        assert_eq!(entry.transactions(), 3);
         assert_eq!(entry.ledger().total(), Epsilon::Finite(2.0));
         assert!(!entry.is_durable());
         assert!(registry.get("nope").is_none());
@@ -515,9 +655,9 @@ mod tests {
             .register("d", tiny_db(), Epsilon::Infinite)
             .unwrap();
         assert!(!entry.index_is_cached());
-        let a = Arc::clone(entry.index());
+        let a = Arc::clone(entry.index().expect("unsharded entries expose the index"));
         assert!(entry.index_is_cached());
-        let b = Arc::clone(entry.index());
+        let b = Arc::clone(entry.index().expect("unsharded entries expose the index"));
         assert!(Arc::ptr_eq(&a, &b), "second call must reuse the cache");
         assert_eq!(a.num_transactions(), 3);
     }
@@ -532,7 +672,7 @@ mod tests {
             (0..8)
                 .map(|_| {
                     let entry = Arc::clone(&entry);
-                    scope.spawn(move || Arc::clone(entry.index()))
+                    scope.spawn(move || Arc::clone(entry.index().unwrap()))
                 })
                 .collect::<Vec<_>>()
                 .into_iter()
@@ -542,6 +682,131 @@ mod tests {
         for ix in &indexes[1..] {
             assert!(Arc::ptr_eq(&indexes[0], ix));
         }
+    }
+
+    #[test]
+    fn sharded_entries_release_identically_to_unsharded() {
+        use pb_core::PrivBasis;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let rows: Vec<Vec<u32>> = (0..200)
+            .map(|i| {
+                (0..5u32)
+                    .filter(|&j| i % 10 < 10 - 2 * j as usize)
+                    .collect()
+            })
+            .collect();
+        let registry = DatasetRegistry::new();
+        let single = registry
+            .register(
+                "single",
+                TransactionDb::from_transactions(rows.clone()),
+                Epsilon::Finite(10.0),
+            )
+            .unwrap();
+        let sharded = registry
+            .register_sharded(
+                "sharded",
+                TransactionDb::from_transactions(rows),
+                Epsilon::Finite(10.0),
+                4,
+            )
+            .unwrap();
+        assert_eq!(single.shards(), 1);
+        assert_eq!(sharded.shards(), 4);
+        assert!(
+            sharded.index().is_none(),
+            "sharded entries have no single index"
+        );
+        assert!(single.index().is_some());
+        assert_eq!(sharded.context().num_shards(), 4);
+        let pb = PrivBasis::with_defaults();
+        for seed in [1u64, 7] {
+            let a = pb
+                .run_shared(
+                    &mut StdRng::seed_from_u64(seed),
+                    single.context(),
+                    4,
+                    Epsilon::Finite(1.0),
+                )
+                .unwrap();
+            let b = pb
+                .run_shared(
+                    &mut StdRng::seed_from_u64(seed),
+                    sharded.context(),
+                    4,
+                    Epsilon::Finite(1.0),
+                )
+                .unwrap();
+            assert_eq!(a.itemsets.len(), b.itemsets.len());
+            for ((sa, ca), (sb, cb)) in a.itemsets.iter().zip(&b.itemsets) {
+                assert_eq!(sa, sb);
+                assert_eq!(ca.to_bits(), cb.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn recover_restores_the_shard_layout() {
+        let scratch = Scratch::new("shardrecover");
+        let path = scratch.write_fimi("s.dat", "1 2\n1 2 3\n2 3\n1 3\n2\n1\n");
+        {
+            let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+            let entry = registry
+                .register_file_sharded("s", &path, Epsilon::Finite(3.0), 3)
+                .unwrap();
+            assert_eq!(entry.shards(), 3);
+            entry.ledger().try_spend(0.5).unwrap();
+        }
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        registry.recover().unwrap();
+        let entry = registry.get("s").unwrap();
+        assert_eq!(entry.shards(), 3, "manifest must carry the shard layout");
+        assert!((entry.ledger().spent() - 0.5).abs() < 1e-12);
+        assert_eq!(entry.context().num_shards(), 3);
+        // Journal metrics are exposed for durable entries.
+        let stats = entry.journal_stats().unwrap();
+        assert!(stats.wal_bytes >= 4);
+        drop(entry);
+        drop(registry);
+        // Re-registering with a different shard count is a free operational knob
+        // (released bytes are shard-count-invariant): allowed and re-recorded.
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        let entry = registry
+            .register_file_sharded("s", &path, Epsilon::Finite(3.0), 5)
+            .unwrap();
+        assert_eq!(entry.shards(), 5);
+        assert!((entry.ledger().spent() - 0.5).abs() < 1e-12);
+    }
+
+    #[test]
+    fn recover_keeps_going_past_an_unloadable_dataset() {
+        let scratch = Scratch::new("partialrecover");
+        let good = scratch.write_fimi("good.dat", "1 2\n2 3\n1 3\n");
+        let doomed = scratch.write_fimi("doomed.dat", "4 5\n5 6\n");
+        {
+            let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+            registry
+                .register_file("good", &good, Epsilon::Finite(2.0))
+                .unwrap();
+            let entry = registry
+                .register_file("doomed", &doomed, Epsilon::Finite(2.0))
+                .unwrap();
+            entry.ledger().try_spend(0.5).unwrap();
+        }
+        // The doomed source file vanishes; the healthy dataset must still come up and
+        // the failure must be reported, not fatal.
+        std::fs::remove_file(&doomed).unwrap();
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        let report = registry.recover().unwrap();
+        assert_eq!(report.loaded, vec!["good".to_string()]);
+        assert_eq!(report.failed.len(), 1);
+        assert_eq!(report.failed[0].0, "doomed");
+        assert!(registry.get("good").is_some());
+        assert!(registry.get("doomed").is_none());
+        // The manifest still records the layout for a later fixed re-registration.
+        assert_eq!(registry.recorded_shards("doomed"), Some(1));
+        assert_eq!(registry.recorded_shards("nope"), None);
     }
 
     #[test]
@@ -614,7 +879,7 @@ mod tests {
         assert_eq!(report.loaded, vec!["retail".to_string()]);
         assert_eq!(report.skipped, vec!["mem".to_string()]);
         let entry = registry.get("retail").unwrap();
-        assert_eq!(entry.db().len(), 3);
+        assert_eq!(entry.transactions(), 3);
         assert_eq!(entry.ledger().total(), Epsilon::Finite(3.0));
         assert!((entry.ledger().spent() - 1.0).abs() < 1e-12);
         assert_eq!(entry.queries_served(), 1);

@@ -295,13 +295,15 @@ fn status(ctx: &ServerCtx) -> crate::json::Json {
         .filter_map(|name| ctx.registry.get(&name))
         .map(|entry| DatasetStatus {
             name: entry.name().to_string(),
-            transactions: entry.db().len(),
-            items: entry.db().num_distinct_items(),
+            transactions: entry.transactions(),
+            items: entry.num_distinct_items(),
             index_cached: entry.index_is_cached(),
             durable: entry.is_durable(),
             spent: entry.ledger().spent(),
             remaining: entry.ledger().remaining(),
             queries: entry.queries_served(),
+            shards: entry.shards(),
+            journal: entry.journal_stats(),
         })
         .collect();
     status_response(&rows)

@@ -68,8 +68,10 @@ fn op_strategy() -> impl Strategy<Value = Op> {
 
 /// Applies `ops` through the real journal, mirroring the expected state; returns it.
 ///
-/// Debits go through [`JournalSink::persist_debit`] exactly as the ledger's critical
-/// section would call it: with the absolute cumulative spend.
+/// Debits go through the two-phase [`JournalSink`] exactly as the ledger would drive
+/// it: stage with the absolute cumulative spend, then commit (group fsync). The mirror
+/// also tracks the journal's record count through cadence-triggered compactions, so
+/// replays must reproduce the metrics too.
 fn apply_ops(dir: &Path, ops: &[Op], snapshot_every: u32) -> LedgerState {
     let (state, journal) = DebitJournal::open(dir, "d", snapshot_every, TEST_TOTAL).unwrap();
     assert_eq!(state, LedgerState::default(), "fresh dir must start clean");
@@ -80,24 +82,42 @@ fn apply_ops(dir: &Path, ops: &[Op], snapshot_every: u32) -> LedgerState {
         total: Some(TEST_TOTAL.value()),
         ..LedgerState::default()
     };
+    let mut since_snapshot = 0u32;
+    // Mirrors one staged record, including the compaction `stage` performs at the
+    // snapshot cadence.
+    fn record(expected: &mut LedgerState, since_snapshot: &mut u32, snapshot_every: u32) {
+        expected.wal_records += 1;
+        *since_snapshot += 1;
+        if *since_snapshot >= snapshot_every {
+            expected.wal_records = 0;
+            *since_snapshot = 0;
+        }
+    }
     for &op in ops {
         match op {
             Op::Debit(hundredths) => {
                 let amount = hundredths as f64 / 100.0;
                 expected.spent += amount;
-                JournalSink(Arc::clone(&shared))
-                    .persist_debit(amount, expected.spent)
-                    .unwrap();
+                let sink = JournalSink::new(Arc::clone(&shared));
+                let seq = sink.stage_debit(amount, expected.spent).unwrap();
+                sink.commit_debit(seq).unwrap();
+                record(&mut expected, &mut since_snapshot, snapshot_every);
             }
             Op::Serve => {
                 expected.served += 1;
-                shared
-                    .lock()
-                    .unwrap()
-                    .append_served(expected.served)
-                    .unwrap();
+                // As DatasetEntry::record_query drives it: stage (no fsync of its
+                // own), then the cadence check.
+                let mut journal = shared.lock().unwrap();
+                journal.stage_served(expected.served).unwrap();
+                journal.maybe_compact();
+                drop(journal);
+                record(&mut expected, &mut since_snapshot, snapshot_every);
             }
-            Op::Snapshot => shared.lock().unwrap().snapshot_now().unwrap(),
+            Op::Snapshot => {
+                shared.lock().unwrap().snapshot_now().unwrap();
+                expected.wal_records = 0;
+                since_snapshot = 0;
+            }
             Op::Reopen => {
                 drop(
                     Arc::into_inner(shared)
@@ -108,6 +128,8 @@ fn apply_ops(dir: &Path, ops: &[Op], snapshot_every: u32) -> LedgerState {
                 let (state, reopened) =
                     DebitJournal::open(dir, "d", snapshot_every, TEST_TOTAL).unwrap();
                 assert_eq!(state, expected, "mid-sequence reopen must replay exactly");
+                // Reopening does not snapshot, but the cadence counter restarts.
+                since_snapshot = 0;
                 shared = Arc::new(Mutex::new(reopened));
             }
         }
@@ -195,6 +217,7 @@ proptest! {
                 if end <= cut {
                     if let Some(s) = spent { expected.spent = expected.spent.max(s); }
                     if let Some(q) = served { expected.served = expected.served.max(q); }
+                    expected.wal_records += 1;
                     expected_valid = end;
                 }
             }
@@ -242,8 +265,9 @@ proptest! {
 
 /// The concurrency regression from the in-memory ledger, re-run against the journaled
 /// one: durability must not loosen atomic check-and-debit. 8 threads × 100 attempts of
-/// ε = 0.01 against a total of 1.0 — exactly 100 may succeed, the journal fsync rides
-/// inside the critical section, and a cold replay agrees with memory to the last bit.
+/// ε = 0.01 against a total of 1.0 — exactly 100 may succeed, every admitted debit is
+/// staged inside the critical section and group-committed before its ε is released,
+/// and a cold replay agrees with memory to the last bit.
 #[test]
 fn journaled_ledger_admits_exactly_budget_over_epsilon_queries() {
     let scratch = Scratch::new("concurrent");
@@ -253,7 +277,7 @@ fn journaled_ledger_admits_exactly_budget_over_epsilon_queries() {
     let ledger = Arc::new(BudgetLedger::with_journal(
         Epsilon::Finite(1.0),
         state.spent,
-        Box::new(JournalSink(Arc::clone(&journal))),
+        Box::new(JournalSink::new(Arc::clone(&journal))),
     ));
     let successes: usize = std::thread::scope(|scope| {
         (0..8)
@@ -280,7 +304,7 @@ fn journaled_ledger_admits_exactly_budget_over_epsilon_queries() {
     let restored = BudgetLedger::with_journal(
         Epsilon::Finite(1.0),
         replayed.spent,
-        Box::new(JournalSink(Arc::new(Mutex::new(
+        Box::new(JournalSink::new(Arc::new(Mutex::new(
             DebitJournal::open(&scratch.0, "d", 16, Epsilon::Finite(1.0))
                 .unwrap()
                 .1,

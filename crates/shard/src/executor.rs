@@ -1,0 +1,110 @@
+//! The shard fan-out: run one task per shard on the worker budget, collect in shard
+//! order.
+//!
+//! The executor owns only scheduling. Merging stays with the caller, because every
+//! merge in this crate is a plain summation — the executor's one guarantee is that
+//! results come back indexed by shard, independent of which worker ran what, so the
+//! caller's merge (and therefore the released bytes) cannot depend on thread count.
+
+/// Schedules per-shard tasks over a bounded thread budget.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardExecutor {
+    threads: usize,
+}
+
+impl ShardExecutor {
+    /// An executor using the workspace-wide thread budget
+    /// ([`pb_fim::index::available_parallelism`], which honours `PB_NUM_THREADS` and
+    /// the programmatic override).
+    pub fn new() -> ShardExecutor {
+        ShardExecutor {
+            threads: pb_fim::index::available_parallelism(),
+        }
+    }
+
+    /// An executor with an explicit thread budget (clamped to at least 1).
+    pub fn with_threads(threads: usize) -> ShardExecutor {
+        ShardExecutor {
+            threads: threads.max(1),
+        }
+    }
+
+    /// The thread budget.
+    pub fn threads(&self) -> usize {
+        self.threads
+    }
+
+    /// Runs `task(shard_index, item, inner_threads)` for every element of `shards`,
+    /// returning the results in shard order.
+    ///
+    /// `inner_threads` is each task's share of the budget (total budget divided by the
+    /// number of outer workers), so a task that fans out internally — e.g. a block-swept
+    /// histogram — never multiplies the two levels of parallelism past the budget. With
+    /// a budget of 1, or a single shard, everything runs on the calling thread.
+    pub fn run<T, F>(&self, shards_len: usize, task: F) -> Vec<T>
+    where
+        T: Send,
+        F: Fn(usize, usize) -> T + Sync,
+    {
+        if shards_len == 0 {
+            return Vec::new();
+        }
+        let workers = self.threads.min(shards_len);
+        if workers <= 1 {
+            return (0..shards_len).map(|s| task(s, self.threads)).collect();
+        }
+        let inner = (self.threads / workers).max(1);
+        let chunk = shards_len.div_ceil(workers);
+        let task = &task;
+        std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..workers)
+                .map(|w| {
+                    let lo = w * chunk;
+                    let hi = ((w + 1) * chunk).min(shards_len);
+                    scope.spawn(move || (lo..hi).map(|s| task(s, inner)).collect::<Vec<T>>())
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("shard worker panicked"))
+                .collect()
+        })
+    }
+}
+
+impl Default for ShardExecutor {
+    fn default() -> Self {
+        ShardExecutor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn results_come_back_in_shard_order() {
+        for threads in [1usize, 2, 3, 8] {
+            let exec = ShardExecutor::with_threads(threads);
+            let out = exec.run(7, |s, _| s * 10);
+            assert_eq!(out, vec![0, 10, 20, 30, 40, 50, 60], "threads = {threads}");
+        }
+    }
+
+    #[test]
+    fn inner_budget_never_exceeds_total() {
+        let exec = ShardExecutor::with_threads(4);
+        let inner = exec.run(2, |_, inner| inner);
+        // 2 workers over a budget of 4: each task gets 2 inner threads.
+        assert_eq!(inner, vec![2, 2]);
+        let exec = ShardExecutor::with_threads(1);
+        assert_eq!(exec.run(3, |_, inner| inner), vec![1, 1, 1]);
+    }
+
+    #[test]
+    fn empty_and_default() {
+        assert!(ShardExecutor::default().run(0, |s, _| s).is_empty());
+        assert!(ShardExecutor::new().threads() >= 1);
+        assert_eq!(ShardExecutor::with_threads(0).threads(), 1);
+    }
+}

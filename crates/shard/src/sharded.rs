@@ -1,0 +1,339 @@
+//! The sharded dataset: row-partitioned [`TransactionDb`]s with exact summation merges.
+
+use crate::executor::ShardExecutor;
+use crate::plan::ShardPlan;
+use pb_fim::itemset::{Item, ItemSet};
+use pb_fim::{TransactionDb, VerticalIndex};
+use std::collections::{BTreeMap, HashMap};
+use std::sync::{Arc, OnceLock};
+
+/// One shard: its rows plus a lazily built vertical index over them.
+#[derive(Debug)]
+pub struct Shard {
+    db: Arc<TransactionDb>,
+    index: OnceLock<Arc<VerticalIndex>>,
+}
+
+impl Shard {
+    fn new(db: TransactionDb) -> Shard {
+        Shard {
+            db: db.into_shared(),
+            index: OnceLock::new(),
+        }
+    }
+
+    /// The shard's rows.
+    pub fn db(&self) -> &Arc<TransactionDb> {
+        &self.db
+    }
+
+    /// The shard's vertical index, built on first use.
+    ///
+    /// Concurrent first calls may race to build, but the build is deterministic and
+    /// [`OnceLock`] publishes exactly one winner.
+    pub fn index(&self) -> &Arc<VerticalIndex> {
+        self.index
+            .get_or_init(|| VerticalIndex::build(&self.db).into_shared())
+    }
+}
+
+/// A transaction database partitioned into `S` disjoint row shards.
+///
+/// Every counting primitive the PrivBasis pipeline needs distributes over disjoint row
+/// sets — a transaction contributes to exactly one shard's count, so the global value is
+/// the *sum* of the per-shard values, exactly (the merged quantities are integers, so no
+/// floating-point reassociation can creep in). The fan-out/merge methods here therefore
+/// return bit-identical results to their unsharded counterparts for any shard count and
+/// any thread count, which is what lets `pb-core` draw its Laplace noise once, on the
+/// merged counts, in the same fixed order as the unsharded engine.
+#[derive(Debug)]
+pub struct ShardedDb {
+    plan: ShardPlan,
+    shards: Vec<Shard>,
+    num_transactions: usize,
+    /// Merged `(item, support)` ascending by item, computed on first use.
+    item_counts: OnceLock<Vec<(Item, usize)>>,
+    /// Merged items by descending support (ties ascending by item), on first use.
+    items_by_freq: OnceLock<Vec<(Item, usize)>>,
+}
+
+impl ShardedDb {
+    /// Partitions `db` into `num_shards` contiguous row blocks (the [`ShardPlan`]
+    /// layout). Rows are copied into per-shard databases; the source is not retained.
+    pub fn partition(db: &TransactionDb, num_shards: usize) -> ShardedDb {
+        let plan = ShardPlan::new(num_shards);
+        let rows = db.transactions();
+        let shards: Vec<Shard> = plan
+            .boundaries(rows.len())
+            .into_iter()
+            .map(|range| Shard::new(TransactionDb::from_itemsets(rows[range].to_vec())))
+            .collect();
+        ShardedDb {
+            plan,
+            num_transactions: rows.len(),
+            shards,
+            item_counts: OnceLock::new(),
+            items_by_freq: OnceLock::new(),
+        }
+    }
+
+    /// Assembles a sharded database from pre-split shards (e.g. one file per shard).
+    /// Row order across shards is the concatenation order, matching an unsharded
+    /// database built from the same concatenation.
+    pub fn from_shards(shards: Vec<TransactionDb>) -> ShardedDb {
+        let num_transactions = shards.iter().map(TransactionDb::len).sum();
+        let shards: Vec<Shard> = shards
+            .into_iter()
+            .filter(|db| !db.is_empty())
+            .map(Shard::new)
+            .collect();
+        ShardedDb {
+            plan: ShardPlan::new(shards.len()),
+            shards,
+            num_transactions,
+            item_counts: OnceLock::new(),
+            items_by_freq: OnceLock::new(),
+        }
+    }
+
+    /// Wraps the sharded database in an [`Arc`] for reuse across query threads (all
+    /// query methods take `&self`).
+    pub fn into_shared(self) -> Arc<ShardedDb> {
+        Arc::new(self)
+    }
+
+    /// The recorded layout.
+    pub fn plan(&self) -> &ShardPlan {
+        &self.plan
+    }
+
+    /// Number of non-empty shards.
+    pub fn num_shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// The shards, in row order.
+    pub fn shards(&self) -> &[Shard] {
+        &self.shards
+    }
+
+    /// Total number of transactions across all shards.
+    pub fn num_transactions(&self) -> usize {
+        self.num_transactions
+    }
+
+    /// True when no shard holds any transaction.
+    pub fn is_empty(&self) -> bool {
+        self.num_transactions == 0
+    }
+
+    /// Number of distinct items across all shards.
+    pub fn num_distinct_items(&self) -> usize {
+        self.merged_item_counts().len()
+    }
+
+    /// Merged `(item, support)` pairs ascending by item: the per-shard counts summed.
+    pub fn item_counts(&self) -> &[(Item, usize)] {
+        self.merged_item_counts()
+    }
+
+    /// Items by descending support, ties ascending by item id — the same contract as
+    /// [`TransactionDb::items_by_frequency`], computed from the merged counts.
+    pub fn items_by_frequency(&self) -> &[(Item, usize)] {
+        self.items_by_freq.get_or_init(|| {
+            let mut v = self.merged_item_counts().to_vec();
+            v.sort_unstable_by(|a, b| b.1.cmp(&a.1).then(a.0.cmp(&b.0)));
+            v
+        })
+    }
+
+    fn merged_item_counts(&self) -> &[(Item, usize)] {
+        self.item_counts.get_or_init(|| {
+            let per_shard = self.executor().run(self.shards.len(), |s, _| {
+                self.shards[s].index().item_counts()
+            });
+            let mut merged: BTreeMap<Item, usize> = BTreeMap::new();
+            for counts in per_shard {
+                for (item, count) in counts {
+                    *merged.entry(item).or_insert(0) += count;
+                }
+            }
+            merged.into_iter().collect()
+        })
+    }
+
+    /// Support count of one itemset: the per-shard supports summed.
+    pub fn support(&self, itemset: &ItemSet) -> usize {
+        self.supports(std::slice::from_ref(itemset))[0]
+    }
+
+    /// Support counts for a batch of candidates, fanned across shards and summed.
+    pub fn supports(&self, candidates: &[ItemSet]) -> Vec<usize> {
+        if candidates.is_empty() {
+            return Vec::new();
+        }
+        let per_shard = self.executor().run(self.shards.len(), |s, _| {
+            self.shards[s].index().supports(candidates)
+        });
+        let mut merged = vec![0usize; candidates.len()];
+        for counts in per_shard {
+            for (acc, c) in merged.iter_mut().zip(counts) {
+                *acc += c;
+            }
+        }
+        merged
+    }
+
+    /// Support counts of all unordered pairs over `items` with non-zero support — the
+    /// same contract as [`TransactionDb::pair_counts`], merged by summation.
+    pub fn pair_counts(&self, items: &ItemSet) -> HashMap<(Item, Item), usize> {
+        let per_shard = self.executor().run(self.shards.len(), |s, _| {
+            self.shards[s].index().pair_counts(items)
+        });
+        let mut merged: HashMap<(Item, Item), usize> = HashMap::new();
+        for counts in per_shard {
+            for (pair, count) in counts {
+                *merged.entry(pair).or_insert(0) += count;
+            }
+        }
+        merged
+    }
+
+    /// The `BasisFreq` kernel across shards: for every basis, the exact bin histogram of
+    /// the *whole* database, computed per shard and merged by summation.
+    ///
+    /// A transaction falls into exactly one bin of exactly one shard's histogram, so the
+    /// sums equal the unsharded [`VerticalIndex::bin_histogram`] bit for bit — the merge
+    /// seam `pb-core` adds its (single) noise stream on top of.
+    pub fn bin_histograms(&self, bases: &[ItemSet]) -> Vec<Vec<u64>> {
+        if bases.is_empty() {
+            return Vec::new();
+        }
+        let per_shard = self.executor().run(self.shards.len(), |s, inner| {
+            let index = self.shards[s].index();
+            bases
+                .iter()
+                .map(|b| index.bin_histogram_with_budget(b, inner))
+                .collect::<Vec<_>>()
+        });
+        let mut merged: Vec<Vec<u64>> = bases
+            .iter()
+            .map(|b| vec![0u64; 1usize << b.len()])
+            .collect();
+        for shard_hists in per_shard {
+            for (acc, hist) in merged.iter_mut().zip(shard_hists) {
+                for (a, h) in acc.iter_mut().zip(hist) {
+                    *a += h;
+                }
+            }
+        }
+        merged
+    }
+
+    pub(crate) fn executor(&self) -> ShardExecutor {
+        ShardExecutor::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_db() -> TransactionDb {
+        TransactionDb::from_transactions(vec![
+            vec![1, 2, 3],
+            vec![1, 2],
+            vec![2, 3],
+            vec![1, 2, 3, 4],
+            vec![4],
+            vec![],
+            vec![4, 5],
+            vec![1, 5],
+            vec![2, 4, 5],
+        ])
+    }
+
+    fn set(items: &[u32]) -> ItemSet {
+        ItemSet::new(items.to_vec())
+    }
+
+    #[test]
+    fn partition_preserves_rows_and_counts() {
+        let db = sample_db();
+        for shards in 1..=9 {
+            let sharded = ShardedDb::partition(&db, shards);
+            assert_eq!(sharded.num_transactions(), db.len());
+            assert!(!sharded.is_empty());
+            assert_eq!(sharded.plan().num_shards(), shards);
+            assert!(sharded.num_shards() <= shards);
+            let total: usize = sharded.shards().iter().map(|s| s.db().len()).sum();
+            assert_eq!(total, db.len());
+            assert_eq!(sharded.num_distinct_items(), db.num_distinct_items());
+        }
+    }
+
+    #[test]
+    fn merged_counts_match_unsharded() {
+        let db = sample_db();
+        let queries = [
+            set(&[]),
+            set(&[1]),
+            set(&[1, 2]),
+            set(&[2, 3]),
+            set(&[1, 2, 3]),
+            set(&[9]),
+            set(&[1, 9]),
+        ];
+        for shards in 1..=9 {
+            let sharded = ShardedDb::partition(&db, shards);
+            assert_eq!(sharded.items_by_frequency(), &db.items_by_frequency()[..]);
+            for q in &queries {
+                assert_eq!(sharded.support(q), db.support(q), "{q:?} at S={shards}");
+            }
+            assert_eq!(sharded.supports(&queries), db.supports(&queries));
+            assert!(sharded.supports(&[]).is_empty());
+            let items = set(&[1, 2, 3, 4, 5]);
+            assert_eq!(sharded.pair_counts(&items), db.pair_counts(&items));
+        }
+    }
+
+    #[test]
+    fn merged_histograms_match_unsharded() {
+        let db = sample_db();
+        let index = VerticalIndex::build(&db);
+        let bases = [set(&[1, 2, 3]), set(&[4, 5]), set(&[2, 9]), set(&[])];
+        for shards in 1..=9 {
+            let sharded = ShardedDb::partition(&db, shards);
+            let merged = sharded.bin_histograms(&bases);
+            for (basis, hist) in bases.iter().zip(&merged) {
+                assert_eq!(hist, &index.bin_histogram(basis), "{basis:?} at S={shards}");
+            }
+            assert!(sharded.bin_histograms(&[]).is_empty());
+        }
+    }
+
+    #[test]
+    fn from_shards_matches_concatenation() {
+        let db = sample_db();
+        let rows = db.transactions();
+        let sharded = ShardedDb::from_shards(vec![
+            TransactionDb::from_itemsets(rows[..4].to_vec()),
+            TransactionDb::from_itemsets(Vec::new()), // empty shards are dropped
+            TransactionDb::from_itemsets(rows[4..].to_vec()),
+        ]);
+        assert_eq!(sharded.num_shards(), 2);
+        assert_eq!(sharded.num_transactions(), db.len());
+        assert_eq!(sharded.support(&set(&[1, 2])), db.support(&set(&[1, 2])));
+    }
+
+    #[test]
+    fn empty_database() {
+        let sharded = ShardedDb::partition(&TransactionDb::default(), 4);
+        assert!(sharded.is_empty());
+        assert_eq!(sharded.num_shards(), 0);
+        assert_eq!(sharded.num_distinct_items(), 0);
+        assert!(sharded.items_by_frequency().is_empty());
+        assert_eq!(sharded.supports(&[set(&[1])]), vec![0]);
+        assert_eq!(sharded.bin_histograms(&[set(&[1])]), vec![vec![0, 0]]);
+    }
+}

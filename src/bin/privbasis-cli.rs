@@ -24,7 +24,7 @@ use privbasis::fim::io::read_fimi_file;
 use privbasis::fim::rules::generate_rules_from_noisy;
 use privbasis::service::{DatasetRegistry, PbServer, ServiceConfig, StateDir};
 use privbasis::tf::{TfConfig, TfMethod};
-use privbasis::{ItemSet, PrivBasis, TransactionDb};
+use privbasis::{ItemSet, PrivBasis, ShardedDb, TransactionDb};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -50,6 +50,9 @@ struct Options {
     tsv: bool,
     no_index: bool,
     no_consistency: bool,
+    /// Partition the rows into this many shards and count through the sharded engine
+    /// (byte-identical output for a fixed seed; exercises the `pb-shard` fan-out).
+    shards: Option<usize>,
 }
 
 /// Parsed options of the `serve` subcommand.
@@ -68,14 +71,17 @@ struct ServeOptions {
     state_dir: Option<String>,
     /// Journal records between snapshot compactions (`None` = library default).
     snapshot_every: Option<u32>,
+    /// Row-shard count applied to every `--dataset` registration (`None` = unsharded;
+    /// recovered datasets keep the shard layout recorded in the manifest).
+    shards: Option<usize>,
 }
 
 const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <EPS>\n\
        [--method pb|tf] [--m <M>] [--seed <SEED>] [--rules <MIN_CONFIDENCE>] [--tsv]\n\
-       [--no-index] [--no-consistency]\n\
+       [--no-index] [--no-consistency] [--shards <S>]\n\
    or: privbasis-cli serve --port <PORT> --dataset <NAME>=<FILE.dat> [--dataset ...]\n\
        [--budget <EPS>] [--threads <N>] [--host <ADDR>] [--no-consistency]\n\
-       [--state-dir <DIR>] [--snapshot-every <N>]\n\
+       [--state-dir <DIR>] [--snapshot-every <N>] [--shards <S>]\n\
 \n\
   --input    FIMI-format transaction file (one transaction per line, integer items)\n\
   --k        number of itemsets to publish\n\
@@ -90,6 +96,8 @@ const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <
   --no-consistency\n\
              publish raw reconstructed counts without the consistency\n\
              post-processing of §4 (Hay et al.); default is on, as in the paper\n\
+  --shards   partition the rows into S shards and count through the sharded\n\
+             fan-out/merge engine (same output for the same seed)\n\
 \n\
 serve mode:\n\
   --port     TCP port to listen on (required)\n\
@@ -102,7 +110,10 @@ serve mode:\n\
              noise is drawn, and datasets + ledgers + query counters are recovered\n\
              after a crash or restart; without it budgets reset with the process\n\
   --snapshot-every\n\
-             journal records between snapshot compactions (default 256)";
+             journal records between snapshot compactions (default 256)\n\
+  --shards   serve every --dataset over S row shards (per-shard indexes, merged\n\
+             counts; releases are byte-identical to unsharded serving). The shard\n\
+             layout is recorded in the state dir's manifest and restored on recovery";
 
 /// Parses arguments; returns `Err(message)` on any problem.
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -116,6 +127,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     let mut tsv = false;
     let mut no_index = false;
     let mut no_consistency = false;
+    let mut shards: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -171,6 +183,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             "--tsv" => tsv = true,
             "--no-index" => no_index = true,
             "--no-consistency" => no_consistency = true,
+            "--shards" => {
+                let n: usize = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                shards = Some(n);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown flag `{other}`\n\n{USAGE}")),
         }
@@ -195,6 +216,15 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
     if tf_m == 0 {
         return Err("--m must be at least 1".to_string());
     }
+    if shards.is_some() && no_index {
+        return Err(
+            "--shards counts on per-shard indexes; it cannot be combined with --no-index"
+                .to_string(),
+        );
+    }
+    if shards.is_some() && method == Method::TruncatedFrequency {
+        return Err("--shards applies to the pb method only".to_string());
+    }
     Ok(Options {
         input,
         k,
@@ -206,6 +236,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
         tsv,
         no_index,
         no_consistency,
+        shards,
     })
 }
 
@@ -219,6 +250,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut no_consistency = false;
     let mut state_dir: Option<String> = None;
     let mut snapshot_every: Option<u32> = None;
+    let mut shards: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -274,6 +306,15 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
             }
             "--no-consistency" => no_consistency = true,
             "--state-dir" => state_dir = Some(value("--state-dir")?),
+            "--shards" => {
+                let n: usize = value("--shards")?
+                    .parse()
+                    .map_err(|_| "--shards must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--shards must be at least 1".to_string());
+                }
+                shards = Some(n);
+            }
             "--snapshot-every" => {
                 let n: u32 = value("--snapshot-every")?
                     .parse()
@@ -307,6 +348,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         no_consistency,
         state_dir,
         snapshot_every,
+        shards,
     })
 }
 
@@ -321,70 +363,89 @@ fn serve(options: &ServeOptions) -> Result<(), String> {
             if let Some(every) = options.snapshot_every {
                 state = state.with_snapshot_every(every);
             }
-            let registry =
-                Arc::new(DatasetRegistry::with_persistence(state).map_err(|e| e.to_string())?);
-            // Reload everything the manifest remembers *before* handling --dataset
-            // flags, so a restart recovers spent ε even for datasets the operator
-            // forgot to re-list.
-            let report = registry.recover().map_err(|e| e.to_string())?;
-            for name in &report.loaded {
-                let entry = registry.get(name).expect("recovered dataset is registered");
-                eprintln!(
-                    "recovered `{name}`: {} transactions, ε spent = {}, remaining = {}, {} queries answered",
-                    entry.db().len(),
-                    entry.ledger().spent(),
-                    entry.ledger().remaining(),
-                    entry.queries_served(),
-                );
-            }
-            for name in &report.skipped {
-                eprintln!(
-                    "warning: manifest entry `{name}` has no source file and cannot be reloaded \
-                     (its durable ledger is preserved)"
-                );
-            }
-            registry
+            Arc::new(DatasetRegistry::with_persistence(state).map_err(|e| e.to_string())?)
         }
     };
+    // Explicit --dataset flags register first: re-listing a dataset is the CLI path to
+    // changing its shard layout (a fresh registration records the new layout in the
+    // manifest; releases are byte-identical for any layout, so this is safe). Budget or
+    // data changes are still refused — the manifest fingerprint and the journal-pinned
+    // total are checked inside the registration itself.
     for (name, path) in &options.datasets {
-        if let Some(entry) = registry.get(name) {
-            // Recovered from the manifest already; the flags must agree with the
-            // durable ledger, which is bound to the original budget and data — a
-            // silently dropped flag could otherwise serve old data the operator
-            // believes was replaced.
-            if entry.ledger().total() != total {
-                return Err(format!(
-                    "dataset `{name}` was recovered with budget ε = {:?} but --budget asks for {}; \
-                     pass the original budget or use a fresh --state-dir",
-                    entry.ledger().total(),
-                    options.budget
-                ));
-            }
-            if entry.source() != Some(path.as_str()) {
-                return Err(format!(
-                    "dataset `{name}` was recovered from `{}` but --dataset names `{path}`; \
-                     pass the original path or use a fresh --state-dir",
-                    entry.source().unwrap_or("<in-process data>"),
-                ));
-            }
-            continue;
-        }
         let entry = if options.state_dir.is_some() {
+            // No explicit --shards: keep the layout the manifest already records for
+            // this name (a forgotten flag must not silently reshard to 1); brand-new
+            // names default to unsharded.
+            let shards = options
+                .shards
+                .or_else(|| registry.recorded_shards(name))
+                .unwrap_or(1);
             registry
-                .register_file(name.clone(), path.clone(), total)
+                .register_file_sharded(name.clone(), path.clone(), total, shards)
                 .map_err(|e| e.to_string())?
         } else {
+            let shards = options.shards.unwrap_or(1);
             let db = read_fimi_file(path).map_err(|e| format!("failed to read {path}: {e}"))?;
             registry
-                .register(name.clone(), db, total)
+                .register_sharded(name.clone(), db, total, shards)
                 .map_err(|e| e.to_string())?
         };
         eprintln!(
-            "registered `{name}`: {} transactions over {} items, budget ε = {}{}",
-            entry.db().len(),
-            entry.db().num_distinct_items(),
+            "registered `{name}`: {} transactions over {} items, budget ε = {}{}{}",
+            entry.transactions(),
+            entry.num_distinct_items(),
             options.budget,
             if entry.is_durable() { " (durable)" } else { "" },
+            if entry.shards() > 1 {
+                format!(", {} shards", entry.shards())
+            } else {
+                String::new()
+            },
+        );
+    }
+    // Then reload everything else the manifest remembers, so a restart recovers spent ε
+    // even for datasets the operator forgot to re-list (already-registered names are
+    // skipped by recover()).
+    let report = registry.recover().map_err(|e| e.to_string())?;
+    for name in &report.loaded {
+        let entry = registry.get(name).expect("recovered dataset is registered");
+        if let Some(shards) = options.shards {
+            if entry.shards() != shards {
+                // The recovered layout wins for datasets that were not re-listed; a
+                // silently ignored flag would mislead the operator, so say so and name
+                // the actual remedy.
+                return Err(format!(
+                    "dataset `{name}` was recovered with {} shard(s) but --shards asks for \
+                     {shards}; re-list it as --dataset {name}={} to record the new layout, \
+                     or drop --shards",
+                    entry.shards(),
+                    entry.source().unwrap_or("<file>"),
+                ));
+            }
+        }
+        eprintln!(
+            "recovered `{name}`: {} transactions, ε spent = {}, remaining = {}, {} queries answered{}",
+            entry.transactions(),
+            entry.ledger().spent(),
+            entry.ledger().remaining(),
+            entry.queries_served(),
+            if entry.shards() > 1 {
+                format!(", {} shards", entry.shards())
+            } else {
+                String::new()
+            },
+        );
+    }
+    for name in &report.skipped {
+        eprintln!(
+            "warning: manifest entry `{name}` has no source file and cannot be reloaded \
+             (its durable ledger is preserved)"
+        );
+    }
+    for (name, error) in &report.failed {
+        eprintln!(
+            "warning: failed to recover dataset `{name}` (its durable ledger is preserved \
+             on disk; fix the source and restart to serve it again): {error}"
         );
     }
     if registry.is_empty() {
@@ -420,9 +481,17 @@ fn run(options: &Options, db: &TransactionDb) -> Result<Vec<(ItemSet, f64)>, Str
                 },
                 ..Default::default()
             };
-            let out = PrivBasis::new(params)
-                .run(&mut rng, db, options.k, epsilon)
-                .map_err(|e| e.to_string())?;
+            let pb = PrivBasis::new(params);
+            let out = match options.shards.filter(|&s| s > 1) {
+                // Row-sharded engine: per-shard counting, summed merges, noise drawn
+                // once on the merged counts — byte-identical to the unsharded run.
+                Some(shards) => {
+                    let sharded = ShardedDb::partition(db, shards);
+                    pb.run_sharded(&mut rng, &sharded, options.k, epsilon)
+                }
+                None => pb.run(&mut rng, db, options.k, epsilon),
+            }
+            .map_err(|e| e.to_string())?;
             Ok(out.itemsets)
         }
         Method::TruncatedFrequency => {
@@ -592,6 +661,73 @@ mod tests {
         assert!(o.no_index);
         assert!(o.no_consistency);
         assert!(o.epsilon.is_infinite());
+    }
+
+    #[test]
+    fn parses_and_validates_shards() {
+        let o = parse_args(&args(&[
+            "--input",
+            "x.dat",
+            "--k",
+            "5",
+            "--epsilon",
+            "1",
+            "--shards",
+            "4",
+        ]))
+        .unwrap();
+        assert_eq!(o.shards, Some(4));
+        // Zero shards, sharded row scans, and sharded TF are all rejected.
+        assert!(parse_args(&args(&[
+            "--input",
+            "x",
+            "--k",
+            "5",
+            "--epsilon",
+            "1",
+            "--shards",
+            "0",
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--input",
+            "x",
+            "--k",
+            "5",
+            "--epsilon",
+            "1",
+            "--shards",
+            "2",
+            "--no-index",
+        ]))
+        .is_err());
+        assert!(parse_args(&args(&[
+            "--input",
+            "x",
+            "--k",
+            "5",
+            "--epsilon",
+            "1",
+            "--shards",
+            "2",
+            "--method",
+            "tf",
+        ]))
+        .is_err());
+        // Serve mode: --shards applies to every --dataset registration.
+        let o = parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b.dat",
+            "--shards",
+            "8",
+        ]))
+        .unwrap();
+        assert_eq!(o.shards, Some(8));
+        assert!(
+            parse_serve_args(&args(&["--port", "1", "--dataset", "a=b", "--shards", "0"])).is_err()
+        );
     }
 
     #[test]
@@ -773,6 +909,7 @@ mod tests {
             tsv: false,
             no_index: false,
             no_consistency: false,
+            shards: None,
         };
         let pb = run(&base, &db).unwrap();
         assert_eq!(pb.len(), 3);
@@ -788,6 +925,17 @@ mod tests {
         )
         .unwrap();
         assert_eq!(pb, pb_naive);
+
+        // --shards routes through the sharded engine; output is identical for the seed.
+        let pb_sharded = run(
+            &Options {
+                shards: Some(3),
+                ..base.clone()
+            },
+            &db,
+        )
+        .unwrap();
+        assert_eq!(pb, pb_sharded);
 
         let tf = run(
             &Options {

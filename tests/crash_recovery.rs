@@ -227,6 +227,174 @@ fn kill9_recovers_exact_ledger_state_and_identical_releases() {
 }
 
 #[test]
+fn sharded_dataset_recovers_layout_and_releases_identically() {
+    // The sharding counterpart of the exact-recovery test: a durable dataset served
+    // over 4 row shards must come back from `kill -9` with the same shard layout
+    // (recorded in the manifest) and reproduce a pinned-seed release byte-for-byte —
+    // and that release must also equal what an *unsharded* registration of the same
+    // data publishes, because sharding never changes released bytes.
+    let scratch = Scratch::new("sharded");
+    let data = write_fixture(&scratch);
+    let state = state_dir_arg(&scratch);
+    let dataset = format!("retail={data}");
+
+    // Reference release from an unsharded server (own state dir: the harness always
+    // passes --snapshot-every, which requires one).
+    let reference = {
+        let ref_state = scratch.0.join("state-ref").to_string_lossy().into_owned();
+        let server = Server::spawn(&[
+            "--dataset",
+            &dataset,
+            "--budget",
+            "8",
+            "--state-dir",
+            &ref_state,
+        ]);
+        let mut client = Client::connect(server.addr);
+        let r =
+            client.request(r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#);
+        assert!(r.contains(r#""status":"ok""#), "{r}");
+        let items = field(&r, "itemsets");
+        server.shutdown();
+        items
+    };
+
+    // ---- Run 1: durable + sharded; pin a seed, then SIGKILL. ----
+    let server = Server::spawn(&[
+        "--dataset",
+        &dataset,
+        "--budget",
+        "8",
+        "--state-dir",
+        &state,
+        "--shards",
+        "4",
+    ]);
+    let mut client = Client::connect(server.addr);
+    let status = client.request(r#"{"op":"status"}"#);
+    assert_eq!(field(&status, "shards"), "4");
+    let pinned =
+        client.request(r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#);
+    assert!(pinned.contains(r#""status":"ok""#), "{pinned}");
+    assert_eq!(
+        field(&pinned, "itemsets"),
+        reference,
+        "sharded serving must release the same bytes as unsharded"
+    );
+    server.kill9();
+
+    // ---- Run 2: recover from the state dir alone; layout and release must match. ----
+    let server = Server::spawn(&["--state-dir", &state]);
+    let mut client = Client::connect(server.addr);
+    let status = client.request(r#"{"op":"status"}"#);
+    assert_eq!(
+        field(&status, "shards"),
+        "4",
+        "manifest must restore the shard layout: {status}"
+    );
+    assert_eq!(field(&status, "epsilon_spent"), "0.25");
+    // Journal metrics are exposed for the durable dataset.
+    assert!(status.contains(r#""journal_bytes":"#), "{status}");
+    assert!(status.contains(r#""snapshot_generation":"#), "{status}");
+    let replayed =
+        client.request(r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#);
+    assert_eq!(
+        field(&replayed, "itemsets"),
+        reference,
+        "recovered sharded context must reproduce pinned-seed releases byte-identically"
+    );
+    server.shutdown();
+
+    // ---- Run 3: reshard via the CLI. Re-listing the dataset with a new --shards
+    // records the new layout (spent ε inherited), and the release still does not
+    // move by a single byte. ----
+    let server = Server::spawn(&[
+        "--dataset",
+        &dataset,
+        "--budget",
+        "8",
+        "--state-dir",
+        &state,
+        "--shards",
+        "2",
+    ]);
+    let mut client = Client::connect(server.addr);
+    let status = client.request(r#"{"op":"status"}"#);
+    assert_eq!(
+        field(&status, "shards"),
+        "2",
+        "re-listing with --shards must record the new layout: {status}"
+    );
+    assert_eq!(field(&status, "epsilon_spent"), "0.5");
+    let resharded =
+        client.request(r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#);
+    assert_eq!(
+        field(&resharded, "itemsets"),
+        reference,
+        "resharding must not change released bytes"
+    );
+    server.shutdown();
+
+    // ---- Run 4: re-listing WITHOUT --shards keeps the recorded layout (a forgotten
+    // flag must not silently reshard to 1). ----
+    let server = Server::spawn(&[
+        "--dataset",
+        &dataset,
+        "--budget",
+        "8",
+        "--state-dir",
+        &state,
+    ]);
+    let mut client = Client::connect(server.addr);
+    let status = client.request(r#"{"op":"status"}"#);
+    assert_eq!(
+        field(&status, "shards"),
+        "2",
+        "re-listing without --shards must keep the manifest's layout: {status}"
+    );
+    server.shutdown();
+}
+
+#[test]
+fn two_servers_cannot_share_a_state_dir() {
+    // State-dir locking: the second server on the same directory must fail fast
+    // instead of racing the first one's manifest and journals.
+    let scratch = Scratch::new("lockout");
+    let data = write_fixture(&scratch);
+    let state = state_dir_arg(&scratch);
+    let dataset = format!("d={data}");
+
+    let server = Server::spawn(&[
+        "--dataset",
+        &dataset,
+        "--budget",
+        "2",
+        "--state-dir",
+        &state,
+    ]);
+    // The contender exits with an error mentioning the lock, before ever listening.
+    let contender = Command::new(env!("CARGO_BIN_EXE_privbasis-cli"))
+        .arg("serve")
+        .args(["--port", "0", "--state-dir", &state])
+        .stdin(Stdio::null())
+        .stdout(Stdio::null())
+        .stderr(Stdio::piped())
+        .output()
+        .expect("run contender");
+    assert!(
+        !contender.status.success(),
+        "second server must refuse a locked state dir"
+    );
+    let stderr = String::from_utf8_lossy(&contender.stderr);
+    assert!(stderr.contains("locked"), "unexpected error: {stderr}");
+    // The original server is unaffected.
+    let mut client = Client::connect(server.addr);
+    let r = client.request(r#"{"op":"query","dataset":"d","k":3,"epsilon":0.25,"seed":1}"#);
+    assert!(r.contains(r#""status":"ok""#), "{r}");
+    server.shutdown();
+}
+
+#[test]
 fn exhausted_stays_exhausted_across_kill9() {
     let scratch = Scratch::new("exhausted");
     let data = write_fixture(&scratch);
