@@ -1,0 +1,197 @@
+//! A typed, blocking client for the PrivBasis TCP protocol.
+//!
+//! [`PbClient`] speaks protocol v2 (envelopes with correlation ids) over one long-lived
+//! connection, turning wire payloads into the typed replies of
+//! [`message`](crate::message) — no JSON handling in caller code. Admin methods attach
+//! the bearer token per call, so one client can mix tenant queries and operator actions.
+//!
+//! For byte-level golden tests (pinned-seed releases compared across crashes and
+//! transports) [`PbClient::raw_line`] sends a raw line and returns the raw response —
+//! the typed surface deliberately does not re-encode responses, so byte comparisons go
+//! through raw lines.
+
+use crate::error::WireError;
+use crate::message::{
+    AdminReply, Envelope, Op, QueryReply, QueryRequest, RegisterRequest, Response, StatusReply,
+};
+use std::io::{self, BufRead, BufReader, Write};
+use std::net::{TcpStream, ToSocketAddrs};
+use std::time::Duration;
+
+/// A failed client call.
+#[derive(Debug)]
+pub enum ClientError {
+    /// The connection failed (refused, reset, timed out).
+    Io(io::Error),
+    /// The server's bytes did not decode as a valid response (or the correlation id did
+    /// not match).
+    Protocol(String),
+    /// The server answered with a structured error.
+    Server(WireError),
+}
+
+impl std::fmt::Display for ClientError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ClientError::Io(e) => write!(f, "connection error: {e}"),
+            ClientError::Protocol(m) => write!(f, "protocol error: {m}"),
+            ClientError::Server(e) => write!(f, "server error: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for ClientError {}
+
+impl From<io::Error> for ClientError {
+    fn from(e: io::Error) -> ClientError {
+        ClientError::Io(e)
+    }
+}
+
+/// A blocking protocol-v2 connection to a PrivBasis server.
+pub struct PbClient {
+    reader: BufReader<TcpStream>,
+    writer: TcpStream,
+    next_id: u64,
+}
+
+impl PbClient {
+    /// Connects to a server.
+    pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PbClient> {
+        let stream = TcpStream::connect(addr)?;
+        Ok(PbClient {
+            reader: BufReader::new(stream.try_clone()?),
+            writer: stream,
+            next_id: 1,
+        })
+    }
+
+    /// Sets the read timeout for responses (`None` blocks indefinitely).
+    pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.writer.set_read_timeout(timeout)
+    }
+
+    /// Sends one raw request line and returns the raw response line (trailing newline
+    /// trimmed). The escape hatch for byte-identity tests and protocol debugging; the
+    /// typed methods below cover everything else.
+    pub fn raw_line(&mut self, line: &str) -> io::Result<String> {
+        writeln!(self.writer, "{line}")?;
+        self.writer.flush()?;
+        let mut response = String::new();
+        let n = self.reader.read_line(&mut response)?;
+        if n == 0 {
+            return Err(io::Error::new(
+                io::ErrorKind::UnexpectedEof,
+                "server closed the connection",
+            ));
+        }
+        Ok(response.trim_end_matches(['\r', '\n']).to_string())
+    }
+
+    fn round_trip(&mut self, auth: Option<String>, op: Op) -> Result<Response, ClientError> {
+        let id = format!("c{}", self.next_id);
+        self.next_id += 1;
+        let line = Envelope::v2(id.clone(), auth, op).encode();
+        let raw = self.raw_line(&line)?;
+        let parsed = Response::parse(&raw).map_err(ClientError::Protocol)?;
+        if parsed.id.as_deref() != Some(id.as_str()) {
+            return Err(ClientError::Protocol(format!(
+                "response id {:?} does not match request id {id:?}",
+                parsed.id
+            )));
+        }
+        match parsed.response {
+            Response::Error(e) => Err(ClientError::Server(e)),
+            other => Ok(other),
+        }
+    }
+
+    /// Runs one top-`k` query (`seed: None` lets the server draw one).
+    pub fn query(
+        &mut self,
+        dataset: &str,
+        k: usize,
+        epsilon: f64,
+        seed: Option<u64>,
+    ) -> Result<QueryReply, ClientError> {
+        match self.round_trip(
+            None,
+            Op::Query(QueryRequest {
+                dataset: dataset.to_string(),
+                k,
+                epsilon,
+                seed,
+            }),
+        )? {
+            Response::Query(reply) => Ok(reply),
+            other => Err(ClientError::Protocol(format!(
+                "expected a query reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the server and per-dataset status.
+    pub fn status(&mut self) -> Result<StatusReply, ClientError> {
+        match self.round_trip(None, Op::Status)? {
+            Response::Status(reply) => Ok(reply),
+            other => Err(ClientError::Protocol(format!(
+                "expected a status reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Requests a graceful server shutdown.
+    pub fn shutdown(&mut self) -> Result<(), ClientError> {
+        match self.round_trip(None, Op::Shutdown)? {
+            Response::Shutdown => Ok(()),
+            other => Err(ClientError::Protocol(format!(
+                "expected a shutdown ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Hot-registers a dataset (admin; requires the server's `--admin-token`).
+    pub fn register(
+        &mut self,
+        token: &str,
+        request: RegisterRequest,
+    ) -> Result<AdminReply, ClientError> {
+        self.admin(token, Op::Register(request))
+    }
+
+    /// Removes a dataset from serving (admin). Its durable ledger stays on disk.
+    pub fn unregister(&mut self, token: &str, name: &str) -> Result<AdminReply, ClientError> {
+        self.admin(
+            token,
+            Op::Unregister {
+                name: name.to_string(),
+            },
+        )
+    }
+
+    /// Re-partitions a live dataset (admin). Releases are byte-identical for any shard
+    /// count.
+    pub fn reshard(
+        &mut self,
+        token: &str,
+        name: &str,
+        shards: usize,
+    ) -> Result<AdminReply, ClientError> {
+        self.admin(
+            token,
+            Op::Reshard {
+                name: name.to_string(),
+                shards,
+            },
+        )
+    }
+
+    fn admin(&mut self, token: &str, op: Op) -> Result<AdminReply, ClientError> {
+        match self.round_trip(Some(token.to_string()), op)? {
+            Response::Admin(reply) => Ok(reply),
+            other => Err(ClientError::Protocol(format!(
+                "expected an admin ack, got {other:?}"
+            ))),
+        }
+    }
+}

@@ -1,0 +1,186 @@
+//! Structured protocol error codes.
+//!
+//! Version 1 of the wire protocol reported failures as bare strings, which forced every
+//! client into substring matching ("does the message contain `budget`?"). Version 2
+//! attaches a machine-readable [`ErrorCode`] to every error response; the human-readable
+//! message stays alongside it for logs and operators. The enum is exhaustive on purpose:
+//! servers can only emit codes clients can name, and the HTTP gateway derives its status
+//! line from the same table, so the three transports (TCP v1, TCP v2, HTTP) can never
+//! disagree about what a failure *is*.
+
+use std::fmt;
+
+/// Machine-readable classification of a failed request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum ErrorCode {
+    /// The request could not be parsed or a field failed validation (bad JSON, missing
+    /// `dataset`, non-positive `epsilon`, `k` of zero, …).
+    Malformed,
+    /// The `op` is not one this protocol version serves.
+    UnknownOp,
+    /// The named dataset is not registered.
+    UnknownDataset,
+    /// The dataset's privacy-budget ledger cannot cover the requested ε.
+    BudgetExhausted,
+    /// An admin op arrived without (or with a wrong) bearer token, or the server was
+    /// started without an admin token at all.
+    Unauthorized,
+    /// The request contradicts existing state (duplicate registration, budget or data
+    /// mismatch against the durable manifest, resharding an unresharddable dataset).
+    Conflict,
+    /// Durable state could not be read or written; the request was refused fail-closed.
+    Unavailable,
+    /// The mechanism itself failed after admission — a server-side bug or resource
+    /// problem, not a client error.
+    Internal,
+}
+
+/// Every code, for exhaustive tables (README, tests, HTTP mapping).
+pub const ALL_ERROR_CODES: [ErrorCode; 8] = [
+    ErrorCode::Malformed,
+    ErrorCode::UnknownOp,
+    ErrorCode::UnknownDataset,
+    ErrorCode::BudgetExhausted,
+    ErrorCode::Unauthorized,
+    ErrorCode::Conflict,
+    ErrorCode::Unavailable,
+    ErrorCode::Internal,
+];
+
+impl ErrorCode {
+    /// The stable wire spelling (`"code"` field of v2 error responses).
+    pub fn as_str(self) -> &'static str {
+        match self {
+            ErrorCode::Malformed => "malformed",
+            ErrorCode::UnknownOp => "unknown_op",
+            ErrorCode::UnknownDataset => "unknown_dataset",
+            ErrorCode::BudgetExhausted => "budget_exhausted",
+            ErrorCode::Unauthorized => "unauthorized",
+            ErrorCode::Conflict => "conflict",
+            ErrorCode::Unavailable => "unavailable",
+            ErrorCode::Internal => "internal",
+        }
+    }
+
+    /// Parses the wire spelling back (clients decoding v2 responses).
+    pub fn parse(text: &str) -> Option<ErrorCode> {
+        ALL_ERROR_CODES.iter().copied().find(|c| c.as_str() == text)
+    }
+
+    /// The HTTP status the gateway answers this code with. One table for both
+    /// transports, so a TCP client and a curl user always see the same classification.
+    pub fn http_status(self) -> u16 {
+        match self {
+            ErrorCode::Malformed => 400,
+            ErrorCode::UnknownOp => 404,
+            ErrorCode::UnknownDataset => 404,
+            ErrorCode::BudgetExhausted => 429,
+            ErrorCode::Unauthorized => 401,
+            ErrorCode::Conflict => 409,
+            ErrorCode::Unavailable => 503,
+            ErrorCode::Internal => 500,
+        }
+    }
+
+    /// Best-effort classification of a *legacy* (v1) error message, which carries no
+    /// code field. Only used when a typed client talks to responses in the v1 shape.
+    pub fn classify_legacy(message: &str) -> ErrorCode {
+        if message.contains("privacy budget exceeded") {
+            ErrorCode::BudgetExhausted
+        } else if message.starts_with("unknown dataset") {
+            ErrorCode::UnknownDataset
+        } else if message.starts_with("unknown op") {
+            ErrorCode::UnknownOp
+        } else {
+            ErrorCode::Malformed
+        }
+    }
+}
+
+impl fmt::Display for ErrorCode {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.as_str())
+    }
+}
+
+/// A structured protocol failure: code plus human-readable detail.
+#[derive(Debug, Clone, PartialEq)]
+pub struct WireError {
+    /// Machine-readable classification.
+    pub code: ErrorCode,
+    /// Human-readable detail, echoed verbatim in the response's `error` field.
+    pub message: String,
+}
+
+impl WireError {
+    /// Builds an error from a code and message.
+    pub fn new(code: ErrorCode, message: impl Into<String>) -> WireError {
+        WireError {
+            code,
+            message: message.into(),
+        }
+    }
+
+    /// Shorthand for [`ErrorCode::Malformed`] failures (the parser's main output).
+    pub fn malformed(message: impl Into<String>) -> WireError {
+        WireError::new(ErrorCode::Malformed, message)
+    }
+}
+
+impl fmt::Display for WireError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}: {}", self.code, self.message)
+    }
+}
+
+impl std::error::Error for WireError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn codes_round_trip_their_wire_spelling() {
+        for code in ALL_ERROR_CODES {
+            assert_eq!(ErrorCode::parse(code.as_str()), Some(code));
+        }
+        assert_eq!(ErrorCode::parse("nope"), None);
+    }
+
+    #[test]
+    fn every_code_maps_to_a_plausible_http_status() {
+        for code in ALL_ERROR_CODES {
+            let status = code.http_status();
+            assert!((400..=599).contains(&status), "{code}: {status}");
+        }
+    }
+
+    #[test]
+    fn legacy_classification_covers_the_v1_messages() {
+        assert_eq!(
+            ErrorCode::classify_legacy("privacy budget exceeded: requested 1, remaining 0"),
+            ErrorCode::BudgetExhausted
+        );
+        assert_eq!(
+            ErrorCode::classify_legacy("unknown dataset `x`"),
+            ErrorCode::UnknownDataset
+        );
+        assert_eq!(
+            ErrorCode::classify_legacy(
+                "unknown op `frobnicate` (expected query, status, or shutdown)"
+            ),
+            ErrorCode::UnknownOp
+        );
+        assert_eq!(
+            ErrorCode::classify_legacy("query needs a `dataset` string"),
+            ErrorCode::Malformed
+        );
+    }
+
+    #[test]
+    fn wire_error_displays_code_and_message() {
+        let e = WireError::new(ErrorCode::Unauthorized, "bad token");
+        assert_eq!(e.to_string(), "unauthorized: bad token");
+        assert_eq!(WireError::malformed("x").code, ErrorCode::Malformed);
+    }
+}

@@ -1,0 +1,39 @@
+//! # pb-proto — the versioned, typed wire protocol of the PrivBasis serving layer
+//!
+//! This crate is the single source of truth for what travels between a PrivBasis server
+//! and its clients: the JSON framing ([`json`]), the request envelope and operation
+//! model ([`message`]), the exhaustive error-code table ([`error`]), and a typed
+//! blocking client ([`client`]). It is std-only and dependency-free, so anything — the
+//! server, test harnesses, operator tooling — can embed it without pulling the mining
+//! engine along.
+//!
+//! ## Versions
+//!
+//! * **v1 (legacy)** — newline-delimited JSON without an envelope, three ops
+//!   (`query`/`status`/`shutdown`), string errors. Frozen: v1 lines keep parsing and
+//!   their response bytes never change.
+//! * **v2 (current)** — an [`Envelope`] (`v`, `id`, optional `auth` bearer token)
+//!   around an exhaustive [`Op`] enum that adds hot admin operations
+//!   (`register`/`unregister`/`reshard`), structured [`ErrorCode`]s, and server
+//!   metadata in `status`. Every type encodes→parses to an equal value
+//!   (property-tested), so server and client share one round-trippable surface.
+//!
+//! The pinned-seed *release bytes* (`"itemsets":[…]`) are identical across v1, v2, and
+//! the HTTP gateway — versioning wraps the payload, it never perturbs it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod client;
+pub mod error;
+pub mod json;
+pub mod message;
+
+pub use client::{ClientError, PbClient};
+pub use error::{ErrorCode, WireError, ALL_ERROR_CODES};
+pub use json::{Json, JsonError};
+pub use message::{
+    AdminReply, DatasetStatus, Envelope, JournalMetrics, Op, ParseFailure, ParsedResponse,
+    QueryReply, QueryRequest, RegisterRequest, RegisterSource, ReleasedItemset, Response,
+    ServerInfo, StatusReply, MAX_QUERY_K, MAX_SHARDS, PROTOCOL_VERSION,
+};

@@ -1,0 +1,1205 @@
+//! The typed wire model: request envelopes, operations, and responses.
+//!
+//! One JSON object per line (TCP) or per HTTP body. Two request shapes share one
+//! parser:
+//!
+//! * **v1 (legacy)** — no `v` field: `{"op":"query","dataset":"retail","k":10,
+//!   "epsilon":0.5}`. Only `query`, `status`, and `shutdown` exist at v1, and v1
+//!   responses reproduce the pre-envelope bytes exactly (no `v`, `id`, or `code`
+//!   fields) so old clients keep working unchanged.
+//! * **v2 (envelope)** — `{"v":2,"id":"q-1","op":...}` plus an optional `"auth"`
+//!   bearer token. v2 adds the admin ops (`register`, `unregister`, `reshard`),
+//!   structured [`ErrorCode`]s on failures, and server metadata in `status`.
+//!
+//! Every request and response type encodes to JSON and parses back to an equal value
+//! (property-tested), so the same surface serves the server, the typed
+//! [`PbClient`](crate::client::PbClient), and golden byte-identity tests.
+
+use crate::error::{ErrorCode, WireError};
+use crate::json::Json;
+
+/// The newest protocol version this crate speaks.
+pub const PROTOCOL_VERSION: u32 = 2;
+
+/// Largest `k` a query may request (the paper's experiments use k ≤ 400; the cap bounds
+/// the non-private θ mining a hostile k would otherwise blow up).
+pub const MAX_QUERY_K: usize = 4096;
+
+/// Largest shard count an admin op may request (far above any useful layout; bounds the
+/// per-shard allocation fan-out a hostile request could demand).
+pub const MAX_SHARDS: usize = 4096;
+
+/// The parameters of a `query` op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryRequest {
+    /// Registered dataset name.
+    pub dataset: String,
+    /// Number of itemsets to publish.
+    pub k: usize,
+    /// ε to spend on this query (debited from the dataset's ledger).
+    pub epsilon: f64,
+    /// RNG seed; `None` lets the server pick a distinct one.
+    pub seed: Option<u64>,
+}
+
+/// Where a hot-registered dataset's rows come from.
+#[derive(Debug, Clone, PartialEq)]
+pub enum RegisterSource {
+    /// A FIMI-format file readable by the *server* (recorded in the durable manifest,
+    /// so the dataset survives restarts).
+    Path(String),
+    /// Rows shipped inline in the request (not reloadable after a restart; recovery
+    /// reports such datasets as skipped).
+    Rows(Vec<Vec<u32>>),
+}
+
+/// The parameters of a `register` admin op.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterRequest {
+    /// Name to register the dataset under.
+    pub name: String,
+    /// The rows: a server-side file path or inline rows.
+    pub source: RegisterSource,
+    /// Lifetime ε budget; `None` (wire `null`) disables accounting.
+    pub budget: Option<f64>,
+    /// Row-shard layout; `None` keeps the manifest's recorded layout (or 1 for a new
+    /// name).
+    pub shards: Option<usize>,
+}
+
+/// One parsed operation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Op {
+    /// A top-`k` query against one dataset.
+    Query(QueryRequest),
+    /// Service and ledger introspection.
+    Status,
+    /// Graceful server shutdown.
+    Shutdown,
+    /// Hot-register a dataset (admin; v2 only).
+    Register(RegisterRequest),
+    /// Remove a dataset from serving; its durable ledger stays on disk (admin; v2 only).
+    Unregister {
+        /// Dataset to remove.
+        name: String,
+    },
+    /// Re-partition a live dataset's rows (admin; v2 only). Releases are byte-identical
+    /// for any shard count, so this is a free operational knob.
+    Reshard {
+        /// Dataset to re-partition.
+        name: String,
+        /// New shard count (≥ 1).
+        shards: usize,
+    },
+}
+
+impl Op {
+    /// The wire spelling of the op.
+    pub fn name(&self) -> &'static str {
+        match self {
+            Op::Query(_) => "query",
+            Op::Status => "status",
+            Op::Shutdown => "shutdown",
+            Op::Register(_) => "register",
+            Op::Unregister { .. } => "unregister",
+            Op::Reshard { .. } => "reshard",
+        }
+    }
+
+    /// True for the ops gated by the admin bearer token.
+    pub fn is_admin(&self) -> bool {
+        matches!(
+            self,
+            Op::Register(_) | Op::Unregister { .. } | Op::Reshard { .. }
+        )
+    }
+}
+
+/// One request line: version, correlation id, optional bearer token, operation.
+///
+/// `v == 1` models a legacy line: no envelope fields on the wire, no id, no auth, and
+/// only the three v1 ops. `v == 2` is the enveloped form.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Envelope {
+    /// Protocol version (1 = legacy line without envelope fields).
+    pub v: u32,
+    /// Client-chosen correlation id, echoed in the response (`None` on legacy lines).
+    pub id: Option<String>,
+    /// Bearer token for admin ops (`None` on legacy lines).
+    pub auth: Option<String>,
+    /// The operation.
+    pub op: Op,
+}
+
+/// A parse failure, carrying whatever version/id could be salvaged so the server can
+/// shape the error response correctly (legacy bytes for legacy lines, envelope for v2).
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParseFailure {
+    /// Best-known protocol version of the offending line (1 when unknown).
+    pub v: u32,
+    /// The request id, when one was readable.
+    pub id: Option<String>,
+    /// What went wrong.
+    pub error: WireError,
+}
+
+impl Envelope {
+    /// Builds a v2 envelope around an op.
+    pub fn v2(id: impl Into<String>, auth: Option<String>, op: Op) -> Envelope {
+        Envelope {
+            v: PROTOCOL_VERSION,
+            id: Some(id.into()),
+            auth,
+            op,
+        }
+    }
+
+    /// Builds a legacy (v1) line.
+    pub fn legacy(op: Op) -> Envelope {
+        Envelope {
+            v: 1,
+            id: None,
+            auth: None,
+            op,
+        }
+    }
+
+    /// Parses one request line (either shape).
+    pub fn parse(line: &str) -> Result<Envelope, ParseFailure> {
+        let fail = |v: u32, id: Option<String>, error: WireError| ParseFailure { v, id, error };
+        let value =
+            Json::parse(line).map_err(|e| fail(1, None, WireError::malformed(e.to_string())))?;
+        // Version: absent (or an explicit 1) means a legacy line — the v1 server
+        // ignored unknown fields, so `{"v":1,...}` always parsed as legacy.
+        let v = match value.get("v") {
+            None => 1,
+            Some(raw) => match raw.as_u64() {
+                Some(1) => 1,
+                Some(2) => 2,
+                _ => {
+                    let id = value.get("id").and_then(Json::as_str).map(str::to_string);
+                    return Err(fail(
+                        PROTOCOL_VERSION,
+                        id,
+                        WireError::malformed(format!(
+                            "unsupported protocol version `{raw}` (this server speaks v1 and v2)"
+                        )),
+                    ));
+                }
+            },
+        };
+        let id = if v >= 2 {
+            match value.get("id") {
+                None | Some(Json::Null) => None,
+                Some(raw) => match raw.as_str() {
+                    Some(s) => Some(s.to_string()),
+                    None => {
+                        return Err(fail(v, None, WireError::malformed("`id` must be a string")))
+                    }
+                },
+            }
+        } else {
+            None
+        };
+        let auth = if v >= 2 {
+            match value.get("auth") {
+                None | Some(Json::Null) => None,
+                Some(raw) => match raw.as_str() {
+                    Some(s) => Some(s.to_string()),
+                    None => {
+                        return Err(fail(v, id, WireError::malformed("`auth` must be a string")))
+                    }
+                },
+            }
+        } else {
+            None
+        };
+        let op_name = value.get("op").and_then(Json::as_str).unwrap_or("query");
+        let op = Op::parse_fields(op_name, &value, v).map_err(|e| fail(v, id.clone(), e))?;
+        Ok(Envelope { v, id, auth, op })
+    }
+
+    /// Encodes the canonical line for this envelope ([`Envelope::parse`] inverts it).
+    pub fn encode(&self) -> String {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if self.v >= 2 {
+            fields.push(("v".into(), Json::Number(self.v as f64)));
+            if let Some(id) = &self.id {
+                fields.push(("id".into(), Json::String(id.clone())));
+            }
+            if let Some(auth) = &self.auth {
+                fields.push(("auth".into(), Json::String(auth.clone())));
+            }
+        }
+        fields.push(("op".into(), Json::String(self.op.name().into())));
+        self.op.append_fields(&mut fields);
+        Json::Object(fields).to_string()
+    }
+}
+
+impl Op {
+    /// Parses the op-specific fields of a request object. `v` gates which ops exist:
+    /// legacy lines only know `query`/`status`/`shutdown`, and their error messages are
+    /// kept byte-identical to the v1 server's.
+    pub fn parse_fields(name: &str, value: &Json, v: u32) -> Result<Op, WireError> {
+        match name {
+            "status" => Ok(Op::Status),
+            "shutdown" => Ok(Op::Shutdown),
+            "query" => Ok(Op::Query(QueryRequest::from_json(value)?)),
+            "register" if v >= 2 => Ok(Op::Register(RegisterRequest::from_json(value)?)),
+            "unregister" if v >= 2 => Ok(Op::Unregister {
+                name: required_str(value, "name", "unregister")?,
+            }),
+            "reshard" if v >= 2 => Ok(Op::Reshard {
+                name: required_str(value, "name", "reshard")?,
+                shards: parse_shards(value)?.ok_or_else(|| {
+                    WireError::malformed("reshard needs a positive integer `shards`")
+                })?,
+            }),
+            other => Err(WireError::new(
+                ErrorCode::UnknownOp,
+                if v >= 2 {
+                    format!(
+                        "unknown op `{other}` (expected query, status, shutdown, \
+                         register, unregister, or reshard)"
+                    )
+                } else {
+                    // Exact v1 bytes, including for admin ops a legacy line cannot use.
+                    format!("unknown op `{other}` (expected query, status, or shutdown)")
+                },
+            )),
+        }
+    }
+
+    /// Appends the op-specific fields to a request object under construction.
+    fn append_fields(&self, fields: &mut Vec<(String, Json)>) {
+        match self {
+            Op::Status | Op::Shutdown => {}
+            Op::Query(q) => {
+                fields.push(("dataset".into(), Json::String(q.dataset.clone())));
+                fields.push(("k".into(), Json::Number(q.k as f64)));
+                fields.push(("epsilon".into(), Json::Number(q.epsilon)));
+                if let Some(seed) = q.seed {
+                    fields.push(("seed".into(), Json::Number(seed as f64)));
+                }
+            }
+            Op::Register(r) => {
+                fields.push(("name".into(), Json::String(r.name.clone())));
+                match &r.source {
+                    RegisterSource::Path(p) => {
+                        fields.push(("path".into(), Json::String(p.clone())));
+                    }
+                    RegisterSource::Rows(rows) => {
+                        let rows = rows
+                            .iter()
+                            .map(|row| {
+                                Json::Array(row.iter().map(|&i| Json::Number(i as f64)).collect())
+                            })
+                            .collect();
+                        fields.push(("rows".into(), Json::Array(rows)));
+                    }
+                }
+                fields.push((
+                    "budget".into(),
+                    match r.budget {
+                        Some(e) => Json::Number(e),
+                        None => Json::Null,
+                    },
+                ));
+                if let Some(shards) = r.shards {
+                    fields.push(("shards".into(), Json::Number(shards as f64)));
+                }
+            }
+            Op::Unregister { name } => {
+                fields.push(("name".into(), Json::String(name.clone())));
+            }
+            Op::Reshard { name, shards } => {
+                fields.push(("name".into(), Json::String(name.clone())));
+                fields.push(("shards".into(), Json::Number(*shards as f64)));
+            }
+        }
+    }
+}
+
+fn required_str(value: &Json, key: &str, op: &str) -> Result<String, WireError> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| WireError::malformed(format!("{op} needs a `{key}` string")))
+}
+
+fn parse_shards(value: &Json) -> Result<Option<usize>, WireError> {
+    match value.get("shards") {
+        None | Some(Json::Null) => Ok(None),
+        Some(raw) => {
+            let shards = raw
+                .as_u64()
+                .filter(|&s| s >= 1 && s <= MAX_SHARDS as u64)
+                .ok_or_else(|| {
+                    WireError::malformed(format!(
+                        "`shards` must be an integer between 1 and {MAX_SHARDS}"
+                    ))
+                })?;
+            Ok(Some(shards as usize))
+        }
+    }
+}
+
+impl QueryRequest {
+    /// Parses the query fields out of a request object. Validation happens here, at the
+    /// protocol boundary, with structured codes — bad values never reach the mechanism
+    /// layer. Messages are byte-identical to the v1 server's.
+    pub fn from_json(value: &Json) -> Result<QueryRequest, WireError> {
+        let dataset = value
+            .get("dataset")
+            .and_then(Json::as_str)
+            .ok_or_else(|| WireError::malformed("query needs a `dataset` string"))?
+            .to_string();
+        let k = value
+            .get("k")
+            .and_then(Json::as_u64)
+            .ok_or_else(|| WireError::malformed("query needs a positive integer `k`"))?
+            as usize;
+        if k == 0 {
+            return Err(WireError::malformed("`k` must be at least 1"));
+        }
+        // θ estimation mines the top η·k itemsets; an unbounded k would let any client
+        // drive that miner to enumerate essentially every itemset (and the ε debit
+        // happens first, so the attempt also burns budget). The paper's experiments use
+        // k ≤ 400.
+        if k > MAX_QUERY_K {
+            return Err(WireError::malformed(format!(
+                "`k` must be at most {MAX_QUERY_K}"
+            )));
+        }
+        let epsilon = value
+            .get("epsilon")
+            .and_then(Json::as_f64)
+            .ok_or_else(|| WireError::malformed("query needs a number `epsilon`"))?;
+        if !(epsilon.is_finite() && epsilon > 0.0) {
+            return Err(WireError::malformed(
+                "`epsilon` must be a positive finite number",
+            ));
+        }
+        let seed = match value.get("seed") {
+            None | Some(Json::Null) => None,
+            Some(raw) => {
+                let seed = raw
+                    .as_u64()
+                    .ok_or_else(|| WireError::malformed("`seed` must be a non-negative integer"))?;
+                // JSON numbers travel as doubles: above 2^53 the client's digits
+                // silently round, so the echoed seed would not reproduce the release
+                // the client thinks it pinned. Reject rather than round.
+                if seed > (1u64 << 53) {
+                    return Err(WireError::malformed(
+                        "`seed` must be at most 2^53 (JSON numbers are doubles; larger seeds would be silently rounded)",
+                    ));
+                }
+                Some(seed)
+            }
+        };
+        Ok(QueryRequest {
+            dataset,
+            k,
+            epsilon,
+            seed,
+        })
+    }
+}
+
+impl RegisterRequest {
+    /// Parses the register fields out of a request object.
+    pub fn from_json(value: &Json) -> Result<RegisterRequest, WireError> {
+        let name = required_str(value, "name", "register")?;
+        let source = match (value.get("path"), value.get("rows")) {
+            (Some(_), Some(_)) => {
+                return Err(WireError::malformed(
+                    "register takes `path` or `rows`, not both",
+                ))
+            }
+            (Some(raw), None) => RegisterSource::Path(
+                raw.as_str()
+                    .ok_or_else(|| WireError::malformed("`path` must be a string"))?
+                    .to_string(),
+            ),
+            (None, Some(raw)) => {
+                let rows = raw
+                    .as_array()
+                    .ok_or_else(|| WireError::malformed("`rows` must be an array of arrays"))?;
+                let mut parsed = Vec::with_capacity(rows.len());
+                for row in rows {
+                    let items = row
+                        .as_array()
+                        .ok_or_else(|| WireError::malformed("`rows` must be an array of arrays"))?;
+                    let mut out = Vec::with_capacity(items.len());
+                    for item in items {
+                        let item =
+                            item.as_u64()
+                                .filter(|&i| i <= u32::MAX as u64)
+                                .ok_or_else(|| {
+                                    WireError::malformed(
+                                        "`rows` items must be integers in the u32 range",
+                                    )
+                                })?;
+                        out.push(item as u32);
+                    }
+                    parsed.push(out);
+                }
+                RegisterSource::Rows(parsed)
+            }
+            (None, None) => {
+                return Err(WireError::malformed(
+                    "register needs a `path` string or inline `rows`",
+                ))
+            }
+        };
+        let budget = match value.get("budget") {
+            None => {
+                return Err(WireError::malformed(
+                    "register needs a `budget` number (or null for an unaccounted ledger)",
+                ))
+            }
+            Some(Json::Null) => None,
+            Some(raw) => {
+                let budget = raw
+                    .as_f64()
+                    .filter(|e| e.is_finite() && *e > 0.0)
+                    .ok_or_else(|| {
+                        WireError::malformed("`budget` must be a positive finite number or null")
+                    })?;
+                Some(budget)
+            }
+        };
+        let shards = parse_shards(value)?;
+        Ok(RegisterRequest {
+            name,
+            source,
+            budget,
+            shards,
+        })
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Responses
+// ---------------------------------------------------------------------------
+
+/// One published itemset with its noisy count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ReleasedItemset {
+    /// The items, ascending.
+    pub items: Vec<u32>,
+    /// The noisy support count.
+    pub count: f64,
+}
+
+/// A successful query response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QueryReply {
+    /// Queried dataset.
+    pub dataset: String,
+    /// ε debited for this query.
+    pub epsilon_spent: f64,
+    /// ε remaining in the dataset's ledger (`f64::INFINITY` travels as `null`).
+    pub remaining_budget: f64,
+    /// The seed the release was drawn with (echoed or server-chosen).
+    pub seed: u64,
+    /// The effective λ of the release.
+    pub lambda: u64,
+    /// Number of candidate itemsets counted.
+    pub candidate_count: u64,
+    /// The published itemsets, descending by noisy count.
+    pub itemsets: Vec<ReleasedItemset>,
+}
+
+/// Journal metrics of a durable dataset (mirrors `pb-service`'s journal stats without
+/// depending on it — the protocol crate sits below the serving layer).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JournalMetrics {
+    /// Current journal file length in bytes.
+    pub wal_bytes: u64,
+    /// Records in the current journal file.
+    pub wal_records: u64,
+    /// Completed snapshot compactions over the journal handle's lifetime.
+    pub snapshot_generation: u64,
+}
+
+/// One dataset's row inside a status response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DatasetStatus {
+    /// Registered name.
+    pub name: String,
+    /// Number of transactions.
+    pub transactions: u64,
+    /// Number of distinct items.
+    pub items: u64,
+    /// Whether the index structures have been built yet.
+    pub index_cached: bool,
+    /// Whether the ledger journals debits to a state directory.
+    pub durable: bool,
+    /// ε spent so far.
+    pub spent: f64,
+    /// ε remaining (`f64::INFINITY` travels as `null`).
+    pub remaining: f64,
+    /// Successfully answered queries.
+    pub queries: u64,
+    /// Row shards the dataset is counted over (1 = single index).
+    pub shards: u64,
+    /// Journal metrics (durable datasets only).
+    pub journal: Option<JournalMetrics>,
+}
+
+/// Process-wide server metadata (v2 status responses only — v1 bytes are frozen).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ServerInfo {
+    /// Newest protocol version the server speaks.
+    pub protocol_version: u32,
+    /// Seconds since the server started.
+    pub uptime_secs: u64,
+    /// Requests received across TCP and HTTP (metrics scrapes excluded).
+    pub requests_total: u64,
+    /// Requests answered with an error.
+    pub rejected_total: u64,
+}
+
+/// A status response.
+#[derive(Debug, Clone, PartialEq)]
+pub struct StatusReply {
+    /// Server metadata; present on v2 responses, dropped from v1 encodings (their bytes
+    /// are frozen).
+    pub server: Option<ServerInfo>,
+    /// Per-dataset rows, sorted by name.
+    pub datasets: Vec<DatasetStatus>,
+}
+
+/// A successful admin-op acknowledgement.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AdminReply {
+    /// `register` succeeded.
+    Registered {
+        /// Registered name.
+        name: String,
+        /// Row count of the registered data.
+        transactions: u64,
+        /// Shard layout it is served with.
+        shards: u64,
+        /// Whether the ledger is durable.
+        durable: bool,
+        /// ε already spent (non-zero when the name inherited a durable ledger).
+        epsilon_spent: f64,
+    },
+    /// `unregister` succeeded.
+    Unregistered {
+        /// Removed name.
+        name: String,
+    },
+    /// `reshard` succeeded.
+    Resharded {
+        /// Re-partitioned dataset.
+        name: String,
+        /// New shard count.
+        shards: u64,
+    },
+}
+
+/// Any response the server can send.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Response {
+    /// A query release.
+    Query(QueryReply),
+    /// A status report.
+    Status(StatusReply),
+    /// The shutdown acknowledgement.
+    Shutdown,
+    /// An admin-op acknowledgement.
+    Admin(AdminReply),
+    /// A structured failure.
+    Error(WireError),
+}
+
+/// A decoded response line: the envelope fields plus the payload.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ParsedResponse {
+    /// Protocol version of the response (1 when no `v` field was present).
+    pub v: u32,
+    /// Echoed correlation id, when any.
+    pub id: Option<String>,
+    /// The payload.
+    pub response: Response,
+}
+
+impl Response {
+    /// True for error responses (the server's rejected-counter predicate).
+    pub fn is_error(&self) -> bool {
+        matches!(self, Response::Error(_))
+    }
+
+    /// Encodes the response for protocol version `v`, echoing `id`.
+    ///
+    /// v1 encodings reproduce the pre-envelope wire bytes exactly: no `v`/`id`/`code`
+    /// fields, no server metadata in `status`. That frozen shape *is* the back-compat
+    /// guarantee old clients rely on.
+    pub fn encode(&self, v: u32, id: Option<&str>) -> String {
+        let mut fields: Vec<(String, Json)> = Vec::new();
+        if v >= 2 {
+            fields.push(("v".into(), Json::Number(PROTOCOL_VERSION as f64)));
+            fields.push((
+                "id".into(),
+                match id {
+                    Some(id) => Json::String(id.into()),
+                    None => Json::Null,
+                },
+            ));
+        }
+        match self {
+            Response::Error(e) => {
+                fields.push(("status".into(), Json::String("error".into())));
+                if v >= 2 {
+                    fields.push(("code".into(), Json::String(e.code.as_str().into())));
+                }
+                fields.push(("error".into(), Json::String(e.message.clone())));
+            }
+            Response::Shutdown => {
+                fields.push(("status".into(), Json::String("ok".into())));
+                fields.push(("shutting_down".into(), Json::Bool(true)));
+            }
+            Response::Query(q) => {
+                fields.push(("status".into(), Json::String("ok".into())));
+                fields.push(("dataset".into(), Json::String(q.dataset.clone())));
+                fields.push(("epsilon_spent".into(), Json::Number(q.epsilon_spent)));
+                fields.push(("remaining_budget".into(), Json::Number(q.remaining_budget)));
+                fields.push(("seed".into(), Json::Number(q.seed as f64)));
+                fields.push(("lambda".into(), Json::Number(q.lambda as f64)));
+                fields.push((
+                    "candidate_count".into(),
+                    Json::Number(q.candidate_count as f64),
+                ));
+                let itemsets = q
+                    .itemsets
+                    .iter()
+                    .map(|row| {
+                        Json::Object(vec![
+                            (
+                                "items".into(),
+                                Json::Array(
+                                    row.items.iter().map(|&i| Json::Number(i as f64)).collect(),
+                                ),
+                            ),
+                            ("count".into(), Json::Number(row.count)),
+                        ])
+                    })
+                    .collect();
+                fields.push(("itemsets".into(), Json::Array(itemsets)));
+            }
+            Response::Status(s) => {
+                fields.push(("status".into(), Json::String("ok".into())));
+                if v >= 2 {
+                    let info = s.server.unwrap_or(ServerInfo {
+                        protocol_version: PROTOCOL_VERSION,
+                        uptime_secs: 0,
+                        requests_total: 0,
+                        rejected_total: 0,
+                    });
+                    fields.push((
+                        "protocol_version".into(),
+                        Json::Number(info.protocol_version as f64),
+                    ));
+                    fields.push(("uptime_secs".into(), Json::Number(info.uptime_secs as f64)));
+                    fields.push((
+                        "requests_total".into(),
+                        Json::Number(info.requests_total as f64),
+                    ));
+                    fields.push((
+                        "rejected_total".into(),
+                        Json::Number(info.rejected_total as f64),
+                    ));
+                }
+                let rows = s.datasets.iter().map(dataset_status_json).collect();
+                fields.push(("datasets".into(), Json::Array(rows)));
+            }
+            Response::Admin(a) => {
+                fields.push(("status".into(), Json::String("ok".into())));
+                match a {
+                    AdminReply::Registered {
+                        name,
+                        transactions,
+                        shards,
+                        durable,
+                        epsilon_spent,
+                    } => {
+                        fields.push(("registered".into(), Json::String(name.clone())));
+                        fields.push(("transactions".into(), Json::Number(*transactions as f64)));
+                        fields.push(("shards".into(), Json::Number(*shards as f64)));
+                        fields.push(("durable".into(), Json::Bool(*durable)));
+                        fields.push(("epsilon_spent".into(), Json::Number(*epsilon_spent)));
+                    }
+                    AdminReply::Unregistered { name } => {
+                        fields.push(("unregistered".into(), Json::String(name.clone())));
+                    }
+                    AdminReply::Resharded { name, shards } => {
+                        fields.push(("resharded".into(), Json::String(name.clone())));
+                        fields.push(("shards".into(), Json::Number(*shards as f64)));
+                    }
+                }
+            }
+        }
+        Json::Object(fields).to_string()
+    }
+
+    /// Parses one response line (either shape).
+    pub fn parse(line: &str) -> Result<ParsedResponse, String> {
+        let value = Json::parse(line).map_err(|e| e.to_string())?;
+        let v = match value.get("v") {
+            None => 1,
+            Some(raw) => raw
+                .as_u64()
+                .filter(|&v| v >= 1)
+                .ok_or("`v` must be a positive integer")? as u32,
+        };
+        let id = match value.get("id") {
+            None | Some(Json::Null) => None,
+            Some(raw) => Some(raw.as_str().ok_or("`id` must be a string")?.to_string()),
+        };
+        let status = value
+            .get("status")
+            .and_then(Json::as_str)
+            .ok_or("response needs a `status` string")?;
+        let response = match status {
+            "error" => {
+                let message = value
+                    .get("error")
+                    .and_then(Json::as_str)
+                    .ok_or("error responses need an `error` message")?
+                    .to_string();
+                let code = match value.get("code").and_then(Json::as_str) {
+                    Some(code) => ErrorCode::parse(code)
+                        .ok_or_else(|| format!("unknown error code `{code}`"))?,
+                    None => ErrorCode::classify_legacy(&message),
+                };
+                Response::Error(WireError { code, message })
+            }
+            "ok" => Self::parse_ok_body(&value, v)?,
+            other => return Err(format!("unknown status `{other}`")),
+        };
+        Ok(ParsedResponse { v, id, response })
+    }
+
+    fn parse_ok_body(value: &Json, v: u32) -> Result<Response, String> {
+        if value.get("shutting_down").is_some() {
+            return Ok(Response::Shutdown);
+        }
+        if let Some(rows) = value.get("datasets").and_then(Json::as_array) {
+            let server = if v >= 2 {
+                Some(ServerInfo {
+                    protocol_version: require_u64(value, "protocol_version")? as u32,
+                    uptime_secs: require_u64(value, "uptime_secs")?,
+                    requests_total: require_u64(value, "requests_total")?,
+                    rejected_total: require_u64(value, "rejected_total")?,
+                })
+            } else {
+                None
+            };
+            let datasets = rows
+                .iter()
+                .map(parse_dataset_status)
+                .collect::<Result<Vec<_>, String>>()?;
+            return Ok(Response::Status(StatusReply { server, datasets }));
+        }
+        if value.get("itemsets").is_some() {
+            return Ok(Response::Query(QueryReply {
+                dataset: require_str(value, "dataset")?,
+                epsilon_spent: require_f64(value, "epsilon_spent")?,
+                remaining_budget: optional_budget(value, "remaining_budget")?,
+                seed: require_u64(value, "seed")?,
+                lambda: require_u64(value, "lambda")?,
+                candidate_count: require_u64(value, "candidate_count")?,
+                itemsets: value
+                    .get("itemsets")
+                    .and_then(Json::as_array)
+                    .ok_or("`itemsets` must be an array")?
+                    .iter()
+                    .map(parse_released_itemset)
+                    .collect::<Result<Vec<_>, String>>()?,
+            }));
+        }
+        if value.get("registered").is_some() {
+            return Ok(Response::Admin(AdminReply::Registered {
+                name: require_str(value, "registered")?,
+                transactions: require_u64(value, "transactions")?,
+                shards: require_u64(value, "shards")?,
+                durable: value
+                    .get("durable")
+                    .and_then(Json::as_bool)
+                    .ok_or("`durable` must be a bool")?,
+                epsilon_spent: require_f64(value, "epsilon_spent")?,
+            }));
+        }
+        if value.get("unregistered").is_some() {
+            return Ok(Response::Admin(AdminReply::Unregistered {
+                name: require_str(value, "unregistered")?,
+            }));
+        }
+        if value.get("resharded").is_some() {
+            return Ok(Response::Admin(AdminReply::Resharded {
+                name: require_str(value, "resharded")?,
+                shards: require_u64(value, "shards")?,
+            }));
+        }
+        Err("unrecognised ok-response body".to_string())
+    }
+}
+
+fn dataset_status_json(d: &DatasetStatus) -> Json {
+    let mut fields = vec![
+        ("name".into(), Json::String(d.name.clone())),
+        ("transactions".into(), Json::Number(d.transactions as f64)),
+        ("items".into(), Json::Number(d.items as f64)),
+        ("index_cached".into(), Json::Bool(d.index_cached)),
+        ("durable".into(), Json::Bool(d.durable)),
+        ("epsilon_spent".into(), Json::Number(d.spent)),
+        ("remaining_budget".into(), Json::Number(d.remaining)),
+        ("queries".into(), Json::Number(d.queries as f64)),
+        ("shards".into(), Json::Number(d.shards as f64)),
+    ];
+    if let Some(journal) = d.journal {
+        fields.push((
+            "journal_bytes".into(),
+            Json::Number(journal.wal_bytes as f64),
+        ));
+        fields.push((
+            "journal_records".into(),
+            Json::Number(journal.wal_records as f64),
+        ));
+        fields.push((
+            "snapshot_generation".into(),
+            Json::Number(journal.snapshot_generation as f64),
+        ));
+    }
+    Json::Object(fields)
+}
+
+fn parse_dataset_status(row: &Json) -> Result<DatasetStatus, String> {
+    let journal = match (
+        row.get("journal_bytes").and_then(Json::as_u64),
+        row.get("journal_records").and_then(Json::as_u64),
+        row.get("snapshot_generation").and_then(Json::as_u64),
+    ) {
+        (Some(wal_bytes), Some(wal_records), Some(snapshot_generation)) => Some(JournalMetrics {
+            wal_bytes,
+            wal_records,
+            snapshot_generation,
+        }),
+        _ => None,
+    };
+    Ok(DatasetStatus {
+        name: require_str(row, "name")?,
+        transactions: require_u64(row, "transactions")?,
+        items: require_u64(row, "items")?,
+        index_cached: row
+            .get("index_cached")
+            .and_then(Json::as_bool)
+            .ok_or("`index_cached` must be a bool")?,
+        durable: row
+            .get("durable")
+            .and_then(Json::as_bool)
+            .ok_or("`durable` must be a bool")?,
+        spent: require_f64(row, "epsilon_spent")?,
+        remaining: optional_budget(row, "remaining_budget")?,
+        queries: require_u64(row, "queries")?,
+        shards: require_u64(row, "shards")?,
+        journal,
+    })
+}
+
+fn parse_released_itemset(row: &Json) -> Result<ReleasedItemset, String> {
+    let items = row
+        .get("items")
+        .and_then(Json::as_array)
+        .ok_or("itemset rows need an `items` array")?
+        .iter()
+        .map(|item| {
+            item.as_u64()
+                .filter(|&i| i <= u32::MAX as u64)
+                .map(|i| i as u32)
+                .ok_or_else(|| "itemset items must be u32 integers".to_string())
+        })
+        .collect::<Result<Vec<_>, String>>()?;
+    Ok(ReleasedItemset {
+        items,
+        count: require_f64(row, "count")?,
+    })
+}
+
+fn require_str(value: &Json, key: &str) -> Result<String, String> {
+    value
+        .get(key)
+        .and_then(Json::as_str)
+        .map(str::to_string)
+        .ok_or_else(|| format!("response missing string `{key}`"))
+}
+
+fn require_f64(value: &Json, key: &str) -> Result<f64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_f64)
+        .ok_or_else(|| format!("response missing number `{key}`"))
+}
+
+fn require_u64(value: &Json, key: &str) -> Result<u64, String> {
+    value
+        .get(key)
+        .and_then(Json::as_u64)
+        .ok_or_else(|| format!("response missing integer `{key}`"))
+}
+
+/// `null` means an infinite budget (JSON has no Infinity literal).
+fn optional_budget(value: &Json, key: &str) -> Result<f64, String> {
+    match value.get(key) {
+        Some(Json::Null) => Ok(f64::INFINITY),
+        Some(raw) => raw
+            .as_f64()
+            .ok_or_else(|| format!("`{key}` must be a number or null")),
+        None => Err(format!("response missing number `{key}`")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn legacy_query_lines_parse_as_v1() {
+        let e =
+            Envelope::parse(r#"{"op":"query","dataset":"retail","k":10,"epsilon":0.5}"#).unwrap();
+        assert_eq!(e.v, 1);
+        assert_eq!(e.id, None);
+        assert_eq!(
+            e.op,
+            Op::Query(QueryRequest {
+                dataset: "retail".into(),
+                k: 10,
+                epsilon: 0.5,
+                seed: None,
+            })
+        );
+        // op defaults to query; seed accepted; explicit v:1 is still legacy.
+        let e = Envelope::parse(r#"{"v":1,"dataset":"d","k":1,"epsilon":1,"seed":42}"#).unwrap();
+        assert_eq!(e.v, 1);
+        assert_eq!(
+            e.op,
+            Op::Query(QueryRequest {
+                dataset: "d".into(),
+                k: 1,
+                epsilon: 1.0,
+                seed: Some(42),
+            })
+        );
+        assert_eq!(
+            Envelope::parse(r#"{"op":"status"}"#).unwrap().op,
+            Op::Status
+        );
+        assert_eq!(
+            Envelope::parse(r#"{"op":"shutdown"}"#).unwrap().op,
+            Op::Shutdown
+        );
+    }
+
+    #[test]
+    fn v2_envelopes_carry_id_and_auth() {
+        let e = Envelope::parse(
+            r#"{"v":2,"id":"q-1","auth":"tok","op":"register","name":"d","path":"/x.dat","budget":2.5,"shards":4}"#,
+        )
+        .unwrap();
+        assert_eq!(e.v, 2);
+        assert_eq!(e.id.as_deref(), Some("q-1"));
+        assert_eq!(e.auth.as_deref(), Some("tok"));
+        assert_eq!(
+            e.op,
+            Op::Register(RegisterRequest {
+                name: "d".into(),
+                source: RegisterSource::Path("/x.dat".into()),
+                budget: Some(2.5),
+                shards: Some(4),
+            })
+        );
+        assert!(e.op.is_admin());
+    }
+
+    #[test]
+    fn admin_ops_require_the_envelope() {
+        // A legacy line cannot invoke admin ops — and its error message is the exact v1
+        // unknown-op text.
+        let err =
+            Envelope::parse(r#"{"op":"register","name":"d","path":"x","budget":1}"#).unwrap_err();
+        assert_eq!(err.v, 1);
+        assert_eq!(err.error.code, ErrorCode::UnknownOp);
+        assert_eq!(
+            err.error.message,
+            "unknown op `register` (expected query, status, or shutdown)"
+        );
+    }
+
+    #[test]
+    fn rejects_malformed_requests() {
+        for bad in [
+            "not json",
+            r#"{"op":"query","k":1,"epsilon":1}"#, // missing dataset
+            r#"{"op":"query","dataset":"d","epsilon":1}"#, // missing k
+            r#"{"op":"query","dataset":"d","k":0,"epsilon":1}"#, // zero k
+            r#"{"op":"query","dataset":"d","k":2}"#, // missing epsilon
+            r#"{"op":"query","dataset":"d","k":2,"epsilon":-1}"#, // negative epsilon
+            r#"{"op":"query","dataset":"d","k":2,"epsilon":1,"seed":-3}"#, // negative seed
+            r#"{"op":"query","dataset":"d","k":2,"epsilon":1,"seed":100000000000000000}"#, // seed > 2^53
+            r#"{"op":"query","dataset":"d","k":5000,"epsilon":1}"#, // k above MAX_QUERY_K
+            r#"{"op":"frobnicate"}"#,                               // unknown op
+            r#"{"v":3,"id":"x","op":"status"}"#,                    // unsupported version
+            r#"{"v":2,"id":7,"op":"status"}"#,                      // non-string id
+            r#"{"v":2,"op":"register","name":"d","budget":1}"#,     // no source
+            r#"{"v":2,"op":"register","name":"d","path":"x","rows":[[1]],"budget":1}"#, // both
+            r#"{"v":2,"op":"register","name":"d","path":"x"}"#,     // missing budget
+            r#"{"v":2,"op":"register","name":"d","path":"x","budget":0}"#, // zero budget
+            r#"{"v":2,"op":"register","name":"d","rows":[[1,-2]],"budget":1}"#, // bad item
+            r#"{"v":2,"op":"reshard","name":"d"}"#,                 // missing shards
+            r#"{"v":2,"op":"reshard","name":"d","shards":0}"#,      // zero shards
+            r#"{"v":2,"op":"unregister"}"#,                         // missing name
+        ] {
+            assert!(Envelope::parse(bad).is_err(), "should reject {bad}");
+        }
+    }
+
+    #[test]
+    fn v1_response_bytes_are_frozen() {
+        // These exact strings are the pre-envelope wire format; changing any of them
+        // breaks deployed v1 clients.
+        assert_eq!(
+            Response::Error(WireError::malformed("nope")).encode(1, None),
+            r#"{"status":"error","error":"nope"}"#
+        );
+        assert_eq!(
+            Response::Shutdown.encode(1, None),
+            r#"{"status":"ok","shutting_down":true}"#
+        );
+        let q = Response::Query(QueryReply {
+            dataset: "d".into(),
+            epsilon_spent: 0.5,
+            remaining_budget: 1.5,
+            seed: 7,
+            lambda: 3,
+            candidate_count: 7,
+            itemsets: vec![ReleasedItemset {
+                items: vec![1, 2],
+                count: 812.4,
+            }],
+        });
+        assert_eq!(
+            q.encode(1, None),
+            r#"{"status":"ok","dataset":"d","epsilon_spent":0.5,"remaining_budget":1.5,"seed":7,"lambda":3,"candidate_count":7,"itemsets":[{"items":[1,2],"count":812.4}]}"#
+        );
+        let s = Response::Status(StatusReply {
+            server: Some(ServerInfo {
+                protocol_version: 2,
+                uptime_secs: 9,
+                requests_total: 4,
+                rejected_total: 1,
+            }),
+            datasets: vec![DatasetStatus {
+                name: "d".into(),
+                transactions: 5,
+                items: 3,
+                index_cached: true,
+                durable: true,
+                spent: 0.5,
+                remaining: 1.5,
+                queries: 2,
+                shards: 4,
+                journal: Some(JournalMetrics {
+                    wal_bytes: 40,
+                    wal_records: 2,
+                    snapshot_generation: 1,
+                }),
+            }],
+        });
+        let v1 = s.encode(1, None);
+        assert_eq!(
+            v1,
+            r#"{"status":"ok","datasets":[{"name":"d","transactions":5,"items":3,"index_cached":true,"durable":true,"epsilon_spent":0.5,"remaining_budget":1.5,"queries":2,"shards":4,"journal_bytes":40,"journal_records":2,"snapshot_generation":1}]}"#,
+            "v1 status must not leak server metadata"
+        );
+        // The v2 encoding carries the envelope and the server block.
+        let v2 = s.encode(2, Some("abc"));
+        assert!(v2.starts_with(r#"{"v":2,"id":"abc","status":"ok","protocol_version":2,"uptime_secs":9,"requests_total":4,"rejected_total":1,"#), "{v2}");
+        // Infinite remaining budget serialises as null rather than breaking the parser.
+        let inf = Response::Status(StatusReply {
+            server: None,
+            datasets: vec![DatasetStatus {
+                name: "d".into(),
+                transactions: 1,
+                items: 1,
+                index_cached: false,
+                durable: false,
+                spent: 0.0,
+                remaining: f64::INFINITY,
+                queries: 0,
+                shards: 1,
+                journal: None,
+            }],
+        })
+        .encode(1, None);
+        assert!(inf.contains(r#""remaining_budget":null"#));
+        assert!(Json::parse(&inf).is_ok());
+    }
+
+    #[test]
+    fn responses_parse_back_to_equal_values() {
+        let replies = [
+            Response::Shutdown,
+            Response::Error(WireError::new(ErrorCode::Unauthorized, "no")),
+            Response::Admin(AdminReply::Registered {
+                name: "d".into(),
+                transactions: 10,
+                shards: 2,
+                durable: true,
+                epsilon_spent: 0.25,
+            }),
+            Response::Admin(AdminReply::Unregistered { name: "d".into() }),
+            Response::Admin(AdminReply::Resharded {
+                name: "d".into(),
+                shards: 8,
+            }),
+        ];
+        for reply in replies {
+            let line = reply.encode(2, Some("id-1"));
+            let parsed = Response::parse(&line).unwrap();
+            assert_eq!(parsed.v, 2);
+            assert_eq!(parsed.id.as_deref(), Some("id-1"));
+            assert_eq!(parsed.response, reply, "{line}");
+        }
+        // Legacy error lines classify by message.
+        let parsed =
+            Response::parse(r#"{"status":"error","error":"privacy budget exceeded: x"}"#).unwrap();
+        assert_eq!(parsed.v, 1);
+        match parsed.response {
+            Response::Error(e) => assert_eq!(e.code, ErrorCode::BudgetExhausted),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn infinite_budget_round_trips_as_null() {
+        let q = Response::Query(QueryReply {
+            dataset: "d".into(),
+            epsilon_spent: 0.5,
+            remaining_budget: f64::INFINITY,
+            seed: 1,
+            lambda: 1,
+            candidate_count: 1,
+            itemsets: vec![],
+        });
+        let line = q.encode(2, None);
+        assert!(line.contains(r#""remaining_budget":null"#));
+        let parsed = Response::parse(&line).unwrap();
+        assert_eq!(parsed.response, q);
+        assert_eq!(parsed.id, None);
+    }
+}

@@ -1,0 +1,335 @@
+//! Property tests for the wire protocol: every envelope, request, and response
+//! encodes→parses to an equal value, and arbitrary malformed bytes never panic the
+//! parsers — they return errors.
+
+use pb_proto::{
+    AdminReply, DatasetStatus, Envelope, JournalMetrics, Json, Op, QueryReply, QueryRequest,
+    RegisterRequest, RegisterSource, ReleasedItemset, Response, ServerInfo, StatusReply, WireError,
+    ALL_ERROR_CODES,
+};
+use proptest::prelude::*;
+
+const NAME_CHARS: &[u8] = b"abcdefghijklmnopqrstuvwxyzABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_-.";
+
+fn arb_name() -> impl Strategy<Value = String> {
+    prop::collection::vec(0usize..NAME_CHARS.len(), 1..16)
+        .prop_map(|ix| ix.iter().map(|&i| NAME_CHARS[i] as char).collect())
+}
+
+/// Strings with JSON-hostile characters, to exercise the writer's escaping.
+fn arb_text() -> impl Strategy<Value = String> {
+    let fragments = [
+        "a", "B", "7", " ", "\"", "\\", "\n", "\t", "é", "€", "😀", "{", "}", ":", ",",
+    ];
+    prop::collection::vec(0usize..fragments.len(), 0..12)
+        .prop_map(move |ix| ix.iter().map(|&i| fragments[i]).collect())
+}
+
+fn arb_seed() -> impl Strategy<Value = Option<u64>> {
+    (any::<bool>(), 0u64..(1u64 << 53)).prop_map(|(some, seed)| some.then_some(seed))
+}
+
+fn arb_query() -> impl Strategy<Value = QueryRequest> {
+    (arb_name(), 1usize..4096, 0.001f64..100.0, arb_seed()).prop_map(
+        |(dataset, k, epsilon, seed)| QueryRequest {
+            dataset,
+            k,
+            epsilon,
+            seed,
+        },
+    )
+}
+
+fn arb_register() -> impl Strategy<Value = RegisterRequest> {
+    (
+        arb_name(),
+        (
+            any::<bool>(),
+            arb_name(),
+            prop::collection::vec(prop::collection::vec(0u32..10_000, 0..6), 1..6),
+        ),
+        (any::<bool>(), 0.001f64..50.0),
+        0usize..6,
+    )
+        .prop_map(
+            |(name, (use_path, stem, rows), (accounted, budget), shards)| RegisterRequest {
+                name,
+                source: if use_path {
+                    RegisterSource::Path(format!("/data/{stem}.dat"))
+                } else {
+                    RegisterSource::Rows(rows)
+                },
+                budget: accounted.then_some(budget),
+                shards: (shards > 0).then_some(shards),
+            },
+        )
+}
+
+fn arb_op() -> impl Strategy<Value = Op> {
+    (
+        0usize..6,
+        arb_query(),
+        arb_register(),
+        (arb_name(), 1usize..64),
+    )
+        .prop_map(|(which, query, register, (name, shards))| match which {
+            0 => Op::Query(query),
+            1 => Op::Status,
+            2 => Op::Shutdown,
+            3 => Op::Register(register),
+            4 => Op::Unregister { name },
+            _ => Op::Reshard { name, shards },
+        })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn envelopes_round_trip(
+        v2 in any::<bool>(),
+        id in (any::<bool>(), arb_name()),
+        auth in (any::<bool>(), arb_text()),
+        op in arb_op(),
+    ) {
+        let envelope = if v2 {
+            Envelope {
+                v: 2,
+                id: id.0.then(|| id.1.clone()),
+                auth: auth.0.then(|| auth.1.clone()),
+                op,
+            }
+        } else {
+            // v1 knows only the three legacy ops; admin ops degrade to status here.
+            let op = if op.is_admin() { Op::Status } else { op };
+            Envelope::legacy(op)
+        };
+        let line = envelope.encode();
+        let parsed = Envelope::parse(&line).unwrap_or_else(|e| panic!("{line}: {e:?}"));
+        prop_assert_eq!(parsed, envelope, "{}", line);
+    }
+}
+
+fn arb_itemsets() -> impl Strategy<Value = Vec<ReleasedItemset>> {
+    prop::collection::vec(
+        (prop::collection::vec(0u32..100_000, 1..5), -1.0e6f64..1.0e6),
+        0..6,
+    )
+    .prop_map(|rows| {
+        rows.into_iter()
+            .map(|(items, count)| ReleasedItemset { items, count })
+            .collect()
+    })
+}
+
+fn arb_budget() -> impl Strategy<Value = f64> {
+    (any::<bool>(), 0.0f64..100.0)
+        .prop_map(|(infinite, value)| if infinite { f64::INFINITY } else { value })
+}
+
+fn arb_dataset_status() -> impl Strategy<Value = DatasetStatus> {
+    (
+        (arb_name(), 1u64..1_000_000, 1u64..10_000, 1u64..64),
+        (any::<bool>(), any::<bool>(), 0u64..1_000_000),
+        (0.0f64..100.0, arb_budget()),
+        (any::<bool>(), 0u64..1_000_000, 0u64..10_000),
+    )
+        .prop_map(
+            |(
+                (name, transactions, items, shards),
+                (index_cached, durable, queries),
+                (spent, remaining),
+                (journaled, wal_bytes, generation),
+            )| DatasetStatus {
+                name,
+                transactions,
+                items,
+                index_cached,
+                durable,
+                spent,
+                remaining,
+                queries,
+                shards,
+                journal: journaled.then_some(JournalMetrics {
+                    wal_bytes,
+                    wal_records: wal_bytes / 2,
+                    snapshot_generation: generation,
+                }),
+            },
+        )
+}
+
+fn arb_response() -> impl Strategy<Value = Response> {
+    (
+        0usize..7,
+        (arb_name(), arb_itemsets(), 0.001f64..10.0, arb_budget()),
+        (0u64..(1 << 53), 0u64..64, 0u64..100_000),
+        (
+            prop::collection::vec(arb_dataset_status(), 0..4),
+            (0u64..100_000, 0u64..100_000, 0u64..1_000_000),
+            (0usize..ALL_ERROR_CODES.len(), arb_text()),
+        ),
+    )
+        .prop_map(
+            |(
+                which,
+                (name, itemsets, epsilon_spent, remaining),
+                (seed, lambda, count),
+                (datasets, (uptime, requests, rejected), (code, message)),
+            )| {
+                match which {
+                    0 => Response::Shutdown,
+                    1 => Response::Error(WireError::new(ALL_ERROR_CODES[code], message)),
+                    2 => Response::Query(QueryReply {
+                        dataset: name,
+                        epsilon_spent,
+                        remaining_budget: remaining,
+                        seed,
+                        lambda,
+                        candidate_count: count,
+                        itemsets,
+                    }),
+                    3 => Response::Status(StatusReply {
+                        server: Some(ServerInfo {
+                            protocol_version: 2,
+                            uptime_secs: uptime,
+                            requests_total: requests,
+                            rejected_total: rejected,
+                        }),
+                        datasets,
+                    }),
+                    4 => Response::Admin(AdminReply::Registered {
+                        name,
+                        transactions: count,
+                        shards: lambda.max(1),
+                        durable: seed % 2 == 0,
+                        epsilon_spent,
+                    }),
+                    5 => Response::Admin(AdminReply::Unregistered { name }),
+                    _ => Response::Admin(AdminReply::Resharded {
+                        name,
+                        shards: lambda.max(1),
+                    }),
+                }
+            },
+        )
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn responses_round_trip(
+        response in arb_response(),
+        id in (any::<bool>(), arb_name()),
+    ) {
+        let id = id.0.then(|| id.1.clone());
+        let line = response.encode(2, id.as_deref());
+        let parsed = Response::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+        prop_assert_eq!(parsed.v, 2, "{}", &line);
+        prop_assert_eq!(&parsed.id, &id, "{}", &line);
+        prop_assert_eq!(parsed.response, response, "{}", &line);
+    }
+
+    #[test]
+    fn v1_and_v2_encodings_carry_identical_payload_bytes(
+        response in arb_response(),
+        id in arb_name(),
+    ) {
+        // The envelope wraps the payload; it must never perturb it. For every ok
+        // response, stripping the v2 prefix (v, id) and the v2-only additions (code,
+        // status server block) from the v2 encoding must reproduce the v1 bytes —
+        // in particular the `"itemsets":…` release bytes are always identical.
+        let v1 = response.encode(1, None);
+        let v2 = response.encode(2, Some(&id));
+        if let Some(start) = v1.find(r#""itemsets":"#) {
+            let tail = &v1[start..];
+            prop_assert!(v2.ends_with(tail), "{} vs {}", v1, v2);
+        }
+        if let Some(start) = v1.find(r#""datasets":"#) {
+            let tail = &v1[start..];
+            prop_assert!(v2.ends_with(tail), "{} vs {}", v1, v2);
+        }
+    }
+}
+
+/// Fragments biased toward JSON structure so random concatenations reach deep into the
+/// parser (plain random bytes die at the first byte).
+const FUZZ_FRAGMENTS: &[&str] = &[
+    "{",
+    "}",
+    "[",
+    "]",
+    ":",
+    ",",
+    "\"",
+    "\\",
+    "v",
+    "2",
+    "op",
+    "query",
+    "register",
+    "dataset",
+    "k",
+    "epsilon",
+    "seed",
+    "null",
+    "true",
+    "false",
+    "1e309",
+    "-",
+    "0.5",
+    "9007199254740993",
+    "\\u",
+    "\\ud800",
+    "éé",
+    "\u{0}",
+    " ",
+    "\n",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn malformed_bytes_never_panic_the_parsers(
+        raw in prop::collection::vec(0usize..256, 0..64),
+        structured in prop::collection::vec(0usize..FUZZ_FRAGMENTS.len(), 0..32),
+    ) {
+        let noise: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let noisy = String::from_utf8_lossy(&noise).into_owned();
+        let fragments: String = structured.iter().map(|&i| FUZZ_FRAGMENTS[i]).collect();
+        for line in [noisy.as_str(), fragments.as_str()] {
+            // Any Result is fine; a panic (or an abort from unbounded recursion) fails
+            // the test by failing the process.
+            let _ = Json::parse(line);
+            let _ = Envelope::parse(line);
+            let _ = Response::parse(line);
+        }
+    }
+
+    #[test]
+    fn truncations_of_valid_lines_never_panic(op in arb_op(), cut in 0usize..200) {
+        let line = Envelope::v2("id", Some("tok".into()), op).encode();
+        let cut = cut.min(line.len());
+        // Truncate at a char boundary at or below the requested cut.
+        let mut boundary = cut;
+        while !line.is_char_boundary(boundary) {
+            boundary -= 1;
+        }
+        let _ = Envelope::parse(&line[..boundary]);
+        let _ = Response::parse(&line[..boundary]);
+    }
+}
+
+#[test]
+fn every_error_code_survives_a_response_round_trip() {
+    for code in ALL_ERROR_CODES {
+        let response = Response::Error(WireError::new(code, "detail"));
+        let parsed = Response::parse(&response.encode(2, Some("x"))).unwrap();
+        match parsed.response {
+            Response::Error(e) => assert_eq!(e.code, code),
+            other => panic!("{other:?}"),
+        }
+    }
+}

@@ -1,0 +1,570 @@
+//! The HTTP/1.1 gateway: the same op handlers as the TCP protocol, plus `/metrics`.
+//!
+//! Hand-rolled on `std` (the vendor policy forbids registry crates): a minimal,
+//! fuzz-hardened request parser ([`parse_request`]) and a router mapping
+//!
+//! * `POST /v1/query`         → the `query` op (body: the op's JSON fields),
+//! * `GET  /v1/status`        → the `status` op,
+//! * `POST /v1/admin/register`, `POST /v1/admin/unregister`, `POST /v1/admin/reshard`
+//!   → the admin ops, authorized by an `Authorization: Bearer <token>` header,
+//! * `GET  /metrics`          → Prometheus text format fed from the same counters the
+//!   `status` op reports (ledgers, journals, query/request counters, uptime)
+//!
+//! onto [`execute`](crate::server::execute) — the identical code path TCP requests
+//! take, so pinned-seed releases are byte-identical across transports and behaviour
+//! can never drift. Response bodies are the protocol-v2 JSON encodings; error HTTP
+//! status lines derive from the shared [`ErrorCode::http_status`] table.
+//!
+//! The parser enforces hard caps (16 KiB head, 1 MiB body), rejects chunked transfer
+//! encoding, and supports keep-alive with the same shutdown-aware poll loop as the TCP
+//! path. There is deliberately no `shutdown` route: process control stays on the TCP
+//! surface.
+
+use crate::protocol::{ErrorCode, Op, Response, WireError, PROTOCOL_VERSION};
+use crate::server::{execute, is_shutting_down, ServerCtx, POLL_INTERVAL};
+use pb_proto::Json;
+use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
+use std::net::TcpStream;
+use std::sync::atomic::Ordering;
+use std::time::Duration;
+
+/// Hard cap on the request line + headers.
+pub const MAX_HEAD_BYTES: usize = 16 * 1024;
+/// Hard cap on a request body (mirrors the TCP line cap).
+pub const MAX_BODY_BYTES: usize = 1 << 20;
+
+/// One parsed HTTP request.
+#[derive(Debug, Clone, PartialEq)]
+pub struct HttpRequest {
+    /// The method, as sent (`GET`, `POST`, …).
+    pub method: String,
+    /// The request target (path plus optional query string).
+    pub target: String,
+    /// The protocol version from the request line (`HTTP/1.0` or `HTTP/1.1`).
+    pub version: String,
+    /// Headers, names lower-cased, values trimmed.
+    pub headers: Vec<(String, String)>,
+    /// The body (`Content-Length` bytes).
+    pub body: Vec<u8>,
+}
+
+impl HttpRequest {
+    /// Looks a header up by (lower-case) name.
+    pub fn header(&self, name: &str) -> Option<&str> {
+        self.headers
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// The bearer token of an `Authorization` header, when one is present.
+    pub fn bearer_token(&self) -> Option<&str> {
+        self.header("authorization")?.strip_prefix("Bearer ")
+    }
+
+    /// The target path with any query string stripped.
+    pub fn path(&self) -> &str {
+        self.target.split('?').next().unwrap_or("")
+    }
+
+    /// True when the client asked to keep the connection open. HTTP/1.1 defaults to
+    /// keep-alive (`Connection: close` opts out); HTTP/1.0 defaults to close
+    /// (`Connection: keep-alive` opts in) — a 1.0 client expecting a close-delimited
+    /// exchange must not pin a pool worker until the idle timeout.
+    pub fn keep_alive(&self) -> bool {
+        let connection = self.header("connection");
+        if self.version == "HTTP/1.0" {
+            connection.is_some_and(|v| v.eq_ignore_ascii_case("keep-alive"))
+        } else {
+            !connection.is_some_and(|v| v.eq_ignore_ascii_case("close"))
+        }
+    }
+}
+
+/// Tries to parse one complete request from the front of `buf`.
+///
+/// Returns `Ok(None)` when more bytes are needed, `Ok(Some((request, consumed)))` on
+/// success, and `Err` on input that can never become a valid request (the connection
+/// should answer 400 and close). Never panics on arbitrary bytes — property-tested.
+pub fn parse_request(buf: &[u8]) -> Result<Option<(HttpRequest, usize)>, String> {
+    let head_end = match find(buf, b"\r\n\r\n") {
+        Some(pos) => pos,
+        None => {
+            if buf.len() > MAX_HEAD_BYTES {
+                return Err("request head too large".to_string());
+            }
+            return Ok(None);
+        }
+    };
+    if head_end > MAX_HEAD_BYTES {
+        return Err("request head too large".to_string());
+    }
+    let head =
+        std::str::from_utf8(&buf[..head_end]).map_err(|_| "non-UTF-8 request head".to_string())?;
+    let mut lines = head.split("\r\n");
+    let request_line = lines.next().unwrap_or("");
+    let mut parts = request_line.split(' ');
+    let method = parts.next().unwrap_or("");
+    let target = parts.next().unwrap_or("");
+    let version = parts.next().unwrap_or("");
+    if method.is_empty()
+        || target.is_empty()
+        || parts.next().is_some()
+        || !method.bytes().all(|b| b.is_ascii_alphabetic())
+    {
+        return Err(format!("malformed request line `{request_line}`"));
+    }
+    if !version.starts_with("HTTP/1.") {
+        return Err(format!("unsupported protocol `{version}`"));
+    }
+    let mut headers = Vec::new();
+    for line in lines {
+        let (name, value) = line
+            .split_once(':')
+            .ok_or_else(|| format!("malformed header line `{line}`"))?;
+        let name = name.trim();
+        if name.is_empty() || name.contains(' ') {
+            return Err(format!("malformed header name `{name}`"));
+        }
+        headers.push((name.to_ascii_lowercase(), value.trim().to_string()));
+    }
+    let request = HttpRequest {
+        method: method.to_string(),
+        target: target.to_string(),
+        version: version.to_string(),
+        headers,
+        body: Vec::new(),
+    };
+    if request
+        .header("transfer-encoding")
+        .is_some_and(|v| !v.eq_ignore_ascii_case("identity"))
+    {
+        return Err("chunked request bodies are not supported".to_string());
+    }
+    let content_length = match request.header("content-length") {
+        None => 0,
+        Some(raw) => raw
+            .parse::<usize>()
+            .map_err(|_| format!("invalid Content-Length `{raw}`"))?,
+    };
+    if content_length > MAX_BODY_BYTES {
+        return Err("request body too large".to_string());
+    }
+    let body_start = head_end + 4;
+    let total = body_start + content_length;
+    if buf.len() < total {
+        return Ok(None);
+    }
+    let mut request = request;
+    request.body = buf[body_start..total].to_vec();
+    Ok(Some((request, total)))
+}
+
+fn find(haystack: &[u8], needle: &[u8]) -> Option<usize> {
+    haystack
+        .windows(needle.len())
+        .position(|window| window == needle)
+}
+
+/// Serves one HTTP connection: requests in, responses out, keep-alive until the client
+/// closes (or asks to), the idle timeout fires, the server shuts down, or a request is
+/// unparseable. Mirrors the TCP loop's shutdown-aware chunked reads.
+pub(crate) fn serve_http(
+    stream: TcpStream,
+    ctx: &ServerCtx,
+    read_timeout: Option<Duration>,
+) -> std::io::Result<()> {
+    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    let mut reader = BufReader::new(stream.try_clone()?);
+    let mut writer = BufWriter::new(stream);
+    let mut buf: Vec<u8> = Vec::new();
+    let mut idle = Duration::ZERO;
+    loop {
+        // Serve every complete request already buffered.
+        loop {
+            match parse_request(&buf) {
+                Err(message) => {
+                    // Counted like the TCP path counts unparseable lines: an abuse
+                    // wave of garbage requests must show up in pb_rejected_total.
+                    ctx.requests_total.fetch_add(1, Ordering::Relaxed);
+                    ctx.rejected_total.fetch_add(1, Ordering::Relaxed);
+                    let body = Response::Error(WireError::malformed(message))
+                        .encode(PROTOCOL_VERSION, None);
+                    write_response(&mut writer, 400, "application/json", body.as_bytes(), false)?;
+                    return Ok(());
+                }
+                Ok(None) => break,
+                Ok(Some((request, consumed))) => {
+                    buf.drain(..consumed);
+                    let keep_alive = request.keep_alive() && !is_shutting_down(ctx);
+                    let (status, content_type, body) = route(&request, ctx);
+                    write_response(
+                        &mut writer,
+                        status,
+                        content_type,
+                        body.as_bytes(),
+                        keep_alive,
+                    )?;
+                    if !keep_alive {
+                        return Ok(());
+                    }
+                }
+            }
+        }
+        match reader.fill_buf() {
+            Ok([]) => return Ok(()), // EOF
+            Ok(chunk) => {
+                idle = Duration::ZERO;
+                buf.extend_from_slice(chunk);
+                let consumed = chunk.len();
+                reader.consume(consumed);
+                // The parser's caps bound `buf` at head+body maxima; anything beyond
+                // that is reported as a parse error on the next loop turn.
+            }
+            Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
+                if is_shutting_down(ctx) {
+                    return Ok(());
+                }
+                idle += POLL_INTERVAL;
+                if read_timeout.is_some_and(|limit| idle >= limit) {
+                    return Ok(());
+                }
+            }
+            Err(e) => return Err(e),
+        }
+    }
+}
+
+/// Routes one request to the shared op handlers (or the metrics renderer).
+fn route(request: &HttpRequest, ctx: &ServerCtx) -> (u16, &'static str, String) {
+    match (request.method.as_str(), request.path()) {
+        ("GET", "/metrics") => (200, "text/plain; version=0.0.4", render_metrics(ctx)),
+        ("POST", "/v1/query") => run_op(request, "query", ctx),
+        ("GET", "/v1/status") => run_op(request, "status", ctx),
+        ("POST", "/v1/admin/register") => run_op(request, "register", ctx),
+        ("POST", "/v1/admin/unregister") => run_op(request, "unregister", ctx),
+        ("POST", "/v1/admin/reshard") => run_op(request, "reshard", ctx),
+        (method, path) => {
+            // Unknown routes are rejections too — only /metrics scrapes stay
+            // uncounted (a scraper polling every few seconds would drown the
+            // traffic counters).
+            ctx.requests_total.fetch_add(1, Ordering::Relaxed);
+            ctx.rejected_total.fetch_add(1, Ordering::Relaxed);
+            let error = WireError::new(
+                ErrorCode::UnknownOp,
+                format!(
+                    "no route for {method} {path} (try POST /v1/query, GET /v1/status, \
+                     POST /v1/admin/{{register,unregister,reshard}}, or GET /metrics)"
+                ),
+            );
+            (
+                error.code.http_status(),
+                "application/json",
+                Response::Error(error).encode(PROTOCOL_VERSION, None),
+            )
+        }
+    }
+}
+
+/// Parses the body as the named op's fields and executes it — the same
+/// [`Op::parse_fields`] and [`execute`] the TCP path uses.
+fn run_op(request: &HttpRequest, op_name: &str, ctx: &ServerCtx) -> (u16, &'static str, String) {
+    ctx.requests_total.fetch_add(1, Ordering::Relaxed);
+    let op = body_json(request).and_then(|body| Op::parse_fields(op_name, &body, PROTOCOL_VERSION));
+    let response = match op {
+        Err(e) => Response::Error(e),
+        // The gateway routes no shutdown op, so the shutdown flag can never be set
+        // here; process control stays on the TCP surface.
+        Ok(op) => execute(&op, request.bearer_token(), ctx).0,
+    };
+    if response.is_error() {
+        ctx.rejected_total.fetch_add(1, Ordering::Relaxed);
+    }
+    let status = match &response {
+        Response::Error(e) => e.code.http_status(),
+        _ => 200,
+    };
+    (
+        status,
+        "application/json",
+        response.encode(PROTOCOL_VERSION, None),
+    )
+}
+
+/// The request body as a JSON object (an empty body counts as `{}`, so GET routes and
+/// field-free ops need no body at all).
+fn body_json(request: &HttpRequest) -> Result<Json, WireError> {
+    let text = std::str::from_utf8(&request.body)
+        .map_err(|_| WireError::malformed("request body must be UTF-8"))?;
+    if text.trim().is_empty() {
+        return Ok(Json::Object(Vec::new()));
+    }
+    Json::parse(text).map_err(|e| WireError::malformed(e.to_string()))
+}
+
+fn write_response(
+    writer: &mut BufWriter<TcpStream>,
+    status: u16,
+    content_type: &str,
+    body: &[u8],
+    keep_alive: bool,
+) -> std::io::Result<()> {
+    write!(
+        writer,
+        "HTTP/1.1 {status} {}\r\nContent-Type: {content_type}\r\nContent-Length: {}\r\nConnection: {}\r\n\r\n",
+        reason(status),
+        body.len(),
+        if keep_alive { "keep-alive" } else { "close" },
+    )?;
+    writer.write_all(body)?;
+    writer.flush()
+}
+
+fn reason(status: u16) -> &'static str {
+    match status {
+        200 => "OK",
+        400 => "Bad Request",
+        401 => "Unauthorized",
+        404 => "Not Found",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        500 => "Internal Server Error",
+        503 => "Service Unavailable",
+        _ => "Error",
+    }
+}
+
+/// Renders the Prometheus text exposition: process-wide counters plus one labelled
+/// series per dataset, fed from the same ledger/journal/query counters the `status` op
+/// reports. Scrapes are deliberately *not* counted in `pb_requests_total` — a scraper
+/// polling every few seconds would drown the real traffic counters.
+fn render_metrics(ctx: &ServerCtx) -> String {
+    let mut out = String::new();
+    let mut gauge = |name: &str, help: &str, kind: &str, value: String| {
+        out.push_str(&format!(
+            "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
+        ));
+    };
+    gauge(
+        "pb_protocol_version",
+        "Newest wire-protocol version this server speaks.",
+        "gauge",
+        PROTOCOL_VERSION.to_string(),
+    );
+    gauge(
+        "pb_uptime_seconds",
+        "Seconds since the server started.",
+        "gauge",
+        ctx.uptime_secs().to_string(),
+    );
+    gauge(
+        "pb_requests_total",
+        "Protocol requests received across TCP and HTTP (metrics scrapes excluded).",
+        "counter",
+        ctx.requests_total.load(Ordering::Relaxed).to_string(),
+    );
+    gauge(
+        "pb_rejected_total",
+        "Requests answered with an error.",
+        "counter",
+        ctx.rejected_total.load(Ordering::Relaxed).to_string(),
+    );
+    let names = ctx.registry.names();
+    gauge(
+        "pb_datasets",
+        "Registered datasets.",
+        "gauge",
+        names.len().to_string(),
+    );
+
+    let mut series: Vec<MetricSeries> = vec![
+        (
+            "pb_dataset_transactions",
+            "Rows in the dataset.",
+            "gauge",
+            Vec::new(),
+        ),
+        (
+            "pb_dataset_shards",
+            "Row shards the dataset is counted over.",
+            "gauge",
+            Vec::new(),
+        ),
+        (
+            "pb_dataset_epsilon_spent",
+            "Cumulative privacy budget spent.",
+            "counter",
+            Vec::new(),
+        ),
+        (
+            "pb_dataset_epsilon_remaining",
+            "Privacy budget remaining (+Inf for unaccounted ledgers).",
+            "gauge",
+            Vec::new(),
+        ),
+        (
+            "pb_dataset_queries_total",
+            "Successfully answered queries.",
+            "counter",
+            Vec::new(),
+        ),
+        (
+            "pb_dataset_journal_bytes",
+            "Write-ahead journal size (durable datasets).",
+            "gauge",
+            Vec::new(),
+        ),
+        (
+            "pb_dataset_journal_records",
+            "Records in the write-ahead journal (durable datasets).",
+            "gauge",
+            Vec::new(),
+        ),
+        (
+            "pb_dataset_snapshot_generation",
+            "Completed journal compactions (durable datasets).",
+            "counter",
+            Vec::new(),
+        ),
+    ];
+    for name in &names {
+        let Some(entry) = ctx.registry.get(name) else {
+            continue;
+        };
+        let label = escape_label(name);
+        let mut push = |idx: usize, value: String| series[idx].3.push((label.clone(), value));
+        push(0, entry.transactions().to_string());
+        push(1, entry.shards().to_string());
+        push(2, format_value(entry.ledger().spent()));
+        push(3, format_value(entry.ledger().remaining()));
+        push(4, entry.queries_served().to_string());
+        if let Some(stats) = entry.journal_stats() {
+            push(5, stats.wal_bytes.to_string());
+            push(6, stats.wal_records.to_string());
+            push(7, stats.snapshot_generation.to_string());
+        }
+    }
+    for (name, help, kind, rows) in series {
+        if rows.is_empty() {
+            continue;
+        }
+        out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} {kind}\n"));
+        for (label, value) in rows {
+            out.push_str(&format!("{name}{{dataset=\"{label}\"}} {value}\n"));
+        }
+    }
+    out
+}
+
+/// One per-dataset metric family: name, help, type, and `(label, value)` samples.
+type MetricSeries = (
+    &'static str,
+    &'static str,
+    &'static str,
+    Vec<(String, String)>,
+);
+
+/// Prometheus sample formatting: finite values as-is, infinities as `+Inf`.
+fn format_value(value: f64) -> String {
+    if value == f64::INFINITY {
+        "+Inf".to_string()
+    } else {
+        value.to_string()
+    }
+}
+
+/// Escapes a label value per the Prometheus text format.
+fn escape_label(value: &str) -> String {
+    value
+        .replace('\\', "\\\\")
+        .replace('"', "\\\"")
+        .replace('\n', "\\n")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_a_complete_request() {
+        let raw = b"POST /v1/query HTTP/1.1\r\nHost: x\r\nContent-Length: 4\r\n\r\n{\"a\"rest";
+        let (request, consumed) = parse_request(raw).unwrap().unwrap();
+        assert_eq!(request.method, "POST");
+        assert_eq!(request.target, "/v1/query");
+        assert_eq!(request.path(), "/v1/query");
+        assert_eq!(request.version, "HTTP/1.1");
+        assert_eq!(request.header("host"), Some("x"));
+        assert_eq!(request.body, b"{\"a\"");
+        assert_eq!(consumed, raw.len() - 4);
+        assert!(request.keep_alive());
+    }
+
+    #[test]
+    fn incomplete_requests_ask_for_more() {
+        assert_eq!(parse_request(b"").unwrap(), None);
+        assert_eq!(parse_request(b"GET /metrics HTTP/1.1\r\n").unwrap(), None);
+        // Head complete, body still short.
+        assert_eq!(
+            parse_request(b"POST /x HTTP/1.1\r\nContent-Length: 10\r\n\r\nabc").unwrap(),
+            None
+        );
+    }
+
+    #[test]
+    fn rejects_hopeless_requests() {
+        for bad in [
+            &b"FLAGRANT\r\n\r\n"[..],
+            b"GET /x HTTP/1.1 extra\r\n\r\n",
+            b"GET /x FTP/1.0\r\n\r\n",
+            b"G3T /x HTTP/1.1\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nno-colon-header\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: banana\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nContent-Length: 99999999999\r\n\r\n",
+            b"GET /x HTTP/1.1\r\nTransfer-Encoding: chunked\r\n\r\n",
+            b"\xff\xfe\r\n\r\n",
+        ] {
+            assert!(parse_request(bad).is_err(), "should reject {bad:?}");
+        }
+        // A head that can never terminate is cut off at the cap.
+        let runaway = vec![b'a'; MAX_HEAD_BYTES + 2];
+        assert!(parse_request(&runaway).is_err());
+    }
+
+    #[test]
+    fn connection_close_is_honoured() {
+        let raw = b"GET /v1/status HTTP/1.1\r\nConnection: close\r\n\r\n";
+        let (request, _) = parse_request(raw).unwrap().unwrap();
+        assert!(!request.keep_alive());
+    }
+
+    #[test]
+    fn http_1_0_defaults_to_close() {
+        // A 1.0 client expects a close-delimited exchange; defaulting to keep-alive
+        // would pin a pool worker until the idle timeout.
+        let raw = b"GET /v1/status HTTP/1.0\r\n\r\n";
+        let (request, _) = parse_request(raw).unwrap().unwrap();
+        assert_eq!(request.version, "HTTP/1.0");
+        assert!(!request.keep_alive());
+        // … unless it explicitly opts in.
+        let raw = b"GET /v1/status HTTP/1.0\r\nConnection: keep-alive\r\n\r\n";
+        let (request, _) = parse_request(raw).unwrap().unwrap();
+        assert!(request.keep_alive());
+    }
+
+    #[test]
+    fn bearer_tokens_are_extracted() {
+        let raw = b"POST /v1/admin/register HTTP/1.1\r\nAuthorization: Bearer s3cret\r\n\r\n";
+        let (request, _) = parse_request(raw).unwrap().unwrap();
+        assert_eq!(request.bearer_token(), Some("s3cret"));
+        let raw = b"POST /x HTTP/1.1\r\nAuthorization: Basic abc\r\n\r\n";
+        let (request, _) = parse_request(raw).unwrap().unwrap();
+        assert_eq!(request.bearer_token(), None);
+    }
+
+    #[test]
+    fn label_escaping_and_value_formatting() {
+        assert_eq!(escape_label("a\"b\\c"), "a\\\"b\\\\c");
+        assert_eq!(format_value(f64::INFINITY), "+Inf");
+        assert_eq!(format_value(1.5), "1.5");
+    }
+}

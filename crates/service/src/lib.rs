@@ -30,9 +30,15 @@
 //!   recorded in the manifest and restored on recovery.
 //!
 //! [`PbServer`] exposes the registry over `std::net::TcpListener` with a fixed worker
-//! pool (sized by the `PB_NUM_THREADS` convention shared with `pb-fim`), speaking
-//! newline-delimited JSON ([`protocol`]). Everything is std-only: the JSON tree in
-//! [`json`] replaces `serde_json` because the build environment has no registry access.
+//! pool (sized by the `PB_NUM_THREADS` convention shared with `pb-fim`), speaking the
+//! versioned [`pb_proto`] wire protocol: newline-delimited JSON, legacy v1 lines and v2
+//! envelopes side by side. v2 adds **hot admin ops** — `register`, `unregister`,
+//! `reshard` — gated by a bearer token ([`ServiceConfig::admin_token`]) and recorded in
+//! the durable manifest, so a dataset registered over the wire survives `kill -9`. An
+//! optional **HTTP/1.1 gateway** ([`http`], [`ServiceConfig::http_port`]) maps
+//! `POST /v1/query`, `GET /v1/status`, and `POST /v1/admin/*` onto the same op handlers
+//! and serves Prometheus text metrics at `GET /metrics` — three transports, one
+//! behaviour, byte-identical pinned-seed releases.
 //!
 //! ## In-process quick example
 //!
@@ -40,7 +46,7 @@
 //! use pb_service::{DatasetRegistry, PbServer, ServiceConfig};
 //! use pb_dp::Epsilon;
 //! use pb_fim::TransactionDb;
-//! use std::io::{BufRead, BufReader, Write};
+//! use pb_proto::PbClient;
 //! use std::sync::Arc;
 //!
 //! let registry = Arc::new(DatasetRegistry::new());
@@ -56,28 +62,30 @@
 //! let addr = server.local_addr().unwrap();
 //! let handle = std::thread::spawn(move || server.run());
 //!
-//! let mut conn = std::net::TcpStream::connect(addr).unwrap();
-//! writeln!(conn, r#"{{"op":"query","dataset":"toy","k":2,"epsilon":1.0,"seed":7}}"#).unwrap();
-//! let mut line = String::new();
-//! BufReader::new(conn.try_clone().unwrap()).read_line(&mut line).unwrap();
-//! assert!(line.contains(r#""status":"ok""#));
-//! writeln!(conn, r#"{{"op":"shutdown"}}"#).unwrap();
+//! let mut client = PbClient::connect(addr).unwrap();
+//! let reply = client.query("toy", 2, 1.0, Some(7)).unwrap();
+//! assert_eq!(reply.dataset, "toy");
+//! client.shutdown().unwrap();
 //! handle.join().unwrap().unwrap();
 //! ```
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-pub mod json;
+pub mod http;
 pub mod persist;
 pub mod protocol;
 pub mod registry;
 pub mod server;
 
-pub use json::{Json, JsonError};
+// The JSON tree moved into `pb-proto` (the protocol crate is the single owner of the
+// wire format); these aliases keep the original `pb_service::json::Json` paths working.
+pub use pb_proto::json;
+pub use pb_proto::{Json, JsonError};
+
 pub use persist::{
     DebitJournal, GroupFlush, JournalStats, LedgerState, Manifest, ManifestEntry, StateDir,
 };
-pub use protocol::{QueryRequest, Request};
+pub use protocol::{QueryRequest, MAX_QUERY_K};
 pub use registry::{DatasetEntry, DatasetRegistry, RegistryError};
 pub use server::{PbServer, ServiceConfig};

@@ -703,6 +703,27 @@ impl DebitJournal {
         self.staged_len
     }
 
+    /// Cumulative ε spent according to the staged journal state. Monotone: it reflects
+    /// every record staged so far, whether or not its fsync has completed (staged and
+    /// then crashed records can only make the durable value *larger*, never smaller).
+    /// Used when a live journal handle is adopted by a re-registration instead of being
+    /// replayed from disk.
+    pub fn spent(&self) -> f64 {
+        self.spent
+    }
+
+    /// Served-query counter according to the staged journal state (same monotonicity
+    /// argument as [`DebitJournal::spent`]).
+    pub fn served(&self) -> u64 {
+        self.served
+    }
+
+    /// The lifetime budget this journal pins (`f64::INFINITY` for an unaccounted
+    /// ledger).
+    pub fn total(&self) -> f64 {
+        self.total
+    }
+
     /// Size and compaction metrics for the `status` op.
     pub fn stats(&self) -> JournalStats {
         JournalStats {
@@ -810,6 +831,15 @@ impl Manifest {
             Some(slot) => *slot = entry,
             None => self.datasets.push(entry),
         }
+    }
+
+    /// Removes the entry for `name`, returning whether one existed. Only the membership
+    /// record goes away — the dataset's journal/snapshot files stay on disk, so a later
+    /// re-registration under the same name inherits its spent ε.
+    pub fn remove(&mut self, name: &str) -> bool {
+        let before = self.datasets.len();
+        self.datasets.retain(|d| d.name != name);
+        self.datasets.len() != before
     }
 
     fn to_json(&self) -> Json {

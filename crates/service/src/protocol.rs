@@ -1,338 +1,98 @@
-//! The wire protocol: newline-delimited JSON requests and responses.
+//! Glue between the engine types and the [`pb_proto`] wire model.
 //!
-//! One request per line, one response line per request, several requests per connection.
-//! Three operations:
+//! The wire protocol itself — envelopes, ops, replies, error codes, the JSON tree —
+//! lives in the std-only [`pb_proto`] crate, shared verbatim by the server, the typed
+//! client, and the HTTP gateway. What remains here is the one conversion only the
+//! serving layer can make: turning a [`PrivBasisOutput`] (engine types: `ItemSet`,
+//! `usize` counts) into the protocol's [`QueryReply`], and a registry entry's stats
+//! into a [`DatasetStatus`] row.
 //!
-//! * `{"op":"query","dataset":"retail","k":10,"epsilon":0.5,"seed":7}` — spend ε from the
-//!   dataset's ledger and run PrivBasis against the cached index (`seed` optional; the
-//!   server draws a fresh one per query when omitted).
-//! * `{"op":"status"}` — per-dataset sizes, shard counts, ledger state, query
-//!   counters, and (for durable datasets) journal metrics: `journal_bytes`,
-//!   `journal_records`, `snapshot_generation`.
-//! * `{"op":"shutdown"}` — stop accepting connections and drain the workers.
+//! ## Wire shapes (see `pb_proto::message` for the full model)
 //!
-//! Responses always carry `"status"`: `"ok"` or `"error"` (with an `"error"` message).
-//! A dataset whose ledger is exhausted answers queries with
-//! `"error": "privacy budget exceeded: …"` — the ledger, not the client, is the
-//! authority on remaining ε.
+//! * v1 (legacy, frozen bytes): `{"op":"query","dataset":"retail","k":10,
+//!   "epsilon":0.5,"seed":7}` → `{"status":"ok",...}`.
+//! * v2 (envelope): `{"v":2,"id":"q1","op":"query",...}` →
+//!   `{"v":2,"id":"q1","status":"ok",...}` — same payload fields, so pinned-seed
+//!   releases are byte-identical across versions.
 
-use crate::json::Json;
+pub use pb_proto::{
+    AdminReply, DatasetStatus, Envelope, ErrorCode, JournalMetrics, Op, QueryReply, QueryRequest,
+    RegisterRequest, RegisterSource, ReleasedItemset, Response, ServerInfo, StatusReply, WireError,
+    MAX_QUERY_K, PROTOCOL_VERSION,
+};
+
+use crate::registry::DatasetEntry;
 use pb_core::PrivBasisOutput;
-use pb_fim::ItemSet;
 
-/// Largest `k` a query may request (the paper's experiments use k ≤ 400; the cap bounds
-/// the non-private θ mining a hostile k would otherwise blow up).
-pub const MAX_QUERY_K: usize = 4096;
-
-/// A parsed client request.
-#[derive(Debug, Clone, PartialEq)]
-pub enum Request {
-    /// A top-`k` query against one dataset.
-    Query(QueryRequest),
-    /// Service and ledger introspection.
-    Status,
-    /// Graceful server shutdown.
-    Shutdown,
-}
-
-/// The parameters of a `query` request.
-#[derive(Debug, Clone, PartialEq)]
-pub struct QueryRequest {
-    /// Registered dataset name.
-    pub dataset: String,
-    /// Number of itemsets to publish.
-    pub k: usize,
-    /// ε to spend on this query (debited from the dataset's ledger).
-    pub epsilon: f64,
-    /// RNG seed; `None` lets the server pick a distinct one.
-    pub seed: Option<u64>,
-}
-
-impl Request {
-    /// Parses one request line. Errors are human-readable strings that the server echoes
-    /// back verbatim in an error response.
-    pub fn parse(line: &str) -> Result<Request, String> {
-        let value = Json::parse(line).map_err(|e| e.to_string())?;
-        let op = value.get("op").and_then(Json::as_str).unwrap_or("query");
-        match op {
-            "status" => Ok(Request::Status),
-            "shutdown" => Ok(Request::Shutdown),
-            "query" => {
-                let dataset = value
-                    .get("dataset")
-                    .and_then(Json::as_str)
-                    .ok_or("query needs a `dataset` string")?
-                    .to_string();
-                let k = value
-                    .get("k")
-                    .and_then(Json::as_u64)
-                    .ok_or("query needs a positive integer `k`")? as usize;
-                if k == 0 {
-                    return Err("`k` must be at least 1".into());
-                }
-                // θ estimation mines the top η·k itemsets; an unbounded k would let any
-                // client drive that miner to enumerate essentially every itemset (and
-                // the ε debit happens first, so the attempt also burns budget). The
-                // paper's experiments use k ≤ 400.
-                if k > MAX_QUERY_K {
-                    return Err(format!("`k` must be at most {MAX_QUERY_K}"));
-                }
-                let epsilon = value
-                    .get("epsilon")
-                    .and_then(Json::as_f64)
-                    .ok_or("query needs a number `epsilon`")?;
-                if !(epsilon.is_finite() && epsilon > 0.0) {
-                    return Err("`epsilon` must be a positive finite number".into());
-                }
-                let seed = match value.get("seed") {
-                    None | Some(Json::Null) => None,
-                    Some(v) => {
-                        let seed = v.as_u64().ok_or("`seed` must be a non-negative integer")?;
-                        // JSON numbers travel as doubles: above 2^53 the client's digits
-                        // silently round, so the echoed seed would not reproduce the
-                        // release the client thinks it pinned. Reject rather than round.
-                        if seed > (1u64 << 53) {
-                            return Err("`seed` must be at most 2^53 (JSON numbers are doubles; larger seeds would be silently rounded)".into());
-                        }
-                        Some(seed)
-                    }
-                };
-                Ok(Request::Query(QueryRequest {
-                    dataset,
-                    k,
-                    epsilon,
-                    seed,
-                }))
-            }
-            other => Err(format!(
-                "unknown op `{other}` (expected query, status, or shutdown)"
-            )),
-        }
+/// Builds the typed query reply for one release.
+pub fn query_reply(
+    dataset: &str,
+    epsilon_spent: f64,
+    remaining_budget: f64,
+    seed: u64,
+    output: &PrivBasisOutput,
+) -> QueryReply {
+    QueryReply {
+        dataset: dataset.to_string(),
+        epsilon_spent,
+        remaining_budget,
+        seed,
+        lambda: output.lambda as u64,
+        candidate_count: output.candidate_count as u64,
+        itemsets: output
+            .itemsets
+            .iter()
+            .map(|(itemset, count)| ReleasedItemset {
+                items: itemset.iter().collect(),
+                count: *count,
+            })
+            .collect(),
     }
 }
 
-/// An error response line.
-pub fn error_response(message: &str) -> Json {
-    Json::Object(vec![
-        ("status".into(), Json::String("error".into())),
-        ("error".into(), Json::String(message.into())),
-    ])
-}
-
-/// A successful query response line.
-pub fn query_response(
-    dataset: &str,
-    epsilon_spent: f64,
-    remaining: f64,
-    seed: u64,
-    output: &PrivBasisOutput,
-) -> Json {
-    let itemsets: Vec<Json> = output
-        .itemsets
-        .iter()
-        .map(|(itemset, count)| {
-            Json::Object(vec![
-                ("items".into(), items_json(itemset)),
-                ("count".into(), Json::Number(*count)),
-            ])
-        })
-        .collect();
-    Json::Object(vec![
-        ("status".into(), Json::String("ok".into())),
-        ("dataset".into(), Json::String(dataset.into())),
-        ("epsilon_spent".into(), Json::Number(epsilon_spent)),
-        ("remaining_budget".into(), Json::Number(remaining)),
-        ("seed".into(), Json::Number(seed as f64)),
-        ("lambda".into(), Json::Number(output.lambda as f64)),
-        (
-            "candidate_count".into(),
-            Json::Number(output.candidate_count as f64),
-        ),
-        ("itemsets".into(), Json::Array(itemsets)),
-    ])
-}
-
-/// One dataset's row inside a status response.
-pub struct DatasetStatus {
-    /// Registered name.
-    pub name: String,
-    /// Number of transactions.
-    pub transactions: usize,
-    /// Number of distinct items.
-    pub items: usize,
-    /// Whether the index structures have been built yet.
-    pub index_cached: bool,
-    /// Whether the ledger journals debits to a state directory (the reported spend
-    /// survives a crash; see the `persist` module).
-    pub durable: bool,
-    /// ε spent so far.
-    pub spent: f64,
-    /// ε remaining (`f64::INFINITY` serialises as null).
-    pub remaining: f64,
-    /// Successfully answered queries.
-    pub queries: u64,
-    /// Row shards the dataset is counted over (1 = single index).
-    pub shards: usize,
-    /// Journal metrics (durable datasets only): size, record count, and compaction
-    /// generation — the numbers a metrics endpoint will scrape.
-    pub journal: Option<crate::persist::JournalStats>,
-}
-
-/// A status response line.
-pub fn status_response(datasets: &[DatasetStatus]) -> Json {
-    let rows = datasets
-        .iter()
-        .map(|d| {
-            let mut fields = vec![
-                ("name".into(), Json::String(d.name.clone())),
-                ("transactions".into(), Json::Number(d.transactions as f64)),
-                ("items".into(), Json::Number(d.items as f64)),
-                ("index_cached".into(), Json::Bool(d.index_cached)),
-                ("durable".into(), Json::Bool(d.durable)),
-                ("epsilon_spent".into(), Json::Number(d.spent)),
-                ("remaining_budget".into(), Json::Number(d.remaining)),
-                ("queries".into(), Json::Number(d.queries as f64)),
-                ("shards".into(), Json::Number(d.shards as f64)),
-            ];
-            if let Some(journal) = d.journal {
-                fields.push((
-                    "journal_bytes".into(),
-                    Json::Number(journal.wal_bytes as f64),
-                ));
-                fields.push((
-                    "journal_records".into(),
-                    Json::Number(journal.wal_records as f64),
-                ));
-                fields.push((
-                    "snapshot_generation".into(),
-                    Json::Number(journal.snapshot_generation as f64),
-                ));
-            }
-            Json::Object(fields)
-        })
-        .collect();
-    Json::Object(vec![
-        ("status".into(), Json::String("ok".into())),
-        ("datasets".into(), Json::Array(rows)),
-    ])
-}
-
-/// A shutdown acknowledgement line.
-pub fn shutdown_response() -> Json {
-    Json::Object(vec![
-        ("status".into(), Json::String("ok".into())),
-        ("shutting_down".into(), Json::Bool(true)),
-    ])
-}
-
-fn items_json(itemset: &ItemSet) -> Json {
-    Json::Array(itemset.iter().map(|i| Json::Number(i as f64)).collect())
+/// Builds one dataset's status row from its registry entry.
+pub fn dataset_status(entry: &DatasetEntry) -> DatasetStatus {
+    DatasetStatus {
+        name: entry.name().to_string(),
+        transactions: entry.transactions() as u64,
+        items: entry.num_distinct_items() as u64,
+        index_cached: entry.index_is_cached(),
+        durable: entry.is_durable(),
+        spent: entry.ledger().spent(),
+        remaining: entry.ledger().remaining(),
+        queries: entry.queries_served(),
+        shards: entry.shards() as u64,
+        journal: entry.journal_stats().map(|stats| JournalMetrics {
+            wal_bytes: stats.wal_bytes,
+            wal_records: stats.wal_records,
+            snapshot_generation: stats.snapshot_generation,
+        }),
+    }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use pb_fim::ItemSet;
 
     #[test]
-    fn parses_query_requests() {
-        let r =
-            Request::parse(r#"{"op":"query","dataset":"retail","k":10,"epsilon":0.5}"#).unwrap();
+    fn query_reply_encodes_the_frozen_v1_bytes() {
+        let output = PrivBasisOutput {
+            itemsets: vec![
+                (ItemSet::new(vec![3, 7]), 812.4),
+                (ItemSet::singleton(2), 500.0),
+            ],
+            lambda: 9,
+            lambda2: 0,
+            frequent_items: ItemSet::empty(),
+            frequent_pairs: vec![],
+            basis_set: pb_core::BasisSet::new(vec![]),
+            candidate_count: 511,
+        };
+        let reply = query_reply("retail", 0.5, 3.5, 7, &output);
         assert_eq!(
-            r,
-            Request::Query(QueryRequest {
-                dataset: "retail".into(),
-                k: 10,
-                epsilon: 0.5,
-                seed: None,
-            })
+            Response::Query(reply).encode(1, None),
+            r#"{"status":"ok","dataset":"retail","epsilon_spent":0.5,"remaining_budget":3.5,"seed":7,"lambda":9,"candidate_count":511,"itemsets":[{"items":[3,7],"count":812.4},{"items":[2],"count":500}]}"#
         );
-        // op defaults to query; seed accepted.
-        let r = Request::parse(r#"{"dataset":"d","k":1,"epsilon":1,"seed":42}"#).unwrap();
-        assert_eq!(
-            r,
-            Request::Query(QueryRequest {
-                dataset: "d".into(),
-                k: 1,
-                epsilon: 1.0,
-                seed: Some(42),
-            })
-        );
-    }
-
-    #[test]
-    fn parses_admin_ops() {
-        assert_eq!(
-            Request::parse(r#"{"op":"status"}"#).unwrap(),
-            Request::Status
-        );
-        assert_eq!(
-            Request::parse(r#"{"op":"shutdown"}"#).unwrap(),
-            Request::Shutdown
-        );
-    }
-
-    #[test]
-    fn rejects_malformed_requests() {
-        for bad in [
-            "not json",
-            r#"{"op":"query","k":1,"epsilon":1}"#, // missing dataset
-            r#"{"op":"query","dataset":"d","epsilon":1}"#, // missing k
-            r#"{"op":"query","dataset":"d","k":0,"epsilon":1}"#, // zero k
-            r#"{"op":"query","dataset":"d","k":2}"#, // missing epsilon
-            r#"{"op":"query","dataset":"d","k":2,"epsilon":-1}"#, // negative epsilon
-            r#"{"op":"query","dataset":"d","k":2,"epsilon":1,"seed":-3}"#, // negative seed
-            r#"{"op":"query","dataset":"d","k":2,"epsilon":1,"seed":100000000000000000}"#, // seed > 2^53 would round
-            r#"{"op":"query","dataset":"d","k":5000,"epsilon":1}"#, // k above MAX_QUERY_K
-            r#"{"op":"frobnicate"}"#,                               // unknown op
-        ] {
-            assert!(Request::parse(bad).is_err(), "should reject {bad}");
-        }
-    }
-
-    #[test]
-    fn responses_are_stable_json() {
-        assert_eq!(
-            error_response("nope").to_string(),
-            r#"{"status":"error","error":"nope"}"#
-        );
-        assert_eq!(
-            shutdown_response().to_string(),
-            r#"{"status":"ok","shutting_down":true}"#
-        );
-        let s = status_response(&[DatasetStatus {
-            name: "d".into(),
-            transactions: 5,
-            items: 3,
-            index_cached: true,
-            durable: true,
-            spent: 0.5,
-            remaining: 1.5,
-            queries: 2,
-            shards: 4,
-            journal: Some(crate::persist::JournalStats {
-                wal_bytes: 40,
-                wal_records: 2,
-                snapshot_generation: 1,
-            }),
-        }])
-        .to_string();
-        assert!(s.contains(r#""name":"d""#) && s.contains(r#""remaining_budget":1.5"#));
-        assert!(s.contains(r#""durable":true"#));
-        // Infinite remaining budget serialises as null rather than breaking the parser.
-        let inf = status_response(&[DatasetStatus {
-            name: "d".into(),
-            transactions: 1,
-            items: 1,
-            index_cached: false,
-            durable: false,
-            spent: 0.0,
-            remaining: f64::INFINITY,
-            queries: 0,
-            shards: 1,
-            journal: None,
-        }])
-        .to_string();
-        assert!(inf.contains(r#""remaining_budget":null"#));
-        assert!(crate::json::Json::parse(&inf).is_ok());
     }
 }

@@ -20,7 +20,8 @@
 //! re-registrations.
 
 use crate::persist::{
-    db_fingerprint, JournalSink, JournalStats, Manifest, ManifestEntry, SharedJournal, StateDir,
+    db_fingerprint, DebitJournal, JournalSink, JournalStats, Manifest, ManifestEntry,
+    SharedJournal, StateDir,
 };
 use pb_core::QueryContext;
 use pb_dp::{BudgetLedger, Epsilon};
@@ -28,7 +29,7 @@ use pb_fim::{TransactionDb, VerticalIndex};
 use pb_shard::ShardedDb;
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock};
+use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock, Weak};
 
 /// Errors from registry operations.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,6 +38,8 @@ pub enum RegistryError {
     DuplicateName(String),
     /// The dataset holds no transactions (nothing could ever be queried).
     EmptyDataset(String),
+    /// No dataset with this name is registered (unregister/reshard targets).
+    NotFound(String),
     /// The name cannot double as a journal file stem in a persistent registry.
     InvalidName(String),
     /// The registration contradicts the durable manifest (different budget or data).
@@ -53,6 +56,9 @@ impl std::fmt::Display for RegistryError {
             }
             RegistryError::EmptyDataset(name) => {
                 write!(f, "dataset `{name}` contains no transactions")
+            }
+            RegistryError::NotFound(name) => {
+                write!(f, "unknown dataset `{name}`")
             }
             RegistryError::InvalidName(name) => write!(
                 f,
@@ -106,8 +112,12 @@ pub struct DatasetEntry {
     /// (full vertical index, or one per shard) plus the memoized deterministic
     /// precomputation the cold path would repeat per query.
     context: OnceLock<Arc<QueryContext>>,
-    ledger: BudgetLedger,
-    queries_served: AtomicU64,
+    /// Shared (`Arc`) so a reshard can hand the *same* accountant to the replacement
+    /// entry: in-flight queries holding the old entry and new queries on the new one
+    /// debit one ledger, so a live re-partition can never double-grant ε.
+    ledger: Arc<BudgetLedger>,
+    /// Shared across reshard generations for the same reason.
+    queries_served: Arc<AtomicU64>,
     /// The durable journal shared with the ledger's debit sink (persistent registries
     /// only); served-query counters are staged here.
     journal: Option<SharedJournal>,
@@ -228,10 +238,28 @@ impl DatasetEntry {
     }
 }
 
+/// The accounting state of one dataset name that may outlive its registry slot: an
+/// unregistered entry stays alive in the hands of in-flight queries, and a
+/// re-registration under the same name must *adopt* that state, not duplicate it. The
+/// journal file must have exactly one in-process writer (a second handle would
+/// interleave appends), and — just as important — the **ledger itself** must stay
+/// singular: two ledgers restored from the same journal would each admit against their
+/// own in-memory balance while the journal's absolute `spent_after` records merge by
+/// monotone max, silently losing whichever interleaved debits were smaller and
+/// re-granting spent ε after a restart. Weak: once every holder is gone the state
+/// closes and the next registration replays from disk.
+struct LiveAccounting {
+    ledger: Weak<BudgetLedger>,
+    journal: Weak<Mutex<DebitJournal>>,
+    queries_served: Weak<AtomicU64>,
+}
+
 struct Persistence {
     state: StateDir,
     /// The in-memory manifest image; rewritten to disk atomically on every change.
     manifest: Mutex<Manifest>,
+    /// Live accounting state by dataset name (see [`LiveAccounting`]).
+    live: Mutex<HashMap<String, LiveAccounting>>,
 }
 
 /// A concurrent name → dataset map, optionally backed by a [`StateDir`].
@@ -270,6 +298,7 @@ impl DatasetRegistry {
             persistence: Some(Persistence {
                 state,
                 manifest: Mutex::new(manifest),
+                live: Mutex::new(HashMap::new()),
             }),
         })
     }
@@ -395,6 +424,124 @@ impl DatasetRegistry {
         Ok(report)
     }
 
+    /// Removes a dataset from serving (the hot `unregister` admin op).
+    ///
+    /// Only the serving slot and the manifest entry go away: the dataset's journal and
+    /// snapshot stay on disk, so spent ε is never forgotten — re-registering the name
+    /// later (or while in-flight queries still hold the old entry) inherits the same
+    /// live ledger state. A manifest write failure aborts the unregister with the
+    /// registry untouched.
+    pub fn unregister(&self, name: &str) -> Result<Arc<DatasetEntry>, RegistryError> {
+        let mut map = self.write();
+        if !map.contains_key(name) {
+            return Err(RegistryError::NotFound(name.to_string()));
+        }
+        if let Some(persistence) = &self.persistence {
+            let mut manifest = persistence
+                .manifest
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if manifest.get(name).is_some() {
+                let mut updated = manifest.clone();
+                updated.remove(name);
+                persistence
+                    .state
+                    .store_manifest(&updated)
+                    .map_err(|e| RegistryError::Io(e.to_string()))?;
+                *manifest = updated;
+            }
+        }
+        Ok(map
+            .remove(name)
+            .expect("presence checked under the write lock"))
+    }
+
+    /// Re-partitions a registered dataset into `shards` row shards, in place (the hot
+    /// `reshard` admin op). Releases are byte-identical for any shard count
+    /// (property-tested), so this only moves where counting happens.
+    ///
+    /// The replacement entry shares the old entry's ledger, journal, and query counter:
+    /// in-flight queries holding the old `Arc` and new queries on the new entry debit
+    /// one accountant, so a live reshard can never double-grant ε. The new layout is
+    /// recorded in the durable manifest *before* the swap — a crash in between leaves
+    /// the manifest ahead of the live layout, which is harmless (releases are
+    /// layout-invariant), never behind.
+    pub fn reshard(&self, name: &str, shards: usize) -> Result<Arc<DatasetEntry>, RegistryError> {
+        let shards = shards.max(1);
+        let old = self
+            .get(name)
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))?;
+        if old.shards == shards {
+            return Ok(old);
+        }
+        // Rebuild the rows from the current partition (shard blocks are contiguous and
+        // ordered, so concatenating them reproduces the original row order) and
+        // re-partition — all OUTSIDE the registry lock: on a large dataset this clone
+        // and re-index takes seconds, and queries against every other dataset must not
+        // stall behind it. No source file read: resharding works for inline datasets
+        // and for files that have since moved.
+        let rows: Vec<pb_fim::ItemSet> = match &old.data {
+            StoredData::Single(db) => db.iter().cloned().collect(),
+            StoredData::Sharded(sharded) => sharded
+                .shards()
+                .iter()
+                .flat_map(|shard| shard.db().iter().cloned())
+                .collect(),
+        };
+        let db = TransactionDb::from_itemsets(rows);
+        let data = if shards > 1 {
+            StoredData::Sharded(ShardedDb::partition(&db, shards).into_shared())
+        } else {
+            StoredData::Single(db.into_shared())
+        };
+        let entry = Arc::new(DatasetEntry {
+            name: old.name.clone(),
+            data,
+            transactions: old.transactions,
+            distinct_items: old.distinct_items,
+            shards,
+            context: OnceLock::new(),
+            ledger: Arc::clone(&old.ledger),
+            queries_served: Arc::clone(&old.queries_served),
+            journal: old.journal.clone(),
+            source: old.source.clone(),
+        });
+        // Validate-and-swap under the write lock: the slot must still hold the exact
+        // entry we rebuilt from — a concurrent unregister/re-register/reshard means our
+        // partition is of stale data, so refuse and let the caller retry against the
+        // current state. The manifest update rides inside the same critical section
+        // (it is two fsyncs, not a rebuild) so a racing unregister can never be
+        // resurrected by our manifest write.
+        let mut map = self.write();
+        match map.get(name) {
+            Some(current) if Arc::ptr_eq(current, &old) => {}
+            _ => {
+                return Err(RegistryError::Mismatch(format!(
+                    "dataset `{name}` was modified concurrently during the reshard — retry"
+                )))
+            }
+        }
+        if let Some(persistence) = &self.persistence {
+            let mut manifest = persistence
+                .manifest
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(recorded) = manifest.get(name) {
+                let mut manifest_entry = recorded.clone();
+                manifest_entry.shards = shards;
+                let mut updated = manifest.clone();
+                updated.upsert(manifest_entry);
+                persistence
+                    .state
+                    .store_manifest(&updated)
+                    .map_err(|e| RegistryError::Io(e.to_string()))?;
+                *manifest = updated;
+            }
+        }
+        map.insert(name.to_string(), Arc::clone(&entry));
+        Ok(entry)
+    }
+
     fn register_inner(
         &self,
         name: String,
@@ -416,8 +563,12 @@ impl DatasetRegistry {
             return Err(RegistryError::DuplicateName(name));
         }
 
-        let (ledger, served, journal) = match &self.persistence {
-            None => (BudgetLedger::new(total_epsilon), 0, None),
+        let (ledger, queries_served, journal) = match &self.persistence {
+            None => (
+                Arc::new(BudgetLedger::new(total_epsilon)),
+                Arc::new(AtomicU64::new(0)),
+                None,
+            ),
             Some(persistence) => {
                 if !StateDir::valid_dataset_name(&name) {
                     return Err(RegistryError::InvalidName(name));
@@ -451,17 +602,64 @@ impl DatasetRegistry {
                         )));
                     }
                 }
-                // The journal independently pins the total (in its snapshot), so even
-                // with the manifest deleted a different budget is refused here.
-                let (state, journal) = persistence
-                    .state
-                    .open_dataset(&name, total_epsilon)
-                    .map_err(|e| RegistryError::Io(e.to_string()))?;
-                let ledger = BudgetLedger::with_journal(
-                    total_epsilon,
-                    state.spent,
-                    Box::new(JournalSink::new(Arc::clone(&journal))),
+                // One name, one accountant: if this name's ledger is still alive (an
+                // unregistered entry held by in-flight queries), adopt the WHOLE
+                // accounting state — ledger, journal, and served counter. Sharing only
+                // the journal would leave two ledgers admitting against independent
+                // in-memory balances while their absolute `spent_after` records merge
+                // by monotone max, silently losing interleaved debits (i.e. re-granting
+                // spent ε after a restart).
+                let mut live = persistence
+                    .live
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let adopted = live.get(&name).and_then(|handles| {
+                    Some((
+                        handles.ledger.upgrade()?,
+                        handles.journal.upgrade()?,
+                        handles.queries_served.upgrade()?,
+                    ))
+                });
+                let (ledger, queries_served, journal) = match adopted {
+                    Some((ledger, journal, queries_served)) => {
+                        // Same refusal the on-disk open enforces: a live ledger's total
+                        // cannot be re-negotiated by re-registering.
+                        if ledger.total() != total_epsilon {
+                            return Err(RegistryError::Io(format!(
+                                "durable ledger for `{name}` is live with total ε = {} \
+                                 but re-registration requested ε = {} — pass the \
+                                 original budget",
+                                epsilon_text(ledger.total()),
+                                epsilon_text(total_epsilon),
+                            )));
+                        }
+                        (ledger, queries_served, journal)
+                    }
+                    None => {
+                        // The journal independently pins the total (in its snapshot),
+                        // so even with the manifest deleted a different budget is
+                        // refused here.
+                        let (state, journal) = persistence
+                            .state
+                            .open_dataset(&name, total_epsilon)
+                            .map_err(|e| RegistryError::Io(e.to_string()))?;
+                        let ledger = Arc::new(BudgetLedger::with_journal(
+                            total_epsilon,
+                            state.spent,
+                            Box::new(JournalSink::new(Arc::clone(&journal))),
+                        ));
+                        (ledger, Arc::new(AtomicU64::new(state.served)), journal)
+                    }
+                };
+                live.insert(
+                    name.clone(),
+                    LiveAccounting {
+                        ledger: Arc::downgrade(&ledger),
+                        journal: Arc::downgrade(&journal),
+                        queries_served: Arc::downgrade(&queries_served),
+                    },
                 );
+                drop(live);
                 // A *changed* shard count on re-registration is allowed and recorded:
                 // re-partitioning never changes released bytes (property-tested), so
                 // unlike the budget or the data it is a free operational knob.
@@ -482,7 +680,7 @@ impl DatasetRegistry {
                 // failed store must not leave a phantom entry that the next successful
                 // registration would silently persist.
                 *manifest = updated;
-                (ledger, state.served, Some(journal))
+                (ledger, queries_served, Some(journal))
             }
         };
 
@@ -503,7 +701,7 @@ impl DatasetRegistry {
             shards,
             context: OnceLock::new(),
             ledger,
-            queries_served: AtomicU64::new(served),
+            queries_served,
             journal,
             source,
         });
@@ -807,6 +1005,191 @@ mod tests {
         // The manifest still records the layout for a later fixed re-registration.
         assert_eq!(registry.recorded_shards("doomed"), Some(1));
         assert_eq!(registry.recorded_shards("nope"), None);
+    }
+
+    #[test]
+    fn unregister_removes_only_the_serving_slot() {
+        let registry = DatasetRegistry::new();
+        registry
+            .register("d", tiny_db(), Epsilon::Finite(1.0))
+            .unwrap();
+        assert_eq!(
+            registry.unregister("nope").unwrap_err(),
+            RegistryError::NotFound("nope".into())
+        );
+        let removed = registry.unregister("d").unwrap();
+        assert_eq!(removed.name(), "d");
+        assert!(registry.get("d").is_none());
+        assert!(registry.is_empty());
+        // The name is free again.
+        registry
+            .register("d", tiny_db(), Epsilon::Finite(1.0))
+            .unwrap();
+    }
+
+    #[test]
+    fn durable_unregister_drops_the_manifest_entry_but_keeps_the_spend() {
+        let scratch = Scratch::new("unregister");
+        let path = scratch.write_fimi("u.dat", "1 2\n1 2 3\n2 3\n");
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        let entry = registry
+            .register_file("u", &path, Epsilon::Finite(2.0))
+            .unwrap();
+        entry.ledger().try_spend(0.5).unwrap();
+        registry.unregister("u").unwrap();
+        // The manifest forgets the dataset (a restart will not reload it) …
+        assert_eq!(registry.recorded_shards("u"), None);
+        assert!(registry.recover().unwrap().loaded.is_empty());
+        // … but the accounting state survives LIVE, so re-registering adopts the SAME
+        // ledger — even while `entry` (think: an in-flight query) still holds the old
+        // one. Sharing only the journal file would not be enough: two ledgers over one
+        // max-merged journal lose interleaved debits (re-granting spent ε on replay)
+        // and admit against independent in-memory balances.
+        let again = registry
+            .register_file("u", &path, Epsilon::Finite(2.0))
+            .unwrap();
+        assert!((again.ledger().spent() - 0.5).abs() < 1e-12);
+        // Interleave spends across BOTH handles; every debit must be visible to every
+        // handle immediately (one accountant), and the journal must record the sum.
+        again.ledger().try_spend(0.2).unwrap();
+        entry.ledger().try_spend(0.25).unwrap();
+        again.ledger().try_spend(0.3).unwrap();
+        assert!((entry.ledger().spent() - 1.25).abs() < 1e-12);
+        assert!((again.ledger().spent() - 1.25).abs() < 1e-12);
+        // Combined admission is bounded by the single total: 0.76 > 2.0 − 1.25 must be
+        // refused through either handle.
+        assert!(entry.ledger().try_spend(0.76).is_err());
+        assert!(again.ledger().try_spend(0.76).is_err());
+        drop(entry);
+        drop(again);
+        drop(registry);
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        let recovered = registry
+            .register_file("u", &path, Epsilon::Finite(2.0))
+            .unwrap();
+        assert!(
+            (recovered.ledger().spent() - 1.25).abs() < 1e-12,
+            "interleaved debits across both handles must all replay, got {}",
+            recovered.ledger().spent()
+        );
+        // With every old handle dropped, a fresh budget mismatch is still refused by
+        // the on-disk open path.
+        drop(recovered);
+        drop(registry);
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        let err = registry
+            .register_file("u", &path, Epsilon::Finite(9.0))
+            .unwrap_err();
+        assert!(
+            matches!(err, RegistryError::Mismatch(_) | RegistryError::Io(_)),
+            "{err}"
+        );
+    }
+
+    #[test]
+    fn live_re_registration_refuses_a_different_total() {
+        let scratch = Scratch::new("livetotal");
+        let path = scratch.write_fimi("t.dat", "1 2\n2 3\n");
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        let entry = registry
+            .register_file("t", &path, Epsilon::Finite(2.0))
+            .unwrap();
+        registry.unregister("t").unwrap();
+        // The old entry is alive, so adoption is attempted — and must refuse a
+        // re-negotiated total just like the on-disk open does.
+        let err = registry
+            .register_file("t", &path, Epsilon::Finite(5.0))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Io(_)), "{err}");
+        assert!(err.to_string().contains("total"), "{err}");
+        drop(entry);
+    }
+
+    #[test]
+    fn reshard_swaps_the_layout_and_shares_the_ledger() {
+        use pb_core::PrivBasis;
+        use rand::rngs::StdRng;
+        use rand::SeedableRng;
+        let rows: Vec<Vec<u32>> = (0..200)
+            .map(|i| {
+                (0..5u32)
+                    .filter(|&j| i % 10 < 10 - 2 * j as usize)
+                    .collect()
+            })
+            .collect();
+        let registry = DatasetRegistry::new();
+        let entry = registry
+            .register(
+                "d",
+                TransactionDb::from_transactions(rows),
+                Epsilon::Finite(10.0),
+            )
+            .unwrap();
+        entry.ledger().try_spend(1.0).unwrap();
+        entry.record_query();
+        let pb = PrivBasis::with_defaults();
+        let before = pb
+            .run_shared(
+                &mut StdRng::seed_from_u64(9),
+                entry.context(),
+                4,
+                Epsilon::Finite(1.0),
+            )
+            .unwrap();
+
+        assert_eq!(
+            registry.reshard("nope", 2).unwrap_err(),
+            RegistryError::NotFound("nope".into())
+        );
+        let resharded = registry.reshard("d", 3).unwrap();
+        assert_eq!(resharded.shards(), 3);
+        assert_eq!(resharded.transactions(), entry.transactions());
+        assert_eq!(registry.get("d").unwrap().shards(), 3);
+        // One ledger, one counter: the old handle and the new entry share them.
+        assert!((resharded.ledger().spent() - 1.0).abs() < 1e-12);
+        entry.ledger().try_spend(0.5).unwrap();
+        assert!((resharded.ledger().spent() - 1.5).abs() < 1e-12);
+        assert_eq!(resharded.queries_served(), 1);
+        // Releases do not move by a byte.
+        let after = pb
+            .run_shared(
+                &mut StdRng::seed_from_u64(9),
+                resharded.context(),
+                4,
+                Epsilon::Finite(1.0),
+            )
+            .unwrap();
+        assert_eq!(before.itemsets.len(), after.itemsets.len());
+        for ((sa, ca), (sb, cb)) in before.itemsets.iter().zip(&after.itemsets) {
+            assert_eq!(sa, sb);
+            assert_eq!(ca.to_bits(), cb.to_bits());
+        }
+        // Resharding back down to 1 restores a single index.
+        let single = registry.reshard("d", 1).unwrap();
+        assert_eq!(single.shards(), 1);
+        assert!(single.index().is_some());
+    }
+
+    #[test]
+    fn durable_reshard_records_the_new_layout() {
+        let scratch = Scratch::new("reshardrec");
+        let path = scratch.write_fimi("r.dat", "1 2\n1 2 3\n2 3\n1 3\n2\n1\n");
+        {
+            let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+            let entry = registry
+                .register_file_sharded("r", &path, Epsilon::Finite(3.0), 2)
+                .unwrap();
+            entry.ledger().try_spend(0.5).unwrap();
+            let resharded = registry.reshard("r", 4).unwrap();
+            assert_eq!(resharded.shards(), 4);
+            assert_eq!(registry.recorded_shards("r"), Some(4));
+        }
+        // A restart rebuilds the resharded layout from the manifest.
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        registry.recover().unwrap();
+        let entry = registry.get("r").unwrap();
+        assert_eq!(entry.shards(), 4);
+        assert!((entry.ledger().spent() - 0.5).abs() < 1e-12);
     }
 
     #[test]

@@ -1,23 +1,35 @@
-//! The TCP server: a fixed worker pool serving newline-delimited JSON queries.
+//! The server: a fixed worker pool serving the versioned wire protocol over TCP, and —
+//! when configured — the HTTP/1.1 gateway on a second port.
 //!
-//! The accept loop pushes connections into an [`mpsc`] channel; `threads` workers pull
+//! The accept loops push connections into an [`mpsc`] channel; `threads` workers pull
 //! from it behind a shared mutex and run whole connections to completion (a connection
-//! may issue many requests). All dataset state lives in the shared
+//! may issue many requests). Both transports dispatch into the same op handlers
+//! ([`execute`]), so a query, status, or admin op behaves identically — and releases
+//! byte-identical pinned-seed output — whether it arrived as a legacy v1 line, a v2
+//! envelope, or an HTTP request. All dataset state lives in the shared
 //! [`DatasetRegistry`] — workers hold `Arc<DatasetEntry>` clones for the duration of one
 //! query, so a slow query never pins the registry lock, and the per-dataset
 //! [`BudgetLedger`](pb_dp::BudgetLedger) makes concurrent spending race-free.
 //!
-//! Shutdown is cooperative: a `shutdown` request sets a flag and pokes the listener with
-//! a wake-up connection; the accept loop exits, the channel closes, and workers drain
-//! whatever was already queued before returning.
+//! Admin ops (`register`/`unregister`/`reshard`) are gated by
+//! [`ServiceConfig::admin_token`]: a request must present the exact bearer token (v2
+//! envelope `auth` field, or HTTP `Authorization: Bearer`), compared in constant time.
+//! Without a configured token the admin surface is disabled entirely.
+//!
+//! Shutdown is cooperative: a `shutdown` request sets a flag and pokes the listeners
+//! with wake-up connections; the accept loops exit, the channel closes, and workers
+//! drain whatever was already queued before returning.
 
+use crate::http::serve_http;
 use crate::protocol::{
-    error_response, query_response, shutdown_response, status_response, DatasetStatus,
-    QueryRequest, Request,
+    dataset_status, query_reply, AdminReply, Envelope, ErrorCode, Op, QueryRequest,
+    RegisterRequest, RegisterSource, Response, ServerInfo, StatusReply, WireError,
+    PROTOCOL_VERSION,
 };
-use crate::registry::DatasetRegistry;
+use crate::registry::{DatasetRegistry, RegistryError};
 use pb_core::{PrivBasis, PrivBasisParams};
-use pb_dp::Epsilon;
+use pb_dp::{DpError, Epsilon};
+use pb_fim::TransactionDb;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
@@ -25,7 +37,7 @@ use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver};
 use std::sync::{Arc, Mutex, PoisonError};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// Server tuning knobs.
 #[derive(Debug, Clone)]
@@ -38,6 +50,12 @@ pub struct ServiceConfig {
     /// Per-connection read timeout; a client that goes silent for this long loses its
     /// connection (and frees its worker) rather than pinning the pool.
     pub read_timeout: Option<Duration>,
+    /// Bearer token gating the admin ops. `None` disables the admin surface: every
+    /// `register`/`unregister`/`reshard` is rejected with `unauthorized`.
+    pub admin_token: Option<String>,
+    /// Port for the HTTP/1.1 gateway (0 lets the OS pick; `None` disables HTTP). Bound
+    /// on the same address as the TCP listener.
+    pub http_port: Option<u16>,
 }
 
 impl Default for ServiceConfig {
@@ -46,6 +64,8 @@ impl Default for ServiceConfig {
             threads: pb_fim::index::available_parallelism().max(1),
             params: PrivBasisParams::default(),
             read_timeout: Some(Duration::from_secs(30)),
+            admin_token: None,
+            http_port: None,
         }
     }
 }
@@ -53,44 +73,78 @@ impl Default for ServiceConfig {
 /// A bound-but-not-yet-running server.
 pub struct PbServer {
     listener: TcpListener,
+    http_listener: Option<TcpListener>,
     registry: Arc<DatasetRegistry>,
     config: ServiceConfig,
 }
 
-/// State shared by the accept loop and every worker.
-struct ServerCtx {
-    registry: Arc<DatasetRegistry>,
+/// State shared by the accept loops and every worker.
+pub(crate) struct ServerCtx {
+    pub(crate) registry: Arc<DatasetRegistry>,
     params: PrivBasisParams,
     shutdown: AtomicBool,
     local_addr: SocketAddr,
+    http_addr: Option<SocketAddr>,
     /// Source of per-query seeds when the client does not pin one.
     seed_counter: AtomicU64,
+    admin_token: Option<String>,
+    start: Instant,
+    pub(crate) requests_total: AtomicU64,
+    pub(crate) rejected_total: AtomicU64,
+}
+
+impl ServerCtx {
+    /// Seconds since the server started (status op and /metrics).
+    pub(crate) fn uptime_secs(&self) -> u64 {
+        self.start.elapsed().as_secs()
+    }
+}
+
+/// One queued connection, tagged with the protocol its listener speaks.
+enum Conn {
+    Line(TcpStream),
+    Http(TcpStream),
 }
 
 impl PbServer {
-    /// Binds to `addr` (use port 0 to let the OS pick a free port for tests).
+    /// Binds to `addr` (use port 0 to let the OS pick a free port for tests). When
+    /// [`ServiceConfig::http_port`] is set, the HTTP gateway is bound on the same IP.
     pub fn bind(
         addr: impl ToSocketAddrs,
         registry: Arc<DatasetRegistry>,
         config: ServiceConfig,
     ) -> std::io::Result<PbServer> {
         let listener = TcpListener::bind(addr)?;
+        let http_listener = match config.http_port {
+            None => None,
+            Some(port) => Some(TcpListener::bind((listener.local_addr()?.ip(), port))?),
+        };
         Ok(PbServer {
             listener,
+            http_listener,
             registry,
             config,
         })
     }
 
-    /// The bound address (port resolved when binding to port 0).
+    /// The bound TCP address (port resolved when binding to port 0).
     pub fn local_addr(&self) -> std::io::Result<SocketAddr> {
         self.listener.local_addr()
     }
 
-    /// Serves until a client sends `{"op":"shutdown"}`. Blocks the calling thread; run it
+    /// The bound HTTP gateway address, when one is configured.
+    pub fn http_addr(&self) -> Option<std::io::Result<SocketAddr>> {
+        self.http_listener.as_ref().map(TcpListener::local_addr)
+    }
+
+    /// Serves until a client sends a `shutdown` op. Blocks the calling thread; run it
     /// on a dedicated thread if the caller needs to keep going.
     pub fn run(self) -> std::io::Result<()> {
         let local_addr = self.listener.local_addr()?;
+        let http_addr = match &self.http_listener {
+            Some(listener) => Some(listener.local_addr()?),
+            None => None,
+        };
         let threads = self.config.threads.max(1);
         // Seed base: wall-clock nanos so two server runs don't replay the same noise for
         // clients that omit `seed`; clients that need reproducibility pass their own.
@@ -103,10 +157,15 @@ impl PbServer {
             params: self.config.params.clone(),
             shutdown: AtomicBool::new(false),
             local_addr,
+            http_addr,
             seed_counter: AtomicU64::new(seed_base),
+            admin_token: self.config.admin_token.clone(),
+            start: Instant::now(),
+            requests_total: AtomicU64::new(0),
+            rejected_total: AtomicU64::new(0),
         });
 
-        let (sender, receiver) = channel::<TcpStream>();
+        let (sender, receiver) = channel::<Conn>();
         let receiver = Arc::new(Mutex::new(receiver));
         let workers: Vec<std::thread::JoinHandle<()>> = (0..threads)
             .map(|_| {
@@ -117,6 +176,27 @@ impl PbServer {
             })
             .collect();
 
+        // The HTTP accept loop runs beside the TCP one, feeding the same worker pool.
+        let http_thread = self.http_listener.map(|listener| {
+            let sender = sender.clone();
+            let ctx = Arc::clone(&ctx);
+            std::thread::spawn(move || {
+                for stream in listener.incoming() {
+                    if ctx.shutdown.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    match stream {
+                        Ok(stream) => {
+                            if sender.send(Conn::Http(stream)).is_err() {
+                                break;
+                            }
+                        }
+                        Err(_) => continue,
+                    }
+                }
+            })
+        });
+
         for stream in self.listener.incoming() {
             if ctx.shutdown.load(Ordering::SeqCst) {
                 break;
@@ -124,7 +204,7 @@ impl PbServer {
             match stream {
                 // A closed channel means every worker is gone; stop accepting.
                 Ok(stream) => {
-                    if sender.send(stream).is_err() {
+                    if sender.send(Conn::Line(stream)).is_err() {
                         break;
                     }
                 }
@@ -133,6 +213,9 @@ impl PbServer {
             }
         }
         drop(sender);
+        if let Some(http_thread) = http_thread {
+            let _ = http_thread.join();
+        }
         for worker in workers {
             let _ = worker.join();
         }
@@ -141,27 +224,24 @@ impl PbServer {
 }
 
 /// How often an idle connection wakes up to check the shutdown flag.
-const POLL_INTERVAL: Duration = Duration::from_millis(200);
+pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(200);
 
-/// Pulls connections until the channel closes (accept loop exited and queue drained).
-fn worker_loop(
-    receiver: &Mutex<Receiver<TcpStream>>,
-    ctx: &ServerCtx,
-    read_timeout: Option<Duration>,
-) {
+/// Pulls connections until the channel closes (accept loops exited and queue drained).
+fn worker_loop(receiver: &Mutex<Receiver<Conn>>, ctx: &ServerCtx, read_timeout: Option<Duration>) {
     loop {
-        let stream = {
+        let conn = {
             let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
             guard.recv()
         };
-        match stream {
-            Ok(stream) => {
+        match conn {
+            Ok(conn) => {
                 // Connection-level IO errors (client vanished, timeout) only kill this
                 // connection, never the worker — and neither does a panic anywhere in the
                 // request path (a poisoned pool would shrink by one worker per bad
                 // request, a trivial remote DoS).
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                    serve_connection(stream, ctx, read_timeout)
+                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match conn {
+                    Conn::Line(stream) => serve_connection(stream, ctx, read_timeout),
+                    Conn::Http(stream) => serve_http(stream, ctx, read_timeout),
                 }));
             }
             Err(_) => return,
@@ -204,7 +284,12 @@ fn serve_connection(
                 let consumed = chunk.len() + usize::from(found_newline);
                 reader.consume(consumed);
                 if line.len() > MAX_REQUEST_BYTES {
-                    let response = error_response("request line too long");
+                    // Bypasses dispatch(), so count the rejection here — the abuse
+                    // counters must see over-long lines like any other bad request.
+                    ctx.requests_total.fetch_add(1, Ordering::Relaxed);
+                    ctx.rejected_total.fetch_add(1, Ordering::Relaxed);
+                    let response = Response::Error(WireError::malformed("request line too long"))
+                        .encode(1, None);
                     writeln!(writer, "{response}")?;
                     writer.flush()?;
                     return Ok(());
@@ -241,25 +326,166 @@ fn serve_connection(
 }
 
 /// Parses and executes one request line; the bool asks the caller to begin shutdown.
-fn dispatch(line: &str, ctx: &ServerCtx) -> (crate::json::Json, bool) {
-    match Request::parse(line) {
-        Err(message) => (error_response(&message), false),
-        Ok(Request::Status) => (status(ctx), false),
-        Ok(Request::Shutdown) => (shutdown_response(), true),
-        Ok(Request::Query(query)) => (run_query(&query, ctx), false),
+///
+/// The envelope decides the response shape: legacy lines get the frozen v1 bytes, v2
+/// envelopes get `v`/`id`/`code` fields. The op handlers are version-blind.
+fn dispatch(line: &str, ctx: &ServerCtx) -> (String, bool) {
+    ctx.requests_total.fetch_add(1, Ordering::Relaxed);
+    match Envelope::parse(line) {
+        Err(failure) => {
+            ctx.rejected_total.fetch_add(1, Ordering::Relaxed);
+            (
+                Response::Error(failure.error).encode(failure.v, failure.id.as_deref()),
+                false,
+            )
+        }
+        Ok(envelope) => {
+            let (response, shutdown) = execute(&envelope.op, envelope.auth.as_deref(), ctx);
+            if response.is_error() {
+                ctx.rejected_total.fetch_add(1, Ordering::Relaxed);
+            }
+            (
+                response.encode(envelope.v, envelope.id.as_deref()),
+                shutdown,
+            )
+        }
     }
 }
 
+/// Executes one op against the shared state. Both transports call this — TCP with the
+/// envelope's `auth` field, HTTP with the `Authorization: Bearer` token — so behaviour
+/// can never drift between them. The bool asks the caller to begin shutdown.
+pub(crate) fn execute(op: &Op, auth: Option<&str>, ctx: &ServerCtx) -> (Response, bool) {
+    match op {
+        Op::Status => (status(ctx), false),
+        Op::Shutdown => (Response::Shutdown, true),
+        Op::Query(query) => (run_query(query, ctx), false),
+        admin => {
+            // Auth first, with nothing touched on failure: a rejected admin op must
+            // leave the registry and the manifest exactly as they were.
+            let response = match authorize(auth, ctx) {
+                Err(e) => Response::Error(e),
+                Ok(()) => run_admin(admin, ctx),
+            };
+            (response, false)
+        }
+    }
+}
+
+/// Checks the admin bearer token in constant time.
+fn authorize(auth: Option<&str>, ctx: &ServerCtx) -> Result<(), WireError> {
+    let Some(expected) = &ctx.admin_token else {
+        return Err(WireError::new(
+            ErrorCode::Unauthorized,
+            "admin operations are disabled: the server was started without --admin-token",
+        ));
+    };
+    match auth {
+        Some(token) if constant_time_eq(token.as_bytes(), expected.as_bytes()) => Ok(()),
+        _ => Err(WireError::new(
+            ErrorCode::Unauthorized,
+            "admin operations require the server's bearer token",
+        )),
+    }
+}
+
+/// Byte comparison without early exit, so response timing does not leak how much of a
+/// guessed token matched. (Length still short-circuits; token length is not secret.)
+fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).fold(0u8, |acc, (x, y)| acc | (x ^ y)) == 0
+}
+
+/// Runs an (already authorized) admin op.
+fn run_admin(op: &Op, ctx: &ServerCtx) -> Response {
+    let result = match op {
+        Op::Register(request) => admin_register(request, ctx),
+        Op::Unregister { name } => ctx
+            .registry
+            .unregister(name)
+            .map(|entry| AdminReply::Unregistered {
+                name: entry.name().to_string(),
+            })
+            .map_err(registry_error),
+        Op::Reshard { name, shards } => ctx
+            .registry
+            .reshard(name, *shards)
+            .map(|entry| AdminReply::Resharded {
+                name: entry.name().to_string(),
+                shards: entry.shards() as u64,
+            })
+            .map_err(registry_error),
+        _ => unreachable!("execute routes only admin ops here"),
+    };
+    match result {
+        Ok(reply) => Response::Admin(reply),
+        Err(e) => Response::Error(e),
+    }
+}
+
+fn admin_register(request: &RegisterRequest, ctx: &ServerCtx) -> Result<AdminReply, WireError> {
+    let total = match request.budget {
+        None => Epsilon::Infinite,
+        Some(budget) => Epsilon::new(budget).map_err(|e| WireError::malformed(e.to_string()))?,
+    };
+    // No explicit shard count keeps whatever layout the durable manifest records for
+    // this name (matching the CLI's re-listing semantics); brand-new names default to 1.
+    let shards = request
+        .shards
+        .or_else(|| ctx.registry.recorded_shards(&request.name))
+        .unwrap_or(1);
+    let entry = match &request.source {
+        RegisterSource::Path(path) => {
+            ctx.registry
+                .register_file_sharded(request.name.clone(), path.clone(), total, shards)
+        }
+        RegisterSource::Rows(rows) => ctx.registry.register_sharded(
+            request.name.clone(),
+            TransactionDb::from_transactions(rows.clone()),
+            total,
+            shards,
+        ),
+    }
+    .map_err(registry_error)?;
+    Ok(AdminReply::Registered {
+        name: entry.name().to_string(),
+        transactions: entry.transactions() as u64,
+        shards: entry.shards() as u64,
+        durable: entry.is_durable(),
+        // Non-zero when the name inherited a durable ledger: the caller learns
+        // immediately that this budget has history.
+        epsilon_spent: entry.ledger().spent(),
+    })
+}
+
+/// Maps registry failures onto wire codes (one table, shared by both transports).
+fn registry_error(e: RegistryError) -> WireError {
+    let code = match &e {
+        RegistryError::DuplicateName(_) | RegistryError::Mismatch(_) => ErrorCode::Conflict,
+        RegistryError::EmptyDataset(_) | RegistryError::InvalidName(_) => ErrorCode::Malformed,
+        RegistryError::NotFound(_) => ErrorCode::UnknownDataset,
+        RegistryError::Io(_) => ErrorCode::Unavailable,
+    };
+    WireError::new(code, e.to_string())
+}
+
 /// The query path: ledger debit → cached index → PrivBasis → response.
-fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> crate::json::Json {
+fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
     let Some(entry) = ctx.registry.get(&query.dataset) else {
-        return error_response(&format!("unknown dataset `{}`", query.dataset));
+        return Response::Error(WireError::new(
+            ErrorCode::UnknownDataset,
+            format!("unknown dataset `{}`", query.dataset),
+        ));
     };
     // The debit happens before the mechanism runs and is never refunded: a query that
     // fails after this point may still have consumed data-dependent randomness, so the
     // conservative accounting is the only safe one.
     if let Err(e) = entry.ledger().try_spend(query.epsilon) {
-        return error_response(&e.to_string());
+        let code = match &e {
+            DpError::BudgetExceeded { .. } => ErrorCode::BudgetExhausted,
+            DpError::Persistence(_) => ErrorCode::Unavailable,
+            _ => ErrorCode::Internal,
+        };
+        return Response::Error(WireError::new(code, e.to_string()));
     }
     // The mechanism always runs at the client's (finite, validated) ε — NOT at the
     // ledger's return value: an infinite ledger returns `Epsilon::Infinite`, which is
@@ -275,42 +501,48 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> crate::json::Json {
     match PrivBasis::new(ctx.params.clone()).run_shared(&mut rng, &context, query.k, epsilon) {
         Ok(output) => {
             entry.record_query();
-            query_response(
+            Response::Query(query_reply(
                 &query.dataset,
                 query.epsilon,
                 entry.ledger().remaining(),
                 seed,
                 &output,
-            )
+            ))
         }
-        Err(e) => error_response(&e.to_string()),
+        Err(e) => Response::Error(WireError::new(ErrorCode::Internal, e.to_string())),
     }
 }
 
-fn status(ctx: &ServerCtx) -> crate::json::Json {
-    let rows: Vec<DatasetStatus> = ctx
+fn status(ctx: &ServerCtx) -> Response {
+    let datasets = ctx
         .registry
         .names()
         .into_iter()
         .filter_map(|name| ctx.registry.get(&name))
-        .map(|entry| DatasetStatus {
-            name: entry.name().to_string(),
-            transactions: entry.transactions(),
-            items: entry.num_distinct_items(),
-            index_cached: entry.index_is_cached(),
-            durable: entry.is_durable(),
-            spent: entry.ledger().spent(),
-            remaining: entry.ledger().remaining(),
-            queries: entry.queries_served(),
-            shards: entry.shards(),
-            journal: entry.journal_stats(),
-        })
+        .map(|entry| dataset_status(&entry))
         .collect();
-    status_response(&rows)
+    Response::Status(StatusReply {
+        server: Some(ServerInfo {
+            protocol_version: PROTOCOL_VERSION,
+            uptime_secs: ctx.uptime_secs(),
+            requests_total: ctx.requests_total.load(Ordering::Relaxed),
+            rejected_total: ctx.rejected_total.load(Ordering::Relaxed),
+        }),
+        datasets,
+    })
 }
 
-/// Sets the shutdown flag and wakes the blocked accept loop with a throwaway connection.
+/// Sets the shutdown flag and wakes the blocked accept loops with throwaway
+/// connections.
 fn initiate_shutdown(ctx: &ServerCtx) {
     ctx.shutdown.store(true, Ordering::SeqCst);
     let _ = TcpStream::connect_timeout(&ctx.local_addr, Duration::from_secs(1));
+    if let Some(http_addr) = ctx.http_addr {
+        let _ = TcpStream::connect_timeout(&http_addr, Duration::from_secs(1));
+    }
+}
+
+/// True once shutdown has been initiated (the HTTP loop polls this between reads).
+pub(crate) fn is_shutting_down(ctx: &ServerCtx) -> bool {
+    ctx.shutdown.load(Ordering::SeqCst)
 }

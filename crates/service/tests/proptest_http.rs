@@ -1,0 +1,88 @@
+//! Property tests for the hand-rolled HTTP request parser: arbitrary bytes never
+//! panic, valid requests parse at every truncation point without panicking, and parsed
+//! requests are faithful to their serialisation.
+
+use pb_service::http::{parse_request, MAX_BODY_BYTES, MAX_HEAD_BYTES};
+use proptest::prelude::*;
+
+/// Fragments biased toward HTTP structure so random concatenations reach past the
+/// request line (uniform random bytes die at the first parse step).
+const FRAGMENTS: &[&str] = &[
+    "GET ",
+    "POST ",
+    "/v1/query",
+    "/metrics",
+    " HTTP/1.1",
+    " HTTP/1.0",
+    " FTP/9",
+    "\r\n",
+    "\n",
+    "\r",
+    "Content-Length: ",
+    "Content-Length: 99999999999999999999",
+    "Transfer-Encoding: chunked",
+    "Authorization: Bearer tok",
+    ": ",
+    "0",
+    "12",
+    "{\"dataset\":\"d\"}",
+    "\u{0}",
+    "é",
+    " ",
+    "x",
+];
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(512))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(raw in prop::collection::vec(0usize..256, 0..512)) {
+        let bytes: Vec<u8> = raw.iter().map(|&b| b as u8).collect();
+        let _ = parse_request(&bytes);
+    }
+
+    #[test]
+    fn structured_garbage_never_panics(parts in prop::collection::vec(0usize..FRAGMENTS.len(), 0..48)) {
+        let text: String = parts.iter().map(|&i| FRAGMENTS[i]).collect();
+        let _ = parse_request(text.as_bytes());
+    }
+
+    #[test]
+    fn valid_requests_parse_at_every_truncation(
+        body_len in 0usize..64,
+        cut_frac in 0.0f64..1.0,
+    ) {
+        let body = vec![b'x'; body_len];
+        let mut raw = format!(
+            "POST /v1/query HTTP/1.1\r\nHost: h\r\nContent-Length: {body_len}\r\n\r\n"
+        )
+        .into_bytes();
+        raw.extend_from_slice(&body);
+        // The complete request parses and consumes everything.
+        let (request, consumed) = parse_request(&raw).unwrap().unwrap();
+        prop_assert_eq!(consumed, raw.len());
+        prop_assert_eq!(&request.body, &body);
+        prop_assert_eq!(request.method.as_str(), "POST");
+        // Every prefix is either "need more" or (for prefixes that happen to contain a
+        // complete shorter request — impossible here) a success; never a panic, and
+        // never an error: truncation of a valid stream must look like a slow client.
+        let cut = ((raw.len() as f64) * cut_frac) as usize;
+        prop_assert_eq!(parse_request(&raw[..cut]).unwrap(), None);
+    }
+}
+
+#[test]
+fn caps_are_enforced_not_overflowed() {
+    // A head that never terminates errors out once past the cap.
+    let runaway = vec![b'a'; MAX_HEAD_BYTES + 16];
+    assert!(parse_request(&runaway).is_err());
+    // A declared body over the cap errors immediately (no buffering to find out).
+    let huge = format!(
+        "POST /x HTTP/1.1\r\nContent-Length: {}\r\n\r\n",
+        MAX_BODY_BYTES + 1
+    );
+    assert!(parse_request(huge.as_bytes()).is_err());
+    // At the cap is fine (returns "need more" until the body arrives).
+    let at_cap = format!("POST /x HTTP/1.1\r\nContent-Length: {MAX_BODY_BYTES}\r\n\r\n");
+    assert_eq!(parse_request(at_cap.as_bytes()).unwrap(), None);
+}

@@ -2,8 +2,9 @@
 
 use pb_dp::Epsilon;
 use pb_fim::TransactionDb;
+use pb_proto::{AdminReply, ClientError, PbClient, RegisterRequest, RegisterSource};
 use pb_service::{DatasetRegistry, Json, PbServer, ServiceConfig, StateDir};
-use std::io::{BufRead, BufReader, Write};
+use std::io::{BufRead, BufReader, Read, Write};
 use std::net::{SocketAddr, TcpStream};
 use std::sync::Arc;
 use std::thread::JoinHandle;
@@ -59,6 +60,54 @@ fn shutdown(addr: SocketAddr, handle: JoinHandle<()>) {
     let ack = client.request(r#"{"op":"shutdown"}"#);
     assert_eq!(ack.get("status").and_then(Json::as_str), Some("ok"));
     handle.join().expect("server thread exits cleanly");
+}
+
+/// One HTTP/1.1 request over a fresh connection; returns `(status, body)`.
+fn http_request(
+    addr: SocketAddr,
+    method: &str,
+    path: &str,
+    body: &str,
+    bearer: Option<&str>,
+) -> (u16, String) {
+    let mut stream = TcpStream::connect(addr).expect("connect http");
+    let auth = bearer
+        .map(|t| format!("Authorization: Bearer {t}\r\n"))
+        .unwrap_or_default();
+    write!(
+        stream,
+        "{method} {path} HTTP/1.1\r\nHost: test\r\n{auth}Content-Length: {}\r\nConnection: close\r\n\r\n{body}",
+        body.len()
+    )
+    .expect("send http request");
+    let mut response = String::new();
+    stream
+        .read_to_string(&mut response)
+        .expect("read http response");
+    let (head, body) = response
+        .split_once("\r\n\r\n")
+        .expect("response has a header/body split");
+    let status: u16 = head
+        .split_whitespace()
+        .nth(1)
+        .expect("status code")
+        .parse()
+        .expect("numeric status");
+    assert!(
+        head.lines()
+            .any(|l| l.to_ascii_lowercase().starts_with("content-length:")),
+        "responses must carry Content-Length: {head}"
+    );
+    (status, body.to_string())
+}
+
+/// The release payload (`"itemsets":…` to the end) of a response, for byte-identity
+/// comparisons across transports.
+fn release_bytes(response: &str) -> &str {
+    let start = response
+        .find(r#""itemsets":"#)
+        .unwrap_or_else(|| panic!("no itemsets in {response}"));
+    &response[start..]
 }
 
 #[test]
@@ -259,6 +308,316 @@ fn served_ledger_state_survives_a_server_generation() {
     );
     shutdown(addr, handle);
     let _ = std::fs::remove_dir_all(&scratch);
+}
+
+#[test]
+fn releases_are_byte_identical_across_tcp_v1_tcp_v2_and_http() {
+    // The acceptance bar for the protocol redesign: the same pinned-seed query must
+    // release the exact same bytes whether it arrives as a legacy v1 line, a v2
+    // envelope, or an HTTP POST — versioning wraps the payload, it never perturbs it.
+    let registry = Arc::new(DatasetRegistry::new());
+    registry
+        .register("d", fixture_db(300), Epsilon::Finite(50.0))
+        .unwrap();
+    let config = ServiceConfig {
+        threads: 2,
+        http_port: Some(0),
+        ..ServiceConfig::default()
+    };
+    let server = PbServer::bind("127.0.0.1:0", Arc::clone(&registry), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let http_addr = server.http_addr().expect("http configured").unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut raw = PbClient::connect(addr).unwrap();
+    let v1 = raw
+        .raw_line(r#"{"op":"query","dataset":"d","k":5,"epsilon":2.0,"seed":9}"#)
+        .unwrap();
+    let v2 = raw
+        .raw_line(r#"{"v":2,"id":"q1","op":"query","dataset":"d","k":5,"epsilon":2.0,"seed":9}"#)
+        .unwrap();
+    let (http_status, http) = http_request(
+        http_addr,
+        "POST",
+        "/v1/query",
+        r#"{"dataset":"d","k":5,"epsilon":2.0,"seed":9}"#,
+        None,
+    );
+    assert_eq!(http_status, 200, "{http}");
+    assert!(v1.starts_with(r#"{"status":"ok""#), "{v1}");
+    assert!(v2.starts_with(r#"{"v":2,"id":"q1","status":"ok""#), "{v2}");
+    assert!(
+        http.starts_with(r#"{"v":2,"id":null,"status":"ok""#),
+        "{http}"
+    );
+    assert_eq!(
+        release_bytes(&v1),
+        release_bytes(&v2),
+        "v1 and v2 must release identical bytes"
+    );
+    assert_eq!(
+        release_bytes(&v1),
+        release_bytes(&http),
+        "TCP and HTTP must release identical bytes"
+    );
+    // And the typed client decodes the same release.
+    let typed = raw.query("d", 5, 2.0, Some(9)).unwrap();
+    assert_eq!(typed.seed, 9);
+    assert_eq!(
+        typed.itemsets.len(),
+        release_bytes(&v1).matches(r#""items":"#).count()
+    );
+    shutdown(addr, handle);
+}
+
+#[test]
+fn admin_ops_register_reshard_unregister_live() {
+    let registry = Arc::new(DatasetRegistry::new());
+    registry
+        .register("seeded", fixture_db(100), Epsilon::Finite(3.0))
+        .unwrap();
+    let config = ServiceConfig {
+        threads: 2,
+        admin_token: Some("s3cret".into()),
+        http_port: Some(0),
+        ..ServiceConfig::default()
+    };
+    let server = PbServer::bind("127.0.0.1:0", Arc::clone(&registry), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let http_addr = server.http_addr().unwrap().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = PbClient::connect(addr).unwrap();
+
+    // Wrong token, missing token, and admin-over-v1 are all rejected — and the
+    // registry must be untouched afterwards.
+    let refused = client.unregister("wrong", "seeded").unwrap_err();
+    match refused {
+        ClientError::Server(e) => assert_eq!(e.code, pb_proto::ErrorCode::Unauthorized),
+        other => panic!("{other}"),
+    }
+    let raw = client
+        .raw_line(r#"{"v":2,"id":"x","op":"unregister","name":"seeded"}"#)
+        .unwrap();
+    assert!(raw.contains(r#""code":"unauthorized""#), "{raw}");
+    let raw = client
+        .raw_line(r#"{"op":"unregister","name":"seeded"}"#)
+        .unwrap();
+    assert!(
+        raw.contains("unknown op `unregister` (expected query, status, or shutdown)"),
+        "legacy lines must not see the admin surface: {raw}"
+    );
+    let (status, body) = http_request(
+        http_addr,
+        "POST",
+        "/v1/admin/unregister",
+        r#"{"name":"seeded"}"#,
+        Some("wrong"),
+    );
+    assert_eq!(status, 401, "{body}");
+    assert!(registry.get("seeded").is_some(), "rejections must not act");
+    assert_eq!(registry.len(), 1);
+
+    // Hot-register inline rows with the right token.
+    let rows: Vec<Vec<u32>> = (0..60).map(|i| vec![i % 5, 5 + (i % 3)]).collect();
+    let ack = client
+        .register(
+            "s3cret",
+            RegisterRequest {
+                name: "hot".into(),
+                source: RegisterSource::Rows(rows),
+                budget: Some(2.0),
+                shards: Some(2),
+            },
+        )
+        .unwrap();
+    match ack {
+        AdminReply::Registered {
+            name,
+            transactions,
+            shards,
+            durable,
+            epsilon_spent,
+        } => {
+            assert_eq!(name, "hot");
+            assert_eq!(transactions, 60);
+            assert_eq!(shards, 2);
+            assert!(!durable);
+            assert_eq!(epsilon_spent, 0.0);
+        }
+        other => panic!("{other:?}"),
+    }
+    // Registering the same name again is a conflict.
+    let dup = client
+        .register(
+            "s3cret",
+            RegisterRequest {
+                name: "hot".into(),
+                source: RegisterSource::Rows(vec![vec![1]]),
+                budget: Some(2.0),
+                shards: None,
+            },
+        )
+        .unwrap_err();
+    match dup {
+        ClientError::Server(e) => assert_eq!(e.code, pb_proto::ErrorCode::Conflict),
+        other => panic!("{other}"),
+    }
+
+    // The hot dataset serves queries immediately; a pinned seed is stable across a
+    // live reshard.
+    let before = client.query("hot", 3, 0.25, Some(11)).unwrap();
+    match client.reshard("s3cret", "hot", 4).unwrap() {
+        AdminReply::Resharded { name, shards } => {
+            assert_eq!(name, "hot");
+            assert_eq!(shards, 4);
+        }
+        other => panic!("{other:?}"),
+    }
+    let after = client.query("hot", 3, 0.25, Some(11)).unwrap();
+    assert_eq!(before.itemsets, after.itemsets);
+    // Both queries debited one shared ledger.
+    assert_eq!(after.remaining_budget, 1.5);
+
+    // Unregister over HTTP with the right token; the dataset stops serving.
+    let (status, body) = http_request(
+        http_addr,
+        "POST",
+        "/v1/admin/unregister",
+        r#"{"name":"hot"}"#,
+        Some("s3cret"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""unregistered":"hot""#), "{body}");
+    let gone = client.query("hot", 3, 0.25, None).unwrap_err();
+    match gone {
+        ClientError::Server(e) => assert_eq!(e.code, pb_proto::ErrorCode::UnknownDataset),
+        other => panic!("{other}"),
+    }
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn v2_status_carries_server_metadata_and_counters() {
+    let registry = Arc::new(DatasetRegistry::new());
+    registry
+        .register("d", fixture_db(80), Epsilon::Finite(5.0))
+        .unwrap();
+    let config = ServiceConfig {
+        threads: 2,
+        http_port: Some(0),
+        ..ServiceConfig::default()
+    };
+    let server = PbServer::bind("127.0.0.1:0", Arc::clone(&registry), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let http_addr = server.http_addr().unwrap().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let mut client = PbClient::connect(addr).unwrap();
+    client.query("d", 3, 0.5, Some(1)).unwrap();
+    let _ = client.query("d", 0, 0.5, None); // rejected: k = 0
+    let status = client.status().unwrap();
+    let info = status.server.expect("v2 status carries ServerInfo");
+    assert_eq!(info.protocol_version, 2);
+    // query + failed query + this status (counted before building the reply).
+    assert_eq!(info.requests_total, 3);
+    assert_eq!(info.rejected_total, 1);
+    assert_eq!(status.datasets.len(), 1);
+    assert_eq!(status.datasets[0].queries, 1);
+
+    // The legacy status response must NOT leak the new fields — its bytes are frozen.
+    let v1 = client.raw_line(r#"{"op":"status"}"#).unwrap();
+    assert!(v1.starts_with(r#"{"status":"ok","datasets":["#), "{v1}");
+    assert!(!v1.contains("protocol_version"), "{v1}");
+    assert!(!v1.contains("uptime_secs"), "{v1}");
+
+    // HTTP: status route and the Prometheus scrape read the same counters.
+    let (code, body) = http_request(http_addr, "GET", "/v1/status", "", None);
+    assert_eq!(code, 200);
+    assert!(body.contains(r#""protocol_version":2"#), "{body}");
+    let (code, metrics) = http_request(http_addr, "GET", "/metrics", "", None);
+    assert_eq!(code, 200);
+    for needle in [
+        "# TYPE pb_requests_total counter",
+        "pb_protocol_version 2",
+        "pb_datasets 1",
+        "pb_dataset_epsilon_spent{dataset=\"d\"} 0.5",
+        "pb_dataset_queries_total{dataset=\"d\"} 1",
+    ] {
+        assert!(
+            metrics.contains(needle),
+            "missing `{needle}` in:\n{metrics}"
+        );
+    }
+    // Unknown routes 404 with the shared error shape; malformed bodies 400.
+    let (code, body) = http_request(http_addr, "GET", "/nope", "", None);
+    assert_eq!(code, 404);
+    assert!(body.contains(r#""code":"unknown_op""#), "{body}");
+    let (code, body) = http_request(http_addr, "POST", "/v1/query", "{not json", None);
+    assert_eq!(code, 400, "{body}");
+    let (code, body) = http_request(
+        http_addr,
+        "POST",
+        "/v1/query",
+        r#"{"dataset":"nope","k":2,"epsilon":0.1}"#,
+        None,
+    );
+    assert_eq!(code, 404, "{body}");
+    assert!(body.contains(r#""code":"unknown_dataset""#), "{body}");
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn http_keep_alive_serves_sequential_requests() {
+    let registry = Arc::new(DatasetRegistry::new());
+    registry
+        .register("d", fixture_db(60), Epsilon::Infinite)
+        .unwrap();
+    let config = ServiceConfig {
+        threads: 2,
+        http_port: Some(0),
+        ..ServiceConfig::default()
+    };
+    let server = PbServer::bind("127.0.0.1:0", Arc::clone(&registry), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let http_addr = server.http_addr().unwrap().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    // Two requests on ONE connection: the gateway must frame responses with
+    // Content-Length and keep the socket open between them.
+    let mut stream = TcpStream::connect(http_addr).unwrap();
+    let mut reader = BufReader::new(stream.try_clone().unwrap());
+    for i in 0..2 {
+        let body = format!(r#"{{"dataset":"d","k":2,"epsilon":0.5,"seed":{i}}}"#);
+        write!(
+            stream,
+            "POST /v1/query HTTP/1.1\r\nHost: t\r\nContent-Length: {}\r\n\r\n{body}",
+            body.len()
+        )
+        .unwrap();
+        let mut line = String::new();
+        reader.read_line(&mut line).unwrap();
+        assert!(line.starts_with("HTTP/1.1 200"), "{line}");
+        let mut content_length = None;
+        loop {
+            let mut header = String::new();
+            reader.read_line(&mut header).unwrap();
+            if header == "\r\n" {
+                break;
+            }
+            if let Some(raw) = header.to_ascii_lowercase().strip_prefix("content-length:") {
+                content_length = Some(raw.trim().parse::<usize>().unwrap());
+            }
+        }
+        let mut body = vec![0u8; content_length.expect("Content-Length header")];
+        reader.read_exact(&mut body).unwrap();
+        let text = String::from_utf8(body).unwrap();
+        assert!(text.contains(r#""status":"ok""#), "{text}");
+    }
+    drop(stream);
+    shutdown(addr, handle);
 }
 
 #[test]

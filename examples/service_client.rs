@@ -1,32 +1,24 @@
-//! A self-contained `pb-service` round trip: start a server on a loopback port, register
-//! two datasets, hammer it from several client threads, inspect the budget ledgers, and
-//! shut it down cleanly.
+//! A self-contained `pb-service` round trip on the typed `pb-proto` client: start a
+//! server on a loopback port with admin ops enabled, hot-register a dataset over the
+//! wire, hammer it from several client threads, reshard it live, inspect the budget
+//! ledgers, and shut it down cleanly — no raw sockets or JSON handling in sight.
 //!
 //! Run with: `cargo run --release --example service_client`
 //!
-//! The same protocol works against a standalone server started with
-//! `privbasis-cli serve --port 8710 --dataset retail=retail.dat --budget 4.0`.
+//! The same client works against a standalone server started with
+//! `privbasis-cli serve --port 8710 --dataset retail=retail.dat --budget 4.0
+//!  --admin-token SECRET`.
 
 use privbasis::datagen::DatasetProfile;
 use privbasis::dp::Epsilon;
-use privbasis::service::{DatasetRegistry, Json, PbServer, ServiceConfig};
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream};
+use privbasis::proto::{AdminReply, PbClient, RegisterRequest, RegisterSource};
+use privbasis::service::{DatasetRegistry, PbServer, ServiceConfig};
 use std::sync::Arc;
 
-/// Sends one request line and reads one response line.
-fn request(addr: SocketAddr, line: &str) -> Json {
-    let stream = TcpStream::connect(addr).expect("connect to pb-service");
-    let mut reader = BufReader::new(stream.try_clone().expect("clone stream"));
-    let mut writer = stream;
-    writeln!(writer, "{line}").expect("send request");
-    let mut response = String::new();
-    reader.read_line(&mut response).expect("read response");
-    Json::parse(response.trim()).expect("response is JSON")
-}
+const ADMIN_TOKEN: &str = "example-admin-token";
 
 fn main() {
-    // 1. Register two synthetic datasets, each with its own lifetime ε ledger.
+    // 1. One dataset registered in-process; a second will arrive hot, over the wire.
     let registry = Arc::new(DatasetRegistry::new());
     registry
         .register(
@@ -35,82 +27,104 @@ fn main() {
             Epsilon::Finite(4.0),
         )
         .expect("register mushroom");
-    registry
-        .register(
-            "retail",
-            DatasetProfile::Retail.generate(0.02, 42),
-            Epsilon::Finite(2.0),
-        )
-        .expect("register retail");
 
-    // 2. Start the server (port 0 → the OS picks a free one).
-    let server = PbServer::bind(
-        "127.0.0.1:0",
-        Arc::clone(&registry),
-        ServiceConfig::default(),
-    )
-    .expect("bind loopback");
+    // 2. Start the server (port 0 → the OS picks a free one) with admin ops enabled.
+    // The pool must out-size the long-lived connections it serves: the admin client
+    // below stays connected throughout, and workers run whole connections to
+    // completion — on a 1-core box the default pool of 1 would let that idle
+    // keep-alive connection starve every query until the read timeout frees it.
+    let config = ServiceConfig {
+        admin_token: Some(ADMIN_TOKEN.to_string()),
+        threads: 4,
+        ..ServiceConfig::default()
+    };
+    let server =
+        PbServer::bind("127.0.0.1:0", Arc::clone(&registry), config).expect("bind loopback");
     let addr = server.local_addr().expect("bound address");
     let server_thread = std::thread::spawn(move || server.run().expect("server run"));
     println!("pb-service listening on {addr}");
 
-    // 3. Four client threads, three queries each, against both datasets.
+    // 3. Hot-register a second dataset through the admin API — inline rows, no restart.
+    let mut admin = PbClient::connect(addr).expect("connect admin client");
+    let retail = DatasetProfile::Retail.generate(0.02, 42);
+    let rows: Vec<Vec<u32>> = retail.iter().map(|t| t.iter().collect()).collect();
+    let ack = admin
+        .register(
+            ADMIN_TOKEN,
+            RegisterRequest {
+                name: "retail".into(),
+                source: RegisterSource::Rows(rows),
+                budget: Some(2.0),
+                shards: Some(2),
+            },
+        )
+        .expect("hot register");
+    if let AdminReply::Registered {
+        name,
+        transactions,
+        shards,
+        ..
+    } = &ack
+    {
+        println!("hot-registered `{name}`: {transactions} rows over {shards} shard(s)");
+    }
+    // A wrong token is rejected with a structured `unauthorized` error.
+    let refused = admin.unregister("wrong-token", "retail");
+    println!("wrong token refused: {}", refused.unwrap_err());
+
+    // 4. Four client threads, three queries each, against both datasets.
     std::thread::scope(|scope| {
-        for client in 0..4u64 {
+        for client_id in 0..4u64 {
             scope.spawn(move || {
+                let mut client = PbClient::connect(addr).expect("connect client");
                 for q in 0..3u64 {
-                    let dataset = if (client + q) % 2 == 0 { "mushroom" } else { "retail" };
-                    let seed = client * 100 + q;
-                    let response = request(
-                        addr,
-                        &format!(
-                            r#"{{"op":"query","dataset":"{dataset}","k":5,"epsilon":0.2,"seed":{seed}}}"#
+                    let dataset = if (client_id + q) % 2 == 0 {
+                        "mushroom"
+                    } else {
+                        "retail"
+                    };
+                    let seed = client_id * 100 + q;
+                    match client.query(dataset, 5, 0.2, Some(seed)) {
+                        Ok(reply) => println!(
+                            "client {client_id}: {dataset} top-{} published, ε remaining {:.2}",
+                            reply.itemsets.len(),
+                            reply.remaining_budget,
                         ),
-                    );
-                    match response.get("status").and_then(Json::as_str) {
-                        Some("ok") => {
-                            let n = response
-                                .get("itemsets")
-                                .and_then(Json::as_array)
-                                .map_or(0, <[Json]>::len);
-                            let remaining = response
-                                .get("remaining_budget")
-                                .and_then(Json::as_f64)
-                                .unwrap_or(f64::NAN);
-                            println!(
-                                "client {client}: {dataset} top-{n} published, ε remaining {remaining:.2}"
-                            );
-                        }
-                        _ => println!(
-                            "client {client}: {dataset} rejected: {}",
-                            response.get("error").and_then(Json::as_str).unwrap_or("?")
-                        ),
+                        Err(e) => println!("client {client_id}: {dataset} rejected: {e}"),
                     }
                 }
             });
         }
     });
 
-    // 4. Ledger state after the burst: 12 queries × ε 0.2 split across the datasets.
-    let status = request(addr, r#"{"op":"status"}"#);
-    println!("\nstatus: {status}");
-    for row in status
-        .get("datasets")
-        .and_then(Json::as_array)
-        .unwrap_or(&[])
-    {
-        let name = row.get("name").and_then(Json::as_str).unwrap_or("?");
-        let spent = row
-            .get("epsilon_spent")
-            .and_then(Json::as_f64)
-            .unwrap_or(0.0);
-        let queries = row.get("queries").and_then(Json::as_u64).unwrap_or(0);
-        println!("  {name}: {queries} queries answered, ε spent {spent:.2}");
+    // 5. Reshard the hot dataset live: releases are byte-identical for any layout, so
+    // this is a free operational knob.
+    match admin.reshard(ADMIN_TOKEN, "retail", 4).expect("reshard") {
+        AdminReply::Resharded { name, shards } => {
+            println!("resharded `{name}` to {shards} shards")
+        }
+        other => panic!("unexpected ack {other:?}"),
     }
 
-    // 5. Clean shutdown: the server thread exits once the flag propagates.
-    let ack = request(addr, r#"{"op":"shutdown"}"#);
-    assert_eq!(ack.get("status").and_then(Json::as_str), Some("ok"));
+    // 6. Ledger state after the burst: 12 queries × ε 0.2 split across the datasets.
+    let status = admin.status().expect("status");
+    let server_info = status.server.expect("v2 status carries server info");
+    println!(
+        "\nprotocol v{}, up {}s, {} requests ({} rejected)",
+        server_info.protocol_version,
+        server_info.uptime_secs,
+        server_info.requests_total,
+        server_info.rejected_total,
+    );
+    for row in &status.datasets {
+        println!(
+            "  {}: {} queries answered, ε spent {:.2}, {} shard(s)",
+            row.name, row.queries, row.spent, row.shards
+        );
+    }
+
+    // 7. Clean shutdown: the server thread exits once the flag propagates.
+    admin.shutdown().expect("shutdown ack");
     server_thread.join().expect("server thread");
     println!("server shut down cleanly");
 }

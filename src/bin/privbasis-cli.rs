@@ -7,16 +7,20 @@
 //! privbasis-cli serve --port 8710 --dataset retail=retail.dat [--dataset web=web.dat]
 //!               [--budget 4.0] [--threads 8] [--host 127.0.0.1]
 //!               [--state-dir state/] [--snapshot-every 256]
+//!               [--http-port 8080] [--admin-token SECRET]
 //! ```
 //!
 //! The input format is the FIMI repository format the paper's datasets are distributed in:
 //! one transaction per line, items as whitespace-separated non-negative integers.
 //! `serve` registers every `--dataset name=path` under a per-dataset privacy-budget
-//! ledger of `--budget` ε and answers the newline-delimited JSON protocol of
-//! `pb-service` until a client sends `{"op":"shutdown"}`. With `--state-dir` the
+//! ledger of `--budget` ε and answers the versioned `pb-proto` wire protocol (legacy v1
+//! lines and v2 envelopes) until a client sends a `shutdown` op. With `--state-dir` the
 //! ledgers are durable: every debit is journaled and fsynced before noise is drawn, and
 //! a restarted server recovers its datasets, spent ε, and query counters from the
-//! directory — spent budget survives even `kill -9`.
+//! directory — spent budget survives even `kill -9`. `--admin-token` enables the hot
+//! admin ops (`register`/`unregister`/`reshard`) behind a bearer token; `--http-port`
+//! adds the HTTP/1.1 gateway (`POST /v1/query`, `GET /v1/status`, `POST /v1/admin/*`,
+//! `GET /metrics`).
 
 use privbasis::core::PrivBasisParams;
 use privbasis::dp::Epsilon;
@@ -74,6 +78,10 @@ struct ServeOptions {
     /// Row-shard count applied to every `--dataset` registration (`None` = unsharded;
     /// recovered datasets keep the shard layout recorded in the manifest).
     shards: Option<usize>,
+    /// Bearer token enabling the hot admin ops; `None` disables the admin surface.
+    admin_token: Option<String>,
+    /// Port for the HTTP/1.1 gateway (0 = OS-assigned); `None` disables HTTP.
+    http_port: Option<u16>,
 }
 
 const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <EPS>\n\
@@ -82,6 +90,7 @@ const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <
    or: privbasis-cli serve --port <PORT> --dataset <NAME>=<FILE.dat> [--dataset ...]\n\
        [--budget <EPS>] [--threads <N>] [--host <ADDR>] [--no-consistency]\n\
        [--state-dir <DIR>] [--snapshot-every <N>] [--shards <S>]\n\
+       [--http-port <PORT>] [--admin-token <TOKEN>]\n\
 \n\
   --input    FIMI-format transaction file (one transaction per line, integer items)\n\
   --k        number of itemsets to publish\n\
@@ -113,7 +122,15 @@ serve mode:\n\
              journal records between snapshot compactions (default 256)\n\
   --shards   serve every --dataset over S row shards (per-shard indexes, merged\n\
              counts; releases are byte-identical to unsharded serving). The shard\n\
-             layout is recorded in the state dir's manifest and restored on recovery";
+             layout is recorded in the state dir's manifest and restored on recovery\n\
+  --admin-token\n\
+             bearer token enabling the hot admin ops (register/unregister/reshard)\n\
+             over TCP v2 envelopes and POST /v1/admin/*; without it every admin\n\
+             request is rejected with `unauthorized`\n\
+  --http-port\n\
+             also serve an HTTP/1.1 gateway on this port (0 = OS-assigned):\n\
+             POST /v1/query, GET /v1/status, POST /v1/admin/*, GET /metrics\n\
+             (Prometheus text format)";
 
 /// Parses arguments; returns `Err(message)` on any problem.
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -251,6 +268,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut state_dir: Option<String> = None;
     let mut snapshot_every: Option<u32> = None;
     let mut shards: Option<usize> = None;
+    let mut admin_token: Option<String> = None;
+    let mut http_port: Option<u16> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -324,6 +343,20 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 }
                 snapshot_every = Some(n);
             }
+            "--admin-token" => {
+                let token = value("--admin-token")?;
+                if token.is_empty() {
+                    return Err("--admin-token must not be empty".to_string());
+                }
+                admin_token = Some(token);
+            }
+            "--http-port" => {
+                http_port = Some(
+                    value("--http-port")?
+                        .parse()
+                        .map_err(|_| "--http-port must be a TCP port number".to_string())?,
+                );
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown serve flag `{other}`\n\n{USAGE}")),
         }
@@ -349,6 +382,8 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         state_dir,
         snapshot_every,
         shards,
+        admin_token,
+        http_port,
     })
 }
 
@@ -448,8 +483,15 @@ fn serve(options: &ServeOptions) -> Result<(), String> {
              on disk; fix the source and restart to serve it again): {error}"
         );
     }
-    if registry.is_empty() {
-        return Err("nothing to serve: no --dataset flags and an empty state dir".to_string());
+    // An empty server is useless without a way to fill it — unless admin ops are
+    // enabled, in which case starting empty and hot-registering over the wire is the
+    // intended workflow.
+    if registry.is_empty() && options.admin_token.is_none() {
+        return Err(
+            "nothing to serve: no --dataset flags and an empty state dir \
+             (pass --admin-token to start empty and register datasets over the wire)"
+                .to_string(),
+        );
     }
 
     let mut config = ServiceConfig::default();
@@ -459,10 +501,22 @@ fn serve(options: &ServeOptions) -> Result<(), String> {
     if options.no_consistency {
         config.params.consistency = None;
     }
+    config.admin_token = options.admin_token.clone();
+    config.http_port = options.http_port;
     let threads = config.threads;
+    let admin = config.admin_token.is_some();
     let server = PbServer::bind((options.host.as_str(), options.port), registry, config)
         .map_err(|e| format!("failed to bind {}:{}: {e}", options.host, options.port))?;
     let addr = server.local_addr().map_err(|e| e.to_string())?;
+    // The http line is printed BEFORE the TCP "listening on" line: harnesses treat the
+    // latter as the ready signal, so everything they parse must already be out.
+    if let Some(http_addr) = server.http_addr() {
+        let http_addr = http_addr.map_err(|e| e.to_string())?;
+        eprintln!("pb-service http gateway on {http_addr}");
+    }
+    if admin {
+        eprintln!("admin ops enabled (bearer token required)");
+    }
     eprintln!("pb-service listening on {addr} with {threads} worker thread(s)");
     server.run().map_err(|e| e.to_string())
 }
@@ -767,6 +821,8 @@ mod tests {
         assert_eq!(o.threads, None);
         assert_eq!(o.state_dir, None);
         assert_eq!(o.snapshot_every, None);
+        assert_eq!(o.admin_token, None);
+        assert_eq!(o.http_port, None);
         // Durable state flags.
         let o = parse_serve_args(&args(&[
             "--port",
@@ -795,6 +851,42 @@ mod tests {
         ]))
         .unwrap();
         assert!(o.budget.is_infinite());
+    }
+
+    #[test]
+    fn parses_admin_and_http_flags() {
+        let o = parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b.dat",
+            "--admin-token",
+            "s3cret",
+            "--http-port",
+            "0",
+        ]))
+        .unwrap();
+        assert_eq!(o.admin_token.as_deref(), Some("s3cret"));
+        assert_eq!(o.http_port, Some(0));
+        // Empty tokens and non-numeric ports are refused.
+        assert!(parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b",
+            "--admin-token",
+            ""
+        ]))
+        .is_err());
+        assert!(parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b",
+            "--http-port",
+            "zzz"
+        ]))
+        .is_err());
     }
 
     #[test]

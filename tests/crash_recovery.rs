@@ -3,11 +3,19 @@
 //!
 //! These tests pin the durability contract end to end: remaining ε and admitted-query
 //! counts survive `kill -9` exactly, an exhausted dataset stays exhausted, a restarted
-//! server never has more remaining ε than (initial budget − journaled debits), and the
-//! recovered `QueryContext` reproduces pinned-seed releases byte-identically.
+//! server never has more remaining ε than (initial budget − journaled debits), the
+//! recovered `QueryContext` reproduces pinned-seed releases byte-identically — and a
+//! dataset *hot-registered over the admin API* recovers with its shard layout and
+//! spent ε, because admin ops write the same durable manifest registration-time flags
+//! do.
+//!
+//! Clients speak through the typed `pb_proto::PbClient`; byte-for-byte release
+//! comparisons go through its `raw_line` escape hatch (typed decoding would re-encode,
+//! and the whole point is comparing the server's exact bytes).
 
-use std::io::{BufRead, BufReader, Write};
-use std::net::{SocketAddr, TcpStream};
+use privbasis::proto::{AdminReply, ClientError, PbClient, RegisterRequest, RegisterSource};
+use std::io::{BufRead, BufReader};
+use std::net::SocketAddr;
 use std::path::PathBuf;
 use std::process::{Child, Command, Stdio};
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -56,6 +64,8 @@ impl Server {
             .expect("spawn privbasis-cli");
         let stderr = child.stderr.take().expect("piped stderr");
         let mut lines = BufReader::new(stderr).lines();
+        // The TCP "listening on" line is printed last, after the http-gateway line (if
+        // any), so breaking on it means everything else is already out.
         let addr = loop {
             let line = match lines.next() {
                 Some(Ok(line)) => line,
@@ -71,6 +81,15 @@ impl Server {
         Server { child, addr }
     }
 
+    /// Connects a typed client (30s response timeout guards against a hung server).
+    fn client(&self) -> PbClient {
+        let mut client = PbClient::connect(self.addr).expect("connect to server");
+        client
+            .set_read_timeout(Some(Duration::from_secs(30)))
+            .unwrap();
+        client
+    }
+
     /// SIGKILL — no shutdown handshake, no flush, nothing graceful.
     fn kill9(mut self) {
         self.child.kill().expect("kill -9 the server");
@@ -79,41 +98,14 @@ impl Server {
 
     /// Clean shutdown via the protocol (used at the end of tests).
     fn shutdown(mut self) {
-        let mut client = Client::connect(self.addr);
-        let ack = client.request(r#"{"op":"shutdown"}"#);
-        assert!(ack.contains(r#""shutting_down":true"#), "{ack}");
+        self.client().shutdown().expect("shutdown ack");
         self.child.wait().expect("server exits after shutdown");
     }
 }
 
-/// One connection issuing many requests; responses come back as raw JSON lines so the
-/// tests can compare releases byte-for-byte.
-struct Client {
-    reader: BufReader<TcpStream>,
-    writer: TcpStream,
-}
-
-impl Client {
-    fn connect(addr: SocketAddr) -> Client {
-        // The accept loop is up before "listening on" is printed, so no retry loop is
-        // needed; the timeout guards against a hung server, not a slow start.
-        let stream = TcpStream::connect(addr).expect("connect to server");
-        stream
-            .set_read_timeout(Some(Duration::from_secs(30)))
-            .unwrap();
-        Client {
-            reader: BufReader::new(stream.try_clone().expect("clone stream")),
-            writer: stream,
-        }
-    }
-
-    fn request(&mut self, line: &str) -> String {
-        writeln!(self.writer, "{line}").expect("send request");
-        let mut response = String::new();
-        self.reader.read_line(&mut response).expect("read response");
-        assert!(response.ends_with('\n'), "truncated response: {response:?}");
-        response.trim().to_string()
-    }
+/// Sends a raw line, panicking on transport errors (most tests want the bytes).
+fn raw(client: &mut PbClient, line: &str) -> String {
+    client.raw_line(line).expect("request")
 }
 
 /// Pulls `"key":<number>` out of a response line (the harness compares exact decimal
@@ -169,18 +161,18 @@ fn kill9_recovers_exact_ledger_state_and_identical_releases() {
         "--state-dir",
         &state,
     ]);
-    let mut client = Client::connect(server.addr);
-    let pinned =
-        client.request(r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#);
+    let mut client = server.client();
+    let pinned = raw(
+        &mut client,
+        r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#,
+    );
     assert!(pinned.contains(r#""status":"ok""#), "{pinned}");
     let pinned_items = field(&pinned, "itemsets");
     for seed in [10, 11] {
-        let r = client.request(&format!(
-            r#"{{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":{seed}}}"#
-        ));
-        assert!(r.contains(r#""status":"ok""#), "{r}");
+        let reply = client.query("retail", 4, 0.25, Some(seed)).expect("query");
+        assert_eq!(reply.epsilon_spent, 0.25);
     }
-    let status = client.request(r#"{"op":"status"}"#);
+    let status = raw(&mut client, r#"{"op":"status"}"#);
     assert_eq!(field(&status, "epsilon_spent"), "0.75");
     assert_eq!(field(&status, "queries"), "3");
     assert_eq!(field(&status, "durable"), "true");
@@ -188,24 +180,25 @@ fn kill9_recovers_exact_ledger_state_and_identical_releases() {
 
     // ---- Run 2: recover from the state dir alone (no --dataset flags). ----
     let server = Server::spawn(&["--state-dir", &state]);
-    let mut client = Client::connect(server.addr);
-    let status = client.request(r#"{"op":"status"}"#);
-    assert_eq!(
-        field(&status, "epsilon_spent"),
-        "0.75",
-        "spent ε must survive kill -9 exactly: {status}"
+    let mut client = server.client();
+    let status = client.status().expect("status");
+    let row = &status.datasets[0];
+    assert!(
+        (row.spent - 0.75).abs() < 1e-12,
+        "spent ε must survive kill -9 exactly: {row:?}"
     );
-    assert_eq!(field(&status, "remaining_budget"), "1.25");
+    assert!((row.remaining - 1.25).abs() < 1e-12);
     assert_eq!(
-        field(&status, "queries"),
-        "3",
-        "admitted-query count must survive kill -9 exactly: {status}"
+        row.queries, 3,
+        "admitted-query count must survive kill -9 exactly: {row:?}"
     );
 
     // The recovered QueryContext is rebuilt from the same data, so a pinned-seed query
     // must reproduce the pre-crash release byte-for-byte.
-    let replayed =
-        client.request(r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#);
+    let replayed = raw(
+        &mut client,
+        r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#,
+    );
     assert!(replayed.contains(r#""status":"ok""#), "{replayed}");
     assert_eq!(
         field(&replayed, "itemsets"),
@@ -213,16 +206,152 @@ fn kill9_recovers_exact_ledger_state_and_identical_releases() {
         "recovered context must reproduce pinned-seed releases byte-identically"
     );
     // That query itself was debited durably on top of the recovered 0.75.
-    let status = client.request(r#"{"op":"status"}"#);
-    assert_eq!(field(&status, "epsilon_spent"), "1");
+    let status = client.status().expect("status");
+    assert!((status.datasets[0].spent - 1.0).abs() < 1e-12);
     server.shutdown();
 
     // ---- Run 3: graceful shutdown persists too. ----
     let server = Server::spawn(&["--state-dir", &state]);
-    let mut client = Client::connect(server.addr);
-    let status = client.request(r#"{"op":"status"}"#);
-    assert_eq!(field(&status, "epsilon_spent"), "1");
-    assert_eq!(field(&status, "queries"), "4");
+    let mut client = server.client();
+    let status = client.status().expect("status");
+    assert!((status.datasets[0].spent - 1.0).abs() < 1e-12);
+    assert_eq!(status.datasets[0].queries, 4);
+    server.shutdown();
+}
+
+#[test]
+fn hot_registered_dataset_survives_kill9() {
+    // The admin-op durability contract: a dataset registered over the wire (no
+    // `--dataset` flag anywhere) must come back from `kill -9` with its shard layout
+    // and spent ε, because the admin `register` writes the same manifest entry the CLI
+    // registration path does. And a rejected admin op must leave no trace at all.
+    let scratch = Scratch::new("hotreg");
+    let data = write_fixture(&scratch);
+    let state = state_dir_arg(&scratch);
+
+    // ---- Run 1: empty state dir, admin ops enabled. ----
+    let server = Server::spawn(&["--state-dir", &state, "--admin-token", "tok"]);
+    let mut client = server.client();
+    assert!(client.status().expect("status").datasets.is_empty());
+
+    // A wrong token is rejected with `unauthorized` and registers nothing.
+    let refused = client
+        .register(
+            "wrong-token",
+            RegisterRequest {
+                name: "intruder".into(),
+                source: RegisterSource::Path(data.clone()),
+                budget: Some(4.0),
+                shards: None,
+            },
+        )
+        .unwrap_err();
+    match refused {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, privbasis::proto::ErrorCode::Unauthorized)
+        }
+        other => panic!("{other}"),
+    }
+    assert!(
+        client.status().expect("status").datasets.is_empty(),
+        "a rejected admin op must leave the registry untouched"
+    );
+
+    // The real registration: durable, sharded, over the wire.
+    match client
+        .register(
+            "tok",
+            RegisterRequest {
+                name: "hot".into(),
+                source: RegisterSource::Path(data.clone()),
+                budget: Some(4.0),
+                shards: Some(2),
+            },
+        )
+        .expect("hot register")
+    {
+        AdminReply::Registered {
+            transactions,
+            shards,
+            durable,
+            epsilon_spent,
+            ..
+        } => {
+            assert_eq!(transactions, 120);
+            assert_eq!(shards, 2);
+            assert!(durable, "state-dir servers must register durably");
+            assert_eq!(epsilon_spent, 0.0);
+        }
+        other => panic!("{other:?}"),
+    }
+    let pinned = raw(
+        &mut client,
+        r#"{"v":2,"id":"p","op":"query","dataset":"hot","k":4,"epsilon":0.5,"seed":21}"#,
+    );
+    assert!(pinned.contains(r#""status":"ok""#), "{pinned}");
+    let pinned_items = field(&pinned, "itemsets");
+    server.kill9();
+
+    // ---- Run 2: restart from the state dir alone. The hot-registered dataset, its
+    // shard layout, and its spent ε must all recover; the rejected name must not
+    // exist. ----
+    let server = Server::spawn(&["--state-dir", &state, "--admin-token", "tok"]);
+    let mut client = server.client();
+    let status = client.status().expect("status");
+    assert_eq!(
+        status.datasets.len(),
+        1,
+        "only the authorized registration may recover: {status:?}"
+    );
+    let row = &status.datasets[0];
+    assert_eq!(row.name, "hot");
+    assert_eq!(row.shards, 2, "manifest must restore the admin-op layout");
+    assert!((row.spent - 0.5).abs() < 1e-12);
+    assert!((row.remaining - 3.5).abs() < 1e-12);
+    let replayed = raw(
+        &mut client,
+        r#"{"v":2,"id":"p2","op":"query","dataset":"hot","k":4,"epsilon":0.5,"seed":21}"#,
+    );
+    assert_eq!(
+        field(&replayed, "itemsets"),
+        pinned_items,
+        "recovered hot-registered dataset must reproduce pinned-seed releases"
+    );
+
+    // ---- Bonus: hot unregister survives kill -9 the same way. ----
+    match client.unregister("tok", "hot") {
+        Ok(AdminReply::Unregistered { name }) => assert_eq!(name, "hot"),
+        other => panic!("admin ops must work after recovery: {other:?}"),
+    }
+    server.kill9();
+    let server = Server::spawn(&["--state-dir", &state, "--admin-token", "tok"]);
+    let mut client = server.client();
+    assert!(
+        client.status().expect("status").datasets.is_empty(),
+        "an unregistered dataset must stay unregistered across kill -9"
+    );
+    // Its spend survives on disk: re-registering the name inherits the full 1.0 (two
+    // ε = 0.5 pinned queries, one per server generation), never 0.
+    match client
+        .register(
+            "tok",
+            RegisterRequest {
+                name: "hot".into(),
+                source: RegisterSource::Path(data),
+                budget: Some(4.0),
+                shards: None,
+            },
+        )
+        .expect("re-register")
+    {
+        AdminReply::Registered { epsilon_spent, .. } => {
+            assert!(
+                (epsilon_spent - 1.0).abs() < 1e-12,
+                "unregister must never forget spent ε, got {epsilon_spent}"
+            );
+        }
+        other => panic!("{other:?}"),
+    }
     server.shutdown();
 }
 
@@ -237,6 +366,7 @@ fn sharded_dataset_recovers_layout_and_releases_identically() {
     let data = write_fixture(&scratch);
     let state = state_dir_arg(&scratch);
     let dataset = format!("retail={data}");
+    let pinned_query = r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#;
 
     // Reference release from an unsharded server (own state dir: the harness always
     // passes --snapshot-every, which requires one).
@@ -250,11 +380,10 @@ fn sharded_dataset_recovers_layout_and_releases_identically() {
             "--state-dir",
             &ref_state,
         ]);
-        let mut client = Client::connect(server.addr);
-        let r =
-            client.request(r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#);
-        assert!(r.contains(r#""status":"ok""#), "{r}");
-        let items = field(&r, "itemsets");
+        let mut client = server.client();
+        let response = raw(&mut client, pinned_query);
+        assert!(response.contains(r#""status":"ok""#), "{response}");
+        let items = field(&response, "itemsets");
         server.shutdown();
         items
     };
@@ -270,11 +399,9 @@ fn sharded_dataset_recovers_layout_and_releases_identically() {
         "--shards",
         "4",
     ]);
-    let mut client = Client::connect(server.addr);
-    let status = client.request(r#"{"op":"status"}"#);
-    assert_eq!(field(&status, "shards"), "4");
-    let pinned =
-        client.request(r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#);
+    let mut client = server.client();
+    assert_eq!(client.status().expect("status").datasets[0].shards, 4);
+    let pinned = raw(&mut client, pinned_query);
     assert!(pinned.contains(r#""status":"ok""#), "{pinned}");
     assert_eq!(
         field(&pinned, "itemsets"),
@@ -285,19 +412,15 @@ fn sharded_dataset_recovers_layout_and_releases_identically() {
 
     // ---- Run 2: recover from the state dir alone; layout and release must match. ----
     let server = Server::spawn(&["--state-dir", &state]);
-    let mut client = Client::connect(server.addr);
-    let status = client.request(r#"{"op":"status"}"#);
-    assert_eq!(
-        field(&status, "shards"),
-        "4",
-        "manifest must restore the shard layout: {status}"
-    );
-    assert_eq!(field(&status, "epsilon_spent"), "0.25");
+    let mut client = server.client();
+    let status = client.status().expect("status");
+    let row = &status.datasets[0];
+    assert_eq!(row.shards, 4, "manifest must restore the shard layout");
+    assert!((row.spent - 0.25).abs() < 1e-12);
     // Journal metrics are exposed for the durable dataset.
-    assert!(status.contains(r#""journal_bytes":"#), "{status}");
-    assert!(status.contains(r#""snapshot_generation":"#), "{status}");
-    let replayed =
-        client.request(r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#);
+    let journal = row.journal.expect("durable datasets report journal stats");
+    assert!(journal.wal_bytes >= 4);
+    let replayed = raw(&mut client, pinned_query);
     assert_eq!(
         field(&replayed, "itemsets"),
         reference,
@@ -318,16 +441,14 @@ fn sharded_dataset_recovers_layout_and_releases_identically() {
         "--shards",
         "2",
     ]);
-    let mut client = Client::connect(server.addr);
-    let status = client.request(r#"{"op":"status"}"#);
+    let mut client = server.client();
+    let status = client.status().expect("status");
     assert_eq!(
-        field(&status, "shards"),
-        "2",
-        "re-listing with --shards must record the new layout: {status}"
+        status.datasets[0].shards, 2,
+        "re-listing with --shards must record the new layout"
     );
-    assert_eq!(field(&status, "epsilon_spent"), "0.5");
-    let resharded =
-        client.request(r#"{"op":"query","dataset":"retail","k":4,"epsilon":0.25,"seed":9}"#);
+    assert!((status.datasets[0].spent - 0.5).abs() < 1e-12);
+    let resharded = raw(&mut client, pinned_query);
     assert_eq!(
         field(&resharded, "itemsets"),
         reference,
@@ -345,12 +466,11 @@ fn sharded_dataset_recovers_layout_and_releases_identically() {
         "--state-dir",
         &state,
     ]);
-    let mut client = Client::connect(server.addr);
-    let status = client.request(r#"{"op":"status"}"#);
+    let mut client = server.client();
     assert_eq!(
-        field(&status, "shards"),
-        "2",
-        "re-listing without --shards must keep the manifest's layout: {status}"
+        client.status().expect("status").datasets[0].shards,
+        2,
+        "re-listing without --shards must keep the manifest's layout"
     );
     server.shutdown();
 }
@@ -388,9 +508,9 @@ fn two_servers_cannot_share_a_state_dir() {
     let stderr = String::from_utf8_lossy(&contender.stderr);
     assert!(stderr.contains("locked"), "unexpected error: {stderr}");
     // The original server is unaffected.
-    let mut client = Client::connect(server.addr);
-    let r = client.request(r#"{"op":"query","dataset":"d","k":3,"epsilon":0.25,"seed":1}"#);
-    assert!(r.contains(r#""status":"ok""#), "{r}");
+    let mut client = server.client();
+    let reply = client.query("d", 3, 0.25, Some(1)).expect("query");
+    assert_eq!(reply.dataset, "d");
     server.shutdown();
 }
 
@@ -409,27 +529,34 @@ fn exhausted_stays_exhausted_across_kill9() {
         "--state-dir",
         &state,
     ]);
-    let mut client = Client::connect(server.addr);
+    let mut client = server.client();
     for seed in [1, 2] {
-        let r = client.request(&format!(
-            r#"{{"op":"query","dataset":"d","k":3,"epsilon":0.25,"seed":{seed}}}"#
-        ));
-        assert!(r.contains(r#""status":"ok""#), "{r}");
+        client.query("d", 3, 0.25, Some(seed)).expect("query");
     }
-    let refused = client.request(r#"{"op":"query","dataset":"d","k":3,"epsilon":0.25,"seed":3}"#);
-    assert!(refused.contains("budget exceeded"), "{refused}");
+    let refused = client.query("d", 3, 0.25, Some(3)).unwrap_err();
+    match refused {
+        ClientError::Server(e) => {
+            assert_eq!(e.code, privbasis::proto::ErrorCode::BudgetExhausted);
+            assert!(e.message.contains("budget exceeded"), "{e}");
+        }
+        other => panic!("{other}"),
+    }
     server.kill9();
 
     // Restarting must not refill anything — not even for a tiny request.
     let server = Server::spawn(&["--state-dir", &state]);
-    let mut client = Client::connect(server.addr);
-    let status = client.request(r#"{"op":"status"}"#);
-    assert_eq!(field(&status, "remaining_budget"), "0");
-    let refused = client.request(r#"{"op":"query","dataset":"d","k":2,"epsilon":0.001,"seed":4}"#);
-    assert!(
-        refused.contains("budget exceeded"),
-        "exhausted must stay exhausted after kill -9: {refused}"
-    );
+    let mut client = server.client();
+    let status = client.status().expect("status");
+    assert_eq!(status.datasets[0].remaining, 0.0);
+    let refused = client.query("d", 2, 0.001, Some(4)).unwrap_err();
+    match refused {
+        ClientError::Server(e) => assert_eq!(
+            e.code,
+            privbasis::proto::ErrorCode::BudgetExhausted,
+            "exhausted must stay exhausted after kill -9"
+        ),
+        other => panic!("{other}"),
+    }
     server.shutdown();
 }
 
@@ -457,24 +584,18 @@ fn kill9_during_active_workload_never_regrants_budget() {
         let workers: Vec<_> = (0..4)
             .map(|t| {
                 scope.spawn(move || {
-                    let mut client = Client::connect(addr);
+                    let mut client = PbClient::connect(addr).expect("connect");
+                    client
+                        .set_read_timeout(Some(Duration::from_secs(30)))
+                        .unwrap();
                     let mut ok = 0u64;
                     for q in 0..10_000u64 {
                         let seed = t * 1_000_000 + q;
-                        writeln!(
-                            client.writer,
-                            r#"{{"op":"query","dataset":"d","k":4,"epsilon":0.5,"seed":{seed}}}"#
-                        )
-                        .ok();
-                        let mut response = String::new();
-                        match client.reader.read_line(&mut response) {
-                            Ok(n) if n > 0 => {
-                                if response.contains(r#""status":"ok""#) {
-                                    ok += 1;
-                                }
-                            }
-                            // Killed mid-request: the connection dies, we stop.
-                            _ => break,
+                        // Killed mid-request: the connection dies, we stop.
+                        match client.query("d", 4, 0.5, Some(seed)) {
+                            Ok(_) => ok += 1,
+                            Err(ClientError::Server(_)) => {}
+                            Err(_) => break,
                         }
                     }
                     ok
@@ -490,10 +611,10 @@ fn kill9_during_active_workload_never_regrants_budget() {
     // Restart: remaining ε may be smaller than (1000 − 0.5·acknowledged) — debits for
     // in-flight, never-answered queries are legitimate — but it must NEVER be larger.
     let server = Server::spawn(&["--state-dir", &state]);
-    let mut client = Client::connect(server.addr);
-    let status = client.request(r#"{"op":"status"}"#);
-    let remaining: f64 = field(&status, "remaining_budget").parse().unwrap();
-    let spent: f64 = field(&status, "epsilon_spent").parse().unwrap();
+    let mut client = server.client();
+    let status = client.status().expect("status");
+    let remaining = status.datasets[0].remaining;
+    let spent = status.datasets[0].spent;
     let ceiling = 1000.0 - 0.5 * acknowledged as f64;
     assert!(
         remaining <= ceiling + 1e-9,
