@@ -151,7 +151,11 @@ impl BudgetLedger {
             // Infinite budgets don't account, so there is no state to persist.
             match &self.sink {
                 Some(sink) if !granted.is_infinite() => {
-                    match sink.stage_debit(amount, budget.spent()) {
+                    // Fault site `debit.stage` exercises the rollback path below
+                    // without needing a sink that can be told to fail.
+                    match pb_fault::inject!("debit.stage")
+                        .and_then(|()| sink.stage_debit(amount, budget.spent()))
+                    {
                         Ok(seq) => (granted, Some(seq)),
                         Err(e) => {
                             // Not even ordered for durability ⇒ not spent: roll back so
@@ -170,12 +174,14 @@ impl BudgetLedger {
             // Group commit: outside the critical section, so concurrent spenders stage
             // freely while one fsync makes a whole batch durable. On error the debit
             // stays reserved in memory (never re-granted) and no ε is released.
-            if let Err(e) = self
-                .sink
-                .as_ref()
-                .expect("staged implies a sink")
-                .commit_debit(seq)
-            {
+            // Fault site `debit.commit` exercises the fail-closed path: the debit
+            // stays reserved in memory, no ε is released.
+            if let Err(e) = pb_fault::inject!("debit.commit").and_then(|()| {
+                self.sink
+                    .as_ref()
+                    .expect("staged implies a sink")
+                    .commit_debit(seq)
+            }) {
                 return Err(DpError::Persistence(format!(
                     "failed to make a debit of {amount} durable \
                      (the amount stays debited in memory): {e}"

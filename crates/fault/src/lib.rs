@@ -1,0 +1,480 @@
+//! # pb-fault — deterministic failpoints for the PrivBasis serving stack
+//!
+//! The repo's privacy argument (ε never over-spent, releases byte-identical) must hold
+//! under every failure the runtime can see — a failed fsync, a torn rename, a slow or
+//! dead client — not just the `kill -9` crash shape the recovery harness already pins.
+//! This crate makes those failures an *input*: IO seams are annotated with named
+//! **fault sites** (`journal.append`, `journal.fsync`, `manifest.store.rename`,
+//! `conn.read`, …) via the [`inject!`] macro, and a process-wide registry decides, per
+//! hit, whether the site fails, sleeps, or passes through.
+//!
+//! ## Arming
+//!
+//! Plans are armed from the `PB_FAULTS` environment variable at first use, or at
+//! runtime through [`arm`] (the service exposes it as a token-gated admin op). The
+//! grammar is a `,`/`;`-separated list of `site=action` clauses:
+//!
+//! ```text
+//! PB_FAULTS='journal.fsync=fail-once,manifest.store.*=fail-nth:2,conn.read=fail-prob:0.01,journal.append=delay:50'
+//! ```
+//!
+//! * `fail-once` — the next hit of the site fails; later hits pass.
+//! * `fail-nth:N` — the N-th hit (1-based) fails; all others pass.
+//! * `fail-prob:P` — each hit fails with probability `P`, drawn from a deterministic
+//!   splitmix64 stream seeded by `PB_FAULT_SEED` (so a schedule replays exactly).
+//! * `delay:MS` — each hit sleeps `MS` milliseconds, then passes (latency injection).
+//!
+//! A trailing `*` in the site name prefix-matches (`manifest.store.*` covers the
+//! write/fsync/rename steps of the atomic rewrite). An injected failure surfaces as
+//! `io::Error` with the site name in the message, so test assertions can tell injected
+//! faults from real ones.
+//!
+//! ## Zero-cost when off
+//!
+//! Without the `fault-inject` feature (the default), [`inject!`] expands to
+//! `Ok(())` — the site name literal is dropped at macro expansion, so production
+//! binaries contain no registry, no branches, and no fault-site strings (CI asserts
+//! this). [`arm`] returns an error and [`is_compiled`] returns `false`, letting the
+//! service refuse the admin op with a structured code instead of silently ignoring it.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+/// Evaluates the fault plan for a named site.
+///
+/// Expands to an `std::io::Result<()>`: `Err` when an armed plan fires, `Ok(())`
+/// otherwise. With the `fault-inject` feature off this is literally `Ok(())` — the
+/// site name does not survive macro expansion.
+///
+/// ```
+/// fn append() -> std::io::Result<()> {
+///     pb_fault::inject!("journal.append")?;
+///     Ok(())
+/// }
+/// assert!(append().is_ok());
+/// ```
+#[cfg(feature = "fault-inject")]
+#[macro_export]
+macro_rules! inject {
+    ($site:expr) => {
+        $crate::check($site)
+    };
+}
+
+/// Evaluates the fault plan for a named site (inert: the feature is off).
+#[cfg(not(feature = "fault-inject"))]
+#[macro_export]
+macro_rules! inject {
+    ($site:expr) => {
+        ::std::io::Result::<()>::Ok(())
+    };
+}
+
+/// True when the failpoint machinery is compiled into this build.
+#[cfg(feature = "fault-inject")]
+pub fn is_compiled() -> bool {
+    true
+}
+
+/// True when the failpoint machinery is compiled into this build.
+#[cfg(not(feature = "fault-inject"))]
+pub fn is_compiled() -> bool {
+    false
+}
+
+#[cfg(not(feature = "fault-inject"))]
+mod inert {
+    /// Arms fault plans (inert: always refuses, so callers can surface a structured
+    /// "not compiled in" error instead of pretending the plan took effect).
+    pub fn arm(_spec: &str) -> Result<usize, String> {
+        Err("fault injection is not compiled into this build \
+             (rebuild with the `fault-inject` feature)"
+            .to_string())
+    }
+
+    /// Disarms all plans (inert: nothing to disarm).
+    pub fn clear() {}
+
+    /// Times a site has been evaluated (inert: sites are never evaluated).
+    pub fn hits(_site: &str) -> u64 {
+        0
+    }
+}
+
+#[cfg(not(feature = "fault-inject"))]
+pub use inert::{arm, clear, hits};
+
+#[cfg(feature = "fault-inject")]
+mod active {
+    use std::collections::HashMap;
+    use std::io;
+    use std::sync::{Mutex, MutexGuard, OnceLock};
+    use std::time::Duration;
+
+    /// Deterministic splitmix64 stream (hand-rolled so the crate stays
+    /// dependency-free; determinism is the point — a seeded schedule replays exactly).
+    struct Splitmix(u64);
+
+    impl Splitmix {
+        fn next_u64(&mut self) -> u64 {
+            self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+            let mut z = self.0;
+            z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+            z ^ (z >> 31)
+        }
+
+        /// Uniform in [0, 1) with 53 random bits.
+        fn next_f64(&mut self) -> f64 {
+            (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64
+        }
+    }
+
+    enum Action {
+        FailOnce { fired: bool },
+        FailNth { n: u64, seen: u64 },
+        FailProb { p: f64, rng: Splitmix },
+        Delay { ms: u64 },
+    }
+
+    struct Plan {
+        pattern: String,
+        action: Action,
+    }
+
+    impl Plan {
+        fn matches(&self, site: &str) -> bool {
+            match self.pattern.strip_suffix('*') {
+                Some(prefix) => site.starts_with(prefix),
+                None => self.pattern == site,
+            }
+        }
+    }
+
+    struct Registry {
+        plans: Vec<Plan>,
+        hits: HashMap<String, u64>,
+        seed: u64,
+    }
+
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+
+    fn registry() -> MutexGuard<'static, Registry> {
+        let lock = REGISTRY.get_or_init(|| {
+            let seed = std::env::var("PB_FAULT_SEED")
+                .ok()
+                .and_then(|raw| raw.trim().parse::<u64>().ok())
+                .unwrap_or(0x9e37_79b9_7f4a_7c15);
+            let mut reg = Registry {
+                plans: Vec::new(),
+                hits: HashMap::new(),
+                seed,
+            };
+            if let Ok(spec) = std::env::var("PB_FAULTS") {
+                if let Err(e) = arm_into(&mut reg, &spec) {
+                    // Misarming from the environment must be loud, not silent: a typo'd
+                    // schedule that injects nothing would green-light a broken test.
+                    panic!("invalid PB_FAULTS spec: {e}");
+                }
+            }
+            Mutex::new(reg)
+        });
+        // Fault evaluation never panics while holding the lock, but a panicking *test*
+        // thread can still poison it; faults must keep firing for the other threads.
+        lock.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    fn parse_plan(clause: &str) -> Result<Plan, String> {
+        let (site, action) = clause
+            .split_once('=')
+            .ok_or_else(|| format!("`{clause}`: expected `site=action`"))?;
+        let site = site.trim();
+        let action = action.trim();
+        if site.is_empty() || site.contains(char::is_whitespace) {
+            return Err(format!("`{clause}`: site name must be a non-empty token"));
+        }
+        let (kind, arg) = match action.split_once(':') {
+            Some((kind, arg)) => (kind, Some(arg)),
+            None => (action, None),
+        };
+        let action = match (kind, arg) {
+            ("fail-once", None) => Action::FailOnce { fired: false },
+            ("fail-nth", Some(arg)) => {
+                let n = arg
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&n| n >= 1)
+                    .ok_or_else(|| format!("`{clause}`: fail-nth needs an integer ≥ 1"))?;
+                Action::FailNth { n, seen: 0 }
+            }
+            ("fail-prob", Some(arg)) => {
+                let p = arg
+                    .parse::<f64>()
+                    .ok()
+                    .filter(|p| (0.0..=1.0).contains(p))
+                    .ok_or_else(|| {
+                        format!("`{clause}`: fail-prob needs a probability in [0, 1]")
+                    })?;
+                // The per-plan stream is seeded from the process seed and the pattern,
+                // so two probabilistic plans do not share (and thus perturb) one stream.
+                Action::FailProb {
+                    p,
+                    rng: Splitmix(0),
+                }
+            }
+            ("delay", Some(arg)) => {
+                let ms = arg
+                    .parse::<u64>()
+                    .ok()
+                    .filter(|&ms| ms <= 60_000)
+                    .ok_or_else(|| format!("`{clause}`: delay needs milliseconds ≤ 60000"))?;
+                Action::Delay { ms }
+            }
+            _ => {
+                return Err(format!(
+                    "`{clause}`: unknown action (expected fail-once, fail-nth:N, \
+                     fail-prob:P, or delay:MS)"
+                ))
+            }
+        };
+        Ok(Plan {
+            pattern: site.to_string(),
+            action,
+        })
+    }
+
+    fn arm_into(reg: &mut Registry, spec: &str) -> Result<usize, String> {
+        let mut plans = Vec::new();
+        for clause in spec.split([',', ';']) {
+            let clause = clause.trim();
+            if clause.is_empty() {
+                continue;
+            }
+            plans.push(parse_plan(clause)?);
+        }
+        // Seed probabilistic plans deterministically: process seed xor a pattern hash,
+        // offset by the plan's position so identical clauses still diverge.
+        for (i, plan) in plans.iter_mut().enumerate() {
+            if let Action::FailProb { rng, .. } = &mut plan.action {
+                let mut h = Splitmix(reg.seed ^ (i as u64).wrapping_mul(0x1000_0001));
+                let mut acc = h.next_u64();
+                for b in plan.pattern.bytes() {
+                    acc = acc.wrapping_mul(0x100_0000_01b3) ^ b as u64;
+                }
+                *rng = Splitmix(acc);
+            }
+        }
+        let count = plans.len();
+        reg.plans.append(&mut plans);
+        Ok(count)
+    }
+
+    /// Parses and arms a fault spec (see the crate docs for the grammar), *adding* to
+    /// any plans already armed. Returns the number of plans added; a malformed spec
+    /// arms nothing.
+    pub fn arm(spec: &str) -> Result<usize, String> {
+        arm_into(&mut registry(), spec)
+    }
+
+    /// Disarms every plan and zeroes all hit counters.
+    pub fn clear() {
+        let mut reg = registry();
+        reg.plans.clear();
+        reg.hits.clear();
+    }
+
+    /// How many times `site` has been evaluated (armed or not) since the last
+    /// [`clear`] — lets tests assert a seam was actually exercised.
+    pub fn hits(site: &str) -> u64 {
+        registry().hits.get(site).copied().unwrap_or(0)
+    }
+
+    /// Evaluates the plans for one site hit. Called via [`crate::inject!`].
+    pub fn check(site: &str) -> io::Result<()> {
+        let mut delay_ms = 0u64;
+        let mut fail = false;
+        {
+            let mut reg = registry();
+            *reg.hits.entry(site.to_string()).or_insert(0) += 1;
+            for plan in &mut reg.plans {
+                if !plan.matches(site) {
+                    continue;
+                }
+                match &mut plan.action {
+                    Action::FailOnce { fired } => {
+                        if !*fired {
+                            *fired = true;
+                            fail = true;
+                        }
+                    }
+                    Action::FailNth { n, seen } => {
+                        *seen += 1;
+                        if *seen == *n {
+                            fail = true;
+                        }
+                    }
+                    Action::FailProb { p, rng } => {
+                        if rng.next_f64() < *p {
+                            fail = true;
+                        }
+                    }
+                    Action::Delay { ms } => delay_ms += *ms,
+                }
+                if fail {
+                    break;
+                }
+            }
+        }
+        // Sleep outside the lock: a delayed site must not stall unrelated sites.
+        if delay_ms > 0 {
+            std::thread::sleep(Duration::from_millis(delay_ms));
+        }
+        if fail {
+            return Err(io::Error::other(format!("injected fault at `{site}`")));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(feature = "fault-inject")]
+pub use active::{arm, check, clear, hits};
+
+#[cfg(all(test, feature = "fault-inject"))]
+mod tests {
+    use super::*;
+    use std::sync::{Mutex, MutexGuard};
+
+    /// The registry is process-global, so tests that arm plans must not interleave.
+    fn exclusive() -> MutexGuard<'static, ()> {
+        static GATE: Mutex<()> = Mutex::new(());
+        let guard = GATE.lock().unwrap_or_else(|p| p.into_inner());
+        clear();
+        guard
+    }
+
+    #[test]
+    fn unarmed_sites_pass_and_count_hits() {
+        let _g = exclusive();
+        assert!(check("journal.append").is_ok());
+        assert!(inject!("journal.append").is_ok());
+        assert_eq!(hits("journal.append"), 2);
+        assert_eq!(hits("never.touched"), 0);
+    }
+
+    #[test]
+    fn fail_once_fires_exactly_once() {
+        let _g = exclusive();
+        assert_eq!(arm("journal.fsync=fail-once"), Ok(1));
+        let err = check("journal.fsync").unwrap_err();
+        assert!(err.to_string().contains("journal.fsync"), "{err}");
+        assert!(check("journal.fsync").is_ok());
+        assert!(check("journal.fsync").is_ok());
+    }
+
+    #[test]
+    fn fail_nth_fires_on_the_exact_hit() {
+        let _g = exclusive();
+        assert_eq!(arm("snapshot.rename=fail-nth:3"), Ok(1));
+        assert!(check("snapshot.rename").is_ok());
+        assert!(check("snapshot.rename").is_ok());
+        assert!(check("snapshot.rename").is_err());
+        assert!(check("snapshot.rename").is_ok());
+    }
+
+    #[test]
+    fn wildcard_patterns_prefix_match() {
+        let _g = exclusive();
+        assert_eq!(arm("manifest.store.*=fail-once"), Ok(1));
+        assert!(
+            check("journal.append").is_ok(),
+            "prefix must not match this"
+        );
+        assert!(check("manifest.store.rename").is_err());
+        assert!(
+            check("manifest.store.write").is_ok(),
+            "fail-once is shared across the wildcard's matches"
+        );
+    }
+
+    #[test]
+    fn fail_prob_is_deterministic_and_roughly_calibrated() {
+        let _g = exclusive();
+        let run = || {
+            clear();
+            arm("conn.read=fail-prob:0.25").unwrap();
+            (0..400)
+                .map(|_| u32::from(check("conn.read").is_err()))
+                .sum::<u32>()
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a, b, "same seed must replay the same schedule");
+        assert!(
+            (40..=180).contains(&a),
+            "p=0.25 over 400 hits fired {a} times"
+        );
+    }
+
+    #[test]
+    fn delay_sleeps_then_passes() {
+        let _g = exclusive();
+        arm("journal.append=delay:30").unwrap();
+        let t0 = std::time::Instant::now();
+        assert!(check("journal.append").is_ok());
+        assert!(t0.elapsed() >= std::time::Duration::from_millis(25));
+    }
+
+    #[test]
+    fn multiple_clauses_and_separators_parse() {
+        let _g = exclusive();
+        assert_eq!(
+            arm("a=fail-once, b=fail-nth:2; c=delay:1,\n d=fail-prob:0.5"),
+            Ok(4)
+        );
+        assert!(check("a").is_err());
+        assert!(check("b").is_ok());
+        assert!(check("b").is_err());
+    }
+
+    #[test]
+    fn malformed_specs_arm_nothing() {
+        let _g = exclusive();
+        for bad in [
+            "no-equals",
+            "=fail-once",
+            "a=explode",
+            "a=fail-nth:0",
+            "a=fail-nth:x",
+            "a=fail-prob:1.5",
+            "a=fail-prob:",
+            "a=delay:999999",
+            "a b=fail-once",
+        ] {
+            let before = arm("sentinel=fail-once").unwrap();
+            assert_eq!(before, 1);
+            clear();
+            assert!(arm(bad).is_err(), "should reject {bad:?}");
+            assert!(check("a").is_ok(), "{bad:?} must not have armed anything");
+        }
+    }
+
+    #[test]
+    fn compiled_flag_is_on() {
+        assert!(is_compiled());
+    }
+}
+
+#[cfg(all(test, not(feature = "fault-inject")))]
+mod inert_tests {
+    use super::*;
+
+    #[test]
+    fn feature_off_is_fully_inert() {
+        assert!(!is_compiled());
+        assert!(arm("journal.fsync=fail-once").is_err());
+        clear();
+        assert_eq!(hits("journal.fsync"), 0);
+        let checked: std::io::Result<()> = inject!("journal.fsync");
+        assert!(checked.is_ok());
+    }
+}

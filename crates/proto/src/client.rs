@@ -10,13 +10,57 @@
 //! the typed surface deliberately does not re-encode responses, so byte comparisons go
 //! through raw lines.
 
-use crate::error::WireError;
+use crate::error::{ErrorCode, WireError};
 use crate::message::{
     AdminReply, Envelope, Op, QueryReply, QueryRequest, RegisterRequest, Response, StatusReply,
 };
 use std::io::{self, BufRead, BufReader, Write};
-use std::net::{TcpStream, ToSocketAddrs};
+use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
 use std::time::Duration;
+
+/// Response timeout a fresh [`PbClient`] starts with. A client that blocks forever on
+/// a wedged or half-dead server turns every server fault into a client hang; callers
+/// that really want to block indefinitely can opt in via
+/// [`PbClient::set_read_timeout`]`(None)`.
+pub const DEFAULT_READ_TIMEOUT: Duration = Duration::from_secs(30);
+
+/// Jittered exponential backoff for retrying *idempotent* requests.
+///
+/// Attached via [`PbClient::set_retry`] (or [`PbClient::with_retry`]), the policy is
+/// consulted only by [`PbClient::status`] and by [`PbClient::query`] **with a pinned
+/// seed** — a pinned-seed release is deterministic, so re-asking is safe for the
+/// *bytes*. It still spends ε per served attempt (the ledger cannot tell a retry from
+/// a new query), which is exactly the documented replay semantics. Unseeded queries
+/// and admin ops are never retried.
+///
+/// A retry fires on transport errors ([`ClientError::Io`]) and on structured
+/// `unavailable` rejections (shedding, degraded datasets) — the two failure shapes
+/// that are transient by construction. Each retry reconnects (the old connection may
+/// hold a half-read response) and sleeps `min(max_delay, base_delay · 2ᵃ)`, jittered
+/// to 50–100% by a deterministic splitmix64 stream over `jitter_seed` so retry storms
+/// from many clients decorrelate while a pinned seed still replays its exact schedule.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct RetryPolicy {
+    /// Retries after the initial attempt (0 disables retrying).
+    pub max_retries: u32,
+    /// Backoff before the first retry; doubles per attempt.
+    pub base_delay: Duration,
+    /// Backoff ceiling.
+    pub max_delay: Duration,
+    /// Seed of the deterministic jitter stream.
+    pub jitter_seed: u64,
+}
+
+impl Default for RetryPolicy {
+    fn default() -> RetryPolicy {
+        RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(50),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 0x5eed,
+        }
+    }
+}
 
 /// A failed client call.
 #[derive(Debug)]
@@ -53,22 +97,74 @@ pub struct PbClient {
     reader: BufReader<TcpStream>,
     writer: TcpStream,
     next_id: u64,
+    /// The peer we connected to, kept for retry reconnects.
+    addr: SocketAddr,
+    read_timeout: Option<Duration>,
+    retry: Option<RetryPolicy>,
+    /// splitmix64 state of the jitter stream.
+    jitter: u64,
 }
 
 impl PbClient {
-    /// Connects to a server.
+    /// Connects to a server with the [`DEFAULT_READ_TIMEOUT`] and no retry policy.
     pub fn connect(addr: impl ToSocketAddrs) -> io::Result<PbClient> {
         let stream = TcpStream::connect(addr)?;
+        stream.set_read_timeout(Some(DEFAULT_READ_TIMEOUT))?;
         Ok(PbClient {
             reader: BufReader::new(stream.try_clone()?),
+            addr: stream.peer_addr()?,
             writer: stream,
             next_id: 1,
+            read_timeout: Some(DEFAULT_READ_TIMEOUT),
+            retry: None,
+            jitter: 0,
         })
     }
 
-    /// Sets the read timeout for responses (`None` blocks indefinitely).
+    /// Sets the read timeout for responses (`None` blocks indefinitely). Retry
+    /// reconnects keep the configured value.
     pub fn set_read_timeout(&mut self, timeout: Option<Duration>) -> io::Result<()> {
+        self.read_timeout = timeout;
         self.writer.set_read_timeout(timeout)
+    }
+
+    /// Attaches a retry policy for the idempotent calls (see [`RetryPolicy`]).
+    pub fn set_retry(&mut self, policy: Option<RetryPolicy>) {
+        self.jitter = policy.map(|p| p.jitter_seed).unwrap_or(0);
+        self.retry = policy;
+    }
+
+    /// Builder form of [`PbClient::set_retry`].
+    pub fn with_retry(mut self, policy: RetryPolicy) -> PbClient {
+        self.set_retry(Some(policy));
+        self
+    }
+
+    /// Drops the current connection and dials the same peer again (the old socket may
+    /// hold a half-read response, so retries never reuse it).
+    fn reconnect(&mut self) -> io::Result<()> {
+        let stream = TcpStream::connect(self.addr)?;
+        stream.set_read_timeout(self.read_timeout)?;
+        self.reader = BufReader::new(stream.try_clone()?);
+        self.writer = stream;
+        Ok(())
+    }
+
+    /// Next jittered backoff delay for retry `attempt` (1-based): exponential with a
+    /// ceiling, scaled into [50%, 100%] by the deterministic jitter stream.
+    fn backoff(&mut self, policy: &RetryPolicy, attempt: u32) -> Duration {
+        let exp = policy
+            .base_delay
+            .saturating_mul(1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX))
+            .min(policy.max_delay);
+        // splitmix64 step.
+        self.jitter = self.jitter.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.jitter;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^= z >> 31;
+        let fraction = 0.5 + (z >> 11) as f64 / (1u64 << 53) as f64 / 2.0;
+        exp.mul_f64(fraction)
     }
 
     /// Sends one raw request line and returns the raw response line (trailing newline
@@ -95,6 +191,12 @@ impl PbClient {
         let raw = self.raw_line(&line)?;
         let parsed = Response::parse(&raw).map_err(ClientError::Protocol)?;
         if parsed.id.as_deref() != Some(id.as_str()) {
+            // An error the server could not attribute to this request (admission
+            // shedding answers before parsing, salvaged ids can be null) is still a
+            // structured server error — not a protocol violation.
+            if let Response::Error(e) = parsed.response {
+                return Err(ClientError::Server(e));
+            }
             return Err(ClientError::Protocol(format!(
                 "response id {:?} does not match request id {id:?}",
                 parsed.id
@@ -106,7 +208,36 @@ impl PbClient {
         }
     }
 
+    /// [`PbClient::round_trip`] wrapped in the retry policy; callers assert the op is
+    /// idempotent (deterministic bytes on replay).
+    fn round_trip_idempotent(
+        &mut self,
+        auth: Option<String>,
+        op: Op,
+    ) -> Result<Response, ClientError> {
+        let Some(policy) = self.retry else {
+            return self.round_trip(auth, op);
+        };
+        let mut attempt = 0u32;
+        loop {
+            match self.round_trip(auth.clone(), op.clone()) {
+                Err(e) if attempt < policy.max_retries && retryable(&e) => {
+                    attempt += 1;
+                    std::thread::sleep(self.backoff(&policy, attempt));
+                    // A failed reconnect surfaces as Io on the next round trip, which
+                    // is itself retryable until the attempts run out.
+                    let _ = self.reconnect();
+                }
+                other => return other,
+            }
+        }
+    }
+
     /// Runs one top-`k` query (`seed: None` lets the server draw one).
+    ///
+    /// With a [`RetryPolicy`] attached, *pinned-seed* queries retry on transient
+    /// failures (the release bytes are deterministic; each served attempt still
+    /// spends ε). Unseeded queries never retry — the server would draw a fresh seed.
     pub fn query(
         &mut self,
         dataset: &str,
@@ -114,15 +245,18 @@ impl PbClient {
         epsilon: f64,
         seed: Option<u64>,
     ) -> Result<QueryReply, ClientError> {
-        match self.round_trip(
-            None,
-            Op::Query(QueryRequest {
-                dataset: dataset.to_string(),
-                k,
-                epsilon,
-                seed,
-            }),
-        )? {
+        let op = Op::Query(QueryRequest {
+            dataset: dataset.to_string(),
+            k,
+            epsilon,
+            seed,
+        });
+        let response = if seed.is_some() {
+            self.round_trip_idempotent(None, op)
+        } else {
+            self.round_trip(None, op)
+        };
+        match response? {
             Response::Query(reply) => Ok(reply),
             other => Err(ClientError::Protocol(format!(
                 "expected a query reply, got {other:?}"
@@ -130,9 +264,10 @@ impl PbClient {
         }
     }
 
-    /// Fetches the server and per-dataset status.
+    /// Fetches the server and per-dataset status (retries under a [`RetryPolicy`] —
+    /// status is read-only, hence always idempotent).
     pub fn status(&mut self) -> Result<StatusReply, ClientError> {
-        match self.round_trip(None, Op::Status)? {
+        match self.round_trip_idempotent(None, Op::Status)? {
             Response::Status(reply) => Ok(reply),
             other => Err(ClientError::Protocol(format!(
                 "expected a status reply, got {other:?}"
@@ -186,6 +321,18 @@ impl PbClient {
         )
     }
 
+    /// Arms (non-empty `spec`) or clears (empty `spec`) deterministic fault-injection
+    /// plans on a server built with the `fault-inject` feature (admin). Other servers
+    /// refuse with an `unavailable` error.
+    pub fn faults(&mut self, token: &str, spec: &str) -> Result<AdminReply, ClientError> {
+        self.admin(
+            token,
+            Op::Faults {
+                spec: spec.to_string(),
+            },
+        )
+    }
+
     fn admin(&mut self, token: &str, op: Op) -> Result<AdminReply, ClientError> {
         match self.round_trip(Some(token.to_string()), op)? {
             Response::Admin(reply) => Ok(reply),
@@ -193,5 +340,16 @@ impl PbClient {
                 "expected an admin ack, got {other:?}"
             ))),
         }
+    }
+}
+
+/// Transient by construction: transport failures and structured `unavailable`
+/// rejections (shedding, degraded datasets). Everything else — budget exhaustion,
+/// auth, malformed — will not improve by asking again.
+fn retryable(e: &ClientError) -> bool {
+    match e {
+        ClientError::Io(_) => true,
+        ClientError::Server(w) => w.code == ErrorCode::Unavailable,
+        ClientError::Protocol(_) => false,
     }
 }

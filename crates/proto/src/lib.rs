@@ -29,7 +29,7 @@ pub mod error;
 pub mod json;
 pub mod message;
 
-pub use client::{ClientError, PbClient};
+pub use client::{ClientError, PbClient, RetryPolicy, DEFAULT_READ_TIMEOUT};
 pub use error::{ErrorCode, WireError, ALL_ERROR_CODES};
 pub use json::{Json, JsonError};
 pub use message::{

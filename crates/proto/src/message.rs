@@ -91,6 +91,13 @@ pub enum Op {
         /// New shard count (≥ 1).
         shards: usize,
     },
+    /// Arm (or, with an empty spec, disarm) deterministic fault-injection plans
+    /// (admin; v2 only). Only honoured by servers built with the `fault-inject`
+    /// feature — others refuse with an `unavailable` code.
+    Faults {
+        /// A `pb-fault` plan spec (e.g. `journal.fsync=fail-once`); empty clears.
+        spec: String,
+    },
 }
 
 impl Op {
@@ -103,6 +110,7 @@ impl Op {
             Op::Register(_) => "register",
             Op::Unregister { .. } => "unregister",
             Op::Reshard { .. } => "reshard",
+            Op::Faults { .. } => "faults",
         }
     }
 
@@ -110,7 +118,7 @@ impl Op {
     pub fn is_admin(&self) -> bool {
         matches!(
             self,
-            Op::Register(_) | Op::Unregister { .. } | Op::Reshard { .. }
+            Op::Register(_) | Op::Unregister { .. } | Op::Reshard { .. } | Op::Faults { .. }
         )
     }
 }
@@ -256,12 +264,21 @@ impl Op {
                     WireError::malformed("reshard needs a positive integer `shards`")
                 })?,
             }),
+            "faults" if v >= 2 => Ok(Op::Faults {
+                spec: match value.get("spec") {
+                    None | Some(Json::Null) => String::new(),
+                    Some(raw) => raw
+                        .as_str()
+                        .ok_or_else(|| WireError::malformed("`spec` must be a string"))?
+                        .to_string(),
+                },
+            }),
             other => Err(WireError::new(
                 ErrorCode::UnknownOp,
                 if v >= 2 {
                     format!(
                         "unknown op `{other}` (expected query, status, shutdown, \
-                         register, unregister, or reshard)"
+                         register, unregister, reshard, or faults)"
                     )
                 } else {
                     // Exact v1 bytes, including for admin ops a legacy line cannot use.
@@ -316,6 +333,9 @@ impl Op {
             Op::Reshard { name, shards } => {
                 fields.push(("name".into(), Json::String(name.clone())));
                 fields.push(("shards".into(), Json::Number(*shards as f64)));
+            }
+            Op::Faults { spec } => {
+                fields.push(("spec".into(), Json::String(spec.clone())));
             }
         }
     }
@@ -548,6 +568,10 @@ pub struct DatasetStatus {
     pub shards: u64,
     /// Journal metrics (durable datasets only).
     pub journal: Option<JournalMetrics>,
+    /// True when the dataset's journal has wedged and it serves in degraded
+    /// read-only mode: status still answers, ε-spending queries are refused.
+    /// Encoded on the wire only when true, so healthy rows keep their frozen bytes.
+    pub degraded: bool,
 }
 
 /// Process-wide server metadata (v2 status responses only — v1 bytes are frozen).
@@ -561,6 +585,10 @@ pub struct ServerInfo {
     pub requests_total: u64,
     /// Requests answered with an error.
     pub rejected_total: u64,
+    /// Connections refused at the door because the worker queue was saturated.
+    pub shed_total: u64,
+    /// Connections closed because a read/write deadline expired.
+    pub deadline_closed_total: u64,
 }
 
 /// A status response.
@@ -600,6 +628,13 @@ pub enum AdminReply {
         name: String,
         /// New shard count.
         shards: u64,
+    },
+    /// `faults` succeeded.
+    FaultsArmed {
+        /// The spec that was armed (empty = all plans cleared).
+        spec: String,
+        /// Number of plans the spec added (0 for a clear).
+        armed: u64,
     },
 }
 
@@ -700,6 +735,8 @@ impl Response {
                         uptime_secs: 0,
                         requests_total: 0,
                         rejected_total: 0,
+                        shed_total: 0,
+                        deadline_closed_total: 0,
                     });
                     fields.push((
                         "protocol_version".into(),
@@ -713,6 +750,11 @@ impl Response {
                     fields.push((
                         "rejected_total".into(),
                         Json::Number(info.rejected_total as f64),
+                    ));
+                    fields.push(("shed_total".into(), Json::Number(info.shed_total as f64)));
+                    fields.push((
+                        "deadline_closed_total".into(),
+                        Json::Number(info.deadline_closed_total as f64),
                     ));
                 }
                 let rows = s.datasets.iter().map(dataset_status_json).collect();
@@ -740,6 +782,10 @@ impl Response {
                     AdminReply::Resharded { name, shards } => {
                         fields.push(("resharded".into(), Json::String(name.clone())));
                         fields.push(("shards".into(), Json::Number(*shards as f64)));
+                    }
+                    AdminReply::FaultsArmed { spec, armed } => {
+                        fields.push(("faults_armed".into(), Json::String(spec.clone())));
+                        fields.push(("armed".into(), Json::Number(*armed as f64)));
                     }
                 }
             }
@@ -796,6 +842,9 @@ impl Response {
                     uptime_secs: require_u64(value, "uptime_secs")?,
                     requests_total: require_u64(value, "requests_total")?,
                     rejected_total: require_u64(value, "rejected_total")?,
+                    // Lenient (default 0): pre-degradation v2 servers omit these.
+                    shed_total: optional_u64(value, "shed_total"),
+                    deadline_closed_total: optional_u64(value, "deadline_closed_total"),
                 })
             } else {
                 None
@@ -846,6 +895,12 @@ impl Response {
                 shards: require_u64(value, "shards")?,
             }));
         }
+        if value.get("faults_armed").is_some() {
+            return Ok(Response::Admin(AdminReply::FaultsArmed {
+                spec: require_str(value, "faults_armed")?,
+                armed: require_u64(value, "armed")?,
+            }));
+        }
         Err("unrecognised ok-response body".to_string())
     }
 }
@@ -875,6 +930,11 @@ fn dataset_status_json(d: &DatasetStatus) -> Json {
             "snapshot_generation".into(),
             Json::Number(journal.snapshot_generation as f64),
         ));
+    }
+    // Only on the wire when true: healthy rows keep their frozen v1 bytes, and the
+    // v1/v2 payload-identity guarantee holds in both states.
+    if d.degraded {
+        fields.push(("degraded".into(), Json::Bool(true)));
     }
     Json::Object(fields)
 }
@@ -909,6 +969,7 @@ fn parse_dataset_status(row: &Json) -> Result<DatasetStatus, String> {
         queries: require_u64(row, "queries")?,
         shards: require_u64(row, "shards")?,
         journal,
+        degraded: row.get("degraded").and_then(Json::as_bool).unwrap_or(false),
     })
 }
 
@@ -951,6 +1012,11 @@ fn require_u64(value: &Json, key: &str) -> Result<u64, String> {
         .get(key)
         .and_then(Json::as_u64)
         .ok_or_else(|| format!("response missing integer `{key}`"))
+}
+
+/// A counter that older servers may not send yet — absent means 0.
+fn optional_u64(value: &Json, key: &str) -> u64 {
+    value.get(key).and_then(Json::as_u64).unwrap_or(0)
 }
 
 /// `null` means an infinite budget (JSON has no Infinity literal).
@@ -1102,6 +1168,8 @@ mod tests {
                 uptime_secs: 9,
                 requests_total: 4,
                 rejected_total: 1,
+                shed_total: 0,
+                deadline_closed_total: 0,
             }),
             datasets: vec![DatasetStatus {
                 name: "d".into(),
@@ -1118,6 +1186,7 @@ mod tests {
                     wal_records: 2,
                     snapshot_generation: 1,
                 }),
+                degraded: false,
             }],
         });
         let v1 = s.encode(1, None);
@@ -1143,6 +1212,7 @@ mod tests {
                 queries: 0,
                 shards: 1,
                 journal: None,
+                degraded: false,
             }],
         })
         .encode(1, None);
@@ -1167,6 +1237,10 @@ mod tests {
                 name: "d".into(),
                 shards: 8,
             }),
+            Response::Admin(AdminReply::FaultsArmed {
+                spec: "journal.fsync=fail-once".into(),
+                armed: 1,
+            }),
         ];
         for reply in replies {
             let line = reply.encode(2, Some("id-1"));
@@ -1181,6 +1255,80 @@ mod tests {
         assert_eq!(parsed.v, 1);
         match parsed.response {
             Response::Error(e) => assert_eq!(e.code, ErrorCode::BudgetExhausted),
+            other => panic!("{other:?}"),
+        }
+    }
+
+    #[test]
+    fn faults_op_is_v2_only_and_admin_gated() {
+        let e = Envelope::parse(
+            r#"{"v":2,"id":"f1","auth":"tok","op":"faults","spec":"journal.fsync=fail-once"}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            e.op,
+            Op::Faults {
+                spec: "journal.fsync=fail-once".into()
+            }
+        );
+        assert!(e.op.is_admin());
+        // Omitted spec means "clear all plans".
+        let e = Envelope::parse(r#"{"v":2,"op":"faults"}"#).unwrap();
+        assert_eq!(
+            e.op,
+            Op::Faults {
+                spec: String::new()
+            }
+        );
+        // Round trip through the canonical encoding.
+        let envelope = Envelope::v2("f2", Some("tok".into()), e.op);
+        assert_eq!(Envelope::parse(&envelope.encode()).unwrap(), envelope);
+        // A legacy line cannot reach the fault surface at all.
+        let err = Envelope::parse(r#"{"op":"faults"}"#).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::UnknownOp);
+    }
+
+    #[test]
+    fn degraded_datasets_and_shed_counters_travel_on_v2() {
+        let s = Response::Status(StatusReply {
+            server: Some(ServerInfo {
+                protocol_version: 2,
+                uptime_secs: 1,
+                requests_total: 7,
+                rejected_total: 2,
+                shed_total: 3,
+                deadline_closed_total: 4,
+            }),
+            datasets: vec![DatasetStatus {
+                name: "wedged".into(),
+                transactions: 5,
+                items: 3,
+                index_cached: true,
+                durable: true,
+                spent: 0.5,
+                remaining: 1.5,
+                queries: 2,
+                shards: 1,
+                journal: None,
+                degraded: true,
+            }],
+        });
+        let line = s.encode(2, Some("x"));
+        assert!(line.contains(r#""shed_total":3"#), "{line}");
+        assert!(line.contains(r#""deadline_closed_total":4"#), "{line}");
+        assert!(line.contains(r#""degraded":true"#), "{line}");
+        assert_eq!(Response::parse(&line).unwrap().response, s);
+        // A v2 status from an older server (no shed counters, no degraded field)
+        // still parses — the counters default to 0, degraded to false.
+        let old = r#"{"v":2,"id":null,"status":"ok","protocol_version":2,"uptime_secs":1,"requests_total":7,"rejected_total":2,"datasets":[{"name":"d","transactions":1,"items":1,"index_cached":false,"durable":false,"epsilon_spent":0,"remaining_budget":1,"queries":0,"shards":1}]}"#;
+        let parsed = Response::parse(old).unwrap();
+        match parsed.response {
+            Response::Status(s) => {
+                let info = s.server.unwrap();
+                assert_eq!(info.shed_total, 0);
+                assert_eq!(info.deadline_closed_total, 0);
+                assert!(!s.datasets[0].degraded);
+            }
             other => panic!("{other:?}"),
         }
     }

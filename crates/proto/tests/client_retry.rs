@@ -1,0 +1,222 @@
+//! Client robustness tests against a scripted fake server: read deadlines turn dead
+//! servers into errors instead of hangs, mid-response disconnects surface structured
+//! errors, and the retry policy reconnects only for idempotent ops.
+
+use pb_proto::{
+    ClientError, DatasetStatus, Envelope, ErrorCode, PbClient, Response, RetryPolicy, ServerInfo,
+    StatusReply, WireError, DEFAULT_READ_TIMEOUT,
+};
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::{SocketAddr, TcpListener, TcpStream};
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::thread;
+use std::time::{Duration, Instant};
+
+/// Spawns a listener that hands each accepted connection (with its 0-based ordinal) to
+/// `serve`, stopping after `connections` accepts. Returns the bound address and a
+/// counter of connections actually served.
+fn fake_server(
+    connections: usize,
+    serve: impl Fn(TcpStream, usize) + Send + 'static,
+) -> (SocketAddr, Arc<AtomicUsize>) {
+    let listener = TcpListener::bind("127.0.0.1:0").expect("bind");
+    let addr = listener.local_addr().expect("local_addr");
+    let served = Arc::new(AtomicUsize::new(0));
+    let count = Arc::clone(&served);
+    thread::spawn(move || {
+        for n in 0..connections {
+            let Ok((stream, _)) = listener.accept() else {
+                return;
+            };
+            count.fetch_add(1, Ordering::SeqCst);
+            serve(stream, n);
+        }
+    });
+    (addr, served)
+}
+
+/// Reads one request line and returns the envelope's correlation id.
+fn read_request_id(stream: &mut TcpStream) -> Option<String> {
+    let mut line = String::new();
+    BufReader::new(stream.try_clone().ok()?)
+        .read_line(&mut line)
+        .ok()?;
+    Envelope::parse(line.trim_end()).ok()?.id
+}
+
+fn ok_status(id: &str) -> String {
+    Response::Status(StatusReply {
+        server: Some(ServerInfo {
+            protocol_version: 2,
+            uptime_secs: 1,
+            requests_total: 1,
+            rejected_total: 0,
+            shed_total: 0,
+            deadline_closed_total: 0,
+        }),
+        datasets: Vec::<DatasetStatus>::new(),
+    })
+    .encode(2, Some(id))
+}
+
+fn fast_retry() -> RetryPolicy {
+    RetryPolicy {
+        max_retries: 3,
+        base_delay: Duration::from_millis(1),
+        max_delay: Duration::from_millis(5),
+        jitter_seed: 7,
+    }
+}
+
+#[test]
+fn fresh_clients_have_a_read_deadline_by_default() {
+    // The constant is the contract; a silent `None` regression would make every client
+    // block forever on a wedged server.
+    assert_eq!(DEFAULT_READ_TIMEOUT, Duration::from_secs(30));
+}
+
+#[test]
+fn a_server_that_never_responds_times_out_instead_of_hanging() {
+    let (addr, _) = fake_server(1, |stream, _| {
+        // Swallow the request, never answer, keep the socket open past the deadline.
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        let _ = reader.read_line(&mut line);
+        thread::sleep(Duration::from_secs(2));
+    });
+    let mut client = PbClient::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_millis(100)))
+        .expect("set timeout");
+    let start = Instant::now();
+    match client.status() {
+        Err(ClientError::Io(e)) => {
+            assert!(
+                matches!(
+                    e.kind(),
+                    std::io::ErrorKind::WouldBlock | std::io::ErrorKind::TimedOut
+                ),
+                "expected a timeout, got {e:?}"
+            );
+        }
+        other => panic!("expected an io timeout, got {other:?}"),
+    }
+    assert!(
+        start.elapsed() < Duration::from_secs(2),
+        "the deadline did not fire: {:?}",
+        start.elapsed()
+    );
+}
+
+#[test]
+fn mid_response_disconnect_surfaces_a_structured_error_not_a_hang() {
+    let (addr, _) = fake_server(1, |mut stream, _| {
+        let _ = read_request_id(&mut stream);
+        // Half a response, no newline, then a hard close.
+        let _ = stream.write_all(br#"{"v":2,"id":"c1","datas"#);
+        drop(stream);
+    });
+    let mut client = PbClient::connect(addr).expect("connect");
+    client
+        .set_read_timeout(Some(Duration::from_secs(5)))
+        .expect("set timeout");
+    let start = Instant::now();
+    match client.status() {
+        // EOF before the newline: either the truncated bytes fail to parse (Protocol)
+        // or nothing arrived at all (Io) — both structured, neither a hang.
+        Err(ClientError::Protocol(_)) | Err(ClientError::Io(_)) => {}
+        other => panic!("expected a structured failure, got {other:?}"),
+    }
+    assert!(start.elapsed() < Duration::from_secs(5));
+}
+
+#[test]
+fn status_retries_reconnect_and_succeed() {
+    let (addr, served) = fake_server(2, |mut stream, n| {
+        let id = read_request_id(&mut stream);
+        if n == 0 {
+            // First connection dies mid-exchange; the retry must dial a fresh socket.
+            drop(stream);
+            return;
+        }
+        let id = id.expect("request id");
+        let _ = writeln!(stream, "{}", ok_status(&id));
+    });
+    let mut client = PbClient::connect(addr)
+        .expect("connect")
+        .with_retry(fast_retry());
+    let reply = client.status().expect("status should succeed on retry");
+    assert_eq!(reply.server.expect("server info").protocol_version, 2);
+    assert_eq!(served.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn unavailable_rejections_are_retried_even_without_a_correlation_id() {
+    // Admission shedding answers before parsing the request, so the error carries no
+    // id. The client must treat it as a retryable server error, not a protocol bug.
+    let (addr, served) = fake_server(2, |mut stream, n| {
+        if n == 0 {
+            let shed = Response::Error(WireError::new(ErrorCode::Unavailable, "shedding load"))
+                .encode(2, None);
+            let _ = writeln!(stream, "{shed}");
+            // Drain whatever the client wrote, then let the connection go.
+            let mut sink = [0u8; 256];
+            let _ = stream.read(&mut sink);
+            return;
+        }
+        let id = read_request_id(&mut stream).expect("request id");
+        let _ = writeln!(stream, "{}", ok_status(&id));
+    });
+    let mut client = PbClient::connect(addr)
+        .expect("connect")
+        .with_retry(fast_retry());
+    client.status().expect("status should survive shedding");
+    assert_eq!(served.load(Ordering::SeqCst), 2);
+}
+
+#[test]
+fn unseeded_queries_never_retry() {
+    // The server would draw a fresh seed on replay, so an unseeded query must fail
+    // fast even with a retry policy attached.
+    let (addr, served) = fake_server(2, |mut stream, _| {
+        let _ = read_request_id(&mut stream);
+        drop(stream);
+    });
+    let mut client = PbClient::connect(addr)
+        .expect("connect")
+        .with_retry(fast_retry());
+    client
+        .query("tx", 8, 0.5, None)
+        .expect_err("an unseeded query must not be replayed");
+    // Give a hypothetical retry time to land before counting connections.
+    thread::sleep(Duration::from_millis(50));
+    assert_eq!(
+        served.load(Ordering::SeqCst),
+        1,
+        "unseeded query was retried"
+    );
+}
+
+#[test]
+fn non_retryable_server_errors_fail_without_reconnecting() {
+    let (addr, served) = fake_server(2, |mut stream, _| {
+        let id = read_request_id(&mut stream).expect("request id");
+        let err = Response::Error(WireError::new(ErrorCode::BudgetExhausted, "spent"))
+            .encode(2, Some(&id));
+        let _ = writeln!(stream, "{err}");
+    });
+    let mut client = PbClient::connect(addr)
+        .expect("connect")
+        .with_retry(fast_retry());
+    match client.status() {
+        Err(ClientError::Server(e)) => assert_eq!(e.code, ErrorCode::BudgetExhausted),
+        other => panic!("expected the budget error verbatim, got {other:?}"),
+    }
+    thread::sleep(Duration::from_millis(50));
+    assert_eq!(
+        served.load(Ordering::SeqCst),
+        1,
+        "terminal error was retried"
+    );
+}

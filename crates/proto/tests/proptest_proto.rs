@@ -67,19 +67,22 @@ fn arb_register() -> impl Strategy<Value = RegisterRequest> {
 
 fn arb_op() -> impl Strategy<Value = Op> {
     (
-        0usize..6,
+        0usize..7,
         arb_query(),
         arb_register(),
-        (arb_name(), 1usize..64),
+        (arb_name(), 1usize..64, arb_text()),
     )
-        .prop_map(|(which, query, register, (name, shards))| match which {
-            0 => Op::Query(query),
-            1 => Op::Status,
-            2 => Op::Shutdown,
-            3 => Op::Register(register),
-            4 => Op::Unregister { name },
-            _ => Op::Reshard { name, shards },
-        })
+        .prop_map(
+            |(which, query, register, (name, shards, spec))| match which {
+                0 => Op::Query(query),
+                1 => Op::Status,
+                2 => Op::Shutdown,
+                3 => Op::Register(register),
+                4 => Op::Unregister { name },
+                5 => Op::Reshard { name, shards },
+                _ => Op::Faults { spec },
+            },
+        )
 }
 
 proptest! {
@@ -130,14 +133,14 @@ fn arb_budget() -> impl Strategy<Value = f64> {
 fn arb_dataset_status() -> impl Strategy<Value = DatasetStatus> {
     (
         (arb_name(), 1u64..1_000_000, 1u64..10_000, 1u64..64),
-        (any::<bool>(), any::<bool>(), 0u64..1_000_000),
+        (any::<bool>(), any::<bool>(), 0u64..1_000_000, any::<bool>()),
         (0.0f64..100.0, arb_budget()),
         (any::<bool>(), 0u64..1_000_000, 0u64..10_000),
     )
         .prop_map(
             |(
                 (name, transactions, items, shards),
-                (index_cached, durable, queries),
+                (index_cached, durable, queries, degraded),
                 (spent, remaining),
                 (journaled, wal_bytes, generation),
             )| DatasetStatus {
@@ -155,13 +158,14 @@ fn arb_dataset_status() -> impl Strategy<Value = DatasetStatus> {
                     wal_records: wal_bytes / 2,
                     snapshot_generation: generation,
                 }),
+                degraded,
             },
         )
 }
 
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0usize..7,
+        0usize..8,
         (arb_name(), arb_itemsets(), 0.001f64..10.0, arb_budget()),
         (0u64..(1 << 53), 0u64..64, 0u64..100_000),
         (
@@ -195,6 +199,8 @@ fn arb_response() -> impl Strategy<Value = Response> {
                             uptime_secs: uptime,
                             requests_total: requests,
                             rejected_total: rejected,
+                            shed_total: requests / 3,
+                            deadline_closed_total: rejected / 2,
                         }),
                         datasets,
                     }),
@@ -206,9 +212,13 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         epsilon_spent,
                     }),
                     5 => Response::Admin(AdminReply::Unregistered { name }),
-                    _ => Response::Admin(AdminReply::Resharded {
+                    6 => Response::Admin(AdminReply::Resharded {
                         name,
                         shards: lambda.max(1),
+                    }),
+                    _ => Response::Admin(AdminReply::FaultsArmed {
+                        spec: message,
+                        armed: lambda,
                     }),
                 }
             },

@@ -175,6 +175,7 @@ pub(crate) fn serve_http(
     read_timeout: Option<Duration>,
 ) -> std::io::Result<()> {
     stream.set_read_timeout(Some(POLL_INTERVAL))?;
+    stream.set_write_timeout(ctx.write_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut buf: Vec<u8> = Vec::new();
@@ -196,15 +197,25 @@ pub(crate) fn serve_http(
                 Ok(None) => break,
                 Ok(Some((request, consumed))) => {
                     buf.drain(..consumed);
+                    pb_fault::inject!("conn.read")?;
                     let keep_alive = request.keep_alive() && !is_shutting_down(ctx);
                     let (status, content_type, body) = route(&request, ctx);
-                    write_response(
-                        &mut writer,
-                        status,
-                        content_type,
-                        body.as_bytes(),
-                        keep_alive,
-                    )?;
+                    let written = pb_fault::inject!("conn.write").and_then(|()| {
+                        write_response(
+                            &mut writer,
+                            status,
+                            content_type,
+                            body.as_bytes(),
+                            keep_alive,
+                        )
+                    });
+                    if let Err(e) = written {
+                        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                            // The peer accepted no bytes for the whole write deadline.
+                            ctx.deadline_closed_total.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Err(e);
+                    }
                     if !keep_alive {
                         return Ok(());
                     }
@@ -227,6 +238,7 @@ pub(crate) fn serve_http(
                 }
                 idle += POLL_INTERVAL;
                 if read_timeout.is_some_and(|limit| idle >= limit) {
+                    ctx.deadline_closed_total.fetch_add(1, Ordering::Relaxed);
                     return Ok(());
                 }
             }
@@ -244,6 +256,7 @@ fn route(request: &HttpRequest, ctx: &ServerCtx) -> (u16, &'static str, String) 
         ("POST", "/v1/admin/register") => run_op(request, "register", ctx),
         ("POST", "/v1/admin/unregister") => run_op(request, "unregister", ctx),
         ("POST", "/v1/admin/reshard") => run_op(request, "reshard", ctx),
+        ("POST", "/v1/admin/faults") => run_op(request, "faults", ctx),
         (method, path) => {
             // Unknown routes are rejections too — only /metrics scrapes stay
             // uncounted (a scraper polling every few seconds would drown the
@@ -369,6 +382,20 @@ fn render_metrics(ctx: &ServerCtx) -> String {
         "counter",
         ctx.rejected_total.load(Ordering::Relaxed).to_string(),
     );
+    gauge(
+        "pb_shed_total",
+        "Connections refused at accept because the admission cap was reached.",
+        "counter",
+        ctx.shed_total.load(Ordering::Relaxed).to_string(),
+    );
+    gauge(
+        "pb_deadline_closed_total",
+        "Connections closed because a read or write deadline expired.",
+        "counter",
+        ctx.deadline_closed_total
+            .load(Ordering::Relaxed)
+            .to_string(),
+    );
     let names = ctx.registry.names();
     gauge(
         "pb_datasets",
@@ -426,6 +453,12 @@ fn render_metrics(ctx: &ServerCtx) -> String {
             "counter",
             Vec::new(),
         ),
+        (
+            "pb_dataset_degraded",
+            "1 when the dataset's journal has failed closed (read-only serving).",
+            "gauge",
+            Vec::new(),
+        ),
     ];
     for name in &names {
         let Some(entry) = ctx.registry.get(name) else {
@@ -443,6 +476,7 @@ fn render_metrics(ctx: &ServerCtx) -> String {
             push(6, stats.wal_records.to_string());
             push(7, stats.snapshot_generation.to_string());
         }
+        push(8, u8::from(entry.is_degraded()).to_string());
     }
     for (name, help, kind, rows) in series {
         if rows.is_empty() {

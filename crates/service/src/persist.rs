@@ -355,16 +355,24 @@ fn fsync_dir(dir: &Path) -> io::Result<()> {
 /// Writes `bytes` to `path` atomically: temp file in the same directory, fsync, rename
 /// over the target, fsync the directory. Readers see the old file or the new one, never
 /// a torn mixture.
-fn write_atomic(path: &Path, bytes: &[u8]) -> io::Result<()> {
+///
+/// `site` prefixes the fault-injection points guarding each step (`{site}.write`,
+/// `{site}.fsync`, `{site}.rename`) so chaos tests can fail the rewrite at every stage;
+/// default builds discard the sites entirely.
+fn write_atomic(site: &str, path: &Path, bytes: &[u8]) -> io::Result<()> {
+    let _ = site; // feeds only the injection sites below (discarded in default builds)
     let dir = path.parent().unwrap_or_else(|| Path::new("."));
     let mut tmp = path.as_os_str().to_owned();
     tmp.push(".tmp");
     let tmp = PathBuf::from(tmp);
     {
+        pb_fault::inject!(&format!("{site}.write"))?;
         let mut file = File::create(&tmp)?;
         file.write_all(bytes)?;
+        pb_fault::inject!(&format!("{site}.fsync"))?;
         file.sync_all()?;
     }
+    pb_fault::inject!(&format!("{site}.rename"))?;
     std::fs::rename(&tmp, path)?;
     fsync_dir(dir)
 }
@@ -462,7 +470,7 @@ impl GroupFlush {
             st.flushing = true;
             let target = st.staged;
             drop(st);
-            let result = self.file.sync_data();
+            let result = pb_fault::inject!("journal.fsync").and_then(|()| self.file.sync_data());
             st = self.lock();
             st.flushing = false;
             match result {
@@ -611,7 +619,9 @@ impl DebitJournal {
             )));
         }
         let bytes = record.encode();
-        if let Err(e) = (&*self.file).write_all(&bytes) {
+        if let Err(e) =
+            pb_fault::inject!("journal.append").and_then(|()| (&*self.file).write_all(&bytes))
+        {
             // How much of the record reached the file is unknown; try to cut back to
             // the last staged prefix, and fail closed for good if even that fails.
             if self.file.set_len(self.staged_len).is_err() {
@@ -675,14 +685,15 @@ impl DebitJournal {
         );
         // A failure before the truncation leaves the journal untouched (the snapshot
         // file is old or new, both consistent) — safe to just report.
-        write_atomic(&self.snap_path, &bytes)?;
+        write_atomic("snapshot", &self.snap_path, &bytes)?;
         // Every record staged so far (staging holds the journal lock, which we hold) is
         // now durable via the snapshot, however the truncation below fares.
         let covered = self.flush.lock().staged;
-        self.file.set_len(4)?; // keep the magic, drop the records
-                               // The in-process file is 4 bytes from here on, whatever happens below: update
-                               // the bookkeeping *now* so a later write-error repair (`set_len(staged_len)`)
-                               // can never extend the file with zero bytes.
+        // Keep the magic, drop the records.
+        pb_fault::inject!("journal.truncate").and_then(|()| self.file.set_len(4))?;
+        // The in-process file is 4 bytes from here on, whatever happens below: update
+        // the bookkeeping *now* so a later write-error repair (`set_len(staged_len)`)
+        // can never extend the file with zero bytes.
         self.staged_len = 4;
         self.records_in_wal = 0;
         self.records_since_snapshot = 0;
@@ -733,9 +744,11 @@ impl DebitJournal {
         }
     }
 
-    /// True once the journal has failed closed (see the type docs).
+    /// True once the journal has failed closed, whether from a write error it could
+    /// not undo or from a failed group fsync (see the type docs). A wedged journal's
+    /// dataset degrades to read-only serving until a restart replays the durable state.
     pub fn is_wedged(&self) -> bool {
-        self.wedged
+        self.wedged || self.flush.is_wedged()
     }
 }
 
@@ -1045,6 +1058,7 @@ impl StateDir {
     /// Atomically replaces the manifest.
     pub fn store_manifest(&self, manifest: &Manifest) -> io::Result<()> {
         write_atomic(
+            "manifest.store",
             &self.manifest_path(),
             manifest.to_json().to_string().as_bytes(),
         )

@@ -67,6 +67,7 @@ pub fn dataset_status(entry: &DatasetEntry) -> DatasetStatus {
             wal_records: stats.wal_records,
             snapshot_generation: stats.snapshot_generation,
         }),
+        degraded: entry.is_degraded(),
     }
 }
 

@@ -219,6 +219,17 @@ impl DatasetEntry {
             .map(|j| j.lock().unwrap_or_else(PoisonError::into_inner).stats())
     }
 
+    /// True when this dataset's journal has wedged (failed closed after a persistence
+    /// error). A degraded dataset keeps answering `status`, but ε-spending queries are
+    /// refused with a structured `unavailable` error — spending without a durable
+    /// debit record could under-count ε after a crash. Never true for non-durable
+    /// datasets: with no journal there is nothing to wedge.
+    pub fn is_degraded(&self) -> bool {
+        self.journal
+            .as_ref()
+            .is_some_and(|j| j.lock().unwrap_or_else(PoisonError::into_inner).is_wedged())
+    }
+
     /// Records one successfully answered query.
     ///
     /// The counter is journaled best-effort *after* the answer exists: a crash in

@@ -34,8 +34,8 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
-use std::sync::mpsc::{channel, Receiver};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::mpsc::{channel, Receiver, RecvTimeoutError, Sender};
 use std::sync::{Arc, Mutex, PoisonError};
 use std::time::{Duration, Instant};
 
@@ -47,9 +47,19 @@ pub struct ServiceConfig {
     pub threads: usize,
     /// PrivBasis parameters applied to every query.
     pub params: PrivBasisParams,
-    /// Per-connection read timeout; a client that goes silent for this long loses its
-    /// connection (and frees its worker) rather than pinning the pool.
+    /// Per-connection request deadline: a connection that does not *complete* a request
+    /// for this long is closed. The clock resets only when a full request line has been
+    /// handled — trickling bytes (slowloris) does not extend it.
     pub read_timeout: Option<Duration>,
+    /// Per-connection write deadline: a client that accepts no response bytes for this
+    /// long (dead peer, full socket buffer it never drains) loses the connection
+    /// instead of pinning a worker in `write`.
+    pub write_timeout: Option<Duration>,
+    /// Admission cap: connections in flight (queued plus being served) at once. Accepts
+    /// beyond the cap are shed immediately with a structured `unavailable` response
+    /// (HTTP: `503` + `Retry-After`) so overload degrades loudly instead of queueing
+    /// without bound.
+    pub max_pending: usize,
     /// Bearer token gating the admin ops. `None` disables the admin surface: every
     /// `register`/`unregister`/`reshard` is rejected with `unauthorized`.
     pub admin_token: Option<String>,
@@ -64,6 +74,8 @@ impl Default for ServiceConfig {
             threads: pb_fim::index::available_parallelism().max(1),
             params: PrivBasisParams::default(),
             read_timeout: Some(Duration::from_secs(30)),
+            write_timeout: Some(Duration::from_secs(10)),
+            max_pending: 1024,
             admin_token: None,
             http_port: None,
         }
@@ -89,8 +101,20 @@ pub(crate) struct ServerCtx {
     seed_counter: AtomicU64,
     admin_token: Option<String>,
     start: Instant,
+    read_timeout: Option<Duration>,
+    pub(crate) write_timeout: Option<Duration>,
+    max_pending: usize,
     pub(crate) requests_total: AtomicU64,
     pub(crate) rejected_total: AtomicU64,
+    /// Connections shed at accept because the admission cap was reached.
+    pub(crate) shed_total: AtomicU64,
+    /// Connections closed because a read or write deadline expired.
+    pub(crate) deadline_closed_total: AtomicU64,
+    /// Connections admitted and not yet finished (queued + being served).
+    in_flight: AtomicUsize,
+    /// Connections sitting in the worker channel right now (new or parked). Non-zero
+    /// tells a serving worker to rotate quickly instead of camping on an idle client.
+    queued: AtomicUsize,
 }
 
 impl ServerCtx {
@@ -98,12 +122,44 @@ impl ServerCtx {
     pub(crate) fn uptime_secs(&self) -> u64 {
         self.start.elapsed().as_secs()
     }
+
+    /// Admission control: reserves an in-flight slot, or refuses at the cap.
+    fn admit(&self) -> bool {
+        self.in_flight
+            .fetch_update(Ordering::SeqCst, Ordering::SeqCst, |n| {
+                (n < self.max_pending).then_some(n + 1)
+            })
+            .is_ok()
+    }
+
+    /// Releases the slot [`ServerCtx::admit`] reserved, once a connection is done.
+    fn conn_done(&self) {
+        self.in_flight.fetch_sub(1, Ordering::SeqCst);
+    }
 }
 
 /// One queued connection, tagged with the protocol its listener speaks.
 enum Conn {
-    Line(TcpStream),
+    Line(LineConn),
     Http(TcpStream),
+}
+
+/// A line-protocol connection together with its request-deadline clock, so it can be
+/// parked back into the queue between requests without losing the deadline.
+struct LineConn {
+    stream: TcpStream,
+    /// When this connection last completed a request (accept time before the first).
+    last_done: Instant,
+}
+
+/// What became of one scheduling turn on a connection.
+enum Served {
+    /// The connection is finished (EOF, deadline, shutdown, or a handled error).
+    Done,
+    /// The connection is idle between requests; it goes back to the queue so the
+    /// worker can serve someone else (the readiness rotation that keeps a small pool
+    /// live under many long-lived idle connections).
+    Parked(LineConn),
 }
 
 impl PbServer {
@@ -161,8 +217,15 @@ impl PbServer {
             seed_counter: AtomicU64::new(seed_base),
             admin_token: self.config.admin_token.clone(),
             start: Instant::now(),
+            read_timeout: self.config.read_timeout,
+            write_timeout: self.config.write_timeout,
+            max_pending: self.config.max_pending.max(1),
             requests_total: AtomicU64::new(0),
             rejected_total: AtomicU64::new(0),
+            shed_total: AtomicU64::new(0),
+            deadline_closed_total: AtomicU64::new(0),
+            in_flight: AtomicUsize::new(0),
+            queued: AtomicUsize::new(0),
         });
 
         let (sender, receiver) = channel::<Conn>();
@@ -171,8 +234,10 @@ impl PbServer {
             .map(|_| {
                 let receiver = Arc::clone(&receiver);
                 let ctx = Arc::clone(&ctx);
-                let read_timeout = self.config.read_timeout;
-                std::thread::spawn(move || worker_loop(&receiver, &ctx, read_timeout))
+                // Workers keep a sender so idle connections can be parked back into
+                // the queue; they exit on the shutdown flag, not on channel close.
+                let sender = sender.clone();
+                std::thread::spawn(move || worker_loop(&receiver, &ctx, &sender))
             })
             .collect();
 
@@ -187,6 +252,11 @@ impl PbServer {
                     }
                     match stream {
                         Ok(stream) => {
+                            if !ctx.admit() {
+                                shed_http(stream, &ctx);
+                                continue;
+                            }
+                            ctx.queued.fetch_add(1, Ordering::SeqCst);
                             if sender.send(Conn::Http(stream)).is_err() {
                                 break;
                             }
@@ -204,7 +274,16 @@ impl PbServer {
             match stream {
                 // A closed channel means every worker is gone; stop accepting.
                 Ok(stream) => {
-                    if sender.send(Conn::Line(stream)).is_err() {
+                    if !ctx.admit() {
+                        shed_line(stream, &ctx);
+                        continue;
+                    }
+                    ctx.queued.fetch_add(1, Ordering::SeqCst);
+                    let conn = LineConn {
+                        stream,
+                        last_done: Instant::now(),
+                    };
+                    if sender.send(Conn::Line(conn)).is_err() {
                         break;
                     }
                 }
@@ -226,25 +305,84 @@ impl PbServer {
 /// How often an idle connection wakes up to check the shutdown flag.
 pub(crate) const POLL_INTERVAL: Duration = Duration::from_millis(200);
 
-/// Pulls connections until the channel closes (accept loops exited and queue drained).
-fn worker_loop(receiver: &Mutex<Receiver<Conn>>, ctx: &ServerCtx, read_timeout: Option<Duration>) {
+/// Read-poll interval while other connections are waiting on the pool: the worker
+/// gives an idle connection only this long before parking it and serving the next one,
+/// so a handful of long-lived idle clients cannot starve a small pool.
+const FAST_POLL: Duration = Duration::from_millis(5);
+
+/// How long a shed response may block before the connection is abandoned outright.
+const SHED_WRITE_TIMEOUT: Duration = Duration::from_millis(250);
+
+/// Sheds one line-protocol connection at accept: best effort structured refusal (v1
+/// shape — the request was never read, so there is no id to echo), then close.
+fn shed_line(mut stream: TcpStream, ctx: &ServerCtx) {
+    ctx.shed_total.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+    let response = Response::Error(WireError::new(
+        ErrorCode::Unavailable,
+        "server is at capacity (max-pending reached); retry after a short backoff",
+    ))
+    .encode(1, None);
+    let _ = writeln!(stream, "{response}");
+}
+
+/// Sheds one HTTP connection at accept: `503` with `Retry-After`, then close.
+fn shed_http(mut stream: TcpStream, ctx: &ServerCtx) {
+    ctx.shed_total.fetch_add(1, Ordering::Relaxed);
+    let _ = stream.set_write_timeout(Some(SHED_WRITE_TIMEOUT));
+    let body =
+        r#"{"status":"error","code":"unavailable","error":"server is at capacity; retry shortly"}"#;
+    let _ = write!(
+        stream,
+        "HTTP/1.1 503 Service Unavailable\r\nRetry-After: 1\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n\r\n{}",
+        body.len(),
+        body
+    );
+}
+
+/// Pulls connections until shutdown. Parked (idle) connections are re-queued so the
+/// pool round-robins over everything admitted; the worker exits once the shutdown flag
+/// is up and the queue has drained (or the channel closed underneath it).
+fn worker_loop(receiver: &Mutex<Receiver<Conn>>, ctx: &ServerCtx, sender: &Sender<Conn>) {
     loop {
         let conn = {
             let guard = receiver.lock().unwrap_or_else(PoisonError::into_inner);
-            guard.recv()
+            guard.recv_timeout(POLL_INTERVAL)
         };
         match conn {
             Ok(conn) => {
+                ctx.queued.fetch_sub(1, Ordering::SeqCst);
                 // Connection-level IO errors (client vanished, timeout) only kill this
                 // connection, never the worker — and neither does a panic anywhere in the
                 // request path (a poisoned pool would shrink by one worker per bad
                 // request, a trivial remote DoS).
-                let _ = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match conn {
-                    Conn::Line(stream) => serve_connection(stream, ctx, read_timeout),
-                    Conn::Http(stream) => serve_http(stream, ctx, read_timeout),
-                }));
+                let outcome =
+                    std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| match conn {
+                        Conn::Line(conn) => serve_connection(conn, ctx),
+                        Conn::Http(stream) => {
+                            serve_http(stream, ctx, ctx.read_timeout).map(|()| Served::Done)
+                        }
+                    }));
+                match outcome {
+                    Ok(Ok(Served::Parked(conn))) if !is_shutting_down(ctx) => {
+                        ctx.queued.fetch_add(1, Ordering::SeqCst);
+                        if sender.send(Conn::Line(conn)).is_err() {
+                            ctx.queued.fetch_sub(1, Ordering::SeqCst);
+                            ctx.conn_done();
+                        }
+                    }
+                    _ => ctx.conn_done(),
+                }
             }
-            Err(_) => return,
+            // Queue empty right now: this is also the drain condition — once shutdown
+            // is initiated, whatever was already queued keeps getting served above,
+            // and the worker leaves only when a whole poll interval found nothing.
+            Err(RecvTimeoutError::Timeout) => {
+                if is_shutting_down(ctx) {
+                    return;
+                }
+            }
+            Err(RecvTimeoutError::Disconnected) => return,
         }
     }
 }
@@ -254,28 +392,37 @@ fn worker_loop(receiver: &Mutex<Receiver<Conn>>, ctx: &ServerCtx, read_timeout: 
 /// cannot grow worker memory without bound.
 const MAX_REQUEST_BYTES: usize = 1 << 20;
 
-/// Runs one connection: requests in, responses out, until EOF, idle timeout, or server
-/// shutdown. Reads poll at [`POLL_INTERVAL`] so a worker parked on an idle client still
-/// notices the shutdown flag promptly instead of pinning [`PbServer::run`]'s final join.
-fn serve_connection(
-    stream: TcpStream,
-    ctx: &ServerCtx,
-    read_timeout: Option<Duration>,
-) -> std::io::Result<()> {
-    stream.set_read_timeout(Some(POLL_INTERVAL))?;
+/// Runs one scheduling turn on a connection: requests in, responses out, until EOF, a
+/// deadline, server shutdown — or the connection goes idle between requests, in which
+/// case it is handed back ([`Served::Parked`]) for the pool to rotate. Reads poll (at
+/// [`FAST_POLL`] while others wait, [`POLL_INTERVAL`] otherwise) so a worker parked on
+/// an idle client still notices the shutdown flag promptly.
+fn serve_connection(conn: LineConn, ctx: &ServerCtx) -> std::io::Result<Served> {
+    let LineConn {
+        stream,
+        mut last_done,
+    } = conn;
+    stream.set_write_timeout(ctx.write_timeout)?;
     let mut reader = BufReader::new(stream.try_clone()?);
     let mut writer = BufWriter::new(stream);
     let mut line: Vec<u8> = Vec::new();
-    let mut idle = Duration::ZERO;
     loop {
+        // Rotate fast when the queue is non-empty: camping a full poll interval on an
+        // idle connection while admitted work waits is exactly the starvation a small
+        // pool must avoid.
+        let wait = if ctx.queued.load(Ordering::SeqCst) > 0 {
+            FAST_POLL
+        } else {
+            POLL_INTERVAL
+        };
+        reader.get_ref().set_read_timeout(Some(wait))?;
         // Chunked read via fill_buf/consume rather than `read_line`: read_line only
         // returns at a newline/EOF/error, so a client streaming a newline-free body
-        // would pin this worker past both the idle timeout and the shutdown flag while
-        // `line` grew without bound. Here every buffered chunk re-checks the caps.
+        // would pin this worker past both the request deadline and the shutdown flag
+        // while `line` grew without bound. Here every buffered chunk re-checks the caps.
         match reader.fill_buf() {
-            Ok([]) => return Ok(()), // EOF: client closed cleanly.
+            Ok([]) => return Ok(Served::Done), // EOF: client closed cleanly.
             Ok(buf) => {
-                idle = Duration::ZERO;
                 let (chunk, found_newline) = match buf.iter().position(|&b| b == b'\n') {
                     Some(pos) => (&buf[..pos], true),
                     None => (buf, false),
@@ -292,32 +439,55 @@ fn serve_connection(
                         .encode(1, None);
                     writeln!(writer, "{response}")?;
                     writer.flush()?;
-                    return Ok(());
+                    return Ok(Served::Done);
                 }
                 if !found_newline {
                     continue;
                 }
+                pb_fault::inject!("conn.read")?;
                 let request = String::from_utf8_lossy(&line);
                 let trimmed = request.trim();
                 if !trimmed.is_empty() {
                     let (response, shutdown) = dispatch(trimmed, ctx);
-                    writeln!(writer, "{response}")?;
-                    writer.flush()?;
+                    let written = pb_fault::inject!("conn.write")
+                        .and_then(|()| writeln!(writer, "{response}"))
+                        .and_then(|()| writer.flush());
+                    if let Err(e) = written {
+                        if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) {
+                            // The peer accepted no bytes for the whole write deadline.
+                            ctx.deadline_closed_total.fetch_add(1, Ordering::Relaxed);
+                        }
+                        return Err(e);
+                    }
                     if shutdown {
                         initiate_shutdown(ctx);
-                        return Ok(());
+                        return Ok(Served::Done);
                     }
                 }
                 line.clear();
+                last_done = Instant::now();
             }
             // Poll tick: `line` may hold a partial request — keep accumulating into it.
             Err(e) if matches!(e.kind(), ErrorKind::WouldBlock | ErrorKind::TimedOut) => {
                 if ctx.shutdown.load(Ordering::SeqCst) {
-                    return Ok(());
+                    return Ok(Served::Done);
                 }
-                idle += POLL_INTERVAL;
-                if read_timeout.is_some_and(|limit| idle >= limit) {
-                    return Ok(());
+                // The deadline clock runs from the last *completed* request: trickled
+                // partial bytes never reset it, so slowloris clients get cut off.
+                if ctx
+                    .read_timeout
+                    .is_some_and(|limit| last_done.elapsed() >= limit)
+                {
+                    ctx.deadline_closed_total.fetch_add(1, Ordering::Relaxed);
+                    return Ok(Served::Done);
+                }
+                // Idle between requests (nothing buffered anywhere): park, so the
+                // worker can serve whoever is waiting. Mid-request we must keep the
+                // reader — parking would drop its buffered bytes.
+                if line.is_empty() && reader.buffer().is_empty() {
+                    drop(reader);
+                    let stream = writer.into_inner().map_err(|e| e.into_error())?;
+                    return Ok(Served::Parked(LineConn { stream, last_done }));
                 }
             }
             Err(e) => return Err(e),
@@ -414,6 +584,7 @@ fn run_admin(op: &Op, ctx: &ServerCtx) -> Response {
                 shards: entry.shards() as u64,
             })
             .map_err(registry_error),
+        Op::Faults { spec } => run_faults(spec),
         _ => unreachable!("execute routes only admin ops here"),
     };
     match result {
@@ -457,6 +628,34 @@ fn admin_register(request: &RegisterRequest, ctx: &ServerCtx) -> Result<AdminRep
     })
 }
 
+/// Arms (non-empty spec) or clears (empty spec) the process-wide fault-injection
+/// plans. Only servers built with the `fault-inject` feature carry the registry; a
+/// default build refuses with `unavailable` so chaos tooling fails loudly instead of
+/// silently testing nothing.
+fn run_faults(spec: &str) -> Result<AdminReply, WireError> {
+    if !pb_fault::is_compiled() {
+        return Err(WireError::new(
+            ErrorCode::Unavailable,
+            "fault injection is not compiled into this server \
+             (rebuild with `--features fault-inject`)",
+        ));
+    }
+    if spec.trim().is_empty() {
+        pb_fault::clear();
+        return Ok(AdminReply::FaultsArmed {
+            spec: String::new(),
+            armed: 0,
+        });
+    }
+    match pb_fault::arm(spec) {
+        Ok(armed) => Ok(AdminReply::FaultsArmed {
+            spec: spec.to_string(),
+            armed: armed as u64,
+        }),
+        Err(e) => Err(WireError::malformed(format!("invalid fault spec: {e}"))),
+    }
+}
+
 /// Maps registry failures onto wire codes (one table, shared by both transports).
 fn registry_error(e: RegistryError) -> WireError {
     let code = match &e {
@@ -476,6 +675,19 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
             format!("unknown dataset `{}`", query.dataset),
         ));
     };
+    // A degraded dataset (wedged journal) cannot make a debit durable, and an ε
+    // released without a durable record could be under-counted after a crash — refuse
+    // up front with the structured code retrying clients key on. Status keeps serving.
+    if entry.is_degraded() {
+        return Response::Error(WireError::new(
+            ErrorCode::Unavailable,
+            format!(
+                "dataset `{}` is degraded (its journal failed closed): serving status \
+                 only, refusing ε-spending queries until the server is restarted",
+                query.dataset
+            ),
+        ));
+    }
     // The debit happens before the mechanism runs and is never refunded: a query that
     // fails after this point may still have consumed data-dependent randomness, so the
     // conservative accounting is the only safe one.
@@ -527,6 +739,8 @@ fn status(ctx: &ServerCtx) -> Response {
             uptime_secs: ctx.uptime_secs(),
             requests_total: ctx.requests_total.load(Ordering::Relaxed),
             rejected_total: ctx.rejected_total.load(Ordering::Relaxed),
+            shed_total: ctx.shed_total.load(Ordering::Relaxed),
+            deadline_closed_total: ctx.deadline_closed_total.load(Ordering::Relaxed),
         }),
         datasets,
     })

@@ -1,0 +1,182 @@
+//! Deterministic fault-injection tests over the persistence seams: the manifest's
+//! atomic rewrite failed at every step, journal appends and fsyncs failing under a
+//! live ledger, and the degraded read-only mode a wedged journal triggers.
+//!
+//! These tests do real injection, so they are effective only under
+//! `cargo test --features fault-inject`; default builds compile the sites out and the
+//! tests pass vacuously via the [`pb_fault::is_compiled`] early return. The fault
+//! registry is process-global state, so every test serializes on one mutex and clears
+//! the registry on entry and exit.
+
+use pb_dp::Epsilon;
+use pb_fim::TransactionDb;
+use pb_service::protocol::dataset_status;
+use pb_service::{DatasetRegistry, StateDir};
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Serializes the tests (the fault registry is process-global).
+static GATE: Mutex<()> = Mutex::new(());
+
+/// A unique scratch directory per test (cleaned up on drop; leaked on panic).
+struct Scratch(PathBuf);
+
+impl Scratch {
+    fn new(tag: &str) -> Scratch {
+        static COUNTER: AtomicU64 = AtomicU64::new(0);
+        let dir = std::env::temp_dir().join(format!(
+            "pb-fault-{tag}-{}-{}",
+            std::process::id(),
+            COUNTER.fetch_add(1, Ordering::Relaxed)
+        ));
+        std::fs::create_dir_all(&dir).unwrap();
+        Scratch(dir)
+    }
+}
+
+impl Drop for Scratch {
+    fn drop(&mut self) {
+        let _ = std::fs::remove_dir_all(&self.0);
+    }
+}
+
+fn rows() -> TransactionDb {
+    TransactionDb::from_transactions(vec![vec![1, 2], vec![1, 2, 3], vec![2, 3], vec![1, 3]])
+}
+
+#[test]
+fn manifest_rewrite_failure_at_every_step_leaves_no_phantom_entry() {
+    if !pb_fault::is_compiled() {
+        return;
+    }
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    pb_fault::clear();
+
+    // The atomic rewrite is temp-write → fsync → rename; a registration must be
+    // all-or-nothing whichever step dies.
+    for site in [
+        "manifest.store.write",
+        "manifest.store.fsync",
+        "manifest.store.rename",
+    ] {
+        let scratch = Scratch::new("manifest");
+        let state = StateDir::open(&scratch.0).unwrap();
+        let registry = DatasetRegistry::with_persistence(state).unwrap();
+
+        pb_fault::arm(&format!("{site}=fail-once")).unwrap();
+        let err = registry
+            .register("phantom", rows(), Epsilon::Finite(2.0))
+            .expect_err("the injected manifest failure must fail the registration");
+        assert!(
+            err.to_string().contains("injected fault"),
+            "{site}: unexpected error {err}"
+        );
+        assert_eq!(pb_fault::hits(site), 1, "{site} was never reached");
+
+        // The shared image must not show a half-registered dataset …
+        assert!(registry.get("phantom").is_none(), "{site}: phantom entry");
+        assert!(registry.names().is_empty(), "{site}: phantom name");
+        // … and neither may the manifest on disk (what a restart would recover). The
+        // live StateDir holds the state-dir lock, so inspect the raw bytes directly.
+        let on_disk = std::fs::read_to_string(scratch.0.join("manifest.json")).unwrap_or_default();
+        assert!(
+            !on_disk.contains("phantom"),
+            "{site}: phantom manifest row: {on_disk}"
+        );
+
+        // With the fault spent, the same registration succeeds — nothing half-written
+        // lingered to conflict with it.
+        registry
+            .register("phantom", rows(), Epsilon::Finite(2.0))
+            .unwrap_or_else(|e| panic!("{site}: clean retry failed: {e}"));
+        assert!(registry.get("phantom").is_some());
+        pb_fault::clear();
+    }
+}
+
+#[test]
+fn journal_append_failure_rolls_the_spend_back() {
+    if !pb_fault::is_compiled() {
+        return;
+    }
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    pb_fault::clear();
+
+    let scratch = Scratch::new("append");
+    let state = StateDir::open(&scratch.0).unwrap();
+    let registry = DatasetRegistry::with_persistence(state).unwrap();
+    let entry = registry
+        .register("tx", rows(), Epsilon::Finite(2.0))
+        .unwrap();
+
+    pb_fault::arm("journal.append=fail-once").unwrap();
+    entry
+        .ledger()
+        .try_spend(0.5)
+        .expect_err("a debit that cannot be staged must not be granted");
+    // The failed stage wrote nothing, so the balance rolls back in full …
+    assert_eq!(entry.ledger().spent(), 0.0);
+    // … and the journal did not wedge (the repair truncated back to a valid prefix).
+    assert!(!entry.is_degraded());
+
+    // The next spend (fault spent) goes through and is accounted exactly once.
+    entry.ledger().try_spend(0.5).unwrap();
+    assert_eq!(entry.ledger().spent(), 0.5);
+    pb_fault::clear();
+}
+
+#[test]
+fn a_wedged_journal_degrades_the_dataset_to_read_only() {
+    if !pb_fault::is_compiled() {
+        return;
+    }
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    pb_fault::clear();
+
+    let scratch = Scratch::new("wedge");
+    let state = StateDir::open(&scratch.0).unwrap();
+    let registry = DatasetRegistry::with_persistence(state).unwrap();
+    let entry = registry
+        .register("tx", rows(), Epsilon::Finite(10.0))
+        .unwrap();
+    entry.ledger().try_spend(0.25).unwrap();
+    assert!(!entry.is_degraded());
+
+    // A failed group fsync latches the wedge: the staged bytes' durability is unknown.
+    pb_fault::arm("journal.fsync=fail-once").unwrap();
+    entry
+        .ledger()
+        .try_spend(0.25)
+        .expect_err("a debit whose fsync failed must surface the failure");
+    assert!(entry.is_degraded(), "the journal must fail closed");
+
+    // Fail closed means: the staged-but-unflushed debit stays *counted* (ε is never
+    // under-counted), status keeps serving and reports the degradation, and every
+    // further spend is refused even though the injected fault is long spent.
+    assert_eq!(entry.ledger().spent(), 0.5);
+    let status = dataset_status(&entry);
+    assert!(status.degraded);
+    assert_eq!(status.spent, 0.5);
+    entry
+        .ledger()
+        .try_spend(0.25)
+        .expect_err("a wedged journal must refuse all further spends");
+    assert_eq!(entry.ledger().spent(), 0.5);
+
+    // A restart (fresh handles over the same state dir) recovers: the wedge is
+    // in-process state, the durable ledger is intact and still counts the spend.
+    drop(entry);
+    drop(registry);
+    let state = StateDir::open(&scratch.0).unwrap();
+    let registry = DatasetRegistry::with_persistence(state).unwrap();
+    registry.recover().unwrap();
+    let entry = registry
+        .register("tx", rows(), Epsilon::Finite(10.0))
+        .unwrap();
+    assert!(!entry.is_degraded());
+    assert_eq!(entry.ledger().spent(), 0.5);
+    entry.ledger().try_spend(0.25).unwrap();
+    assert_eq!(entry.ledger().spent(), 0.75);
+    pb_fault::clear();
+}

@@ -29,13 +29,13 @@ fn main() {
         .expect("register mushroom");
 
     // 2. Start the server (port 0 → the OS picks a free one) with admin ops enabled.
-    // The pool must out-size the long-lived connections it serves: the admin client
-    // below stays connected throughout, and workers run whole connections to
-    // completion — on a 1-core box the default pool of 1 would let that idle
-    // keep-alive connection starve every query until the read timeout frees it.
+    // A single worker suffices even with several long-lived connections open at once:
+    // idle connections are parked back into the queue between requests, so the pool
+    // round-robins over everyone instead of letting one keep-alive client starve the
+    // rest.
     let config = ServiceConfig {
         admin_token: Some(ADMIN_TOKEN.to_string()),
-        threads: 4,
+        threads: 1,
         ..ServiceConfig::default()
     };
     let server =

@@ -82,6 +82,9 @@ struct ServeOptions {
     admin_token: Option<String>,
     /// Port for the HTTP/1.1 gateway (0 = OS-assigned); `None` disables HTTP.
     http_port: Option<u16>,
+    /// Admission cap on in-flight connections (`None` = library default); accepts
+    /// beyond it are shed with a structured `unavailable` response.
+    max_pending: Option<usize>,
 }
 
 const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <EPS>\n\
@@ -90,7 +93,7 @@ const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <
    or: privbasis-cli serve --port <PORT> --dataset <NAME>=<FILE.dat> [--dataset ...]\n\
        [--budget <EPS>] [--threads <N>] [--host <ADDR>] [--no-consistency]\n\
        [--state-dir <DIR>] [--snapshot-every <N>] [--shards <S>]\n\
-       [--http-port <PORT>] [--admin-token <TOKEN>]\n\
+       [--http-port <PORT>] [--admin-token <TOKEN>] [--max-pending <N>]\n\
 \n\
   --input    FIMI-format transaction file (one transaction per line, integer items)\n\
   --k        number of itemsets to publish\n\
@@ -130,7 +133,11 @@ serve mode:\n\
   --http-port\n\
              also serve an HTTP/1.1 gateway on this port (0 = OS-assigned):\n\
              POST /v1/query, GET /v1/status, POST /v1/admin/*, GET /metrics\n\
-             (Prometheus text format)";
+             (Prometheus text format)\n\
+  --max-pending\n\
+             admission cap on in-flight connections (default 1024); accepts beyond\n\
+             it are shed immediately with a structured `unavailable` response\n\
+             (HTTP: 503 + Retry-After) instead of queueing without bound";
 
 /// Parses arguments; returns `Err(message)` on any problem.
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -270,6 +277,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut shards: Option<usize> = None;
     let mut admin_token: Option<String> = None;
     let mut http_port: Option<u16> = None;
+    let mut max_pending: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -357,6 +365,15 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                         .map_err(|_| "--http-port must be a TCP port number".to_string())?,
                 );
             }
+            "--max-pending" => {
+                let n: usize = value("--max-pending")?
+                    .parse()
+                    .map_err(|_| "--max-pending must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--max-pending must be at least 1".to_string());
+                }
+                max_pending = Some(n);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown serve flag `{other}`\n\n{USAGE}")),
         }
@@ -384,6 +401,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         shards,
         admin_token,
         http_port,
+        max_pending,
     })
 }
 
@@ -503,6 +521,9 @@ fn serve(options: &ServeOptions) -> Result<(), String> {
     }
     config.admin_token = options.admin_token.clone();
     config.http_port = options.http_port;
+    if let Some(max_pending) = options.max_pending {
+        config.max_pending = max_pending;
+    }
     let threads = config.threads;
     let admin = config.admin_token.is_some();
     let server = PbServer::bind((options.host.as_str(), options.port), registry, config)

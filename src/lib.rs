@@ -46,6 +46,7 @@
 pub use pb_core as core;
 pub use pb_datagen as datagen;
 pub use pb_dp as dp;
+pub use pb_fault as fault;
 pub use pb_fim as fim;
 pub use pb_graph as graph;
 pub use pb_metrics as metrics;
