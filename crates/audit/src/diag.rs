@@ -1,0 +1,109 @@
+//! Diagnostics: the finding type, deterministic ordering, and the human and
+//! JSON renderings consumed by CI.
+
+/// One lint finding at a source location.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Diagnostic {
+    /// Lint identifier (`hash-iter`, `noise-seam`, …, or `bad-pragma`).
+    pub lint: &'static str,
+    /// Path relative to the audited root, with forward slashes.
+    pub file: String,
+    /// 1-based line number.
+    pub line: u32,
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// `file:line: lint: message` — the human rendering, clickable in editors.
+    pub fn human(&self) -> String {
+        format!(
+            "{}:{}: {}: {}",
+            self.file, self.line, self.lint, self.message
+        )
+    }
+
+    fn json(&self) -> String {
+        format!(
+            r#"{{"file":{},"line":{},"lint":{},"message":{}}}"#,
+            json_string(&self.file),
+            self.line,
+            json_string(self.lint),
+            json_string(&self.message)
+        )
+    }
+}
+
+/// Sorts findings into the canonical (file, line, lint, message) order so runs
+/// are byte-identical regardless of directory enumeration or thread timing.
+pub fn sort_canonical(findings: &mut [Diagnostic]) {
+    findings.sort_by(|a, b| {
+        (&a.file, a.line, a.lint, &a.message).cmp(&(&b.file, b.line, b.lint, &b.message))
+    });
+}
+
+/// Renders the findings as a JSON array, one object per line (stable, diffable;
+/// this is the format CI pins for the fixture tree).
+pub fn render_json(findings: &[Diagnostic]) -> String {
+    let mut out = String::from("[\n");
+    for (i, d) in findings.iter().enumerate() {
+        out.push_str("  ");
+        out.push_str(&d.json());
+        if i + 1 < findings.len() {
+            out.push(',');
+        }
+        out.push('\n');
+    }
+    out.push_str("]\n");
+    out
+}
+
+/// Minimal JSON string escaping (std-only, matching RFC 8259).
+fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                out.push_str(&format!("\\u{:04x}", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_escapes_specials() {
+        assert_eq!(json_string("a\"b\\c\nd"), r#""a\"b\\c\nd""#);
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn canonical_order_is_total() {
+        let mk = |file: &str, line, lint: &'static str| Diagnostic {
+            lint,
+            file: file.into(),
+            line,
+            message: String::new(),
+        };
+        let mut v = vec![
+            mk("b.rs", 1, "hash-iter"),
+            mk("a.rs", 9, "noise-seam"),
+            mk("a.rs", 2, "panic-path"),
+        ];
+        sort_canonical(&mut v);
+        assert_eq!(v[0].file, "a.rs");
+        assert_eq!(v[0].line, 2);
+        assert_eq!(v[2].file, "b.rs");
+    }
+}

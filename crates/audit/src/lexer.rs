@@ -1,0 +1,466 @@
+//! A hand-rolled Rust lexer for the invariant lints.
+//!
+//! The lexer operates on raw bytes (source files are not required to be valid
+//! UTF-8) and must **never panic** on arbitrary input or any truncation of it —
+//! that contract is property-tested in `tests/proptest_lexer.rs`. It does not aim
+//! to be a full Rust front end: it only has to classify the token shapes the
+//! lints care about, and in particular it must never mistake the inside of a
+//! string literal or a comment for code. That means it handles, precisely:
+//!
+//! - line comments (`//`, `///`, `//!`) and *nested* block comments (`/* /* */ */`),
+//! - plain, byte, and C strings (`"…"`, `b"…"`, `c"…"`) with escapes,
+//! - raw strings with any number of hashes (`r"…"`, `r#"…"#`, `br##"…"##`),
+//! - raw identifiers (`r#match`) as identifiers, not raw strings,
+//! - char/byte-char literals vs lifetimes (`'a'` vs `'a`),
+//! - numeric literals enough to not split `1.5e3` into punctuation.
+//!
+//! Unterminated literals and comments extend to end of input; the lexer is
+//! total: every byte of input belongs to exactly one token.
+
+/// The classification of a [`Token`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokenKind {
+    /// An identifier or keyword (including raw identifiers like `r#match`).
+    Ident,
+    /// A lifetime such as `'a` (not a char literal).
+    Lifetime,
+    /// Any string-like literal: `"…"`, `r"…"`, `b"…"`, `br#"…"#`, `c"…"`.
+    Str,
+    /// A char or byte-char literal: `'x'`, `b'\n'`.
+    Char,
+    /// A numeric literal.
+    Num,
+    /// A `//` line comment or `/* … */` block comment (doc comments included).
+    Comment,
+    /// A single punctuation byte (`.`, `{`, `#`, …) or any byte that fits no
+    /// other class.
+    Punct,
+}
+
+/// One lexed token: a classified byte range of the source plus its 1-based
+/// start line.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    /// Byte offset of the first byte of the token.
+    pub start: usize,
+    /// Byte offset one past the last byte of the token.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+}
+
+impl Token {
+    /// The token's bytes within `src` (the same buffer it was lexed from).
+    pub fn bytes<'a>(&self, src: &'a [u8]) -> &'a [u8] {
+        &src[self.start..self.end]
+    }
+
+    /// The token's text, with invalid UTF-8 replaced. Only used for matching
+    /// ASCII identifiers and pragma comments, where lossy decoding is exact.
+    pub fn text<'a>(&self, src: &'a [u8]) -> std::borrow::Cow<'a, str> {
+        String::from_utf8_lossy(self.bytes(src))
+    }
+
+    /// True if this token is the identifier `word`.
+    pub fn is_ident(&self, src: &[u8], word: &str) -> bool {
+        self.kind == TokenKind::Ident && self.bytes(src) == word.as_bytes()
+    }
+
+    /// True if this token is the punctuation byte `p`.
+    pub fn is_punct(&self, src: &[u8], p: u8) -> bool {
+        self.kind == TokenKind::Punct && self.bytes(src) == [p]
+    }
+}
+
+/// Lexes `src` completely. Total and panic-free: the returned tokens cover
+/// every non-whitespace byte of the input in order.
+pub fn lex(src: &[u8]) -> Vec<Token> {
+    Lexer {
+        src,
+        pos: 0,
+        line: 1,
+    }
+    .run()
+}
+
+struct Lexer<'a> {
+    src: &'a [u8],
+    pos: usize,
+    line: u32,
+}
+
+fn is_ident_start(b: u8) -> bool {
+    b.is_ascii_alphabetic() || b == b'_' || b >= 0x80
+}
+
+fn is_ident_continue(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || b == b'_' || b >= 0x80
+}
+
+impl<'a> Lexer<'a> {
+    fn peek(&self, ahead: usize) -> Option<u8> {
+        self.src.get(self.pos + ahead).copied()
+    }
+
+    /// Advances one byte, keeping the line counter in sync.
+    fn bump(&mut self) {
+        if self.peek(0) == Some(b'\n') {
+            self.line = self.line.saturating_add(1);
+        }
+        self.pos += 1;
+    }
+
+    fn bump_n(&mut self, n: usize) {
+        for _ in 0..n {
+            self.bump();
+        }
+    }
+
+    fn run(mut self) -> Vec<Token> {
+        let mut out = Vec::new();
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_whitespace() {
+                self.bump();
+                continue;
+            }
+            let start = self.pos;
+            let line = self.line;
+            let kind = self.lex_one(b);
+            // Totality guard: every token consumes at least one byte.
+            if self.pos == start {
+                self.bump();
+            }
+            out.push(Token {
+                kind,
+                start,
+                end: self.pos,
+                line,
+            });
+        }
+        out
+    }
+
+    fn lex_one(&mut self, b: u8) -> TokenKind {
+        match b {
+            b'/' if self.peek(1) == Some(b'/') => self.line_comment(),
+            b'/' if self.peek(1) == Some(b'*') => self.block_comment(),
+            b'"' => self.string(),
+            b'\'' => self.char_or_lifetime(),
+            b'r' | b'b' | b'c' => self.prefixed_or_ident(),
+            _ if is_ident_start(b) => self.ident(),
+            _ if b.is_ascii_digit() => self.number(),
+            _ => {
+                self.bump();
+                TokenKind::Punct
+            }
+        }
+    }
+
+    fn line_comment(&mut self) -> TokenKind {
+        while let Some(b) = self.peek(0) {
+            if b == b'\n' {
+                break;
+            }
+            self.bump();
+        }
+        TokenKind::Comment
+    }
+
+    fn block_comment(&mut self) -> TokenKind {
+        self.bump_n(2); // `/*`
+        let mut depth = 1usize;
+        while depth > 0 {
+            match (self.peek(0), self.peek(1)) {
+                (Some(b'/'), Some(b'*')) => {
+                    depth += 1;
+                    self.bump_n(2);
+                }
+                (Some(b'*'), Some(b'/')) => {
+                    depth -= 1;
+                    self.bump_n(2);
+                }
+                (Some(_), _) => self.bump(),
+                (None, _) => break, // unterminated: extends to EOF
+            }
+        }
+        TokenKind::Comment
+    }
+
+    /// A `"…"` string with `\` escapes; unterminated extends to EOF.
+    fn string(&mut self) -> TokenKind {
+        self.bump(); // opening quote
+        while let Some(b) = self.peek(0) {
+            match b {
+                b'\\' => {
+                    self.bump();
+                    if self.peek(0).is_some() {
+                        self.bump();
+                    }
+                }
+                b'"' => {
+                    self.bump();
+                    break;
+                }
+                _ => self.bump(),
+            }
+        }
+        TokenKind::Str
+    }
+
+    /// A raw string starting at the current position's `r` (hash count may be
+    /// zero): `r"…"`, `r#"…"#`, … Caller has verified the shape up to the
+    /// opening quote. Unterminated extends to EOF.
+    fn raw_string(&mut self, hashes: usize) {
+        // Consume up to and including the opening quote.
+        while self.peek(0) != Some(b'"') && self.peek(0).is_some() {
+            self.bump();
+        }
+        self.bump(); // opening quote
+        loop {
+            match self.peek(0) {
+                None => break,
+                Some(b'"') => {
+                    let mut matched = 0;
+                    while matched < hashes && self.peek(1 + matched) == Some(b'#') {
+                        matched += 1;
+                    }
+                    if matched == hashes {
+                        self.bump_n(1 + hashes);
+                        break;
+                    }
+                    self.bump();
+                }
+                Some(_) => self.bump(),
+            }
+        }
+    }
+
+    /// `'a` lifetime vs `'x'` char literal.
+    fn char_or_lifetime(&mut self) -> TokenKind {
+        match (self.peek(1), self.peek(2)) {
+            // Escaped char: `'\n'`, `'\u{…}'`, `'\''`.
+            (Some(b'\\'), _) => {
+                self.bump(); // quote
+                self.bump(); // backslash
+                if self.peek(0).is_some() {
+                    self.bump(); // escaped byte
+                }
+                while let Some(b) = self.peek(0) {
+                    self.bump();
+                    if b == b'\'' {
+                        break;
+                    }
+                }
+                TokenKind::Char
+            }
+            // Plain one-byte char: `'x'` (including `'''` → char of `'`).
+            (Some(_), Some(b'\'')) => {
+                self.bump_n(3);
+                TokenKind::Char
+            }
+            // Lifetime: `'a`, `'static`, `'_`.
+            (Some(n), _) if is_ident_start(n) || n == b'_' => {
+                self.bump(); // quote
+                while self.peek(0).is_some_and(is_ident_continue) {
+                    self.bump();
+                }
+                TokenKind::Lifetime
+            }
+            // Multi-byte char literal (`'é'`) or stray quote: consume to the
+            // closing quote on the same line, else just the quote.
+            _ => {
+                let mut ahead = 1;
+                while let Some(b) = self.peek(ahead) {
+                    if b == b'\'' || b == b'\n' || ahead > 8 {
+                        break;
+                    }
+                    ahead += 1;
+                }
+                if self.peek(ahead) == Some(b'\'') {
+                    self.bump_n(ahead + 1);
+                    TokenKind::Char
+                } else {
+                    self.bump();
+                    TokenKind::Punct
+                }
+            }
+        }
+    }
+
+    /// An identifier starting with `r`, `b`, or `c` — or a prefixed literal:
+    /// `r"…"`/`r#"…"#` (and `br`/`cr` forms), `b"…"`/`c"…"`, `b'x'`, or a raw
+    /// identifier `r#name`.
+    fn prefixed_or_ident(&mut self) -> TokenKind {
+        // Longest possible literal prefix is two bytes (`br`, `cr`).
+        let one = self.peek(0).unwrap_or(0);
+        let two = self.peek(1);
+        let (prefix_len, raw_capable) = match (one, two) {
+            (b'b' | b'c', Some(b'r')) => (2, true),
+            (b'r', _) => (1, true),
+            (b'b' | b'c', _) => (1, false),
+            _ => (1, false),
+        };
+        let after = self.peek(prefix_len);
+        if after == Some(b'"') {
+            self.bump_n(prefix_len);
+            // `r"…"`, `br"…"`, `cr"…"` are raw (no escapes); `b"…"`/`c"…"` are not.
+            if (raw_capable && prefix_len == 2) || one == b'r' {
+                self.raw_string(0);
+            } else {
+                self.string();
+            }
+            return TokenKind::Str;
+        }
+        if raw_capable && after == Some(b'#') {
+            // Count hashes; a quote after them means raw string, an identifier
+            // start means raw identifier (only valid for bare `r#`).
+            let mut hashes = 0;
+            while self.peek(prefix_len + hashes) == Some(b'#') {
+                hashes += 1;
+            }
+            match self.peek(prefix_len + hashes) {
+                Some(b'"') => {
+                    self.bump_n(prefix_len);
+                    self.raw_string(hashes);
+                    return TokenKind::Str;
+                }
+                Some(n) if hashes == 1 && prefix_len == 1 && is_ident_start(n) => {
+                    self.bump_n(2); // `r#`
+                    return self.ident();
+                }
+                _ => {}
+            }
+        }
+        if one == b'b' && after == Some(b'\'') {
+            self.bump(); // `b`
+            return self.char_or_lifetime();
+        }
+        self.ident()
+    }
+
+    fn ident(&mut self) -> TokenKind {
+        while self.peek(0).is_some_and(is_ident_continue) {
+            self.bump();
+        }
+        TokenKind::Ident
+    }
+
+    fn number(&mut self) -> TokenKind {
+        // Digits, then any alphanumeric/underscore run (covers 0x…, 1_000u64,
+        // 1e9), allowing one `.` when followed by a digit (1.5) but never
+        // swallowing `..` (range syntax).
+        while let Some(b) = self.peek(0) {
+            if b.is_ascii_alphanumeric()
+                || b == b'_'
+                || (b == b'.' && self.peek(1).is_some_and(|n| n.is_ascii_digit()))
+            {
+                self.bump();
+            } else {
+                break;
+            }
+        }
+        TokenKind::Num
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokenKind, &str)> {
+        lex(src.as_bytes())
+            .into_iter()
+            .map(|t| (t.kind, &src[t.start..t.end]))
+            .collect()
+    }
+
+    #[test]
+    fn classifies_basic_tokens() {
+        let got = kinds("let x = m.iter(); // done");
+        assert_eq!(got[0], (TokenKind::Ident, "let"));
+        assert_eq!(got[1], (TokenKind::Ident, "x"));
+        assert_eq!(got[2], (TokenKind::Punct, "="));
+        assert_eq!(got[3], (TokenKind::Ident, "m"));
+        assert_eq!(got[4], (TokenKind::Punct, "."));
+        assert_eq!(got[5], (TokenKind::Ident, "iter"));
+        assert_eq!(got.last().unwrap(), &(TokenKind::Comment, "// done"));
+    }
+
+    #[test]
+    fn strings_hide_their_contents() {
+        let got = kinds(r#"let s = "no .unwrap() here"; s"#);
+        assert!(got
+            .iter()
+            .all(|(k, t)| *k != TokenKind::Ident || *t != "unwrap"));
+        assert!(got.iter().any(|(k, _)| *k == TokenKind::Str));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes() {
+        let src = r###"let s = r#"quote " inside"#; x"###;
+        let got = kinds(src);
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Str && t.contains("inside")));
+        assert_eq!(got.last().unwrap(), &(TokenKind::Ident, "x"));
+    }
+
+    #[test]
+    fn raw_identifiers_are_idents() {
+        let got = kinds("r#match + r\"raw\" + br#\"braw\"#");
+        assert_eq!(got[0], (TokenKind::Ident, "r#match"));
+        assert_eq!(got[2], (TokenKind::Str, "r\"raw\""));
+        assert_eq!(got[4], (TokenKind::Str, "br#\"braw\"#"));
+    }
+
+    #[test]
+    fn lifetimes_vs_chars() {
+        let got = kinds("fn f<'a>(x: &'a str) { let c = 'x'; let q = '\\''; }");
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Lifetime && *t == "'a"));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "'x'"));
+        assert!(got
+            .iter()
+            .any(|(k, t)| *k == TokenKind::Char && *t == "'\\''"));
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let got = kinds("a /* outer /* inner */ still */ b");
+        assert_eq!(got.len(), 3);
+        assert_eq!(got[1].0, TokenKind::Comment);
+        assert_eq!(got[2], (TokenKind::Ident, "b"));
+    }
+
+    #[test]
+    fn unterminated_constructs_reach_eof_without_panic() {
+        for src in ["\"abc", "r#\"abc", "/* abc", "'", "b\"x", "'\\"] {
+            let toks = lex(src.as_bytes());
+            assert!(!toks.is_empty());
+            assert_eq!(toks.last().unwrap().end, src.len());
+        }
+    }
+
+    #[test]
+    fn line_numbers_track_newlines_everywhere() {
+        let src = "a\n\"two\nlines\"\nb";
+        let toks = lex(src.as_bytes());
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[1].line, 2); // string starts on line 2
+        assert_eq!(toks[2].line, 4); // `b` after the embedded newline
+    }
+
+    #[test]
+    fn numbers_do_not_swallow_ranges() {
+        let got = kinds("0..10 and 1.5e3");
+        assert_eq!(got[0], (TokenKind::Num, "0"));
+        assert_eq!(got[1], (TokenKind::Punct, "."));
+        assert_eq!(got[2], (TokenKind::Punct, "."));
+        assert_eq!(got[3], (TokenKind::Num, "10"));
+        assert_eq!(got[5], (TokenKind::Num, "1.5e3"));
+    }
+}

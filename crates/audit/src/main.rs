@@ -1,0 +1,83 @@
+//! `pb-audit` CLI: audit a workspace tree and exit non-zero on findings.
+
+#![forbid(unsafe_code)]
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+pb-audit — workspace invariant linter (determinism, privacy seam, panic freedom, failpoints)
+
+USAGE:
+    pb-audit [--root DIR] [--json] [--list]
+
+OPTIONS:
+    --root DIR   Workspace root to audit (default: current directory)
+    --json       Emit findings as a JSON array (stable order, one object per line)
+    --list       List the lints and exit
+
+EXIT STATUS:
+    0  no findings    1  findings reported    2  usage or IO error
+";
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut root = PathBuf::from(".");
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                match args.get(i) {
+                    Some(dir) => root = PathBuf::from(dir),
+                    None => {
+                        eprintln!("--root requires a directory\n\n{USAGE}");
+                        return ExitCode::from(2);
+                    }
+                }
+            }
+            "--json" => json = true,
+            "--list" => {
+                for (name, desc) in pb_audit::LINTS {
+                    println!("{name:20} {desc}");
+                }
+                return ExitCode::SUCCESS;
+            }
+            "--help" | "-h" => {
+                print!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            other => {
+                eprintln!("unknown flag `{other}`\n\n{USAGE}");
+                return ExitCode::from(2);
+            }
+        }
+        i += 1;
+    }
+
+    let report = match pb_audit::audit(&root) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("pb-audit: cannot audit {}: {e}", root.display());
+            return ExitCode::from(2);
+        }
+    };
+    if json {
+        print!("{}", pb_audit::render_json(&report.findings));
+    } else {
+        for d in &report.findings {
+            println!("{}", d.human());
+        }
+        eprintln!(
+            "pb-audit: {} finding(s) across {} file(s)",
+            report.findings.len(),
+            report.files_scanned
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}

@@ -1,0 +1,327 @@
+//! The per-file source model the lints run against: lexed tokens plus the two
+//! derived overlays every lint needs — which byte ranges are test-only code,
+//! and which `// audit:allow(...)` pragmas are in force.
+
+use crate::lexer::{lex, Token, TokenKind};
+
+/// A lexed source file with its lint overlays.
+pub struct SourceFile {
+    /// Path relative to the audited root, forward slashes.
+    pub rel_path: String,
+    /// Workspace crate the file belongs to (`core`, `service`, …; the facade
+    /// crate at the repo root is `privbasis`).
+    pub crate_name: String,
+    pub bytes: Vec<u8>,
+    pub tokens: Vec<Token>,
+    /// Byte ranges covered by `#[cfg(test)]` / `#[test]` items (sorted).
+    test_ranges: Vec<(usize, usize)>,
+    /// Parsed suppression pragmas.
+    pub pragmas: Vec<Pragma>,
+}
+
+/// One `// audit:allow(<lint>): <reason>` pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Line of the pragma comment itself.
+    pub line: u32,
+    /// Line whose findings it suppresses: its own line for a trailing comment,
+    /// otherwise the next line holding any non-comment token.
+    pub target_line: u32,
+    pub lint: String,
+    pub reason: String,
+    /// A grammar problem, reported as a `bad-pragma` finding; a problematic
+    /// pragma suppresses nothing.
+    pub problem: Option<String>,
+}
+
+impl SourceFile {
+    pub fn new(rel_path: String, crate_name: String, bytes: Vec<u8>) -> Self {
+        let tokens = lex(&bytes);
+        let test_ranges = find_test_ranges(&bytes, &tokens);
+        let pragmas = find_pragmas(&bytes, &tokens);
+        SourceFile {
+            rel_path,
+            crate_name,
+            bytes,
+            tokens,
+            test_ranges,
+            pragmas,
+        }
+    }
+
+    /// True if byte `offset` lies inside `#[cfg(test)]` / `#[test]` code.
+    pub fn is_test_offset(&self, offset: usize) -> bool {
+        self.test_ranges
+            .iter()
+            .any(|&(s, e)| offset >= s && offset < e)
+    }
+
+    /// True if a well-formed pragma for `lint` targets `line`.
+    pub fn suppressed(&self, lint: &str, line: u32) -> bool {
+        self.pragmas
+            .iter()
+            .any(|p| p.problem.is_none() && p.lint == lint && p.target_line == line)
+    }
+
+    /// Just the file name (`persist.rs`).
+    pub fn file_name(&self) -> &str {
+        self.rel_path.rsplit('/').next().unwrap_or(&self.rel_path)
+    }
+}
+
+/// Locates items behind `#[cfg(test)]`-style attributes (any outer attribute
+/// whose tokens mention `test`, which also covers `#[test]` and
+/// `#[cfg_attr(test, …)]`) and returns their byte extents. The extent runs from
+/// the `#` of the attribute to the end of the attached item: through the
+/// matching `}` of the item's first top-level brace block, or through the first
+/// top-level `;` for braceless items (`#[cfg(test)] use …;`).
+fn find_test_ranges(src: &[u8], tokens: &[Token]) -> Vec<(usize, usize)> {
+    let mut ranges: Vec<(usize, usize)> = Vec::new();
+    let mut i = 0;
+    while i < tokens.len() {
+        if !(tokens[i].is_punct(src, b'#')
+            && matches!(tokens.get(i + 1), Some(t) if t.is_punct(src, b'[')))
+        {
+            i += 1;
+            continue;
+        }
+        // Find the matching `]` of this attribute.
+        let Some(close) = match_bracket(src, tokens, i + 1, b'[', b']') else {
+            break;
+        };
+        let attr = &tokens[i + 2..close];
+        let mentions_test = attr.iter().any(|t| t.is_ident(src, "test"))
+            && !attr.iter().any(|t| t.is_ident(src, "not"));
+        if !mentions_test {
+            i = close + 1;
+            continue;
+        }
+        // Skip any further attributes and comments between the attr and item.
+        let mut j = close + 1;
+        while j < tokens.len() {
+            if tokens[j].kind == TokenKind::Comment {
+                j += 1;
+            } else if tokens[j].is_punct(src, b'#')
+                && matches!(tokens.get(j + 1), Some(t) if t.is_punct(src, b'['))
+            {
+                match match_bracket(src, tokens, j + 1, b'[', b']') {
+                    Some(c) => j = c + 1,
+                    None => break,
+                }
+            } else {
+                break;
+            }
+        }
+        // Scan the item: first `{` at top level opens the body; `;` at top
+        // level ends a braceless item.
+        let mut depth_paren = 0i32;
+        let mut depth_bracket = 0i32;
+        let mut end = tokens.len().saturating_sub(1);
+        let mut k = j;
+        while k < tokens.len() {
+            let t = &tokens[k];
+            if t.kind == TokenKind::Punct {
+                match t.bytes(src).first() {
+                    Some(b'(') => depth_paren += 1,
+                    Some(b')') => depth_paren -= 1,
+                    Some(b'[') => depth_bracket += 1,
+                    Some(b']') => depth_bracket -= 1,
+                    Some(b'{') if depth_paren == 0 && depth_bracket == 0 => {
+                        end = match_bracket(src, tokens, k, b'{', b'}').unwrap_or(tokens.len() - 1);
+                        break;
+                    }
+                    Some(b';') if depth_paren == 0 && depth_bracket == 0 => {
+                        end = k;
+                        break;
+                    }
+                    _ => {}
+                }
+            }
+            end = k;
+            k += 1;
+        }
+        let range = (tokens[i].start, tokens[end].end);
+        ranges.push(range);
+        i = end + 1;
+    }
+    ranges
+}
+
+/// Index of the token closing the bracket opened at `open_idx`, or None.
+fn match_bracket(
+    src: &[u8],
+    tokens: &[Token],
+    open_idx: usize,
+    open: u8,
+    close: u8,
+) -> Option<usize> {
+    let mut depth = 0i32;
+    for (k, t) in tokens.iter().enumerate().skip(open_idx) {
+        if t.kind == TokenKind::Punct {
+            let b = t.bytes(src).first().copied();
+            if b == Some(open) {
+                depth += 1;
+            } else if b == Some(close) {
+                depth -= 1;
+                if depth == 0 {
+                    return Some(k);
+                }
+            }
+        }
+    }
+    None
+}
+
+/// Extracts `audit:allow` pragmas from line comments.
+fn find_pragmas(src: &[u8], tokens: &[Token]) -> Vec<Pragma> {
+    let mut out = Vec::new();
+    for (idx, tok) in tokens.iter().enumerate() {
+        if tok.kind != TokenKind::Comment {
+            continue;
+        }
+        let text = tok.text(src);
+        let Some(body) = text.strip_prefix("//") else {
+            continue; // block comments cannot carry pragmas
+        };
+        let body = body.trim_start_matches(['/', '!']).trim();
+        let Some(rest) = body.strip_prefix("audit:allow") else {
+            continue;
+        };
+        let mut pragma = Pragma {
+            line: tok.line,
+            target_line: pragma_target_line(tokens, idx),
+            lint: String::new(),
+            reason: String::new(),
+            problem: None,
+        };
+        // Grammar: `audit:allow(<lint>): <reason>`.
+        match parse_pragma_body(rest) {
+            Ok((lint, reason)) => {
+                pragma.lint = lint;
+                pragma.reason = reason;
+                if pragma.reason.is_empty() {
+                    pragma.problem =
+                        Some("pragma requires a non-empty reason after `):`".to_string());
+                }
+            }
+            Err(e) => pragma.problem = Some(e),
+        }
+        out.push(pragma);
+    }
+    out
+}
+
+fn parse_pragma_body(rest: &str) -> Result<(String, String), String> {
+    let rest = rest
+        .strip_prefix('(')
+        .ok_or_else(|| "expected `(` after `audit:allow`".to_string())?;
+    let close = rest
+        .find(')')
+        .ok_or_else(|| "unclosed `(` in pragma".to_string())?;
+    let lint = rest[..close].trim().to_string();
+    if lint.is_empty() {
+        return Err("empty lint name in pragma".to_string());
+    }
+    let after = rest[close + 1..].trim_start();
+    let reason = after
+        .strip_prefix(':')
+        .ok_or_else(|| "expected `: <reason>` after `audit:allow(...)`".to_string())?;
+    Ok((lint, reason.trim().to_string()))
+}
+
+/// The line a pragma at token index `idx` suppresses: its own line when code
+/// precedes it on that line (trailing comment), otherwise the line of the next
+/// non-comment token.
+fn pragma_target_line(tokens: &[Token], idx: usize) -> u32 {
+    let line = tokens[idx].line;
+    let has_code_before = tokens[..idx]
+        .iter()
+        .rev()
+        .take_while(|t| t.line == line)
+        .any(|t| t.kind != TokenKind::Comment);
+    if has_code_before {
+        return line;
+    }
+    tokens[idx + 1..]
+        .iter()
+        .find(|t| t.kind != TokenKind::Comment)
+        .map(|t| t.line)
+        .unwrap_or(line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn file(src: &str) -> SourceFile {
+        SourceFile::new("x.rs".into(), "core".into(), src.as_bytes().to_vec())
+    }
+
+    #[test]
+    fn cfg_test_mod_is_a_test_range() {
+        let src =
+            "fn live() {}\n#[cfg(test)]\nmod tests {\n  fn t() { m.iter(); }\n}\nfn live2() {}\n";
+        let f = file(src);
+        let live2 = src.rfind("live2").unwrap();
+        let iter = src.find("m.iter").unwrap();
+        assert!(f.is_test_offset(iter));
+        assert!(!f.is_test_offset(live2));
+        assert!(!f.is_test_offset(0));
+    }
+
+    #[test]
+    fn test_attribute_on_fn_is_a_test_range() {
+        let src = "#[test]\nfn check() { x.unwrap(); }\nfn live() { }\n";
+        let f = file(src);
+        assert!(f.is_test_offset(src.find("unwrap").unwrap()));
+        assert!(!f.is_test_offset(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn braceless_cfg_test_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse foo::bar;\nfn live() {}\n";
+        let f = file(src);
+        assert!(f.is_test_offset(src.find("bar").unwrap()));
+        assert!(!f.is_test_offset(src.find("live").unwrap()));
+    }
+
+    #[test]
+    fn pragma_on_preceding_line_targets_next_code_line() {
+        let src = "// audit:allow(hash-iter): order-insensitive per-element clamp\nfor v in m.values_mut() {}\n";
+        let f = file(src);
+        assert!(f.suppressed("hash-iter", 2));
+        assert!(!f.suppressed("hash-iter", 1));
+        assert!(!f.suppressed("noise-seam", 2));
+    }
+
+    #[test]
+    fn trailing_pragma_targets_its_own_line() {
+        let src = "let x = m.iter().count(); // audit:allow(hash-iter): count is order-free\n";
+        let f = file(src);
+        assert!(f.suppressed("hash-iter", 1));
+    }
+
+    #[test]
+    fn pragma_without_reason_is_a_problem_and_suppresses_nothing() {
+        let src = "// audit:allow(hash-iter):\nfor v in m.values() {}\n";
+        let f = file(src);
+        assert_eq!(f.pragmas.len(), 1);
+        assert!(f.pragmas[0].problem.is_some());
+        assert!(!f.suppressed("hash-iter", 2));
+    }
+
+    #[test]
+    fn malformed_pragma_is_reported() {
+        let src = "// audit:allow hash-iter whoops\nlet x = 1;\n";
+        let f = file(src);
+        assert_eq!(f.pragmas.len(), 1);
+        assert!(f.pragmas[0].problem.is_some());
+    }
+
+    #[test]
+    fn pragma_inside_string_is_ignored() {
+        let src = "let s = \"// audit:allow(hash-iter): nope\";\n";
+        let f = file(src);
+        assert!(f.pragmas.is_empty());
+    }
+}

@@ -1,0 +1,96 @@
+//! Deterministic workspace walker.
+//!
+//! Collects the `.rs` files the lints run over: `crates/<name>/src/**` plus the
+//! facade crate's `src/**` at the root. Vendored stand-ins, build output, and
+//! non-shipped code (`tests/`, `benches/`, `examples/`, fixture trees) are
+//! skipped — test-only *regions* inside shipped sources are handled per-lint by
+//! [`crate::source::SourceFile::is_test_offset`]. Directory entries are sorted
+//! so the scan order (and therefore diagnostic order) is byte-identical across
+//! filesystems.
+
+use crate::source::SourceFile;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &[
+    "target", "vendor", ".git", "tests", "benches", "examples", "fixtures",
+];
+
+/// Loads every auditable source file under `root`, sorted by relative path.
+pub fn load_workspace(root: &Path) -> std::io::Result<Vec<SourceFile>> {
+    let mut files: Vec<PathBuf> = Vec::new();
+    collect(root, root, &mut files)?;
+    files.sort();
+    let mut out = Vec::with_capacity(files.len());
+    for path in files {
+        let rel = path
+            .strip_prefix(root)
+            .unwrap_or(&path)
+            .components()
+            .map(|c| c.as_os_str().to_string_lossy())
+            .collect::<Vec<_>>()
+            .join("/");
+        let Some(crate_name) = crate_of(&rel) else {
+            continue;
+        };
+        let bytes = std::fs::read(&path)?;
+        out.push(SourceFile::new(rel, crate_name, bytes));
+    }
+    Ok(out)
+}
+
+fn collect(root: &Path, dir: &Path, files: &mut Vec<PathBuf>) -> std::io::Result<()> {
+    let mut entries: Vec<_> = std::fs::read_dir(dir)?
+        .collect::<Result<Vec<_>, _>>()?
+        .into_iter()
+        .map(|e| e.path())
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if SKIP_DIRS.contains(&name.as_str()) || name.starts_with('.') {
+                continue;
+            }
+            // At the root, only descend into `crates/` and `src/`.
+            if path.parent() == Some(root) && name != "crates" && name != "src" {
+                continue;
+            }
+            collect(root, &path, files)?;
+        } else if name.ends_with(".rs") {
+            files.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// The workspace crate a relative path belongs to: `crates/<name>/src/…` →
+/// `<name>`, `src/…` → `privbasis` (the facade crate and its binaries).
+/// Everything else (crate-level `build.rs`, stray files) is not audited.
+fn crate_of(rel: &str) -> Option<String> {
+    let parts: Vec<&str> = rel.split('/').collect();
+    match parts.as_slice() {
+        ["crates", name, "src", ..] => Some((*name).to_string()),
+        ["src", ..] => Some("privbasis".to_string()),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn crate_of_maps_paths() {
+        assert_eq!(crate_of("crates/core/src/freq.rs").as_deref(), Some("core"));
+        assert_eq!(
+            crate_of("src/bin/privbasis-cli.rs").as_deref(),
+            Some("privbasis")
+        );
+        assert_eq!(crate_of("crates/core/build.rs"), None);
+        assert_eq!(crate_of("README.md"), None);
+    }
+}

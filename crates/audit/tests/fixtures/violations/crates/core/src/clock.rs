@@ -1,0 +1,6 @@
+//! wall-clock fixture: deterministic crates must not read clocks.
+
+pub fn elapsed_nanos() -> u128 {
+    let start = std::time::Instant::now();
+    start.elapsed().as_nanos()
+}

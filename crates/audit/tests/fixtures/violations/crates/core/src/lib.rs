@@ -1,0 +1,17 @@
+//! hash-iter fixture: iterating a HashMap on a release path, plus a pragma
+//! with an empty reason (which must be reported, and suppress nothing).
+
+#![forbid(unsafe_code)]
+
+use std::collections::HashMap;
+
+pub fn leak_order(m: &HashMap<u32, u32>) -> Vec<(u32, u32)> {
+    let mut out = Vec::new();
+    for (k, v) in m.iter() {
+        out.push((*k, *v));
+    }
+    out
+}
+
+// audit:allow(hash-iter):
+pub fn annotated_with_empty_reason() {}

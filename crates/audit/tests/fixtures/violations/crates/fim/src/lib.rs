@@ -1,0 +1,8 @@
+//! noise-seam fixture: RNG draws outside pb-dp and the freq.rs seam.
+
+#![forbid(unsafe_code)]
+
+pub fn rogue_draw() -> u64 {
+    let mut rng = rand::thread_rng();
+    rng.next_u64()
+}

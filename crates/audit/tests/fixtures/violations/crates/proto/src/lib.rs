@@ -1,0 +1,5 @@
+//! unsafe-forbid fixture: a crate root without `#![forbid(unsafe_code)]`.
+
+pub fn version() -> u32 {
+    1
+}

@@ -1,0 +1,7 @@
+//! panic-path fixture: unwrap on the request path.
+
+#![forbid(unsafe_code)]
+
+pub fn parse_k(raw: &str) -> usize {
+    raw.parse().unwrap()
+}

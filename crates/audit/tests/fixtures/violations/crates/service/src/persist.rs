@@ -1,0 +1,8 @@
+//! failpoint-adjacency fixture: a durability call with no inject! nearby.
+
+use std::fs::File;
+use std::io;
+
+pub fn persist(file: &File) -> io::Result<()> {
+    file.sync_all()
+}

@@ -1,0 +1,150 @@
+//! Property tests for the hand-rolled lexer.
+//!
+//! The lexer is the linter's foundation and runs over every byte the walker
+//! finds, so it must be *total*: never panic, never loop, never emit a token
+//! outside the input, on arbitrary bytes — including invalid UTF-8, unpaired
+//! delimiters, and inputs cut off mid-token (truncation hits unterminated
+//! strings, raw strings, block comments, and escapes).
+
+use pb_audit::lexer::{lex, TokenKind};
+use proptest::prelude::*;
+
+/// Structural sanity of a token stream over `src`.
+fn check_invariants(src: &[u8]) {
+    let tokens = lex(src);
+    let mut prev_end = 0usize;
+    let mut prev_line = 1u32;
+    for t in &tokens {
+        assert!(t.start < t.end, "empty token at {}", t.start);
+        assert!(t.end <= src.len(), "token past end of input");
+        assert!(t.start >= prev_end, "tokens overlap or go backwards");
+        assert!(t.line >= prev_line, "line numbers went backwards");
+        assert!(t.line as usize <= src.len() + 1, "line number ran away");
+        prev_end = t.end;
+        prev_line = t.line;
+    }
+}
+
+/// A corpus of tricky prefixes whose truncations exercise every lexer mode.
+const TRICKY: &[&str] = &[
+    "fn f() { \"str with \\\" escape\" }",
+    "let r = r#\"raw \" string\"# + r##\"nested \"# inside\"##;",
+    "let b = b\"bytes\" ; let c = b'x' ; let d = 'y' ; let e = '\\n';",
+    "/* block /* nested */ comment */ ident",
+    "// line comment\nident2",
+    "let lt: &'static str = \"\"; let l = 'l; x < 'a' as u8 >",
+    "#![forbid(unsafe_code)] #[cfg(test)] mod t {}",
+    "let n = 0xFFu64 + 1.5e-3 + 0b101 + 1_000; let r2 = 1..2;",
+    "r#match r#\"x\"# cr##\"y\"## br\"z\"",
+    "\"unterminated",
+    "r###\"unterminated raw",
+    "/* unterminated comment",
+    "'",
+    "b'",
+];
+
+#[test]
+fn truncations_of_tricky_corpus_never_panic() {
+    for s in TRICKY {
+        let bytes = s.as_bytes();
+        for cut in 0..=bytes.len() {
+            check_invariants(&bytes[..cut]);
+        }
+    }
+}
+
+#[test]
+fn tricky_corpus_classifies_edge_cases() {
+    // Raw string with hashes is one Str token.
+    let src = br##"let r = r#"has " quote"#;"##;
+    let toks = lex(src);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Str && t.bytes(src).starts_with(b"r#\"")));
+
+    // Nested block comment swallows the inner terminator.
+    let src = b"/* a /* b */ c */ x";
+    let toks = lex(src);
+    assert_eq!(toks[0].kind, TokenKind::Comment);
+    assert!(toks.iter().any(|t| t.is_ident(src, "x")));
+
+    // Lifetime vs char literal.
+    let src = b"let a: &'a str = f('b');";
+    let toks = lex(src);
+    assert!(toks.iter().any(|t| t.kind == TokenKind::Lifetime));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Char && t.bytes(src) == b"'b'"));
+
+    // Raw identifier is an Ident, not a raw string.
+    let src = b"let r#match = 1;";
+    let toks = lex(src);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Ident && t.bytes(src) == b"r#match"));
+
+    // A float's dots don't swallow a range.
+    let src = b"for i in 1..10 {}";
+    let toks = lex(src);
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Num && t.bytes(src) == b"1"));
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokenKind::Num && t.bytes(src) == b"10"));
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    #[test]
+    fn arbitrary_bytes_never_panic(words in prop::collection::vec(0u32..256, 0..512)) {
+        let bytes: Vec<u8> = words.iter().map(|&w| w as u8).collect();
+        check_invariants(&bytes);
+    }
+
+    #[test]
+    fn arbitrary_ascii_with_delimiters_never_panics(
+        picks in prop::collection::vec(0u32..28, 0..256)
+    ) {
+        // Dense in the characters that switch lexer modes: quotes, hashes,
+        // slashes, stars, `r`, and bracket/punct noise.
+        const ALPHABET: &[u8; 28] = b"ab1_ \n\t\"'#/*r!(){}[]<>.:;=-\\";
+        let s: Vec<u8> = picks.iter().map(|&i| ALPHABET[i as usize]).collect();
+        check_invariants(&s);
+    }
+
+    #[test]
+    fn every_truncation_of_arbitrary_input_never_panics(
+        words in prop::collection::vec(0u32..256, 0..96)
+    ) {
+        let bytes: Vec<u8> = words.iter().map(|&w| w as u8).collect();
+        for cut in 0..=bytes.len() {
+            check_invariants(&bytes[..cut]);
+        }
+    }
+
+    #[test]
+    fn non_comment_tokens_cover_no_whitespace(
+        picks in prop::collection::vec(0u32..19, 0..256)
+    ) {
+        // On whitespace-and-simple-token input, every byte is either inside a
+        // token or ASCII whitespace (nothing silently dropped).
+        const ALPHABET: &[u8; 19] = b"az09_ \n=+(){};.,<>!";
+        let src: Vec<u8> = picks.iter().map(|&i| ALPHABET[i as usize]).collect();
+        let src = &src[..];
+        let tokens = lex(src);
+        let mut covered = vec![false; src.len()];
+        for t in &tokens {
+            for c in covered.iter_mut().take(t.end).skip(t.start) {
+                *c = true;
+            }
+        }
+        for (i, &b) in src.iter().enumerate() {
+            prop_assert!(
+                covered[i] || b.is_ascii_whitespace(),
+                "byte {} ({:?}) neither tokenized nor whitespace", i, b as char
+            );
+        }
+    }
+}

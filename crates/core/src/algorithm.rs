@@ -26,7 +26,7 @@ use pb_fim::topk::top_k_itemsets;
 use pb_fim::{TransactionDb, VerticalIndex};
 use pb_shard::ShardedDb;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// The counting engine one run executes against. Which variant is in play never changes
 /// the released bytes (all engines produce identical exact counts and consume the same
@@ -400,6 +400,7 @@ impl PrivBasis {
             .map(|&(_, c)| self.quality(c, n))
             .collect();
         let per_draw = eps.split(lambda);
+        // audit:allow(noise-seam): GetFreqElements (Algorithm 2) — this draw IS the mechanism; its ε comes out of the α₂ split
         let picked = sample_without_replacement(
             rng,
             &qualities,
@@ -417,7 +418,7 @@ impl PrivBasis {
         &self,
         rng: &mut R,
         n: usize,
-        pair_counts: &HashMap<(Item, Item), usize>,
+        pair_counts: &BTreeMap<(Item, Item), usize>,
         frequent_items: &ItemSet,
         lambda2: usize,
         eps: Epsilon,
@@ -440,6 +441,7 @@ impl PrivBasis {
             .map(|p| self.quality(pair_counts.get(p).copied().unwrap_or(0), n))
             .collect();
         let per_draw = eps.split(lambda2);
+        // audit:allow(noise-seam): GetFreqElements (Algorithm 2) — this draw IS the mechanism; its ε comes out of the α₂ split
         let picked = sample_without_replacement(
             rng,
             &qualities,
@@ -507,6 +509,7 @@ fn get_lambda<R: Rng + ?Sized>(
         .iter()
         .map(|&(_, c)| (1.0 - (c as f64 / n - theta).abs()) * n)
         .collect();
+    // audit:allow(noise-seam): GetLambda (step 1) — the α₁ε exponential-mechanism draw itself
     let idx = exponential_mechanism(rng, &qualities, 1.0, eps, ExponentialScale::Standard)?;
     Ok(idx + 1) // ranks are 1-based: λ = j means "the top j items"
 }

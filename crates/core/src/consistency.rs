@@ -25,7 +25,7 @@
 
 use crate::freq::NoisyCandidateCounts;
 use pb_fim::itemset::ItemSet;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Options for [`enforce_consistency`].
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -60,8 +60,8 @@ pub fn enforce_consistency(
     counts: &NoisyCandidateCounts,
     num_transactions: usize,
     options: ConsistencyOptions,
-) -> HashMap<ItemSet, f64> {
-    let mut adjusted: HashMap<ItemSet, f64> =
+) -> BTreeMap<ItemSet, f64> {
+    let mut adjusted: BTreeMap<ItemSet, f64> =
         counts.iter().map(|(s, e)| (s.clone(), e.count)).collect();
 
     if options.clamp_range {
@@ -140,7 +140,7 @@ pub fn enforce_consistency(
 
 /// Counts how many (parent ⊂ child within `C(B)`) monotonicity violations remain in a count
 /// table; used by tests and the ablation experiments.
-pub fn count_monotonicity_violations(counts: &HashMap<ItemSet, f64>, tolerance: f64) -> usize {
+pub fn count_monotonicity_violations(counts: &BTreeMap<ItemSet, f64>, tolerance: f64) -> usize {
     let mut violations = 0;
     for (child, &child_count) in counts {
         if child.len() < 2 {
@@ -200,7 +200,8 @@ mod tests {
     #[test]
     fn removes_monotonicity_violations() {
         let counts = noisy_counts(0.05, 3);
-        let raw: HashMap<ItemSet, f64> = counts.iter().map(|(s, e)| (s.clone(), e.count)).collect();
+        let raw: BTreeMap<ItemSet, f64> =
+            counts.iter().map(|(s, e)| (s.clone(), e.count)).collect();
         let adjusted = enforce_consistency(&counts, db().len(), ConsistencyOptions::default());
         let before = count_monotonicity_violations(&raw, 1e-9);
         let after = count_monotonicity_violations(&adjusted, 1e-6);

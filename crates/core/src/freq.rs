@@ -41,7 +41,7 @@ use pb_fim::itemset::{Item, ItemSet};
 use pb_fim::{TransactionDb, VerticalIndex};
 use pb_shard::ShardedDb;
 use rand::Rng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Maximum supported basis length (bin vectors are indexed by `u32`-sized masks).
 pub const MAX_SUPPORTED_BASIS_LEN: usize = 20;
@@ -49,7 +49,7 @@ pub const MAX_SUPPORTED_BASIS_LEN: usize = 20;
 /// Noisy counts (and relative variances) for every candidate itemset in `C(B)`.
 #[derive(Debug, Clone, Default)]
 pub struct NoisyCandidateCounts {
-    entries: HashMap<ItemSet, CandidateEstimate>,
+    entries: BTreeMap<ItemSet, CandidateEstimate>,
 }
 
 /// A single candidate's combined estimate.
@@ -107,7 +107,7 @@ impl NoisyCandidateCounts {
     /// Overwrites each candidate's count with its entry in `adjusted` (variances are kept:
     /// they describe the noise that was added, which post-processing does not change).
     /// Candidates missing from `adjusted` keep their current count.
-    pub fn apply_adjusted_counts(&mut self, adjusted: &HashMap<ItemSet, f64>) {
+    pub fn apply_adjusted_counts(&mut self, adjusted: &BTreeMap<ItemSet, f64>) {
         for (itemset, estimate) in self.entries.iter_mut() {
             if let Some(&count) = adjusted.get(itemset) {
                 estimate.count = count;

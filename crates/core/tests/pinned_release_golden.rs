@@ -1,0 +1,142 @@
+//! Pinned-seed release goldens.
+//!
+//! These tests freeze the released bytes of the end-to-end pipeline for fixed
+//! seeds: the exact itemsets AND the exact bit patterns of every noisy count
+//! (`f64::to_bits`, not approximate comparison). They guard the container
+//! choices on the release path — the `HashMap` → `BTreeMap` sweep that
+//! `pb-audit`'s hash-iter lint drove must not change a single released bit,
+//! and any future change that reorders iteration, reassociates a float sum,
+//! or moves a noise draw will fail here with the exact divergent value.
+//!
+//! The goldens were captured once (same code, same vendored RNG) and are as
+//! portable as the RNG stream: `StdRng` is the repo's own vendored,
+//! platform-independent generator.
+
+use pb_core::{
+    basis_freq, basis_freq_counts, enforce_consistency, BasisSet, ConsistencyOptions, PrivBasis,
+};
+use pb_dp::Epsilon;
+use pb_fim::itemset::ItemSet;
+use pb_fim::TransactionDb;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// Deterministic synthetic database: item `j` (0-based, of 8) appears in row
+/// `t` when `t % (j + 2) == 0` — nested-ish frequencies with no RNG involved.
+fn golden_db() -> TransactionDb {
+    let rows: Vec<Vec<u32>> = (0..200u32)
+        .map(|t| (0..8u32).filter(|j| t % (j + 2) == 0).collect())
+        .collect();
+    TransactionDb::from_transactions(rows)
+}
+
+fn set(items: &[u32]) -> ItemSet {
+    ItemSet::new(items.to_vec())
+}
+
+/// Renders a release as `"{itemset}:{count_bits_hex}"` lines for exact
+/// comparison (and reproducible goldens).
+fn render(release: &[(ItemSet, f64)]) -> Vec<String> {
+    release
+        .iter()
+        .map(|(s, c)| {
+            let items: Vec<String> = s.items().iter().map(|i| i.to_string()).collect();
+            format!("{}:{:016x}", items.join(","), c.to_bits())
+        })
+        .collect()
+}
+
+#[test]
+fn end_to_end_release_is_pinned() {
+    let db = golden_db();
+    let out = PrivBasis::with_defaults()
+        .run(&mut StdRng::seed_from_u64(42), &db, 6, Epsilon::Finite(1.0))
+        .expect("run succeeds");
+    assert_eq!(
+        render(&out.itemsets),
+        GOLDEN_END_TO_END,
+        "released bytes moved: itemsets or noisy-count bit patterns changed"
+    );
+}
+
+#[test]
+fn basis_freq_release_is_pinned() {
+    let db = golden_db();
+    let basis = BasisSet::new(vec![set(&[0, 1, 2, 3]), set(&[2, 3, 4, 5]), set(&[6, 7])]);
+    let top = basis_freq(
+        &mut StdRng::seed_from_u64(7),
+        &db,
+        &basis,
+        10,
+        Epsilon::Finite(0.5),
+    );
+    assert_eq!(render(&top), GOLDEN_BASIS_FREQ);
+}
+
+#[test]
+fn consistency_adjusted_release_is_pinned() {
+    let db = golden_db();
+    let basis = BasisSet::new(vec![set(&[0, 1, 2, 3]), set(&[2, 3, 4, 5])]);
+    let counts = basis_freq_counts(
+        &mut StdRng::seed_from_u64(11),
+        &db,
+        &basis,
+        Epsilon::Finite(0.8),
+    );
+    let adjusted = enforce_consistency(&counts, db.len(), ConsistencyOptions::default());
+    let mut rows: Vec<(ItemSet, f64)> = adjusted.into_iter().collect();
+    rows.sort_by(|a, b| a.0.cmp(&b.0));
+    assert_eq!(render(&rows), GOLDEN_CONSISTENCY);
+}
+
+const GOLDEN_END_TO_END: &[&str] = &[
+    "0:405cfd9682894525",
+    "1:4056d71d184bb331",
+    "6:405646701f3e847e",
+    "4:405193fb7b3ae348",
+    "2:4050c6b06fd2988f",
+    "0,2:4050c6b06fd2988f",
+];
+
+const GOLDEN_BASIS_FREQ: &[&str] = &[
+    "0:404a88c4b74be306",
+    "1:4046b36e06ca90ea",
+    "6:404097ff02380412",
+    "4:403f0f0ec739df8e",
+    "0,2:403c5627f17a8680",
+    "2:403938e24e2c5965",
+    "7:40364f9378d7773e",
+    "0,1:402caaf1f78ca1b7",
+    "3:4023297b3788731c",
+    "1,2:40205c3eaa9d51bd",
+];
+
+const GOLDEN_CONSISTENCY: &[&str] = &[
+    "0:40583059dc324682",
+    "0,1:403c767f0ffeb05a",
+    "0,1,2:4022790ba906b1ef",
+    "0,1,2,3:401552d382960567",
+    "0,1,3:4021b7605e74813c",
+    "0,2:404601a5931fae72",
+    "0,2,3:40234988bf660e62",
+    "0,3:403463706a659426",
+    "1:404edf9e0bff594c",
+    "1,2:4022790ba906b1ef",
+    "1,2,3:401552d382960567",
+    "1,3:4029d3dadc9cbff6",
+    "2:404601a5931fae72",
+    "2,3:40234988bf660e62",
+    "2,3,4:400ea592096db418",
+    "2,3,4,5:0000000000000000",
+    "2,3,5:0000000000000000",
+    "2,4:402d2483bf58b574",
+    "2,4,5:0000000000000000",
+    "2,5:40188d02bd2d47bf",
+    "3:4045f28fb105bdfa",
+    "3,4:4029a98b2caebcc4",
+    "3,4,5:0000000000000000",
+    "3,5:400a85e2fff880ca",
+    "4:4039ac764a421570",
+    "4,5:0000000000000000",
+    "5:4038106d5af4c44c",
+];

@@ -6,6 +6,8 @@
 //!
 //! Run with: `cargo run --release -p pb-experiments --bin ablation_alpha`
 
+#![forbid(unsafe_code)]
+
 use pb_core::{PrivBasis, PrivBasisParams};
 use pb_datagen::DatasetProfile;
 use pb_dp::Epsilon;

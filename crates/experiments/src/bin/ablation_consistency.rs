@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release -p pb-experiments --bin ablation_consistency`
 
+#![forbid(unsafe_code)]
+
 use pb_core::consistency::{
     count_monotonicity_violations, enforce_consistency, ConsistencyOptions,
 };
@@ -20,7 +22,7 @@ use pb_fim::topk::top_k_itemsets;
 use pb_metrics::{mean_and_stderr, TsvTable};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 fn main() {
     let profile = DatasetProfile::Mushroom;
@@ -51,7 +53,7 @@ fn main() {
             let mut rng = StdRng::seed_from_u64(9_000 + rep);
             let counts =
                 basis_freq_counts_with_index(&mut rng, &index, &basis, Epsilon::Finite(eps));
-            let raw: HashMap<_, _> = counts.iter().map(|(s, e)| (s.clone(), e.count)).collect();
+            let raw: BTreeMap<_, _> = counts.iter().map(|(s, e)| (s.clone(), e.count)).collect();
             let repaired = enforce_consistency(&counts, db.len(), ConsistencyOptions::default());
             raw_violations.push(count_monotonicity_violations(&raw, 1e-9) as f64);
             fixed_violations.push(count_monotonicity_violations(&repaired, 1e-6) as f64);

@@ -8,6 +8,8 @@
 //!
 //! Run with: `cargo run --release -p pb-experiments --bin ablation_ev`
 
+#![forbid(unsafe_code)]
+
 use pb_core::variance::grouping_factor;
 use pb_core::{basis_freq_counts_with_index, BasisSet};
 use pb_datagen::{QuestConfig, QuestGenerator};

@@ -7,6 +7,8 @@
 //!
 //! Run with: `cargo run --release -p pb-experiments --bin ablation_lambda2`
 
+#![forbid(unsafe_code)]
+
 use pb_core::PrivBasisParams;
 use pb_datagen::DatasetProfile;
 use pb_experiments::{reps_from_env, scale_from_env};

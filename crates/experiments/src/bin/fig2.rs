@@ -3,6 +3,8 @@
 //! Run with: `cargo run --release -p pb-experiments --bin fig2`
 //! Environment: `PB_SCALE` (dataset scale), `PB_REPS` (repetitions, default 3).
 
+#![forbid(unsafe_code)]
+
 use pb_datagen::DatasetProfile;
 use pb_experiments::{figure_sweep, reps_from_env, scale_from_env, EPS_GRID_DENSE};
 

@@ -3,6 +3,8 @@
 //!
 //! Run with: `cargo run --release -p pb-experiments --bin table2a`
 
+#![forbid(unsafe_code)]
+
 use pb_datagen::DatasetProfile;
 use pb_experiments::scale_from_env;
 use pb_fim::stats::top_k_stats;

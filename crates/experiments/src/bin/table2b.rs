@@ -4,6 +4,8 @@
 //!
 //! Run with: `cargo run --release -p pb-experiments --bin table2b`
 
+#![forbid(unsafe_code)]
+
 use pb_datagen::DatasetProfile;
 use pb_experiments::scale_from_env;
 use pb_metrics::TsvTable;

@@ -174,6 +174,7 @@ mod active {
                 if let Err(e) = arm_into(&mut reg, &spec) {
                     // Misarming from the environment must be loud, not silent: a typo'd
                     // schedule that injects nothing would green-light a broken test.
+                    // audit:allow(panic-path): deliberate fail-fast at process start, before any connection is served
                     panic!("invalid PB_FAULTS spec: {e}");
                 }
             }

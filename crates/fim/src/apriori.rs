@@ -8,7 +8,7 @@ use crate::index::VerticalIndex;
 use crate::itemset::{Item, ItemSet};
 use crate::topk::FrequentItemset;
 use crate::transaction::TransactionDb;
-use std::collections::{HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
 
 /// Mines all itemsets with support count `>= min_count`, optionally capping itemset length.
 ///
@@ -93,7 +93,7 @@ pub(crate) fn generate_candidates(frequent_prev: &[ItemSet]) -> Vec<ItemSet> {
     let prev_set: HashSet<&ItemSet> = frequent_prev.iter().collect();
 
     // Group itemsets by their (n-2)-item prefix; any two sharing a prefix join into a candidate.
-    let mut by_prefix: HashMap<Vec<Item>, Vec<Item>> = HashMap::new();
+    let mut by_prefix: BTreeMap<Vec<Item>, Vec<Item>> = BTreeMap::new();
     for s in frequent_prev {
         let items = s.items();
         let prefix = items[..prev_len - 1].to_vec();

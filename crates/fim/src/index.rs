@@ -26,7 +26,7 @@
 use crate::bitmap::Bitmap;
 use crate::itemset::{Item, ItemSet};
 use crate::transaction::TransactionDb;
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 
 /// Below this many words per bitmap (64 transactions each) the histogram sweep stays
 /// single-threaded — thread spawn overhead would dominate.
@@ -255,12 +255,12 @@ impl VerticalIndex {
 
     /// Support counts of all unordered pairs over `items` with non-zero support — same
     /// contract as [`TransactionDb::pair_counts`], computed as AND/popcount per pair.
-    pub fn pair_counts(&self, items: &ItemSet) -> HashMap<(Item, Item), usize> {
+    pub fn pair_counts(&self, items: &ItemSet) -> BTreeMap<(Item, Item), usize> {
         let present: Vec<(Item, &Bitmap)> = items
             .iter()
             .filter_map(|item| self.item_bitmap(item).map(|b| (item, b)))
             .collect();
-        let mut counts = HashMap::new();
+        let mut counts = BTreeMap::new();
         for i in 0..present.len() {
             for j in (i + 1)..present.len() {
                 let c = present[i].1.and_popcount(present[j].1);

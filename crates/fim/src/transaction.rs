@@ -6,7 +6,7 @@
 
 use crate::index::VerticalIndex;
 use crate::itemset::{Item, ItemSet};
-use std::collections::{BTreeSet, HashMap};
+use std::collections::{BTreeMap, BTreeSet};
 
 /// An in-memory transaction database.
 ///
@@ -119,8 +119,8 @@ impl TransactionDb {
     }
 
     /// Per-item support counts.
-    pub fn item_counts(&self) -> HashMap<Item, usize> {
-        let mut counts: HashMap<Item, usize> = HashMap::new();
+    pub fn item_counts(&self) -> BTreeMap<Item, usize> {
+        let mut counts: BTreeMap<Item, usize> = BTreeMap::new();
         for t in &self.transactions {
             for item in t.iter() {
                 *counts.entry(item).or_insert(0) += 1;
@@ -139,8 +139,8 @@ impl TransactionDb {
     /// Support counts of all unordered pairs over the given items, computed in one scan.
     ///
     /// Only pairs with non-zero support appear in the result.
-    pub fn pair_counts(&self, items: &ItemSet) -> HashMap<(Item, Item), usize> {
-        let mut counts: HashMap<(Item, Item), usize> = HashMap::new();
+    pub fn pair_counts(&self, items: &ItemSet) -> BTreeMap<(Item, Item), usize> {
+        let mut counts: BTreeMap<(Item, Item), usize> = BTreeMap::new();
         for t in &self.transactions {
             let present = t.intersect(items);
             let p = present.items();

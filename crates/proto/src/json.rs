@@ -213,7 +213,7 @@ impl<'a> Parser<'a> {
         }
     }
 
-    fn expect(&mut self, byte: u8) -> Result<(), JsonError> {
+    fn expect_byte(&mut self, byte: u8) -> Result<(), JsonError> {
         if self.peek() == Some(byte) {
             self.pos += 1;
             Ok(())
@@ -256,7 +256,10 @@ impl<'a> Parser<'a> {
         ) {
             self.pos += 1;
         }
-        let text = std::str::from_utf8(&self.bytes[start..self.pos]).expect("ascii digits");
+        // The scanned range is ASCII digits/signs, so this cannot fail — but a
+        // parse error beats a panicked worker if that invariant ever breaks.
+        let text = std::str::from_utf8(&self.bytes[start..self.pos])
+            .map_err(|_| self.error("invalid bytes in number"))?;
         text.parse::<f64>()
             .ok()
             .filter(|x| x.is_finite())
@@ -265,7 +268,7 @@ impl<'a> Parser<'a> {
     }
 
     fn parse_string(&mut self) -> Result<String, JsonError> {
-        self.expect(b'"')?;
+        self.expect_byte(b'"')?;
         let mut out = String::new();
         loop {
             match self.peek() {
@@ -319,11 +322,14 @@ impl<'a> Parser<'a> {
                     self.pos += 1;
                 }
                 Some(_) => {
-                    // Consume one UTF-8 scalar (multi-byte sequences arrive intact since
-                    // the input is &str).
-                    let rest =
-                        std::str::from_utf8(&self.bytes[self.pos..]).expect("input was &str");
-                    let c = rest.chars().next().expect("peeked non-empty");
+                    // Consume one UTF-8 scalar. The input arrived as &str so the tail
+                    // is always valid UTF-8 and non-empty here, but a parse error beats
+                    // a panicked worker if either invariant ever breaks.
+                    let rest = std::str::from_utf8(&self.bytes[self.pos..])
+                        .map_err(|_| self.error("invalid UTF-8 in string"))?;
+                    let Some(c) = rest.chars().next() else {
+                        return Err(self.error("unterminated string"));
+                    };
                     if (c as u32) < 0x20 {
                         return Err(self.error("unescaped control character in string"));
                     }
@@ -348,7 +354,7 @@ impl<'a> Parser<'a> {
 
     fn parse_array(&mut self) -> Result<Json, JsonError> {
         self.descend()?;
-        self.expect(b'[')?;
+        self.expect_byte(b'[')?;
         let mut items = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b']') {
@@ -374,7 +380,7 @@ impl<'a> Parser<'a> {
 
     fn parse_object(&mut self) -> Result<Json, JsonError> {
         self.descend()?;
-        self.expect(b'{')?;
+        self.expect_byte(b'{')?;
         let mut pairs = Vec::new();
         self.skip_whitespace();
         if self.peek() == Some(b'}') {
@@ -386,7 +392,7 @@ impl<'a> Parser<'a> {
             self.skip_whitespace();
             let key = self.parse_string()?;
             self.skip_whitespace();
-            self.expect(b':')?;
+            self.expect_byte(b':')?;
             self.skip_whitespace();
             let value = self.parse_value()?;
             pairs.push((key, value));

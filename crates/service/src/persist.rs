@@ -232,8 +232,8 @@ fn scan_records(
             return Ok(pos as u64); // torn header at end-of-file
         }
         let len_bytes = &bytes[pos..pos + 4];
-        let len = u32::from_le_bytes(len_bytes.try_into().unwrap()) as usize;
-        let header_crc = u32::from_le_bytes(bytes[pos + 4..pos + 8].try_into().unwrap());
+        let len = le_u32_at(bytes, pos) as usize;
+        let header_crc = le_u32_at(bytes, pos + 4);
         if crc32(len_bytes) != header_crc {
             return Err(corrupt(
                 path,
@@ -249,7 +249,7 @@ fn scan_records(
             // Authentic length, missing payload bytes: a genuine torn tail.
             return Ok(pos as u64);
         }
-        let payload_crc = u32::from_le_bytes(bytes[pos + 8..pos + 12].try_into().unwrap());
+        let payload_crc = le_u32_at(bytes, pos + 8);
         let payload = &bytes[pos + HEADER_BYTES..pos + HEADER_BYTES + len];
         if crc32(payload) != payload_crc {
             return Err(corrupt(
@@ -339,10 +339,21 @@ pub fn replay(snap_path: &Path, wal_path: &Path) -> io::Result<(LedgerState, u64
     Ok((state, valid_len))
 }
 
+/// Little-endian `u32` at `pos`. The scanner bounds-checks before calling; if
+/// that invariant ever breaks, the zero word fails the adjacent CRC check and
+/// the record reads as torn — fail closed, never panic a worker.
+fn le_u32_at(bytes: &[u8], pos: usize) -> u32 {
+    match bytes.get(pos..pos + 4) {
+        Some(b) => u32::from_le_bytes([b[0], b[1], b[2], b[3]]),
+        None => 0,
+    }
+}
+
 /// Fsyncs a directory so renames and newly created files inside it are durable.
 fn fsync_dir(dir: &Path) -> io::Result<()> {
     #[cfg(unix)]
     {
+        pb_fault::inject!("dir.fsync")?;
         File::open(dir)?.sync_all()?;
     }
     #[cfg(not(unix))]
@@ -576,6 +587,7 @@ impl DebitJournal {
             file.set_len(valid_len)?;
             valid_len
         };
+        pb_fault::inject!("journal.open.fsync")?;
         file.sync_all()?;
         fsync_dir(dir)?;
         let flush = GroupFlush::new(Arc::clone(&file));
@@ -618,6 +630,14 @@ impl DebitJournal {
                 self.wal_path.display()
             )));
         }
+        if matches!(record, Record::Snapshot { .. }) {
+            // Snapshots travel through compaction, never the append path; refuse
+            // loudly but without killing the worker.
+            return Err(io::Error::new(
+                ErrorKind::InvalidInput,
+                "snapshot records are not staged to the journal",
+            ));
+        }
         let bytes = record.encode();
         if let Err(e) =
             pb_fault::inject!("journal.append").and_then(|()| (&*self.file).write_all(&bytes))
@@ -634,7 +654,7 @@ impl DebitJournal {
         match record {
             Record::Debit { spent_after, .. } => self.spent = self.spent.max(spent_after),
             Record::Served { served_after } => self.served = self.served.max(served_after),
-            Record::Snapshot { .. } => unreachable!("snapshots are not appended to the journal"),
+            Record::Snapshot { .. } => {} // rejected above, before any bytes were written
         }
         let seq = self.flush.note_staged();
         self.records_in_wal += 1;
@@ -699,7 +719,10 @@ impl DebitJournal {
         self.records_since_snapshot = 0;
         self.snapshot_generation += 1;
         self.flush.mark_durable_up_to(covered);
-        if let Err(e) = self.file.sync_data().and_then(|()| fsync_dir(&self.dir)) {
+        if let Err(e) = pb_fault::inject!("journal.truncate.fsync")
+            .and_then(|()| self.file.sync_data())
+            .and_then(|()| fsync_dir(&self.dir))
+        {
             // The truncation's durability is unknown; stop accepting stages (fail
             // closed) rather than risk interleaving new records with an undead tail.
             self.wedged = true;
@@ -978,7 +1001,8 @@ impl StateDir {
         std::fs::create_dir_all(&root)?;
         // `.lock` starts with a dot, which `valid_dataset_name` rejects, so no dataset
         // journal can ever collide with it.
-        let lock = File::create(root.join(".lock"))?;
+        let lock = pb_fault::inject!("statedir.lock.create")
+            .and_then(|()| File::create(root.join(".lock")))?;
         lock.try_lock().map_err(|e| {
             io::Error::new(
                 ErrorKind::WouldBlock,

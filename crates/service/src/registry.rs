@@ -462,9 +462,11 @@ impl DatasetRegistry {
                 *manifest = updated;
             }
         }
-        Ok(map
-            .remove(name)
-            .expect("presence checked under the write lock"))
+        // Presence was checked above under the same write lock; if the entry
+        // vanished anyway, report the dataset missing instead of panicking the
+        // admin worker.
+        map.remove(name)
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))
     }
 
     /// Re-partitions a registered dataset into `shards` row shards, in place (the hot

@@ -585,7 +585,13 @@ fn run_admin(op: &Op, ctx: &ServerCtx) -> Response {
             })
             .map_err(registry_error),
         Op::Faults { spec } => run_faults(spec),
-        _ => unreachable!("execute routes only admin ops here"),
+        // `execute` routes only admin ops here; a mis-route is a server bug and
+        // is reported as such, not panicked (a panicked worker sheds the
+        // connection with no diagnosis for the client).
+        _ => Err(WireError::new(
+            ErrorCode::Internal,
+            "non-admin op routed to the admin handler",
+        )),
     };
     match result {
         Ok(reply) => Response::Admin(reply),
@@ -708,6 +714,7 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
     let seed = query
         .seed
         .unwrap_or_else(|| ctx.seed_counter.fetch_add(1, Ordering::Relaxed) & ((1 << 53) - 1));
+    // audit:allow(noise-seam): RNG construction only — every draw happens inside pb-dp behind PrivBasis::run_shared
     let mut rng = StdRng::seed_from_u64(seed);
     let context = Arc::clone(entry.context());
     match PrivBasis::new(ctx.params.clone()).run_shared(&mut rng, &context, query.k, epsilon) {

@@ -4,7 +4,7 @@ use crate::executor::ShardExecutor;
 use crate::plan::ShardPlan;
 use pb_fim::itemset::{Item, ItemSet};
 use pb_fim::{TransactionDb, VerticalIndex};
-use std::collections::{BTreeMap, HashMap};
+use std::collections::BTreeMap;
 use std::sync::{Arc, OnceLock};
 
 /// One shard: its rows plus a lazily built vertical index over them.
@@ -186,11 +186,11 @@ impl ShardedDb {
 
     /// Support counts of all unordered pairs over `items` with non-zero support — the
     /// same contract as [`TransactionDb::pair_counts`], merged by summation.
-    pub fn pair_counts(&self, items: &ItemSet) -> HashMap<(Item, Item), usize> {
+    pub fn pair_counts(&self, items: &ItemSet) -> BTreeMap<(Item, Item), usize> {
         let per_shard = self.executor().run(self.shards.len(), |s, _| {
             self.shards[s].index().pair_counts(items)
         });
-        let mut merged: HashMap<(Item, Item), usize> = HashMap::new();
+        let mut merged: BTreeMap<(Item, Item), usize> = BTreeMap::new();
         for counts in per_shard {
             for (pair, count) in counts {
                 *merged.entry(pair).or_insert(0) += count;

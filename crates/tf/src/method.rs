@@ -139,6 +139,7 @@ impl TfMethod {
             .into_iter()
             .map(|s| {
                 let true_count = db.support(&s) as f64;
+                // audit:allow(noise-seam): the TF baseline's own Laplace draw; its ε/2 budget is accounted in TfMethod
                 (s, true_count + noise.sample(rng))
             })
             .collect();

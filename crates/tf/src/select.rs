@@ -129,6 +129,7 @@ pub fn select_top_k_exponential<R: Rng + ?Sized>(
         if total <= 0.0 || !total.is_finite() {
             break;
         }
+        // audit:allow(noise-seam): TF's exponential-mechanism sampler — this inverse-CDF draw is the mechanism
         let mut target = rng.gen::<f64>() * total;
         let mut picked_explicit: Option<usize> = None;
         for (i, &w) in explicit_weights.iter().enumerate() {
@@ -194,6 +195,7 @@ fn random_unused_itemset<R: Rng + ?Sized>(
     let total: f64 = weights.iter().sum();
 
     for _ in 0..1_000 {
+        // audit:allow(noise-seam): size marginal of the same TF mechanism draw
         let mut t = rng.gen::<f64>() * total;
         let mut size = 1usize;
         for (i, &w) in weights.iter().enumerate() {
@@ -208,6 +210,7 @@ fn random_unused_itemset<R: Rng + ?Sized>(
         let mut guard = 0;
         while items.len() < size && guard < 10_000 {
             guard += 1;
+            // audit:allow(noise-seam): uniform member draw within the selected TF size class (same mechanism)
             let candidate = rng.gen_range(0..universe_size) as Item;
             if !items.contains(&candidate) {
                 items.push(candidate);
@@ -270,6 +273,7 @@ pub fn select_top_k_laplace<R: Rng + ?Sized>(
         for candidate in universe_set.subsets_of_size(size) {
             let count = observed.get(&candidate).copied().unwrap_or(0.0);
             let truncated = count.max(trunc_count);
+            // audit:allow(noise-seam): TF's per-candidate Laplace score; budgeted by the caller's ε split
             scored.push((truncated + noise.sample(rng), candidate));
         }
     }

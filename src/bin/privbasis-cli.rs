@@ -8,6 +8,7 @@
 //!               [--budget 4.0] [--threads 8] [--host 127.0.0.1]
 //!               [--state-dir state/] [--snapshot-every 256]
 //!               [--http-port 8080] [--admin-token SECRET]
+//! privbasis-cli audit [--root DIR] [--json]
 //! ```
 //!
 //! The input format is the FIMI repository format the paper's datasets are distributed in:
@@ -21,6 +22,12 @@
 //! admin ops (`register`/`unregister`/`reshard`) behind a bearer token; `--http-port`
 //! adds the HTTP/1.1 gateway (`POST /v1/query`, `GET /v1/status`, `POST /v1/admin/*`,
 //! `GET /metrics`).
+//!
+//! `audit` runs the `pb-audit` workspace invariant linter (determinism, privacy seam,
+//! panic freedom, failpoint adjacency) over `--root` (default: the current directory)
+//! and exits non-zero on findings — the same gate CI enforces.
+
+#![forbid(unsafe_code)]
 
 use privbasis::core::PrivBasisParams;
 use privbasis::dp::Epsilon;
@@ -94,6 +101,7 @@ const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <
        [--budget <EPS>] [--threads <N>] [--host <ADDR>] [--no-consistency]\n\
        [--state-dir <DIR>] [--snapshot-every <N>] [--shards <S>]\n\
        [--http-port <PORT>] [--admin-token <TOKEN>] [--max-pending <N>]\n\
+   or: privbasis-cli audit [--root <DIR>] [--json]\n\
 \n\
   --input    FIMI-format transaction file (one transaction per line, integer items)\n\
   --k        number of itemsets to publish\n\
@@ -137,7 +145,12 @@ serve mode:\n\
   --max-pending\n\
              admission cap on in-flight connections (default 1024); accepts beyond\n\
              it are shed immediately with a structured `unavailable` response\n\
-             (HTTP: 503 + Retry-After) instead of queueing without bound";
+             (HTTP: 503 + Retry-After) instead of queueing without bound\n\
+\n\
+audit mode:\n\
+  --root     workspace root to audit (default: the current directory)\n\
+  --json     emit findings as JSON (stable order, one object per line)\n\
+             exit status: 0 clean, 1 findings, 2 usage or IO error";
 
 /// Parses arguments; returns `Err(message)` on any problem.
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -542,8 +555,68 @@ fn serve(options: &ServeOptions) -> Result<(), String> {
     server.run().map_err(|e| e.to_string())
 }
 
+/// Parsed options of the `audit` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct AuditOptions {
+    root: String,
+    json: bool,
+}
+
+/// Parses the arguments after the `audit` keyword.
+fn parse_audit_args(args: &[String]) -> Result<AuditOptions, String> {
+    let mut root = ".".to_string();
+    let mut json = false;
+    let mut i = 0;
+    while i < args.len() {
+        match args[i].as_str() {
+            "--root" => {
+                i += 1;
+                root = args
+                    .get(i)
+                    .cloned()
+                    .ok_or_else(|| "--root needs a directory".to_string())?;
+            }
+            "--json" => json = true,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown audit flag `{other}`\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+    Ok(AuditOptions { root, json })
+}
+
+/// Runs the pb-audit invariant linter — the same gate CI enforces.
+/// Exit status: 0 clean, 1 findings, 2 usage or IO error.
+fn audit(options: &AuditOptions) -> ExitCode {
+    let report = match privbasis::audit::audit(std::path::Path::new(&options.root)) {
+        Ok(r) => r,
+        Err(e) => {
+            eprintln!("audit: cannot audit {}: {e}", options.root);
+            return ExitCode::from(2);
+        }
+    };
+    if options.json {
+        print!("{}", privbasis::audit::render_json(&report.findings));
+    } else {
+        for d in &report.findings {
+            println!("{}", d.human());
+        }
+        eprintln!(
+            "audit: {} finding(s) across {} file(s)",
+            report.findings.len(),
+            report.files_scanned
+        );
+    }
+    if report.findings.is_empty() {
+        ExitCode::SUCCESS
+    } else {
+        ExitCode::FAILURE
+    }
+}
+
 fn run(options: &Options, db: &TransactionDb) -> Result<Vec<(ItemSet, f64)>, String> {
     let epsilon = Epsilon::new(options.epsilon).map_err(|e| e.to_string())?;
+    // audit:allow(noise-seam): RNG construction only — all draws happen inside pb-dp behind the method entry points
     let mut rng = StdRng::seed_from_u64(options.seed);
     match options.method {
         Method::PrivBasis => {
@@ -578,6 +651,15 @@ fn run(options: &Options, db: &TransactionDb) -> Result<Vec<(ItemSet, f64)>, Str
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
+    if args.first().map(String::as_str) == Some("audit") {
+        return match parse_audit_args(&args[1..]) {
+            Ok(o) => audit(&o),
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
     if args.first().map(String::as_str) == Some("serve") {
         let options = match parse_serve_args(&args[1..]) {
             Ok(o) => o,
@@ -968,6 +1050,43 @@ mod tests {
         ]))
         .is_err());
         assert!(parse_serve_args(&args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_audit_arguments() {
+        let o = parse_audit_args(&args(&[])).unwrap();
+        assert_eq!(
+            o,
+            AuditOptions {
+                root: ".".to_string(),
+                json: false
+            }
+        );
+        let o = parse_audit_args(&args(&["--root", "/tmp/ws", "--json"])).unwrap();
+        assert_eq!(o.root, "/tmp/ws");
+        assert!(o.json);
+        assert!(parse_audit_args(&args(&["--root"])).is_err());
+        assert!(parse_audit_args(&args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn audit_subcommand_runs_the_real_linter() {
+        // A tree with one deliberate violation: findings reported, non-clean exit.
+        let dir = std::env::temp_dir().join(format!("pb_cli_audit_{}", std::process::id()));
+        std::fs::create_dir_all(dir.join("crates/core/src")).unwrap();
+        std::fs::write(
+            dir.join("crates/core/src/lib.rs"),
+            "#![forbid(unsafe_code)]\npub fn t() -> u64 { std::time::Instant::now(); 0 }\n",
+        )
+        .unwrap();
+        let report = privbasis::audit::audit(&dir).unwrap();
+        assert!(report.findings.iter().any(|d| d.lint == "wall-clock"));
+        let opts = AuditOptions {
+            root: dir.to_string_lossy().into_owned(),
+            json: true,
+        };
+        assert_eq!(audit(&opts), ExitCode::FAILURE);
+        std::fs::remove_dir_all(&dir).unwrap();
     }
 
     #[test]

@@ -43,6 +43,7 @@
 
 #![forbid(unsafe_code)]
 
+pub use pb_audit as audit;
 pub use pb_core as core;
 pub use pb_datagen as datagen;
 pub use pb_dp as dp;
