@@ -153,10 +153,7 @@ impl PbClient {
     /// Next jittered backoff delay for retry `attempt` (1-based): exponential with a
     /// ceiling, scaled into [50%, 100%] by the deterministic jitter stream.
     fn backoff(&mut self, policy: &RetryPolicy, attempt: u32) -> Duration {
-        let exp = policy
-            .base_delay
-            .saturating_mul(1u32.checked_shl(attempt - 1).unwrap_or(u32::MAX))
-            .min(policy.max_delay);
+        let exp = exponential_backoff(policy, attempt);
         // splitmix64 step.
         self.jitter = self.jitter.wrapping_add(0x9e37_79b9_7f4a_7c15);
         let mut z = self.jitter;
@@ -341,6 +338,98 @@ impl PbClient {
             ))),
         }
     }
+
+    /// Ships one chunk of rows to a shard worker (worker op; see
+    /// [`Op::ShardLoad`](crate::message::Op::ShardLoad)). Returns the total rows the
+    /// worker now holds under `key`.
+    pub fn shard_load(
+        &mut self,
+        key: &str,
+        rows: Vec<Vec<u32>>,
+        reset: bool,
+        seal: bool,
+    ) -> Result<u64, ClientError> {
+        let op = Op::ShardLoad {
+            key: key.to_string(),
+            rows,
+            reset,
+            seal,
+        };
+        match self.round_trip(None, op)? {
+            Response::ShardLoaded { rows, .. } => Ok(rows),
+            other => Err(ClientError::Protocol(format!(
+                "expected a shard_load ack, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Exact shard-local supports for a batch of itemsets, in request order (worker op).
+    pub fn shard_supports(
+        &mut self,
+        key: &str,
+        itemsets: Vec<Vec<u32>>,
+    ) -> Result<Vec<u64>, ClientError> {
+        let op = Op::ShardSupports {
+            key: key.to_string(),
+            itemsets,
+        };
+        match self.round_trip(None, op)? {
+            Response::ShardCounts(counts) => Ok(counts),
+            other => Err(ClientError::Protocol(format!(
+                "expected shard counts, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Exact shard-local pair counts over `items`: one count per pair
+    /// `(items[i], items[j])` with `i < j` in request order, zeros included (worker op).
+    pub fn shard_pairs(&mut self, key: &str, items: Vec<u32>) -> Result<Vec<u64>, ClientError> {
+        let op = Op::ShardPairs {
+            key: key.to_string(),
+            items,
+        };
+        match self.round_trip(None, op)? {
+            Response::ShardCounts(counts) => Ok(counts),
+            other => Err(ClientError::Protocol(format!(
+                "expected shard counts, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Exact shard-local bin histograms, one per basis in request order (worker op).
+    pub fn shard_histograms(
+        &mut self,
+        key: &str,
+        bases: Vec<Vec<u32>>,
+    ) -> Result<Vec<Vec<u64>>, ClientError> {
+        let op = Op::ShardHistograms {
+            key: key.to_string(),
+            bases,
+        };
+        match self.round_trip(None, op)? {
+            Response::ShardHistograms(histograms) => Ok(histograms),
+            other => Err(ClientError::Protocol(format!(
+                "expected shard histograms, got {other:?}"
+            ))),
+        }
+    }
+}
+
+/// The un-jittered exponential delay for retry `attempt`: `min(max_delay,
+/// base_delay · 2^(attempt-1))`, clamped at the ceiling for any shift width.
+///
+/// Total over the whole `u32` domain: `attempt` is 1-based from the retry loop, but
+/// the fabric's hedged requests reuse this policy from other call sites, so an
+/// `attempt` of 0 must yield `base_delay` rather than underflow (a debug-build panic
+/// pre-fix).
+fn exponential_backoff(policy: &RetryPolicy, attempt: u32) -> Duration {
+    policy
+        .base_delay
+        .saturating_mul(
+            1u32.checked_shl(attempt.saturating_sub(1))
+                .unwrap_or(u32::MAX),
+        )
+        .min(policy.max_delay)
 }
 
 /// Transient by construction: transport failures and structured `unavailable`
@@ -351,5 +440,30 @@ fn retryable(e: &ClientError) -> bool {
         ClientError::Io(_) => true,
         ClientError::Server(w) => w.code == ErrorCode::Unavailable,
         ClientError::Protocol(_) => false,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn backoff_is_total_over_the_attempt_domain() {
+        let policy = RetryPolicy {
+            max_retries: 3,
+            base_delay: Duration::from_millis(10),
+            max_delay: Duration::from_secs(2),
+            jitter_seed: 1,
+        };
+        // The boundary that used to underflow in debug builds: attempt 0 must behave
+        // like attempt 1 (no 2^-1 exists; the first delay is the base delay).
+        assert_eq!(exponential_backoff(&policy, 0), Duration::from_millis(10));
+        assert_eq!(exponential_backoff(&policy, 1), Duration::from_millis(10));
+        assert_eq!(exponential_backoff(&policy, 2), Duration::from_millis(20));
+        assert_eq!(exponential_backoff(&policy, 3), Duration::from_millis(40));
+        // Large attempts saturate at the ceiling instead of overflowing the shift.
+        for attempt in [9, 31, 32, 33, u32::MAX] {
+            assert_eq!(exponential_backoff(&policy, attempt), policy.max_delay);
+        }
     }
 }

@@ -35,5 +35,5 @@ pub use json::{Json, JsonError};
 pub use message::{
     AdminReply, DatasetStatus, Envelope, JournalMetrics, Op, ParseFailure, ParsedResponse,
     QueryReply, QueryRequest, RegisterRequest, RegisterSource, ReleasedItemset, Response,
-    ServerInfo, StatusReply, MAX_QUERY_K, MAX_SHARDS, PROTOCOL_VERSION,
+    ServerInfo, StatusReply, MAX_BASIS_WIDTH, MAX_QUERY_K, MAX_SHARDS, PROTOCOL_VERSION,
 };

@@ -29,6 +29,11 @@ pub const MAX_QUERY_K: usize = 4096;
 /// per-shard allocation fan-out a hostile request could demand).
 pub const MAX_SHARDS: usize = 4096;
 
+/// Largest basis an individual `shard_histograms` op may name: a basis of `w` items
+/// produces a `2^w`-bin histogram, so an unbounded width would let one request demand
+/// an exponential allocation. The paper's bases stay below 16 items.
+pub const MAX_BASIS_WIDTH: usize = 20;
+
 /// The parameters of a `query` op.
 #[derive(Debug, Clone, PartialEq)]
 pub struct QueryRequest {
@@ -98,6 +103,45 @@ pub enum Op {
         /// A `pb-fault` plan spec (e.g. `journal.fsync=fail-once`); empty clears.
         spec: String,
     },
+    /// Seed (or re-seed) a shard on a worker (v2 only; served only by `shard-worker`
+    /// processes). Rows arrive in chunks bounded by the request-line cap; the final
+    /// chunk carries `seal: true`, after which the shard serves count ops.
+    ShardLoad {
+        /// Shard identity on the worker (coordinator-chosen, e.g. `dataset/3`).
+        key: String,
+        /// This chunk's rows, appended in order.
+        rows: Vec<Vec<u32>>,
+        /// Drop any rows already held under `key` before appending (first chunk).
+        reset: bool,
+        /// Finish loading: build the shard and start serving count ops for it.
+        seal: bool,
+    },
+    /// Exact shard-local support counts for a batch of itemsets (v2, worker only).
+    /// Also the θ-anchor probe op: the coordinator's lattice walk sends candidate
+    /// itemsets here one batch at a time.
+    ShardSupports {
+        /// Shard to count against.
+        key: String,
+        /// The candidate itemsets.
+        itemsets: Vec<Vec<u32>>,
+    },
+    /// Exact shard-local support counts of all unordered pairs over `items` with
+    /// non-zero shard support (v2, worker only).
+    ShardPairs {
+        /// Shard to count against.
+        key: String,
+        /// Items whose pairs are counted.
+        items: Vec<u32>,
+    },
+    /// Exact shard-local `BasisFreq` bin histograms, one `2^|B|`-bin histogram per
+    /// basis (v2, worker only). The coordinator merges these by integer summation
+    /// before its single noise draw.
+    ShardHistograms {
+        /// Shard to count against.
+        key: String,
+        /// The bases (each at most [`MAX_BASIS_WIDTH`] items).
+        bases: Vec<Vec<u32>>,
+    },
 }
 
 impl Op {
@@ -111,6 +155,10 @@ impl Op {
             Op::Unregister { .. } => "unregister",
             Op::Reshard { .. } => "reshard",
             Op::Faults { .. } => "faults",
+            Op::ShardLoad { .. } => "shard_load",
+            Op::ShardSupports { .. } => "shard_supports",
+            Op::ShardPairs { .. } => "shard_pairs",
+            Op::ShardHistograms { .. } => "shard_histograms",
         }
     }
 
@@ -119,6 +167,18 @@ impl Op {
         matches!(
             self,
             Op::Register(_) | Op::Unregister { .. } | Op::Reshard { .. } | Op::Faults { .. }
+        )
+    }
+
+    /// True for the shard-worker count ops, which only `shard-worker` processes serve
+    /// (a coordinator refuses them with a structured `unavailable`).
+    pub fn is_shard_op(&self) -> bool {
+        matches!(
+            self,
+            Op::ShardLoad { .. }
+                | Op::ShardSupports { .. }
+                | Op::ShardPairs { .. }
+                | Op::ShardHistograms { .. }
         )
     }
 }
@@ -273,12 +333,58 @@ impl Op {
                         .to_string(),
                 },
             }),
+            "shard_load" if v >= 2 => Ok(Op::ShardLoad {
+                key: required_str(value, "key", "shard_load")?,
+                rows: match value.get("rows") {
+                    None | Some(Json::Null) => Vec::new(),
+                    Some(raw) => parse_u32_rows(raw, "rows")?,
+                },
+                reset: parse_flag(value, "reset")?,
+                seal: parse_flag(value, "seal")?,
+            }),
+            "shard_supports" if v >= 2 => Ok(Op::ShardSupports {
+                key: required_str(value, "key", "shard_supports")?,
+                itemsets: parse_u32_rows(
+                    value.get("itemsets").ok_or_else(|| {
+                        WireError::malformed("shard_supports needs an `itemsets` array")
+                    })?,
+                    "itemsets",
+                )?,
+            }),
+            "shard_pairs" if v >= 2 => Ok(Op::ShardPairs {
+                key: required_str(value, "key", "shard_pairs")?,
+                items: parse_u32_row(
+                    value.get("items").ok_or_else(|| {
+                        WireError::malformed("shard_pairs needs an `items` array")
+                    })?,
+                    "items",
+                )?,
+            }),
+            "shard_histograms" if v >= 2 => {
+                let bases = parse_u32_rows(
+                    value.get("bases").ok_or_else(|| {
+                        WireError::malformed("shard_histograms needs a `bases` array")
+                    })?,
+                    "bases",
+                )?;
+                if let Some(wide) = bases.iter().find(|b| b.len() > MAX_BASIS_WIDTH) {
+                    return Err(WireError::malformed(format!(
+                        "a basis may have at most {MAX_BASIS_WIDTH} items \
+                         (histograms are 2^|B| bins); got {}",
+                        wide.len()
+                    )));
+                }
+                Ok(Op::ShardHistograms {
+                    key: required_str(value, "key", "shard_histograms")?,
+                    bases,
+                })
+            }
             other => Err(WireError::new(
                 ErrorCode::UnknownOp,
                 if v >= 2 {
                     format!(
                         "unknown op `{other}` (expected query, status, shutdown, \
-                         register, unregister, reshard, or faults)"
+                         register, unregister, reshard, faults, or the shard_* worker ops)"
                     )
                 } else {
                     // Exact v1 bytes, including for admin ops a legacy line cannot use.
@@ -337,6 +443,36 @@ impl Op {
             Op::Faults { spec } => {
                 fields.push(("spec".into(), Json::String(spec.clone())));
             }
+            Op::ShardLoad {
+                key,
+                rows,
+                reset,
+                seal,
+            } => {
+                fields.push(("key".into(), Json::String(key.clone())));
+                fields.push(("rows".into(), u32_rows_json(rows)));
+                if *reset {
+                    fields.push(("reset".into(), Json::Bool(true)));
+                }
+                if *seal {
+                    fields.push(("seal".into(), Json::Bool(true)));
+                }
+            }
+            Op::ShardSupports { key, itemsets } => {
+                fields.push(("key".into(), Json::String(key.clone())));
+                fields.push(("itemsets".into(), u32_rows_json(itemsets)));
+            }
+            Op::ShardPairs { key, items } => {
+                fields.push(("key".into(), Json::String(key.clone())));
+                fields.push((
+                    "items".into(),
+                    Json::Array(items.iter().map(|&i| Json::Number(i as f64)).collect()),
+                ));
+            }
+            Op::ShardHistograms { key, bases } => {
+                fields.push(("key".into(), Json::String(key.clone())));
+                fields.push(("bases".into(), u32_rows_json(bases)));
+            }
         }
     }
 }
@@ -347,6 +483,50 @@ fn required_str(value: &Json, key: &str, op: &str) -> Result<String, WireError> 
         .and_then(Json::as_str)
         .map(str::to_string)
         .ok_or_else(|| WireError::malformed(format!("{op} needs a `{key}` string")))
+}
+
+/// A boolean field that is absent (or null) by default; anything but a bool is refused.
+fn parse_flag(value: &Json, key: &str) -> Result<bool, WireError> {
+    match value.get(key) {
+        None | Some(Json::Null) => Ok(false),
+        Some(raw) => raw
+            .as_bool()
+            .ok_or_else(|| WireError::malformed(format!("`{key}` must be a boolean"))),
+    }
+}
+
+/// One array of u32 items (`[1,2,3]`).
+fn parse_u32_row(raw: &Json, key: &str) -> Result<Vec<u32>, WireError> {
+    let items = raw
+        .as_array()
+        .ok_or_else(|| WireError::malformed(format!("`{key}` must be an array of arrays")))?;
+    let mut out = Vec::with_capacity(items.len());
+    for item in items {
+        let item = item
+            .as_u64()
+            .filter(|&i| i <= u32::MAX as u64)
+            .ok_or_else(|| {
+                WireError::malformed(format!("`{key}` items must be integers in the u32 range"))
+            })?;
+        out.push(item as u32);
+    }
+    Ok(out)
+}
+
+/// An array of u32 arrays (`[[1,2],[3]]`) — register rows, shard rows, itemset batches.
+fn parse_u32_rows(raw: &Json, key: &str) -> Result<Vec<Vec<u32>>, WireError> {
+    let rows = raw
+        .as_array()
+        .ok_or_else(|| WireError::malformed(format!("`{key}` must be an array of arrays")))?;
+    rows.iter().map(|row| parse_u32_row(row, key)).collect()
+}
+
+fn u32_rows_json(rows: &[Vec<u32>]) -> Json {
+    Json::Array(
+        rows.iter()
+            .map(|row| Json::Array(row.iter().map(|&i| Json::Number(i as f64)).collect()))
+            .collect(),
+    )
 }
 
 fn parse_shards(value: &Json) -> Result<Option<usize>, WireError> {
@@ -443,31 +623,7 @@ impl RegisterRequest {
                     .ok_or_else(|| WireError::malformed("`path` must be a string"))?
                     .to_string(),
             ),
-            (None, Some(raw)) => {
-                let rows = raw
-                    .as_array()
-                    .ok_or_else(|| WireError::malformed("`rows` must be an array of arrays"))?;
-                let mut parsed = Vec::with_capacity(rows.len());
-                for row in rows {
-                    let items = row
-                        .as_array()
-                        .ok_or_else(|| WireError::malformed("`rows` must be an array of arrays"))?;
-                    let mut out = Vec::with_capacity(items.len());
-                    for item in items {
-                        let item =
-                            item.as_u64()
-                                .filter(|&i| i <= u32::MAX as u64)
-                                .ok_or_else(|| {
-                                    WireError::malformed(
-                                        "`rows` items must be integers in the u32 range",
-                                    )
-                                })?;
-                        out.push(item as u32);
-                    }
-                    parsed.push(out);
-                }
-                RegisterSource::Rows(parsed)
-            }
+            (None, Some(raw)) => RegisterSource::Rows(parse_u32_rows(raw, "rows")?),
             (None, None) => {
                 return Err(WireError::malformed(
                     "register needs a `path` string or inline `rows`",
@@ -649,6 +805,21 @@ pub enum Response {
     Shutdown,
     /// An admin-op acknowledgement.
     Admin(AdminReply),
+    /// A `shard_load` acknowledgement: the shard key and the rows now held under it.
+    ShardLoaded {
+        /// The shard key.
+        key: String,
+        /// Total rows held under the key after this chunk.
+        rows: u64,
+    },
+    /// Shard-local counts for a `shard_supports` or `shard_pairs` op. Supports arrive
+    /// in request order; pair counts arrive as one count per pair `(items[i],
+    /// items[j])` with `i < j` in request order, zeros included — positional identity
+    /// is what lets the coordinator merge shards whose non-zero pair sets differ.
+    ShardCounts(Vec<u64>),
+    /// Shard-local bin histograms for a `shard_histograms` op, one `2^|B|`-bin
+    /// histogram per requested basis, in request order.
+    ShardHistograms(Vec<Vec<u64>>),
     /// A structured failure.
     Error(WireError),
 }
@@ -789,6 +960,32 @@ impl Response {
                     }
                 }
             }
+            Response::ShardLoaded { key, rows } => {
+                fields.push(("status".into(), Json::String("ok".into())));
+                fields.push(("loaded".into(), Json::String(key.clone())));
+                fields.push(("rows".into(), Json::Number(*rows as f64)));
+            }
+            Response::ShardCounts(counts) => {
+                fields.push(("status".into(), Json::String("ok".into())));
+                fields.push((
+                    "counts".into(),
+                    Json::Array(counts.iter().map(|&c| Json::Number(c as f64)).collect()),
+                ));
+            }
+            Response::ShardHistograms(histograms) => {
+                fields.push(("status".into(), Json::String("ok".into())));
+                fields.push((
+                    "histograms".into(),
+                    Json::Array(
+                        histograms
+                            .iter()
+                            .map(|hist| {
+                                Json::Array(hist.iter().map(|&c| Json::Number(c as f64)).collect())
+                            })
+                            .collect(),
+                    ),
+                ));
+            }
         }
         Json::Object(fields).to_string()
     }
@@ -900,6 +1097,32 @@ impl Response {
                 spec: require_str(value, "faults_armed")?,
                 armed: require_u64(value, "armed")?,
             }));
+        }
+        if value.get("loaded").is_some() {
+            return Ok(Response::ShardLoaded {
+                key: require_str(value, "loaded")?,
+                rows: require_u64(value, "rows")?,
+            });
+        }
+        if let Some(raw) = value.get("counts").and_then(Json::as_array) {
+            let counts = raw
+                .iter()
+                .map(|c| c.as_u64().ok_or("`counts` must be integers"))
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Response::ShardCounts(counts));
+        }
+        if let Some(raw) = value.get("histograms").and_then(Json::as_array) {
+            let histograms = raw
+                .iter()
+                .map(|hist| {
+                    hist.as_array()
+                        .ok_or("`histograms` must be arrays of integers")?
+                        .iter()
+                        .map(|c| c.as_u64().ok_or("`histograms` must be arrays of integers"))
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Response::ShardHistograms(histograms));
         }
         Err("unrecognised ok-response body".to_string())
     }
@@ -1241,6 +1464,12 @@ mod tests {
                 spec: "journal.fsync=fail-once".into(),
                 armed: 1,
             }),
+            Response::ShardLoaded {
+                key: "d/3".into(),
+                rows: 120,
+            },
+            Response::ShardCounts(vec![5, 0, 17]),
+            Response::ShardHistograms(vec![vec![1, 0, 2, 4], vec![9, 3]]),
         ];
         for reply in replies {
             let line = reply.encode(2, Some("id-1"));
@@ -1286,6 +1515,58 @@ mod tests {
         // A legacy line cannot reach the fault surface at all.
         let err = Envelope::parse(r#"{"op":"faults"}"#).unwrap_err();
         assert_eq!(err.error.code, ErrorCode::UnknownOp);
+    }
+
+    #[test]
+    fn shard_ops_are_v2_only_and_round_trip() {
+        let ops = [
+            Op::ShardLoad {
+                key: "d/0".into(),
+                rows: vec![vec![1, 2, 3], vec![], vec![7]],
+                reset: true,
+                seal: false,
+            },
+            Op::ShardLoad {
+                key: "d/0".into(),
+                rows: vec![],
+                reset: false,
+                seal: true,
+            },
+            Op::ShardSupports {
+                key: "d/0".into(),
+                itemsets: vec![vec![1, 2], vec![3]],
+            },
+            Op::ShardPairs {
+                key: "d/0".into(),
+                items: vec![1, 2, 5],
+            },
+            Op::ShardHistograms {
+                key: "d/0".into(),
+                bases: vec![vec![1, 2, 3], vec![4]],
+            },
+        ];
+        for op in ops {
+            assert!(op.is_shard_op());
+            assert!(!op.is_admin());
+            let envelope = Envelope::v2("s1", None, op);
+            assert_eq!(Envelope::parse(&envelope.encode()).unwrap(), envelope);
+        }
+        // Legacy lines cannot reach the worker surface.
+        let err =
+            Envelope::parse(r#"{"op":"shard_supports","key":"d/0","itemsets":[[1]]}"#).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::UnknownOp);
+        // Field validation is structural, with structured codes.
+        for bad in [
+            r#"{"v":2,"op":"shard_load","rows":[[1]]}"#, // missing key
+            r#"{"v":2,"op":"shard_load","key":"d","rows":[[-1]]}"#, // negative item
+            r#"{"v":2,"op":"shard_load","key":"d","rows":[[1]],"seal":3}"#, // non-bool seal
+            r#"{"v":2,"op":"shard_supports","key":"d"}"#, // missing itemsets
+            r#"{"v":2,"op":"shard_pairs","key":"d","items":[[1]]}"#, // nested items
+            r#"{"v":2,"op":"shard_histograms","key":"d","bases":[[1,2,3,4,5,6,7,8,9,10,11,12,13,14,15,16,17,18,19,20,21]]}"#, // basis wider than MAX_BASIS_WIDTH
+        ] {
+            let err = Envelope::parse(bad).unwrap_err();
+            assert_eq!(err.error.code, ErrorCode::Malformed, "{bad}");
+        }
     }
 
     #[test]

@@ -77,6 +77,7 @@ pub mod persist;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub(crate) mod worker;
 
 // The JSON tree moved into `pb-proto` (the protocol crate is the single owner of the
 // wire format); these aliases keep the original `pb_service::json::Json` paths working.

@@ -846,6 +846,11 @@ pub struct ManifestEntry {
     /// rebuilds the same layout; changing it is safe (releases are byte-identical for
     /// any shard count) and simply re-recorded on re-registration.
     pub shards: usize,
+    /// Remote shard-worker addresses the dataset's shard prefix is placed on (empty =
+    /// all shards local). Recorded so recovery re-places shards on the same workers;
+    /// like the shard count, placement is a free knob — releases are byte-identical
+    /// across local, remote, and mixed placement.
+    pub workers: Vec<String>,
 }
 
 /// The durable registry membership: every dataset a `--state-dir` server must reload.
@@ -883,7 +888,7 @@ impl Manifest {
             .datasets
             .iter()
             .map(|d| {
-                Json::Object(vec![
+                let mut fields = vec![
                     ("name".into(), Json::String(d.name.clone())),
                     (
                         "path".into(),
@@ -906,7 +911,16 @@ impl Manifest {
                         Json::String(format!("{:016x}", d.fingerprint)),
                     ),
                     ("shards".into(), Json::Number(d.shards as f64)),
-                ])
+                ];
+                // Only written when a placement exists, so manifests from all-local
+                // servers keep their pre-fabric bytes.
+                if !d.workers.is_empty() {
+                    fields.push((
+                        "workers".into(),
+                        Json::Array(d.workers.iter().cloned().map(Json::String).collect()),
+                    ));
+                }
+                Json::Object(fields)
             })
             .collect();
         Json::Object(vec![
@@ -962,6 +976,21 @@ impl Manifest {
                     as usize)
                     .max(1),
             };
+            // Absent in manifests written before the shard fabric existed: those
+            // datasets serve every shard locally.
+            let workers = match row.get("workers") {
+                None | Some(Json::Null) => Vec::new(),
+                Some(v) => v
+                    .as_array()
+                    .ok_or("manifest `workers` must be an array of addresses")?
+                    .iter()
+                    .map(|w| {
+                        w.as_str()
+                            .map(str::to_string)
+                            .ok_or("manifest `workers` entries must be strings")
+                    })
+                    .collect::<Result<Vec<String>, _>>()?,
+            };
             datasets.push(ManifestEntry {
                 name,
                 path,
@@ -969,6 +998,7 @@ impl Manifest {
                 transactions,
                 fingerprint,
                 shards,
+                workers,
             });
         }
         Ok(Manifest { datasets })
@@ -1525,6 +1555,7 @@ mod tests {
             transactions: 88162,
             fingerprint: 0xdead_beef_0123_4567,
             shards: 4,
+            workers: vec!["10.0.0.1:7878".into(), "10.0.0.2:7878".into()],
         });
         manifest.upsert(ManifestEntry {
             name: "mem".into(),
@@ -1533,6 +1564,7 @@ mod tests {
             transactions: 10,
             fingerprint: 7,
             shards: 1,
+            workers: Vec::new(),
         });
         state.store_manifest(&manifest).unwrap();
         let loaded = state.load_manifest().unwrap().unwrap();
@@ -1548,6 +1580,7 @@ mod tests {
             transactions: 88162,
             fingerprint: 0xdead_beef_0123_4567,
             shards: 4,
+            workers: Vec::new(),
         });
         assert_eq!(again.datasets.len(), 2);
         assert_eq!(

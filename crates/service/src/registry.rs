@@ -28,6 +28,7 @@ use pb_dp::{BudgetLedger, Epsilon};
 use pb_fim::{TransactionDb, VerticalIndex};
 use pb_shard::ShardedDb;
 use std::collections::HashMap;
+use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock, Weak};
 
@@ -38,6 +39,16 @@ pub enum RegistryError {
     DuplicateName(String),
     /// The dataset holds no transactions (nothing could ever be queried).
     EmptyDataset(String),
+    /// The requested shard count cannot partition this dataset (0, or more shards
+    /// than rows — which would silently create empty shards).
+    InvalidShards {
+        /// The dataset being (re)partitioned.
+        name: String,
+        /// The refused shard count.
+        shards: usize,
+        /// The dataset's row count.
+        rows: usize,
+    },
     /// No dataset with this name is registered (unregister/reshard targets).
     NotFound(String),
     /// The name cannot double as a journal file stem in a persistent registry.
@@ -57,6 +68,11 @@ impl std::fmt::Display for RegistryError {
             RegistryError::EmptyDataset(name) => {
                 write!(f, "dataset `{name}` contains no transactions")
             }
+            RegistryError::InvalidShards { name, shards, rows } => write!(
+                f,
+                "cannot partition dataset `{name}` ({rows} rows) into {shards} shards: \
+                 the shard count must be between 1 and the row count"
+            ),
             RegistryError::NotFound(name) => {
                 write!(f, "unknown dataset `{name}`")
             }
@@ -123,6 +139,9 @@ pub struct DatasetEntry {
     journal: Option<SharedJournal>,
     /// The source file this entry was registered from (`None` for in-process data).
     source: Option<String>,
+    /// Remote shard-worker addresses a prefix of the shards is placed on (empty =
+    /// all-local). Kept so a reshard re-places onto the same workers.
+    workers: Vec<String>,
 }
 
 impl DatasetEntry {
@@ -220,14 +239,55 @@ impl DatasetEntry {
     }
 
     /// True when this dataset's journal has wedged (failed closed after a persistence
-    /// error). A degraded dataset keeps answering `status`, but ε-spending queries are
+    /// error). A wedged dataset keeps answering `status`, but ε-spending queries are
     /// refused with a structured `unavailable` error — spending without a durable
     /// debit record could under-count ε after a crash. Never true for non-durable
     /// datasets: with no journal there is nothing to wedge.
-    pub fn is_degraded(&self) -> bool {
+    pub fn journal_wedged(&self) -> bool {
         self.journal
             .as_ref()
             .is_some_and(|j| j.lock().unwrap_or_else(PoisonError::into_inner).is_wedged())
+    }
+
+    /// True when the dataset is serving degraded: its journal wedged (queries are
+    /// refused up front until a restart), or a remote shard worker is down (queries
+    /// still *attempt* — a recovered worker heals transparently mid-query — but fail
+    /// closed without spending ε while the worker stays unreachable).
+    pub fn is_degraded(&self) -> bool {
+        self.journal_wedged() || self.fabric_down()
+    }
+
+    /// The remote shard-worker addresses this dataset's shard prefix is placed on
+    /// (empty for an all-local dataset).
+    pub fn workers(&self) -> &[String] {
+        &self.workers
+    }
+
+    /// Monotone count of remote shard-op failures (0 for an all-local dataset). The
+    /// query path snapshots this before the mechanism and aborts the release — before
+    /// any ledger debit — if it moved.
+    pub fn fabric_failures(&self) -> u64 {
+        match &self.data {
+            StoredData::Single(_) => 0,
+            StoredData::Sharded(sharded) => sharded.fabric_failures(),
+        }
+    }
+
+    /// Description of the most recent remote shard failure (empty if none).
+    pub fn fabric_last_error(&self) -> String {
+        match &self.data {
+            StoredData::Single(_) => String::new(),
+            StoredData::Sharded(sharded) => sharded.fabric_last_error(),
+        }
+    }
+
+    /// True while any of this dataset's remote shard workers is marked unhealthy
+    /// (its last op failed). Clears as soon as an op against the worker succeeds.
+    pub fn fabric_down(&self) -> bool {
+        match &self.data {
+            StoredData::Single(_) => false,
+            StoredData::Sharded(sharded) => sharded.fabric_down(),
+        }
     }
 
     /// Records one successfully answered query.
@@ -348,7 +408,7 @@ impl DatasetRegistry {
         db: TransactionDb,
         total_epsilon: Epsilon,
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
-        self.register_inner(name.into(), db, total_epsilon, None, 1)
+        self.register_inner(name.into(), db, total_epsilon, None, 1, Vec::new())
     }
 
     /// [`DatasetRegistry::register`] with the dataset partitioned into `shards` row
@@ -363,7 +423,24 @@ impl DatasetRegistry {
         total_epsilon: Epsilon,
         shards: usize,
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
-        self.register_inner(name.into(), db, total_epsilon, None, shards)
+        self.register_inner(name.into(), db, total_epsilon, None, shards, Vec::new())
+    }
+
+    /// [`DatasetRegistry::register_sharded`] with the first `workers.len()` shards
+    /// placed on remote shard-worker processes (shard `i` → `workers[i]`, remaining
+    /// shards local). Each worker is dialed and seeded before this returns; an
+    /// unreachable worker fails the registration. Placement never changes released
+    /// bytes — local, remote, and mixed layouts release byte-identical output for a
+    /// pinned seed.
+    pub fn register_placed(
+        &self,
+        name: impl Into<String>,
+        db: TransactionDb,
+        total_epsilon: Epsilon,
+        shards: usize,
+        workers: Vec<String>,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        self.register_inner(name.into(), db, total_epsilon, None, shards, workers)
     }
 
     /// Registers a FIMI-format dataset file under `name`, recording the path in the
@@ -387,11 +464,24 @@ impl DatasetRegistry {
         total_epsilon: Epsilon,
         shards: usize,
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        self.register_file_placed(name, path, total_epsilon, shards, Vec::new())
+    }
+
+    /// [`DatasetRegistry::register_file_sharded`] with a remote worker placement (see
+    /// [`DatasetRegistry::register_placed`]).
+    pub fn register_file_placed(
+        &self,
+        name: impl Into<String>,
+        path: impl Into<String>,
+        total_epsilon: Epsilon,
+        shards: usize,
+        workers: Vec<String>,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
         let name = name.into();
         let path = path.into();
         let db = pb_fim::io::read_fimi_file(&path)
             .map_err(|e| RegistryError::Io(format!("failed to read {path}: {e}")))?;
-        self.register_inner(name, db, total_epsilon, Some(path), shards)
+        self.register_inner(name, db, total_epsilon, Some(path), shards, workers)
     }
 
     /// Re-registers every dataset recorded in the durable manifest (no-op for an
@@ -415,16 +505,17 @@ impl DatasetRegistry {
             match entry.path {
                 None => report.skipped.push(entry.name),
                 Some(path) => {
-                    // The manifest's shard layout rides along, so the recovered entry
-                    // counts over the same shards — and releases the same bytes — as
-                    // before the restart. One unloadable dataset (moved file, torn
-                    // state) must not keep every healthy one down: record the failure
-                    // and keep going.
-                    match self.register_file_sharded(
+                    // The manifest's shard layout and worker placement ride along, so
+                    // the recovered entry counts over the same shards — and releases
+                    // the same bytes — as before the restart. One unloadable dataset
+                    // (moved file, torn state, dead worker) must not keep every
+                    // healthy one down: record the failure and keep going.
+                    match self.register_file_placed(
                         entry.name.clone(),
                         path,
                         entry.epsilon,
                         entry.shards,
+                        entry.workers.clone(),
                     ) {
                         Ok(_) => report.loaded.push(entry.name),
                         Err(e) => report.failed.push((entry.name, e.to_string())),
@@ -480,10 +571,20 @@ impl DatasetRegistry {
     /// the manifest ahead of the live layout, which is harmless (releases are
     /// layout-invariant), never behind.
     pub fn reshard(&self, name: &str, shards: usize) -> Result<Arc<DatasetEntry>, RegistryError> {
-        let shards = shards.max(1);
         let old = self
             .get(name)
             .ok_or_else(|| RegistryError::NotFound(name.to_string()))?;
+        // The same seam check registration enforces: 0 shards partitions nothing and
+        // more shards than rows would silently create empty shards. Structured
+        // refusal, never a clamp — a clamp would let `reshard 0` report success while
+        // serving a layout the operator never asked for.
+        if shards == 0 || shards > old.transactions {
+            return Err(RegistryError::InvalidShards {
+                name: name.to_string(),
+                shards,
+                rows: old.transactions,
+            });
+        }
         if old.shards == shards {
             return Ok(old);
         }
@@ -502,11 +603,9 @@ impl DatasetRegistry {
                 .collect(),
         };
         let db = TransactionDb::from_itemsets(rows);
-        let data = if shards > 1 {
-            StoredData::Sharded(ShardedDb::partition(&db, shards).into_shared())
-        } else {
-            StoredData::Single(db.into_shared())
-        };
+        // Re-place onto the same workers the old layout used: a reshard changes how
+        // many shards exist, never where the operator asked them to live.
+        let data = partition_data(db, shards, &old.workers, name)?;
         let entry = Arc::new(DatasetEntry {
             name: old.name.clone(),
             data,
@@ -518,6 +617,7 @@ impl DatasetRegistry {
             queries_served: Arc::clone(&old.queries_served),
             journal: old.journal.clone(),
             source: old.source.clone(),
+            workers: old.workers.clone(),
         });
         // Validate-and-swap under the write lock: the slot must still hold the exact
         // entry we rebuilt from — a concurrent unregister/re-register/reshard means our
@@ -562,11 +662,21 @@ impl DatasetRegistry {
         total_epsilon: Epsilon,
         source: Option<String>,
         shards: usize,
+        workers: Vec<String>,
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
         if db.is_empty() {
             return Err(RegistryError::EmptyDataset(name));
         }
-        let shards = shards.max(1);
+        // Structured refusal at the entry seam, never a silent clamp: 0 partitions
+        // nothing, and more shards than rows would create empty shards the operator
+        // never asked for.
+        if shards == 0 || shards > db.len() {
+            return Err(RegistryError::InvalidShards {
+                name,
+                shards,
+                rows: db.len(),
+            });
+        }
         // Hold the write lock across the whole registration (journal open included):
         // registrations are rare, and this makes duplicate-check → journal → insert one
         // atomic step, so two racing registrations of one name cannot both open the
@@ -575,6 +685,24 @@ impl DatasetRegistry {
         if map.contains_key(&name) {
             return Err(RegistryError::DuplicateName(name));
         }
+        let transactions = db.len();
+        let distinct_items = db.num_distinct_items();
+        let fingerprint = db_fingerprint(&db);
+        if self.persistence.is_some() {
+            if !StateDir::valid_dataset_name(&name) {
+                return Err(RegistryError::InvalidName(name));
+            }
+            // The durable ledger belongs to one (budget, data) pair: a changed
+            // total would rescale the guarantee, changed data would transplant
+            // spent ε onto rows it was never spent on. Refuse both — and refuse
+            // *before* the worker placement below, so a doomed registration
+            // touches neither the fabric nor the disk.
+            self.check_manifest_compatible(&name, total_epsilon, fingerprint, transactions)?;
+        }
+        // Partition — and, with a placement, dial and seed the remote workers — before
+        // any durable side effect: a placement failure (dead worker, bad address) must
+        // not leave a phantom manifest entry or a freshly opened journal behind.
+        let data = partition_data(db, shards, &workers, &name)?;
 
         let (ledger, queries_served, journal) = match &self.persistence {
             None => (
@@ -583,38 +711,10 @@ impl DatasetRegistry {
                 None,
             ),
             Some(persistence) => {
-                if !StateDir::valid_dataset_name(&name) {
-                    return Err(RegistryError::InvalidName(name));
-                }
                 let mut manifest = persistence
                     .manifest
                     .lock()
                     .unwrap_or_else(PoisonError::into_inner);
-                let fingerprint = db_fingerprint(&db);
-                if let Some(recorded) = manifest.get(&name) {
-                    // The durable ledger belongs to one (budget, data) pair: a changed
-                    // total would rescale the guarantee, changed data would transplant
-                    // spent ε onto rows it was never spent on. Refuse both.
-                    if recorded.epsilon != total_epsilon {
-                        return Err(RegistryError::Mismatch(format!(
-                            "dataset `{name}` has a durable ledger with total ε = {}, \
-                             but re-registration requested ε = {} (pass the original \
-                             budget, or use a fresh --state-dir)",
-                            epsilon_text(recorded.epsilon),
-                            epsilon_text(total_epsilon),
-                        )));
-                    }
-                    if recorded.fingerprint != fingerprint {
-                        return Err(RegistryError::Mismatch(format!(
-                            "dataset `{name}`'s content changed since registration \
-                             ({} transactions then, {} now, fingerprint mismatch) — \
-                             the durable ledger belongs to the original data (use a \
-                             fresh --state-dir for new data)",
-                            recorded.transactions,
-                            db.len(),
-                        )));
-                    }
-                }
                 // One name, one accountant: if this name's ledger is still alive (an
                 // unregistered entry held by in-flight queries), adopt the WHOLE
                 // accounting state — ledger, journal, and served counter. Sharing only
@@ -681,9 +781,10 @@ impl DatasetRegistry {
                     name: name.clone(),
                     path: source.clone(),
                     epsilon: total_epsilon,
-                    transactions: db.len(),
+                    transactions,
                     fingerprint,
                     shards,
+                    workers: workers.clone(),
                 });
                 persistence
                     .state
@@ -697,15 +798,6 @@ impl DatasetRegistry {
             }
         };
 
-        let transactions = db.len();
-        let distinct_items = db.num_distinct_items();
-        // Partition now and drop the monolith: a sharded entry keeps one copy of the
-        // rows (in its shards), not two.
-        let data = if shards > 1 {
-            StoredData::Sharded(ShardedDb::partition(&db, shards).into_shared())
-        } else {
-            StoredData::Single(db.into_shared())
-        };
         let entry = Arc::new(DatasetEntry {
             name: name.clone(),
             data,
@@ -717,9 +809,50 @@ impl DatasetRegistry {
             queries_served,
             journal,
             source,
+            workers,
         });
         map.insert(name, Arc::clone(&entry));
         Ok(entry)
+    }
+
+    /// Refuses a re-registration that contradicts the durable manifest: the ledger on
+    /// disk belongs to one (budget, data) pair.
+    fn check_manifest_compatible(
+        &self,
+        name: &str,
+        total_epsilon: Epsilon,
+        fingerprint: u64,
+        transactions: usize,
+    ) -> Result<(), RegistryError> {
+        let Some(persistence) = &self.persistence else {
+            return Ok(());
+        };
+        let manifest = persistence
+            .manifest
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        let Some(recorded) = manifest.get(name) else {
+            return Ok(());
+        };
+        if recorded.epsilon != total_epsilon {
+            return Err(RegistryError::Mismatch(format!(
+                "dataset `{name}` has a durable ledger with total ε = {}, \
+                 but re-registration requested ε = {} (pass the original \
+                 budget, or use a fresh --state-dir)",
+                epsilon_text(recorded.epsilon),
+                epsilon_text(total_epsilon),
+            )));
+        }
+        if recorded.fingerprint != fingerprint {
+            return Err(RegistryError::Mismatch(format!(
+                "dataset `{name}`'s content changed since registration \
+                 ({} transactions then, {} now, fingerprint mismatch) — \
+                 the durable ledger belongs to the original data (use a \
+                 fresh --state-dir for new data)",
+                recorded.transactions, transactions,
+            )));
+        }
+        Ok(())
     }
 
     /// Looks a dataset up by name.
@@ -753,6 +886,52 @@ impl DatasetRegistry {
             .write()
             .unwrap_or_else(PoisonError::into_inner)
     }
+}
+
+/// Partitions `db` into `shards` row shards and, when a placement is given, dials and
+/// seeds the remote workers (shard `i` → `workers[i]`, remaining shards local). With no
+/// workers a single shard stays a monolithic [`TransactionDb`]; with workers the sharded
+/// representation is kept even at `shards == 1` so the remote backend has a seam to live
+/// in. Placement is a pure execution knob — released bytes are identical for local,
+/// remote, and mixed layouts.
+fn partition_data(
+    db: TransactionDb,
+    shards: usize,
+    workers: &[String],
+    name: &str,
+) -> Result<StoredData, RegistryError> {
+    if workers.is_empty() {
+        return Ok(if shards > 1 {
+            StoredData::Sharded(Arc::new(ShardedDb::partition(&db, shards)))
+        } else {
+            StoredData::Single(Arc::new(db))
+        });
+    }
+    let mut addrs = Vec::with_capacity(workers.len());
+    for worker in workers {
+        let addr = worker
+            .to_socket_addrs()
+            .map_err(|e| {
+                RegistryError::Io(format!(
+                    "shard worker address `{worker}` for dataset `{name}` did not resolve: {e}"
+                ))
+            })?
+            .next()
+            .ok_or_else(|| {
+                RegistryError::Io(format!(
+                    "shard worker address `{worker}` for dataset `{name}` resolved to nothing"
+                ))
+            })?;
+        addrs.push(addr);
+    }
+    let sharded = ShardedDb::partition(&db, shards)
+        .with_workers(&addrs, name)
+        .map_err(|e| {
+            RegistryError::Io(format!(
+                "shard worker placement for dataset `{name}` failed: {e}"
+            ))
+        })?;
+    Ok(StoredData::Sharded(Arc::new(sharded)))
 }
 
 fn epsilon_text(epsilon: Epsilon) -> String {
@@ -857,6 +1036,66 @@ mod tests {
         assert!(RegistryError::Io("disk".into())
             .to_string()
             .contains("disk"));
+    }
+
+    #[test]
+    fn invalid_shard_counts_are_refused_not_clamped() {
+        let registry = DatasetRegistry::new();
+        // 0 shards partitions nothing; more shards than rows would silently create
+        // empty shards. Both used to be clamped — now they are structured refusals.
+        let err = registry
+            .register_sharded("z", tiny_db(), Epsilon::Finite(1.0), 0)
+            .unwrap_err();
+        assert_eq!(
+            err,
+            RegistryError::InvalidShards {
+                name: "z".into(),
+                shards: 0,
+                rows: 3,
+            }
+        );
+        assert!(
+            err.to_string().contains("between 1 and the row count"),
+            "{err}"
+        );
+        let err = registry
+            .register_sharded("z", tiny_db(), Epsilon::Finite(1.0), 4)
+            .unwrap_err();
+        assert!(matches!(
+            err,
+            RegistryError::InvalidShards {
+                shards: 4,
+                rows: 3,
+                ..
+            }
+        ));
+        // The refusal left no entry behind; the boundary cases register fine.
+        assert!(registry.get("z").is_none());
+        registry
+            .register_sharded("z", tiny_db(), Epsilon::Finite(1.0), 3)
+            .unwrap();
+
+        // The reshard seam enforces the same bounds.
+        let err = registry.reshard("z", 0).unwrap_err();
+        assert!(matches!(
+            err,
+            RegistryError::InvalidShards {
+                shards: 0,
+                rows: 3,
+                ..
+            }
+        ));
+        let err = registry.reshard("z", 4).unwrap_err();
+        assert!(matches!(
+            err,
+            RegistryError::InvalidShards { shards: 4, .. }
+        ));
+        assert_eq!(
+            registry.get("z").unwrap().shards(),
+            3,
+            "refusals change nothing"
+        );
+        assert_eq!(registry.reshard("z", 1).unwrap().shards(), 1);
     }
 
     #[test]

@@ -66,6 +66,12 @@ pub struct ServiceConfig {
     /// Port for the HTTP/1.1 gateway (0 lets the OS pick; `None` disables HTTP). Bound
     /// on the same address as the TCP listener.
     pub http_port: Option<u16>,
+    /// Run as a shard worker: serve shard-local count ops (`shard_load`,
+    /// `shard_supports`, `shard_pairs`, `shard_histograms`) seeded by a remote
+    /// coordinator, refuse queries and admin ops. A worker holds no datasets, draws
+    /// no noise, and spends no ε — the coordinator does all of that after merging
+    /// the exact per-shard counts (see [`crate::worker`]).
+    pub worker: bool,
 }
 
 impl Default for ServiceConfig {
@@ -78,6 +84,7 @@ impl Default for ServiceConfig {
             max_pending: 1024,
             admin_token: None,
             http_port: None,
+            worker: false,
         }
     }
 }
@@ -115,6 +122,10 @@ pub(crate) struct ServerCtx {
     /// Connections sitting in the worker channel right now (new or parked). Non-zero
     /// tells a serving worker to rotate quickly instead of camping on an idle client.
     queued: AtomicUsize,
+    /// True when this server is a shard worker (see [`ServiceConfig::worker`]).
+    worker: bool,
+    /// The shard-worker mode's shard table (empty and untouched on a coordinator).
+    shard_store: Mutex<crate::worker::ShardStore>,
 }
 
 impl ServerCtx {
@@ -226,6 +237,8 @@ impl PbServer {
             deadline_closed_total: AtomicU64::new(0),
             in_flight: AtomicUsize::new(0),
             queued: AtomicUsize::new(0),
+            worker: self.config.worker,
+            shard_store: Mutex::new(crate::worker::ShardStore::new()),
         });
 
         let (sender, receiver) = channel::<Conn>();
@@ -529,6 +542,30 @@ pub(crate) fn execute(op: &Op, auth: Option<&str>, ctx: &ServerCtx) -> (Response
     match op {
         Op::Status => (status(ctx), false),
         Op::Shutdown => (Response::Shutdown, true),
+        // The shard-fabric surface: a worker serves the count ops, a coordinator
+        // refuses them (its shards are driven from the inside, never over the wire).
+        op if op.is_shard_op() => {
+            let response = if ctx.worker {
+                crate::worker::run_shard_op(op, &ctx.shard_store)
+            } else {
+                Response::Error(WireError::new(
+                    ErrorCode::Unavailable,
+                    "shard ops are served only by shard workers \
+                     (start one with `privbasis-cli shard-worker`)",
+                ))
+            };
+            (response, false)
+        }
+        // A shard worker's only other surfaces are status and shutdown: it holds no
+        // datasets to query and no registry to administer.
+        _ if ctx.worker => (
+            Response::Error(WireError::new(
+                ErrorCode::Unavailable,
+                "this is a shard worker: it serves shard ops, status, and shutdown; \
+                 send queries and admin ops to the coordinator",
+            )),
+            false,
+        ),
         Op::Query(query) => (run_query(query, ctx), false),
         admin => {
             // Auth first, with nothing touched on failure: a rejected admin op must
@@ -666,7 +703,9 @@ fn run_faults(spec: &str) -> Result<AdminReply, WireError> {
 fn registry_error(e: RegistryError) -> WireError {
     let code = match &e {
         RegistryError::DuplicateName(_) | RegistryError::Mismatch(_) => ErrorCode::Conflict,
-        RegistryError::EmptyDataset(_) | RegistryError::InvalidName(_) => ErrorCode::Malformed,
+        RegistryError::EmptyDataset(_)
+        | RegistryError::InvalidName(_)
+        | RegistryError::InvalidShards { .. } => ErrorCode::Malformed,
         RegistryError::NotFound(_) => ErrorCode::UnknownDataset,
         RegistryError::Io(_) => ErrorCode::Unavailable,
     };
@@ -681,10 +720,12 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
             format!("unknown dataset `{}`", query.dataset),
         ));
     };
-    // A degraded dataset (wedged journal) cannot make a debit durable, and an ε
-    // released without a durable record could be under-counted after a crash — refuse
-    // up front with the structured code retrying clients key on. Status keeps serving.
-    if entry.is_degraded() {
+    // A dataset with a wedged journal cannot make a debit durable, and an ε released
+    // without a durable record could be under-counted after a crash — refuse up front
+    // with the structured code retrying clients key on. Status keeps serving. (A
+    // fabric-degraded dataset is NOT refused here: attempting the query is exactly how
+    // a recovered worker heals — the fail-closed check below catches live failures.)
+    if entry.journal_wedged() {
         return Response::Error(WireError::new(
             ErrorCode::Unavailable,
             format!(
@@ -693,17 +734,6 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
                 query.dataset
             ),
         ));
-    }
-    // The debit happens before the mechanism runs and is never refunded: a query that
-    // fails after this point may still have consumed data-dependent randomness, so the
-    // conservative accounting is the only safe one.
-    if let Err(e) = entry.ledger().try_spend(query.epsilon) {
-        let code = match &e {
-            DpError::BudgetExceeded { .. } => ErrorCode::BudgetExhausted,
-            DpError::Persistence(_) => ErrorCode::Unavailable,
-            _ => ErrorCode::Internal,
-        };
-        return Response::Error(WireError::new(code, e.to_string()));
     }
     // The mechanism always runs at the client's (finite, validated) ε — NOT at the
     // ledger's return value: an infinite ledger returns `Epsilon::Infinite`, which is
@@ -717,8 +747,35 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
     // audit:allow(noise-seam): RNG construction only — every draw happens inside pb-dp behind PrivBasis::run_shared
     let mut rng = StdRng::seed_from_u64(seed);
     let context = Arc::clone(entry.context());
+    // Snapshot the monotone fabric-failure counter before the mechanism runs: if any
+    // remote shard op fails mid-query, the counter moves and the answer — computed
+    // over partially zeroed counts — is discarded UNRELEASED, before the ledger is
+    // ever debited. Fail closed: no bytes out, no ε spent. The debit therefore runs
+    // *after* the mechanism, immediately before the release; nothing is released
+    // unless the debit succeeds, and the privacy guarantee keys on released bytes.
+    let fabric_before = entry.fabric_failures();
     match PrivBasis::new(ctx.params.clone()).run_shared(&mut rng, &context, query.k, epsilon) {
         Ok(output) => {
+            if entry.fabric_failures() != fabric_before {
+                return Response::Error(WireError::new(
+                    ErrorCode::Unavailable,
+                    format!(
+                        "dataset `{}`: a remote shard worker failed mid-query ({}); \
+                         the answer was discarded unreleased and no ε was spent — \
+                         retry once the worker is reachable",
+                        query.dataset,
+                        entry.fabric_last_error(),
+                    ),
+                ));
+            }
+            if let Err(e) = entry.ledger().try_spend(query.epsilon) {
+                let code = match &e {
+                    DpError::BudgetExceeded { .. } => ErrorCode::BudgetExhausted,
+                    DpError::Persistence(_) => ErrorCode::Unavailable,
+                    _ => ErrorCode::Internal,
+                };
+                return Response::Error(WireError::new(code, e.to_string()));
+            }
             entry.record_query();
             Response::Query(query_reply(
                 &query.dataset,

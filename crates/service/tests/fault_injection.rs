@@ -10,11 +10,12 @@
 
 use pb_dp::Epsilon;
 use pb_fim::TransactionDb;
+use pb_proto::{ClientError, ErrorCode, PbClient};
 use pb_service::protocol::dataset_status;
-use pb_service::{DatasetRegistry, StateDir};
+use pb_service::{DatasetRegistry, PbServer, ServiceConfig, StateDir};
 use std::path::PathBuf;
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex};
 
 /// Serializes the tests (the fault registry is process-global).
 static GATE: Mutex<()> = Mutex::new(());
@@ -178,5 +179,95 @@ fn a_wedged_journal_degrades_the_dataset_to_read_only() {
     assert_eq!(entry.ledger().spent(), 0.5);
     entry.ledger().try_spend(0.25).unwrap();
     assert_eq!(entry.ledger().spent(), 0.75);
+    pb_fault::clear();
+}
+
+#[test]
+fn a_fabric_failure_mid_query_fails_closed_before_the_debit() {
+    if !pb_fault::is_compiled() {
+        return;
+    }
+    let _gate = GATE.lock().unwrap_or_else(|e| e.into_inner());
+    pb_fault::clear();
+
+    // A real shard worker and a real coordinator, in-process: one of the dataset's
+    // two shards is placed on the worker, the other stays local.
+    let worker = PbServer::bind(
+        "127.0.0.1:0",
+        Arc::new(DatasetRegistry::new()),
+        ServiceConfig {
+            worker: true,
+            threads: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let worker_addr = worker.local_addr().unwrap();
+    let worker_thread = std::thread::spawn(move || worker.run());
+
+    let registry = Arc::new(DatasetRegistry::new());
+    registry
+        .register_placed(
+            "fab",
+            rows(),
+            Epsilon::Finite(2.0),
+            2,
+            vec![worker_addr.to_string()],
+        )
+        .unwrap();
+    let entry = registry.get("fab").unwrap();
+    let coordinator = PbServer::bind(
+        "127.0.0.1:0",
+        Arc::clone(&registry),
+        ServiceConfig {
+            threads: 2,
+            ..ServiceConfig::default()
+        },
+    )
+    .unwrap();
+    let coordinator_addr = coordinator.local_addr().unwrap();
+    let coordinator_thread = std::thread::spawn(move || coordinator.run());
+    let mut client = PbClient::connect(coordinator_addr).unwrap();
+
+    // Healthy fabric: the pinned-seed query releases and debits.
+    let healthy = client.query("fab", 2, 0.5, Some(7)).unwrap();
+    assert_eq!(entry.ledger().spent(), 0.5);
+
+    // Kill the fabric. `fail-prob:1` (not `fail-once`) because the fabric hedges:
+    // a failed send retries once on a fresh connection, so a single-shot fault is
+    // absorbed. Failing both the send and the fresh dial makes the outage stick.
+    pb_fault::arm("fabric.write=fail-prob:1,fabric.connect=fail-prob:1").unwrap();
+    let err = match client.query("fab", 2, 0.5, Some(8)) {
+        Err(ClientError::Server(e)) => e,
+        other => panic!("a mid-query fabric failure must fail the query, got {other:?}"),
+    };
+    assert_eq!(err.code, ErrorCode::Unavailable);
+    assert!(
+        err.message.contains("no ε was spent"),
+        "the refusal must promise the budget is untouched: {}",
+        err.message
+    );
+    assert!(
+        pb_fault::hits("fabric.write") >= 1,
+        "the seam was never reached"
+    );
+    // Fail closed means *before* the debit: the answer was discarded unreleased and
+    // the ledger never moved.
+    assert_eq!(entry.ledger().spent(), 0.5);
+    assert!(entry.fabric_down());
+
+    // Heal the fabric: the next query re-dials, re-releases the same bytes for the
+    // same seed, and debits — the attempt itself is the recovery probe.
+    pb_fault::clear();
+    let healed = client.query("fab", 2, 0.5, Some(7)).unwrap();
+    assert_eq!(healed.itemsets, healthy.itemsets);
+    assert_eq!(healed.seed, healthy.seed);
+    assert_eq!(entry.ledger().spent(), 1.0);
+    assert!(!entry.fabric_down());
+
+    client.shutdown().unwrap();
+    coordinator_thread.join().unwrap().unwrap();
+    PbClient::connect(worker_addr).unwrap().shutdown().unwrap();
+    worker_thread.join().unwrap().unwrap();
     pb_fault::clear();
 }

@@ -57,8 +57,10 @@
 pub mod executor;
 mod mine;
 pub mod plan;
+pub mod remote;
 pub mod sharded;
 
 pub use executor::ShardExecutor;
 pub use plan::ShardPlan;
+pub use remote::{Fabric, RemoteShard, ShardBackend, DEFAULT_HEDGE_AFTER};
 pub use sharded::{Shard, ShardedDb};

@@ -2,9 +2,12 @@
 
 use crate::executor::ShardExecutor;
 use crate::plan::ShardPlan;
+use crate::remote::{Fabric, RemoteShard, ShardBackend};
 use pb_fim::itemset::{Item, ItemSet};
 use pb_fim::{TransactionDb, VerticalIndex};
 use std::collections::BTreeMap;
+use std::io;
+use std::net::SocketAddr;
 use std::sync::{Arc, OnceLock};
 
 /// One shard: its rows plus a lazily built vertical index over them.
@@ -50,11 +53,20 @@ impl Shard {
 pub struct ShardedDb {
     plan: ShardPlan,
     shards: Vec<Shard>,
+    /// Where each shard's count ops run, parallel to `shards`. All-local unless
+    /// [`ShardedDb::with_workers`] placed a prefix of the shards remotely.
+    backends: Vec<ShardBackend>,
+    /// Shared fabric health, present once any shard is remote.
+    fabric: Option<Arc<Fabric>>,
     num_transactions: usize,
     /// Merged `(item, support)` ascending by item, computed on first use.
     item_counts: OnceLock<Vec<(Item, usize)>>,
     /// Merged items by descending support (ties ascending by item), on first use.
     items_by_freq: OnceLock<Vec<(Item, usize)>>,
+}
+
+fn all_local(n: usize) -> Vec<ShardBackend> {
+    (0..n).map(|_| ShardBackend::Local).collect()
 }
 
 impl ShardedDb {
@@ -71,7 +83,9 @@ impl ShardedDb {
         ShardedDb {
             plan,
             num_transactions: rows.len(),
+            backends: all_local(shards.len()),
             shards,
+            fabric: None,
             item_counts: OnceLock::new(),
             items_by_freq: OnceLock::new(),
         }
@@ -89,11 +103,41 @@ impl ShardedDb {
             .collect();
         ShardedDb {
             plan: ShardPlan::new(shards.len()),
+            backends: all_local(shards.len()),
             shards,
+            fabric: None,
             num_transactions,
             item_counts: OnceLock::new(),
             items_by_freq: OnceLock::new(),
         }
+    }
+
+    /// Places a prefix of the shards onto remote worker processes: shard `i` goes to
+    /// `workers[i]` for `i < workers.len()`, every remaining shard stays local (so an
+    /// empty list is all-local, `workers.len() >= S` is all-remote, anything between
+    /// is a mixed placement). Each placed worker is dialed and seeded with its
+    /// shard's rows under the key `"{dataset}/{i}"` before this returns; any dial or
+    /// seed failure aborts the placement, so a dataset never serves half-placed.
+    ///
+    /// Placement is a pure scaling knob: the fan-out/merge results are byte-identical
+    /// to the all-local path, because the workers return the same exact integer
+    /// counts the local index would.
+    pub fn with_workers(mut self, workers: &[SocketAddr], dataset: &str) -> io::Result<ShardedDb> {
+        let fabric = self
+            .fabric
+            .take()
+            .unwrap_or_else(|| Arc::new(Fabric::default()));
+        for (i, addr) in workers.iter().enumerate().take(self.shards.len()) {
+            let remote = RemoteShard::connect(
+                *addr,
+                format!("{dataset}/{i}"),
+                Arc::clone(self.shards[i].db()),
+                Arc::clone(&fabric),
+            )?;
+            self.backends[i] = ShardBackend::Remote(Box::new(remote));
+        }
+        self.fabric = Some(fabric);
+        Ok(self)
     }
 
     /// Wraps the sharded database in an [`Arc`] for reuse across query threads (all
@@ -127,6 +171,59 @@ impl ShardedDb {
         self.num_transactions == 0
     }
 
+    /// The per-shard backends, parallel to [`ShardedDb::shards`].
+    pub fn backends(&self) -> &[ShardBackend] {
+        &self.backends
+    }
+
+    /// Number of shards placed on remote workers.
+    pub fn num_remote_shards(&self) -> usize {
+        self.backends
+            .iter()
+            .filter(|b| matches!(b, ShardBackend::Remote(_)))
+            .count()
+    }
+
+    /// `(worker address, healthy)` for every remotely placed shard, in shard order.
+    pub fn remote_placements(&self) -> Vec<(SocketAddr, bool)> {
+        self.backends
+            .iter()
+            .filter_map(|b| match b {
+                ShardBackend::Local => None,
+                ShardBackend::Remote(r) => Some((r.addr(), r.is_healthy())),
+            })
+            .collect()
+    }
+
+    /// The shared fabric health state, present once any shard is remote.
+    pub fn fabric(&self) -> Option<&Arc<Fabric>> {
+        self.fabric.as_ref()
+    }
+
+    /// Monotone count of remote-op failures (0 for an all-local dataset). Queries
+    /// snapshot this before counting and abort the release if it moved — the
+    /// fail-closed seam that keeps a mid-fan-out worker death from spending ε on
+    /// an answer that was never released.
+    pub fn fabric_failures(&self) -> u64 {
+        self.fabric.as_ref().map_or(0, |f| f.failures())
+    }
+
+    /// Description of the most recent remote failure (empty if none).
+    pub fn fabric_last_error(&self) -> String {
+        self.fabric
+            .as_ref()
+            .map_or_else(String::new, |f| f.last_error())
+    }
+
+    /// True while any remote worker's last op failed (the dataset serves degraded:
+    /// queries that need that worker abort without spending budget).
+    pub fn fabric_down(&self) -> bool {
+        self.backends.iter().any(|b| match b {
+            ShardBackend::Local => false,
+            ShardBackend::Remote(r) => !r.is_healthy(),
+        })
+    }
+
     /// Number of distinct items across all shards.
     pub fn num_distinct_items(&self) -> usize {
         self.merged_item_counts().len()
@@ -150,7 +247,12 @@ impl ShardedDb {
     fn merged_item_counts(&self) -> &[(Item, usize)] {
         self.item_counts.get_or_init(|| {
             let per_shard = self.executor().run(self.shards.len(), |s, _| {
-                self.shards[s].index().item_counts()
+                match &self.backends[s] {
+                    ShardBackend::Local => self.shards[s].index().item_counts(),
+                    // Remote shards keep this whole-dataset scan local (the rows are
+                    // retained anyway) without building the heavy vertical index.
+                    ShardBackend::Remote(r) => r.rows().item_counts().into_iter().collect(),
+                }
             });
             let mut merged: BTreeMap<Item, usize> = BTreeMap::new();
             for counts in per_shard {
@@ -172,9 +274,12 @@ impl ShardedDb {
         if candidates.is_empty() {
             return Vec::new();
         }
-        let per_shard = self.executor().run(self.shards.len(), |s, _| {
-            self.shards[s].index().supports(candidates)
-        });
+        let per_shard = self
+            .executor()
+            .run(self.shards.len(), |s, _| match &self.backends[s] {
+                ShardBackend::Local => self.shards[s].index().supports(candidates),
+                ShardBackend::Remote(r) => r.supports(candidates),
+            });
         let mut merged = vec![0usize; candidates.len()];
         for counts in per_shard {
             for (acc, c) in merged.iter_mut().zip(counts) {
@@ -187,9 +292,12 @@ impl ShardedDb {
     /// Support counts of all unordered pairs over `items` with non-zero support — the
     /// same contract as [`TransactionDb::pair_counts`], merged by summation.
     pub fn pair_counts(&self, items: &ItemSet) -> BTreeMap<(Item, Item), usize> {
-        let per_shard = self.executor().run(self.shards.len(), |s, _| {
-            self.shards[s].index().pair_counts(items)
-        });
+        let per_shard = self
+            .executor()
+            .run(self.shards.len(), |s, _| match &self.backends[s] {
+                ShardBackend::Local => self.shards[s].index().pair_counts(items),
+                ShardBackend::Remote(r) => r.pair_counts(items),
+            });
         let mut merged: BTreeMap<(Item, Item), usize> = BTreeMap::new();
         for counts in per_shard {
             for (pair, count) in counts {
@@ -209,13 +317,18 @@ impl ShardedDb {
         if bases.is_empty() {
             return Vec::new();
         }
-        let per_shard = self.executor().run(self.shards.len(), |s, inner| {
-            let index = self.shards[s].index();
-            bases
-                .iter()
-                .map(|b| index.bin_histogram_with_budget(b, inner))
-                .collect::<Vec<_>>()
-        });
+        let per_shard =
+            self.executor()
+                .run(self.shards.len(), |s, inner| match &self.backends[s] {
+                    ShardBackend::Local => {
+                        let index = self.shards[s].index();
+                        bases
+                            .iter()
+                            .map(|b| index.bin_histogram_with_budget(b, inner))
+                            .collect::<Vec<_>>()
+                    }
+                    ShardBackend::Remote(r) => r.bin_histograms(bases),
+                });
         let mut merged: Vec<Vec<u64>> = bases
             .iter()
             .map(|b| vec![0u64; 1usize << b.len()])

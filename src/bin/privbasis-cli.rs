@@ -8,6 +8,8 @@
 //!               [--budget 4.0] [--threads 8] [--host 127.0.0.1]
 //!               [--state-dir state/] [--snapshot-every 256]
 //!               [--http-port 8080] [--admin-token SECRET]
+//!               [--shards 4 --shard-worker 10.0.0.1:8711 --shard-worker 10.0.0.2:8711]
+//! privbasis-cli shard-worker --port 8711 [--host 127.0.0.1] [--threads 4]
 //! privbasis-cli audit [--root DIR] [--json]
 //! ```
 //!
@@ -92,6 +94,18 @@ struct ServeOptions {
     /// Admission cap on in-flight connections (`None` = library default); accepts
     /// beyond it are shed with a structured `unavailable` response.
     max_pending: Option<usize>,
+    /// Remote shard-worker addresses: shard `i` of every `--dataset` registration is
+    /// placed on `shard_workers[i]` (remaining shards stay local). Placement never
+    /// changes released bytes.
+    shard_workers: Vec<String>,
+}
+
+/// Parsed options of the `shard-worker` subcommand.
+#[derive(Debug, Clone, PartialEq, Eq)]
+struct WorkerOptions {
+    host: String,
+    port: u16,
+    threads: Option<usize>,
 }
 
 const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <EPS>\n\
@@ -101,6 +115,8 @@ const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <
        [--budget <EPS>] [--threads <N>] [--host <ADDR>] [--no-consistency]\n\
        [--state-dir <DIR>] [--snapshot-every <N>] [--shards <S>]\n\
        [--http-port <PORT>] [--admin-token <TOKEN>] [--max-pending <N>]\n\
+       [--shard-worker <ADDR:PORT>]...\n\
+   or: privbasis-cli shard-worker --port <PORT> [--host <ADDR>] [--threads <N>]\n\
    or: privbasis-cli audit [--root <DIR>] [--json]\n\
 \n\
   --input    FIMI-format transaction file (one transaction per line, integer items)\n\
@@ -146,6 +162,20 @@ serve mode:\n\
              admission cap on in-flight connections (default 1024); accepts beyond\n\
              it are shed immediately with a structured `unavailable` response\n\
              (HTTP: 503 + Retry-After) instead of queueing without bound\n\
+  --shard-worker\n\
+             ADDR:PORT of a `privbasis-cli shard-worker` process, repeatable: shard\n\
+             i of every dataset is placed on the i-th worker (remaining shards stay\n\
+             local). Released bytes are identical for any placement; workers are\n\
+             dialed and seeded at registration and re-seeded transparently if they\n\
+             restart. Recorded in the state dir's manifest for recovery\n\
+\n\
+shard-worker mode: serve shard-local count ops for a remote coordinator (no\n\
+datasets, no noise, no budget — the coordinator draws the single noise draw after\n\
+merging exact per-shard counts). Only expose workers on coordinator-reachable\n\
+private networks: anyone who can reach the port can read exact counts.\n\
+  --port     TCP port to listen on (required; 0 = OS-assigned)\n\
+  --host     bind address (default 127.0.0.1)\n\
+  --threads  worker pool size (default: PB_NUM_THREADS or the CPU count)\n\
 \n\
 audit mode:\n\
   --root     workspace root to audit (default: the current directory)\n\
@@ -291,6 +321,7 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
     let mut admin_token: Option<String> = None;
     let mut http_port: Option<u16> = None;
     let mut max_pending: Option<usize> = None;
+    let mut shard_workers: Vec<String> = Vec::new();
 
     let mut i = 0;
     while i < args.len() {
@@ -387,6 +418,13 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
                 }
                 max_pending = Some(n);
             }
+            "--shard-worker" => {
+                let addr = value("--shard-worker")?;
+                if !addr.contains(':') {
+                    return Err(format!("--shard-worker expects ADDR:PORT, got `{addr}`"));
+                }
+                shard_workers.push(addr);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown serve flag `{other}`\n\n{USAGE}")),
         }
@@ -415,7 +453,72 @@ fn parse_serve_args(args: &[String]) -> Result<ServeOptions, String> {
         admin_token,
         http_port,
         max_pending,
+        shard_workers,
     })
+}
+
+/// Parses the arguments after the `shard-worker` keyword.
+fn parse_worker_args(args: &[String]) -> Result<WorkerOptions, String> {
+    let mut host = "127.0.0.1".to_string();
+    let mut port: Option<u16> = None;
+    let mut threads: Option<usize> = None;
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--host" => host = value("--host")?,
+            "--port" => {
+                port = Some(
+                    value("--port")?
+                        .parse()
+                        .map_err(|_| "--port must be a TCP port number".to_string())?,
+                )
+            }
+            "--threads" => {
+                let n: usize = value("--threads")?
+                    .parse()
+                    .map_err(|_| "--threads must be a positive integer".to_string())?;
+                if n == 0 {
+                    return Err("--threads must be at least 1".to_string());
+                }
+                threads = Some(n);
+            }
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown shard-worker flag `{other}`\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let port = port.ok_or_else(|| format!("shard-worker needs --port\n\n{USAGE}"))?;
+    Ok(WorkerOptions {
+        host,
+        port,
+        threads,
+    })
+}
+
+/// Binds a shard worker and blocks until a shutdown request. The worker holds no
+/// datasets and no registry state: shards are seeded over the wire by a coordinator.
+fn worker_serve(options: &WorkerOptions) -> Result<(), String> {
+    let mut config = ServiceConfig {
+        worker: true,
+        ..ServiceConfig::default()
+    };
+    if let Some(threads) = options.threads {
+        config.threads = threads;
+    }
+    let threads = config.threads;
+    let registry = Arc::new(DatasetRegistry::new());
+    let server = PbServer::bind((options.host.as_str(), options.port), registry, config)
+        .map_err(|e| format!("failed to bind {}:{}: {e}", options.host, options.port))?;
+    let addr = server.local_addr().map_err(|e| e.to_string())?;
+    eprintln!("pb-shard-worker listening on {addr} with {threads} worker thread(s)");
+    server.run().map_err(|e| e.to_string())
 }
 
 /// Loads the datasets, binds the server, and blocks until a shutdown request.
@@ -447,17 +550,29 @@ fn serve(options: &ServeOptions) -> Result<(), String> {
                 .or_else(|| registry.recorded_shards(name))
                 .unwrap_or(1);
             registry
-                .register_file_sharded(name.clone(), path.clone(), total, shards)
+                .register_file_placed(
+                    name.clone(),
+                    path.clone(),
+                    total,
+                    shards,
+                    options.shard_workers.clone(),
+                )
                 .map_err(|e| e.to_string())?
         } else {
             let shards = options.shards.unwrap_or(1);
             let db = read_fimi_file(path).map_err(|e| format!("failed to read {path}: {e}"))?;
             registry
-                .register_sharded(name.clone(), db, total, shards)
+                .register_placed(
+                    name.clone(),
+                    db,
+                    total,
+                    shards,
+                    options.shard_workers.clone(),
+                )
                 .map_err(|e| e.to_string())?
         };
         eprintln!(
-            "registered `{name}`: {} transactions over {} items, budget ε = {}{}{}",
+            "registered `{name}`: {} transactions over {} items, budget ε = {}{}{}{}",
             entry.transactions(),
             entry.num_distinct_items(),
             options.budget,
@@ -466,6 +581,14 @@ fn serve(options: &ServeOptions) -> Result<(), String> {
                 format!(", {} shards", entry.shards())
             } else {
                 String::new()
+            },
+            if entry.workers().is_empty() {
+                String::new()
+            } else {
+                format!(
+                    ", {} on remote workers",
+                    entry.workers().len().min(entry.shards())
+                )
             },
         );
     }
@@ -657,6 +780,22 @@ fn main() -> ExitCode {
             Err(msg) => {
                 eprintln!("{msg}");
                 ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("shard-worker") {
+        let options = match parse_worker_args(&args[1..]) {
+            Ok(o) => o,
+            Err(msg) => {
+                eprintln!("{msg}");
+                return ExitCode::FAILURE;
+            }
+        };
+        return match worker_serve(&options) {
+            Ok(()) => ExitCode::SUCCESS,
+            Err(msg) => {
+                eprintln!("error: {msg}");
+                ExitCode::FAILURE
             }
         };
     }
@@ -1050,6 +1189,65 @@ mod tests {
         ]))
         .is_err());
         assert!(parse_serve_args(&args(&["--bogus"])).is_err());
+    }
+
+    #[test]
+    fn parses_shard_worker_placement_flags() {
+        // serve: repeatable --shard-worker placements ride into the options in order.
+        let o = parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b.dat",
+            "--shards",
+            "3",
+            "--shard-worker",
+            "127.0.0.1:8711",
+            "--shard-worker",
+            "127.0.0.1:8712",
+        ]))
+        .unwrap();
+        assert_eq!(
+            o.shard_workers,
+            vec!["127.0.0.1:8711".to_string(), "127.0.0.1:8712".to_string()]
+        );
+        // A bare address without a port is refused at parse time.
+        assert!(parse_serve_args(&args(&[
+            "--port",
+            "1",
+            "--dataset",
+            "a=b",
+            "--shard-worker",
+            "nocolon"
+        ]))
+        .is_err());
+        // shard-worker subcommand: port required, defaults otherwise.
+        let o = parse_worker_args(&args(&["--port", "8711"])).unwrap();
+        assert_eq!(
+            o,
+            WorkerOptions {
+                host: "127.0.0.1".to_string(),
+                port: 8711,
+                threads: None,
+            }
+        );
+        let o = parse_worker_args(&args(&[
+            "--port",
+            "0",
+            "--host",
+            "0.0.0.0",
+            "--threads",
+            "2",
+        ]))
+        .unwrap();
+        assert_eq!(o.host, "0.0.0.0");
+        assert_eq!(o.threads, Some(2));
+        assert!(parse_worker_args(&args(&[])).is_err());
+        assert!(parse_worker_args(&args(&["--port", "x"])).is_err());
+        assert!(parse_worker_args(&args(&["--port", "1", "--threads", "0"])).is_err());
+        assert!(parse_worker_args(&args(&["--bogus"])).is_err());
+        // Workers do not take dataset flags: they are seeded over the wire.
+        assert!(parse_worker_args(&args(&["--port", "1", "--dataset", "a=b"])).is_err());
     }
 
     #[test]

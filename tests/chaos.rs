@@ -80,10 +80,34 @@ struct Server {
 
 impl Server {
     fn spawn(extra_args: &[&str], envs: &[(&str, String)]) -> Server {
+        Server::spawn_mode(
+            &[
+                "serve",
+                "--port",
+                "0",
+                "--threads",
+                "2",
+                "--snapshot-every",
+                "8",
+            ],
+            extra_args,
+            envs,
+        )
+    }
+
+    /// A `privbasis-cli shard-worker` child on an OS-assigned port.
+    fn spawn_worker(envs: &[(&str, String)]) -> Server {
+        Server::spawn_mode(
+            &["shard-worker", "--port", "0", "--threads", "2"],
+            &[],
+            envs,
+        )
+    }
+
+    fn spawn_mode(base_args: &[&str], extra_args: &[&str], envs: &[(&str, String)]) -> Server {
         let mut command = Command::new(env!("CARGO_BIN_EXE_privbasis-cli"));
         command
-            .arg("serve")
-            .args(["--port", "0", "--threads", "2", "--snapshot-every", "8"])
+            .args(base_args)
             .args(extra_args)
             .stdin(Stdio::null())
             .stdout(Stdio::null())
@@ -328,6 +352,109 @@ fn chaos_schedule_seed_42() {
 #[test]
 fn chaos_schedule_seed_9001() {
     run_schedule(9001);
+}
+
+#[test]
+fn killed_shard_worker_fails_queries_closed_and_restarts_re_release_identically() {
+    // The fabric chaos schedule: a dataset with one of its two shards placed on a
+    // real `shard-worker` process, SIGKILLed while a query's fan-out is parked
+    // inside the worker (an injected `fabric.serve` delay widens the window). The
+    // invariants: the caught query fails closed with a structured refusal *before*
+    // any ε is debited, and once a fresh worker is placed, pinned-seed releases are
+    // byte-identical to the pre-crash reference — placement (and worker death) is
+    // invisible in released bytes and in the ledger.
+    if !pb_fault::is_compiled() {
+        return; // The mid-fan-out window needs the child's injected delay.
+    }
+    let scratch = Scratch::new("fabric");
+    let data = write_fixture(&scratch);
+    let state = scratch.0.join("state").to_string_lossy().into_owned();
+    let dataset = format!("d={data}");
+    let mut logs = Vec::new();
+
+    // Every shard op this worker serves sleeps 300 ms before answering.
+    let worker = Server::spawn_worker(&[("PB_FAULTS", "fabric.serve=delay:300".to_string())]);
+    let worker_arg = worker.addr.to_string();
+    let spawn_coordinator = |worker_addr: &str| {
+        Server::spawn(
+            &[
+                "--dataset",
+                dataset.as_str(),
+                "--budget",
+                "1000",
+                "--state-dir",
+                state.as_str(),
+                "--shards",
+                "2",
+                "--shard-worker",
+                worker_addr,
+            ],
+            &[],
+        )
+    };
+    let server = spawn_coordinator(&worker_arg);
+    let addr = server.addr;
+    let mut client = server.client();
+
+    // Pin the reference release through the mixed placement.
+    let reference = raw(&mut client, PINNED);
+    assert!(reference.contains(r#""status":"ok""#), "{reference}");
+    let reference_items = field(&reference, "itemsets");
+
+    // kill -9 the worker while a query's fan-out is parked inside its delay.
+    let in_flight = std::thread::spawn(move || {
+        let mut client = PbClient::connect(addr).expect("connect");
+        client.query("d", 4, 0.25, Some(888))
+    });
+    std::thread::sleep(Duration::from_millis(100));
+    logs.push(worker.kill9());
+    match in_flight.join().expect("in-flight client thread") {
+        Err(ClientError::Server(e)) => {
+            assert_eq!(e.code, ErrorCode::Unavailable, "{e}");
+            assert!(
+                e.message.contains("no ε was spent"),
+                "the refusal must promise the budget is untouched: {e}"
+            );
+        }
+        other => panic!("a query caught in the worker's death must fail closed, got {other:?}"),
+    }
+    // Fail closed means *before* the debit: only the pinned reference is spent, and
+    // every further query is refused the same way while the fabric is down.
+    let status = client.status().expect("status with the fabric down");
+    assert!(
+        (status.datasets[0].spent - 0.25).abs() < 1e-12,
+        "a failed fan-out must not debit: {:?}",
+        status.datasets[0]
+    );
+    match client.query("d", 4, 0.25, Some(889)).unwrap_err() {
+        ClientError::Server(e) => assert_eq!(e.code, ErrorCode::Unavailable, "{e}"),
+        other => panic!("expected a structured refusal, got {other}"),
+    }
+
+    // Bring up a fresh worker (new port — the old one may sit in TIME_WAIT) and
+    // restart the coordinator against it: recovery re-reads the durable ledger,
+    // re-places the shards, and re-seeds the new worker.
+    logs.push(server.kill9());
+    let worker = Server::spawn_worker(&[]);
+    let server = spawn_coordinator(&worker.addr.to_string());
+    let mut client = server.client();
+    let replayed = raw(&mut client, PINNED);
+    assert!(replayed.contains(r#""status":"ok""#), "{replayed}");
+    assert_eq!(
+        field(&replayed, "itemsets"),
+        reference_items,
+        "a worker death and re-placement must be invisible in released bytes"
+    );
+    let status = client.status().expect("status after the heal");
+    assert!(
+        (status.datasets[0].spent - 0.5).abs() < 1e-12,
+        "exactly the two acknowledged releases are debited: {:?}",
+        status.datasets[0]
+    );
+
+    logs.push(server.shutdown());
+    logs.push(worker.shutdown());
+    assert_no_panics(&logs);
 }
 
 #[test]
