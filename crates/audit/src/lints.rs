@@ -60,10 +60,13 @@ const NOISE_CRATES: &[&str] = &[
 /// fixed-order post-merge draw).
 const NOISE_SEAM_FILES: &[&str] = &["crates/core/src/freq.rs"];
 /// Server-side crates where a panic is a shed connection, not a crash report.
-const PANIC_CRATES: &[&str] = &["fault", "proto", "service"];
-/// Crates whose outputs must be reproducible from (data, seed) alone.
+const PANIC_CRATES: &[&str] = &["fault", "proto", "service", "trace"];
+/// Crates whose outputs must be reproducible from (data, seed) alone. `trace` is
+/// deliberately on this list even though it exists to measure time: it only ever sees
+/// opaque `u64` tokens minted by the service layer, so it must stay lexically
+/// wall-clock-free like the mechanism crates it observes.
 const WALLCLOCK_CRATES: &[&str] = &[
-    "core", "datagen", "dp", "fim", "graph", "metrics", "proto", "shard", "tf",
+    "core", "datagen", "dp", "fim", "graph", "metrics", "proto", "shard", "tf", "trace",
 ];
 
 /// Methods that iterate a collection in storage order.

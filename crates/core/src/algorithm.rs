@@ -15,9 +15,10 @@ use crate::basis::BasisSet;
 use crate::consistency::enforce_consistency;
 use crate::construct::construct_basis_set;
 use crate::freq::{
-    basis_freq_counts_naive, basis_freq_counts_sharded, basis_freq_counts_with_index,
+    basis_freq_counts_naive, basis_freq_counts_with_histograms, basis_freq_counts_with_index,
     NoisyCandidateCounts,
 };
+use crate::observe::{NoopObserver, PhaseObserver};
 use crate::params::{PrivBasisParams, SelectionScale};
 use pb_dp::exponential_mechanism;
 use pb_dp::{sample_without_replacement, DpError, Epsilon, ExponentialScale, PrivacyBudget};
@@ -176,6 +177,7 @@ impl PrivBasis {
             |k1| theta_count_direct(db, k1),
             k,
             epsilon,
+            &NoopObserver,
         )
     }
 
@@ -202,6 +204,7 @@ impl PrivBasis {
             |k1| sharded.kth_support_count(k1),
             k,
             epsilon,
+            &NoopObserver,
         )
     }
 
@@ -217,6 +220,23 @@ impl PrivBasis {
         k: usize,
         epsilon: Epsilon,
     ) -> Result<PrivBasisOutput, PrivBasisError> {
+        self.run_shared_observed(rng, context, k, epsilon, &NoopObserver)
+    }
+
+    /// [`PrivBasis::run_shared`] with a [`PhaseObserver`] watching the stage
+    /// boundaries (λ estimation, selection, noise draw, counting, consistency).
+    ///
+    /// Observation is passive and clock-free on this side — the observer mints the
+    /// instants — so the release is byte-identical to [`PrivBasis::run_shared`]
+    /// for the same seed whether or not anybody is watching.
+    pub fn run_shared_observed<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        context: &crate::context::QueryContext,
+        k: usize,
+        epsilon: Epsilon,
+        obs: &dyn PhaseObserver,
+    ) -> Result<PrivBasisOutput, PrivBasisError> {
         self.run_pipeline(
             rng,
             context.engine(),
@@ -224,6 +244,7 @@ impl PrivBasis {
             |k1| context.theta_count(k1),
             k,
             epsilon,
+            obs,
         )
     }
 
@@ -231,6 +252,7 @@ impl PrivBasis {
     /// support count of the `k1`-th itemset (memoized by serving layers — the dominant
     /// per-query cost on large databases); `engine` decides where the exact counting
     /// happens without changing a single released bit.
+    #[allow(clippy::too_many_arguments)]
     fn run_pipeline<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -239,6 +261,7 @@ impl PrivBasis {
         theta_for: impl FnOnce(usize) -> f64,
         k: usize,
         epsilon: Epsilon,
+        obs: &dyn PhaseObserver,
     ) -> Result<PrivBasisOutput, PrivBasisError> {
         self.params
             .validate()
@@ -259,20 +282,30 @@ impl PrivBasis {
         // Step 1: λ. GetLambda samples a rank into `items_by_freq`, so the clamp normally
         // never bites; it pins down the invariant that the published λ is the *effective*
         // one — the value steps 2–5 actually use — for any future λ estimator.
+        let t_lambda = obs.now();
         let eta = self.params.eta_for(k);
         let k1 = ((k as f64 * eta).ceil() as usize).max(1);
         let theta = theta_for(k1) / n as f64;
         let lambda = get_lambda(rng, n, items_by_freq, theta, eps_lambda)?;
         let lambda = lambda.clamp(1, items_by_freq.len());
+        obs.phase("lambda", t_lambda, obs.now());
 
         if lambda <= self.params.single_basis_lambda {
             // Steps 2 + 5, single-basis path.
+            let t_items = obs.now();
             let frequent_items =
                 self.select_frequent_items(rng, n, items_by_freq, lambda, eps_select)?;
+            obs.phase("select_items", t_items, obs.now());
             let owned_index = self.owned_index(engine, &frequent_items);
             let basis_set = BasisSet::single(frequent_items.clone());
-            let counts =
-                self.count_bases(rng, engine, owned_index.as_ref(), &basis_set, eps_counts);
+            let counts = self.count_bases(
+                rng,
+                engine,
+                owned_index.as_ref(),
+                &basis_set,
+                eps_counts,
+                obs,
+            );
             Ok(PrivBasisOutput {
                 itemsets: counts.top_k(k),
                 lambda,
@@ -295,10 +328,13 @@ impl PrivBasis {
                 )
             };
 
+            let t_items = obs.now();
             let frequent_items =
                 self.select_frequent_items(rng, n, items_by_freq, lambda, eps_items)?;
+            obs.phase("select_items", t_items, obs.now());
             let owned_index = self.owned_index(engine, &frequent_items);
 
+            let t_pairs = obs.now();
             let frequent_pairs = match eps_pairs {
                 Some(eps_pairs) if frequent_items.len() >= 2 => {
                     // Exact pair supports from whichever engine is counting: the index,
@@ -323,11 +359,20 @@ impl PrivBasis {
                 }
                 _ => Vec::new(),
             };
+            obs.phase("select_pairs", t_pairs, obs.now());
 
+            let t_construct = obs.now();
             let basis_set =
                 construct_basis_set(&frequent_items, &frequent_pairs, self.params.max_basis_len);
-            let counts =
-                self.count_bases(rng, engine, owned_index.as_ref(), &basis_set, eps_counts);
+            obs.phase("construct", t_construct, obs.now());
+            let counts = self.count_bases(
+                rng,
+                engine,
+                owned_index.as_ref(),
+                &basis_set,
+                eps_counts,
+                obs,
+            );
             Ok(PrivBasisOutput {
                 itemsets: counts.top_k(k),
                 lambda,
@@ -369,17 +414,44 @@ impl PrivBasis {
         owned_index: Option<&VerticalIndex>,
         basis_set: &BasisSet,
         eps: Epsilon,
+        obs: &dyn PhaseObserver,
     ) -> NoisyCandidateCounts {
         let mut counts = match engine {
-            Engine::Sharded(s) => basis_freq_counts_sharded(rng, s, basis_set, eps),
-            Engine::Local { db, shared_index } => match shared_index.or(owned_index) {
-                Some(ix) => basis_freq_counts_with_index(rng, ix, basis_set, eps),
-                None => basis_freq_counts_naive(rng, db, basis_set, eps),
-            },
+            Engine::Sharded(s) => {
+                // BasisFreq draws every Laplace variate *before* the exact counting
+                // closure runs, so the window from call start to closure entry is the
+                // noise draw, the closure itself is the per-shard fan-out + merge, and
+                // the remainder is the noisy reconstruction — three clean phases
+                // without moving a single statement of the mechanism.
+                let t_call = obs.now();
+                let merge_window = std::cell::Cell::new((t_call, t_call));
+                let c = basis_freq_counts_with_histograms(rng, basis_set, eps, |bases| {
+                    let t = obs.now();
+                    let hists = s.bin_histograms(bases);
+                    merge_window.set((t, obs.now()));
+                    hists
+                });
+                let (merge_start, merge_end) = merge_window.get();
+                obs.phase("noise_draw", t_call, merge_start);
+                obs.phase("shard_merge", merge_start, merge_end);
+                obs.phase("reconstruct", merge_end, obs.now());
+                c
+            }
+            Engine::Local { db, shared_index } => {
+                let t_count = obs.now();
+                let c = match shared_index.or(owned_index) {
+                    Some(ix) => basis_freq_counts_with_index(rng, ix, basis_set, eps),
+                    None => basis_freq_counts_naive(rng, db, basis_set, eps),
+                };
+                obs.phase("count", t_count, obs.now());
+                c
+            }
         };
         if let Some(options) = self.params.consistency {
+            let t_consistency = obs.now();
             let adjusted = enforce_consistency(&counts, engine.num_transactions(), options);
             counts.apply_adjusted_counts(&adjusted);
+            obs.phase("consistency", t_consistency, obs.now());
         }
         counts
     }

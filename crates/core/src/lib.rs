@@ -46,6 +46,7 @@ pub mod consistency;
 pub mod construct;
 pub mod context;
 pub mod freq;
+pub mod observe;
 pub mod params;
 pub mod variance;
 
@@ -59,4 +60,5 @@ pub use freq::{
     basis_freq_counts_with_histograms, basis_freq_counts_with_index, basis_freq_naive,
     NoisyCandidateCounts,
 };
+pub use observe::{NoopObserver, PhaseObserver};
 pub use params::{PrivBasisParams, SelectionScale};

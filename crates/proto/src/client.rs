@@ -103,6 +103,9 @@ pub struct PbClient {
     retry: Option<RetryPolicy>,
     /// splitmix64 state of the jitter stream.
     jitter: u64,
+    /// Optional correlation-id prefix (trace propagation; see
+    /// [`PbClient::set_id_prefix`]).
+    id_prefix: Option<String>,
 }
 
 impl PbClient {
@@ -118,7 +121,17 @@ impl PbClient {
             read_timeout: Some(DEFAULT_READ_TIMEOUT),
             retry: None,
             jitter: 0,
+            id_prefix: None,
         })
+    }
+
+    /// Prefixes subsequent correlation ids with `{prefix}-` (cleared with `None`).
+    ///
+    /// The shard fabric sets the coordinator's trace id here, so a request's worker
+    /// RPCs are attributable to it in both processes' logs. Purely cosmetic on the
+    /// wire: the id round-trips verbatim and nothing parses its structure.
+    pub fn set_id_prefix(&mut self, prefix: Option<String>) {
+        self.id_prefix = prefix;
     }
 
     /// Sets the read timeout for responses (`None` blocks indefinitely). Retry
@@ -182,7 +195,10 @@ impl PbClient {
     }
 
     fn round_trip(&mut self, auth: Option<String>, op: Op) -> Result<Response, ClientError> {
-        let id = format!("c{}", self.next_id);
+        let id = match &self.id_prefix {
+            Some(prefix) => format!("{prefix}-c{}", self.next_id),
+            None => format!("c{}", self.next_id),
+        };
         self.next_id += 1;
         let line = Envelope::v2(id.clone(), auth, op).encode();
         let raw = self.raw_line(&line)?;
@@ -268,6 +284,18 @@ impl PbClient {
             Response::Status(reply) => Ok(reply),
             other => Err(ClientError::Protocol(format!(
                 "expected a status reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Fetches the recorded span tree of a recent request by its correlation id
+    /// (best-effort: the server's trace ring evicts old traces).
+    pub fn trace(&mut self, id: &str) -> Result<pb_trace::Trace, ClientError> {
+        let op = Op::Trace { id: id.to_string() };
+        match self.round_trip(None, op)? {
+            Response::Trace(trace) => Ok(trace),
+            other => Err(ClientError::Protocol(format!(
+                "expected a trace reply, got {other:?}"
             ))),
         }
     }

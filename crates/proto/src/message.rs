@@ -103,6 +103,14 @@ pub enum Op {
         /// A `pb-fault` plan spec (e.g. `journal.fsync=fail-once`); empty clears.
         spec: String,
     },
+    /// Fetch the recorded span tree of a recent request by its correlation id
+    /// (v2 only). Traces live in a bounded in-memory ring, so a hit is
+    /// best-effort: old traces are evicted by new traffic.
+    Trace {
+        /// The trace id — the request's envelope `id` (client-supplied or
+        /// server-assigned; query replies echo server-assigned ids).
+        id: String,
+    },
     /// Seed (or re-seed) a shard on a worker (v2 only; served only by `shard-worker`
     /// processes). Rows arrive in chunks bounded by the request-line cap; the final
     /// chunk carries `seal: true`, after which the shard serves count ops.
@@ -155,6 +163,7 @@ impl Op {
             Op::Unregister { .. } => "unregister",
             Op::Reshard { .. } => "reshard",
             Op::Faults { .. } => "faults",
+            Op::Trace { .. } => "trace",
             Op::ShardLoad { .. } => "shard_load",
             Op::ShardSupports { .. } => "shard_supports",
             Op::ShardPairs { .. } => "shard_pairs",
@@ -333,6 +342,9 @@ impl Op {
                         .to_string(),
                 },
             }),
+            "trace" if v >= 2 => Ok(Op::Trace {
+                id: required_str(value, "trace_id", "trace")?,
+            }),
             "shard_load" if v >= 2 => Ok(Op::ShardLoad {
                 key: required_str(value, "key", "shard_load")?,
                 rows: match value.get("rows") {
@@ -383,7 +395,7 @@ impl Op {
                 ErrorCode::UnknownOp,
                 if v >= 2 {
                     format!(
-                        "unknown op `{other}` (expected query, status, shutdown, \
+                        "unknown op `{other}` (expected query, status, shutdown, trace, \
                          register, unregister, reshard, faults, or the shard_* worker ops)"
                     )
                 } else {
@@ -442,6 +454,9 @@ impl Op {
             }
             Op::Faults { spec } => {
                 fields.push(("spec".into(), Json::String(spec.clone())));
+            }
+            Op::Trace { id } => {
+                fields.push(("trace_id".into(), Json::String(id.clone())));
             }
             Op::ShardLoad {
                 key,
@@ -730,6 +745,19 @@ pub struct DatasetStatus {
     pub degraded: bool,
 }
 
+/// Lifetime ε-audit tallies, replayed from the server's durable audit log. Unlike the
+/// request counters beside them these survive a restart — they count what the audit
+/// log has ever recorded, not what this process has seen.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct AuditSummary {
+    /// Queries whose noisy itemsets were released (ε spent).
+    pub released: u64,
+    /// Queries refused before any release.
+    pub refused: u64,
+    /// Queries computed but discarded unreleased (fail-closed; no ε spent).
+    pub failed_closed: u64,
+}
+
 /// Process-wide server metadata (v2 status responses only — v1 bytes are frozen).
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServerInfo {
@@ -745,6 +773,9 @@ pub struct ServerInfo {
     pub shed_total: u64,
     /// Connections closed because a read/write deadline expired.
     pub deadline_closed_total: u64,
+    /// Lifetime audit-log tallies. `None` on servers without an audit log; encoded
+    /// on the wire only when present, so pre-audit v2 bytes are unchanged.
+    pub audit: Option<AuditSummary>,
 }
 
 /// A status response.
@@ -820,6 +851,8 @@ pub enum Response {
     /// Shard-local bin histograms for a `shard_histograms` op, one `2^|B|`-bin
     /// histogram per requested basis, in request order.
     ShardHistograms(Vec<Vec<u64>>),
+    /// A recorded request trace (the `trace` op payload).
+    Trace(pb_trace::Trace),
     /// A structured failure.
     Error(WireError),
 }
@@ -908,6 +941,7 @@ impl Response {
                         rejected_total: 0,
                         shed_total: 0,
                         deadline_closed_total: 0,
+                        audit: None,
                     });
                     fields.push((
                         "protocol_version".into(),
@@ -927,6 +961,14 @@ impl Response {
                         "deadline_closed_total".into(),
                         Json::Number(info.deadline_closed_total as f64),
                     ));
+                    if let Some(audit) = info.audit {
+                        fields.push(("audit_released".into(), Json::Number(audit.released as f64)));
+                        fields.push(("audit_refused".into(), Json::Number(audit.refused as f64)));
+                        fields.push((
+                            "audit_failed_closed".into(),
+                            Json::Number(audit.failed_closed as f64),
+                        ));
+                    }
                 }
                 let rows = s.datasets.iter().map(dataset_status_json).collect();
                 fields.push(("datasets".into(), Json::Array(rows)));
@@ -986,6 +1028,38 @@ impl Response {
                     ),
                 ));
             }
+            Response::Trace(trace) => {
+                fields.push(("status".into(), Json::String("ok".into())));
+                fields.push(("trace_id".into(), Json::String(trace.id.clone())));
+                fields.push(("trace_op".into(), Json::String(trace.op.clone())));
+                fields.push(("dataset".into(), Json::String(trace.dataset.clone())));
+                fields.push(("outcome".into(), Json::String(trace.outcome.clone())));
+                fields.push(("total_us".into(), Json::Number(trace.total_us as f64)));
+                let spans = trace
+                    .spans
+                    .iter()
+                    .map(|span| {
+                        let mut fields = vec![
+                            ("name".into(), Json::String(span.name.clone())),
+                            ("start_us".into(), Json::Number(span.start_us as f64)),
+                            ("end_us".into(), Json::Number(span.end_us as f64)),
+                        ];
+                        if !span.attrs.is_empty() {
+                            fields.push((
+                                "attrs".into(),
+                                Json::Object(
+                                    span.attrs
+                                        .iter()
+                                        .map(|(k, v)| (k.clone(), Json::String(v.clone())))
+                                        .collect(),
+                                ),
+                            ));
+                        }
+                        Json::Object(fields)
+                    })
+                    .collect();
+                fields.push(("spans".into(), Json::Array(spans)));
+            }
         }
         Json::Object(fields).to_string()
     }
@@ -1042,6 +1116,12 @@ impl Response {
                     // Lenient (default 0): pre-degradation v2 servers omit these.
                     shed_total: optional_u64(value, "shed_total"),
                     deadline_closed_total: optional_u64(value, "deadline_closed_total"),
+                    // Present only on servers with an audit log.
+                    audit: value.get("audit_released").map(|_| AuditSummary {
+                        released: optional_u64(value, "audit_released"),
+                        refused: optional_u64(value, "audit_refused"),
+                        failed_closed: optional_u64(value, "audit_failed_closed"),
+                    }),
                 })
             } else {
                 None
@@ -1124,6 +1204,20 @@ impl Response {
                 .collect::<Result<Vec<_>, _>>()?;
             return Ok(Response::ShardHistograms(histograms));
         }
+        if let Some(raw) = value.get("spans").and_then(Json::as_array) {
+            let spans = raw
+                .iter()
+                .map(parse_trace_span)
+                .collect::<Result<Vec<_>, String>>()?;
+            return Ok(Response::Trace(pb_trace::Trace {
+                id: require_str(value, "trace_id")?,
+                op: require_str(value, "trace_op")?,
+                dataset: require_str(value, "dataset")?,
+                outcome: require_str(value, "outcome")?,
+                total_us: require_u64(value, "total_us")?,
+                spans,
+            }));
+        }
         Err("unrecognised ok-response body".to_string())
     }
 }
@@ -1160,6 +1254,27 @@ fn dataset_status_json(d: &DatasetStatus) -> Json {
         fields.push(("degraded".into(), Json::Bool(true)));
     }
     Json::Object(fields)
+}
+
+fn parse_trace_span(raw: &Json) -> Result<pb_trace::Span, String> {
+    let attrs = match raw.get("attrs") {
+        None => Vec::new(),
+        Some(Json::Object(pairs)) => pairs
+            .iter()
+            .map(|(k, v)| {
+                v.as_str()
+                    .map(|v| (k.clone(), v.to_string()))
+                    .ok_or("span `attrs` values must be strings".to_string())
+            })
+            .collect::<Result<Vec<_>, String>>()?,
+        Some(_) => return Err("span `attrs` must be an object".to_string()),
+    };
+    Ok(pb_trace::Span {
+        name: require_str(raw, "name")?,
+        start_us: require_u64(raw, "start_us")?,
+        end_us: require_u64(raw, "end_us")?,
+        attrs,
+    })
 }
 
 fn parse_dataset_status(row: &Json) -> Result<DatasetStatus, String> {
@@ -1393,6 +1508,7 @@ mod tests {
                 rejected_total: 1,
                 shed_total: 0,
                 deadline_closed_total: 0,
+                audit: None,
             }),
             datasets: vec![DatasetStatus {
                 name: "d".into(),
@@ -1489,6 +1605,41 @@ mod tests {
     }
 
     #[test]
+    fn trace_op_and_reply_round_trip() {
+        // The op is v2-only and unauthenticated (traces carry no raw data).
+        let e = Envelope::parse(r#"{"v":2,"id":"t1","op":"trace","trace_id":"q-77"}"#).unwrap();
+        assert_eq!(e.op, Op::Trace { id: "q-77".into() });
+        assert!(!e.op.is_admin());
+        assert!(!e.op.is_shard_op());
+        let envelope = Envelope::v2("t2", None, e.op);
+        assert_eq!(Envelope::parse(&envelope.encode()).unwrap(), envelope);
+        let err = Envelope::parse(r#"{"op":"trace","trace_id":"x"}"#).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::UnknownOp);
+        // A missing trace_id is malformed, not a lookup of the empty id.
+        let err = Envelope::parse(r#"{"v":2,"op":"trace"}"#).unwrap_err();
+        assert_eq!(err.error.code, ErrorCode::Malformed);
+
+        // The reply round-trips its span tree, attributes included.
+        let reply = Response::Trace(pb_trace::Trace {
+            id: "q-77".into(),
+            op: "query".into(),
+            dataset: "retail".into(),
+            outcome: "released".into(),
+            total_us: 1500,
+            spans: vec![
+                pb_trace::Span::new("parse", 0, 10),
+                pb_trace::Span::new("shard_rpc", 100, 900)
+                    .attr("worker", "127.0.0.1:9000")
+                    .attr("hedged", "true"),
+            ],
+        });
+        let line = reply.encode(2, Some("t1"));
+        let parsed = Response::parse(&line).unwrap();
+        assert_eq!(parsed.id.as_deref(), Some("t1"));
+        assert_eq!(parsed.response, reply, "{line}");
+    }
+
+    #[test]
     fn faults_op_is_v2_only_and_admin_gated() {
         let e = Envelope::parse(
             r#"{"v":2,"id":"f1","auth":"tok","op":"faults","spec":"journal.fsync=fail-once"}"#,
@@ -1579,6 +1730,11 @@ mod tests {
                 rejected_total: 2,
                 shed_total: 3,
                 deadline_closed_total: 4,
+                audit: Some(AuditSummary {
+                    released: 11,
+                    refused: 2,
+                    failed_closed: 1,
+                }),
             }),
             datasets: vec![DatasetStatus {
                 name: "wedged".into(),

@@ -54,6 +54,7 @@ fn ok_status(id: &str) -> String {
             rejected_total: 0,
             shed_total: 0,
             deadline_closed_total: 0,
+            audit: None,
         }),
         datasets: Vec::<DatasetStatus>::new(),
     })

@@ -201,6 +201,7 @@ fn arb_response() -> impl Strategy<Value = Response> {
                             rejected_total: rejected,
                             shed_total: requests / 3,
                             deadline_closed_total: rejected / 2,
+                            audit: None,
                         }),
                         datasets,
                     }),

@@ -1,0 +1,473 @@
+//! Durable ε-audit log: one JSON line per privacy-relevant decision.
+//!
+//! The ledger journal ([`crate::persist`]) answers "how much ε is left?"; the audit log
+//! answers "who spent it, on what, and what happened?". Every query outcome appends one
+//! record — trace id, dataset, ε, `k`, a hash of the seed (never the seed itself: the
+//! seed reproduces the noise, so logging it would turn the audit trail into a noise
+//! oracle), outcome, and a wall-clock timestamp — to an append-only `audit.jsonl` in
+//! the state directory, fsynced per record through the same fault-injection seams the
+//! journal uses (`audit.append`, `audit.fsync`).
+//!
+//! On restart the log is replayed (tolerating a torn final line from a crash
+//! mid-append) so lifetime counts survive the process, and the replayed per-dataset
+//! released-ε sums are **reconciled** against the debit journal: the journal is
+//! authoritative (it is written *before* release), so if a crash landed between the
+//! debit commit and the audit append, recovery appends a `reconciled` record carrying
+//! the missing ε. After reconciliation the audit log's released-ε total for a dataset
+//! equals the journal's spent ε.
+//!
+//! A failed append **wedges** the audit file (one structured stderr line, no further
+//! writes) but never blocks a release: the ε debit itself was already durable in the
+//! journal, so the privacy guarantee does not depend on this log. Lifetime counters
+//! keep advancing in memory while wedged — the degraded state is visible in
+//! `/metrics` (`pb_audit_wedged`).
+
+use std::collections::BTreeMap;
+use std::fs::{File, OpenOptions};
+use std::io::{self, BufRead, BufReader, Write};
+use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+use pb_proto::Json;
+use pb_trace::escape_json;
+
+/// File name of the audit log inside a state directory. The stem starts with a letter,
+/// so it can never collide with a dataset's files ([`crate::persist::StateDir`] rejects
+/// names that would shadow it by refusing `.`-leading stems and owning the `audit`
+/// name space here).
+pub const AUDIT_FILE: &str = "audit.jsonl";
+
+/// What became of one ε-relevant request.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum AuditOutcome {
+    /// The mechanism ran, the debit committed, and the noisy itemsets were released.
+    Released,
+    /// The request was refused before any release (budget exhausted, wedged journal,
+    /// unknown dataset with a named ε intent).
+    Refused,
+    /// The answer was computed but discarded unreleased (fail-closed: a shard worker
+    /// failed mid-query, or the mechanism itself errored). No ε was spent.
+    FailedClosed,
+    /// Recovery found journal-spent ε with no matching audit record (crash between
+    /// the debit commit and the audit append); this record carries the missing ε so
+    /// the audit total reconciles with the journal.
+    Reconciled,
+}
+
+impl AuditOutcome {
+    /// Stable wire/storage name.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            AuditOutcome::Released => "released",
+            AuditOutcome::Refused => "refused",
+            AuditOutcome::FailedClosed => "failed-closed",
+            AuditOutcome::Reconciled => "reconciled",
+        }
+    }
+
+    fn parse(text: &str) -> Option<AuditOutcome> {
+        match text {
+            "released" => Some(AuditOutcome::Released),
+            "refused" => Some(AuditOutcome::Refused),
+            "failed-closed" => Some(AuditOutcome::FailedClosed),
+            "reconciled" => Some(AuditOutcome::Reconciled),
+            _ => None,
+        }
+    }
+}
+
+/// One audit-log line.
+#[derive(Debug, Clone, PartialEq)]
+pub struct AuditRecord {
+    /// Correlation id of the request (matches the trace ring and the slow-query log).
+    pub trace: String,
+    /// Dataset the request targeted.
+    pub dataset: String,
+    /// The ε at stake: spent (released/reconciled) or refused/discarded unspent.
+    pub epsilon: f64,
+    /// Requested top-`k`.
+    pub k: u64,
+    /// FNV-1a hash of the query seed — linkable, not invertible (see module docs).
+    pub seed_hash: u64,
+    /// What happened.
+    pub outcome: AuditOutcome,
+    /// Wall-clock milliseconds since the Unix epoch, stamped by the serving layer.
+    pub ts_ms: u64,
+}
+
+impl AuditRecord {
+    fn to_json_line(&self) -> String {
+        format!(
+            "{{\"trace\":\"{}\",\"dataset\":\"{}\",\"epsilon\":{},\"k\":{},\
+             \"seed_hash\":{},\"outcome\":\"{}\",\"ts_ms\":{}}}",
+            escape_json(&self.trace),
+            escape_json(&self.dataset),
+            self.epsilon,
+            self.k,
+            self.seed_hash,
+            self.outcome.as_str(),
+            self.ts_ms,
+        )
+    }
+
+    fn parse(line: &str) -> Option<AuditRecord> {
+        let value = Json::parse(line).ok()?;
+        Some(AuditRecord {
+            trace: value.get("trace")?.as_str()?.to_string(),
+            dataset: value.get("dataset")?.as_str()?.to_string(),
+            epsilon: value.get("epsilon")?.as_f64()?,
+            k: value.get("k")?.as_u64()?,
+            seed_hash: value.get("seed_hash")?.as_u64()?,
+            outcome: AuditOutcome::parse(value.get("outcome")?.as_str()?)?,
+            ts_ms: value.get("ts_ms")?.as_u64()?,
+        })
+    }
+}
+
+/// FNV-1a over the seed's little-endian bytes: deterministic across runs and
+/// platforms, cheap, and good enough to *link* audit records sharing a seed without
+/// disclosing the seed (which would let a reader re-derive the released noise).
+pub fn seed_hash(seed: u64) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in seed.to_le_bytes() {
+        hash ^= byte as u64;
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Lifetime tallies replayed from disk plus everything appended since.
+#[derive(Debug, Default)]
+struct Totals {
+    released: u64,
+    refused: u64,
+    failed_closed: u64,
+    /// Σ ε over `released` + `reconciled` records, per dataset — the quantity that
+    /// must match the journal's spent ε.
+    released_eps: BTreeMap<String, f64>,
+}
+
+impl Totals {
+    fn absorb(&mut self, record: &AuditRecord) {
+        match record.outcome {
+            AuditOutcome::Released => {
+                self.released += 1;
+                *self
+                    .released_eps
+                    .entry(record.dataset.clone())
+                    .or_insert(0.0) += record.epsilon;
+            }
+            AuditOutcome::Reconciled => {
+                *self
+                    .released_eps
+                    .entry(record.dataset.clone())
+                    .or_insert(0.0) += record.epsilon;
+            }
+            AuditOutcome::Refused => self.refused += 1,
+            AuditOutcome::FailedClosed => self.failed_closed += 1,
+        }
+    }
+}
+
+/// The append-only ε-audit log (see module docs). All methods are infallible at the
+/// call site: persistence failures wedge the file and are surfaced through
+/// [`AuditLog::is_wedged`], never bubbled into the query path.
+#[derive(Debug)]
+pub struct AuditLog {
+    /// `None` for an in-memory server (no state dir) or after a wedge.
+    file: Mutex<Option<File>>,
+    path: Option<PathBuf>,
+    wedged: AtomicBool,
+    totals: Mutex<Totals>,
+}
+
+impl AuditLog {
+    /// An audit log with no backing file: lifetime counters work, nothing survives
+    /// the process. What a server without `--state-dir` gets.
+    pub fn in_memory() -> AuditLog {
+        AuditLog {
+            file: Mutex::new(None),
+            path: None,
+            wedged: AtomicBool::new(false),
+            totals: Mutex::new(Totals::default()),
+        }
+    }
+
+    /// Opens (creating if absent) `audit.jsonl` under `dir` and replays it.
+    ///
+    /// Replay is crash-tolerant: a torn final line (no trailing newline, or
+    /// unparseable) is ignored — its record never happened as far as the totals are
+    /// concerned, and the matching journal debit will be re-carried by
+    /// [`AuditLog::reconcile`]. A corrupt line *elsewhere* is skipped the same way;
+    /// reconciliation re-accounts the ε either way, so corruption degrades to a
+    /// `reconciled` record rather than a lost guarantee.
+    pub fn open(dir: &Path) -> io::Result<AuditLog> {
+        let path = dir.join(AUDIT_FILE);
+        let mut totals = Totals::default();
+        let mut torn_tail = false;
+        match File::open(&path) {
+            Ok(existing) => {
+                let mut reader = BufReader::new(existing);
+                let mut line = String::new();
+                loop {
+                    line.clear();
+                    if reader.read_line(&mut line)? == 0 {
+                        break;
+                    }
+                    // A crash mid-append leaves a final line with no terminator; note
+                    // it so the append handle can seal it, or the next record would be
+                    // glued onto the torn bytes and lost with them.
+                    torn_tail = !line.ends_with('\n');
+                    if let Some(record) = AuditRecord::parse(line.trim()) {
+                        totals.absorb(&record);
+                    }
+                }
+            }
+            Err(e) if e.kind() == io::ErrorKind::NotFound => {}
+            Err(e) => return Err(e),
+        }
+        let mut file = OpenOptions::new().create(true).append(true).open(&path)?;
+        if torn_tail {
+            file.write_all(b"\n")?;
+            file.sync_data()?;
+        }
+        Ok(AuditLog {
+            file: Mutex::new(Some(file)),
+            path: Some(path),
+            wedged: AtomicBool::new(false),
+            totals: Mutex::new(Totals::default()),
+        }
+        .with_totals(totals))
+    }
+
+    fn with_totals(self, totals: Totals) -> AuditLog {
+        *self.totals.lock().unwrap_or_else(PoisonError::into_inner) = totals;
+        self
+    }
+
+    /// The on-disk path (`None` for an in-memory log).
+    pub fn path(&self) -> Option<&Path> {
+        self.path.as_deref()
+    }
+
+    /// True once an append or fsync failed and the file was abandoned. In-memory
+    /// counters keep advancing; only durability is lost.
+    pub fn is_wedged(&self) -> bool {
+        self.wedged.load(Ordering::Relaxed)
+    }
+
+    /// Lifetime released-query count (replayed + this process).
+    pub fn released(&self) -> u64 {
+        self.totals().released
+    }
+
+    /// Lifetime refused-query count.
+    pub fn refused(&self) -> u64 {
+        self.totals().refused
+    }
+
+    /// Lifetime failed-closed count (discarded unreleased, no ε spent).
+    pub fn failed_closed(&self) -> u64 {
+        self.totals().failed_closed
+    }
+
+    /// Σ ε over released (+ reconciled) records for `dataset` — the audit-side number
+    /// that must equal the journal's spent ε after [`AuditLog::reconcile`].
+    pub fn released_epsilon(&self, dataset: &str) -> f64 {
+        self.totals()
+            .released_eps
+            .get(dataset)
+            .copied()
+            .unwrap_or(0.0)
+    }
+
+    fn totals(&self) -> std::sync::MutexGuard<'_, Totals> {
+        self.totals.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Appends one record: totals first (always), then the durable line (best
+    /// effort). The write and its fsync run behind `pb_fault` seams so the chaos
+    /// harness can prove a dying audit log never blocks a release.
+    pub fn append(&self, record: &AuditRecord) {
+        self.totals().absorb(record);
+        let mut guard = self.file.lock().unwrap_or_else(PoisonError::into_inner);
+        let Some(file) = guard.as_mut() else {
+            return;
+        };
+        let line = record.to_json_line();
+        let written = (|| {
+            pb_fault::inject!("audit.append")?;
+            file.write_all(line.as_bytes())?;
+            file.write_all(b"\n")?;
+            pb_fault::inject!("audit.fsync")?;
+            file.sync_data()
+        })();
+        if let Err(e) = written {
+            // Wedge: drop the handle so no later append interleaves half-written
+            // lines after the failure point. The release path never sees this error —
+            // the ε guarantee lives in the debit journal, which is already durable.
+            *guard = None;
+            self.wedged.store(true, Ordering::Relaxed);
+            eprintln!(
+                "{{\"event\":\"audit_wedged\",\"error\":\"{}\"}}",
+                escape_json(&e.to_string())
+            );
+        }
+    }
+
+    /// Reconciles this log against the journal's authoritative spent ε for `dataset`:
+    /// if the journal recorded more spend than the audit log (crash between debit
+    /// commit and audit append, torn tail), appends a `reconciled` record carrying the
+    /// missing ε and returns it. Returns `None` when already consistent. The audit
+    /// total is *assigned* (not summed) to the journal value, so in-process equality
+    /// is exact.
+    pub fn reconcile(&self, dataset: &str, journal_spent: f64, ts_ms: u64) -> Option<f64> {
+        let audited = self.released_epsilon(dataset);
+        let missing = journal_spent - audited;
+        // Strictly positive with headroom for f64 summation noise: an audit log
+        // *ahead* of the journal cannot happen (the debit is durable first), and a
+        // sub-ulp difference is summation order, not a lost record.
+        if missing <= 1e-9 {
+            return None;
+        }
+        let record = AuditRecord {
+            trace: "recovery".to_string(),
+            dataset: dataset.to_string(),
+            epsilon: missing,
+            k: 0,
+            seed_hash: 0,
+            outcome: AuditOutcome::Reconciled,
+            ts_ms,
+        };
+        self.append(&record);
+        self.totals()
+            .released_eps
+            .insert(dataset.to_string(), journal_spent);
+        Some(missing)
+    }
+
+    /// Wall-clock milliseconds since the Unix epoch — the serving layer's timestamp
+    /// source for audit records. (Deliberately here in the service crate: mechanism
+    /// crates are lexically wall-clock-free, enforced by `pb-audit`.)
+    pub fn now_ms() -> u64 {
+        std::time::SystemTime::now()
+            .duration_since(std::time::UNIX_EPOCH)
+            .map(|d| d.as_millis() as u64)
+            .unwrap_or(0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicU64;
+
+    struct Scratch(PathBuf);
+
+    impl Scratch {
+        fn new(tag: &str) -> Scratch {
+            static COUNTER: AtomicU64 = AtomicU64::new(0);
+            let dir = std::env::temp_dir().join(format!(
+                "pb-auditlog-{tag}-{}-{}",
+                std::process::id(),
+                COUNTER.fetch_add(1, Ordering::Relaxed)
+            ));
+            std::fs::create_dir_all(&dir).unwrap();
+            Scratch(dir)
+        }
+    }
+
+    impl Drop for Scratch {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_dir_all(&self.0);
+        }
+    }
+
+    fn released(trace: &str, dataset: &str, eps: f64) -> AuditRecord {
+        AuditRecord {
+            trace: trace.to_string(),
+            dataset: dataset.to_string(),
+            epsilon: eps,
+            k: 5,
+            seed_hash: seed_hash(7),
+            outcome: AuditOutcome::Released,
+            ts_ms: 1_700_000_000_000,
+        }
+    }
+
+    #[test]
+    fn records_round_trip_and_replay_sums_epsilon() {
+        let scratch = Scratch::new("roundtrip");
+        {
+            let log = AuditLog::open(&scratch.0).unwrap();
+            log.append(&released("t1", "retail", 0.25));
+            log.append(&released("t2", "retail", 0.5));
+            log.append(&AuditRecord {
+                outcome: AuditOutcome::Refused,
+                ..released("t3", "retail", 9.0)
+            });
+            log.append(&AuditRecord {
+                outcome: AuditOutcome::FailedClosed,
+                ..released("t4", "web", 0.1)
+            });
+            assert_eq!(log.released(), 2);
+            assert_eq!(log.refused(), 1);
+            assert_eq!(log.failed_closed(), 1);
+            assert_eq!(log.released_epsilon("retail"), 0.25 + 0.5);
+            assert_eq!(
+                log.released_epsilon("web"),
+                0.0,
+                "failed-closed spends no ε"
+            );
+            assert!(!log.is_wedged());
+        }
+        // "Restart": replay rebuilds identical totals.
+        let log = AuditLog::open(&scratch.0).unwrap();
+        assert_eq!(log.released(), 2);
+        assert_eq!(log.refused(), 1);
+        assert_eq!(log.failed_closed(), 1);
+        assert_eq!(log.released_epsilon("retail"), 0.25 + 0.5);
+    }
+
+    #[test]
+    fn torn_tail_is_tolerated_and_reconciled() {
+        let scratch = Scratch::new("torn");
+        {
+            let log = AuditLog::open(&scratch.0).unwrap();
+            log.append(&released("t1", "d", 0.25));
+        }
+        // Simulate a crash mid-append: a half-written final line.
+        let path = scratch.0.join(AUDIT_FILE);
+        let mut file = OpenOptions::new().append(true).open(&path).unwrap();
+        file.write_all(b"{\"trace\":\"t2\",\"dataset\":\"d\",\"eps")
+            .unwrap();
+        drop(file);
+        let log = AuditLog::open(&scratch.0).unwrap();
+        assert_eq!(log.released(), 1, "the torn record never happened");
+        // The journal says 0.75 was durably spent; the audit log only saw 0.25.
+        let missing = log.reconcile("d", 0.75, 42).unwrap();
+        assert!((missing - 0.5).abs() < 1e-12);
+        assert_eq!(log.released_epsilon("d"), 0.75, "assigned exactly");
+        assert_eq!(log.reconcile("d", 0.75, 43), None, "already consistent");
+        // The reconciled record is durable too.
+        let log = AuditLog::open(&scratch.0).unwrap();
+        assert!((log.released_epsilon("d") - 0.75).abs() < 1e-9);
+    }
+
+    #[test]
+    fn in_memory_log_counts_without_touching_disk() {
+        let log = AuditLog::in_memory();
+        assert_eq!(log.path(), None);
+        log.append(&released("t", "d", 0.5));
+        assert_eq!(log.released(), 1);
+        assert!(!log.is_wedged());
+    }
+
+    #[test]
+    fn seed_hash_is_stable_and_not_identity() {
+        assert_eq!(seed_hash(7), seed_hash(7));
+        assert_ne!(seed_hash(7), 7);
+        assert_ne!(seed_hash(7), seed_hash(8));
+    }
+}

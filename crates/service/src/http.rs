@@ -22,10 +22,13 @@
 
 use crate::protocol::{ErrorCode, Op, Response, WireError, PROTOCOL_VERSION};
 use crate::server::{execute, is_shutting_down, ServerCtx, POLL_INTERVAL};
+use crate::telemetry::ReqTrace;
 use pb_proto::Json;
+use pb_trace::HistogramSnapshot;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
 use std::net::TcpStream;
 use std::sync::atomic::Ordering;
+use std::sync::Arc;
 use std::time::Duration;
 
 /// Hard cap on the request line + headers.
@@ -253,6 +256,27 @@ fn route(request: &HttpRequest, ctx: &ServerCtx) -> (u16, &'static str, String) 
         ("GET", "/metrics") => (200, "text/plain; version=0.0.4", render_metrics(ctx)),
         ("POST", "/v1/query") => run_op(request, "query", ctx),
         ("GET", "/v1/status") => run_op(request, "status", ctx),
+        // Trace lookup by id: the id a client put in its v2 envelope (or the
+        // server-assigned one from the slow-query log). Served from the bounded
+        // in-memory ring; a miss is a structured 503, not a 404 route error.
+        ("GET", path) if path.starts_with("/v1/trace/") => {
+            ctx.requests_total.fetch_add(1, Ordering::Relaxed);
+            let id = path["/v1/trace/".len()..].to_string();
+            let op = Op::Trace { id };
+            let response = execute(&op, request.bearer_token(), ctx, None).0;
+            if response.is_error() {
+                ctx.rejected_total.fetch_add(1, Ordering::Relaxed);
+            }
+            let status = match &response {
+                Response::Error(e) => e.code.http_status(),
+                _ => 200,
+            };
+            (
+                status,
+                "application/json",
+                response.encode(PROTOCOL_VERSION, None),
+            )
+        }
         ("POST", "/v1/admin/register") => run_op(request, "register", ctx),
         ("POST", "/v1/admin/unregister") => run_op(request, "unregister", ctx),
         ("POST", "/v1/admin/reshard") => run_op(request, "reshard", ctx),
@@ -283,12 +307,29 @@ fn route(request: &HttpRequest, ctx: &ServerCtx) -> (u16, &'static str, String) 
 /// [`Op::parse_fields`] and [`execute`] the TCP path uses.
 fn run_op(request: &HttpRequest, op_name: &str, ctx: &ServerCtx) -> (u16, &'static str, String) {
     ctx.requests_total.fetch_add(1, Ordering::Relaxed);
+    let arrived_us = ctx.telemetry.now_us();
     let op = body_json(request).and_then(|body| Op::parse_fields(op_name, &body, PROTOCOL_VERSION));
     let response = match op {
         Err(e) => Response::Error(e),
         // The gateway routes no shutdown op, so the shutdown flag can never be set
-        // here; process control stays on the TCP surface.
-        Ok(op) => execute(&op, request.bearer_token(), ctx).0,
+        // here; process control stays on the TCP surface. HTTP requests carry no
+        // envelope id, so the trace id is always server-assigned here.
+        Ok(op) => {
+            let parsed_us = ctx.telemetry.now_us();
+            let req = ReqTrace::begin(
+                Arc::clone(&ctx.telemetry),
+                ctx.telemetry.assign_id(),
+                op.name(),
+                arrived_us,
+            );
+            req.add_span(pb_trace::Span::new("parse", arrived_us, parsed_us));
+            let response = execute(&op, request.bearer_token(), ctx, Some(&req)).0;
+            if let Response::Error(e) = &response {
+                req.set_outcome(format!("error:{}", e.code.as_str()));
+            }
+            req.finish();
+            response
+        }
     };
     if response.is_error() {
         ctx.rejected_total.fetch_add(1, Ordering::Relaxed);
@@ -353,42 +394,48 @@ fn reason(status: u16) -> &'static str {
 /// polling every few seconds would drown the real traffic counters.
 fn render_metrics(ctx: &ServerCtx) -> String {
     let mut out = String::new();
-    let mut gauge = |name: &str, help: &str, kind: &str, value: String| {
+    fn gauge(out: &mut String, name: &str, help: &str, kind: &str, value: String) {
         out.push_str(&format!(
             "# HELP {name} {help}\n# TYPE {name} {kind}\n{name} {value}\n"
         ));
-    };
+    }
     gauge(
+        &mut out,
         "pb_protocol_version",
         "Newest wire-protocol version this server speaks.",
         "gauge",
         PROTOCOL_VERSION.to_string(),
     );
     gauge(
+        &mut out,
         "pb_uptime_seconds",
         "Seconds since the server started.",
         "gauge",
         ctx.uptime_secs().to_string(),
     );
     gauge(
+        &mut out,
         "pb_requests_total",
         "Protocol requests received across TCP and HTTP (metrics scrapes excluded).",
         "counter",
         ctx.requests_total.load(Ordering::Relaxed).to_string(),
     );
     gauge(
+        &mut out,
         "pb_rejected_total",
         "Requests answered with an error.",
         "counter",
         ctx.rejected_total.load(Ordering::Relaxed).to_string(),
     );
     gauge(
+        &mut out,
         "pb_shed_total",
         "Connections refused at accept because the admission cap was reached.",
         "counter",
         ctx.shed_total.load(Ordering::Relaxed).to_string(),
     );
     gauge(
+        &mut out,
         "pb_deadline_closed_total",
         "Connections closed because a read or write deadline expired.",
         "counter",
@@ -398,6 +445,7 @@ fn render_metrics(ctx: &ServerCtx) -> String {
     );
     let names = ctx.registry.names();
     gauge(
+        &mut out,
         "pb_datasets",
         "Registered datasets.",
         "gauge",
@@ -487,7 +535,141 @@ fn render_metrics(ctx: &ServerCtx) -> String {
             out.push_str(&format!("{name}{{dataset=\"{label}\"}} {value}\n"));
         }
     }
+
+    // Remote shard fabric health, per (dataset, worker address): monotone failure /
+    // hedge / re-seed counters straight off each dataset's fabric.
+    let mut fabric_rows: Vec<(String, String, pb_shard::WorkerStats)> = Vec::new();
+    for name in &names {
+        let Some(entry) = ctx.registry.get(name) else {
+            continue;
+        };
+        let Some(fabric) = entry.fabric() else {
+            continue;
+        };
+        for (addr, stats) in fabric.worker_stats() {
+            fabric_rows.push((escape_label(name), escape_label(&addr), stats));
+        }
+    }
+    if !fabric_rows.is_empty() {
+        for (metric, help, pick) in [
+            (
+                "pb_fabric_worker_failures_total",
+                "Remote shard ops that failed against this worker.",
+                (|s: &pb_shard::WorkerStats| s.failures) as fn(&pb_shard::WorkerStats) -> u64,
+            ),
+            (
+                "pb_fabric_worker_hedges_total",
+                "Hedged retries issued after a live connection to this worker failed.",
+                |s: &pb_shard::WorkerStats| s.hedges,
+            ),
+            (
+                "pb_fabric_worker_reseeds_total",
+                "Shard re-seeds after this worker restarted and lost its data.",
+                |s: &pb_shard::WorkerStats| s.reseeds,
+            ),
+        ] {
+            out.push_str(&format!(
+                "# HELP {metric} {help}\n# TYPE {metric} counter\n"
+            ));
+            for (dataset, worker, stats) in &fabric_rows {
+                out.push_str(&format!(
+                    "{metric}{{dataset=\"{dataset}\",worker=\"{worker}\"}} {}\n",
+                    pick(stats)
+                ));
+            }
+        }
+    }
+
+    // Lifetime ε-audit tallies (replayed from the durable audit log on restart).
+    gauge(
+        &mut out,
+        "pb_audit_released_total",
+        "Queries whose noisy itemsets were released (lifetime, audit log).",
+        "counter",
+        ctx.audit.released().to_string(),
+    );
+    gauge(
+        &mut out,
+        "pb_audit_refused_total",
+        "Queries refused before any release (lifetime, audit log).",
+        "counter",
+        ctx.audit.refused().to_string(),
+    );
+    gauge(
+        &mut out,
+        "pb_audit_failed_closed_total",
+        "Queries computed but discarded unreleased (lifetime, audit log).",
+        "counter",
+        ctx.audit.failed_closed().to_string(),
+    );
+    gauge(
+        &mut out,
+        "pb_audit_wedged",
+        "1 when the audit log failed closed (counters still advance in memory).",
+        "gauge",
+        u8::from(ctx.audit.is_wedged()).to_string(),
+    );
+
+    // Latency histograms, rendered from the hand-rolled fixed-bucket snapshots.
+    render_histogram_family(
+        &mut out,
+        "pb_request_duration_seconds",
+        "End-to-end request latency per op.",
+        "op",
+        &ctx.telemetry.op_snapshots(),
+    );
+    render_histogram_family(
+        &mut out,
+        "pb_stage_duration_seconds",
+        "Per-stage duration within traced requests.",
+        "stage",
+        &ctx.telemetry.stage_snapshots(),
+    );
+    render_histogram_family(
+        &mut out,
+        "pb_fabric_rpc_duration_seconds",
+        "Remote shard RPC latency per worker address.",
+        "worker",
+        &ctx.telemetry.fabric_snapshots(),
+    );
     out
+}
+
+/// Renders one Prometheus histogram family: cumulative `_bucket` samples per label
+/// (explicit `+Inf` last), then `_sum` and `_count`. Bucket bounds arrive in
+/// microseconds and are exposed in seconds, the Prometheus base unit.
+fn render_histogram_family(
+    out: &mut String,
+    name: &str,
+    help: &str,
+    label_key: &str,
+    snapshots: &[(String, HistogramSnapshot)],
+) {
+    if snapshots.is_empty() {
+        return;
+    }
+    out.push_str(&format!("# HELP {name} {help}\n# TYPE {name} histogram\n"));
+    for (label_value, snap) in snapshots {
+        let label_value = escape_label(label_value);
+        for (bound_us, cumulative) in snap.bounds_us.iter().zip(&snap.cumulative) {
+            out.push_str(&format!(
+                "{name}_bucket{{{label_key}=\"{label_value}\",le=\"{}\"}} {cumulative}\n",
+                format_value(*bound_us as f64 / 1e6),
+            ));
+        }
+        out.push_str(&format!(
+            "{name}_bucket{{{label_key}=\"{label_value}\",le=\"+Inf\"}} {}\n",
+            snap.count
+        ));
+        out.push_str(&format!(
+            "{name}_sum{{{label_key}=\"{label_value}\"}} {}\n",
+            format_value(snap.sum_seconds())
+        ));
+        out.push_str(&format!(
+            "{name}_count{{{label_key}=\"{label_value}\"}} {}\n",
+            snap.count
+        ));
+    }
 }
 
 /// One per-dataset metric family: name, help, type, and `(label, value)` samples.
@@ -513,6 +695,231 @@ fn escape_label(value: &str) -> String {
         .replace('\\', "\\\\")
         .replace('"', "\\\"")
         .replace('\n', "\\n")
+}
+
+/// Checks a Prometheus text-format exposition for structural validity: every family
+/// declares `# HELP` and `# TYPE` at most once, every sample belongs to a declared
+/// family (histogram samples via their `_bucket`/`_sum`/`_count` suffixes), label
+/// blocks parse with proper escaping, and every histogram series has strictly
+/// ascending `le` bounds, non-decreasing cumulative counts, a final `+Inf` bucket,
+/// and `bucket{le="+Inf"} == _count`.
+///
+/// This is the contract `GET /metrics` promises scrapers; it is public so tests (unit,
+/// property, and black-box integration) can hold every rendered exposition to it.
+pub fn validate_prometheus(text: &str) -> Result<(), String> {
+    use std::collections::BTreeMap;
+    #[derive(Default)]
+    struct Series {
+        /// `(le, cumulative)` in file order.
+        buckets: Vec<(f64, f64)>,
+        sum: Option<f64>,
+        count: Option<f64>,
+    }
+    let mut help_seen: BTreeMap<String, u32> = BTreeMap::new();
+    let mut family_type: BTreeMap<String, String> = BTreeMap::new();
+    let mut series: BTreeMap<(String, String), Series> = BTreeMap::new();
+
+    for (idx, line) in text.lines().enumerate() {
+        let fail = |msg: String| Err(format!("line {}: {msg}: `{line}`", idx + 1));
+        if line.is_empty() {
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# HELP ") {
+            let Some((name, help)) = rest.split_once(' ') else {
+                return fail("HELP without text".to_string());
+            };
+            if help.is_empty() {
+                return fail("HELP without text".to_string());
+            }
+            let seen = help_seen.entry(name.to_string()).or_insert(0);
+            *seen += 1;
+            if *seen > 1 {
+                return fail(format!("duplicate # HELP for `{name}`"));
+            }
+            continue;
+        }
+        if let Some(rest) = line.strip_prefix("# TYPE ") {
+            let Some((name, kind)) = rest.split_once(' ') else {
+                return fail("TYPE without kind".to_string());
+            };
+            if !matches!(kind, "gauge" | "counter" | "histogram") {
+                return fail(format!("unknown metric type `{kind}`"));
+            }
+            if family_type
+                .insert(name.to_string(), kind.to_string())
+                .is_some()
+            {
+                return fail(format!("duplicate # TYPE for `{name}`"));
+            }
+            continue;
+        }
+        if line.starts_with('#') {
+            continue;
+        }
+        // Sample: `name value` or `name{key="value",...} value`.
+        let name_end = line.find(['{', ' ']).unwrap_or(line.len());
+        let name = &line[..name_end];
+        let rest = &line[name_end..];
+        let (labels, value_text) = if let Some(body) = rest.strip_prefix('{') {
+            let Some(close) = find_label_block_end(body) else {
+                return fail("unterminated label block".to_string());
+            };
+            let labels = match parse_label_block(&body[..close]) {
+                Ok(l) => l,
+                Err(e) => return fail(e),
+            };
+            (labels, body[close + 1..].trim_start())
+        } else {
+            (Vec::new(), rest.trim_start())
+        };
+        let value = match value_text {
+            "+Inf" => f64::INFINITY,
+            "-Inf" => f64::NEG_INFINITY,
+            other => match other.parse::<f64>() {
+                Ok(v) => v,
+                Err(_) => return fail(format!("unparseable sample value `{value_text}`")),
+            },
+        };
+        // Resolve the declared family this sample belongs to.
+        let family = if family_type.contains_key(name) {
+            name.to_string()
+        } else {
+            let base = ["_bucket", "_sum", "_count"]
+                .iter()
+                .find_map(|s| name.strip_suffix(s))
+                .unwrap_or(name);
+            if family_type.get(base).map(String::as_str) != Some("histogram") {
+                return fail(format!("sample `{name}` has no # TYPE declaration"));
+            }
+            base.to_string()
+        };
+        if family_type[&family] == "histogram" {
+            // Key the series on the label set minus `le`, in file label order.
+            let le = labels
+                .iter()
+                .find(|(k, _)| k == "le")
+                .map(|(_, v)| v.clone());
+            let key: Vec<String> = labels
+                .iter()
+                .filter(|(k, _)| k != "le")
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            let entry = series.entry((family.clone(), key.join(","))).or_default();
+            if let Some(suffix) = name.strip_prefix(family.as_str()) {
+                match suffix {
+                    "_bucket" => {
+                        let Some(le) = le else {
+                            return fail("histogram bucket without an `le` label".to_string());
+                        };
+                        let bound = match le.as_str() {
+                            "+Inf" => f64::INFINITY,
+                            other => match other.parse::<f64>() {
+                                Ok(b) => b,
+                                Err(_) => return fail(format!("unparseable le `{le}`")),
+                            },
+                        };
+                        entry.buckets.push((bound, value));
+                    }
+                    "_sum" => entry.sum = Some(value),
+                    "_count" => entry.count = Some(value),
+                    _ => return fail(format!("unexpected histogram sample `{name}`")),
+                }
+            }
+        }
+    }
+    for ((family, labels), s) in &series {
+        let at = format!("histogram `{family}` series `{{{labels}}}`");
+        let Some(&(last_le, last_count)) = s.buckets.last() else {
+            return Err(format!("{at}: no buckets"));
+        };
+        for pair in s.buckets.windows(2) {
+            if pair[1].0 <= pair[0].0 {
+                return Err(format!("{at}: le bounds not strictly ascending"));
+            }
+            if pair[1].1 < pair[0].1 {
+                return Err(format!("{at}: cumulative bucket counts decrease"));
+            }
+        }
+        if last_le != f64::INFINITY {
+            return Err(format!("{at}: missing the +Inf bucket"));
+        }
+        match s.count {
+            Some(count) if count == last_count => {}
+            Some(_) => return Err(format!("{at}: +Inf bucket disagrees with _count")),
+            None => return Err(format!("{at}: missing _count")),
+        }
+        if s.sum.is_none() {
+            return Err(format!("{at}: missing _sum"));
+        }
+    }
+    Ok(())
+}
+
+/// Index of the `}` closing a label block whose body starts at `body[0]`, honouring
+/// backslash escapes inside quoted label values.
+fn find_label_block_end(body: &str) -> Option<usize> {
+    let mut in_quotes = false;
+    let mut escaped = false;
+    for (i, c) in body.char_indices() {
+        if escaped {
+            escaped = false;
+            continue;
+        }
+        match c {
+            '\\' if in_quotes => escaped = true,
+            '"' => in_quotes = !in_quotes,
+            '}' if !in_quotes => return Some(i),
+            _ => {}
+        }
+    }
+    None
+}
+
+/// Parses `key="value",key="value"` (the inside of a label block) into pairs,
+/// validating label-name characters and string escapes.
+fn parse_label_block(body: &str) -> Result<Vec<(String, String)>, String> {
+    let mut labels = Vec::new();
+    let mut rest = body;
+    while !rest.is_empty() {
+        let eq = rest
+            .find('=')
+            .ok_or_else(|| format!("label without `=` in `{rest}`"))?;
+        let key = &rest[..eq];
+        if key.is_empty()
+            || !key.chars().all(|c| c.is_ascii_alphanumeric() || c == '_')
+            || key.starts_with(|c: char| c.is_ascii_digit())
+        {
+            return Err(format!("invalid label name `{key}`"));
+        }
+        let value_and_on = rest[eq + 1..]
+            .strip_prefix('"')
+            .ok_or_else(|| format!("label `{key}` value is not quoted"))?;
+        let mut end = None;
+        let mut escaped = false;
+        for (i, c) in value_and_on.char_indices() {
+            if escaped {
+                if !matches!(c, '\\' | '"' | 'n') {
+                    return Err(format!("invalid escape `\\{c}` in label `{key}`"));
+                }
+                escaped = false;
+                continue;
+            }
+            match c {
+                '\\' => escaped = true,
+                '"' => {
+                    end = Some(i);
+                    break;
+                }
+                '\n' => return Err(format!("raw newline in label `{key}`")),
+                _ => {}
+            }
+        }
+        let end = end.ok_or_else(|| format!("unterminated value for label `{key}`"))?;
+        labels.push((key.to_string(), value_and_on[..end].to_string()));
+        rest = &value_and_on[end + 1..];
+        rest = rest.strip_prefix(',').unwrap_or(rest);
+    }
+    Ok(labels)
 }
 
 #[cfg(test)]
@@ -600,5 +1007,135 @@ mod tests {
         assert_eq!(escape_label("a\"b\\c"), "a\\\"b\\\\c");
         assert_eq!(format_value(f64::INFINITY), "+Inf");
         assert_eq!(format_value(1.5), "1.5");
+    }
+
+    fn snapshot(bounds_us: &[u64], per_bucket: &[u64], sum_us: u64) -> HistogramSnapshot {
+        assert_eq!(
+            per_bucket.len(),
+            bounds_us.len() + 1,
+            "+Inf bucket included"
+        );
+        let mut cumulative = Vec::new();
+        let mut running = 0;
+        for &b in per_bucket {
+            running += b;
+            cumulative.push(running);
+        }
+        HistogramSnapshot {
+            bounds_us: bounds_us.to_vec(),
+            cumulative,
+            count: running,
+            sum_us,
+        }
+    }
+
+    #[test]
+    fn histogram_family_renders_the_golden_exposition() {
+        let mut out = String::new();
+        render_histogram_family(
+            &mut out,
+            "pb_request_duration_seconds",
+            "End-to-end request latency per op.",
+            "op",
+            &[(
+                "query".to_string(),
+                snapshot(&[1_000, 10_000], &[2, 1, 1], 27_500),
+            )],
+        );
+        let expected = "\
+# HELP pb_request_duration_seconds End-to-end request latency per op.\n\
+# TYPE pb_request_duration_seconds histogram\n\
+pb_request_duration_seconds_bucket{op=\"query\",le=\"0.001\"} 2\n\
+pb_request_duration_seconds_bucket{op=\"query\",le=\"0.01\"} 3\n\
+pb_request_duration_seconds_bucket{op=\"query\",le=\"+Inf\"} 4\n\
+pb_request_duration_seconds_sum{op=\"query\"} 0.0275\n\
+pb_request_duration_seconds_count{op=\"query\"} 4\n";
+        assert_eq!(out, expected);
+        validate_prometheus(&out).unwrap();
+        // An empty family renders nothing at all — no childless HELP/TYPE stanzas.
+        let mut empty = String::new();
+        render_histogram_family(&mut empty, "x", "h.", "op", &[]);
+        assert_eq!(empty, "");
+    }
+
+    #[test]
+    fn validator_accepts_wellformed_and_rejects_malformed_expositions() {
+        validate_prometheus("# HELP a b\n# TYPE a counter\na 1\na{x=\"y\"} 2\n").unwrap();
+        // Duplicate HELP / TYPE per family.
+        assert!(validate_prometheus("# HELP a b\n# HELP a b\n").is_err());
+        assert!(validate_prometheus("# TYPE a gauge\n# TYPE a gauge\n").is_err());
+        // Samples must have a declared family; values must parse.
+        assert!(validate_prometheus("orphan 1\n").is_err());
+        assert!(validate_prometheus("# TYPE a gauge\na banana\n").is_err());
+        // Unescaped quote and bad escape inside a label value.
+        assert!(validate_prometheus("# TYPE a gauge\na{x=\"y\"z\"} 1\n").is_err());
+        assert!(validate_prometheus("# TYPE a gauge\na{x=\"y\\q\"} 1\n").is_err());
+        // Histogram invariants: +Inf required, cumulative monotone, _count agreement.
+        let head = "# HELP h x\n# TYPE h histogram\n";
+        assert!(validate_prometheus(&format!(
+            "{head}h_bucket{{le=\"1\"}} 1\nh_sum 1\nh_count 1\n"
+        ))
+        .is_err());
+        assert!(validate_prometheus(&format!(
+            "{head}h_bucket{{le=\"1\"}} 2\nh_bucket{{le=\"+Inf\"}} 1\nh_sum 1\nh_count 1\n"
+        ))
+        .is_err());
+        assert!(validate_prometheus(&format!(
+            "{head}h_bucket{{le=\"1\"}} 1\nh_bucket{{le=\"+Inf\"}} 2\nh_sum 1\nh_count 3\n"
+        ))
+        .is_err());
+        assert!(validate_prometheus(&format!(
+            "{head}h_bucket{{le=\"1\"}} 1\nh_bucket{{le=\"+Inf\"}} 2\nh_count 2\n"
+        ))
+        .is_err());
+        validate_prometheus(&format!(
+            "{head}h_bucket{{le=\"1\"}} 1\nh_bucket{{le=\"+Inf\"}} 2\nh_sum 3\nh_count 2\n"
+        ))
+        .unwrap();
+    }
+
+    mod prop {
+        use super::*;
+        use proptest::prelude::*;
+
+        /// Biased toward the characters the escaper must handle, plus benign filler.
+        const LABEL_CHARSET: &[char] = &[
+            '"', '\\', '\n', ',', '=', '{', '}', 'a', 'b', '0', ' ', 'é', '−',
+        ];
+
+        proptest! {
+            #![proptest_config(ProptestConfig::with_cases(256))]
+
+            /// Any label value — quotes, backslashes, newlines, unicode — renders to an
+            /// exposition the validator accepts: escaping is total, buckets stay
+            /// cumulative, and `+Inf` always equals `_count`.
+            #[test]
+            fn rendered_histograms_are_always_valid(
+                label_chars in proptest::collection::vec(0usize..LABEL_CHARSET.len(), 0..24),
+                bounds in proptest::collection::vec(1u64..1_000_000, 1..6),
+                per_bucket in proptest::collection::vec(0u64..50, 7..8),
+                sum_us in 0u64..10_000_000,
+            ) {
+                let label: String = label_chars.iter().map(|&i| LABEL_CHARSET[i]).collect();
+                let mut bounds = bounds;
+                bounds.sort_unstable();
+                bounds.dedup();
+                let snap = snapshot(&bounds, &per_bucket[..bounds.len() + 1], sum_us);
+                let mut out = String::new();
+                render_histogram_family(
+                    &mut out,
+                    "pb_stage_duration_seconds",
+                    "Per-stage duration.",
+                    "stage",
+                    &[
+                        // `.` in the strategy never generates a newline, so pin one
+                        // series to the full rogue's gallery of escapables.
+                        ("quote\" slash\\ newline\n".to_string(), snap.clone()),
+                        (label, snap),
+                    ],
+                );
+                prop_assert!(validate_prometheus(&out).is_ok(), "invalid: {out}");
+            }
+        }
     }
 }

@@ -72,11 +72,13 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod audit_log;
 pub mod http;
 pub mod persist;
 pub mod protocol;
 pub mod registry;
 pub mod server;
+pub(crate) mod telemetry;
 pub(crate) mod worker;
 
 // The JSON tree moved into `pb-proto` (the protocol crate is the single owner of the

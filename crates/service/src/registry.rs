@@ -26,7 +26,7 @@ use crate::persist::{
 use pb_core::QueryContext;
 use pb_dp::{BudgetLedger, Epsilon};
 use pb_fim::{TransactionDb, VerticalIndex};
-use pb_shard::ShardedDb;
+use pb_shard::{Fabric, FabricObserver, ShardedDb};
 use std::collections::HashMap;
 use std::net::ToSocketAddrs;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -290,6 +290,16 @@ impl DatasetEntry {
         }
     }
 
+    /// The remote shard fabric this dataset fans out over (`None` for all-local
+    /// layouts). Observability only: the service hangs RPC observers and trace
+    /// labels off it; the fabric never influences released bytes.
+    pub fn fabric(&self) -> Option<&Arc<Fabric>> {
+        match &self.data {
+            StoredData::Single(_) => None,
+            StoredData::Sharded(sharded) => sharded.fabric(),
+        }
+    }
+
     /// Records one successfully answered query.
     ///
     /// The counter is journaled best-effort *after* the answer exists: a crash in
@@ -338,6 +348,10 @@ struct Persistence {
 pub struct DatasetRegistry {
     datasets: RwLock<HashMap<String, Arc<DatasetEntry>>>,
     persistence: Option<Persistence>,
+    /// Installed on every current and future dataset fabric so remote shard RPCs
+    /// report latency and health to the service's telemetry. Pure observability:
+    /// an observer never changes which bytes a query releases.
+    fabric_observer: Mutex<Option<Arc<dyn FabricObserver>>>,
 }
 
 impl std::fmt::Debug for DatasetRegistry {
@@ -371,12 +385,48 @@ impl DatasetRegistry {
                 manifest: Mutex::new(manifest),
                 live: Mutex::new(HashMap::new()),
             }),
+            fabric_observer: Mutex::new(None),
         })
     }
 
     /// True when the registry journals its state to a [`StateDir`].
     pub fn is_durable(&self) -> bool {
         self.persistence.is_some()
+    }
+
+    /// Root path of the backing state directory (`None` for an in-memory registry).
+    /// The server hangs registry-adjacent durable files (the ε-audit log) off it.
+    pub fn state_path(&self) -> Option<&std::path::Path> {
+        self.persistence.as_ref().map(|p| p.state.path())
+    }
+
+    /// Installs `observer` on every registered dataset's shard fabric, and on every
+    /// fabric created by later registrations, recoveries, and reshards. Idempotent;
+    /// observability only — an observer never changes released bytes.
+    pub fn set_fabric_observer(&self, observer: Arc<dyn FabricObserver>) {
+        *self
+            .fabric_observer
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner) = Some(Arc::clone(&observer));
+        for entry in self.read().values() {
+            if let Some(fabric) = entry.fabric() {
+                fabric.set_observer(Some(Arc::clone(&observer)));
+            }
+        }
+    }
+
+    /// Hands the registered observer (if any) to a freshly built entry's fabric.
+    fn install_fabric_observer(&self, entry: &DatasetEntry) {
+        if let Some(fabric) = entry.fabric() {
+            let observer = self
+                .fabric_observer
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner)
+                .clone();
+            if observer.is_some() {
+                fabric.set_observer(observer);
+            }
+        }
     }
 
     /// The shard layout the durable manifest records for `name`, if any — what a
@@ -651,6 +701,7 @@ impl DatasetRegistry {
                 *manifest = updated;
             }
         }
+        self.install_fabric_observer(&entry);
         map.insert(name.to_string(), Arc::clone(&entry));
         Ok(entry)
     }
@@ -811,6 +862,7 @@ impl DatasetRegistry {
             source,
             workers,
         });
+        self.install_fabric_observer(&entry);
         map.insert(name, Arc::clone(&entry));
         Ok(entry)
     }

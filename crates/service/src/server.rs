@@ -20,6 +20,7 @@
 //! with wake-up connections; the accept loops exit, the channel closes, and workers
 //! drain whatever was already queued before returning.
 
+use crate::audit_log::{seed_hash, AuditLog, AuditOutcome, AuditRecord};
 use crate::http::serve_http;
 use crate::protocol::{
     dataset_status, query_reply, AdminReply, Envelope, ErrorCode, Op, QueryRequest,
@@ -27,9 +28,12 @@ use crate::protocol::{
     PROTOCOL_VERSION,
 };
 use crate::registry::{DatasetRegistry, RegistryError};
+use crate::telemetry::{PhaseBridge, ReqTrace};
 use pb_core::{PrivBasis, PrivBasisParams};
 use pb_dp::{DpError, Epsilon};
 use pb_fim::TransactionDb;
+use pb_proto::AuditSummary;
+use pb_trace::Span;
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::io::{BufRead, BufReader, BufWriter, ErrorKind, Write};
@@ -72,6 +76,11 @@ pub struct ServiceConfig {
     /// no noise, and spends no ε — the coordinator does all of that after merging
     /// the exact per-shard counts (see [`crate::worker`]).
     pub worker: bool,
+    /// Slow-query threshold: a request slower than this end-to-end gets its whole
+    /// span tree logged as one JSON line on stderr. `None` disables the log.
+    /// Tracing itself (the ring, the histograms, `GET /v1/trace/{id}`) is always
+    /// on — it is passive and invisible in released bytes.
+    pub slow_query: Option<Duration>,
 }
 
 impl Default for ServiceConfig {
@@ -85,6 +94,7 @@ impl Default for ServiceConfig {
             admin_token: None,
             http_port: None,
             worker: false,
+            slow_query: Some(Duration::from_secs(1)),
         }
     }
 }
@@ -126,6 +136,11 @@ pub(crate) struct ServerCtx {
     worker: bool,
     /// The shard-worker mode's shard table (empty and untouched on a coordinator).
     shard_store: Mutex<crate::worker::ShardStore>,
+    /// Trace ring, latency histograms, and the slow-query log (see
+    /// [`crate::telemetry`]).
+    pub(crate) telemetry: Arc<crate::telemetry::Telemetry>,
+    /// The durable ε-audit log (in-memory counters when no state dir is configured).
+    pub(crate) audit: Arc<AuditLog>,
 }
 
 impl ServerCtx {
@@ -219,6 +234,30 @@ impl PbServer {
             .duration_since(std::time::UNIX_EPOCH)
             .map(|d| d.as_nanos() as u64)
             .unwrap_or(0x9E37_79B9_7F4A_7C15);
+        let telemetry = Arc::new(crate::telemetry::Telemetry::new(self.config.slow_query));
+        // Retroactively installs the RPC observer on every sharded dataset's fabric
+        // (and remembers it for datasets registered later), so per-worker latency
+        // histograms and trace-routed `shard_rpc` spans cover the whole fleet.
+        self.registry
+            .set_fabric_observer(Arc::new(crate::telemetry::FabricBridge {
+                telemetry: Arc::clone(&telemetry),
+            }));
+        // The audit log lives beside the journals in the state dir; without one it
+        // degrades to in-process counters. Opening replays lifetime totals, then each
+        // dataset's replayed released-ε is reconciled against its journal — the journal
+        // is written before release, so after a crash between debit commit and audit
+        // append the missing ε is re-carried as a `reconciled` record.
+        let audit = Arc::new(match self.registry.state_path() {
+            Some(dir) => AuditLog::open(dir)?,
+            None => AuditLog::in_memory(),
+        });
+        for name in self.registry.names() {
+            if let Some(entry) = self.registry.get(&name) {
+                if entry.is_durable() {
+                    audit.reconcile(&name, entry.ledger().spent(), AuditLog::now_ms());
+                }
+            }
+        }
         let ctx = Arc::new(ServerCtx {
             registry: Arc::clone(&self.registry),
             params: self.config.params.clone(),
@@ -239,6 +278,8 @@ impl PbServer {
             queued: AtomicUsize::new(0),
             worker: self.config.worker,
             shard_store: Mutex::new(crate::worker::ShardStore::new()),
+            telemetry,
+            audit,
         });
 
         let (sender, receiver) = channel::<Conn>();
@@ -514,6 +555,7 @@ fn serve_connection(conn: LineConn, ctx: &ServerCtx) -> std::io::Result<Served> 
 /// envelopes get `v`/`id`/`code` fields. The op handlers are version-blind.
 fn dispatch(line: &str, ctx: &ServerCtx) -> (String, bool) {
     ctx.requests_total.fetch_add(1, Ordering::Relaxed);
+    let arrived_us = ctx.telemetry.now_us();
     match Envelope::parse(line) {
         Err(failure) => {
             ctx.rejected_total.fetch_add(1, Ordering::Relaxed);
@@ -523,14 +565,34 @@ fn dispatch(line: &str, ctx: &ServerCtx) -> (String, bool) {
             )
         }
         Ok(envelope) => {
-            let (response, shutdown) = execute(&envelope.op, envelope.auth.as_deref(), ctx);
+            // The envelope's correlation id doubles as the trace id (so a client can
+            // fetch its own trace by the id it chose); id-less requests get a
+            // server-assigned one, visible in the slow-query log and /metrics only.
+            let parsed_us = ctx.telemetry.now_us();
+            let trace_id = envelope
+                .id
+                .clone()
+                .unwrap_or_else(|| ctx.telemetry.assign_id());
+            let req = ReqTrace::begin(
+                Arc::clone(&ctx.telemetry),
+                trace_id,
+                envelope.op.name(),
+                arrived_us,
+            );
+            req.add_span(Span::new("parse", arrived_us, parsed_us));
+            let (response, shutdown) =
+                execute(&envelope.op, envelope.auth.as_deref(), ctx, Some(&req));
             if response.is_error() {
                 ctx.rejected_total.fetch_add(1, Ordering::Relaxed);
             }
-            (
-                response.encode(envelope.v, envelope.id.as_deref()),
-                shutdown,
-            )
+            let encode_started = req.now_us();
+            let encoded = response.encode(envelope.v, envelope.id.as_deref());
+            req.span_since("encode", encode_started);
+            if let Response::Error(e) = &response {
+                req.set_outcome(format!("error:{}", e.code.as_str()));
+            }
+            req.finish();
+            (encoded, shutdown)
         }
     }
 }
@@ -538,10 +600,30 @@ fn dispatch(line: &str, ctx: &ServerCtx) -> (String, bool) {
 /// Executes one op against the shared state. Both transports call this — TCP with the
 /// envelope's `auth` field, HTTP with the `Authorization: Bearer` token — so behaviour
 /// can never drift between them. The bool asks the caller to begin shutdown.
-pub(crate) fn execute(op: &Op, auth: Option<&str>, ctx: &ServerCtx) -> (Response, bool) {
+pub(crate) fn execute(
+    op: &Op,
+    auth: Option<&str>,
+    ctx: &ServerCtx,
+    trace: Option<&ReqTrace>,
+) -> (Response, bool) {
     match op {
         Op::Status => (status(ctx), false),
         Op::Shutdown => (Response::Shutdown, true),
+        // Trace lookup is served on coordinators AND shard workers (a worker records
+        // its shard-op traces too): purely observational, never touches a ledger.
+        Op::Trace { id } => {
+            let response = match ctx.telemetry.get_trace(id) {
+                Some(trace) => Response::Trace(trace),
+                None => Response::Error(WireError::new(
+                    ErrorCode::Unavailable,
+                    format!(
+                        "no recorded trace with id `{id}` — traces live in a bounded \
+                         in-memory ring and are evicted by newer requests"
+                    ),
+                )),
+            };
+            (response, false)
+        }
         // The shard-fabric surface: a worker serves the count ops, a coordinator
         // refuses them (its shards are driven from the inside, never over the wire).
         op if op.is_shard_op() => {
@@ -566,7 +648,7 @@ pub(crate) fn execute(op: &Op, auth: Option<&str>, ctx: &ServerCtx) -> (Response
             )),
             false,
         ),
-        Op::Query(query) => (run_query(query, ctx), false),
+        Op::Query(query) => (run_query(query, ctx, trace), false),
         admin => {
             // Auth first, with nothing touched on failure: a rejected admin op must
             // leave the registry and the manifest exactly as they were.
@@ -712,20 +794,58 @@ fn registry_error(e: RegistryError) -> WireError {
     WireError::new(code, e.to_string())
 }
 
+/// Appends one query outcome to the ε-audit log. The seed travels hashed, never raw
+/// (a logged seed would let an audit reader re-derive the released noise).
+fn audit_query(
+    ctx: &ServerCtx,
+    trace: Option<&ReqTrace>,
+    query: &QueryRequest,
+    seed: u64,
+    outcome: AuditOutcome,
+) {
+    ctx.audit.append(&AuditRecord {
+        trace: trace
+            .map(|t| t.id().to_string())
+            .unwrap_or_else(|| "-".to_string()),
+        dataset: query.dataset.clone(),
+        epsilon: query.epsilon,
+        k: query.k as u64,
+        seed_hash: seed_hash(seed),
+        outcome,
+        ts_ms: AuditLog::now_ms(),
+    });
+}
+
 /// The query path: ledger debit → cached index → PrivBasis → response.
-fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
+///
+/// Tracing here is strictly passive: span boundaries are read off the telemetry clock
+/// *around* the existing calls, the RNG and every count are untouched, and the same
+/// `run_shared` mechanism executes whether or not a trace rides along (the observed
+/// variant differs only in reporting — asserted byte-identical by the pb-core
+/// `observe` tests and `tests/trace_invisibility.rs`).
+fn run_query(query: &QueryRequest, ctx: &ServerCtx, trace: Option<&ReqTrace>) -> Response {
+    if let Some(req) = trace {
+        req.set_dataset(&query.dataset);
+    }
+    let admission_started = ctx.telemetry.now_us();
     let Some(entry) = ctx.registry.get(&query.dataset) else {
         return Response::Error(WireError::new(
             ErrorCode::UnknownDataset,
             format!("unknown dataset `{}`", query.dataset),
         ));
     };
+    // Masked to 53 bits so the seed echoed in the response survives the f64 JSON round
+    // trip exactly — an unreproducible echoed seed would defeat its purpose.
+    let seed = query
+        .seed
+        .unwrap_or_else(|| ctx.seed_counter.fetch_add(1, Ordering::Relaxed) & ((1 << 53) - 1));
     // A dataset with a wedged journal cannot make a debit durable, and an ε released
     // without a durable record could be under-counted after a crash — refuse up front
     // with the structured code retrying clients key on. Status keeps serving. (A
     // fabric-degraded dataset is NOT refused here: attempting the query is exactly how
     // a recovered worker heals — the fail-closed check below catches live failures.)
     if entry.journal_wedged() {
+        audit_query(ctx, trace, query, seed, AuditOutcome::Refused);
         return Response::Error(WireError::new(
             ErrorCode::Unavailable,
             format!(
@@ -739,14 +859,12 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
     // ledger's return value: an infinite ledger returns `Epsilon::Infinite`, which is
     // the zero-noise test mode and would silently publish exact counts.
     let epsilon = Epsilon::Finite(query.epsilon);
-    // Masked to 53 bits so the seed echoed in the response survives the f64 JSON round
-    // trip exactly — an unreproducible echoed seed would defeat its purpose.
-    let seed = query
-        .seed
-        .unwrap_or_else(|| ctx.seed_counter.fetch_add(1, Ordering::Relaxed) & ((1 << 53) - 1));
     // audit:allow(noise-seam): RNG construction only — every draw happens inside pb-dp behind PrivBasis::run_shared
     let mut rng = StdRng::seed_from_u64(seed);
     let context = Arc::clone(entry.context());
+    if let Some(req) = trace {
+        req.span_since("admission", admission_started);
+    }
     // Snapshot the monotone fabric-failure counter before the mechanism runs: if any
     // remote shard op fails mid-query, the counter moves and the answer — computed
     // over partially zeroed counts — is discarded UNRELEASED, before the ledger is
@@ -754,9 +872,26 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
     // *after* the mechanism, immediately before the release; nothing is released
     // unless the debit succeeds, and the privacy guarantee keys on released bytes.
     let fabric_before = entry.fabric_failures();
-    match PrivBasis::new(ctx.params.clone()).run_shared(&mut rng, &context, query.k, epsilon) {
+    // Label the fabric with this request's trace id for the duration of the fan-out,
+    // so remote shard RPCs report back into this trace (and carry the id as their
+    // wire correlation-id prefix). Cleared before any return below.
+    if let (Some(req), Some(fabric)) = (trace, entry.fabric()) {
+        fabric.set_trace_label(Some(req.id().to_string()));
+    }
+    let pb = PrivBasis::new(ctx.params.clone());
+    let result = match trace {
+        Some(req) => {
+            pb.run_shared_observed(&mut rng, &context, query.k, epsilon, &PhaseBridge { req })
+        }
+        None => pb.run_shared(&mut rng, &context, query.k, epsilon),
+    };
+    if let Some(fabric) = entry.fabric() {
+        fabric.set_trace_label(None);
+    }
+    match result {
         Ok(output) => {
             if entry.fabric_failures() != fabric_before {
+                audit_query(ctx, trace, query, seed, AuditOutcome::FailedClosed);
                 return Response::Error(WireError::new(
                     ErrorCode::Unavailable,
                     format!(
@@ -768,7 +903,13 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
                     ),
                 ));
             }
-            if let Err(e) = entry.ledger().try_spend(query.epsilon) {
+            let debit_started = ctx.telemetry.now_us();
+            let debit = entry.ledger().try_spend(query.epsilon);
+            if let Some(req) = trace {
+                req.span_since("debit", debit_started);
+            }
+            if let Err(e) = debit {
+                audit_query(ctx, trace, query, seed, AuditOutcome::Refused);
                 let code = match &e {
                     DpError::BudgetExceeded { .. } => ErrorCode::BudgetExhausted,
                     DpError::Persistence(_) => ErrorCode::Unavailable,
@@ -777,6 +918,13 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
                 return Response::Error(WireError::new(code, e.to_string()));
             }
             entry.record_query();
+            // Audited after the durable debit, immediately around the release: a crash
+            // in the gap leaves the journal ahead of the audit log, which recovery
+            // reconciles (never the reverse — the audit log cannot claim unspent ε).
+            audit_query(ctx, trace, query, seed, AuditOutcome::Released);
+            if let Some(req) = trace {
+                req.set_outcome("released");
+            }
             Response::Query(query_reply(
                 &query.dataset,
                 query.epsilon,
@@ -785,7 +933,10 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx) -> Response {
                 &output,
             ))
         }
-        Err(e) => Response::Error(WireError::new(ErrorCode::Internal, e.to_string())),
+        Err(e) => {
+            audit_query(ctx, trace, query, seed, AuditOutcome::FailedClosed);
+            Response::Error(WireError::new(ErrorCode::Internal, e.to_string()))
+        }
     }
 }
 
@@ -805,6 +956,12 @@ fn status(ctx: &ServerCtx) -> Response {
             rejected_total: ctx.rejected_total.load(Ordering::Relaxed),
             shed_total: ctx.shed_total.load(Ordering::Relaxed),
             deadline_closed_total: ctx.deadline_closed_total.load(Ordering::Relaxed),
+            // Lifetime tallies (durable servers replay them across restarts).
+            audit: Some(AuditSummary {
+                released: ctx.audit.released(),
+                refused: ctx.audit.refused(),
+                failed_closed: ctx.audit.failed_closed(),
+            }),
         }),
         datasets,
     })

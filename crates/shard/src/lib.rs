@@ -62,5 +62,7 @@ pub mod sharded;
 
 pub use executor::ShardExecutor;
 pub use plan::ShardPlan;
-pub use remote::{Fabric, RemoteShard, ShardBackend, DEFAULT_HEDGE_AFTER};
+pub use remote::{
+    Fabric, FabricObserver, RemoteShard, ShardBackend, WorkerStats, DEFAULT_HEDGE_AFTER,
+};
 pub use sharded::{Shard, ShardedDb};

@@ -55,22 +55,88 @@ pub const DEFAULT_HEDGE_AFTER: Duration = Duration::from_secs(2);
 /// 1 MiB request-line cap even after JSON framing overhead.
 const LOAD_CHUNK_BYTES: usize = 256 * 1024;
 
+/// Observes remote-shard RPCs, using opaque caller-minted instants (same
+/// opaque-token pattern as `pb_core::PhaseObserver`: this crate never touches a
+/// clock, the observer interprets its own tokens).
+pub trait FabricObserver: Send + Sync {
+    /// Mints an opaque instant token.
+    fn now(&self) -> u64;
+
+    /// Records one remote op: which trace it served (if a label was set), the
+    /// worker address, start/end tokens, and whether it succeeded, hedged onto a
+    /// fresh connection, or transparently re-seeded a restarted worker.
+    #[allow(clippy::too_many_arguments)]
+    fn rpc(
+        &self,
+        trace: Option<&str>,
+        addr: &str,
+        started: u64,
+        ended: u64,
+        ok: bool,
+        hedged: bool,
+        reseeded: bool,
+    );
+}
+
+/// Per-worker event counters of one dataset's fabric (all monotone).
+#[derive(Debug, Default, Clone, PartialEq, Eq)]
+pub struct WorkerStats {
+    /// Failed ops attributed to this worker.
+    pub failures: u64,
+    /// Ops that abandoned the live connection and retried on a fresh dial.
+    pub hedges: u64,
+    /// Transparent re-seeds after the worker answered `unknown_dataset`.
+    pub reseeds: u64,
+}
+
 /// Shared health state of a sharded dataset's remote fabric.
 ///
 /// One `Fabric` is shared by all [`RemoteShard`]s of a dataset. `failures` is a
 /// monotone event counter: queries snapshot it before counting and compare after,
 /// so any remote failure inside the window — regardless of which worker — is
 /// detected without per-op plumbing through the infallible counting surface.
-#[derive(Debug, Default)]
+/// `hedges` / `reseeds` (global and per worker address) are observability-only
+/// counters with the same monotone discipline.
+#[derive(Default)]
 pub struct Fabric {
     failures: AtomicU64,
+    hedges: AtomicU64,
+    reseeds: AtomicU64,
     last_error: Mutex<String>,
+    workers: Mutex<BTreeMap<String, WorkerStats>>,
+    observer: Mutex<Option<Arc<dyn FabricObserver>>>,
+    // The trace label rides the fabric rather than a thread-local because the
+    // executor fans count ops out across spawned threads. Under concurrent queries
+    // on the same dataset the last writer wins — acceptable for an
+    // observability-only attribution that never touches released bytes.
+    trace_label: Mutex<Option<String>>,
+}
+
+impl std::fmt::Debug for Fabric {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Fabric")
+            .field("failures", &self.failures())
+            .field("hedges", &self.hedges())
+            .field("reseeds", &self.reseeds())
+            .finish_non_exhaustive()
+    }
 }
 
 impl Fabric {
     /// Total remote-op failures since the dataset was registered (monotone).
     pub fn failures(&self) -> u64 {
         self.failures.load(Ordering::SeqCst)
+    }
+
+    /// Total hedged retries (live connection abandoned for a fresh dial) since the
+    /// dataset was registered (monotone).
+    pub fn hedges(&self) -> u64 {
+        self.hedges.load(Ordering::SeqCst)
+    }
+
+    /// Total transparent worker re-seeds since the dataset was registered (monotone).
+    pub fn reseeds(&self) -> u64 {
+        self.reseeds.load(Ordering::SeqCst)
     }
 
     /// Human-readable description of the most recent failure (empty if none).
@@ -81,11 +147,63 @@ impl Fabric {
             .clone()
     }
 
-    fn record(&self, message: String) {
+    /// A snapshot of the per-worker counters, keyed by worker address.
+    pub fn worker_stats(&self) -> BTreeMap<String, WorkerStats> {
+        self.workers
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    /// Installs (or clears) the RPC observer. Observation is passive: it never
+    /// changes retry behaviour or any released byte.
+    pub fn set_observer(&self, observer: Option<Arc<dyn FabricObserver>>) {
+        *self.observer.lock().unwrap_or_else(|e| e.into_inner()) = observer;
+    }
+
+    /// Labels subsequent remote ops with a trace id (cleared with `None`). Under
+    /// concurrent queries on one dataset the last writer wins; the label is
+    /// observability-only.
+    pub fn set_trace_label(&self, label: Option<String>) {
+        *self.trace_label.lock().unwrap_or_else(|e| e.into_inner()) = label;
+    }
+
+    /// The current trace label, if one is set.
+    pub fn trace_label(&self) -> Option<String> {
+        self.trace_label
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn observer(&self) -> Option<Arc<dyn FabricObserver>> {
+        self.observer
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .clone()
+    }
+
+    fn with_worker(&self, addr: &str, update: impl FnOnce(&mut WorkerStats)) {
+        let mut workers = self.workers.lock().unwrap_or_else(|e| e.into_inner());
+        update(workers.entry(addr.to_string()).or_default());
+    }
+
+    fn record(&self, addr: &str, message: String) {
         *self.last_error.lock().unwrap_or_else(|e| e.into_inner()) = message;
+        self.with_worker(addr, |w| w.failures += 1);
         // The message is published before the counter moves, so a query that
         // observes the bump can always read a current error message.
         self.failures.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn note_hedge(&self, addr: &str) {
+        self.with_worker(addr, |w| w.hedges += 1);
+        self.hedges.fetch_add(1, Ordering::SeqCst);
+    }
+
+    fn note_reseed(&self, addr: &str) {
+        self.with_worker(addr, |w| w.reseeds += 1);
+        self.reseeds.fetch_add(1, Ordering::SeqCst);
     }
 }
 
@@ -259,14 +377,34 @@ impl RemoteShard {
     /// first, then one fresh connection under the full deadline. `None` means the
     /// op failed and the failure was recorded on the fabric.
     fn call<T>(&self, op: &dyn Fn(&mut PbClient) -> Result<T, ClientError>) -> Option<T> {
+        let observer = self.fabric.observer();
+        let trace = self.fabric.trace_label();
+        let started = observer.as_ref().map_or(0, |o| o.now());
+        let addr = self.addr.to_string();
+        let report = |ok: bool, hedged: bool, reseeded: bool| {
+            if let Some(o) = observer.as_ref() {
+                o.rpc(
+                    trace.as_deref(),
+                    &addr,
+                    started,
+                    o.now(),
+                    ok,
+                    hedged,
+                    reseeded,
+                );
+            }
+        };
         let mut conn = self.conn.lock().unwrap_or_else(|e| e.into_inner());
+        let had_live_conn = conn.is_some();
         if let Some(client) = conn.as_mut() {
+            client.set_id_prefix(trace.clone());
             let hedged = client
                 .set_read_timeout(Some(self.hedge_after))
                 .map_err(ClientError::Io)
                 .and_then(|()| self.round_trip(client, op));
             if let Ok(value) = hedged {
                 self.healthy.store(true, Ordering::SeqCst);
+                report(true, false, false);
                 return Some(value);
             }
         }
@@ -274,16 +412,26 @@ impl RemoteShard {
         // the old socket may hold a half-read response — and replay the op, which
         // is a deterministic exact count and therefore always safe to re-ask.
         *conn = None;
-        match self.retry_fresh(op) {
-            Ok((client, value)) => {
+        if had_live_conn {
+            self.fabric.note_hedge(&addr);
+        }
+        match self.retry_fresh(op, trace.clone()) {
+            Ok((client, value, reseeded)) => {
                 *conn = Some(client);
                 self.healthy.store(true, Ordering::SeqCst);
+                if reseeded {
+                    self.fabric.note_reseed(&addr);
+                }
+                report(true, had_live_conn, reseeded);
                 Some(value)
             }
             Err(error) => {
                 self.healthy.store(false, Ordering::SeqCst);
-                self.fabric
-                    .record(format!("worker {} ({}): {error}", self.addr, self.key));
+                self.fabric.record(
+                    &addr,
+                    format!("worker {} ({}): {error}", self.addr, self.key),
+                );
+                report(false, had_live_conn, false);
                 None
             }
         }
@@ -292,16 +440,18 @@ impl RemoteShard {
     fn retry_fresh<T>(
         &self,
         op: &dyn Fn(&mut PbClient) -> Result<T, ClientError>,
-    ) -> Result<(PbClient, T), ClientError> {
+        trace: Option<String>,
+    ) -> Result<(PbClient, T, bool), ClientError> {
         let mut client = self.dial().map_err(ClientError::Io)?;
+        client.set_id_prefix(trace);
         match self.round_trip(&mut client, op) {
-            Ok(value) => Ok((client, value)),
+            Ok(value) => Ok((client, value, false)),
             Err(ClientError::Server(e)) if e.code == ErrorCode::UnknownDataset => {
                 // The worker restarted and lost its in-memory shard: re-seed from
                 // the retained rows, then ask once more.
                 self.seed(&mut client)?;
                 let value = self.round_trip(&mut client, op)?;
-                Ok((client, value))
+                Ok((client, value, true))
             }
             Err(error) => Err(error),
         }
@@ -351,7 +501,9 @@ impl RemoteShard {
 
     fn fail(&self, message: String) {
         self.healthy.store(false, Ordering::SeqCst);
-        self.fabric
-            .record(format!("worker {} ({}): {message}", self.addr, self.key));
+        self.fabric.record(
+            &self.addr.to_string(),
+            format!("worker {} ({}): {message}", self.addr, self.key),
+        );
     }
 }

@@ -1,0 +1,397 @@
+//! # pb-trace — spans, trace rings, and latency histograms
+//!
+//! The observability data model of the PrivBasis service: per-request span trees
+//! ([`Trace`]) held in a bounded in-memory ring ([`TraceRing`]), and hand-rolled
+//! fixed-bucket latency [`Histogram`]s rendered into the Prometheus text format by
+//! the service's `/metrics` endpoint.
+//!
+//! ## No clocks in this crate
+//!
+//! Everything here is *clock-free*: every duration is a caller-supplied integer of
+//! microseconds. The serving layer owns the one `Instant` and mints opaque
+//! microsecond tokens; this crate only stores and aggregates them. That keeps the
+//! workspace `wall-clock` audit lint applicable to `pb-trace` itself — the lint
+//! verifies no timing source can leak into anything the mechanism layer computes.
+//!
+//! Observability is invisible in released bytes by construction: nothing in this
+//! crate touches an RNG, a count, or a budget — it only records what already
+//! happened.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::{Mutex, PoisonError};
+
+/// One named stage of a request, with offsets in microseconds from the trace start.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Span {
+    /// Stage name (`parse`, `admission`, `noise_draw`, `shard_rpc`, …).
+    pub name: String,
+    /// Microseconds from the trace start to this span's start.
+    pub start_us: u64,
+    /// Microseconds from the trace start to this span's end (`>= start_us`).
+    pub end_us: u64,
+    /// Key/value attributes (worker address, hedged/re-seeded flags, …).
+    pub attrs: Vec<(String, String)>,
+}
+
+impl Span {
+    /// A span with no attributes.
+    pub fn new(name: impl Into<String>, start_us: u64, end_us: u64) -> Span {
+        Span {
+            name: name.into(),
+            start_us,
+            end_us: end_us.max(start_us),
+            attrs: Vec::new(),
+        }
+    }
+
+    /// Adds one attribute (builder-style).
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Span {
+        self.attrs.push((key.into(), value.into()));
+        self
+    }
+
+    /// The span's duration in microseconds.
+    pub fn duration_us(&self) -> u64 {
+        self.end_us.saturating_sub(self.start_us)
+    }
+
+    fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"name\":\"{}\",\"start_us\":{},\"end_us\":{}",
+            escape_json(&self.name),
+            self.start_us,
+            self.end_us
+        );
+        if !self.attrs.is_empty() {
+            out.push_str(",\"attrs\":{");
+            for (i, (key, value)) in self.attrs.iter().enumerate() {
+                if i > 0 {
+                    out.push(',');
+                }
+                out.push_str(&format!(
+                    "\"{}\":\"{}\"",
+                    escape_json(key),
+                    escape_json(value)
+                ));
+            }
+            out.push('}');
+        }
+        out.push('}');
+        out
+    }
+}
+
+/// One finished request: its correlation id, outcome, and span tree.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Trace {
+    /// Correlation id — the client-supplied envelope `id` when one was sent, else a
+    /// server-assigned one. Carried to shard workers in their RPC envelope ids.
+    pub id: String,
+    /// The op that ran (`query`, `status`, …).
+    pub op: String,
+    /// Dataset the request touched (empty for dataset-free ops).
+    pub dataset: String,
+    /// What the request released: `released`, `refused:<code>`, or `failed`.
+    pub outcome: String,
+    /// End-to-end duration in microseconds.
+    pub total_us: u64,
+    /// The recorded stages, in completion order.
+    pub spans: Vec<Span>,
+}
+
+impl Trace {
+    /// True when a span with this exact name was recorded.
+    pub fn has_span(&self, name: &str) -> bool {
+        self.spans.iter().any(|s| s.name == name)
+    }
+
+    /// Renders the trace as one line of JSON (the `trace` op payload and the
+    /// slow-query log record share this encoding).
+    pub fn to_json(&self) -> String {
+        let mut out = format!(
+            "{{\"id\":\"{}\",\"op\":\"{}\",\"dataset\":\"{}\",\"outcome\":\"{}\",\"total_us\":{},\"spans\":[",
+            escape_json(&self.id),
+            escape_json(&self.op),
+            escape_json(&self.dataset),
+            escape_json(&self.outcome),
+            self.total_us
+        );
+        for (i, span) in self.spans.iter().enumerate() {
+            if i > 0 {
+                out.push(',');
+            }
+            out.push_str(&span.to_json());
+        }
+        out.push_str("]}");
+        out
+    }
+}
+
+/// A bounded ring of finished traces, newest evicting oldest.
+///
+/// Lookup is by correlation id, newest match first — client-chosen ids may recur
+/// across connections, and "the most recent request with this id" is the useful
+/// answer for an operator chasing a slow query.
+#[derive(Debug)]
+pub struct TraceRing {
+    capacity: usize,
+    ring: Mutex<VecDeque<Trace>>,
+}
+
+/// Default ring capacity: enough to hold a busy few seconds of traffic without
+/// growing per-request memory beyond a few hundred KiB.
+pub const DEFAULT_RING_CAPACITY: usize = 256;
+
+impl Default for TraceRing {
+    fn default() -> Self {
+        TraceRing::new(DEFAULT_RING_CAPACITY)
+    }
+}
+
+impl TraceRing {
+    /// A ring holding at most `capacity` traces (minimum 1).
+    pub fn new(capacity: usize) -> TraceRing {
+        TraceRing {
+            capacity: capacity.max(1),
+            ring: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Records a finished trace, evicting the oldest when full.
+    pub fn record(&self, trace: Trace) {
+        let mut ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        if ring.len() == self.capacity {
+            ring.pop_front();
+        }
+        ring.push_back(trace);
+    }
+
+    /// The newest recorded trace with this id, if it is still in the ring.
+    pub fn get(&self, id: &str) -> Option<Trace> {
+        let ring = self.ring.lock().unwrap_or_else(PoisonError::into_inner);
+        ring.iter().rev().find(|t| t.id == id).cloned()
+    }
+
+    /// Number of traces currently held.
+    pub fn len(&self) -> usize {
+        self.ring
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .len()
+    }
+
+    /// True when nothing has been recorded yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+/// The default latency bucket bounds, in microseconds: 500µs up to 10s in a
+/// coarse 1–2.5–5 ladder, matching the paper-scale workloads (sub-millisecond
+/// cached queries up to multi-second cold sharded mining).
+pub const DEFAULT_BUCKETS_US: &[u64] = &[
+    500, 1_000, 2_500, 5_000, 10_000, 25_000, 50_000, 100_000, 250_000, 500_000, 1_000_000,
+    2_500_000, 5_000_000, 10_000_000,
+];
+
+/// A fixed-bucket latency histogram with lock-free observation.
+///
+/// Buckets are *non-cumulative* internally; [`Histogram::snapshot`] produces the
+/// cumulative view the Prometheus text format wants (including the implicit
+/// `+Inf` bucket).
+#[derive(Debug)]
+pub struct Histogram {
+    bounds_us: Vec<u64>,
+    /// One counter per bound, plus the final `+Inf` overflow bucket.
+    buckets: Vec<AtomicU64>,
+    count: AtomicU64,
+    sum_us: AtomicU64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Histogram::new(DEFAULT_BUCKETS_US)
+    }
+}
+
+impl Histogram {
+    /// A histogram over the given ascending upper bounds (microseconds).
+    pub fn new(bounds_us: &[u64]) -> Histogram {
+        let mut bounds = bounds_us.to_vec();
+        bounds.sort_unstable();
+        bounds.dedup();
+        let buckets = (0..=bounds.len()).map(|_| AtomicU64::new(0)).collect();
+        Histogram {
+            bounds_us: bounds,
+            buckets,
+            count: AtomicU64::new(0),
+            sum_us: AtomicU64::new(0),
+        }
+    }
+
+    /// Records one observation of `us` microseconds.
+    pub fn observe_us(&self, us: u64) {
+        let idx = self
+            .bounds_us
+            .iter()
+            .position(|&bound| us <= bound)
+            .unwrap_or(self.bounds_us.len());
+        self.buckets[idx].fetch_add(1, Ordering::Relaxed);
+        self.count.fetch_add(1, Ordering::Relaxed);
+        self.sum_us.fetch_add(us, Ordering::Relaxed);
+    }
+
+    /// Total observations so far.
+    pub fn count(&self) -> u64 {
+        self.count.load(Ordering::Relaxed)
+    }
+
+    /// A consistent-enough cumulative view for rendering. Bucket counts are read
+    /// individually (scrapes tolerate a request landing mid-read; cumulative sums
+    /// stay monotone within the snapshot because they are summed here, not read).
+    pub fn snapshot(&self) -> HistogramSnapshot {
+        let mut cumulative = Vec::with_capacity(self.buckets.len());
+        let mut running = 0u64;
+        for bucket in &self.buckets {
+            running += bucket.load(Ordering::Relaxed);
+            cumulative.push(running);
+        }
+        HistogramSnapshot {
+            bounds_us: self.bounds_us.clone(),
+            cumulative,
+            count: self.count.load(Ordering::Relaxed),
+            sum_us: self.sum_us.load(Ordering::Relaxed),
+        }
+    }
+}
+
+/// A point-in-time cumulative view of a [`Histogram`].
+#[derive(Debug, Clone, PartialEq)]
+pub struct HistogramSnapshot {
+    /// Ascending bucket upper bounds, microseconds (the `+Inf` bucket is implicit).
+    pub bounds_us: Vec<u64>,
+    /// Cumulative counts, one per bound plus the final `+Inf` entry.
+    pub cumulative: Vec<u64>,
+    /// Total observations.
+    pub count: u64,
+    /// Sum of all observations, microseconds.
+    pub sum_us: u64,
+}
+
+impl HistogramSnapshot {
+    /// Sum of all observations in seconds (the Prometheus `_sum` convention).
+    pub fn sum_seconds(&self) -> f64 {
+        self.sum_us as f64 / 1_000_000.0
+    }
+}
+
+/// Escapes a string for embedding in a JSON string literal.
+pub fn escape_json(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_trace(id: &str) -> Trace {
+        Trace {
+            id: id.to_string(),
+            op: "query".into(),
+            dataset: "retail".into(),
+            outcome: "released".into(),
+            total_us: 1500,
+            spans: vec![
+                Span::new("parse", 0, 10),
+                Span::new("shard_rpc", 100, 900)
+                    .attr("worker", "127.0.0.1:9000")
+                    .attr("hedged", "false"),
+            ],
+        }
+    }
+
+    #[test]
+    fn trace_json_is_wellformed_and_escaped() {
+        let mut trace = sample_trace("q\"1");
+        trace.spans[0].name = "pa\\rse\n".into();
+        let json = trace.to_json();
+        assert!(json.contains(r#""id":"q\"1""#), "{json}");
+        assert!(json.contains(r#""name":"pa\\rse\n""#), "{json}");
+        assert!(json.contains(r#""attrs":{"worker":"127.0.0.1:9000","hedged":"false"}"#));
+        assert!(json.starts_with('{') && json.ends_with('}'));
+    }
+
+    #[test]
+    fn span_duration_saturates_and_orders() {
+        let span = Span::new("x", 50, 20); // end clamped up to start
+        assert_eq!(span.end_us, 50);
+        assert_eq!(span.duration_us(), 0);
+        assert_eq!(Span::new("x", 10, 35).duration_us(), 25);
+    }
+
+    #[test]
+    fn ring_bounds_and_finds_newest_match() {
+        let ring = TraceRing::new(3);
+        assert!(ring.is_empty());
+        for i in 0..5 {
+            let mut t = sample_trace("dup");
+            t.total_us = i;
+            ring.record(t);
+        }
+        assert_eq!(ring.len(), 3); // bounded: two oldest evicted
+        assert_eq!(ring.get("dup").map(|t| t.total_us), Some(4)); // newest wins
+        assert_eq!(ring.get("missing"), None);
+    }
+
+    #[test]
+    fn histogram_buckets_are_cumulative_and_monotone() {
+        let h = Histogram::new(&[10, 100, 1000]);
+        for us in [5, 10, 11, 500, 5000, 99999] {
+            h.observe_us(us);
+        }
+        let snap = h.snapshot();
+        assert_eq!(snap.bounds_us, vec![10, 100, 1000]);
+        // le=10: {5,10}; le=100: +{11}; le=1000: +{500}; +Inf: +{5000,99999}.
+        assert_eq!(snap.cumulative, vec![2, 3, 4, 6]);
+        assert_eq!(snap.count, 6);
+        assert_eq!(snap.sum_us, 5 + 10 + 11 + 500 + 5000 + 99999);
+        for pair in snap.cumulative.windows(2) {
+            assert!(pair[0] <= pair[1]);
+        }
+        assert_eq!(snap.cumulative.last().copied(), Some(snap.count));
+    }
+
+    #[test]
+    fn histogram_default_buckets_cover_the_ladder() {
+        let h = Histogram::default();
+        h.observe_us(1); // fastest bucket
+        h.observe_us(3_600_000_000); // an hour: +Inf overflow
+        let snap = h.snapshot();
+        assert_eq!(snap.cumulative[0], 1);
+        assert_eq!(snap.cumulative.last().copied(), Some(2));
+        assert!((snap.sum_seconds() - 3600.000001).abs() < 1e-6);
+    }
+
+    #[test]
+    fn escape_json_handles_control_chars() {
+        assert_eq!(escape_json("a\"b\\c\nd"), "a\\\"b\\\\c\\nd");
+        assert_eq!(escape_json("\u{1}"), "\\u0001");
+        assert_eq!(escape_json("plain"), "plain");
+    }
+}

@@ -11,6 +11,8 @@
 //!               [--shards 4 --shard-worker 10.0.0.1:8711 --shard-worker 10.0.0.2:8711]
 //! privbasis-cli shard-worker --port 8711 [--host 127.0.0.1] [--threads 4]
 //! privbasis-cli audit [--root DIR] [--json]
+//! privbasis-cli eval --input retail.dat [--ks 10,50,100] [--epsilons 0.25,0.5,1.0]
+//!               [--runs 5] [--seed 42] [--out BENCH_utility.json]
 //! ```
 //!
 //! The input format is the FIMI repository format the paper's datasets are distributed in:
@@ -28,6 +30,12 @@
 //! `audit` runs the `pb-audit` workspace invariant linter (determinism, privacy seam,
 //! panic freedom, failpoint adjacency) over `--root` (default: the current directory)
 //! and exits non-zero on findings — the same gate CI enforces.
+//!
+//! `eval` is the utility harness: it sweeps an ε × k grid, runs the private mechanism
+//! `--runs` times per cell (seeds `seed`, `seed+1`, …), scores every release against
+//! the exact top-`k` with pb-metrics (precision / recall / F1, mean ± standard error),
+//! prints an aligned table, and writes the full grid as JSON for plotting — the
+//! paper's §5 utility experiment as one command.
 
 #![forbid(unsafe_code)]
 
@@ -37,7 +45,7 @@ use privbasis::fim::io::read_fimi_file;
 use privbasis::fim::rules::generate_rules_from_noisy;
 use privbasis::service::{DatasetRegistry, PbServer, ServiceConfig, StateDir};
 use privbasis::tf::{TfConfig, TfMethod};
-use privbasis::{ItemSet, PrivBasis, ShardedDb, TransactionDb};
+use privbasis::{ItemSet, PrivBasis, PublishedItemset, ShardedDb, TransactionDb};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -118,6 +126,9 @@ const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <
        [--shard-worker <ADDR:PORT>]...\n\
    or: privbasis-cli shard-worker --port <PORT> [--host <ADDR>] [--threads <N>]\n\
    or: privbasis-cli audit [--root <DIR>] [--json]\n\
+   or: privbasis-cli eval --input <file.dat> [--ks <K,K,...>] [--epsilons <E,E,...>]\n\
+       [--runs <R>] [--seed <SEED>] [--method pb|tf] [--m <M>] [--no-consistency]\n\
+       [--out <FILE.json>]\n\
 \n\
   --input    FIMI-format transaction file (one transaction per line, integer items)\n\
   --k        number of itemsets to publish\n\
@@ -180,7 +191,18 @@ private networks: anyone who can reach the port can read exact counts.\n\
 audit mode:\n\
   --root     workspace root to audit (default: the current directory)\n\
   --json     emit findings as JSON (stable order, one object per line)\n\
-             exit status: 0 clean, 1 findings, 2 usage or IO error";
+             exit status: 0 clean, 1 findings, 2 usage or IO error\n\
+\n\
+eval mode (utility harness): score private releases against the exact top-k over\n\
+an epsilon x k grid and write the results as JSON for plotting.\n\
+  --input     FIMI-format transaction file (required)\n\
+  --ks        comma-separated top-k values (default 10,50,100)\n\
+  --epsilons  comma-separated privacy budgets (default 0.25,0.5,1.0)\n\
+  --runs      repetitions per grid cell, seeds SEED..SEED+R-1 (default 5)\n\
+  --seed      base RNG seed (default 42)\n\
+  --method    pb (default) or tf\n\
+  --m         TF length cap (default 2; ignored for pb)\n\
+  --out       JSON output path (default BENCH_utility.json)";
 
 /// Parses arguments; returns `Err(message)` on any problem.
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -737,6 +759,248 @@ fn audit(options: &AuditOptions) -> ExitCode {
     }
 }
 
+/// Parsed options of the `eval` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+struct EvalOptions {
+    input: String,
+    ks: Vec<usize>,
+    epsilons: Vec<f64>,
+    runs: u64,
+    seed: u64,
+    method: Method,
+    tf_m: usize,
+    no_consistency: bool,
+    out: String,
+}
+
+/// Parses the arguments after the `eval` keyword.
+fn parse_eval_args(args: &[String]) -> Result<EvalOptions, String> {
+    let mut input: Option<String> = None;
+    let mut ks = vec![10usize, 50, 100];
+    let mut epsilons = vec![0.25f64, 0.5, 1.0];
+    let mut runs = 5u64;
+    let mut seed = 42u64;
+    let mut method = Method::PrivBasis;
+    let mut tf_m = 2usize;
+    let mut no_consistency = false;
+    let mut out = "BENCH_utility.json".to_string();
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--input" => input = Some(value("--input")?),
+            "--ks" => {
+                ks = value("--ks")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<usize>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| "--ks must be comma-separated positive integers".to_string())?;
+                if ks.is_empty() || ks.contains(&0) {
+                    return Err("--ks must be comma-separated positive integers".to_string());
+                }
+            }
+            "--epsilons" => {
+                epsilons = value("--epsilons")?
+                    .split(',')
+                    .map(|s| s.trim().parse::<f64>())
+                    .collect::<Result<Vec<_>, _>>()
+                    .map_err(|_| "--epsilons must be comma-separated numbers".to_string())?;
+                if epsilons.is_empty() || epsilons.iter().any(|e| e.is_nan() || *e <= 0.0) {
+                    return Err("--epsilons must be positive numbers".to_string());
+                }
+            }
+            "--runs" => {
+                runs = value("--runs")?
+                    .parse()
+                    .map_err(|_| "--runs must be a positive integer".to_string())?;
+                if runs == 0 {
+                    return Err("--runs must be at least 1".to_string());
+                }
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            "--method" => {
+                method = match value("--method")?.as_str() {
+                    "pb" | "privbasis" => Method::PrivBasis,
+                    "tf" | "truncated-frequency" => Method::TruncatedFrequency,
+                    other => return Err(format!("unknown method `{other}` (expected pb or tf)")),
+                }
+            }
+            "--m" => {
+                tf_m = value("--m")?
+                    .parse()
+                    .map_err(|_| "--m must be a positive integer".to_string())?;
+                if tf_m == 0 {
+                    return Err("--m must be at least 1".to_string());
+                }
+            }
+            "--no-consistency" => no_consistency = true,
+            "--out" => out = value("--out")?,
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown eval flag `{other}`\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let input = input.ok_or_else(|| format!("eval needs --input\n\n{USAGE}"))?;
+    Ok(EvalOptions {
+        input,
+        ks,
+        epsilons,
+        runs,
+        seed,
+        method,
+        tf_m,
+        no_consistency,
+        out,
+    })
+}
+
+/// One scored grid cell: utility of the private release vs the exact top-`k`,
+/// aggregated over the repeated runs.
+struct EvalCell {
+    epsilon: f64,
+    k: usize,
+    precision: privbasis::metrics::Summary,
+    recall: privbasis::metrics::Summary,
+    f1: privbasis::metrics::Summary,
+}
+
+/// Sweeps the ε × k grid and scores every release against the exact top-`k`.
+fn eval_grid(options: &EvalOptions, db: &TransactionDb) -> Result<Vec<EvalCell>, String> {
+    use privbasis::metrics::{f1_score, precision, recall, Summary};
+    let mut cells = Vec::new();
+    for &k in &options.ks {
+        // Exact (non-private) ground truth, mined once per k and shared by every ε.
+        let truth = privbasis::fim::topk::top_k_itemsets(db, k, None);
+        for &epsilon in &options.epsilons {
+            let (mut ps, mut rs, mut f1s) = (Vec::new(), Vec::new(), Vec::new());
+            for run_idx in 0..options.runs {
+                let released = run(
+                    &Options {
+                        input: options.input.clone(),
+                        k,
+                        epsilon,
+                        method: options.method,
+                        seed: options.seed.wrapping_add(run_idx),
+                        tf_m: options.tf_m,
+                        rules_min_confidence: None,
+                        tsv: false,
+                        no_index: false,
+                        no_consistency: options.no_consistency,
+                        shards: None,
+                    },
+                    db,
+                )?;
+                let published: Vec<PublishedItemset> = released
+                    .into_iter()
+                    .map(|(items, noisy)| PublishedItemset::new(items, noisy))
+                    .collect();
+                ps.push(precision(&truth, &published));
+                rs.push(recall(&truth, &published));
+                f1s.push(f1_score(&truth, &published));
+            }
+            cells.push(EvalCell {
+                epsilon,
+                k,
+                precision: Summary::of(&ps),
+                recall: Summary::of(&rs),
+                f1: Summary::of(&f1s),
+            });
+        }
+    }
+    Ok(cells)
+}
+
+/// Renders the grid as the JSON document written to `--out`: enough provenance
+/// (input, seeds, method) to reproduce every number, plus mean ± standard error per
+/// metric per cell.
+fn eval_json(options: &EvalOptions, db: &TransactionDb, cells: &[EvalCell]) -> String {
+    fn summary(name: &str, s: &privbasis::metrics::Summary) -> String {
+        format!(
+            "\"{name}\":{{\"mean\":{:.6},\"std_error\":{:.6}}}",
+            s.mean, s.std_error
+        )
+    }
+    let rows: Vec<String> = cells
+        .iter()
+        .map(|c| {
+            format!(
+                "    {{\"epsilon\":{},\"k\":{},{},{},{}}}",
+                c.epsilon,
+                c.k,
+                summary("precision", &c.precision),
+                summary("recall", &c.recall),
+                summary("f1", &c.f1),
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"input\": \"{}\",\n  \"transactions\": {},\n  \"distinct_items\": {},\n  \
+         \"method\": \"{}\",\n  \"runs\": {},\n  \"base_seed\": {},\n  \"grid\": [\n{}\n  ]\n}}\n",
+        options.input.replace('\\', "\\\\").replace('"', "\\\""),
+        db.len(),
+        db.num_distinct_items(),
+        match options.method {
+            Method::PrivBasis => "pb",
+            Method::TruncatedFrequency => "tf",
+        },
+        options.runs,
+        options.seed,
+        rows.join(",\n"),
+    )
+}
+
+/// Runs the utility harness: table to stdout, JSON grid to `--out`.
+fn eval(options: &EvalOptions) -> Result<(), String> {
+    let db = read_fimi_file(&options.input)
+        .map_err(|e| format!("failed to read {}: {e}", options.input))?;
+    if db.is_empty() {
+        return Err(format!("{} contains no transactions", options.input));
+    }
+    eprintln!(
+        "evaluating {} over {} transactions: {} ε × {} k × {} run(s)",
+        options.input,
+        db.len(),
+        options.epsilons.len(),
+        options.ks.len(),
+        options.runs
+    );
+    let cells = eval_grid(options, &db)?;
+    let mut table = privbasis::metrics::TsvTable::new([
+        "epsilon",
+        "k",
+        "precision",
+        "recall",
+        "f1",
+        "f1_stderr",
+    ]);
+    for c in &cells {
+        table.push_row([
+            c.epsilon.to_string(),
+            c.k.to_string(),
+            format!("{:.4}", c.precision.mean),
+            format!("{:.4}", c.recall.mean),
+            format!("{:.4}", c.f1.mean),
+            format!("{:.4}", c.f1.std_error),
+        ]);
+    }
+    print!("{}", table.to_aligned());
+    std::fs::write(&options.out, eval_json(options, &db, &cells))
+        .map_err(|e| format!("failed to write {}: {e}", options.out))?;
+    eprintln!("wrote {}", options.out);
+    Ok(())
+}
+
 fn run(options: &Options, db: &TransactionDb) -> Result<Vec<(ItemSet, f64)>, String> {
     let epsilon = Epsilon::new(options.epsilon).map_err(|e| e.to_string())?;
     // audit:allow(noise-seam): RNG construction only — all draws happen inside pb-dp behind the method entry points
@@ -777,6 +1041,21 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("audit") {
         return match parse_audit_args(&args[1..]) {
             Ok(o) => audit(&o),
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("eval") {
+        return match parse_eval_args(&args[1..]) {
+            Ok(o) => match eval(&o) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    ExitCode::FAILURE
+                }
+            },
             Err(msg) => {
                 eprintln!("{msg}");
                 ExitCode::from(2)
@@ -1248,6 +1527,90 @@ mod tests {
         assert!(parse_worker_args(&args(&["--bogus"])).is_err());
         // Workers do not take dataset flags: they are seeded over the wire.
         assert!(parse_worker_args(&args(&["--port", "1", "--dataset", "a=b"])).is_err());
+    }
+
+    #[test]
+    fn parses_eval_arguments() {
+        let o = parse_eval_args(&args(&["--input", "x.dat"])).unwrap();
+        assert_eq!(o.input, "x.dat");
+        assert_eq!(o.ks, vec![10, 50, 100]);
+        assert_eq!(o.epsilons, vec![0.25, 0.5, 1.0]);
+        assert_eq!(o.runs, 5);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.method, Method::PrivBasis);
+        assert_eq!(o.out, "BENCH_utility.json");
+        let o = parse_eval_args(&args(&[
+            "--input",
+            "x.dat",
+            "--ks",
+            "3, 7",
+            "--epsilons",
+            "0.1,2.0",
+            "--runs",
+            "2",
+            "--seed",
+            "9",
+            "--method",
+            "tf",
+            "--m",
+            "3",
+            "--no-consistency",
+            "--out",
+            "u.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.ks, vec![3, 7]);
+        assert_eq!(o.epsilons, vec![0.1, 2.0]);
+        assert_eq!(o.runs, 2);
+        assert_eq!(o.method, Method::TruncatedFrequency);
+        assert_eq!(o.tf_m, 3);
+        assert!(o.no_consistency);
+        assert_eq!(o.out, "u.json");
+        // Missing input, zero k, non-positive ε, zero runs, junk flags: all refused.
+        assert!(parse_eval_args(&args(&[])).is_err());
+        assert!(parse_eval_args(&args(&["--input", "x", "--ks", "0,5"])).is_err());
+        assert!(parse_eval_args(&args(&["--input", "x", "--ks", ""])).is_err());
+        assert!(parse_eval_args(&args(&["--input", "x", "--epsilons", "-1"])).is_err());
+        assert!(parse_eval_args(&args(&["--input", "x", "--epsilons", "nan"])).is_err());
+        assert!(parse_eval_args(&args(&["--input", "x", "--runs", "0"])).is_err());
+        assert!(parse_eval_args(&args(&["--input", "x", "--bogus"])).is_err());
+    }
+
+    #[test]
+    fn eval_scores_a_noiseless_release_perfectly() {
+        // A tiny dataset with an unambiguous top-3: with a huge ε the mechanism is
+        // near-noiseless, so precision/recall/F1 against the exact top-k are all 1.
+        let dir = std::env::temp_dir();
+        let stem = format!("pb_cli_eval_{}", std::process::id());
+        let input = dir.join(format!("{stem}.dat"));
+        let out = dir.join(format!("{stem}.json"));
+        std::fs::write(&input, "1 2 3\n1 2\n1 2 3\n2 3\n1 2\n1 2\n1 3\n").unwrap();
+        let options = EvalOptions {
+            input: input.to_string_lossy().into_owned(),
+            ks: vec![3],
+            epsilons: vec![1e9],
+            runs: 2,
+            seed: 1,
+            method: Method::PrivBasis,
+            tf_m: 2,
+            no_consistency: false,
+            out: out.to_string_lossy().into_owned(),
+        };
+        eval(&options).unwrap();
+        let db = read_fimi_file(&input).unwrap();
+        let cells = eval_grid(&options, &db).unwrap();
+        assert_eq!(cells.len(), 1);
+        assert!((cells[0].f1.mean - 1.0).abs() < 1e-9);
+        assert!((cells[0].precision.mean - 1.0).abs() < 1e-9);
+        assert!((cells[0].recall.mean - 1.0).abs() < 1e-9);
+        // The JSON grid parses and carries the provenance fields.
+        let json = std::fs::read_to_string(&out).unwrap();
+        let value = privbasis::proto::Json::parse(&json).unwrap();
+        assert_eq!(value.get("transactions").and_then(|v| v.as_u64()), Some(7));
+        assert_eq!(value.get("runs").and_then(|v| v.as_u64()), Some(2));
+        assert!(value.get("grid").is_some());
+        let _ = std::fs::remove_file(&input);
+        let _ = std::fs::remove_file(&out);
     }
 
     #[test]
