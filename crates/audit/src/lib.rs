@@ -3,9 +3,10 @@
 //! The repo's correctness story rests on contracts no compiler checks: noise is
 //! drawn once, in fixed order, post-merge; releases are byte-identical across
 //! engines, shards, and protocols; every durability seam carries a failpoint;
-//! server code never panics on request paths. `pb-audit` checks those contracts
-//! mechanically — a hand-rolled lexer (strings, raw strings, nested comments,
-//! attributes; panic-free on arbitrary bytes) feeds six codebase-specific lints
+//! server code never panics on request paths; local-model code never touches
+//! the central ledger. `pb-audit` checks those contracts mechanically — a
+//! hand-rolled lexer (strings, raw strings, nested comments, attributes;
+//! panic-free on arbitrary bytes) feeds seven codebase-specific lints
 //! over every shipped source file, with `// audit:allow(<lint>): <reason>`
 //! pragmas (reason required) as the reviewed escape hatch.
 //!

@@ -1,4 +1,4 @@
-//! The six workspace invariant lints.
+//! The seven workspace invariant lints.
 //!
 //! Each lint encodes a contract no compiler checks (see the README's "Static
 //! analysis & invariants" table for why each is privacy- or byte-identity-
@@ -17,7 +17,7 @@ use std::collections::BTreeSet;
 pub const LINTS: &[(&str, &str)] = &[
     (
         "hash-iter",
-        "no hash-ordered iteration in release-path crates (core/dp/fim/proto/shard) unless sorted or annotated",
+        "no hash-ordered iteration in release-path crates (core/dp/fim/ldp/proto/shard) unless sorted or annotated",
     ),
     (
         "noise-seam",
@@ -39,11 +39,15 @@ pub const LINTS: &[(&str, &str)] = &[
         "unsafe-forbid",
         "#![forbid(unsafe_code)] present in every crate root",
     ),
+    (
+        "ldp-no-debit",
+        "LDP code never reaches the central BudgetLedger: pb-ldp is ledger-free and *ldp* functions in serving crates never debit",
+    ),
     ("bad-pragma", "audit:allow pragmas must parse and carry a non-empty reason"),
 ];
 
 /// Crates whose released bytes must be independent of hash iteration order.
-const HASH_ITER_CRATES: &[&str] = &["core", "dp", "fim", "proto", "shard"];
+const HASH_ITER_CRATES: &[&str] = &["core", "dp", "fim", "ldp", "proto", "shard"];
 /// Crates where RNG/noise tokens are forbidden outside the allowlisted seam.
 const NOISE_CRATES: &[&str] = &[
     "core",
@@ -66,8 +70,20 @@ const PANIC_CRATES: &[&str] = &["fault", "proto", "service", "trace"];
 /// opaque `u64` tokens minted by the service layer, so it must stay lexically
 /// wall-clock-free like the mechanism crates it observes.
 const WALLCLOCK_CRATES: &[&str] = &[
-    "core", "datagen", "dp", "fim", "graph", "metrics", "proto", "shard", "tf", "trace",
+    "core", "datagen", "dp", "fim", "graph", "ldp", "metrics", "proto", "shard", "tf", "trace",
 ];
+
+/// The one crate that must never see the central privacy accountant: local-model
+/// reports are privatized on the client, so a ledger reference here is a
+/// category error, not a budget bug.
+const LDP_CRATE: &str = "ldp";
+/// Crates that *serve* LDP datasets next to central ones. Inside them, any
+/// function whose name mentions `ldp` is an LDP-mode code path and must stay
+/// lexically ledger-free — the `mode: ldp` no-debit guarantee is by
+/// construction, and this keeps a refactor from quietly re-threading a ledger.
+const LDP_CARRYING_CRATES: &[&str] = &["privbasis", "proto", "service", "shard"];
+/// Identifiers that mean "the central accountant" wherever they appear.
+const LEDGER_IDENTS: &[&str] = &["BudgetLedger", "pb_dp", "try_spend"];
 
 /// Methods that iterate a collection in storage order.
 const ITER_METHODS: &[&str] = &[
@@ -158,6 +174,9 @@ pub fn run_lints(files: &[SourceFile]) -> Vec<Diagnostic> {
         }
         if is_crate_root(&file.rel_path) {
             unsafe_forbid_lint(file, &mut sink);
+        }
+        if file.crate_name == LDP_CRATE || LDP_CARRYING_CRATES.contains(&file.crate_name.as_str()) {
+            ldp_no_debit_lint(file, &mut sink);
         }
     }
     sort_canonical(&mut findings);
@@ -833,4 +852,98 @@ fn unsafe_forbid_lint(file: &SourceFile, sink: &mut Sink) {
         1,
         "crate root is missing `#![forbid(unsafe_code)]`".to_string(),
     );
+}
+
+// ---------------------------------------------------------------------------
+// ldp-no-debit
+// ---------------------------------------------------------------------------
+
+/// Local-model reports are privatized on the client, so nothing downstream may
+/// spend central budget on them. Two surfaces are checked lexically:
+///
+/// * anywhere in the `ldp` crate, a ledger identifier is a finding — pb-ldp
+///   must not even *name* the central accountant;
+/// * in the serving crates ([`LDP_CARRYING_CRATES`]), any `fn` whose name
+///   mentions `ldp` is an LDP-mode code path, and a ledger identifier inside
+///   its body means a refactor re-threaded a debit into the no-debit mode.
+fn ldp_no_debit_lint(file: &SourceFile, sink: &mut Sink) {
+    let src = &file.bytes;
+    let code: Vec<&Token> = file
+        .tokens
+        .iter()
+        .filter(|t| t.kind != TokenKind::Comment)
+        .collect();
+    let whole_crate = file.crate_name == LDP_CRATE;
+
+    let flag = |sink: &mut Sink, t: &Token, context: &str| {
+        let text = t.text(src);
+        sink.emit(
+            "ldp-no-debit",
+            t,
+            format!(
+                "central-ledger identifier `{text}` {context}; `mode: ldp` releases never debit the BudgetLedger — keep the local model ledger-free or annotate with `// audit:allow(ldp-no-debit): <reason>`"
+            ),
+        );
+    };
+
+    if whole_crate {
+        for t in &code {
+            if t.kind == TokenKind::Ident && LEDGER_IDENTS.contains(&t.text(src).as_ref()) {
+                flag(sink, t, "inside the pb-ldp crate");
+            }
+        }
+        return;
+    }
+
+    // Serving crates: scan only the bodies of `fn …ldp…` items.
+    let mut i = 0;
+    while i < code.len() {
+        if !code[i].is_ident(src, "fn") {
+            i += 1;
+            continue;
+        }
+        let Some(name_tok) = code.get(i + 1) else {
+            break;
+        };
+        if name_tok.kind != TokenKind::Ident
+            || !name_tok.text(src).to_ascii_lowercase().contains("ldp")
+        {
+            i += 1;
+            continue;
+        }
+        // Find the body `{` at bracket depth 0 (a `;` first means a trait decl).
+        let mut depth = 0i32;
+        let mut j = i + 2;
+        let mut body = None;
+        while j < code.len() {
+            let t = code[j];
+            if t.kind == TokenKind::Punct {
+                match t.bytes(src)[0] {
+                    b'(' | b'[' => depth += 1,
+                    b')' | b']' => depth -= 1,
+                    b'{' if depth == 0 => {
+                        body = Some(j);
+                        break;
+                    }
+                    b';' if depth == 0 => break,
+                    _ => {}
+                }
+            }
+            j += 1;
+        }
+        let Some(open) = body else {
+            i = j.max(i + 1);
+            continue;
+        };
+        let Some(close) = match_code_brace(src, &code, open) else {
+            break;
+        };
+        for t in &code[open..=close] {
+            if t.kind == TokenKind::Ident && LEDGER_IDENTS.contains(&t.text(src).as_ref()) {
+                let context = format!("inside LDP code path `{}`", name_tok.text(src));
+                flag(sink, t, &context);
+            }
+        }
+        i = close + 1;
+    }
 }

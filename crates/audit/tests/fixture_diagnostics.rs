@@ -27,6 +27,8 @@ fn fixture_tree_produces_exactly_the_expected_findings() {
             ("crates/core/src/lib.rs", 16, "bad-pragma"),
             ("crates/fim/src/lib.rs", 6, "noise-seam"),
             ("crates/fim/src/lib.rs", 7, "noise-seam"),
+            ("crates/ldp/src/lib.rs", 4, "ldp-no-debit"),
+            ("crates/ldp/src/lib.rs", 5, "ldp-no-debit"),
             ("crates/proto/src/lib.rs", 1, "unsafe-forbid"),
             ("crates/service/src/lib.rs", 6, "panic-path"),
             ("crates/service/src/persist.rs", 7, "failpoint-adjacency"),

@@ -1,0 +1,6 @@
+#![forbid(unsafe_code)]
+//! Seeded violation: pb-ldp referencing the central accountant.
+
+pub fn debias_then_debit(ledger: &pb_dp::BudgetLedger, epsilon: f64) {
+    let _ = ledger.try_spend(epsilon);
+}

@@ -114,6 +114,14 @@ pub struct PrivBasisOutput {
     pub candidate_count: usize,
 }
 
+/// A post-selection rewrite of every candidate count: `(itemset, count) → count'`,
+/// applied once — after the shard merge and the consistency repair, before the final
+/// top-`k` ranking. The LDP serving path passes the
+/// [`LdpChannel::debias`](https://docs.rs/pb-ldp) correction here so supports observed
+/// over perturbed data are compared across itemset sizes on a debiased scale, while the
+/// exact integer counting underneath (and hence shard byte-identity) is untouched.
+pub type CountTransform<'a> = &'a dyn Fn(&ItemSet, f64) -> f64;
+
 /// The PrivBasis method (Algorithm 3).
 #[derive(Debug, Clone)]
 pub struct PrivBasis {
@@ -177,6 +185,7 @@ impl PrivBasis {
             |k1| theta_count_direct(db, k1),
             k,
             epsilon,
+            None,
             &NoopObserver,
         )
     }
@@ -204,6 +213,7 @@ impl PrivBasis {
             |k1| sharded.kth_support_count(k1),
             k,
             epsilon,
+            None,
             &NoopObserver,
         )
     }
@@ -244,6 +254,37 @@ impl PrivBasis {
             |k1| context.theta_count(k1),
             k,
             epsilon,
+            None,
+            obs,
+        )
+    }
+
+    /// [`PrivBasis::run_shared_observed`] with a [`CountTransform`] rewriting every
+    /// candidate count once, post-merge, before the top-`k` ranking.
+    ///
+    /// This is the server-side LDP entry point: mining over client-perturbed data runs
+    /// the whole pipeline noiselessly ([`Epsilon::Infinite`] — the privacy was already
+    /// spent at the clients, so there is nothing for a ledger to debit) and passes the
+    /// channel's debias correction here. Because the transform only sees the merged
+    /// counts, the exact integer histograms and their shard-fabric summation are
+    /// unchanged — the release stays byte-identical for any shard count or placement.
+    pub fn run_shared_transformed<R: Rng + ?Sized>(
+        &self,
+        rng: &mut R,
+        context: &crate::context::QueryContext,
+        k: usize,
+        epsilon: Epsilon,
+        transform: CountTransform<'_>,
+        obs: &dyn PhaseObserver,
+    ) -> Result<PrivBasisOutput, PrivBasisError> {
+        self.run_pipeline(
+            rng,
+            context.engine(),
+            context.items_by_frequency(),
+            |k1| context.theta_count(k1),
+            k,
+            epsilon,
+            Some(transform),
             obs,
         )
     }
@@ -261,6 +302,7 @@ impl PrivBasis {
         theta_for: impl FnOnce(usize) -> f64,
         k: usize,
         epsilon: Epsilon,
+        transform: Option<CountTransform<'_>>,
         obs: &dyn PhaseObserver,
     ) -> Result<PrivBasisOutput, PrivBasisError> {
         self.params
@@ -304,6 +346,7 @@ impl PrivBasis {
                 owned_index.as_ref(),
                 &basis_set,
                 eps_counts,
+                transform,
                 obs,
             );
             Ok(PrivBasisOutput {
@@ -371,6 +414,7 @@ impl PrivBasis {
                 owned_index.as_ref(),
                 &basis_set,
                 eps_counts,
+                transform,
                 obs,
             );
             Ok(PrivBasisOutput {
@@ -404,9 +448,11 @@ impl PrivBasis {
 
     /// Step 5 dispatch: BasisFreq on whichever engine is counting — shared or
     /// per-run index, row scan, or the sharded merge — followed by the (budget-free)
-    /// consistency post-processing when `params.consistency` is set. Identical output
-    /// every way for a fixed seed: all engines produce the same exact counts, consume
-    /// the same noise stream, and the repair is deterministic.
+    /// consistency post-processing when `params.consistency` is set, then the optional
+    /// [`CountTransform`] (the LDP debias). Identical output every way for a fixed
+    /// seed: all engines produce the same exact counts, consume the same noise stream,
+    /// and both post-passes are deterministic.
+    #[allow(clippy::too_many_arguments)]
     fn count_bases<R: Rng + ?Sized>(
         &self,
         rng: &mut R,
@@ -414,6 +460,7 @@ impl PrivBasis {
         owned_index: Option<&VerticalIndex>,
         basis_set: &BasisSet,
         eps: Epsilon,
+        transform: Option<CountTransform<'_>>,
         obs: &dyn PhaseObserver,
     ) -> NoisyCandidateCounts {
         let mut counts = match engine {
@@ -452,6 +499,11 @@ impl PrivBasis {
             let adjusted = enforce_consistency(&counts, engine.num_transactions(), options);
             counts.apply_adjusted_counts(&adjusted);
             obs.phase("consistency", t_consistency, obs.now());
+        }
+        if let Some(f) = transform {
+            let t_debias = obs.now();
+            counts.map_counts(f);
+            obs.phase("debias", t_debias, obs.now());
         }
         counts
     }

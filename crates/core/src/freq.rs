@@ -104,6 +104,17 @@ impl NoisyCandidateCounts {
         all
     }
 
+    /// Rewrites every candidate's count as `f(itemset, count)` (variances are kept, as
+    /// for [`NoisyCandidateCounts::apply_adjusted_counts`]). This is the debias seam of
+    /// the LDP path: supports observed over perturbed data are corrected *once*, after
+    /// any shard merge, just before top-`k` — so integer shard counts still sum exactly
+    /// and the release stays byte-identical across shard counts and placements.
+    pub fn map_counts(&mut self, f: impl Fn(&ItemSet, f64) -> f64) {
+        for (itemset, estimate) in self.entries.iter_mut() {
+            estimate.count = f(itemset, estimate.count);
+        }
+    }
+
     /// Overwrites each candidate's count with its entry in `adjusted` (variances are kept:
     /// they describe the noise that was added, which post-processing does not change).
     /// Candidates missing from `adjusted` keep their current count.

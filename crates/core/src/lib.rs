@@ -50,7 +50,7 @@ pub mod observe;
 pub mod params;
 pub mod variance;
 
-pub use algorithm::{PrivBasis, PrivBasisError, PrivBasisOutput};
+pub use algorithm::{CountTransform, PrivBasis, PrivBasisError, PrivBasisOutput};
 pub use basis::BasisSet;
 pub use consistency::{enforce_consistency, ConsistencyOptions};
 pub use construct::construct_basis_set;

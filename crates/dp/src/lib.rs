@@ -16,6 +16,14 @@
 //!
 //! All randomness flows through an explicit `&mut impl Rng`, so every mechanism is
 //! reproducible under a seeded [`rand::rngs::StdRng`].
+//!
+//! Everything here is **central-model** DP: the curator holds exact data and
+//! spends ε at release time, so the [`ledger::BudgetLedger`] is the enforcement
+//! point. The *local* model — clients perturb before the data leaves the
+//! device, and no ledger exists by construction — lives in the sibling
+//! `pb-ldp` crate; the two budgets compose along different axes (central ε
+//! across queries, local ε across one client's reports) and must never be
+//! mixed. The `pb-audit` `ldp-no-debit` lint enforces the separation.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]

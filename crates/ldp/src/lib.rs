@@ -1,0 +1,337 @@
+//! # pb-ldp — local differential privacy for frequent itemset mining
+//!
+//! The central-DP pipeline (everything else in this workspace) trusts a curator with the
+//! raw transactions and spends ε from a server-side ledger. This crate implements the
+//! *local* model: each client perturbs its own transaction **before** it leaves the
+//! device, so the server only ever sees randomized data and there is nothing left for a
+//! ledger to account — the privacy cost is paid once, at the client.
+//!
+//! ## The channel
+//!
+//! [`LdpChannel`] is the standard k-ary randomized-response construction over padded
+//! transactions (the Naive-FIM-LDP / LDP-FPMiner recipe):
+//!
+//! 1. The transaction is truncated/padded to a **fixed length** `L` with a dedicated pad
+//!    symbol, so the *cardinality* of a transaction leaks nothing.
+//! 2. Each of the `L` slots is perturbed independently by k-ary randomized response over
+//!    the `D = K + 1` symbol domain (the `K`-item universe plus the pad symbol) at
+//!    `ε_slot = ε_local / L`; sequential composition over the `L` slots gives ε_local-LDP
+//!    per transaction.
+//! 3. Each slot keeps its value with probability `p = e^{ε_slot} / (e^{ε_slot} + D − 1)`
+//!    and otherwise flips to one of the other `D − 1` symbols uniformly
+//!    (`q = (1 − p)/(D − 1)` per symbol).
+//!
+//! ## Debiasing
+//!
+//! Observed supports over perturbed data are biased; [`LdpChannel::debias`] inverts the
+//! flip probabilities (the frequency-correction form): an item that is present survives
+//! into the output with probability `p_true = 1 − (1−p)(1−q)^{L−1}` and an absent item
+//! is hallucinated with probability `p_false = 1 − (1−q)^L`, so for an `m`-itemset with
+//! observed support `c` over `N` reports the debiased support is
+//! `(c − N·p_false^m) / (p_true^m − p_false^m)`. The estimator is exactly unbiased for
+//! singletons and a product-form approximation for `m ≥ 2` (slot flips to distinct items
+//! are very weakly anti-correlated). On the identity channel (`ε_local = ∞`, `p = 1`,
+//! `q = 0`) it returns the observed count bit-for-bit.
+//!
+//! Debiasing is pure post-processing of integer counts, so serving layers apply it
+//! **once, after** any shard-fabric merge: the shard counts still sum exactly and the
+//! release stays byte-identical for any shard count or worker placement.
+//!
+//! This crate never touches a `BudgetLedger` — by construction, not by a zero-debit
+//! hack. The `pb-audit` `ldp-no-debit` rule keeps it that way.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use rand::Rng;
+
+/// Errors from channel construction or perturbation.
+#[derive(Debug, Clone, PartialEq)]
+pub enum LdpError {
+    /// A channel parameter was rejected (ε_local ≤ 0, empty universe, zero pad length).
+    InvalidParameter(String),
+}
+
+impl std::fmt::Display for LdpError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            LdpError::InvalidParameter(msg) => write!(f, "invalid LDP parameter: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for LdpError {}
+
+/// Largest pad length a channel accepts: every report carries exactly `pad_len` slots,
+/// so an unbounded value would let one registration demand unbounded per-report work.
+pub const MAX_PAD_LEN: usize = 4096;
+
+/// A k-ary randomized-response channel over padded transactions.
+///
+/// The tuple `(ε_local, universe, pad_len)` fully determines the channel; it travels in
+/// the durable manifest of an `mode: ldp` dataset so clients and server agree on the
+/// flip probabilities without further coordination.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LdpChannel {
+    /// Total per-transaction privacy budget (may be `f64::INFINITY`: the identity channel).
+    epsilon_local: f64,
+    /// Item universe size `K`: real items are `0..K`; symbol `K` is the pad.
+    universe: u32,
+    /// Fixed report length `L`; ε_local is split as `ε_local / L` per slot.
+    pad_len: usize,
+}
+
+impl LdpChannel {
+    /// Builds a channel, validating `ε_local > 0` (`+∞` allowed — the identity channel),
+    /// `universe ≥ 1`, and `1 ≤ pad_len ≤ MAX_PAD_LEN`.
+    pub fn new(epsilon_local: f64, universe: u32, pad_len: usize) -> Result<Self, LdpError> {
+        if epsilon_local.is_nan() || epsilon_local <= 0.0 {
+            return Err(LdpError::InvalidParameter(format!(
+                "epsilon_local must be strictly positive, got {epsilon_local}"
+            )));
+        }
+        if universe == 0 {
+            return Err(LdpError::InvalidParameter(
+                "the item universe must contain at least one item".into(),
+            ));
+        }
+        if pad_len == 0 || pad_len > MAX_PAD_LEN {
+            return Err(LdpError::InvalidParameter(format!(
+                "pad_len must be between 1 and {MAX_PAD_LEN}, got {pad_len}"
+            )));
+        }
+        Ok(LdpChannel {
+            epsilon_local,
+            universe,
+            pad_len,
+        })
+    }
+
+    /// The total per-transaction ε (`f64::INFINITY` on the identity channel).
+    pub fn epsilon_local(&self) -> f64 {
+        self.epsilon_local
+    }
+
+    /// The item universe size `K` (real items are `0..K`).
+    pub fn universe(&self) -> u32 {
+        self.universe
+    }
+
+    /// The fixed report length `L`.
+    pub fn pad_len(&self) -> usize {
+        self.pad_len
+    }
+
+    /// The per-slot budget `ε_local / L`.
+    pub fn epsilon_per_slot(&self) -> f64 {
+        self.epsilon_local / self.pad_len as f64
+    }
+
+    /// The symbol domain size `D = K + 1` (universe plus the pad symbol).
+    pub fn domain_size(&self) -> u64 {
+        self.universe as u64 + 1
+    }
+
+    /// True when `ε_local = ∞`: every slot keeps its value and debias is the identity.
+    pub fn is_identity(&self) -> bool {
+        self.epsilon_local.is_infinite()
+    }
+
+    /// Per-slot randomized-response probabilities `(p, q)`: a slot keeps its symbol with
+    /// probability `p` and flips to each specific other symbol with probability `q`.
+    pub fn slot_probabilities(&self) -> (f64, f64) {
+        let others = (self.domain_size() - 1) as f64;
+        let e = self.epsilon_per_slot().exp();
+        if e.is_infinite() {
+            return (1.0, 0.0);
+        }
+        let p = e / (e + others);
+        (p, (1.0 - p) / others)
+    }
+
+    /// Singleton marginals `(p_true, p_false)`: the probability that an item present in
+    /// (resp. absent from) the true transaction appears in the perturbed report.
+    pub fn singleton_marginals(&self) -> (f64, f64) {
+        let (p, q) = self.slot_probabilities();
+        let survive = 1.0 - (1.0 - p) * (1.0 - q).powi(self.pad_len as i32 - 1);
+        let hallucinate = 1.0 - (1.0 - q).powi(self.pad_len as i32);
+        (survive, hallucinate)
+    }
+
+    /// Perturbs one transaction: canonicalize (sort, dedup, drop out-of-universe items),
+    /// truncate/pad to exactly `L` slots, apply k-ary randomized response to each slot in
+    /// order, and return the distinct real items of the report, ascending (pad symbols
+    /// are dropped — they exist only to fix the slot count).
+    ///
+    /// The draw order is fixed (slot 0 … slot L−1, one keep/flip decision then at most
+    /// one replacement draw each), so a seeded [`rand::rngs::StdRng`] reproduces the
+    /// report exactly.
+    pub fn perturb_transaction<R: Rng + ?Sized>(&self, rng: &mut R, row: &[u32]) -> Vec<u32> {
+        let pad = self.universe;
+        let mut items: Vec<u32> = row.iter().copied().filter(|&i| i < self.universe).collect();
+        items.sort_unstable();
+        items.dedup();
+        items.truncate(self.pad_len);
+        let (p, _) = self.slot_probabilities();
+        let others = self.domain_size() - 1;
+        let mut out: Vec<u32> = Vec::with_capacity(self.pad_len);
+        for slot in 0..self.pad_len {
+            let value = items.get(slot).copied().unwrap_or(pad);
+            // p = 1 keeps unconditionally (gen::<f64>() < 1.0 always holds), so the flip
+            // arm — and its division of the probability mass by q — is only reached when
+            // q > 0.
+            let reported = if rng.gen_bool(p) {
+                value
+            } else {
+                // Uniform over the D−1 other symbols: draw from 0..D−1 and skip `value`.
+                let r = rng.gen_range(0..others) as u32;
+                if r >= value {
+                    r + 1
+                } else {
+                    r
+                }
+            };
+            if reported < self.universe {
+                out.push(reported);
+            }
+        }
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    /// [`LdpChannel::perturb_transaction`] over a whole dataset, in row order.
+    pub fn perturb_rows<R: Rng + ?Sized>(&self, rng: &mut R, rows: &[Vec<u32>]) -> Vec<Vec<u32>> {
+        rows.iter()
+            .map(|row| self.perturb_transaction(rng, row))
+            .collect()
+    }
+
+    /// Inverts the channel: given the observed support `observed` of an `itemset_len`-ary
+    /// itemset over `n` perturbed reports, returns the debiased support estimate
+    /// `(observed − n·p_false^m) / (p_true^m − p_false^m)`.
+    ///
+    /// Exactly unbiased for singletons; the identity channel returns `observed`
+    /// bit-for-bit. Strictly monotone increasing in `observed` for a fixed `itemset_len`,
+    /// so ranking *within* a size class is unchanged by debiasing — only cross-size
+    /// comparisons need it.
+    pub fn debias(&self, observed: f64, n: u64, itemset_len: usize) -> f64 {
+        if itemset_len == 0 {
+            return observed;
+        }
+        if self.is_identity() {
+            return observed;
+        }
+        let (p_true, p_false) = self.singleton_marginals();
+        let m = itemset_len as i32;
+        let pt = p_true.powi(m);
+        let pf = p_false.powi(m);
+        (observed - n as f64 * pf) / (pt - pf)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    #[test]
+    fn rejects_bad_parameters() {
+        assert!(LdpChannel::new(0.0, 10, 4).is_err());
+        assert!(LdpChannel::new(-1.0, 10, 4).is_err());
+        assert!(LdpChannel::new(f64::NAN, 10, 4).is_err());
+        assert!(LdpChannel::new(1.0, 0, 4).is_err());
+        assert!(LdpChannel::new(1.0, 10, 0).is_err());
+        assert!(LdpChannel::new(1.0, 10, MAX_PAD_LEN + 1).is_err());
+        assert!(LdpChannel::new(f64::INFINITY, 10, 4).is_ok());
+    }
+
+    #[test]
+    fn probabilities_are_a_distribution() {
+        let ch = LdpChannel::new(2.0, 50, 6).unwrap();
+        let (p, q) = ch.slot_probabilities();
+        assert!(p > q && q > 0.0);
+        let total = p + q * (ch.domain_size() - 1) as f64;
+        assert!((total - 1.0).abs() < 1e-12);
+        let (pt, pf) = ch.singleton_marginals();
+        assert!(pt > pf && pf > 0.0 && pt < 1.0);
+    }
+
+    #[test]
+    fn identity_channel_is_lossless() {
+        let ch = LdpChannel::new(f64::INFINITY, 100, 8).unwrap();
+        assert!(ch.is_identity());
+        assert_eq!(ch.slot_probabilities(), (1.0, 0.0));
+        assert_eq!(ch.singleton_marginals(), (1.0, 0.0));
+        let mut rng = StdRng::seed_from_u64(7);
+        // Under the pad length the transaction round-trips exactly (canonicalized).
+        let out = ch.perturb_transaction(&mut rng, &[9, 3, 3, 7]);
+        assert_eq!(out, vec![3, 7, 9]);
+        // Debias of an identity observation is the observation, bit for bit.
+        assert_eq!(ch.debias(123.0, 1000, 1).to_bits(), 123.0f64.to_bits());
+        assert_eq!(ch.debias(41.5, 1000, 3).to_bits(), 41.5f64.to_bits());
+    }
+
+    #[test]
+    fn large_finite_epsilon_does_not_overflow_to_nan() {
+        // e^{ε_slot} overflows f64 around ε_slot ≈ 710; the channel must degrade to the
+        // identity probabilities, not NaN.
+        let ch = LdpChannel::new(10_000.0, 10, 2).unwrap();
+        let (p, q) = ch.slot_probabilities();
+        assert_eq!((p, q), (1.0, 0.0));
+    }
+
+    #[test]
+    fn reports_are_canonical_and_in_universe() {
+        let ch = LdpChannel::new(0.5, 20, 5).unwrap();
+        let mut rng = StdRng::seed_from_u64(3);
+        for _ in 0..200 {
+            let out = ch.perturb_transaction(&mut rng, &[1, 2, 3, 99, 4, 2]);
+            for w in out.windows(2) {
+                assert!(w[0] < w[1], "not strictly ascending: {out:?}");
+            }
+            assert!(out.iter().all(|&i| i < 20));
+            assert!(out.len() <= 5);
+        }
+    }
+
+    #[test]
+    fn perturbation_is_seed_deterministic() {
+        let ch = LdpChannel::new(1.0, 30, 6).unwrap();
+        let rows = vec![vec![0, 5, 9], vec![1], vec![], vec![2, 3, 4, 5, 6, 7, 8]];
+        let a = ch.perturb_rows(&mut StdRng::seed_from_u64(11), &rows);
+        let b = ch.perturb_rows(&mut StdRng::seed_from_u64(11), &rows);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn debias_is_monotone_within_a_size_class() {
+        let ch = LdpChannel::new(1.5, 40, 4).unwrap();
+        for m in 1..=3usize {
+            let lo = ch.debias(100.0, 10_000, m);
+            let hi = ch.debias(101.0, 10_000, m);
+            assert!(hi > lo, "debias not increasing at m = {m}");
+        }
+    }
+
+    #[test]
+    fn debiased_singleton_support_is_unbiased() {
+        // 2000 reports of a transaction that always contains item 0 and never item 1:
+        // the debiased estimates must center on 2000 and 0 respectively.
+        let ch = LdpChannel::new(3.0, 8, 3).unwrap();
+        let n = 2000u64;
+        let mut rng = StdRng::seed_from_u64(42);
+        let mut seen0 = 0u64;
+        let mut seen1 = 0u64;
+        for _ in 0..n {
+            let out = ch.perturb_transaction(&mut rng, &[0, 4]);
+            seen0 += u64::from(out.contains(&0));
+            seen1 += u64::from(out.contains(&1));
+        }
+        let est0 = ch.debias(seen0 as f64, n, 1);
+        let est1 = ch.debias(seen1 as f64, n, 1);
+        assert!((est0 - n as f64).abs() < 0.15 * n as f64, "est0 = {est0}");
+        assert!(est1.abs() < 0.15 * n as f64, "est1 = {est1}");
+    }
+}

@@ -1,0 +1,124 @@
+//! Property tests for the LDP channel: the debiased estimator is statistically
+//! unbiased (mean over 64 seeded perturbation runs lands within the analytic
+//! confidence band), and the identity channel (ε_local = ∞) is an exact
+//! canonicalizing round trip with a bit-for-bit debias.
+
+use pb_ldp::LdpChannel;
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+/// What `perturb_transaction` promises to do to the *true* items before any
+/// randomness: sort, dedup, drop out-of-universe symbols, truncate to the pad.
+fn canonicalize(row: &[u32], universe: u32, pad_len: usize) -> Vec<u32> {
+    let mut items: Vec<u32> = row.iter().copied().filter(|&i| i < universe).collect();
+    items.sort_unstable();
+    items.dedup();
+    items.truncate(pad_len);
+    items
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Unbiasedness, the acceptance form: fix a dataset where item 0 appears in
+    /// exactly `t` of `n` transactions, run 64 independently seeded perturbations,
+    /// and require the mean debiased singleton estimate to sit within six analytic
+    /// standard errors of `t`. The variance comes straight from the marginals:
+    /// each report contributes a Bernoulli(p_true) (item present) or
+    /// Bernoulli(p_false) (absent) indicator, scaled by 1/(p_true − p_false).
+    #[test]
+    fn debiased_singleton_estimate_is_unbiased(
+        epsilon in 2.0f64..8.0,
+        universe in 4u32..12,
+        present in 0usize..201,
+        base_seed in 0u64..1_000_000,
+    ) {
+        const RUNS: u64 = 64;
+        let n = 200usize;
+        let channel = LdpChannel::new(epsilon, universe, 3).unwrap();
+        // `present` rows carry item 0 (plus fillers), the rest only fillers.
+        let rows: Vec<Vec<u32>> = (0..n)
+            .map(|i| {
+                let filler = 1 + (i as u32 % (universe - 1));
+                if i < present { vec![0, filler] } else { vec![filler] }
+            })
+            .collect();
+
+        let mut total = 0.0f64;
+        for run in 0..RUNS {
+            let mut rng = StdRng::seed_from_u64(base_seed.wrapping_add(run));
+            let observed = channel
+                .perturb_rows(&mut rng, &rows)
+                .iter()
+                .filter(|report| report.contains(&0))
+                .count();
+            total += channel.debias(observed as f64, n as u64, 1);
+        }
+        let mean = total / RUNS as f64;
+
+        let (p_true, p_false) = channel.singleton_marginals();
+        let t = present as f64;
+        let var_observed =
+            t * p_true * (1.0 - p_true) + (n as f64 - t) * p_false * (1.0 - p_false);
+        let stderr = (var_observed / RUNS as f64).sqrt() / (p_true - p_false);
+        prop_assert!(
+            (mean - t).abs() <= 6.0 * stderr + 1e-9,
+            "mean {mean} vs truth {t} exceeds 6σ = {}", 6.0 * stderr
+        );
+    }
+
+    /// The identity channel is lossless: perturbation is exactly canonicalization
+    /// (whatever the rng state), and debias returns the observation bit-for-bit
+    /// for every itemset size.
+    #[test]
+    fn identity_channel_round_trips_exactly(
+        rows in proptest::collection::vec(
+            proptest::collection::vec(0u32..40, 0..10),
+            0..20,
+        ),
+        universe in 1u32..30,
+        pad_len in 1usize..8,
+        seed_and_observed in (0u64..1_000_000, 0.0f64..10_000.0),
+    ) {
+        let (seed, observed) = seed_and_observed;
+        let channel = LdpChannel::new(f64::INFINITY, universe, pad_len).unwrap();
+        prop_assert!(channel.is_identity());
+        let mut rng = StdRng::seed_from_u64(seed);
+        for row in &rows {
+            prop_assert_eq!(
+                channel.perturb_transaction(&mut rng, row),
+                canonicalize(row, universe, pad_len)
+            );
+        }
+        for m in 0..4usize {
+            prop_assert_eq!(
+                channel.debias(observed, rows.len() as u64, m).to_bits(),
+                observed.to_bits()
+            );
+        }
+    }
+
+    /// Debias inverts the expected observation: feeding the *expected* observed
+    /// count `t·p_true^m + (n−t)·p_false^m`-style back through `debias` recovers
+    /// the truth to floating-point accuracy (the algebraic inverse, no sampling).
+    #[test]
+    fn debias_inverts_the_expected_observation(
+        epsilon in 0.5f64..10.0,
+        universe in 2u32..50,
+        pad_len in 1usize..8,
+        truth_and_arity in (0.0f64..5_000.0, 1usize..4),
+    ) {
+        let (truth, m) = truth_and_arity;
+        let n = 5_000u64;
+        let channel = LdpChannel::new(epsilon, universe, pad_len).unwrap();
+        let (p_true, p_false) = channel.singleton_marginals();
+        let expected_observed =
+            truth * p_true.powi(m as i32) + (n as f64 - truth) * p_false.powi(m as i32);
+        let recovered = channel.debias(expected_observed, n, m);
+        prop_assert!(
+            (recovered - truth).abs() < 1e-6 * (1.0 + truth.abs()),
+            "recovered {recovered} vs truth {truth}"
+        );
+    }
+}

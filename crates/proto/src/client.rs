@@ -12,7 +12,8 @@
 
 use crate::error::{ErrorCode, WireError};
 use crate::message::{
-    AdminReply, Envelope, Op, QueryReply, QueryRequest, RegisterRequest, Response, StatusReply,
+    AdminReply, Envelope, Op, PerturbRequest, QueryReply, QueryRequest, RegisterLdpRequest,
+    RegisterRequest, Response, StatusReply,
 };
 use std::io::{self, BufRead, BufReader, Write};
 use std::net::{SocketAddr, TcpStream, ToSocketAddrs};
@@ -317,6 +318,63 @@ impl PbClient {
         request: RegisterRequest,
     ) -> Result<AdminReply, ClientError> {
         self.admin(token, Op::Register(request))
+    }
+
+    /// Hot-registers a **local-DP** dataset (admin): rows are expected to be already
+    /// perturbed reports, and the entry carries its channel parameters instead of a
+    /// budget ledger. Mining such a dataset never debits any ledger.
+    pub fn register_ldp(
+        &mut self,
+        token: &str,
+        request: RegisterLdpRequest,
+    ) -> Result<AdminReply, ClientError> {
+        self.admin(token, Op::RegisterLdp(request))
+    }
+
+    /// Asks the server to perturb raw transactions through an LDP dataset's registered
+    /// channel (`seed: None` lets the server draw one). This is a convenience for
+    /// trusted sidecars and tests; genuinely untrusted clients should perturb locally
+    /// with [`pb_ldp::LdpChannel`] so raw rows never leave the device.
+    pub fn perturb(
+        &mut self,
+        dataset: &str,
+        rows: Vec<Vec<u32>>,
+        seed: Option<u64>,
+    ) -> Result<(Vec<Vec<u32>>, u64), ClientError> {
+        let op = Op::Perturb(PerturbRequest {
+            dataset: dataset.to_string(),
+            rows,
+            seed,
+        });
+        match self.round_trip(None, op)? {
+            Response::Perturbed { rows, seed } => Ok((rows, seed)),
+            other => Err(ClientError::Protocol(format!(
+                "expected a perturb reply, got {other:?}"
+            ))),
+        }
+    }
+
+    /// Sets the server-wide snapshot cadence (admin): a full durable snapshot is taken
+    /// every `every` queries. Persists through the manifest, so it survives restarts.
+    pub fn snapshot_every(&mut self, token: &str, every: u64) -> Result<AdminReply, ClientError> {
+        self.admin(token, Op::SnapshotEvery { every })
+    }
+
+    /// Toggles the consistency-repair pass for one dataset (admin). Persists through
+    /// the manifest, so it survives restarts.
+    pub fn set_consistency(
+        &mut self,
+        token: &str,
+        name: &str,
+        enabled: bool,
+    ) -> Result<AdminReply, ClientError> {
+        self.admin(
+            token,
+            Op::Consistency {
+                name: name.to_string(),
+                enabled,
+            },
+        )
     }
 
     /// Removes a dataset from serving (admin). Its durable ledger stays on disk.

@@ -30,13 +30,17 @@ pub enum ErrorCode {
     Conflict,
     /// Durable state could not be read or written; the request was refused fail-closed.
     Unavailable,
+    /// The op and the dataset disagree about the privacy model: an LDP op (`perturb`,
+    /// `register_ldp` re-registration) aimed at a central-mode dataset, or a central op
+    /// (a `register` with a budget) aimed at an `mode: ldp` dataset.
+    ModeMismatch,
     /// The mechanism itself failed after admission — a server-side bug or resource
     /// problem, not a client error.
     Internal,
 }
 
 /// Every code, for exhaustive tables (README, tests, HTTP mapping).
-pub const ALL_ERROR_CODES: [ErrorCode; 8] = [
+pub const ALL_ERROR_CODES: [ErrorCode; 9] = [
     ErrorCode::Malformed,
     ErrorCode::UnknownOp,
     ErrorCode::UnknownDataset,
@@ -44,6 +48,7 @@ pub const ALL_ERROR_CODES: [ErrorCode; 8] = [
     ErrorCode::Unauthorized,
     ErrorCode::Conflict,
     ErrorCode::Unavailable,
+    ErrorCode::ModeMismatch,
     ErrorCode::Internal,
 ];
 
@@ -58,6 +63,7 @@ impl ErrorCode {
             ErrorCode::Unauthorized => "unauthorized",
             ErrorCode::Conflict => "conflict",
             ErrorCode::Unavailable => "unavailable",
+            ErrorCode::ModeMismatch => "mode_mismatch",
             ErrorCode::Internal => "internal",
         }
     }
@@ -78,6 +84,7 @@ impl ErrorCode {
             ErrorCode::Unauthorized => 401,
             ErrorCode::Conflict => 409,
             ErrorCode::Unavailable => 503,
+            ErrorCode::ModeMismatch => 409,
             ErrorCode::Internal => 500,
         }
     }

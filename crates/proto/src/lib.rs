@@ -33,7 +33,8 @@ pub use client::{ClientError, PbClient, RetryPolicy, DEFAULT_READ_TIMEOUT};
 pub use error::{ErrorCode, WireError, ALL_ERROR_CODES};
 pub use json::{Json, JsonError};
 pub use message::{
-    AdminReply, AuditSummary, DatasetStatus, Envelope, JournalMetrics, Op, ParseFailure,
-    ParsedResponse, QueryReply, QueryRequest, RegisterRequest, RegisterSource, ReleasedItemset,
-    Response, ServerInfo, StatusReply, MAX_BASIS_WIDTH, MAX_QUERY_K, MAX_SHARDS, PROTOCOL_VERSION,
+    AdminReply, AuditSummary, DatasetStatus, Envelope, JournalMetrics, LdpParams, Op, ParseFailure,
+    ParsedResponse, PerturbRequest, QueryReply, QueryRequest, RegisterLdpRequest, RegisterRequest,
+    RegisterSource, ReleasedItemset, Response, ServerInfo, StatusReply, MAX_BASIS_WIDTH,
+    MAX_QUERY_K, MAX_SHARDS, PROTOCOL_VERSION,
 };

@@ -72,6 +72,47 @@ pub struct RegisterRequest {
     pub shards: Option<usize>,
 }
 
+/// The LDP channel triple of a `mode: ldp` dataset — what clients need to perturb and
+/// the server needs to debias. `epsilon_local = f64::INFINITY` (wire `null`) is the
+/// identity channel used by round-trip tests.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LdpParams {
+    /// Total per-transaction local budget ε_local (`f64::INFINITY` travels as `null`).
+    pub epsilon_local: f64,
+    /// Item universe size `K` (real items are `0..K`).
+    pub universe: u32,
+    /// Fixed report length `L` (transactions are padded/truncated to `L` slots).
+    pub pad: u64,
+}
+
+/// The parameters of a `register_ldp` admin op: rows (or a server-side file) that are
+/// **already perturbed** client-side, plus the channel they were perturbed with.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RegisterLdpRequest {
+    /// Name to register the dataset under.
+    pub name: String,
+    /// The perturbed reports: a server-side file path or inline rows.
+    pub source: RegisterSource,
+    /// The channel the reports came through (recorded in the durable manifest).
+    pub params: LdpParams,
+    /// Row-shard layout; `None` keeps the manifest's recorded layout (or 1 for a new
+    /// name).
+    pub shards: Option<usize>,
+}
+
+/// The parameters of a `perturb` op: raw rows to push through the named LDP dataset's
+/// registered channel. A convenience endpoint for trusted sidecars — a true LDP client
+/// perturbs locally (`pb-ldp`) and never ships raw rows anywhere.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PerturbRequest {
+    /// The `mode: ldp` dataset whose channel parameters to use.
+    pub dataset: String,
+    /// The raw transactions.
+    pub rows: Vec<Vec<u32>>,
+    /// RNG seed; `None` lets the server pick one (echoed in the reply).
+    pub seed: Option<u64>,
+}
+
 /// One parsed operation.
 #[derive(Debug, Clone, PartialEq)]
 pub enum Op {
@@ -110,6 +151,27 @@ pub enum Op {
         /// The trace id — the request's envelope `id` (client-supplied or
         /// server-assigned; query replies echo server-assigned ids).
         id: String,
+    },
+    /// Register a dataset of client-perturbed reports with its LDP channel parameters
+    /// (admin; v2 only). Queries against it mine debiased supports and never touch a
+    /// budget ledger — the privacy was spent at the clients.
+    RegisterLdp(RegisterLdpRequest),
+    /// Push raw rows through a registered LDP dataset's channel (v2 only; refused with
+    /// `mode_mismatch` against central datasets).
+    Perturb(PerturbRequest),
+    /// Set the journal snapshot-compaction cadence for every durable dataset
+    /// (admin; v2 only). Crash-safe: the cadence is recorded in the manifest.
+    SnapshotEvery {
+        /// Compact after this many journal records (≥ 1).
+        every: u64,
+    },
+    /// Toggle the consistency post-processing pass for one dataset (admin; v2 only).
+    /// Crash-safe: the toggle is recorded in the manifest.
+    Consistency {
+        /// Dataset to toggle.
+        name: String,
+        /// Whether queries run the consistency repair.
+        enabled: bool,
     },
     /// Seed (or re-seed) a shard on a worker (v2 only; served only by `shard-worker`
     /// processes). Rows arrive in chunks bounded by the request-line cap; the final
@@ -163,6 +225,10 @@ impl Op {
             Op::Unregister { .. } => "unregister",
             Op::Reshard { .. } => "reshard",
             Op::Faults { .. } => "faults",
+            Op::RegisterLdp(_) => "register_ldp",
+            Op::Perturb(_) => "perturb",
+            Op::SnapshotEvery { .. } => "snapshot_every",
+            Op::Consistency { .. } => "consistency",
             Op::Trace { .. } => "trace",
             Op::ShardLoad { .. } => "shard_load",
             Op::ShardSupports { .. } => "shard_supports",
@@ -175,7 +241,13 @@ impl Op {
     pub fn is_admin(&self) -> bool {
         matches!(
             self,
-            Op::Register(_) | Op::Unregister { .. } | Op::Reshard { .. } | Op::Faults { .. }
+            Op::Register(_)
+                | Op::Unregister { .. }
+                | Op::Reshard { .. }
+                | Op::Faults { .. }
+                | Op::RegisterLdp(_)
+                | Op::SnapshotEvery { .. }
+                | Op::Consistency { .. }
         )
     }
 
@@ -342,6 +414,24 @@ impl Op {
                         .to_string(),
                 },
             }),
+            "register_ldp" if v >= 2 => Ok(Op::RegisterLdp(RegisterLdpRequest::from_json(value)?)),
+            "perturb" if v >= 2 => Ok(Op::Perturb(PerturbRequest::from_json(value)?)),
+            "snapshot_every" if v >= 2 => Ok(Op::SnapshotEvery {
+                every: value
+                    .get("every")
+                    .and_then(Json::as_u64)
+                    .filter(|&e| e >= 1)
+                    .ok_or_else(|| {
+                        WireError::malformed("snapshot_every needs a positive integer `every`")
+                    })?,
+            }),
+            "consistency" if v >= 2 => Ok(Op::Consistency {
+                name: required_str(value, "name", "consistency")?,
+                enabled: value
+                    .get("enabled")
+                    .and_then(Json::as_bool)
+                    .ok_or_else(|| WireError::malformed("consistency needs a boolean `enabled`"))?,
+            }),
             "trace" if v >= 2 => Ok(Op::Trace {
                 id: required_str(value, "trace_id", "trace")?,
             }),
@@ -396,7 +486,8 @@ impl Op {
                 if v >= 2 {
                     format!(
                         "unknown op `{other}` (expected query, status, shutdown, trace, \
-                         register, unregister, reshard, faults, or the shard_* worker ops)"
+                         perturb, register, register_ldp, unregister, reshard, faults, \
+                         snapshot_every, consistency, or the shard_* worker ops)"
                     )
                 } else {
                     // Exact v1 bytes, including for admin ops a legacy line cannot use.
@@ -454,6 +545,38 @@ impl Op {
             }
             Op::Faults { spec } => {
                 fields.push(("spec".into(), Json::String(spec.clone())));
+            }
+            Op::RegisterLdp(r) => {
+                fields.push(("name".into(), Json::String(r.name.clone())));
+                match &r.source {
+                    RegisterSource::Path(p) => {
+                        fields.push(("path".into(), Json::String(p.clone())));
+                    }
+                    RegisterSource::Rows(rows) => {
+                        fields.push(("rows".into(), u32_rows_json(rows)));
+                    }
+                }
+                // ε_local = ∞ (the identity channel) encodes as null, like budgets.
+                fields.push(("epsilon_local".into(), Json::Number(r.params.epsilon_local)));
+                fields.push(("universe".into(), Json::Number(r.params.universe as f64)));
+                fields.push(("pad".into(), Json::Number(r.params.pad as f64)));
+                if let Some(shards) = r.shards {
+                    fields.push(("shards".into(), Json::Number(shards as f64)));
+                }
+            }
+            Op::Perturb(p) => {
+                fields.push(("dataset".into(), Json::String(p.dataset.clone())));
+                fields.push(("rows".into(), u32_rows_json(&p.rows)));
+                if let Some(seed) = p.seed {
+                    fields.push(("seed".into(), Json::Number(seed as f64)));
+                }
+            }
+            Op::SnapshotEvery { every } => {
+                fields.push(("every".into(), Json::Number(*every as f64)));
+            }
+            Op::Consistency { name, enabled } => {
+                fields.push(("name".into(), Json::String(name.clone())));
+                fields.push(("enabled".into(), Json::Bool(*enabled)));
             }
             Op::Trace { id } => {
                 fields.push(("trace_id".into(), Json::String(id.clone())));
@@ -672,6 +795,111 @@ impl RegisterRequest {
     }
 }
 
+impl LdpParams {
+    /// Parses the channel triple out of a `register_ldp` request object. Validation
+    /// happens here, at the protocol boundary: ε_local positive (or null = identity),
+    /// `universe` a non-zero u32, `pad` in `1..=` [`pb_ldp::MAX_PAD_LEN`].
+    pub fn from_json(value: &Json) -> Result<LdpParams, WireError> {
+        let epsilon_local = match value.get("epsilon_local") {
+            None => return Err(WireError::malformed(
+                "register_ldp needs an `epsilon_local` number (or null for the identity channel)",
+            )),
+            Some(Json::Null) => f64::INFINITY,
+            Some(raw) => raw
+                .as_f64()
+                .filter(|e| e.is_finite() && *e > 0.0)
+                .ok_or_else(|| {
+                    WireError::malformed("`epsilon_local` must be a positive finite number or null")
+                })?,
+        };
+        let universe = value
+            .get("universe")
+            .and_then(Json::as_u64)
+            .filter(|&u| u >= 1 && u <= u32::MAX as u64)
+            .ok_or_else(|| {
+                WireError::malformed("register_ldp needs a positive integer `universe` (u32 range)")
+            })? as u32;
+        let pad = value
+            .get("pad")
+            .and_then(Json::as_u64)
+            .filter(|&p| p >= 1 && p <= pb_ldp::MAX_PAD_LEN as u64)
+            .ok_or_else(|| {
+                WireError::malformed(format!(
+                    "register_ldp needs a `pad` length between 1 and {}",
+                    pb_ldp::MAX_PAD_LEN
+                ))
+            })?;
+        Ok(LdpParams {
+            epsilon_local,
+            universe,
+            pad,
+        })
+    }
+}
+
+impl RegisterLdpRequest {
+    /// Parses the register_ldp fields out of a request object.
+    pub fn from_json(value: &Json) -> Result<RegisterLdpRequest, WireError> {
+        let name = required_str(value, "name", "register_ldp")?;
+        let source = match (value.get("path"), value.get("rows")) {
+            (Some(_), Some(_)) => {
+                return Err(WireError::malformed(
+                    "register_ldp takes `path` or `rows`, not both",
+                ))
+            }
+            (Some(raw), None) => RegisterSource::Path(
+                raw.as_str()
+                    .ok_or_else(|| WireError::malformed("`path` must be a string"))?
+                    .to_string(),
+            ),
+            (None, Some(raw)) => RegisterSource::Rows(parse_u32_rows(raw, "rows")?),
+            (None, None) => {
+                return Err(WireError::malformed(
+                    "register_ldp needs a `path` string or inline `rows`",
+                ))
+            }
+        };
+        Ok(RegisterLdpRequest {
+            name,
+            source,
+            params: LdpParams::from_json(value)?,
+            shards: parse_shards(value)?,
+        })
+    }
+}
+
+impl PerturbRequest {
+    /// Parses the perturb fields out of a request object.
+    pub fn from_json(value: &Json) -> Result<PerturbRequest, WireError> {
+        let dataset = required_str(value, "dataset", "perturb")?;
+        let rows = parse_u32_rows(
+            value
+                .get("rows")
+                .ok_or_else(|| WireError::malformed("perturb needs a `rows` array"))?,
+            "rows",
+        )?;
+        let seed = match value.get("seed") {
+            None | Some(Json::Null) => None,
+            Some(raw) => {
+                let seed = raw
+                    .as_u64()
+                    .ok_or_else(|| WireError::malformed("`seed` must be a non-negative integer"))?;
+                if seed > (1u64 << 53) {
+                    return Err(WireError::malformed(
+                        "`seed` must be at most 2^53 (JSON numbers are doubles; larger seeds would be silently rounded)",
+                    ));
+                }
+                Some(seed)
+            }
+        };
+        Ok(PerturbRequest {
+            dataset,
+            rows,
+            seed,
+        })
+    }
+}
+
 // ---------------------------------------------------------------------------
 // Responses
 // ---------------------------------------------------------------------------
@@ -737,6 +965,10 @@ pub struct DatasetStatus {
     pub queries: u64,
     /// Row shards the dataset is counted over (1 = single index).
     pub shards: u64,
+    /// The LDP channel of a `mode: ldp` dataset; `None` for central-mode datasets.
+    /// Encoded on the wire (as `mode`/`epsilon_local`/`universe`/`pad`) only when
+    /// present, so central rows keep their frozen bytes.
+    pub ldp: Option<LdpParams>,
     /// Journal metrics (durable datasets only).
     pub journal: Option<JournalMetrics>,
     /// True when the dataset's journal has wedged and it serves in degraded
@@ -823,6 +1055,29 @@ pub enum AdminReply {
         /// Number of plans the spec added (0 for a clear).
         armed: u64,
     },
+    /// `register_ldp` succeeded.
+    RegisteredLdp {
+        /// Registered name.
+        name: String,
+        /// Number of perturbed reports registered.
+        transactions: u64,
+        /// Shard layout it is served with.
+        shards: u64,
+        /// The channel the reports came through (echoed from the manifest).
+        params: LdpParams,
+    },
+    /// `snapshot_every` succeeded.
+    SnapshotEvery {
+        /// The new snapshot-compaction cadence.
+        every: u64,
+    },
+    /// `consistency` succeeded.
+    Consistency {
+        /// The toggled dataset.
+        name: String,
+        /// The new setting.
+        enabled: bool,
+    },
 }
 
 /// Any response the server can send.
@@ -853,6 +1108,13 @@ pub enum Response {
     ShardHistograms(Vec<Vec<u64>>),
     /// A recorded request trace (the `trace` op payload).
     Trace(pb_trace::Trace),
+    /// Perturbed rows from a `perturb` op, with the seed that drew them.
+    Perturbed {
+        /// The perturbed reports, in request order.
+        rows: Vec<Vec<u32>>,
+        /// The seed the perturbation was drawn with (echoed or server-chosen).
+        seed: u64,
+    },
     /// A structured failure.
     Error(WireError),
 }
@@ -1000,6 +1262,26 @@ impl Response {
                         fields.push(("faults_armed".into(), Json::String(spec.clone())));
                         fields.push(("armed".into(), Json::Number(*armed as f64)));
                     }
+                    AdminReply::RegisteredLdp {
+                        name,
+                        transactions,
+                        shards,
+                        params,
+                    } => {
+                        fields.push(("registered_ldp".into(), Json::String(name.clone())));
+                        fields.push(("transactions".into(), Json::Number(*transactions as f64)));
+                        fields.push(("shards".into(), Json::Number(*shards as f64)));
+                        fields.push(("epsilon_local".into(), Json::Number(params.epsilon_local)));
+                        fields.push(("universe".into(), Json::Number(params.universe as f64)));
+                        fields.push(("pad".into(), Json::Number(params.pad as f64)));
+                    }
+                    AdminReply::SnapshotEvery { every } => {
+                        fields.push(("snapshot_every".into(), Json::Number(*every as f64)));
+                    }
+                    AdminReply::Consistency { name, enabled } => {
+                        fields.push(("consistency".into(), Json::String(name.clone())));
+                        fields.push(("enabled".into(), Json::Bool(*enabled)));
+                    }
                 }
             }
             Response::ShardLoaded { key, rows } => {
@@ -1059,6 +1341,11 @@ impl Response {
                     })
                     .collect();
                 fields.push(("spans".into(), Json::Array(spans)));
+            }
+            Response::Perturbed { rows, seed } => {
+                fields.push(("status".into(), Json::String("ok".into())));
+                fields.push(("perturbed".into(), u32_rows_json(rows)));
+                fields.push(("seed".into(), Json::Number(*seed as f64)));
             }
         }
         Json::Object(fields).to_string()
@@ -1178,6 +1465,56 @@ impl Response {
                 armed: require_u64(value, "armed")?,
             }));
         }
+        if value.get("registered_ldp").is_some() {
+            return Ok(Response::Admin(AdminReply::RegisteredLdp {
+                name: require_str(value, "registered_ldp")?,
+                transactions: require_u64(value, "transactions")?,
+                shards: require_u64(value, "shards")?,
+                params: LdpParams {
+                    epsilon_local: optional_budget(value, "epsilon_local")?,
+                    universe: require_u64(value, "universe")? as u32,
+                    pad: require_u64(value, "pad")?,
+                },
+            }));
+        }
+        if value.get("snapshot_every").is_some() {
+            return Ok(Response::Admin(AdminReply::SnapshotEvery {
+                every: require_u64(value, "snapshot_every")?,
+            }));
+        }
+        if value.get("consistency").is_some() {
+            return Ok(Response::Admin(AdminReply::Consistency {
+                name: require_str(value, "consistency")?,
+                enabled: value
+                    .get("enabled")
+                    .and_then(Json::as_bool)
+                    .ok_or("`enabled` must be a bool")?,
+            }));
+        }
+        if value.get("perturbed").is_some() {
+            let rows = value
+                .get("perturbed")
+                .and_then(Json::as_array)
+                .ok_or("`perturbed` must be an array of arrays")?
+                .iter()
+                .map(|row| {
+                    row.as_array()
+                        .ok_or("`perturbed` must be an array of arrays")?
+                        .iter()
+                        .map(|i| {
+                            i.as_u64()
+                                .filter(|&i| i <= u32::MAX as u64)
+                                .map(|i| i as u32)
+                                .ok_or("`perturbed` items must be u32 integers")
+                        })
+                        .collect::<Result<Vec<_>, _>>()
+                })
+                .collect::<Result<Vec<_>, _>>()?;
+            return Ok(Response::Perturbed {
+                rows,
+                seed: require_u64(value, "seed")?,
+            });
+        }
         if value.get("loaded").is_some() {
             return Ok(Response::ShardLoaded {
                 key: require_str(value, "loaded")?,
@@ -1234,6 +1571,13 @@ fn dataset_status_json(d: &DatasetStatus) -> Json {
         ("queries".into(), Json::Number(d.queries as f64)),
         ("shards".into(), Json::Number(d.shards as f64)),
     ];
+    // Only on LDP rows: central rows keep their frozen v1 bytes.
+    if let Some(ldp) = d.ldp {
+        fields.push(("mode".into(), Json::String("ldp".into())));
+        fields.push(("epsilon_local".into(), Json::Number(ldp.epsilon_local)));
+        fields.push(("universe".into(), Json::Number(ldp.universe as f64)));
+        fields.push(("pad".into(), Json::Number(ldp.pad as f64)));
+    }
     if let Some(journal) = d.journal {
         fields.push((
             "journal_bytes".into(),
@@ -1306,6 +1650,15 @@ fn parse_dataset_status(row: &Json) -> Result<DatasetStatus, String> {
         remaining: optional_budget(row, "remaining_budget")?,
         queries: require_u64(row, "queries")?,
         shards: require_u64(row, "shards")?,
+        ldp: match row.get("mode").and_then(Json::as_str) {
+            Some("ldp") => Some(LdpParams {
+                epsilon_local: optional_budget(row, "epsilon_local")?,
+                universe: require_u64(row, "universe")? as u32,
+                pad: require_u64(row, "pad")?,
+            }),
+            Some(other) => return Err(format!("unknown dataset mode `{other}`")),
+            None => None,
+        },
         journal,
         degraded: row.get("degraded").and_then(Json::as_bool).unwrap_or(false),
     })
@@ -1467,6 +1820,22 @@ mod tests {
             r#"{"v":2,"op":"reshard","name":"d"}"#,                 // missing shards
             r#"{"v":2,"op":"reshard","name":"d","shards":0}"#,      // zero shards
             r#"{"v":2,"op":"unregister"}"#,                         // missing name
+            r#"{"v":2,"op":"register_ldp","name":"d","path":"x","universe":5,"pad":2}"#, // missing epsilon_local
+            r#"{"v":2,"op":"register_ldp","name":"d","path":"x","epsilon_local":0,"universe":5,"pad":2}"#, // zero epsilon_local
+            r#"{"v":2,"op":"register_ldp","name":"d","path":"x","epsilon_local":1,"pad":2}"#, // missing universe
+            r#"{"v":2,"op":"register_ldp","name":"d","path":"x","epsilon_local":1,"universe":0,"pad":2}"#, // zero universe
+            r#"{"v":2,"op":"register_ldp","name":"d","path":"x","epsilon_local":1,"universe":5}"#, // missing pad
+            r#"{"v":2,"op":"register_ldp","name":"d","path":"x","epsilon_local":1,"universe":5,"pad":0}"#, // zero pad
+            r#"{"v":2,"op":"register_ldp","name":"d","path":"x","epsilon_local":1,"universe":5,"pad":5000}"#, // pad above MAX_PAD_LEN
+            r#"{"v":2,"op":"register_ldp","name":"d","epsilon_local":1,"universe":5,"pad":2}"#, // no source
+            r#"{"v":2,"op":"perturb","rows":[[1]]}"#, // missing dataset
+            r#"{"v":2,"op":"perturb","dataset":"d"}"#, // missing rows
+            r#"{"v":2,"op":"perturb","dataset":"d","rows":[[1]],"seed":-1}"#, // negative seed
+            r#"{"v":2,"op":"snapshot_every"}"#,       // missing every
+            r#"{"v":2,"op":"snapshot_every","every":0}"#, // zero every
+            r#"{"v":2,"op":"consistency","name":"d"}"#, // missing enabled
+            r#"{"v":2,"op":"consistency","name":"d","enabled":1}"#, // non-bool enabled
+            r#"{"v":2,"op":"consistency","enabled":true}"#, // missing name
         ] {
             assert!(Envelope::parse(bad).is_err(), "should reject {bad}");
         }
@@ -1526,6 +1895,7 @@ mod tests {
                     snapshot_generation: 1,
                 }),
                 degraded: false,
+                ldp: None,
             }],
         });
         let v1 = s.encode(1, None);
@@ -1552,6 +1922,7 @@ mod tests {
                 shards: 1,
                 journal: None,
                 degraded: false,
+                ldp: None,
             }],
         })
         .encode(1, None);
@@ -1580,6 +1951,36 @@ mod tests {
                 spec: "journal.fsync=fail-once".into(),
                 armed: 1,
             }),
+            Response::Admin(AdminReply::RegisteredLdp {
+                name: "reports".into(),
+                transactions: 1000,
+                shards: 4,
+                params: LdpParams {
+                    epsilon_local: 2.0,
+                    universe: 100,
+                    pad: 8,
+                },
+            }),
+            // ε_local = ∞ (the identity channel) travels as null and parses back.
+            Response::Admin(AdminReply::RegisteredLdp {
+                name: "clear".into(),
+                transactions: 3,
+                shards: 1,
+                params: LdpParams {
+                    epsilon_local: f64::INFINITY,
+                    universe: 10,
+                    pad: 2,
+                },
+            }),
+            Response::Admin(AdminReply::SnapshotEvery { every: 64 }),
+            Response::Admin(AdminReply::Consistency {
+                name: "d".into(),
+                enabled: false,
+            }),
+            Response::Perturbed {
+                rows: vec![vec![1, 2], vec![], vec![7]],
+                seed: 9,
+            },
             Response::ShardLoaded {
                 key: "d/3".into(),
                 rows: 120,
@@ -1748,6 +2149,7 @@ mod tests {
                 shards: 1,
                 journal: None,
                 degraded: true,
+                ldp: None,
             }],
         });
         let line = s.encode(2, Some("x"));
@@ -1786,5 +2188,172 @@ mod tests {
         let parsed = Response::parse(&line).unwrap();
         assert_eq!(parsed.response, q);
         assert_eq!(parsed.id, None);
+    }
+
+    #[test]
+    fn ldp_envelopes_have_frozen_bytes() {
+        // These exact strings are the v2 LDP wire format; clients and servers both
+        // round-trip through them, so changing any of them is a protocol break.
+        let register = Envelope::v2(
+            "r1",
+            Some("tok".into()),
+            Op::RegisterLdp(RegisterLdpRequest {
+                name: "reports".into(),
+                source: RegisterSource::Rows(vec![vec![1, 2], vec![3]]),
+                params: LdpParams {
+                    epsilon_local: 1.5,
+                    universe: 100,
+                    pad: 8,
+                },
+                shards: Some(2),
+            }),
+        );
+        assert!(register.op.is_admin());
+        assert_eq!(
+            register.encode(),
+            r#"{"v":2,"id":"r1","auth":"tok","op":"register_ldp","name":"reports","rows":[[1,2],[3]],"epsilon_local":1.5,"universe":100,"pad":8,"shards":2}"#
+        );
+        assert_eq!(Envelope::parse(&register.encode()).unwrap(), register);
+
+        let perturb = Envelope::v2(
+            "p1",
+            None,
+            Op::Perturb(PerturbRequest {
+                dataset: "reports".into(),
+                rows: vec![vec![4, 5]],
+                seed: Some(7),
+            }),
+        );
+        // Perturbation spends no budget and reveals no raw data, so it is not
+        // admin-gated — any tenant connection can use it.
+        assert!(!perturb.op.is_admin());
+        assert_eq!(
+            perturb.encode(),
+            r#"{"v":2,"id":"p1","op":"perturb","dataset":"reports","rows":[[4,5]],"seed":7}"#
+        );
+        assert_eq!(Envelope::parse(&perturb.encode()).unwrap(), perturb);
+
+        // The replies are frozen too.
+        let registered = Response::Admin(AdminReply::RegisteredLdp {
+            name: "reports".into(),
+            transactions: 1000,
+            shards: 2,
+            params: LdpParams {
+                epsilon_local: 1.5,
+                universe: 100,
+                pad: 8,
+            },
+        });
+        assert_eq!(
+            registered.encode(2, Some("r1")),
+            r#"{"v":2,"id":"r1","status":"ok","registered_ldp":"reports","transactions":1000,"shards":2,"epsilon_local":1.5,"universe":100,"pad":8}"#
+        );
+        let perturbed = Response::Perturbed {
+            rows: vec![vec![1, 2], vec![]],
+            seed: 7,
+        };
+        assert_eq!(
+            perturbed.encode(2, Some("p1")),
+            r#"{"v":2,"id":"p1","status":"ok","perturbed":[[1,2],[]],"seed":7}"#
+        );
+
+        // Legacy lines cannot reach the LDP surface, and the v1 unknown-op message
+        // keeps its frozen spelling.
+        for op in ["register_ldp", "perturb", "snapshot_every", "consistency"] {
+            let err = Envelope::parse(&format!(r#"{{"op":"{op}"}}"#)).unwrap_err();
+            assert_eq!(err.error.code, ErrorCode::UnknownOp);
+            assert_eq!(
+                err.error.message,
+                format!("unknown op `{op}` (expected query, status, or shutdown)")
+            );
+        }
+    }
+
+    #[test]
+    fn ldp_dataset_status_carries_its_mode() {
+        // v2 encoding always carries a server block, so round-tripping needs Some.
+        let server = Some(ServerInfo {
+            protocol_version: PROTOCOL_VERSION,
+            uptime_secs: 0,
+            requests_total: 0,
+            rejected_total: 0,
+            shed_total: 0,
+            deadline_closed_total: 0,
+            audit: None,
+        });
+        let s = Response::Status(StatusReply {
+            server,
+            datasets: vec![DatasetStatus {
+                name: "reports".into(),
+                transactions: 1000,
+                items: 100,
+                index_cached: false,
+                durable: true,
+                spent: 0.0,
+                remaining: f64::INFINITY,
+                queries: 3,
+                shards: 2,
+                journal: None,
+                degraded: false,
+                ldp: Some(LdpParams {
+                    epsilon_local: 1.5,
+                    universe: 100,
+                    pad: 8,
+                }),
+            }],
+        });
+        let line = s.encode(2, Some("s1"));
+        assert!(line.contains(r#""mode":"ldp""#), "{line}");
+        assert!(line.contains(r#""epsilon_local":1.5"#), "{line}");
+        assert!(line.contains(r#""universe":100"#), "{line}");
+        assert!(line.contains(r#""pad":8"#), "{line}");
+        assert_eq!(Response::parse(&line).unwrap().response, s);
+        // The identity channel (ε_local = ∞, wire null) round-trips too.
+        let identity = Response::Status(StatusReply {
+            server,
+            datasets: vec![DatasetStatus {
+                ldp: Some(LdpParams {
+                    epsilon_local: f64::INFINITY,
+                    universe: 10,
+                    pad: 2,
+                }),
+                ..match &s {
+                    Response::Status(s) => s.datasets[0].clone(),
+                    _ => unreachable!(),
+                }
+            }],
+        });
+        let line = identity.encode(2, None);
+        assert!(line.contains(r#""epsilon_local":null"#), "{line}");
+        assert_eq!(Response::parse(&line).unwrap().response, identity);
+        // An unknown mode string is a parse error, not a silent central fallback.
+        let weird = line.replace(r#""mode":"ldp""#, r#""mode":"weird""#);
+        assert!(Response::parse(&weird).is_err());
+    }
+
+    #[test]
+    fn offline_knob_ops_are_admin_gated_and_round_trip() {
+        let e =
+            Envelope::parse(r#"{"v":2,"id":"k1","auth":"tok","op":"snapshot_every","every":32}"#)
+                .unwrap();
+        assert_eq!(e.op, Op::SnapshotEvery { every: 32 });
+        assert!(e.op.is_admin());
+        let envelope = Envelope::v2("k2", Some("tok".into()), e.op);
+        assert_eq!(Envelope::parse(&envelope.encode()).unwrap(), envelope);
+
+        let e = Envelope::parse(
+            r#"{"v":2,"id":"k3","auth":"tok","op":"consistency","name":"d","enabled":false}"#,
+        )
+        .unwrap();
+        assert_eq!(
+            e.op,
+            Op::Consistency {
+                name: "d".into(),
+                enabled: false,
+            }
+        );
+        assert!(e.op.is_admin());
+        let envelope = Envelope::v2("k4", Some("tok".into()), e.op);
+        assert_eq!(Envelope::parse(&envelope.encode()).unwrap(), envelope);
     }
 }

@@ -3,9 +3,9 @@
 //! parsers — they return errors.
 
 use pb_proto::{
-    AdminReply, DatasetStatus, Envelope, JournalMetrics, Json, Op, QueryReply, QueryRequest,
-    RegisterRequest, RegisterSource, ReleasedItemset, Response, ServerInfo, StatusReply, WireError,
-    ALL_ERROR_CODES,
+    AdminReply, DatasetStatus, Envelope, JournalMetrics, Json, LdpParams, Op, PerturbRequest,
+    QueryReply, QueryRequest, RegisterLdpRequest, RegisterRequest, RegisterSource, ReleasedItemset,
+    Response, ServerInfo, StatusReply, WireError, ALL_ERROR_CODES,
 };
 use proptest::prelude::*;
 
@@ -65,22 +65,62 @@ fn arb_register() -> impl Strategy<Value = RegisterRequest> {
         )
 }
 
+/// Channel parameters: ε_local is either finite positive or ∞ (the identity channel,
+/// which travels as `null`).
+fn arb_ldp_params() -> impl Strategy<Value = LdpParams> {
+    ((any::<bool>(), 0.001f64..20.0), 1u32..10_000, 1u64..64).prop_map(
+        |((identity, epsilon), universe, pad)| LdpParams {
+            epsilon_local: if identity { f64::INFINITY } else { epsilon },
+            universe,
+            pad,
+        },
+    )
+}
+
+fn arb_register_ldp() -> impl Strategy<Value = RegisterLdpRequest> {
+    (arb_register(), arb_ldp_params()).prop_map(|(register, params)| RegisterLdpRequest {
+        name: register.name,
+        source: register.source,
+        params,
+        shards: register.shards,
+    })
+}
+
+fn arb_perturb() -> impl Strategy<Value = PerturbRequest> {
+    (
+        arb_name(),
+        prop::collection::vec(prop::collection::vec(0u32..10_000, 0..6), 0..6),
+        arb_seed(),
+    )
+        .prop_map(|(dataset, rows, seed)| PerturbRequest {
+            dataset,
+            rows,
+            seed,
+        })
+}
+
 fn arb_op() -> impl Strategy<Value = Op> {
     (
-        0usize..7,
-        arb_query(),
-        arb_register(),
+        (0usize..11, arb_query(), arb_register()),
         (arb_name(), 1usize..64, arb_text()),
+        (arb_register_ldp(), arb_perturb()),
+        (1u64..10_000, any::<bool>()),
     )
         .prop_map(
-            |(which, query, register, (name, shards, spec))| match which {
-                0 => Op::Query(query),
-                1 => Op::Status,
-                2 => Op::Shutdown,
-                3 => Op::Register(register),
-                4 => Op::Unregister { name },
-                5 => Op::Reshard { name, shards },
-                _ => Op::Faults { spec },
+            |((which, query, register), (name, shards, spec), (ldp, perturb), (every, enabled))| {
+                match which {
+                    0 => Op::Query(query),
+                    1 => Op::Status,
+                    2 => Op::Shutdown,
+                    3 => Op::Register(register),
+                    4 => Op::Unregister { name },
+                    5 => Op::Reshard { name, shards },
+                    6 => Op::Faults { spec },
+                    7 => Op::RegisterLdp(ldp),
+                    8 => Op::Perturb(perturb),
+                    9 => Op::SnapshotEvery { every },
+                    _ => Op::Consistency { name, enabled },
+                }
             },
         )
 }
@@ -103,8 +143,13 @@ proptest! {
                 op,
             }
         } else {
-            // v1 knows only the three legacy ops; admin ops degrade to status here.
-            let op = if op.is_admin() { Op::Status } else { op };
+            // v1 knows only the three legacy ops; everything newer degrades to status
+            // here (perturb is v2-only but not admin-gated).
+            let op = if op.is_admin() || matches!(op, Op::Perturb(_)) {
+                Op::Status
+            } else {
+                op
+            };
             Envelope::legacy(op)
         };
         let line = envelope.encode();
@@ -159,19 +204,37 @@ fn arb_dataset_status() -> impl Strategy<Value = DatasetStatus> {
                     snapshot_generation: generation,
                 }),
                 degraded,
+                ldp: None,
             },
         )
 }
 
+/// Status rows for `mode: ldp` datasets (no ledger — `remaining` is ∞, `spent` 0).
+fn arb_ldp_dataset_status() -> impl Strategy<Value = DatasetStatus> {
+    (arb_dataset_status(), arb_ldp_params()).prop_map(|(mut status, params)| {
+        status.spent = 0.0;
+        status.remaining = f64::INFINITY;
+        status.ldp = Some(params);
+        status
+    })
+}
+
 fn arb_response() -> impl Strategy<Value = Response> {
     (
-        0usize..8,
+        0usize..12,
         (arb_name(), arb_itemsets(), 0.001f64..10.0, arb_budget()),
         (0u64..(1 << 53), 0u64..64, 0u64..100_000),
         (
-            prop::collection::vec(arb_dataset_status(), 0..4),
-            (0u64..100_000, 0u64..100_000, 0u64..1_000_000),
-            (0usize..ALL_ERROR_CODES.len(), arb_text()),
+            (
+                prop::collection::vec(arb_dataset_status(), 0..4),
+                (0u64..100_000, 0u64..100_000, 0u64..1_000_000),
+                (0usize..ALL_ERROR_CODES.len(), arb_text()),
+            ),
+            (
+                arb_ldp_params(),
+                prop::collection::vec(arb_ldp_dataset_status(), 0..3),
+                prop::collection::vec(prop::collection::vec(0u32..10_000, 0..5), 0..5),
+            ),
         ),
     )
         .prop_map(
@@ -179,7 +242,10 @@ fn arb_response() -> impl Strategy<Value = Response> {
                 which,
                 (name, itemsets, epsilon_spent, remaining),
                 (seed, lambda, count),
-                (datasets, (uptime, requests, rejected), (code, message)),
+                (
+                    (datasets, (uptime, requests, rejected), (code, message)),
+                    (ldp_params, ldp_datasets, perturbed_rows),
+                ),
             )| {
                 match which {
                     0 => Response::Shutdown,
@@ -217,10 +283,46 @@ fn arb_response() -> impl Strategy<Value = Response> {
                         name,
                         shards: lambda.max(1),
                     }),
-                    _ => Response::Admin(AdminReply::FaultsArmed {
+                    7 => Response::Admin(AdminReply::FaultsArmed {
                         spec: message,
                         armed: lambda,
                     }),
+                    8 => Response::Admin(AdminReply::RegisteredLdp {
+                        name,
+                        transactions: count,
+                        shards: lambda.max(1),
+                        params: ldp_params,
+                    }),
+                    9 => Response::Status(StatusReply {
+                        // v2 encoding always carries a server block, so a None here
+                        // would not round-trip.
+                        server: Some(ServerInfo {
+                            protocol_version: 2,
+                            uptime_secs: uptime,
+                            requests_total: requests,
+                            rejected_total: rejected,
+                            shed_total: 0,
+                            deadline_closed_total: 0,
+                            audit: None,
+                        }),
+                        datasets: ldp_datasets,
+                    }),
+                    10 => Response::Perturbed {
+                        rows: perturbed_rows,
+                        seed,
+                    },
+                    _ => {
+                        if seed % 2 == 0 {
+                            Response::Admin(AdminReply::SnapshotEvery {
+                                every: lambda.max(1),
+                            })
+                        } else {
+                            Response::Admin(AdminReply::Consistency {
+                                name,
+                                enabled: count % 2 == 0,
+                            })
+                        }
+                    }
                 }
             },
         )

@@ -4,9 +4,13 @@
 //! fuzz-hardened request parser ([`parse_request`]) and a router mapping
 //!
 //! * `POST /v1/query`         → the `query` op (body: the op's JSON fields),
+//! * `POST /v1/perturb`       → server-side LDP perturbation against a `mode: ldp` dataset,
 //! * `GET  /v1/status`        → the `status` op,
-//! * `POST /v1/admin/register`, `POST /v1/admin/unregister`, `POST /v1/admin/reshard`
-//!   → the admin ops, authorized by an `Authorization: Bearer <token>` header,
+//! * `POST /v1/admin/register`, `POST /v1/admin/register_ldp`, `POST /v1/admin/unregister`,
+//!   `POST /v1/admin/reshard`, `POST /v1/admin/snapshot_every`, `POST /v1/admin/consistency`
+//!   → the admin ops, authorized by an `Authorization: Bearer <token>` header
+//!   (`perturb` is deliberately *not* admin-gated: it holds no secrets — it is the
+//!   same client-side randomizer `privbasis-cli perturb` runs locally),
 //! * `GET  /metrics`          → Prometheus text format fed from the same counters the
 //!   `status` op reports (ledgers, journals, query/request counters, uptime)
 //!
@@ -277,9 +281,13 @@ fn route(request: &HttpRequest, ctx: &ServerCtx) -> (u16, &'static str, String) 
                 response.encode(PROTOCOL_VERSION, None),
             )
         }
+        ("POST", "/v1/perturb") => run_op(request, "perturb", ctx),
         ("POST", "/v1/admin/register") => run_op(request, "register", ctx),
+        ("POST", "/v1/admin/register_ldp") => run_op(request, "register_ldp", ctx),
         ("POST", "/v1/admin/unregister") => run_op(request, "unregister", ctx),
         ("POST", "/v1/admin/reshard") => run_op(request, "reshard", ctx),
+        ("POST", "/v1/admin/snapshot_every") => run_op(request, "snapshot_every", ctx),
+        ("POST", "/v1/admin/consistency") => run_op(request, "consistency", ctx),
         ("POST", "/v1/admin/faults") => run_op(request, "faults", ctx),
         (method, path) => {
             // Unknown routes are rejections too — only /metrics scrapes stay
@@ -290,8 +298,9 @@ fn route(request: &HttpRequest, ctx: &ServerCtx) -> (u16, &'static str, String) 
             let error = WireError::new(
                 ErrorCode::UnknownOp,
                 format!(
-                    "no route for {method} {path} (try POST /v1/query, GET /v1/status, \
-                     POST /v1/admin/{{register,unregister,reshard}}, or GET /metrics)"
+                    "no route for {method} {path} (try POST /v1/query, POST /v1/perturb, \
+                     GET /v1/status, POST /v1/admin/{{register,register_ldp,unregister,\
+                     reshard,snapshot_every,consistency}}, or GET /metrics)"
                 ),
             );
             (
@@ -516,8 +525,12 @@ fn render_metrics(ctx: &ServerCtx) -> String {
         let mut push = |idx: usize, value: String| series[idx].3.push((label.clone(), value));
         push(0, entry.transactions().to_string());
         push(1, entry.shards().to_string());
-        push(2, format_value(entry.ledger().spent()));
-        push(3, format_value(entry.ledger().remaining()));
+        // An LDP dataset has no ledger: spent 0, remaining ∞, same as its status row.
+        push(2, format_value(entry.ledger().map_or(0.0, |l| l.spent())));
+        push(
+            3,
+            format_value(entry.ledger().map_or(f64::INFINITY, |l| l.remaining())),
+        );
         push(4, entry.queries_served().to_string());
         if let Some(stats) = entry.journal_stats() {
             push(5, stats.wal_bytes.to_string());

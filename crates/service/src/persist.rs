@@ -47,6 +47,7 @@ use pb_dp::{DebitSink, Epsilon};
 use std::fs::{File, OpenOptions};
 use std::io::{self, ErrorKind, Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU32, Ordering};
 use std::sync::{Arc, Condvar, Mutex, PoisonError};
 
 /// First bytes of a journal file; a version bump changes the magic.
@@ -666,6 +667,13 @@ impl DebitJournal {
         Ok(seq)
     }
 
+    /// Overrides the snapshot cadence for this open journal (the `snapshot_every`
+    /// admin op). Takes effect from the next [`DebitJournal::maybe_compact`] check;
+    /// cadence is purely operational, so no snapshot is forced here.
+    pub fn set_snapshot_every(&mut self, every: u32) {
+        self.snapshot_every = every.max(1);
+    }
+
     /// Compacts the journal if the snapshot cadence has been reached (best-effort — a
     /// failed compaction just leaves the journal longer until the next attempt).
     ///
@@ -851,6 +859,15 @@ pub struct ManifestEntry {
     /// like the shard count, placement is a free knob — releases are byte-identical
     /// across local, remote, and mixed placement.
     pub workers: Vec<String>,
+    /// Local-DP channel parameters for a `mode: ldp` dataset (`None` for central-mode
+    /// datasets). An LDP dataset's privacy was spent client-side at perturbation time,
+    /// so these rows carry no ledger — the parameters are recorded so recovery rebuilds
+    /// the same debiasing channel, and so a cross-mode re-registration can be refused.
+    pub ldp: Option<pb_proto::LdpParams>,
+    /// Whether the server-side consistency post-processing step runs for this dataset
+    /// (default `true`; an offline knob flipped by the `consistency` admin op).
+    /// Post-processing never touches the budget, so the toggle is a free knob.
+    pub consistency: bool,
 }
 
 /// The durable registry membership: every dataset a `--state-dir` server must reload.
@@ -858,6 +875,11 @@ pub struct ManifestEntry {
 pub struct Manifest {
     /// Entries in registration order.
     pub datasets: Vec<ManifestEntry>,
+    /// Journal compaction cadence override set by the `snapshot_every` admin op
+    /// (`None` = the server's configured default). Recorded here so the knob
+    /// survives a restart; purely operational — cadence never changes what is
+    /// durable, only how often the journal is compacted.
+    pub snapshot_every: Option<u32>,
 }
 
 impl Manifest {
@@ -920,13 +942,42 @@ impl Manifest {
                         Json::Array(d.workers.iter().cloned().map(Json::String).collect()),
                     ));
                 }
+                // Only written for LDP datasets, so central-mode manifests keep their
+                // pre-LDP bytes. ε_local = ∞ (the identity channel) encodes as null,
+                // mirroring the `epsilon` convention above.
+                if let Some(ldp) = &d.ldp {
+                    fields.push((
+                        "ldp".into(),
+                        Json::Object(vec![
+                            (
+                                "epsilon_local".into(),
+                                if ldp.epsilon_local.is_finite() {
+                                    Json::Number(ldp.epsilon_local)
+                                } else {
+                                    Json::Null
+                                },
+                            ),
+                            ("universe".into(), Json::Number(ldp.universe as f64)),
+                            ("pad".into(), Json::Number(ldp.pad as f64)),
+                        ]),
+                    ));
+                }
+                // Only written when the knob was flipped off the default.
+                if !d.consistency {
+                    fields.push(("consistency".into(), Json::Bool(false)));
+                }
                 Json::Object(fields)
             })
             .collect();
-        Json::Object(vec![
+        let mut fields = vec![
             ("version".into(), Json::Number(1.0)),
             ("datasets".into(), Json::Array(rows)),
-        ])
+        ];
+        // Only written when an operator overrode the cadence.
+        if let Some(every) = self.snapshot_every {
+            fields.push(("snapshot_every".into(), Json::Number(every as f64)));
+        }
+        Json::Object(fields)
     }
 
     fn from_json(value: &Json) -> Result<Manifest, String> {
@@ -991,6 +1042,39 @@ impl Manifest {
                     })
                     .collect::<Result<Vec<String>, _>>()?,
             };
+            // Absent in manifests written before the LDP workload class existed:
+            // those datasets are central-mode by construction.
+            let ldp = match row.get("ldp") {
+                None | Some(Json::Null) => None,
+                Some(v) => {
+                    let epsilon_local = match v.get("epsilon_local") {
+                        None | Some(Json::Null) => f64::INFINITY,
+                        Some(e) => e
+                            .as_f64()
+                            .ok_or("manifest `ldp.epsilon_local` must be a number or null")?,
+                    };
+                    let universe = v
+                        .get("universe")
+                        .and_then(Json::as_u64)
+                        .ok_or("manifest `ldp.universe` must be a positive integer")?
+                        as u32;
+                    let pad = v
+                        .get("pad")
+                        .and_then(Json::as_u64)
+                        .ok_or("manifest `ldp.pad` must be a positive integer")?;
+                    Some(pb_proto::LdpParams {
+                        epsilon_local,
+                        universe,
+                        pad,
+                    })
+                }
+            };
+            // Absent when the knob was never flipped: consistency defaults on.
+            let consistency = match row.get("consistency") {
+                None | Some(Json::Null) => true,
+                Some(Json::Bool(b)) => *b,
+                Some(_) => return Err("manifest `consistency` must be a boolean".into()),
+            };
             datasets.push(ManifestEntry {
                 name,
                 path,
@@ -999,9 +1083,24 @@ impl Manifest {
                 fingerprint,
                 shards,
                 workers,
+                ldp,
+                consistency,
             });
         }
-        Ok(Manifest { datasets })
+        // Absent in manifests written before the cadence knob existed.
+        let snapshot_every = match value.get("snapshot_every") {
+            None | Some(Json::Null) => None,
+            Some(v) => Some(
+                v.as_u64()
+                    .filter(|&n| n > 0 && n <= u32::MAX as u64)
+                    .ok_or("manifest `snapshot_every` must be a positive integer")?
+                    as u32,
+            ),
+        };
+        Ok(Manifest {
+            datasets,
+            snapshot_every,
+        })
     }
 }
 
@@ -1016,7 +1115,9 @@ impl Manifest {
 #[derive(Debug)]
 pub struct StateDir {
     root: PathBuf,
-    snapshot_every: u32,
+    /// Atomic so the `snapshot_every` admin op can retune the cadence for journals
+    /// opened later without exclusive access to the registry's `StateDir`.
+    snapshot_every: AtomicU32,
     /// The held lock file; dropping it releases the advisory lock.
     _lock: File,
 }
@@ -1045,15 +1146,23 @@ impl StateDir {
         })?;
         Ok(StateDir {
             root,
-            snapshot_every: DEFAULT_SNAPSHOT_EVERY,
+            snapshot_every: AtomicU32::new(DEFAULT_SNAPSHOT_EVERY),
             _lock: lock,
         })
     }
 
     /// Overrides the journal compaction cadence (records between snapshots).
-    pub fn with_snapshot_every(mut self, snapshot_every: u32) -> StateDir {
-        self.snapshot_every = snapshot_every.max(1);
+    pub fn with_snapshot_every(self, snapshot_every: u32) -> StateDir {
+        self.set_snapshot_every(snapshot_every);
         self
+    }
+
+    /// Retunes the cadence on a live state dir (the `snapshot_every` admin op).
+    /// Applies to journals opened from now on; the registry separately retunes the
+    /// journals that are already open.
+    pub fn set_snapshot_every(&self, snapshot_every: u32) {
+        self.snapshot_every
+            .store(snapshot_every.max(1), Ordering::Relaxed);
     }
 
     /// The directory path.
@@ -1063,7 +1172,7 @@ impl StateDir {
 
     /// The configured compaction cadence.
     pub fn snapshot_every(&self) -> u32 {
-        self.snapshot_every
+        self.snapshot_every.load(Ordering::Relaxed)
     }
 
     /// True when `name` can safely double as a journal file stem (no separators, no
@@ -1084,7 +1193,7 @@ impl StateDir {
         name: &str,
         total: Epsilon,
     ) -> io::Result<(LedgerState, SharedJournal)> {
-        let (state, journal) = DebitJournal::open(&self.root, name, self.snapshot_every, total)?;
+        let (state, journal) = DebitJournal::open(&self.root, name, self.snapshot_every(), total)?;
         Ok((state, Arc::new(Mutex::new(journal))))
     }
 
@@ -1556,6 +1665,8 @@ mod tests {
             fingerprint: 0xdead_beef_0123_4567,
             shards: 4,
             workers: vec!["10.0.0.1:7878".into(), "10.0.0.2:7878".into()],
+            ldp: None,
+            consistency: true,
         });
         manifest.upsert(ManifestEntry {
             name: "mem".into(),
@@ -1565,12 +1676,55 @@ mod tests {
             fingerprint: 7,
             shards: 1,
             workers: Vec::new(),
+            ldp: None,
+            consistency: false,
         });
+        // An LDP row: no ledger budget (ε = ∞ by convention), channel params recorded.
+        manifest.upsert(ManifestEntry {
+            name: "local".into(),
+            path: Some("/data/local.dat".into()),
+            epsilon: Epsilon::Infinite,
+            transactions: 500,
+            fingerprint: 9,
+            shards: 2,
+            workers: Vec::new(),
+            ldp: Some(pb_proto::LdpParams {
+                epsilon_local: 4.0,
+                universe: 32,
+                pad: 3,
+            }),
+            consistency: true,
+        });
+        manifest.snapshot_every = Some(64);
         state.store_manifest(&manifest).unwrap();
         let loaded = state.load_manifest().unwrap().unwrap();
         assert_eq!(loaded, manifest);
         assert_eq!(loaded.get("retail").unwrap().epsilon, Epsilon::Finite(4.0));
+        assert!(!loaded.get("mem").unwrap().consistency);
+        let local = loaded.get("local").unwrap();
+        assert_eq!(local.ldp.unwrap().universe, 32);
+        assert_eq!(loaded.snapshot_every, Some(64));
         assert!(loaded.get("nope").is_none());
+        // The identity channel (ε_local = ∞) survives the null encoding.
+        let mut inf = loaded.clone();
+        inf.upsert(ManifestEntry {
+            ldp: Some(pb_proto::LdpParams {
+                epsilon_local: f64::INFINITY,
+                universe: 8,
+                pad: 2,
+            }),
+            ..local.clone()
+        });
+        state.store_manifest(&inf).unwrap();
+        let reloaded = state.load_manifest().unwrap().unwrap();
+        assert_eq!(reloaded, inf);
+        assert!(reloaded
+            .get("local")
+            .unwrap()
+            .ldp
+            .unwrap()
+            .epsilon_local
+            .is_infinite());
         // Upsert replaces in place.
         let mut again = loaded.clone();
         again.upsert(ManifestEntry {
@@ -1581,8 +1735,10 @@ mod tests {
             fingerprint: 0xdead_beef_0123_4567,
             shards: 4,
             workers: Vec::new(),
+            ldp: None,
+            consistency: true,
         });
-        assert_eq!(again.datasets.len(), 2);
+        assert_eq!(again.datasets.len(), 3);
         assert_eq!(
             again.get("retail").unwrap().path.as_deref(),
             Some("/data/retail2.dat")

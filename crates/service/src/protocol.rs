@@ -16,9 +16,9 @@
 //!   releases are byte-identical across versions.
 
 pub use pb_proto::{
-    AdminReply, DatasetStatus, Envelope, ErrorCode, JournalMetrics, Op, QueryReply, QueryRequest,
-    RegisterRequest, RegisterSource, ReleasedItemset, Response, ServerInfo, StatusReply, WireError,
-    MAX_QUERY_K, PROTOCOL_VERSION,
+    AdminReply, DatasetStatus, Envelope, ErrorCode, JournalMetrics, LdpParams, Op, PerturbRequest,
+    QueryReply, QueryRequest, RegisterLdpRequest, RegisterRequest, RegisterSource, ReleasedItemset,
+    Response, ServerInfo, StatusReply, WireError, MAX_QUERY_K, PROTOCOL_VERSION,
 };
 
 use crate::registry::DatasetEntry;
@@ -51,6 +51,10 @@ pub fn query_reply(
 }
 
 /// Builds one dataset's status row from its registry entry.
+///
+/// An LDP dataset reports `spent = 0` / `remaining = ∞` — not because a ledger says
+/// so, but because no ledger exists: its ε was spent client-side at perturbation
+/// time, and the `ldp` field carries the channel so callers can see the mode.
 pub fn dataset_status(entry: &DatasetEntry) -> DatasetStatus {
     DatasetStatus {
         name: entry.name().to_string(),
@@ -58,8 +62,10 @@ pub fn dataset_status(entry: &DatasetEntry) -> DatasetStatus {
         items: entry.num_distinct_items() as u64,
         index_cached: entry.index_is_cached(),
         durable: entry.is_durable(),
-        spent: entry.ledger().spent(),
-        remaining: entry.ledger().remaining(),
+        spent: entry.ledger().map_or(0.0, |ledger| ledger.spent()),
+        remaining: entry
+            .ledger()
+            .map_or(f64::INFINITY, |ledger| ledger.remaining()),
         queries: entry.queries_served(),
         shards: entry.shards() as u64,
         journal: entry.journal_stats().map(|stats| JournalMetrics {
@@ -68,6 +74,11 @@ pub fn dataset_status(entry: &DatasetEntry) -> DatasetStatus {
             snapshot_generation: stats.snapshot_generation,
         }),
         degraded: entry.is_degraded(),
+        ldp: entry.ldp_channel().map(|channel| LdpParams {
+            epsilon_local: channel.epsilon_local(),
+            universe: channel.universe(),
+            pad: channel.pad_len() as u64,
+        }),
     }
 }
 

@@ -26,10 +26,12 @@ use crate::persist::{
 use pb_core::QueryContext;
 use pb_dp::{BudgetLedger, Epsilon};
 use pb_fim::{TransactionDb, VerticalIndex};
+use pb_ldp::LdpChannel;
+use pb_proto::LdpParams;
 use pb_shard::{Fabric, FabricObserver, ShardedDb};
 use std::collections::HashMap;
 use std::net::ToSocketAddrs;
-use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Mutex, OnceLock, PoisonError, RwLock, Weak};
 
 /// Errors from registry operations.
@@ -55,6 +57,11 @@ pub enum RegistryError {
     InvalidName(String),
     /// The registration contradicts the durable manifest (different budget or data).
     Mismatch(String),
+    /// A central-mode operation was aimed at an LDP dataset or vice versa (e.g.
+    /// `register_ldp` over a name with a durable central ledger). The two workload
+    /// classes account privacy in different places — converting silently would either
+    /// orphan spent ε or invent a ledger that was never part of the guarantee.
+    ModeMismatch(String),
     /// The state directory or a dataset file could not be read or written.
     Io(String),
 }
@@ -83,6 +90,9 @@ impl std::fmt::Display for RegistryError {
             ),
             RegistryError::Mismatch(detail) => {
                 write!(f, "registration contradicts the durable manifest: {detail}")
+            }
+            RegistryError::ModeMismatch(detail) => {
+                write!(f, "privacy-mode mismatch: {detail}")
             }
             RegistryError::Io(detail) => write!(f, "persistence failure: {detail}"),
         }
@@ -113,7 +123,42 @@ enum StoredData {
     Sharded(Arc<ShardedDb>),
 }
 
-/// One registered dataset: the data, its cached query context, and its budget ledger.
+/// Where a dataset's privacy accounting lives. The two workload classes are disjoint
+/// *by construction*: a central-mode entry owns a [`BudgetLedger`] every query debits,
+/// while an LDP entry owns only the debiasing [`LdpChannel`] — its ε was spent
+/// client-side at perturbation time, so there is no ledger to debit (not a ledger with
+/// a zero charge: no ledger exists for the dataset at all).
+#[derive(Debug, Clone)]
+enum PrivacyMode {
+    /// Server-side accounting: one ledger enforcing the dataset's lifetime ε.
+    /// Shared (`Arc`) so a reshard can hand the *same* accountant to the replacement
+    /// entry: in-flight queries holding the old entry and new queries on the new one
+    /// debit one ledger, so a live re-partition can never double-grant ε.
+    Central(Arc<BudgetLedger>),
+    /// Client-side accounting: rows arrived already perturbed under this channel; the
+    /// server only debiases, which is post-processing and spends nothing.
+    Ldp(LdpChannel),
+}
+
+/// What privacy accounting a registration asks for: a central lifetime budget, or the
+/// LDP channel the rows were already perturbed under client-side.
+#[derive(Debug, Clone)]
+enum ModeSpec {
+    Central(Epsilon),
+    Ldp(LdpChannel),
+}
+
+/// The wire/manifest form of a channel's parameters.
+fn channel_params(channel: &LdpChannel) -> LdpParams {
+    LdpParams {
+        epsilon_local: channel.epsilon_local(),
+        universe: channel.universe(),
+        pad: channel.pad_len() as u64,
+    }
+}
+
+/// One registered dataset: the data, its cached query context, and its privacy
+/// accounting (a budget ledger, or an LDP debiasing channel).
 #[derive(Debug)]
 pub struct DatasetEntry {
     name: String,
@@ -128,12 +173,15 @@ pub struct DatasetEntry {
     /// (full vertical index, or one per shard) plus the memoized deterministic
     /// precomputation the cold path would repeat per query.
     context: OnceLock<Arc<QueryContext>>,
-    /// Shared (`Arc`) so a reshard can hand the *same* accountant to the replacement
-    /// entry: in-flight queries holding the old entry and new queries on the new one
-    /// debit one ledger, so a live re-partition can never double-grant ε.
-    ledger: Arc<BudgetLedger>,
-    /// Shared across reshard generations for the same reason.
+    /// Central ledger or LDP channel (see [`PrivacyMode`]).
+    mode: PrivacyMode,
+    /// Shared across reshard generations (like a central entry's ledger) so the
+    /// counter never resets on a live re-partition.
     queries_served: Arc<AtomicU64>,
+    /// Whether the consistency post-processing step runs for queries against this
+    /// dataset. Shared across reshard generations so the knob survives a re-partition;
+    /// post-processing never touches the budget, so flipping it is a free knob.
+    consistency: Arc<AtomicBool>,
     /// The durable journal shared with the ledger's debit sink (persistent registries
     /// only); served-query counters are staged here.
     journal: Option<SharedJournal>,
@@ -215,9 +263,34 @@ impl DatasetEntry {
         self.context.get().is_some()
     }
 
-    /// The dataset's privacy-budget ledger.
-    pub fn ledger(&self) -> &BudgetLedger {
-        &self.ledger
+    /// The dataset's privacy-budget ledger — `None` for an LDP dataset, which has no
+    /// ledger *by construction* (its ε was spent client-side at perturbation time).
+    /// Every caller is forced to decide what a ledgerless dataset means for it, which
+    /// is exactly the point: nothing can accidentally debit an LDP dataset.
+    pub fn ledger(&self) -> Option<&BudgetLedger> {
+        match &self.mode {
+            PrivacyMode::Central(ledger) => Some(ledger),
+            PrivacyMode::Ldp(_) => None,
+        }
+    }
+
+    /// The LDP debiasing channel — `None` for a central-mode dataset.
+    pub fn ldp_channel(&self) -> Option<&LdpChannel> {
+        match &self.mode {
+            PrivacyMode::Central(_) => None,
+            PrivacyMode::Ldp(channel) => Some(channel),
+        }
+    }
+
+    /// True when this dataset serves the local-DP workload class (rows arrived
+    /// already perturbed; queries debias and never debit).
+    pub fn is_ldp(&self) -> bool {
+        matches!(self.mode, PrivacyMode::Ldp(_))
+    }
+
+    /// Whether the consistency post-processing step runs for this dataset's queries.
+    pub fn consistency_enabled(&self) -> bool {
+        self.consistency.load(Ordering::Relaxed)
     }
 
     /// True when the ledger journals every debit to a state directory before releasing
@@ -378,6 +451,11 @@ impl DatasetRegistry {
             .load_manifest()
             .map_err(|e| RegistryError::Io(e.to_string()))?
             .unwrap_or_default();
+        // A cadence the operator set through the `snapshot_every` admin op survives
+        // the restart via the manifest.
+        if let Some(every) = manifest.snapshot_every {
+            state.set_snapshot_every(every);
+        }
         Ok(DatasetRegistry {
             datasets: RwLock::new(HashMap::new()),
             persistence: Some(Persistence {
@@ -458,7 +536,14 @@ impl DatasetRegistry {
         db: TransactionDb,
         total_epsilon: Epsilon,
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
-        self.register_inner(name.into(), db, total_epsilon, None, 1, Vec::new())
+        self.register_inner(
+            name.into(),
+            db,
+            ModeSpec::Central(total_epsilon),
+            None,
+            1,
+            Vec::new(),
+        )
     }
 
     /// [`DatasetRegistry::register`] with the dataset partitioned into `shards` row
@@ -473,7 +558,14 @@ impl DatasetRegistry {
         total_epsilon: Epsilon,
         shards: usize,
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
-        self.register_inner(name.into(), db, total_epsilon, None, shards, Vec::new())
+        self.register_inner(
+            name.into(),
+            db,
+            ModeSpec::Central(total_epsilon),
+            None,
+            shards,
+            Vec::new(),
+        )
     }
 
     /// [`DatasetRegistry::register_sharded`] with the first `workers.len()` shards
@@ -490,7 +582,14 @@ impl DatasetRegistry {
         shards: usize,
         workers: Vec<String>,
     ) -> Result<Arc<DatasetEntry>, RegistryError> {
-        self.register_inner(name.into(), db, total_epsilon, None, shards, workers)
+        self.register_inner(
+            name.into(),
+            db,
+            ModeSpec::Central(total_epsilon),
+            None,
+            shards,
+            workers,
+        )
     }
 
     /// Registers a FIMI-format dataset file under `name`, recording the path in the
@@ -531,7 +630,96 @@ impl DatasetRegistry {
         let path = path.into();
         let db = pb_fim::io::read_fimi_file(&path)
             .map_err(|e| RegistryError::Io(format!("failed to read {path}: {e}")))?;
-        self.register_inner(name, db, total_epsilon, Some(path), shards, workers)
+        self.register_inner(
+            name,
+            db,
+            ModeSpec::Central(total_epsilon),
+            Some(path),
+            shards,
+            workers,
+        )
+    }
+
+    /// Registers a dataset of **already-perturbed** rows under the local-DP workload
+    /// class: the rows were randomized client-side under `channel` (each contributor's
+    /// ε_local was spent at perturbation time), so the entry carries **no budget
+    /// ledger** — queries debias the observed supports and debit nothing.
+    ///
+    /// The caller owns the claim that the rows really went through `channel`; the
+    /// registry records the channel in the durable manifest so recovery rebuilds the
+    /// same debiasing and cross-mode re-registration is refused.
+    pub fn register_ldp(
+        &self,
+        name: impl Into<String>,
+        db: TransactionDb,
+        channel: LdpChannel,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        self.register_inner(name.into(), db, ModeSpec::Ldp(channel), None, 1, Vec::new())
+    }
+
+    /// [`DatasetRegistry::register_ldp`] with a shard layout (see
+    /// [`DatasetRegistry::register_sharded`] — sharding never changes released bytes,
+    /// LDP or central).
+    pub fn register_ldp_sharded(
+        &self,
+        name: impl Into<String>,
+        db: TransactionDb,
+        channel: LdpChannel,
+        shards: usize,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        self.register_inner(
+            name.into(),
+            db,
+            ModeSpec::Ldp(channel),
+            None,
+            shards,
+            Vec::new(),
+        )
+    }
+
+    /// [`DatasetRegistry::register_ldp_sharded`] with a remote worker placement (see
+    /// [`DatasetRegistry::register_placed`]).
+    pub fn register_ldp_placed(
+        &self,
+        name: impl Into<String>,
+        db: TransactionDb,
+        channel: LdpChannel,
+        shards: usize,
+        workers: Vec<String>,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        self.register_inner(
+            name.into(),
+            db,
+            ModeSpec::Ldp(channel),
+            None,
+            shards,
+            workers,
+        )
+    }
+
+    /// Registers a FIMI-format file of already-perturbed rows under the LDP workload
+    /// class, recording path and channel in the durable manifest (see
+    /// [`DatasetRegistry::register_ldp`]).
+    pub fn register_ldp_file(
+        &self,
+        name: impl Into<String>,
+        path: impl Into<String>,
+        channel: LdpChannel,
+        shards: usize,
+        workers: Vec<String>,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        let name = name.into();
+        let path = path.into();
+        let db = pb_fim::io::read_fimi_file(&path)
+            .map_err(|e| RegistryError::Io(format!("failed to read {path}: {e}")))?;
+        self.register_inner(
+            name,
+            db,
+            ModeSpec::Ldp(channel),
+            Some(path),
+            shards,
+            workers,
+        )
     }
 
     /// Re-registers every dataset recorded in the durable manifest (no-op for an
@@ -555,18 +743,37 @@ impl DatasetRegistry {
             match entry.path {
                 None => report.skipped.push(entry.name),
                 Some(path) => {
-                    // The manifest's shard layout and worker placement ride along, so
-                    // the recovered entry counts over the same shards — and releases
-                    // the same bytes — as before the restart. One unloadable dataset
-                    // (moved file, torn state, dead worker) must not keep every
-                    // healthy one down: record the failure and keep going.
-                    match self.register_file_placed(
-                        entry.name.clone(),
-                        path,
-                        entry.epsilon,
-                        entry.shards,
-                        entry.workers.clone(),
-                    ) {
+                    // The manifest's shard layout, worker placement, and (for LDP
+                    // datasets) debiasing channel ride along, so the recovered entry
+                    // counts over the same shards — and releases the same bytes — as
+                    // before the restart. One unloadable dataset (moved file, torn
+                    // state, dead worker) must not keep every healthy one down:
+                    // record the failure and keep going.
+                    let reloaded = match entry.ldp {
+                        None => self.register_file_placed(
+                            entry.name.clone(),
+                            path,
+                            entry.epsilon,
+                            entry.shards,
+                            entry.workers.clone(),
+                        ),
+                        Some(params) => LdpChannel::new(
+                            params.epsilon_local,
+                            params.universe,
+                            params.pad as usize,
+                        )
+                        .map_err(|e| RegistryError::Io(e.to_string()))
+                        .and_then(|channel| {
+                            self.register_ldp_file(
+                                entry.name.clone(),
+                                path,
+                                channel,
+                                entry.shards,
+                                entry.workers.clone(),
+                            )
+                        }),
+                    };
+                    match reloaded {
                         Ok(_) => report.loaded.push(entry.name),
                         Err(e) => report.failed.push((entry.name, e.to_string())),
                     }
@@ -663,8 +870,9 @@ impl DatasetRegistry {
             distinct_items: old.distinct_items,
             shards,
             context: OnceLock::new(),
-            ledger: Arc::clone(&old.ledger),
+            mode: old.mode.clone(),
             queries_served: Arc::clone(&old.queries_served),
+            consistency: Arc::clone(&old.consistency),
             journal: old.journal.clone(),
             source: old.source.clone(),
             workers: old.workers.clone(),
@@ -710,7 +918,7 @@ impl DatasetRegistry {
         &self,
         name: String,
         db: TransactionDb,
-        total_epsilon: Epsilon,
+        spec: ModeSpec,
         source: Option<String>,
         shards: usize,
         workers: Vec<String>,
@@ -733,8 +941,21 @@ impl DatasetRegistry {
         // atomic step, so two racing registrations of one name cannot both open the
         // journal.
         let mut map = self.write();
-        if map.contains_key(&name) {
-            return Err(RegistryError::DuplicateName(name));
+        if let Some(existing) = map.get(&name) {
+            // A cross-mode collision gets the structured mode error, not the generic
+            // duplicate: the caller aimed an LDP registration at a central dataset
+            // (or vice versa) and needs to know *that*, not just "taken".
+            return Err(match (existing.is_ldp(), &spec) {
+                (true, ModeSpec::Central(_)) => RegistryError::ModeMismatch(format!(
+                    "dataset `{name}` is serving in LDP mode; a central-mode \
+                     registration cannot replace it"
+                )),
+                (false, ModeSpec::Ldp(_)) => RegistryError::ModeMismatch(format!(
+                    "dataset `{name}` is serving in central mode; an LDP \
+                     registration cannot replace it"
+                )),
+                _ => RegistryError::DuplicateName(name),
+            });
         }
         let transactions = db.len();
         let distinct_items = db.num_distinct_items();
@@ -748,20 +969,90 @@ impl DatasetRegistry {
             // spent ε onto rows it was never spent on. Refuse both — and refuse
             // *before* the worker placement below, so a doomed registration
             // touches neither the fabric nor the disk.
-            self.check_manifest_compatible(&name, total_epsilon, fingerprint, transactions)?;
+            self.check_manifest_compatible(&name, &spec, fingerprint, transactions)?;
         }
+        // The knob survives unregister/re-register cycles through the manifest (a
+        // fresh name defaults to on).
+        let recorded_consistency = self
+            .persistence
+            .as_ref()
+            .and_then(|p| {
+                p.manifest
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .get(&name)
+                    .map(|recorded| recorded.consistency)
+            })
+            .unwrap_or(true);
         // Partition — and, with a placement, dial and seed the remote workers — before
         // any durable side effect: a placement failure (dead worker, bad address) must
         // not leave a phantom manifest entry or a freshly opened journal behind.
         let data = partition_data(db, shards, &workers, &name)?;
 
-        let (ledger, queries_served, journal) = match &self.persistence {
-            None => (
-                Arc::new(BudgetLedger::new(total_epsilon)),
+        let (mode, queries_served, journal) = match (&spec, &self.persistence) {
+            (ModeSpec::Central(total_epsilon), None) => (
+                PrivacyMode::Central(Arc::new(BudgetLedger::new(*total_epsilon))),
                 Arc::new(AtomicU64::new(0)),
                 None,
             ),
-            Some(persistence) => {
+            (ModeSpec::Ldp(channel), None) => (
+                PrivacyMode::Ldp(*channel),
+                Arc::new(AtomicU64::new(0)),
+                None,
+            ),
+            (ModeSpec::Ldp(channel), Some(persistence)) => {
+                // An LDP dataset opens no journal and joins no live accounting:
+                // there is no ledger to make durable. Only the membership row (with
+                // the channel, for recovery) is recorded. If central accounting is
+                // still live under this name (an unregistered central entry held by
+                // in-flight queries), refuse — its spent ε must not be shadowed by
+                // a ledgerless dataset wearing the same name.
+                let live = persistence
+                    .live
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                if live
+                    .get(&name)
+                    .is_some_and(|handles| handles.ledger.upgrade().is_some())
+                {
+                    return Err(RegistryError::ModeMismatch(format!(
+                        "dataset `{name}` still has live central budget accounting \
+                         (in-flight queries hold its ledger) — an LDP registration \
+                         under this name must wait for them or use a fresh name"
+                    )));
+                }
+                drop(live);
+                let mut manifest = persistence
+                    .manifest
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner);
+                let mut updated = manifest.clone();
+                updated.upsert(ManifestEntry {
+                    name: name.clone(),
+                    path: source.clone(),
+                    // No lifetime budget exists for an LDP dataset; ∞ keeps the
+                    // field honest for tooling that reads the manifest directly.
+                    epsilon: Epsilon::Infinite,
+                    transactions,
+                    fingerprint,
+                    shards,
+                    workers: workers.clone(),
+                    ldp: Some(channel_params(channel)),
+                    consistency: recorded_consistency,
+                });
+                persistence
+                    .state
+                    .store_manifest(&updated)
+                    .map_err(|e| RegistryError::Io(e.to_string()))?;
+                *manifest = updated;
+                (
+                    PrivacyMode::Ldp(*channel),
+                    Arc::new(AtomicU64::new(0)),
+                    None,
+                )
+            }
+            (ModeSpec::Central(total_epsilon), Some(persistence)) => {
+                let total_epsilon = *total_epsilon;
                 let mut manifest = persistence
                     .manifest
                     .lock()
@@ -836,6 +1127,8 @@ impl DatasetRegistry {
                     fingerprint,
                     shards,
                     workers: workers.clone(),
+                    ldp: None,
+                    consistency: recorded_consistency,
                 });
                 persistence
                     .state
@@ -845,7 +1138,7 @@ impl DatasetRegistry {
                 // failed store must not leave a phantom entry that the next successful
                 // registration would silently persist.
                 *manifest = updated;
-                (ledger, queries_served, Some(journal))
+                (PrivacyMode::Central(ledger), queries_served, Some(journal))
             }
         };
 
@@ -856,8 +1149,9 @@ impl DatasetRegistry {
             distinct_items,
             shards,
             context: OnceLock::new(),
-            ledger,
+            mode,
             queries_served,
+            consistency: Arc::new(AtomicBool::new(recorded_consistency)),
             journal,
             source,
             workers,
@@ -867,12 +1161,13 @@ impl DatasetRegistry {
         Ok(entry)
     }
 
-    /// Refuses a re-registration that contradicts the durable manifest: the ledger on
-    /// disk belongs to one (budget, data) pair.
+    /// Refuses a re-registration that contradicts the durable manifest: a central
+    /// ledger on disk belongs to one (budget, data) pair, an LDP record to one
+    /// debiasing channel — and neither mode may silently convert into the other.
     fn check_manifest_compatible(
         &self,
         name: &str,
-        total_epsilon: Epsilon,
+        spec: &ModeSpec,
         fingerprint: u64,
         transactions: usize,
     ) -> Result<(), RegistryError> {
@@ -886,25 +1181,143 @@ impl DatasetRegistry {
         let Some(recorded) = manifest.get(name) else {
             return Ok(());
         };
-        if recorded.epsilon != total_epsilon {
-            return Err(RegistryError::Mismatch(format!(
-                "dataset `{name}` has a durable ledger with total ε = {}, \
-                 but re-registration requested ε = {} (pass the original \
-                 budget, or use a fresh --state-dir)",
-                epsilon_text(recorded.epsilon),
-                epsilon_text(total_epsilon),
-            )));
-        }
-        if recorded.fingerprint != fingerprint {
-            return Err(RegistryError::Mismatch(format!(
-                "dataset `{name}`'s content changed since registration \
-                 ({} transactions then, {} now, fingerprint mismatch) — \
-                 the durable ledger belongs to the original data (use a \
-                 fresh --state-dir for new data)",
-                recorded.transactions, transactions,
-            )));
+        match (spec, &recorded.ldp) {
+            (ModeSpec::Central(total_epsilon), None) => {
+                if recorded.epsilon != *total_epsilon {
+                    return Err(RegistryError::Mismatch(format!(
+                        "dataset `{name}` has a durable ledger with total ε = {}, \
+                         but re-registration requested ε = {} (pass the original \
+                         budget, or use a fresh --state-dir)",
+                        epsilon_text(recorded.epsilon),
+                        epsilon_text(*total_epsilon),
+                    )));
+                }
+                if recorded.fingerprint != fingerprint {
+                    return Err(RegistryError::Mismatch(format!(
+                        "dataset `{name}`'s content changed since registration \
+                         ({} transactions then, {} now, fingerprint mismatch) — \
+                         the durable ledger belongs to the original data (use a \
+                         fresh --state-dir for new data)",
+                        recorded.transactions, transactions,
+                    )));
+                }
+            }
+            (ModeSpec::Central(_), Some(_)) => {
+                return Err(RegistryError::ModeMismatch(format!(
+                    "dataset `{name}` is recorded as an LDP dataset — it has no \
+                     central ledger to re-register against (unregister it first, \
+                     or pick a different name)"
+                )));
+            }
+            (ModeSpec::Ldp(_), None) => {
+                return Err(RegistryError::ModeMismatch(format!(
+                    "dataset `{name}` has a durable central ledger — re-registering \
+                     it as LDP would orphan its spent ε (unregister it under the \
+                     central mode, or pick a different name)"
+                )));
+            }
+            (ModeSpec::Ldp(channel), Some(recorded_params)) => {
+                // No budget binds an LDP record, but the channel does: debiasing
+                // rows with parameters they were not perturbed under silently
+                // mis-estimates every support. The data itself may change freely —
+                // re-registration re-records fingerprint and row count.
+                if channel_params(channel) != *recorded_params {
+                    return Err(RegistryError::Mismatch(format!(
+                        "dataset `{name}` was registered with LDP channel \
+                         (ε_local = {}, universe = {}, pad = {}) but re-registration \
+                         requested (ε_local = {}, universe = {}, pad = {}) — the \
+                         perturbed rows belong to the original channel",
+                        recorded_params.epsilon_local,
+                        recorded_params.universe,
+                        recorded_params.pad,
+                        channel.epsilon_local(),
+                        channel.universe(),
+                        channel.pad_len(),
+                    )));
+                }
+            }
         }
         Ok(())
+    }
+
+    /// Flips the consistency post-processing knob for `name` (the `consistency` admin
+    /// op), recording the new setting in the durable manifest so it survives a
+    /// restart. Post-processing never touches the budget — this is a free operational
+    /// knob, valid for both central and LDP datasets.
+    pub fn set_consistency(
+        &self,
+        name: &str,
+        enabled: bool,
+    ) -> Result<Arc<DatasetEntry>, RegistryError> {
+        let entry = self
+            .get(name)
+            .ok_or_else(|| RegistryError::NotFound(name.to_string()))?;
+        if let Some(persistence) = &self.persistence {
+            let mut manifest = persistence
+                .manifest
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            if let Some(recorded) = manifest.get(name) {
+                let mut manifest_entry = recorded.clone();
+                manifest_entry.consistency = enabled;
+                let mut updated = manifest.clone();
+                updated.upsert(manifest_entry);
+                persistence
+                    .state
+                    .store_manifest(&updated)
+                    .map_err(|e| RegistryError::Io(e.to_string()))?;
+                *manifest = updated;
+            }
+        }
+        // Flip the live knob only after the manifest write succeeded: a failed store
+        // must not leave disk and memory disagreeing about what queries do.
+        entry.consistency.store(enabled, Ordering::Relaxed);
+        Ok(entry)
+    }
+
+    /// Retunes the journal snapshot cadence (the `snapshot_every` admin op): journals
+    /// already open, journals opened later, and — through the manifest — journals on
+    /// the far side of a restart. Requires a persistent registry (an in-memory
+    /// registry has no journals to compact).
+    pub fn set_snapshot_every(&self, every: u32) -> Result<(), RegistryError> {
+        let persistence = self.persistence.as_ref().ok_or_else(|| {
+            RegistryError::Io(
+                "the snapshot cadence is a journal knob — this server runs without \
+                 a --state-dir, so there are no journals to compact"
+                    .to_string(),
+            )
+        })?;
+        let every = every.max(1);
+        {
+            let mut manifest = persistence
+                .manifest
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner);
+            let mut updated = manifest.clone();
+            updated.snapshot_every = Some(every);
+            persistence
+                .state
+                .store_manifest(&updated)
+                .map_err(|e| RegistryError::Io(e.to_string()))?;
+            *manifest = updated;
+        }
+        persistence.state.set_snapshot_every(every);
+        // Retune the journals that are already open; new opens pick the value up
+        // from the state dir.
+        for entry in self.read().values() {
+            if let Some(journal) = &entry.journal {
+                journal
+                    .lock()
+                    .unwrap_or_else(PoisonError::into_inner)
+                    .set_snapshot_every(every);
+            }
+        }
+        Ok(())
+    }
+
+    /// The effective journal snapshot cadence (`None` for an in-memory registry).
+    pub fn snapshot_every(&self) -> Option<u32> {
+        self.persistence.as_ref().map(|p| p.state.snapshot_every())
     }
 
     /// Looks a dataset up by name.
@@ -1046,7 +1459,7 @@ mod tests {
         let entry = registry.get("retail").unwrap();
         assert_eq!(entry.name(), "retail");
         assert_eq!(entry.transactions(), 3);
-        assert_eq!(entry.ledger().total(), Epsilon::Finite(2.0));
+        assert_eq!(entry.ledger().unwrap().total(), Epsilon::Finite(2.0));
         assert!(!entry.is_durable());
         assert!(registry.get("nope").is_none());
         assert_eq!(registry.names(), vec!["retail".to_string()]);
@@ -1258,13 +1671,13 @@ mod tests {
                 .register_file_sharded("s", &path, Epsilon::Finite(3.0), 3)
                 .unwrap();
             assert_eq!(entry.shards(), 3);
-            entry.ledger().try_spend(0.5).unwrap();
+            entry.ledger().unwrap().try_spend(0.5).unwrap();
         }
         let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
         registry.recover().unwrap();
         let entry = registry.get("s").unwrap();
         assert_eq!(entry.shards(), 3, "manifest must carry the shard layout");
-        assert!((entry.ledger().spent() - 0.5).abs() < 1e-12);
+        assert!((entry.ledger().unwrap().spent() - 0.5).abs() < 1e-12);
         assert_eq!(entry.context().num_shards(), 3);
         // Journal metrics are exposed for durable entries.
         let stats = entry.journal_stats().unwrap();
@@ -1278,7 +1691,7 @@ mod tests {
             .register_file_sharded("s", &path, Epsilon::Finite(3.0), 5)
             .unwrap();
         assert_eq!(entry.shards(), 5);
-        assert!((entry.ledger().spent() - 0.5).abs() < 1e-12);
+        assert!((entry.ledger().unwrap().spent() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -1294,7 +1707,7 @@ mod tests {
             let entry = registry
                 .register_file("doomed", &doomed, Epsilon::Finite(2.0))
                 .unwrap();
-            entry.ledger().try_spend(0.5).unwrap();
+            entry.ledger().unwrap().try_spend(0.5).unwrap();
         }
         // The doomed source file vanishes; the healthy dataset must still come up and
         // the failure must be reported, not fatal.
@@ -1339,7 +1752,7 @@ mod tests {
         let entry = registry
             .register_file("u", &path, Epsilon::Finite(2.0))
             .unwrap();
-        entry.ledger().try_spend(0.5).unwrap();
+        entry.ledger().unwrap().try_spend(0.5).unwrap();
         registry.unregister("u").unwrap();
         // The manifest forgets the dataset (a restart will not reload it) …
         assert_eq!(registry.recorded_shards("u"), None);
@@ -1352,18 +1765,18 @@ mod tests {
         let again = registry
             .register_file("u", &path, Epsilon::Finite(2.0))
             .unwrap();
-        assert!((again.ledger().spent() - 0.5).abs() < 1e-12);
+        assert!((again.ledger().unwrap().spent() - 0.5).abs() < 1e-12);
         // Interleave spends across BOTH handles; every debit must be visible to every
         // handle immediately (one accountant), and the journal must record the sum.
-        again.ledger().try_spend(0.2).unwrap();
-        entry.ledger().try_spend(0.25).unwrap();
-        again.ledger().try_spend(0.3).unwrap();
-        assert!((entry.ledger().spent() - 1.25).abs() < 1e-12);
-        assert!((again.ledger().spent() - 1.25).abs() < 1e-12);
+        again.ledger().unwrap().try_spend(0.2).unwrap();
+        entry.ledger().unwrap().try_spend(0.25).unwrap();
+        again.ledger().unwrap().try_spend(0.3).unwrap();
+        assert!((entry.ledger().unwrap().spent() - 1.25).abs() < 1e-12);
+        assert!((again.ledger().unwrap().spent() - 1.25).abs() < 1e-12);
         // Combined admission is bounded by the single total: 0.76 > 2.0 − 1.25 must be
         // refused through either handle.
-        assert!(entry.ledger().try_spend(0.76).is_err());
-        assert!(again.ledger().try_spend(0.76).is_err());
+        assert!(entry.ledger().unwrap().try_spend(0.76).is_err());
+        assert!(again.ledger().unwrap().try_spend(0.76).is_err());
         drop(entry);
         drop(again);
         drop(registry);
@@ -1372,9 +1785,9 @@ mod tests {
             .register_file("u", &path, Epsilon::Finite(2.0))
             .unwrap();
         assert!(
-            (recovered.ledger().spent() - 1.25).abs() < 1e-12,
+            (recovered.ledger().unwrap().spent() - 1.25).abs() < 1e-12,
             "interleaved debits across both handles must all replay, got {}",
-            recovered.ledger().spent()
+            recovered.ledger().unwrap().spent()
         );
         // With every old handle dropped, a fresh budget mismatch is still refused by
         // the on-disk open path.
@@ -1429,7 +1842,7 @@ mod tests {
                 Epsilon::Finite(10.0),
             )
             .unwrap();
-        entry.ledger().try_spend(1.0).unwrap();
+        entry.ledger().unwrap().try_spend(1.0).unwrap();
         entry.record_query();
         let pb = PrivBasis::with_defaults();
         let before = pb
@@ -1450,9 +1863,9 @@ mod tests {
         assert_eq!(resharded.transactions(), entry.transactions());
         assert_eq!(registry.get("d").unwrap().shards(), 3);
         // One ledger, one counter: the old handle and the new entry share them.
-        assert!((resharded.ledger().spent() - 1.0).abs() < 1e-12);
-        entry.ledger().try_spend(0.5).unwrap();
-        assert!((resharded.ledger().spent() - 1.5).abs() < 1e-12);
+        assert!((resharded.ledger().unwrap().spent() - 1.0).abs() < 1e-12);
+        entry.ledger().unwrap().try_spend(0.5).unwrap();
+        assert!((resharded.ledger().unwrap().spent() - 1.5).abs() < 1e-12);
         assert_eq!(resharded.queries_served(), 1);
         // Releases do not move by a byte.
         let after = pb
@@ -1483,7 +1896,7 @@ mod tests {
             let entry = registry
                 .register_file_sharded("r", &path, Epsilon::Finite(3.0), 2)
                 .unwrap();
-            entry.ledger().try_spend(0.5).unwrap();
+            entry.ledger().unwrap().try_spend(0.5).unwrap();
             let resharded = registry.reshard("r", 4).unwrap();
             assert_eq!(resharded.shards(), 4);
             assert_eq!(registry.recorded_shards("r"), Some(4));
@@ -1493,7 +1906,7 @@ mod tests {
         registry.recover().unwrap();
         let entry = registry.get("r").unwrap();
         assert_eq!(entry.shards(), 4);
-        assert!((entry.ledger().spent() - 0.5).abs() < 1e-12);
+        assert!((entry.ledger().unwrap().spent() - 0.5).abs() < 1e-12);
     }
 
     #[test]
@@ -1518,9 +1931,9 @@ mod tests {
                 .register("d", tiny_db(), Epsilon::Finite(2.0))
                 .unwrap();
             assert!(entry.is_durable());
-            entry.ledger().try_spend(0.5).unwrap();
+            entry.ledger().unwrap().try_spend(0.5).unwrap();
             entry.record_query();
-            entry.ledger().try_spend(0.25).unwrap();
+            entry.ledger().unwrap().try_spend(0.25).unwrap();
             entry.record_query();
         }
         // "Restart": a fresh registry over the same state dir.
@@ -1528,20 +1941,20 @@ mod tests {
         let entry = registry
             .register("d", tiny_db(), Epsilon::Finite(2.0))
             .unwrap();
-        assert!((entry.ledger().spent() - 0.75).abs() < 1e-12);
-        assert!((entry.ledger().remaining() - 1.25).abs() < 1e-12);
+        assert!((entry.ledger().unwrap().spent() - 0.75).abs() < 1e-12);
+        assert!((entry.ledger().unwrap().remaining() - 1.25).abs() < 1e-12);
         assert_eq!(entry.queries_served(), 2);
         // An exhausted ledger stays exhausted across reconstruction.
-        entry.ledger().try_spend(1.25).unwrap();
-        assert!(entry.ledger().is_exhausted());
+        entry.ledger().unwrap().try_spend(1.25).unwrap();
+        assert!(entry.ledger().unwrap().is_exhausted());
         drop(entry);
         drop(registry);
         let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
         let entry = registry
             .register("d", tiny_db(), Epsilon::Finite(2.0))
             .unwrap();
-        assert!(entry.ledger().is_exhausted());
-        assert!(entry.ledger().try_spend(0.001).is_err());
+        assert!(entry.ledger().unwrap().is_exhausted());
+        assert!(entry.ledger().unwrap().try_spend(0.001).is_err());
     }
 
     #[test]
@@ -1553,7 +1966,7 @@ mod tests {
             let entry = registry
                 .register_file("retail", &path, Epsilon::Finite(3.0))
                 .unwrap();
-            entry.ledger().try_spend(1.0).unwrap();
+            entry.ledger().unwrap().try_spend(1.0).unwrap();
             entry.record_query();
             // One in-process dataset: durable ledger, but not reloadable.
             registry
@@ -1567,8 +1980,8 @@ mod tests {
         assert_eq!(report.skipped, vec!["mem".to_string()]);
         let entry = registry.get("retail").unwrap();
         assert_eq!(entry.transactions(), 3);
-        assert_eq!(entry.ledger().total(), Epsilon::Finite(3.0));
-        assert!((entry.ledger().spent() - 1.0).abs() < 1e-12);
+        assert_eq!(entry.ledger().unwrap().total(), Epsilon::Finite(3.0));
+        assert!((entry.ledger().unwrap().spent() - 1.0).abs() < 1e-12);
         assert_eq!(entry.queries_served(), 1);
         // Recover is idempotent for loaded datasets; entries without a path stay
         // skipped (they can only be re-registered in-process).
@@ -1626,6 +2039,212 @@ mod tests {
             .unwrap();
     }
 
+    fn tiny_channel() -> LdpChannel {
+        LdpChannel::new(4.0, 8, 2).unwrap()
+    }
+
+    #[test]
+    fn ldp_datasets_have_no_ledger_by_construction() {
+        let registry = DatasetRegistry::new();
+        let entry = registry
+            .register_ldp("local", tiny_db(), tiny_channel())
+            .unwrap();
+        assert!(entry.is_ldp());
+        // Not an exhausted or zeroed ledger: no ledger exists at all.
+        assert!(entry.ledger().is_none());
+        let channel = entry.ldp_channel().unwrap();
+        assert_eq!(channel.universe(), 8);
+        assert_eq!(channel.pad_len(), 2);
+        assert!(!entry.is_durable());
+        assert!(!entry.journal_wedged());
+        entry.record_query();
+        assert_eq!(entry.queries_served(), 1);
+        // A central entry on the same registry still has its ledger.
+        let central = registry
+            .register("central", tiny_db(), Epsilon::Finite(1.0))
+            .unwrap();
+        assert!(!central.is_ldp());
+        assert!(central.ledger().is_some());
+        assert!(central.ldp_channel().is_none());
+    }
+
+    #[test]
+    fn cross_mode_registration_is_a_structured_mode_mismatch() {
+        let registry = DatasetRegistry::new();
+        registry
+            .register("central", tiny_db(), Epsilon::Finite(1.0))
+            .unwrap();
+        registry
+            .register_ldp("local", tiny_db(), tiny_channel())
+            .unwrap();
+        // Live entries: the colliding mode gets ModeMismatch, the same mode the
+        // ordinary DuplicateName.
+        let err = registry
+            .register_ldp("central", tiny_db(), tiny_channel())
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::ModeMismatch(_)), "{err}");
+        let err = registry
+            .register("local", tiny_db(), Epsilon::Finite(1.0))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::ModeMismatch(_)), "{err}");
+        assert!(matches!(
+            registry
+                .register("central", tiny_db(), Epsilon::Finite(1.0))
+                .unwrap_err(),
+            RegistryError::DuplicateName(_)
+        ));
+        assert!(matches!(
+            registry
+                .register_ldp("local", tiny_db(), tiny_channel())
+                .unwrap_err(),
+            RegistryError::DuplicateName(_)
+        ));
+        assert!(RegistryError::ModeMismatch("detail".into())
+            .to_string()
+            .contains("detail"));
+    }
+
+    #[test]
+    fn durable_cross_mode_re_registration_is_refused() {
+        let scratch = Scratch::new("xmode");
+        let path = scratch.write_fimi("d.dat", "1 2\n2 3\n");
+        {
+            let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+            registry
+                .register_file("central", &path, Epsilon::Finite(1.0))
+                .unwrap();
+            registry
+                .register_ldp_file("local", &path, tiny_channel(), 1, Vec::new())
+                .unwrap();
+        }
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        // The manifest remembers each mode across a restart: a central name cannot
+        // become LDP (its spent ε would be orphaned) nor the reverse.
+        let err = registry
+            .register_ldp_file("central", &path, tiny_channel(), 1, Vec::new())
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::ModeMismatch(_)), "{err}");
+        let err = registry
+            .register_file("local", &path, Epsilon::Finite(1.0))
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::ModeMismatch(_)), "{err}");
+        // A *different channel* under an existing LDP name is a manifest mismatch:
+        // the perturbed rows belong to the channel they came through.
+        let err = registry
+            .register_ldp_file(
+                "local",
+                &path,
+                LdpChannel::new(2.0, 8, 2).unwrap(),
+                1,
+                Vec::new(),
+            )
+            .unwrap_err();
+        assert!(matches!(err, RegistryError::Mismatch(_)), "{err}");
+        // The original spec still registers fine.
+        registry
+            .register_ldp_file("local", &path, tiny_channel(), 1, Vec::new())
+            .unwrap();
+    }
+
+    #[test]
+    fn recover_reloads_ldp_datasets_with_their_channel() {
+        let scratch = Scratch::new("ldprecover");
+        let path = scratch.write_fimi("l.dat", "1 2\n0 3\n2 3\n4 5\n");
+        {
+            let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+            let entry = registry
+                .register_ldp_file("local", &path, tiny_channel(), 2, Vec::new())
+                .unwrap();
+            assert!(entry.is_ldp());
+            // No journal is ever opened for an LDP dataset.
+            assert!(!scratch.0.join("local.wal").exists());
+            assert!(!scratch.0.join("local.snap").exists());
+        }
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        let report = registry.recover().unwrap();
+        assert_eq!(report.loaded, vec!["local".to_string()]);
+        let entry = registry.get("local").unwrap();
+        assert!(entry.is_ldp());
+        assert!(entry.ledger().is_none());
+        assert_eq!(entry.shards(), 2);
+        let channel = entry.ldp_channel().unwrap();
+        assert_eq!(
+            (
+                channel.epsilon_local(),
+                channel.universe(),
+                channel.pad_len()
+            ),
+            (4.0, 8, 2)
+        );
+    }
+
+    #[test]
+    fn consistency_toggle_survives_reshard_and_restart() {
+        let scratch = Scratch::new("consistency");
+        let path = scratch.write_fimi("c.dat", "1 2\n1 2 3\n2 3\n1 3\n");
+        {
+            let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+            let entry = registry
+                .register_file("c", &path, Epsilon::Finite(2.0))
+                .unwrap();
+            assert!(entry.consistency_enabled());
+            registry.set_consistency("c", false).unwrap();
+            assert!(!entry.consistency_enabled());
+            // The knob is shared across reshard generations, not copied.
+            let resharded = registry.reshard("c", 2).unwrap();
+            assert!(!resharded.consistency_enabled());
+            registry.set_consistency("c", true).unwrap();
+            registry.set_consistency("c", false).unwrap();
+            assert!(matches!(
+                registry.set_consistency("nope", true).unwrap_err(),
+                RegistryError::NotFound(_)
+            ));
+        }
+        // The manifest remembers the toggle across a restart.
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        registry.recover().unwrap();
+        assert!(!registry.get("c").unwrap().consistency_enabled());
+        // In-memory registries flip the live knob without persistence.
+        let registry = DatasetRegistry::new();
+        let entry = registry
+            .register("m", tiny_db(), Epsilon::Infinite)
+            .unwrap();
+        registry.set_consistency("m", false).unwrap();
+        assert!(!entry.consistency_enabled());
+    }
+
+    #[test]
+    fn snapshot_cadence_is_durable_and_retunes_live_journals() {
+        let scratch = Scratch::new("cadence");
+        {
+            let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+            let entry = registry
+                .register("d", tiny_db(), Epsilon::Finite(100.0))
+                .unwrap();
+            registry.set_snapshot_every(2).unwrap();
+            assert_eq!(registry.snapshot_every(), Some(2));
+            // The already-open journal compacts on the new cadence: two debits
+            // trigger a snapshot (generation > 0).
+            entry.ledger().unwrap().try_spend(0.5).unwrap();
+            entry.ledger().unwrap().try_spend(0.5).unwrap();
+            let stats = entry.journal_stats().unwrap();
+            assert!(
+                stats.snapshot_generation > 0,
+                "cadence 2 should have compacted after 2 debits, stats: {stats:?}"
+            );
+        }
+        // The cadence survives a restart via the manifest.
+        let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
+        assert_eq!(registry.snapshot_every(), Some(2));
+        // An in-memory registry has no journals to retune.
+        let registry = DatasetRegistry::new();
+        assert!(registry.snapshot_every().is_none());
+        assert!(matches!(
+            registry.set_snapshot_every(8).unwrap_err(),
+            RegistryError::Io(_)
+        ));
+    }
+
     #[test]
     fn reusing_a_name_inherits_its_durable_spend() {
         // Deleting the manifest (or registering a name whose journal survived) must
@@ -1636,7 +2255,7 @@ mod tests {
             let entry = registry
                 .register("d", tiny_db(), Epsilon::Finite(1.0))
                 .unwrap();
-            entry.ledger().try_spend(0.75).unwrap();
+            entry.ledger().unwrap().try_spend(0.75).unwrap();
         }
         std::fs::remove_file(scratch.0.join("manifest.json")).unwrap();
         let registry = DatasetRegistry::with_persistence(scratch.state()).unwrap();
@@ -1651,7 +2270,7 @@ mod tests {
             .register("d", tiny_db(), Epsilon::Finite(1.0))
             .unwrap();
         assert!(
-            (entry.ledger().spent() - 0.75).abs() < 1e-12,
+            (entry.ledger().unwrap().spent() - 0.75).abs() < 1e-12,
             "journal spend must survive manifest loss"
         );
     }

@@ -23,15 +23,16 @@
 use crate::audit_log::{seed_hash, AuditLog, AuditOutcome, AuditRecord};
 use crate::http::serve_http;
 use crate::protocol::{
-    dataset_status, query_reply, AdminReply, Envelope, ErrorCode, Op, QueryRequest,
-    RegisterRequest, RegisterSource, Response, ServerInfo, StatusReply, WireError,
-    PROTOCOL_VERSION,
+    dataset_status, query_reply, AdminReply, Envelope, ErrorCode, Op, PerturbRequest, QueryRequest,
+    RegisterLdpRequest, RegisterRequest, RegisterSource, Response, ServerInfo, StatusReply,
+    WireError, PROTOCOL_VERSION,
 };
 use crate::registry::{DatasetRegistry, RegistryError};
 use crate::telemetry::{PhaseBridge, ReqTrace};
-use pb_core::{PrivBasis, PrivBasisParams};
+use pb_core::{NoopObserver, PrivBasis, PrivBasisParams};
 use pb_dp::{DpError, Epsilon};
 use pb_fim::TransactionDb;
+use pb_ldp::LdpChannel;
 use pb_proto::AuditSummary;
 use pb_trace::Span;
 use rand::rngs::StdRng;
@@ -253,8 +254,12 @@ impl PbServer {
         });
         for name in self.registry.names() {
             if let Some(entry) = self.registry.get(&name) {
+                // LDP entries have no ledger (so nothing to reconcile) and no
+                // journal (so `is_durable` is false); both gates skip them.
                 if entry.is_durable() {
-                    audit.reconcile(&name, entry.ledger().spent(), AuditLog::now_ms());
+                    if let Some(ledger) = entry.ledger() {
+                        audit.reconcile(&name, ledger.spent(), AuditLog::now_ms());
+                    }
                 }
             }
         }
@@ -649,6 +654,12 @@ pub(crate) fn execute(
             false,
         ),
         Op::Query(query) => (run_query(query, ctx, trace), false),
+        // Perturbation is a client-side helper the server also offers (e.g. for
+        // clients without the mechanism crate): it randomizes rows under the
+        // dataset's registered channel and returns them. Not an admin op — it
+        // touches no registry state and spends nothing — so it routes before the
+        // admin catch-all below.
+        Op::Perturb(request) => (run_perturb(request, ctx), false),
         admin => {
             // Auth first, with nothing touched on failure: a rejected admin op must
             // leave the registry and the manifest exactly as they were.
@@ -688,6 +699,25 @@ fn constant_time_eq(a: &[u8], b: &[u8]) -> bool {
 fn run_admin(op: &Op, ctx: &ServerCtx) -> Response {
     let result = match op {
         Op::Register(request) => admin_register(request, ctx),
+        Op::RegisterLdp(request) => admin_register_ldp(request, ctx),
+        Op::SnapshotEvery { every } => match u32::try_from(*every) {
+            Err(_) => Err(WireError::malformed("snapshot cadence exceeds u32")),
+            Ok(every) => ctx
+                .registry
+                .set_snapshot_every(every)
+                .map(|()| AdminReply::SnapshotEvery {
+                    every: ctx.registry.snapshot_every().unwrap_or(every) as u64,
+                })
+                .map_err(registry_error),
+        },
+        Op::Consistency { name, enabled } => ctx
+            .registry
+            .set_consistency(name, *enabled)
+            .map(|entry| AdminReply::Consistency {
+                name: entry.name().to_string(),
+                enabled: entry.consistency_enabled(),
+            })
+            .map_err(registry_error),
         Op::Unregister { name } => ctx
             .registry
             .unregister(name)
@@ -748,9 +778,88 @@ fn admin_register(request: &RegisterRequest, ctx: &ServerCtx) -> Result<AdminRep
         shards: entry.shards() as u64,
         durable: entry.is_durable(),
         // Non-zero when the name inherited a durable ledger: the caller learns
-        // immediately that this budget has history.
-        epsilon_spent: entry.ledger().spent(),
+        // immediately that this budget has history. (`register` only builds
+        // central entries, so the ledger always exists here; the fallback keeps
+        // the seam honest rather than panicking a worker.)
+        epsilon_spent: entry.ledger().map_or(0.0, |ledger| ledger.spent()),
     })
+}
+
+/// Registers a dataset of already-perturbed rows under the LDP workload class: no
+/// ledger is created — the contributors' ε_local was spent client-side — and the
+/// channel parameters are recorded so queries debias with exactly what the rows were
+/// perturbed under.
+fn admin_register_ldp(
+    request: &RegisterLdpRequest,
+    ctx: &ServerCtx,
+) -> Result<AdminReply, WireError> {
+    let channel = LdpChannel::new(
+        request.params.epsilon_local,
+        request.params.universe,
+        request.params.pad as usize,
+    )
+    .map_err(|e| WireError::malformed(e.to_string()))?;
+    let shards = request
+        .shards
+        .or_else(|| ctx.registry.recorded_shards(&request.name))
+        .unwrap_or(1);
+    let entry = match &request.source {
+        RegisterSource::Path(path) => ctx.registry.register_ldp_file(
+            request.name.clone(),
+            path.clone(),
+            channel,
+            shards,
+            Vec::new(),
+        ),
+        RegisterSource::Rows(rows) => ctx.registry.register_ldp_sharded(
+            request.name.clone(),
+            TransactionDb::from_transactions(rows.clone()),
+            channel,
+            shards,
+        ),
+    }
+    .map_err(registry_error)?;
+    Ok(AdminReply::RegisteredLdp {
+        name: entry.name().to_string(),
+        transactions: entry.transactions() as u64,
+        shards: entry.shards() as u64,
+        params: request.params,
+    })
+}
+
+/// Pushes raw rows through a registered LDP dataset's channel. Spends nothing and
+/// mutates nothing — the caller gets back what its clients would have sent had they
+/// perturbed locally — so the op is not admin-gated. Refused with `mode_mismatch`
+/// against a central dataset: its rows are protected by the server-side ledger, and
+/// "perturbing" under a channel it was never registered with would be meaningless.
+fn run_perturb(request: &PerturbRequest, ctx: &ServerCtx) -> Response {
+    let Some(entry) = ctx.registry.get(&request.dataset) else {
+        return Response::Error(WireError::new(
+            ErrorCode::UnknownDataset,
+            format!("unknown dataset `{}`", request.dataset),
+        ));
+    };
+    let Some(channel) = entry.ldp_channel().copied() else {
+        return Response::Error(WireError::new(
+            ErrorCode::ModeMismatch,
+            format!(
+                "dataset `{}` serves the central workload class — `perturb` needs a \
+                 dataset registered with `register_ldp`",
+                request.dataset
+            ),
+        ));
+    };
+    // Same 53-bit mask as the query path, for the same reason: the echoed seed must
+    // survive the f64 JSON round trip exactly.
+    let seed = request
+        .seed
+        .unwrap_or_else(|| ctx.seed_counter.fetch_add(1, Ordering::Relaxed) & ((1 << 53) - 1));
+    // audit:allow(noise-seam): RNG construction only — the randomized-response draws happen inside pb-ldp
+    let mut rng = StdRng::seed_from_u64(seed);
+    Response::Perturbed {
+        rows: channel.perturb_rows(&mut rng, &request.rows),
+        seed,
+    }
 }
 
 /// Arms (non-empty spec) or clears (empty spec) the process-wide fault-injection
@@ -789,17 +898,22 @@ fn registry_error(e: RegistryError) -> WireError {
         | RegistryError::InvalidName(_)
         | RegistryError::InvalidShards { .. } => ErrorCode::Malformed,
         RegistryError::NotFound(_) => ErrorCode::UnknownDataset,
+        RegistryError::ModeMismatch(_) => ErrorCode::ModeMismatch,
         RegistryError::Io(_) => ErrorCode::Unavailable,
     };
     WireError::new(code, e.to_string())
 }
 
 /// Appends one query outcome to the ε-audit log. The seed travels hashed, never raw
-/// (a logged seed would let an audit reader re-derive the released noise).
+/// (a logged seed would let an audit reader re-derive the released noise). `epsilon`
+/// is the ε the outcome is about: the requested spend for a central query, 0 for an
+/// LDP query — LDP mining is post-processing and must never inflate the audited
+/// central totals.
 fn audit_query(
     ctx: &ServerCtx,
     trace: Option<&ReqTrace>,
     query: &QueryRequest,
+    epsilon: f64,
     seed: u64,
     outcome: AuditOutcome,
 ) {
@@ -808,7 +922,7 @@ fn audit_query(
             .map(|t| t.id().to_string())
             .unwrap_or_else(|| "-".to_string()),
         dataset: query.dataset.clone(),
-        epsilon: query.epsilon,
+        epsilon,
         k: query.k as u64,
         seed_hash: seed_hash(seed),
         outcome,
@@ -845,7 +959,14 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx, trace: Option<&ReqTrace>) ->
     // fabric-degraded dataset is NOT refused here: attempting the query is exactly how
     // a recovered worker heals — the fail-closed check below catches live failures.)
     if entry.journal_wedged() {
-        audit_query(ctx, trace, query, seed, AuditOutcome::Refused);
+        audit_query(
+            ctx,
+            trace,
+            query,
+            query.epsilon,
+            seed,
+            AuditOutcome::Refused,
+        );
         return Response::Error(WireError::new(
             ErrorCode::Unavailable,
             format!(
@@ -855,10 +976,23 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx, trace: Option<&ReqTrace>) ->
             ),
         ));
     }
-    // The mechanism always runs at the client's (finite, validated) ε — NOT at the
-    // ledger's return value: an infinite ledger returns `Epsilon::Infinite`, which is
-    // the zero-noise test mode and would silently publish exact counts.
-    let epsilon = Epsilon::Finite(query.epsilon);
+    let ldp = entry.ldp_channel().copied();
+    // For a central dataset the mechanism always runs at the client's (finite,
+    // validated) ε — NOT at the ledger's return value: an infinite ledger returns
+    // `Epsilon::Infinite`, which is the zero-noise test mode and would silently
+    // publish exact counts. For an LDP dataset `Epsilon::Infinite` is exactly right:
+    // privacy was already added client-side, the server's mining over the perturbed
+    // rows is deterministic post-processing (noiseless counting + debiasing), and the
+    // client's `epsilon` field is ignored — there is nothing left to spend it on.
+    let epsilon = match ldp {
+        Some(_) => Epsilon::Infinite,
+        None => Epsilon::Finite(query.epsilon),
+    };
+    // What the audit log (and the reply's `epsilon_spent`) reports for this query.
+    let epsilon_spent = match ldp {
+        Some(_) => 0.0,
+        None => query.epsilon,
+    };
     // audit:allow(noise-seam): RNG construction only — every draw happens inside pb-dp behind PrivBasis::run_shared
     let mut rng = StdRng::seed_from_u64(seed);
     let context = Arc::clone(entry.context());
@@ -878,12 +1012,48 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx, trace: Option<&ReqTrace>) ->
     if let (Some(req), Some(fabric)) = (trace, entry.fabric()) {
         fabric.set_trace_label(Some(req.id().to_string()));
     }
-    let pb = PrivBasis::new(ctx.params.clone());
-    let result = match trace {
-        Some(req) => {
-            pb.run_shared_observed(&mut rng, &context, query.k, epsilon, &PhaseBridge { req })
+    // The consistency pass is a per-dataset offline knob; disabling it only skips the
+    // post-processing repair, never touching noise draws or the budget.
+    let mut params = ctx.params.clone();
+    if !entry.consistency_enabled() {
+        params.consistency = None;
+    }
+    let pb = PrivBasis::new(params);
+    let result = match ldp {
+        Some(channel) => {
+            // Debias once, after the (possibly sharded, possibly remote) counts have
+            // merged: integer shard counts sum exactly, so the transform sees the
+            // same observed support for any shard count or placement — byte-identity
+            // of LDP releases is inherited from the central path's, not re-proven.
+            let n = entry.transactions() as u64;
+            let debias = move |itemset: &pb_fim::ItemSet, observed: f64| {
+                channel.debias(observed, n, itemset.len())
+            };
+            match trace {
+                Some(req) => pb.run_shared_transformed(
+                    &mut rng,
+                    &context,
+                    query.k,
+                    epsilon,
+                    &debias,
+                    &PhaseBridge { req },
+                ),
+                None => pb.run_shared_transformed(
+                    &mut rng,
+                    &context,
+                    query.k,
+                    epsilon,
+                    &debias,
+                    &NoopObserver,
+                ),
+            }
         }
-        None => pb.run_shared(&mut rng, &context, query.k, epsilon),
+        None => match trace {
+            Some(req) => {
+                pb.run_shared_observed(&mut rng, &context, query.k, epsilon, &PhaseBridge { req })
+            }
+            None => pb.run_shared(&mut rng, &context, query.k, epsilon),
+        },
     };
     if let Some(fabric) = entry.fabric() {
         fabric.set_trace_label(None);
@@ -891,7 +1061,14 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx, trace: Option<&ReqTrace>) ->
     match result {
         Ok(output) => {
             if entry.fabric_failures() != fabric_before {
-                audit_query(ctx, trace, query, seed, AuditOutcome::FailedClosed);
+                audit_query(
+                    ctx,
+                    trace,
+                    query,
+                    epsilon_spent,
+                    seed,
+                    AuditOutcome::FailedClosed,
+                );
                 return Response::Error(WireError::new(
                     ErrorCode::Unavailable,
                     format!(
@@ -903,38 +1080,69 @@ fn run_query(query: &QueryRequest, ctx: &ServerCtx, trace: Option<&ReqTrace>) ->
                     ),
                 ));
             }
-            let debit_started = ctx.telemetry.now_us();
-            let debit = entry.ledger().try_spend(query.epsilon);
-            if let Some(req) = trace {
-                req.span_since("debit", debit_started);
-            }
-            if let Err(e) = debit {
-                audit_query(ctx, trace, query, seed, AuditOutcome::Refused);
-                let code = match &e {
-                    DpError::BudgetExceeded { .. } => ErrorCode::BudgetExhausted,
-                    DpError::Persistence(_) => ErrorCode::Unavailable,
-                    _ => ErrorCode::Internal,
-                };
-                return Response::Error(WireError::new(code, e.to_string()));
-            }
+            // The debit exists only where a ledger does. An LDP entry has none *by
+            // construction* (the `Option` is forced here, not checked at runtime
+            // against a zero charge), so its queries cannot touch a budget: nothing
+            // to debit, nothing to exhaust, `remaining` is ∞ forever.
+            let remaining = match entry.ledger() {
+                Some(ledger) => {
+                    let debit_started = ctx.telemetry.now_us();
+                    let debit = ledger.try_spend(query.epsilon);
+                    if let Some(req) = trace {
+                        req.span_since("debit", debit_started);
+                    }
+                    if let Err(e) = debit {
+                        audit_query(
+                            ctx,
+                            trace,
+                            query,
+                            epsilon_spent,
+                            seed,
+                            AuditOutcome::Refused,
+                        );
+                        let code = match &e {
+                            DpError::BudgetExceeded { .. } => ErrorCode::BudgetExhausted,
+                            DpError::Persistence(_) => ErrorCode::Unavailable,
+                            _ => ErrorCode::Internal,
+                        };
+                        return Response::Error(WireError::new(code, e.to_string()));
+                    }
+                    ledger.remaining()
+                }
+                None => f64::INFINITY,
+            };
             entry.record_query();
             // Audited after the durable debit, immediately around the release: a crash
             // in the gap leaves the journal ahead of the audit log, which recovery
             // reconciles (never the reverse — the audit log cannot claim unspent ε).
-            audit_query(ctx, trace, query, seed, AuditOutcome::Released);
+            audit_query(
+                ctx,
+                trace,
+                query,
+                epsilon_spent,
+                seed,
+                AuditOutcome::Released,
+            );
             if let Some(req) = trace {
                 req.set_outcome("released");
             }
             Response::Query(query_reply(
                 &query.dataset,
-                query.epsilon,
-                entry.ledger().remaining(),
+                epsilon_spent,
+                remaining,
                 seed,
                 &output,
             ))
         }
         Err(e) => {
-            audit_query(ctx, trace, query, seed, AuditOutcome::FailedClosed);
+            audit_query(
+                ctx,
+                trace,
+                query,
+                epsilon_spent,
+                seed,
+                AuditOutcome::FailedClosed,
+            );
             Response::Error(WireError::new(ErrorCode::Internal, e.to_string()))
         }
     }

@@ -114,16 +114,17 @@ fn journal_append_failure_rolls_the_spend_back() {
     pb_fault::arm("journal.append=fail-once").unwrap();
     entry
         .ledger()
+        .unwrap()
         .try_spend(0.5)
         .expect_err("a debit that cannot be staged must not be granted");
     // The failed stage wrote nothing, so the balance rolls back in full …
-    assert_eq!(entry.ledger().spent(), 0.0);
+    assert_eq!(entry.ledger().unwrap().spent(), 0.0);
     // … and the journal did not wedge (the repair truncated back to a valid prefix).
     assert!(!entry.is_degraded());
 
     // The next spend (fault spent) goes through and is accounted exactly once.
-    entry.ledger().try_spend(0.5).unwrap();
-    assert_eq!(entry.ledger().spent(), 0.5);
+    entry.ledger().unwrap().try_spend(0.5).unwrap();
+    assert_eq!(entry.ledger().unwrap().spent(), 0.5);
     pb_fault::clear();
 }
 
@@ -141,13 +142,14 @@ fn a_wedged_journal_degrades_the_dataset_to_read_only() {
     let entry = registry
         .register("tx", rows(), Epsilon::Finite(10.0))
         .unwrap();
-    entry.ledger().try_spend(0.25).unwrap();
+    entry.ledger().unwrap().try_spend(0.25).unwrap();
     assert!(!entry.is_degraded());
 
     // A failed group fsync latches the wedge: the staged bytes' durability is unknown.
     pb_fault::arm("journal.fsync=fail-once").unwrap();
     entry
         .ledger()
+        .unwrap()
         .try_spend(0.25)
         .expect_err("a debit whose fsync failed must surface the failure");
     assert!(entry.is_degraded(), "the journal must fail closed");
@@ -155,15 +157,16 @@ fn a_wedged_journal_degrades_the_dataset_to_read_only() {
     // Fail closed means: the staged-but-unflushed debit stays *counted* (ε is never
     // under-counted), status keeps serving and reports the degradation, and every
     // further spend is refused even though the injected fault is long spent.
-    assert_eq!(entry.ledger().spent(), 0.5);
+    assert_eq!(entry.ledger().unwrap().spent(), 0.5);
     let status = dataset_status(&entry);
     assert!(status.degraded);
     assert_eq!(status.spent, 0.5);
     entry
         .ledger()
+        .unwrap()
         .try_spend(0.25)
         .expect_err("a wedged journal must refuse all further spends");
-    assert_eq!(entry.ledger().spent(), 0.5);
+    assert_eq!(entry.ledger().unwrap().spent(), 0.5);
 
     // A restart (fresh handles over the same state dir) recovers: the wedge is
     // in-process state, the durable ledger is intact and still counts the spend.
@@ -176,9 +179,9 @@ fn a_wedged_journal_degrades_the_dataset_to_read_only() {
         .register("tx", rows(), Epsilon::Finite(10.0))
         .unwrap();
     assert!(!entry.is_degraded());
-    assert_eq!(entry.ledger().spent(), 0.5);
-    entry.ledger().try_spend(0.25).unwrap();
-    assert_eq!(entry.ledger().spent(), 0.75);
+    assert_eq!(entry.ledger().unwrap().spent(), 0.5);
+    entry.ledger().unwrap().try_spend(0.25).unwrap();
+    assert_eq!(entry.ledger().unwrap().spent(), 0.75);
     pb_fault::clear();
 }
 
@@ -231,7 +234,7 @@ fn a_fabric_failure_mid_query_fails_closed_before_the_debit() {
 
     // Healthy fabric: the pinned-seed query releases and debits.
     let healthy = client.query("fab", 2, 0.5, Some(7)).unwrap();
-    assert_eq!(entry.ledger().spent(), 0.5);
+    assert_eq!(entry.ledger().unwrap().spent(), 0.5);
 
     // Kill the fabric. `fail-prob:1` (not `fail-once`) because the fabric hedges:
     // a failed send retries once on a fresh connection, so a single-shot fault is
@@ -253,7 +256,7 @@ fn a_fabric_failure_mid_query_fails_closed_before_the_debit() {
     );
     // Fail closed means *before* the debit: the answer was discarded unreleased and
     // the ledger never moved.
-    assert_eq!(entry.ledger().spent(), 0.5);
+    assert_eq!(entry.ledger().unwrap().spent(), 0.5);
     assert!(entry.fabric_down());
 
     // Heal the fabric: the next query re-dials, re-releases the same bytes for the
@@ -262,7 +265,7 @@ fn a_fabric_failure_mid_query_fails_closed_before_the_debit() {
     let healed = client.query("fab", 2, 0.5, Some(7)).unwrap();
     assert_eq!(healed.itemsets, healthy.itemsets);
     assert_eq!(healed.seed, healthy.seed);
-    assert_eq!(entry.ledger().spent(), 1.0);
+    assert_eq!(entry.ledger().unwrap().spent(), 1.0);
     assert!(!entry.fabric_down());
 
     client.shutdown().unwrap();

@@ -230,7 +230,7 @@ fn audit_log_reconciles_exactly_with_the_journal_after_an_unclean_restart() {
     client.status().unwrap();
 
     // The audit log's released-ε total equals the journal's spent ε — exactly.
-    let journal_spent = registry.get("retail").unwrap().ledger().spent();
+    let journal_spent = registry.get("retail").unwrap().ledger().unwrap().spent();
     assert_eq!(journal_spent, 0.75);
     let replayed = std::fs::read_to_string(&audit_path).unwrap();
     let audited: f64 = replayed
@@ -265,7 +265,10 @@ fn audit_log_reconciles_exactly_with_the_journal_after_an_unclean_restart() {
         })
         .map(|r| r.get("epsilon").and_then(Json::as_f64).unwrap())
         .sum();
-    assert_eq!(audited, registry.get("retail").unwrap().ledger().spent());
+    assert_eq!(
+        audited,
+        registry.get("retail").unwrap().ledger().unwrap().spent()
+    );
 
     // A refused query (budget exhausted) is audited too, spending nothing.
     let err = client.query("retail", 5, 100.0, Some(10)).unwrap_err();

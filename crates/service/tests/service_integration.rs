@@ -171,8 +171,11 @@ fn concurrent_clients_never_overspend_the_ledger() {
 
     assert_eq!(successes, 20, "ledger must admit exactly budget/ε queries");
     let entry = registry.get("retail").unwrap();
-    assert!(entry.ledger().spent() <= 0.5 + 1e-9, "over-spend detected");
-    assert!(entry.ledger().is_exhausted());
+    assert!(
+        entry.ledger().unwrap().spent() <= 0.5 + 1e-9,
+        "over-spend detected"
+    );
+    assert!(entry.ledger().unwrap().is_exhausted());
     assert_eq!(entry.queries_served(), 20);
     assert!(
         entry.index_is_cached(),
@@ -733,6 +736,118 @@ fn status_reports_datasets_and_errors_are_structured() {
         Some(1.5)
     );
     assert_eq!(datasets[0].get("queries").and_then(Json::as_u64), Some(1));
+
+    shutdown(addr, handle);
+}
+
+#[test]
+fn ldp_surface_is_served_over_http() {
+    // The LDP ops must ride the same gateway as everything else: register_ldp /
+    // snapshot_every / consistency behind the bearer token, perturb open (it is
+    // the same randomizer a client runs locally), and a query release that is
+    // byte-identical to the TCP path.
+    let registry = Arc::new(DatasetRegistry::new());
+    let config = ServiceConfig {
+        threads: 2,
+        admin_token: Some("s3cret".into()),
+        http_port: Some(0),
+        ..ServiceConfig::default()
+    };
+    let server = PbServer::bind("127.0.0.1:0", Arc::clone(&registry), config).unwrap();
+    let addr = server.local_addr().unwrap();
+    let http_addr = server.http_addr().unwrap().unwrap();
+    let handle = std::thread::spawn(move || server.run().expect("server run"));
+
+    let rows_json = (0..60)
+        .map(|i| format!("[{},{}]", i % 5, 5 + (i % 3)))
+        .collect::<Vec<_>>()
+        .join(",");
+    let register_body = format!(
+        r#"{{"name":"loc","rows":[{rows_json}],"epsilon_local":6.0,"universe":8,"pad":2,"shards":2}}"#
+    );
+
+    // Wrong token is a 401 and must not act.
+    let (status, body) = http_request(
+        http_addr,
+        "POST",
+        "/v1/admin/register_ldp",
+        &register_body,
+        Some("wrong"),
+    );
+    assert_eq!(status, 401, "{body}");
+    assert!(registry.get("loc").is_none(), "rejections must not act");
+
+    let (status, body) = http_request(
+        http_addr,
+        "POST",
+        "/v1/admin/register_ldp",
+        &register_body,
+        Some("s3cret"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""registered_ldp":"loc""#), "{body}");
+    assert!(body.contains(r#""epsilon_local":6"#), "{body}");
+    assert!(registry.get("loc").unwrap().is_ldp());
+
+    // Perturbation needs no token; a pinned seed reproduces bytes exactly.
+    let perturb_body = r#"{"dataset":"loc","rows":[[0,1,2],[3,4]],"seed":42}"#;
+    let (status, first) = http_request(http_addr, "POST", "/v1/perturb", perturb_body, None);
+    assert_eq!(status, 200, "{first}");
+    assert!(first.contains(r#""perturbed":"#), "{first}");
+    assert!(first.contains(r#""seed":42"#), "{first}");
+    let (_, second) = http_request(http_addr, "POST", "/v1/perturb", perturb_body, None);
+    assert_eq!(
+        first, second,
+        "pinned-seed perturbation must be reproducible"
+    );
+
+    // The HTTP release carries no debit and matches the TCP release byte for byte.
+    let query_body = r#"{"dataset":"loc","k":3,"epsilon":1.0,"seed":11}"#;
+    let (status, http) = http_request(http_addr, "POST", "/v1/query", query_body, None);
+    assert_eq!(status, 200, "{http}");
+    assert!(http.contains(r#""epsilon_spent":0"#), "{http}");
+    assert!(http.contains(r#""remaining_budget":null"#), "{http}");
+    let mut client = PbClient::connect(addr).unwrap();
+    let tcp = client
+        .raw_line(r#"{"v":2,"id":"q","op":"query","dataset":"loc","k":3,"epsilon":1.0,"seed":11}"#)
+        .unwrap();
+    assert_eq!(
+        release_bytes(&http),
+        release_bytes(&tcp),
+        "HTTP and TCP must release identical LDP bytes"
+    );
+
+    // Cross-mode registration over the LDP name is a structured 409.
+    let (status, body) = http_request(
+        http_addr,
+        "POST",
+        "/v1/admin/register",
+        &format!(r#"{{"name":"loc","rows":[{rows_json}],"budget":2.0}}"#),
+        Some("s3cret"),
+    );
+    assert_eq!(status, 409, "{body}");
+    assert!(body.contains(r#""code":"mode_mismatch""#), "{body}");
+
+    // The offline knobs are routed: consistency acks, snapshot_every on an
+    // in-memory registry is a structured 503 naming the missing state dir.
+    let (status, body) = http_request(
+        http_addr,
+        "POST",
+        "/v1/admin/consistency",
+        r#"{"name":"loc","enabled":false}"#,
+        Some("s3cret"),
+    );
+    assert_eq!(status, 200, "{body}");
+    assert!(body.contains(r#""enabled":false"#), "{body}");
+    let (status, body) = http_request(
+        http_addr,
+        "POST",
+        "/v1/admin/snapshot_every",
+        r#"{"every":8}"#,
+        Some("s3cret"),
+    );
+    assert_eq!(status, 503, "{body}");
+    assert!(body.contains("state-dir"), "{body}");
 
     shutdown(addr, handle);
 }

@@ -29,13 +29,13 @@ fn main() {
             entry.is_durable()
         );
         for _ in 0..3 {
-            entry.ledger().try_spend(0.5).expect("spend ε");
+            entry.ledger().unwrap().try_spend(0.5).expect("spend ε");
             entry.record_query();
         }
         println!(
             "process 1: spent ε = {}, remaining = {}, queries = {}",
-            entry.ledger().spent(),
-            entry.ledger().remaining(),
+            entry.ledger().unwrap().spent(),
+            entry.ledger().unwrap().remaining(),
             entry.queries_served()
         );
         println!("process 1: crashing without shutdown…");
@@ -51,20 +51,25 @@ fn main() {
     let entry = registry.get("retail").expect("dataset is back");
     println!(
         "process 2: spent ε = {}, remaining = {}, queries = {}",
-        entry.ledger().spent(),
-        entry.ledger().remaining(),
+        entry.ledger().unwrap().spent(),
+        entry.ledger().unwrap().remaining(),
         entry.queries_served()
     );
-    assert_eq!(entry.ledger().spent(), 1.5, "durable spend must survive");
+    assert_eq!(
+        entry.ledger().unwrap().spent(),
+        1.5,
+        "durable spend must survive"
+    );
     assert_eq!(entry.queries_served(), 3);
 
     // The recovered ledger keeps enforcing the same lifetime budget: one more 0.5
     // fits, then the dataset is exhausted — and *that* survives restarts too.
     entry
         .ledger()
+        .unwrap()
         .try_spend(0.5)
         .expect("last affordable spend");
-    let refused = entry.ledger().try_spend(0.5);
+    let refused = entry.ledger().unwrap().try_spend(0.5);
     println!("process 2: further spend after exhaustion → {refused:?}");
     assert!(refused.is_err(), "exhausted must stay exhausted");
 

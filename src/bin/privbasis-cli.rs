@@ -11,8 +11,10 @@
 //!               [--shards 4 --shard-worker 10.0.0.1:8711 --shard-worker 10.0.0.2:8711]
 //! privbasis-cli shard-worker --port 8711 [--host 127.0.0.1] [--threads 4]
 //! privbasis-cli audit [--root DIR] [--json]
+//! privbasis-cli perturb --input retail.dat --epsilon-local 4.0 [--universe K] [--pad L]
+//!               [--seed 42] [--out perturbed.dat]
 //! privbasis-cli eval --input retail.dat [--ks 10,50,100] [--epsilons 0.25,0.5,1.0]
-//!               [--runs 5] [--seed 42] [--out BENCH_utility.json]
+//!               [--runs 5] [--seed 42] [--out BENCH_utility.json] [--ldp]
 //! ```
 //!
 //! The input format is the FIMI repository format the paper's datasets are distributed in:
@@ -35,7 +37,14 @@
 //! `--runs` times per cell (seeds `seed`, `seed+1`, …), scores every release against
 //! the exact top-`k` with pb-metrics (precision / recall / F1, mean ± standard error),
 //! prints an aligned table, and writes the full grid as JSON for plotting — the
-//! paper's §5 utility experiment as one command.
+//! paper's §5 utility experiment as one command. With `--ldp` every cell is scored
+//! twice — once through the central mechanism at ε and once through the local model
+//! (client-side k-RR perturbation at ε_local = ε, debiased noiseless mining) — the
+//! central-vs-local accuracy grid, written to `BENCH_ldp.json` by default.
+//!
+//! `perturb` is the client half of the local model: it pushes a raw FIMI file
+//! through an [`LdpChannel`] (k-ary randomized response over padded transactions) and
+//! emits the perturbed FIMI rows — what an untrusting client would upload.
 
 #![forbid(unsafe_code)]
 
@@ -45,7 +54,7 @@ use privbasis::fim::io::read_fimi_file;
 use privbasis::fim::rules::generate_rules_from_noisy;
 use privbasis::service::{DatasetRegistry, PbServer, ServiceConfig, StateDir};
 use privbasis::tf::{TfConfig, TfMethod};
-use privbasis::{ItemSet, PrivBasis, PublishedItemset, ShardedDb, TransactionDb};
+use privbasis::{ItemSet, LdpChannel, PrivBasis, PublishedItemset, ShardedDb, TransactionDb};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::process::ExitCode;
@@ -126,9 +135,11 @@ const USAGE: &str = "usage: privbasis-cli --input <file.dat> --k <K> --epsilon <
        [--shard-worker <ADDR:PORT>]...\n\
    or: privbasis-cli shard-worker --port <PORT> [--host <ADDR>] [--threads <N>]\n\
    or: privbasis-cli audit [--root <DIR>] [--json]\n\
+   or: privbasis-cli perturb --input <file.dat> --epsilon-local <EPS> [--universe <K>]\n\
+       [--pad <L>] [--seed <SEED>] [--out <FILE.dat>]\n\
    or: privbasis-cli eval --input <file.dat> [--ks <K,K,...>] [--epsilons <E,E,...>]\n\
        [--runs <R>] [--seed <SEED>] [--method pb|tf] [--m <M>] [--no-consistency]\n\
-       [--out <FILE.json>]\n\
+       [--out <FILE.json>] [--ldp] [--ldp-universe <K>] [--ldp-pad <L>]\n\
 \n\
   --input    FIMI-format transaction file (one transaction per line, integer items)\n\
   --k        number of itemsets to publish\n\
@@ -193,6 +204,17 @@ audit mode:\n\
   --json     emit findings as JSON (stable order, one object per line)\n\
              exit status: 0 clean, 1 findings, 2 usage or IO error\n\
 \n\
+perturb mode (the client half of the local model): push a raw FIMI file through\n\
+k-ary randomized response over padded transactions and print the perturbed rows\n\
+as FIMI — what an untrusting client would upload to a `register_ldp` dataset.\n\
+  --input          FIMI-format transaction file (required)\n\
+  --epsilon-local  per-transaction LDP budget, split over the pad slots\n\
+                   (required; `inf` = the identity channel, for testing)\n\
+  --universe       item universe size K, items are 0..K (default: max item + 1)\n\
+  --pad            fixed report length L (default: avg transaction length, >= 1)\n\
+  --seed           RNG seed (default 42; same seed, same report)\n\
+  --out            write the perturbed FIMI here instead of stdout\n\
+\n\
 eval mode (utility harness): score private releases against the exact top-k over\n\
 an epsilon x k grid and write the results as JSON for plotting.\n\
   --input     FIMI-format transaction file (required)\n\
@@ -202,7 +224,15 @@ an epsilon x k grid and write the results as JSON for plotting.\n\
   --seed      base RNG seed (default 42)\n\
   --method    pb (default) or tf\n\
   --m         TF length cap (default 2; ignored for pb)\n\
-  --out       JSON output path (default BENCH_utility.json)";
+  --out       JSON output path (default BENCH_utility.json; BENCH_ldp.json\n\
+              with --ldp)\n\
+  --ldp       score every cell through BOTH trust models: central DP at\n\
+              epsilon and local DP at epsilon_local = epsilon (client-side\n\
+              k-RR perturbation, then debiased noiseless mining) — the\n\
+              central-vs-local accuracy grid\n\
+  --ldp-universe\n\
+              LDP item universe size (default: max item + 1)\n\
+  --ldp-pad   LDP report length L (default: avg transaction length, >= 1)";
 
 /// Parses arguments; returns `Err(message)` on any problem.
 fn parse_args(args: &[String]) -> Result<Options, String> {
@@ -635,10 +665,16 @@ fn serve(options: &ServeOptions) -> Result<(), String> {
             }
         }
         eprintln!(
-            "recovered `{name}`: {} transactions, ε spent = {}, remaining = {}, {} queries answered{}",
+            "recovered `{name}`: {} transactions, {}, {} queries answered{}",
             entry.transactions(),
-            entry.ledger().spent(),
-            entry.ledger().remaining(),
+            match entry.ledger() {
+                Some(ledger) => format!(
+                    "ε spent = {}, remaining = {}",
+                    ledger.spent(),
+                    ledger.remaining()
+                ),
+                None => "LDP mode (no server-side budget)".to_string(),
+            },
             entry.queries_served(),
             if entry.shards() > 1 {
                 format!(", {} shards", entry.shards())
@@ -759,6 +795,161 @@ fn audit(options: &AuditOptions) -> ExitCode {
     }
 }
 
+/// Parsed options of the `perturb` subcommand.
+#[derive(Debug, Clone, PartialEq)]
+struct PerturbOptions {
+    input: String,
+    epsilon_local: f64,
+    /// Item universe size `K` (`None` = derive max item + 1 from the data).
+    universe: Option<u32>,
+    /// Fixed report length `L` (`None` = derive from the average transaction length).
+    pad: Option<usize>,
+    seed: u64,
+    /// Output path (`None` = stdout).
+    out: Option<String>,
+}
+
+/// Parses the arguments after the `perturb` keyword.
+fn parse_perturb_args(args: &[String]) -> Result<PerturbOptions, String> {
+    let mut input: Option<String> = None;
+    let mut epsilon_local: Option<f64> = None;
+    let mut universe: Option<u32> = None;
+    let mut pad: Option<usize> = None;
+    let mut seed = 42u64;
+    let mut out: Option<String> = None;
+
+    let mut i = 0;
+    while i < args.len() {
+        let flag = args[i].as_str();
+        let mut value = |name: &str| -> Result<String, String> {
+            i += 1;
+            args.get(i)
+                .cloned()
+                .ok_or_else(|| format!("{name} needs a value"))
+        };
+        match flag {
+            "--input" => input = Some(value("--input")?),
+            "--epsilon-local" => {
+                let raw = value("--epsilon-local")?;
+                let e = if raw == "inf" {
+                    f64::INFINITY
+                } else {
+                    raw.parse()
+                        .map_err(|_| "--epsilon-local must be a number or `inf`".to_string())?
+                };
+                if e.is_nan() || e <= 0.0 {
+                    return Err("--epsilon-local must be positive".to_string());
+                }
+                epsilon_local = Some(e);
+            }
+            "--universe" => {
+                let k: u32 = value("--universe")?
+                    .parse()
+                    .map_err(|_| "--universe must be a positive integer".to_string())?;
+                if k == 0 {
+                    return Err("--universe must be at least 1".to_string());
+                }
+                universe = Some(k);
+            }
+            "--pad" => {
+                let l: usize = value("--pad")?
+                    .parse()
+                    .map_err(|_| "--pad must be a positive integer".to_string())?;
+                if l == 0 || l > privbasis::ldp::MAX_PAD_LEN {
+                    return Err(format!(
+                        "--pad must be between 1 and {}",
+                        privbasis::ldp::MAX_PAD_LEN
+                    ));
+                }
+                pad = Some(l);
+            }
+            "--seed" => {
+                seed = value("--seed")?
+                    .parse()
+                    .map_err(|_| "--seed must be an integer".to_string())?
+            }
+            "--out" => out = Some(value("--out")?),
+            "--help" | "-h" => return Err(USAGE.to_string()),
+            other => return Err(format!("unknown perturb flag `{other}`\n\n{USAGE}")),
+        }
+        i += 1;
+    }
+    let input = input.ok_or_else(|| format!("perturb needs --input\n\n{USAGE}"))?;
+    let epsilon_local =
+        epsilon_local.ok_or_else(|| format!("perturb needs --epsilon-local\n\n{USAGE}"))?;
+    Ok(PerturbOptions {
+        input,
+        epsilon_local,
+        universe,
+        pad,
+        seed,
+        out,
+    })
+}
+
+/// The universe a dataset implies when the operator does not pin one: max item + 1.
+fn derived_universe(db: &TransactionDb) -> u32 {
+    db.iter()
+        .flat_map(|t| t.iter())
+        .max()
+        .map_or(1, |max| max + 1)
+}
+
+/// The pad length a dataset implies: the average transaction length, rounded up,
+/// at least 1. Longer transactions are truncated — a visible, operator-tunable cap.
+fn derived_pad(db: &TransactionDb) -> usize {
+    (db.avg_transaction_len().ceil() as usize).max(1)
+}
+
+/// Builds the channel the perturb/eval options describe over `db`.
+fn build_channel(
+    db: &TransactionDb,
+    epsilon_local: f64,
+    universe: Option<u32>,
+    pad: Option<usize>,
+) -> Result<LdpChannel, String> {
+    let universe = universe.unwrap_or_else(|| derived_universe(db));
+    let pad = pad.unwrap_or_else(|| derived_pad(db));
+    LdpChannel::new(epsilon_local, universe, pad).map_err(|e| e.to_string())
+}
+
+/// Runs the `perturb` subcommand: raw FIMI in, perturbed FIMI out.
+fn perturb(options: &PerturbOptions) -> Result<(), String> {
+    let db = read_fimi_file(&options.input)
+        .map_err(|e| format!("failed to read {}: {e}", options.input))?;
+    if db.is_empty() {
+        return Err(format!("{} contains no transactions", options.input));
+    }
+    let channel = build_channel(&db, options.epsilon_local, options.universe, options.pad)?;
+    let rows: Vec<Vec<u32>> = db.iter().map(|t| t.iter().collect()).collect();
+    // audit:allow(noise-seam): RNG construction only — the k-RR draws happen inside pb-ldp
+    let mut rng = StdRng::seed_from_u64(options.seed);
+    let perturbed = channel.perturb_rows(&mut rng, &rows);
+    let mut text = String::new();
+    for report in &perturbed {
+        let items: Vec<String> = report.iter().map(|i| i.to_string()).collect();
+        text.push_str(&items.join(" "));
+        text.push('\n');
+    }
+    eprintln!(
+        "perturbed {} transactions through k-RR: ε_local = {}, universe = {}, pad = {} \
+         (ε per slot = {:.4})",
+        perturbed.len(),
+        channel.epsilon_local(),
+        channel.universe(),
+        channel.pad_len(),
+        channel.epsilon_per_slot(),
+    );
+    match &options.out {
+        Some(path) => {
+            std::fs::write(path, text).map_err(|e| format!("failed to write {path}: {e}"))?;
+            eprintln!("wrote {path}");
+        }
+        None => print!("{text}"),
+    }
+    Ok(())
+}
+
 /// Parsed options of the `eval` subcommand.
 #[derive(Debug, Clone, PartialEq)]
 struct EvalOptions {
@@ -771,6 +962,12 @@ struct EvalOptions {
     tf_m: usize,
     no_consistency: bool,
     out: String,
+    /// Also score every cell through the local model (ε_local = ε).
+    ldp: bool,
+    /// LDP universe override (`None` = derive max item + 1 from the data).
+    ldp_universe: Option<u32>,
+    /// LDP pad-length override (`None` = derive from the average transaction length).
+    ldp_pad: Option<usize>,
 }
 
 /// Parses the arguments after the `eval` keyword.
@@ -783,7 +980,10 @@ fn parse_eval_args(args: &[String]) -> Result<EvalOptions, String> {
     let mut method = Method::PrivBasis;
     let mut tf_m = 2usize;
     let mut no_consistency = false;
-    let mut out = "BENCH_utility.json".to_string();
+    let mut out: Option<String> = None;
+    let mut ldp = false;
+    let mut ldp_universe: Option<u32> = None;
+    let mut ldp_pad: Option<usize> = None;
 
     let mut i = 0;
     while i < args.len() {
@@ -845,13 +1045,48 @@ fn parse_eval_args(args: &[String]) -> Result<EvalOptions, String> {
                 }
             }
             "--no-consistency" => no_consistency = true,
-            "--out" => out = value("--out")?,
+            "--out" => out = Some(value("--out")?),
+            "--ldp" => ldp = true,
+            "--ldp-universe" => {
+                let k: u32 = value("--ldp-universe")?
+                    .parse()
+                    .map_err(|_| "--ldp-universe must be a positive integer".to_string())?;
+                if k == 0 {
+                    return Err("--ldp-universe must be at least 1".to_string());
+                }
+                ldp_universe = Some(k);
+            }
+            "--ldp-pad" => {
+                let l: usize = value("--ldp-pad")?
+                    .parse()
+                    .map_err(|_| "--ldp-pad must be a positive integer".to_string())?;
+                if l == 0 || l > privbasis::ldp::MAX_PAD_LEN {
+                    return Err(format!(
+                        "--ldp-pad must be between 1 and {}",
+                        privbasis::ldp::MAX_PAD_LEN
+                    ));
+                }
+                ldp_pad = Some(l);
+            }
             "--help" | "-h" => return Err(USAGE.to_string()),
             other => return Err(format!("unknown eval flag `{other}`\n\n{USAGE}")),
         }
         i += 1;
     }
     let input = input.ok_or_else(|| format!("eval needs --input\n\n{USAGE}"))?;
+    if (ldp_universe.is_some() || ldp_pad.is_some()) && !ldp {
+        return Err("--ldp-universe/--ldp-pad need --ldp".to_string());
+    }
+    if ldp && method == Method::TruncatedFrequency {
+        return Err("--ldp applies to the pb method only".to_string());
+    }
+    let out = out.unwrap_or_else(|| {
+        if ldp {
+            "BENCH_ldp.json".to_string()
+        } else {
+            "BENCH_utility.json".to_string()
+        }
+    });
     Ok(EvalOptions {
         input,
         ks,
@@ -862,12 +1097,17 @@ fn parse_eval_args(args: &[String]) -> Result<EvalOptions, String> {
         tf_m,
         no_consistency,
         out,
+        ldp,
+        ldp_universe,
+        ldp_pad,
     })
 }
 
 /// One scored grid cell: utility of the private release vs the exact top-`k`,
 /// aggregated over the repeated runs.
 struct EvalCell {
+    /// `"central"` (server-side noise at ε) or `"ldp"` (client-side k-RR at ε_local = ε).
+    mode: &'static str,
     epsilon: f64,
     k: usize,
     precision: privbasis::metrics::Summary,
@@ -875,17 +1115,91 @@ struct EvalCell {
     f1: privbasis::metrics::Summary,
 }
 
+/// One local-model release: perturb every transaction through `channel` under
+/// `seed`, then mine the perturbed data noiselessly with the debias correction —
+/// exactly what the server does for a `register_ldp` dataset, minus the wire.
+fn run_ldp(
+    db: &TransactionDb,
+    channel: LdpChannel,
+    k: usize,
+    no_consistency: bool,
+    seed: u64,
+) -> Result<Vec<(ItemSet, f64)>, String> {
+    use privbasis::core::{NoopObserver, QueryContext};
+    let rows: Vec<Vec<u32>> = db.iter().map(|t| t.iter().collect()).collect();
+    // audit:allow(noise-seam): RNG construction only — the k-RR draws happen inside pb-ldp
+    let mut rng = StdRng::seed_from_u64(seed);
+    let perturbed = TransactionDb::from_transactions(channel.perturb_rows(&mut rng, &rows));
+    let n = perturbed.len() as u64;
+    let context = QueryContext::new(Arc::new(perturbed));
+    let debias = move |itemset: &ItemSet, observed: f64| channel.debias(observed, n, itemset.len());
+    let params = PrivBasisParams {
+        consistency: if no_consistency {
+            None
+        } else {
+            PrivBasisParams::default().consistency
+        },
+        ..Default::default()
+    };
+    // Mining is noiseless (Epsilon::Infinite): the privacy was spent at perturbation
+    // time, so this rng sees no draws and the release is seed-independent.
+    let out = PrivBasis::new(params)
+        .run_shared_transformed(
+            &mut rng,
+            &context,
+            k,
+            Epsilon::Infinite,
+            &debias,
+            &NoopObserver,
+        )
+        .map_err(|e| e.to_string())?;
+    Ok(out.itemsets)
+}
+
 /// Sweeps the ε × k grid and scores every release against the exact top-`k`.
+/// With `--ldp` each cell is scored through both trust models.
 fn eval_grid(options: &EvalOptions, db: &TransactionDb) -> Result<Vec<EvalCell>, String> {
     use privbasis::metrics::{f1_score, precision, recall, Summary};
+    let channel = if options.ldp {
+        // ε_local is filled per cell; validate the shape once up front.
+        Some(build_channel(
+            db,
+            1.0,
+            options.ldp_universe,
+            options.ldp_pad,
+        )?)
+    } else {
+        None
+    };
     let mut cells = Vec::new();
     for &k in &options.ks {
         // Exact (non-private) ground truth, mined once per k and shared by every ε.
         let truth = privbasis::fim::topk::top_k_itemsets(db, k, None);
         for &epsilon in &options.epsilons {
-            let (mut ps, mut rs, mut f1s) = (Vec::new(), Vec::new(), Vec::new());
-            for run_idx in 0..options.runs {
-                let released = run(
+            let score = |mode: &'static str,
+                         released: &mut dyn FnMut(u64) -> Result<Vec<(ItemSet, f64)>, String>|
+             -> Result<EvalCell, String> {
+                let (mut ps, mut rs, mut f1s) = (Vec::new(), Vec::new(), Vec::new());
+                for run_idx in 0..options.runs {
+                    let published: Vec<PublishedItemset> = released(run_idx)?
+                        .into_iter()
+                        .map(|(items, noisy)| PublishedItemset::new(items, noisy))
+                        .collect();
+                    ps.push(precision(&truth, &published));
+                    rs.push(recall(&truth, &published));
+                    f1s.push(f1_score(&truth, &published));
+                }
+                Ok(EvalCell {
+                    mode,
+                    epsilon,
+                    k,
+                    precision: Summary::of(&ps),
+                    recall: Summary::of(&rs),
+                    f1: Summary::of(&f1s),
+                })
+            };
+            cells.push(score("central", &mut |run_idx| {
+                run(
                     &Options {
                         input: options.input.clone(),
                         k,
@@ -900,22 +1214,21 @@ fn eval_grid(options: &EvalOptions, db: &TransactionDb) -> Result<Vec<EvalCell>,
                         shards: None,
                     },
                     db,
-                )?;
-                let published: Vec<PublishedItemset> = released
-                    .into_iter()
-                    .map(|(items, noisy)| PublishedItemset::new(items, noisy))
-                    .collect();
-                ps.push(precision(&truth, &published));
-                rs.push(recall(&truth, &published));
-                f1s.push(f1_score(&truth, &published));
+                )
+            })?);
+            if let Some(shape) = channel {
+                let cell_channel = LdpChannel::new(epsilon, shape.universe(), shape.pad_len())
+                    .map_err(|e| e.to_string())?;
+                cells.push(score("ldp", &mut |run_idx| {
+                    run_ldp(
+                        db,
+                        cell_channel,
+                        k,
+                        options.no_consistency,
+                        options.seed.wrapping_add(run_idx),
+                    )
+                })?);
             }
-            cells.push(EvalCell {
-                epsilon,
-                k,
-                precision: Summary::of(&ps),
-                recall: Summary::of(&rs),
-                f1: Summary::of(&f1s),
-            });
         }
     }
     Ok(cells)
@@ -935,7 +1248,8 @@ fn eval_json(options: &EvalOptions, db: &TransactionDb, cells: &[EvalCell]) -> S
         .iter()
         .map(|c| {
             format!(
-                "    {{\"epsilon\":{},\"k\":{},{},{},{}}}",
+                "    {{\"mode\":\"{}\",\"epsilon\":{},\"k\":{},{},{},{}}}",
+                c.mode,
                 c.epsilon,
                 c.k,
                 summary("precision", &c.precision),
@@ -944,9 +1258,20 @@ fn eval_json(options: &EvalOptions, db: &TransactionDb, cells: &[EvalCell]) -> S
             )
         })
         .collect();
+    let ldp_provenance = if options.ldp {
+        let shape = build_channel(db, 1.0, options.ldp_universe, options.ldp_pad)
+            .expect("eval_grid already validated the channel shape");
+        format!(
+            "\n  \"ldp\": {{\"universe\": {}, \"pad\": {}}},",
+            shape.universe(),
+            shape.pad_len()
+        )
+    } else {
+        String::new()
+    };
     format!(
         "{{\n  \"input\": \"{}\",\n  \"transactions\": {},\n  \"distinct_items\": {},\n  \
-         \"method\": \"{}\",\n  \"runs\": {},\n  \"base_seed\": {},\n  \"grid\": [\n{}\n  ]\n}}\n",
+         \"method\": \"{}\",{}\n  \"runs\": {},\n  \"base_seed\": {},\n  \"grid\": [\n{}\n  ]\n}}\n",
         options.input.replace('\\', "\\\\").replace('"', "\\\""),
         db.len(),
         db.num_distinct_items(),
@@ -954,6 +1279,7 @@ fn eval_json(options: &EvalOptions, db: &TransactionDb, cells: &[EvalCell]) -> S
             Method::PrivBasis => "pb",
             Method::TruncatedFrequency => "tf",
         },
+        ldp_provenance,
         options.runs,
         options.seed,
         rows.join(",\n"),
@@ -977,6 +1303,7 @@ fn eval(options: &EvalOptions) -> Result<(), String> {
     );
     let cells = eval_grid(options, &db)?;
     let mut table = privbasis::metrics::TsvTable::new([
+        "mode",
         "epsilon",
         "k",
         "precision",
@@ -986,6 +1313,7 @@ fn eval(options: &EvalOptions) -> Result<(), String> {
     ]);
     for c in &cells {
         table.push_row([
+            c.mode.to_string(),
             c.epsilon.to_string(),
             c.k.to_string(),
             format!("{:.4}", c.precision.mean),
@@ -1041,6 +1369,21 @@ fn main() -> ExitCode {
     if args.first().map(String::as_str) == Some("audit") {
         return match parse_audit_args(&args[1..]) {
             Ok(o) => audit(&o),
+            Err(msg) => {
+                eprintln!("{msg}");
+                ExitCode::from(2)
+            }
+        };
+    }
+    if args.first().map(String::as_str) == Some("perturb") {
+        return match parse_perturb_args(&args[1..]) {
+            Ok(o) => match perturb(&o) {
+                Ok(()) => ExitCode::SUCCESS,
+                Err(msg) => {
+                    eprintln!("error: {msg}");
+                    ExitCode::FAILURE
+                }
+            },
             Err(msg) => {
                 eprintln!("{msg}");
                 ExitCode::from(2)
@@ -1595,6 +1938,9 @@ mod tests {
             tf_m: 2,
             no_consistency: false,
             out: out.to_string_lossy().into_owned(),
+            ldp: false,
+            ldp_universe: None,
+            ldp_pad: None,
         };
         eval(&options).unwrap();
         let db = read_fimi_file(&input).unwrap();
@@ -1609,6 +1955,182 @@ mod tests {
         assert_eq!(value.get("transactions").and_then(|v| v.as_u64()), Some(7));
         assert_eq!(value.get("runs").and_then(|v| v.as_u64()), Some(2));
         assert!(value.get("grid").is_some());
+        let _ = std::fs::remove_file(&input);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn parses_perturb_and_eval_ldp_arguments() {
+        let o = parse_perturb_args(&args(&["--input", "x.dat", "--epsilon-local", "4.0"])).unwrap();
+        assert_eq!(o.input, "x.dat");
+        assert_eq!(o.epsilon_local, 4.0);
+        assert_eq!(o.universe, None);
+        assert_eq!(o.pad, None);
+        assert_eq!(o.seed, 42);
+        assert_eq!(o.out, None);
+        let o = parse_perturb_args(&args(&[
+            "--input",
+            "x.dat",
+            "--epsilon-local",
+            "inf",
+            "--universe",
+            "20",
+            "--pad",
+            "3",
+            "--seed",
+            "7",
+            "--out",
+            "p.dat",
+        ]))
+        .unwrap();
+        assert!(o.epsilon_local.is_infinite());
+        assert_eq!(o.universe, Some(20));
+        assert_eq!(o.pad, Some(3));
+        assert_eq!(o.seed, 7);
+        assert_eq!(o.out.as_deref(), Some("p.dat"));
+        // Missing input or ε, non-positive ε, zero universe/pad: all refused.
+        assert!(parse_perturb_args(&args(&["--epsilon-local", "1"])).is_err());
+        assert!(parse_perturb_args(&args(&["--input", "x"])).is_err());
+        assert!(parse_perturb_args(&args(&["--input", "x", "--epsilon-local", "0"])).is_err());
+        assert!(parse_perturb_args(&args(&["--input", "x", "--epsilon-local", "nan"])).is_err());
+        assert!(parse_perturb_args(&args(&[
+            "--input",
+            "x",
+            "--epsilon-local",
+            "1",
+            "--universe",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_perturb_args(&args(&[
+            "--input",
+            "x",
+            "--epsilon-local",
+            "1",
+            "--pad",
+            "0"
+        ]))
+        .is_err());
+        assert!(parse_perturb_args(&args(&["--bogus"])).is_err());
+
+        // eval --ldp: default output switches to BENCH_ldp.json; the shape overrides
+        // need --ldp; tf has no local model.
+        let o = parse_eval_args(&args(&["--input", "x.dat", "--ldp"])).unwrap();
+        assert!(o.ldp);
+        assert_eq!(o.out, "BENCH_ldp.json");
+        let o = parse_eval_args(&args(&[
+            "--input",
+            "x.dat",
+            "--ldp",
+            "--ldp-universe",
+            "16",
+            "--ldp-pad",
+            "2",
+            "--out",
+            "custom.json",
+        ]))
+        .unwrap();
+        assert_eq!(o.ldp_universe, Some(16));
+        assert_eq!(o.ldp_pad, Some(2));
+        assert_eq!(o.out, "custom.json");
+        assert!(parse_eval_args(&args(&["--input", "x", "--ldp-universe", "8"])).is_err());
+        assert!(parse_eval_args(&args(&["--input", "x", "--ldp-pad", "2"])).is_err());
+        assert!(parse_eval_args(&args(&["--input", "x", "--ldp", "--method", "tf"])).is_err());
+    }
+
+    #[test]
+    fn perturb_writes_fimi_and_the_identity_channel_canonicalizes() {
+        let dir = std::env::temp_dir();
+        let stem = format!("pb_cli_perturb_{}", std::process::id());
+        let input = dir.join(format!("{stem}.dat"));
+        let out = dir.join(format!("{stem}_out.dat"));
+        std::fs::write(&input, "3 1 2 1\n0 4\n2 3\n").unwrap();
+        // Identity channel with a roomy pad: the output is the canonicalized input.
+        perturb(&PerturbOptions {
+            input: input.to_string_lossy().into_owned(),
+            epsilon_local: f64::INFINITY,
+            universe: None,
+            pad: Some(8),
+            seed: 1,
+            out: Some(out.to_string_lossy().into_owned()),
+        })
+        .unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), "1 2 3\n0 4\n2 3\n");
+        // A finite channel still emits one report line per transaction, all items in
+        // the derived universe (max item + 1 = 5), reproducibly for the same seed.
+        let options = PerturbOptions {
+            input: input.to_string_lossy().into_owned(),
+            epsilon_local: 2.0,
+            universe: None,
+            pad: None,
+            seed: 9,
+            out: Some(out.to_string_lossy().into_owned()),
+        };
+        perturb(&options).unwrap();
+        let first = std::fs::read_to_string(&out).unwrap();
+        assert_eq!(first.lines().count(), 3);
+        for line in first.lines() {
+            for item in line.split_whitespace() {
+                assert!(item.parse::<u32>().unwrap() < 5, "out of universe: {line}");
+            }
+        }
+        perturb(&options).unwrap();
+        assert_eq!(std::fs::read_to_string(&out).unwrap(), first);
+        let _ = std::fs::remove_file(&input);
+        let _ = std::fs::remove_file(&out);
+    }
+
+    #[test]
+    fn eval_ldp_scores_both_trust_models() {
+        // A loose channel (big ε_local, identity-adjacent) on an unambiguous top-3:
+        // both the central and the local cells must score near-perfectly, and the
+        // JSON grid must carry one row per mode with finite numbers.
+        let dir = std::env::temp_dir();
+        let stem = format!("pb_cli_eval_ldp_{}", std::process::id());
+        let input = dir.join(format!("{stem}.dat"));
+        let out = dir.join(format!("{stem}.json"));
+        std::fs::write(&input, "1 2 3\n1 2\n1 2 3\n2 3\n1 2\n1 2\n1 3\n".repeat(30)).unwrap();
+        let options = EvalOptions {
+            input: input.to_string_lossy().into_owned(),
+            ks: vec![3],
+            epsilons: vec![1e9],
+            runs: 2,
+            seed: 1,
+            method: Method::PrivBasis,
+            tf_m: 2,
+            no_consistency: false,
+            out: out.to_string_lossy().into_owned(),
+            ldp: true,
+            ldp_universe: None,
+            ldp_pad: None,
+        };
+        eval(&options).unwrap();
+        let db = read_fimi_file(&input).unwrap();
+        let cells = eval_grid(&options, &db).unwrap();
+        assert_eq!(cells.len(), 2);
+        assert_eq!(cells[0].mode, "central");
+        assert_eq!(cells[1].mode, "ldp");
+        for cell in &cells {
+            assert!(
+                cell.f1.mean.is_finite() && (cell.f1.mean - 1.0).abs() < 1e-6,
+                "{} f1 = {}",
+                cell.mode,
+                cell.f1.mean
+            );
+        }
+        let json = std::fs::read_to_string(&out).unwrap();
+        let value = privbasis::proto::Json::parse(&json).unwrap();
+        let ldp = value.get("ldp").expect("ldp provenance block");
+        assert_eq!(ldp.get("universe").and_then(|v| v.as_u64()), Some(4));
+        let grid = value.get("grid").and_then(|v| v.as_array()).unwrap();
+        assert_eq!(grid.len(), 2);
+        assert_eq!(grid[1].get("mode").and_then(|v| v.as_str()), Some("ldp"));
+        let f1 = grid[1]
+            .get("f1")
+            .and_then(|v| v.get("mean"))
+            .and_then(|v| v.as_f64())
+            .unwrap();
+        assert!(f1.is_finite());
         let _ = std::fs::remove_file(&input);
         let _ = std::fs::remove_file(&out);
     }

@@ -50,6 +50,7 @@ pub use pb_dp as dp;
 pub use pb_fault as fault;
 pub use pb_fim as fim;
 pub use pb_graph as graph;
+pub use pb_ldp as ldp;
 pub use pb_metrics as metrics;
 pub use pb_proto as proto;
 pub use pb_service as service;
@@ -60,6 +61,7 @@ pub use pb_core::{BasisSet, PrivBasis, PrivBasisOutput, PrivBasisParams};
 pub use pb_datagen::DatasetProfile;
 pub use pb_dp::Epsilon;
 pub use pb_fim::{FrequentItemset, Item, ItemSet, TransactionDb};
+pub use pb_ldp::LdpChannel;
 pub use pb_metrics::{false_negative_rate, relative_error, PublishedItemset};
 pub use pb_proto::PbClient;
 pub use pb_shard::ShardedDb;
